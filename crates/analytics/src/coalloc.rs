@@ -1,0 +1,168 @@
+//! Co-allocation analysis: which machines execute several jobs at once.
+//!
+//! The hierarchical bubble chart is *job-based*, so one physical machine can
+//! be rendered inside several job bubbles. BatchLens's hover interaction
+//! connects those renderings with colored dotted lines (paper Fig 3(b):
+//! "we connect the same machines with colored dotted lines (green, orange
+//! and purple) … to help trace down the machines [that] execute multiple
+//! tasks simultaneously"). This module computes the underlying index.
+
+use batchlens_trace::{JobId, MachineId, Timestamp, TraceDataset};
+use serde::{Deserialize, Serialize};
+
+/// A machine rendered under more than one job bubble at the snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedMachine {
+    /// The physical machine.
+    pub machine: MachineId,
+    /// The jobs with at least one instance running on it (≥ 2 entries).
+    pub jobs: Vec<JobId>,
+}
+
+/// A renderable link: one machine appearing under two specific jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineLink {
+    /// The shared machine.
+    pub machine: MachineId,
+    /// First job bubble.
+    pub job_a: JobId,
+    /// Second job bubble.
+    pub job_b: JobId,
+}
+
+/// Co-allocation index at one timestamp.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoallocationIndex {
+    shared: Vec<SharedMachine>,
+}
+
+impl CoallocationIndex {
+    /// Builds the index of `ds` at time `at`.
+    pub fn at(ds: &TraceDataset, at: Timestamp) -> CoallocationIndex {
+        let mut shared = Vec::new();
+        for machine in ds.machines() {
+            let jobs = machine.jobs_at(at);
+            if jobs.len() >= 2 {
+                shared.push(SharedMachine { machine: machine.id(), jobs });
+            }
+        }
+        CoallocationIndex { shared }
+    }
+
+    /// Machines shared by at least two jobs, in machine order.
+    pub fn shared_machines(&self) -> &[SharedMachine] {
+        &self.shared
+    }
+
+    /// Number of shared machines.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// True when no machine is shared.
+    pub fn is_empty(&self) -> bool {
+        self.shared.is_empty()
+    }
+
+    /// All pairwise links, one per `(machine, job_a, job_b)` with
+    /// `job_a < job_b` — each becomes one dotted line in the view.
+    pub fn links(&self) -> Vec<MachineLink> {
+        let mut out = Vec::new();
+        for s in &self.shared {
+            for (i, &a) in s.jobs.iter().enumerate() {
+                for &b in &s.jobs[i + 1..] {
+                    out.push(MachineLink { machine: s.machine, job_a: a, job_b: b });
+                }
+            }
+        }
+        out
+    }
+
+    /// The links involving one specific machine — what a mouse-over on that
+    /// node highlights.
+    pub fn links_for(&self, machine: MachineId) -> Vec<MachineLink> {
+        self.links().into_iter().filter(|l| l.machine == machine).collect()
+    }
+
+    /// The jobs sharing a given machine, if it is shared.
+    pub fn jobs_on(&self, machine: MachineId) -> Option<&[JobId]> {
+        self.shared.iter().find(|s| s.machine == machine).map(|s| s.jobs.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::{
+        BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, TraceDatasetBuilder,
+    };
+
+    /// Three jobs; machine 0 shared by jobs 1+2, machine 1 shared by all
+    /// three, machine 2 exclusive to job 3.
+    fn build() -> TraceDataset {
+        let mut b = TraceDatasetBuilder::new();
+        for job in 1..=3u32 {
+            b.push_task(BatchTaskRecord {
+                create_time: Timestamp::new(0),
+                modify_time: Timestamp::new(1000),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                instance_count: 2,
+                status: TaskStatus::Terminated,
+                plan_cpu: 1.0,
+                plan_mem: 0.5,
+            });
+        }
+        for (job, machine) in [(1u32, 0u32), (1, 1), (2, 0), (2, 1), (3, 1), (3, 2)] {
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(0),
+                end_time: Timestamp::new(1000),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                seq: machine, // unique per (job, task)
+                total: 2,
+                machine: MachineId::new(machine),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.1,
+                cpu_max: 0.2,
+                mem_avg: 0.1,
+                mem_max: 0.2,
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shared_machines_found() {
+        let ds = build();
+        let idx = CoallocationIndex::at(&ds, Timestamp::new(100));
+        assert_eq!(idx.len(), 2);
+        let m0 = idx.jobs_on(MachineId::new(0)).unwrap();
+        assert_eq!(m0, &[JobId::new(1), JobId::new(2)]);
+        let m1 = idx.jobs_on(MachineId::new(1)).unwrap();
+        assert_eq!(m1.len(), 3);
+        assert!(idx.jobs_on(MachineId::new(2)).is_none());
+    }
+
+    #[test]
+    fn links_are_pairwise() {
+        let ds = build();
+        let idx = CoallocationIndex::at(&ds, Timestamp::new(100));
+        let links = idx.links();
+        // machine 0: 1 pair; machine 1: C(3,2) = 3 pairs.
+        assert_eq!(links.len(), 4);
+        let m1_links = idx.links_for(MachineId::new(1));
+        assert_eq!(m1_links.len(), 3);
+        for l in &m1_links {
+            assert!(l.job_a < l.job_b);
+        }
+    }
+
+    #[test]
+    fn empty_after_everything_ends() {
+        let ds = build();
+        let idx = CoallocationIndex::at(&ds, Timestamp::new(2000));
+        assert!(idx.is_empty());
+        assert!(idx.links().is_empty());
+    }
+}

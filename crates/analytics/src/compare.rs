@@ -1,0 +1,253 @@
+//! Temporal and spatial comparison of cluster regimes.
+//!
+//! The case study's first-order observation is a *comparison*: Fig 3(b)'s
+//! nodes are "heavier than that in Fig 3(a) through the color distribution",
+//! Fig 3(c) shows "a tremendous amount of nodes … at high CPU- or
+//! memory-utilization". This module quantifies those statements so the
+//! reproduction can assert them.
+
+use batchlens_trace::{Metric, Timestamp, TraceDataset, Utilization};
+use serde::{Deserialize, Serialize};
+
+/// The utilization band a snapshot falls into, mirroring the paper's three
+/// case-study regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegimeBand {
+    /// Roughly the paper's Fig 3(a): most machines at 20–40 %.
+    Low,
+    /// Roughly Fig 3(b): 50–80 %.
+    Medium,
+    /// Roughly Fig 3(c): approaching capacity.
+    High,
+}
+
+/// Distribution summary of machine utilization at one timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeSummary {
+    /// Snapshot time.
+    pub at: Timestamp,
+    /// Machines with usage data at the snapshot.
+    pub machines: usize,
+    /// Mean of per-machine mean-of-triple utilization.
+    pub mean: f64,
+    /// Mean CPU utilization.
+    pub mean_cpu: f64,
+    /// Mean memory utilization.
+    pub mean_mem: f64,
+    /// Mean disk utilization.
+    pub mean_disk: f64,
+    /// 10th percentile of per-machine mean utilization.
+    pub p10: f64,
+    /// 90th percentile of per-machine mean utilization.
+    pub p90: f64,
+    /// Fraction of machines whose *max* metric exceeds 90 % ("reaching the
+    /// respective capacity").
+    pub saturated_fraction: f64,
+}
+
+impl RegimeSummary {
+    /// Summarizes machine utilization at `at`.
+    pub fn at(ds: &TraceDataset, at: Timestamp) -> RegimeSummary {
+        let mut means: Vec<f64> = Vec::new();
+        let (mut c, mut m, mut d) = (0.0f64, 0.0f64, 0.0f64);
+        let mut saturated = 0usize;
+        for machine in ds.machines() {
+            if let Some(u) = machine.util_at(at) {
+                means.push(u.mean().fraction());
+                c += u.cpu.fraction();
+                m += u.mem.fraction();
+                d += u.disk.fraction();
+                if u.max() > Utilization::clamped(0.9) {
+                    saturated += 1;
+                }
+            }
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = means.len();
+        let pct = |q: f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                means[lo]
+            } else {
+                means[lo] + (means[hi] - means[lo]) * (pos - lo as f64)
+            }
+        };
+        let nf = n.max(1) as f64;
+        RegimeSummary {
+            at,
+            machines: n,
+            mean: means.iter().sum::<f64>() / nf,
+            mean_cpu: c / nf,
+            mean_mem: m / nf,
+            mean_disk: d / nf,
+            p10: pct(0.10),
+            p90: pct(0.90),
+            saturated_fraction: saturated as f64 / nf,
+        }
+    }
+
+    /// Classifies the snapshot into the paper's three bands.
+    pub fn band(&self) -> RegimeBand {
+        if self.mean < 0.45 {
+            RegimeBand::Low
+        } else if self.mean < 0.75 && self.saturated_fraction < 0.3 {
+            RegimeBand::Medium
+        } else {
+            RegimeBand::High
+        }
+    }
+
+    /// Mean utilization of the given metric.
+    pub fn mean_of(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Cpu => self.mean_cpu,
+            Metric::Memory => self.mean_mem,
+            Metric::Disk => self.mean_disk,
+        }
+    }
+}
+
+/// Spatial comparison: a specific set of machines vs the whole cluster at
+/// one timestamp. Returns `(subset_mean, cluster_mean)` of mean-of-triple
+/// utilization; used for claims like "job_7901 running on busier nodes than
+/// those hosting other jobs".
+pub fn subset_vs_cluster(
+    ds: &TraceDataset,
+    machines: &[batchlens_trace::MachineId],
+    at: Timestamp,
+) -> (f64, f64) {
+    let mut subset_sum = 0.0;
+    let mut subset_n = 0usize;
+    for m in machines {
+        if let Some(u) = ds.machine(*m).and_then(|mv| mv.util_at(at)) {
+            subset_sum += u.mean().fraction();
+            subset_n += 1;
+        }
+    }
+    let summary = RegimeSummary::at(ds, at);
+    (subset_sum / subset_n.max(1) as f64, summary.mean)
+}
+
+/// A temporal comparison of the cluster between two timestamps — the paper's
+/// "temporal analysis ... facilitates the detection of anomalous performances
+/// of compute nodes over time".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    /// Earlier snapshot.
+    pub before: RegimeSummary,
+    /// Later snapshot.
+    pub after: RegimeSummary,
+    /// Change in mean utilization (`after - before`).
+    pub delta_mean: f64,
+    /// Change in the saturated-machine fraction.
+    pub delta_saturated: f64,
+}
+
+impl SnapshotDiff {
+    /// Compares `ds` at two timestamps.
+    pub fn between(ds: &TraceDataset, before: Timestamp, after: Timestamp) -> SnapshotDiff {
+        let b = RegimeSummary::at(ds, before);
+        let a = RegimeSummary::at(ds, after);
+        SnapshotDiff {
+            delta_mean: a.mean - b.mean,
+            delta_saturated: a.saturated_fraction - b.saturated_fraction,
+            before: b,
+            after: a,
+        }
+    }
+
+    /// True when the later snapshot is meaningfully busier than the earlier
+    /// one (mean utilization up by more than `threshold`).
+    pub fn escalated(&self, threshold: f64) -> bool {
+        self.delta_mean > threshold
+    }
+
+    /// True when load dropped sharply (e.g. the mass-shutdown cliff).
+    pub fn collapsed(&self, threshold: f64) -> bool {
+        self.delta_mean < -threshold
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let dir = if self.delta_mean > 0.0 { "rose" } else { "fell" };
+        format!(
+            "utilization {dir} {:.1} pts ({:.1}% → {:.1}%); saturation {:+.1} pts",
+            self.delta_mean.abs() * 100.0,
+            self.before.mean * 100.0,
+            self.after.mean * 100.0,
+            self.delta_saturated * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn regimes_classify_in_paper_order() {
+        let low = RegimeSummary::at(&scenario::fig3a(31).run().unwrap(), scenario::T_FIG3A);
+        let med = RegimeSummary::at(&scenario::fig3b(31).run().unwrap(), scenario::T_FIG3B);
+        let high = RegimeSummary::at(&scenario::fig3c(31).run().unwrap(), scenario::T_FIG3C);
+        assert_eq!(low.band(), RegimeBand::Low, "low: {low:?}");
+        assert!(med.mean > low.mean, "medium {:.2} vs low {:.2}", med.mean, low.mean);
+        assert!(high.mean > med.mean * 0.9, "high {:.2} vs med {:.2}", high.mean, med.mean);
+        assert_ne!(med.band(), RegimeBand::Low);
+        assert_ne!(high.band(), RegimeBand::Low);
+        // The overload regime saturates machines; the healthy one does not.
+        assert!(high.saturated_fraction > low.saturated_fraction);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let s = RegimeSummary::at(&scenario::fig3b(32).run().unwrap(), scenario::T_FIG3B);
+        assert!(s.p10 <= s.mean && s.mean <= s.p90);
+        assert!(s.machines > 0);
+    }
+
+    #[test]
+    fn spike_job_sits_on_busier_nodes() {
+        let ds = scenario::fig3b(33).run().unwrap();
+        let job = ds.job(scenario::JOB_7901).unwrap();
+        let (subset, cluster) = subset_vs_cluster(&ds, &job.machines(), scenario::T_FIG3B);
+        assert!(subset > cluster, "subset {subset} cluster {cluster}");
+    }
+
+    #[test]
+    fn snapshot_diff_detects_shutdown_collapse() {
+        // fig3c: overloaded at 43800, cleared after the 44100 shutdown.
+        let ds = scenario::fig3c(34).run().unwrap();
+        let diff = SnapshotDiff::between(
+            &ds,
+            scenario::T_FIG3C,
+            Timestamp::new(scenario::T_SHUTDOWN.seconds() + 600),
+        );
+        assert!(diff.collapsed(0.1), "{}", diff.summary());
+        assert!(!diff.escalated(0.0));
+        assert!(diff.delta_mean < 0.0);
+    }
+
+    #[test]
+    fn snapshot_diff_detects_escalation() {
+        // paper day: healthy 47400 is cooler than overloaded 43800.
+        let ds = scenario::paper_day_with_machines(35, 80).run().unwrap();
+        let diff = SnapshotDiff::between(&ds, scenario::T_FIG3A, scenario::T_FIG3C);
+        assert!(diff.escalated(0.1), "{}", diff.summary());
+        assert!(diff.summary().contains("rose"));
+    }
+
+    #[test]
+    fn empty_dataset_summary_is_zeroed() {
+        let ds = batchlens_trace::TraceDatasetBuilder::new().build().unwrap();
+        let s = RegimeSummary::at(&ds, Timestamp::ZERO);
+        assert_eq!(s.machines, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.band(), RegimeBand::Low);
+    }
+}

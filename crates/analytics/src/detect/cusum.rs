@@ -1,0 +1,115 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Tabular CUSUM change detector: accumulates deviations from a running
+/// target and flags samples once the cumulative sum crosses a decision
+/// interval. Catches *sustained small shifts* a z-score misses — useful for
+/// the gradual climb of the end-of-job spike before it becomes obvious.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumDetector {
+    /// Allowable slack (half the shift to detect), in value units.
+    pub slack: f64,
+    /// Decision interval; a span fires when the accumulator exceeds it.
+    pub threshold: f64,
+    /// EWMA factor tracking the target level.
+    pub alpha: f64,
+    /// Minimum consecutive flagged samples for a span.
+    pub min_samples: usize,
+    /// When true only upward shifts fire; otherwise both directions.
+    pub positive_only: bool,
+}
+
+impl CusumDetector {
+    /// A detector tuned for utilization fractions.
+    pub fn new(slack: f64, threshold: f64) -> Self {
+        CusumDetector { slack, threshold, alpha: 0.05, min_samples: 2, positive_only: false }
+    }
+
+    /// Upward-only variant.
+    #[must_use]
+    pub fn positive_only(mut self) -> Self {
+        self.positive_only = true;
+        self
+    }
+}
+
+impl Default for CusumDetector {
+    fn default() -> Self {
+        CusumDetector::new(0.05, 0.5)
+    }
+}
+
+impl Detector for CusumDetector {
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let values = series.values();
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let mut target = values[0];
+        let mut hi = 0.0f64;
+        let mut lo = 0.0f64;
+        let mut flags = vec![false; values.len()];
+        let mut scores = vec![0.0f64; values.len()];
+        for (i, &v) in values.iter().enumerate() {
+            hi = (hi + v - target - self.slack).max(0.0);
+            lo = (lo - (v - target) - self.slack).max(0.0);
+            let score = if self.positive_only { hi } else { hi.max(lo) };
+            scores[i] = score;
+            if score > self.threshold {
+                flags[i] = true;
+                // Hold the accumulator (don't reset) so a sustained shift
+                // stays flagged, but stop tracking the target into it.
+            } else {
+                target += self.alpha * (v - target);
+            }
+        }
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Deviation, |i| scores[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+    }
+
+    #[test]
+    fn detects_sustained_small_shift() {
+        // A +0.15 shift at sample 40: too small per-sample for a 3-sigma
+        // z-score but a clear sustained change for CUSUM.
+        let mut vals = vec![0.30; 80];
+        for v in vals.iter_mut().skip(40) {
+            *v = 0.45;
+        }
+        let spans = CusumDetector::new(0.03, 0.4).detect(&series(&vals));
+        assert!(!spans.is_empty());
+        assert!(spans[0].range.start().seconds() >= 40 * 60);
+    }
+
+    #[test]
+    fn clean_series_is_clean() {
+        assert!(CusumDetector::default().detect(&series(&[0.3; 100])).is_empty());
+        assert!(CusumDetector::default().detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn positive_only_ignores_downshift() {
+        let mut vals = vec![0.6; 80];
+        for v in vals.iter_mut().skip(40) {
+            *v = 0.3;
+        }
+        let up = CusumDetector::new(0.03, 0.4).positive_only().detect(&series(&vals));
+        assert!(up.is_empty());
+        let both = CusumDetector::new(0.03, 0.4).detect(&series(&vals));
+        assert!(!both.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! A voting ensemble over generic [`Detector`]s.
+//!
+//! The paper argues visual inspection beats any single statistic because
+//! each metric-based method has blind spots. An ensemble approximates that
+//! robustness programmatically: a sample is anomalous when at least `quorum`
+//! member detectors flag it. This reduces the false positives of any one
+//! detector (the paper's complaint about inflexible metric monitors) while
+//! keeping recall.
+
+use batchlens_trace::{TimeSeries, Timestamp};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Combines several detectors by per-sample majority vote.
+pub struct Ensemble {
+    detectors: Vec<Box<dyn Detector>>,
+    quorum: usize,
+    min_samples: usize,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("members", &self.detectors.iter().map(|d| d.name()).collect::<Vec<_>>())
+            .field("quorum", &self.quorum)
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Builds an ensemble from member detectors; `quorum` is the minimum
+    /// number of members that must flag a sample. `quorum` is clamped to
+    /// `1..=members`.
+    pub fn new(detectors: Vec<Box<dyn Detector>>, quorum: usize) -> Self {
+        let n = detectors.len().max(1);
+        Ensemble { detectors, quorum: quorum.clamp(1, n), min_samples: 2 }
+    }
+
+    /// Member detector names (for reports).
+    pub fn members(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// Per-member vote counts over a series, indexed by sample.
+    fn vote_counts(&self, series: &TimeSeries) -> Vec<u32> {
+        let mut votes = vec![0u32; series.len()];
+        // Index samples by timestamp for mapping member spans back to samples.
+        let index: std::collections::HashMap<Timestamp, usize> =
+            series.times().iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for d in &self.detectors {
+            for span in d.detect(series) {
+                for (t, i) in series.times().iter().zip(0..series.len()) {
+                    if span.range.contains(*t) {
+                        votes[i] += 1;
+                    }
+                }
+                let _ = &index; // index kept for clarity; linear scan is fine here
+            }
+        }
+        votes
+    }
+}
+
+impl Detector for Ensemble {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        if series.is_empty() {
+            return Vec::new();
+        }
+        let votes = self.vote_counts(series);
+        let flags: Vec<bool> = votes.iter().map(|&v| v as usize >= self.quorum).collect();
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
+            votes[i] as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{MadDetector, ThresholdDetector, ZScoreDetector};
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+    }
+
+    fn ensemble(quorum: usize) -> Ensemble {
+        Ensemble::new(
+            vec![
+                Box::new(ThresholdDetector::new(0.9)),
+                Box::new(ZScoreDetector::new(3.0)),
+                Box::new(MadDetector::new(3.5)),
+            ],
+            quorum,
+        )
+    }
+
+    #[test]
+    fn unanimous_burst_is_flagged_by_all_quora() {
+        // A gently wobbling baseline so MAD has a non-zero scale estimate.
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.01 * (i % 5) as f64).collect();
+        for v in vals.iter_mut().skip(50).take(5) {
+            *v = 0.98; // high, outlier, far-out — all three fire
+        }
+        let s = series(&vals);
+        assert!(!ensemble(1).detect(&s).is_empty());
+        assert!(!ensemble(3).detect(&s).is_empty());
+    }
+
+    #[test]
+    fn a_moderate_outlier_needs_lower_quorum() {
+        // 0.7 is a statistical outlier (z/mad) but below the 0.9 threshold,
+        // so only 2 of 3 detectors fire.
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.001 * (i % 7) as f64).collect();
+        for v in vals.iter_mut().skip(50).take(4) {
+            *v = 0.7;
+        }
+        let s = series(&vals);
+        assert!(!ensemble(2).detect(&s).is_empty(), "2/3 should flag");
+        assert!(ensemble(3).detect(&s).is_empty(), "unanimous should not");
+    }
+
+    #[test]
+    fn quorum_is_clamped() {
+        let e = Ensemble::new(vec![Box::new(ThresholdDetector::new(0.9))], 99);
+        assert_eq!(e.quorum, 1);
+        assert_eq!(e.members(), vec!["threshold"]);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(ensemble(2).detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let text = format!("{:?}", ensemble(2));
+        assert!(text.contains("threshold"));
+        assert!(text.contains("quorum"));
+    }
+}

@@ -1,0 +1,120 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Flags samples deviating from an exponentially-weighted moving average by
+/// more than `k` running standard deviations.
+///
+/// Unlike the global [`super::ZScoreDetector`], EWMA adapts to slow drift
+/// (diurnal load) and flags only *fast* excursions — closest in spirit to
+/// online production monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaDetector {
+    /// Smoothing factor in `(0, 1]`; smaller adapts slower.
+    pub alpha: f64,
+    /// Residual multiple that triggers a flag.
+    pub k: f64,
+    /// Minimum consecutive samples for a span to be reported.
+    pub min_samples: usize,
+    /// Warm-up samples before flagging starts.
+    pub warmup: usize,
+}
+
+impl EwmaDetector {
+    /// A `alpha = 0.2, k = 4` detector with 10-sample warm-up.
+    pub fn new(alpha: f64, k: f64) -> Self {
+        EwmaDetector { alpha: alpha.clamp(1e-6, 1.0), k, min_samples: 1, warmup: 10 }
+    }
+}
+
+impl Default for EwmaDetector {
+    fn default() -> Self {
+        EwmaDetector::new(0.2, 4.0)
+    }
+}
+
+impl Detector for EwmaDetector {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let values = series.values();
+        if values.len() <= self.warmup {
+            return Vec::new();
+        }
+        let mut mean = values[0];
+        let mut var = 0.0f64;
+        let mut flags = vec![false; values.len()];
+        let mut scores = vec![0.0f64; values.len()];
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            let sd = var.sqrt().max(1e-3);
+            let residual = (v - mean).abs();
+            let score = residual / sd;
+            if i >= self.warmup && score > self.k {
+                flags[i] = true;
+                scores[i] = score;
+                // Do not absorb the anomaly into the baseline: skip update so
+                // a sustained excursion stays flagged.
+                continue;
+            }
+            mean += self.alpha * (v - mean);
+            var = (1.0 - self.alpha) * (var + self.alpha * (v - mean) * (v - mean));
+        }
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Deviation, |i| scores[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    fn noisy_flat(n: usize, level: f64) -> Vec<f64> {
+        // Small deterministic wobble so the running variance is nonzero.
+        (0..n).map(|i| level + 0.01 * ((i % 7) as f64 - 3.0) / 3.0).collect()
+    }
+
+    #[test]
+    fn flags_step_change() {
+        let mut vals = noisy_flat(60, 0.3);
+        for v in vals.iter_mut().skip(30).take(5) {
+            *v = 0.95;
+        }
+        let spans = EwmaDetector::default().detect(&series(&vals));
+        assert!(!spans.is_empty());
+        assert_eq!(spans[0].kind, AnomalyKind::Deviation);
+        assert_eq!(spans[0].range.start(), Timestamp::new(30 * 60));
+    }
+
+    #[test]
+    fn adapts_to_slow_drift() {
+        // Linear drift from 0.2 to 0.8 over 200 samples: no flags expected.
+        let vals: Vec<f64> = (0..200).map(|i| 0.2 + 0.6 * i as f64 / 200.0).collect();
+        let spans = EwmaDetector::default().detect(&series(&vals));
+        assert!(spans.is_empty(), "drift misflagged: {spans:?}");
+    }
+
+    #[test]
+    fn warmup_suppresses_early_flags() {
+        let mut vals = noisy_flat(30, 0.3);
+        vals[2] = 0.99; // inside warm-up
+        let spans = EwmaDetector::default().detect(&series(&vals));
+        assert!(spans.iter().all(|s| s.range.start() > Timestamp::new(2 * 60)));
+    }
+
+    #[test]
+    fn short_series_is_clean() {
+        let spans = EwmaDetector::default().detect(&series(&[0.5; 5]));
+        assert!(spans.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Tukey interquartile-range outlier detector: flags samples outside
+/// `[Q1 - k·IQR, Q3 + k·IQR]`. Distribution-free and robust; a good
+/// complement to the parametric z-score when the utilization histogram is
+/// skewed (as batch load usually is).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IqrDetector {
+    /// Whisker multiplier (1.5 = Tukey's "outlier", 3.0 = "far out").
+    pub k: f64,
+    /// Minimum consecutive flagged samples for a span.
+    pub min_samples: usize,
+}
+
+impl IqrDetector {
+    /// A detector with Tukey's 1.5 whisker.
+    pub fn new(k: f64) -> Self {
+        IqrDetector { k, min_samples: 2 }
+    }
+}
+
+impl Default for IqrDetector {
+    fn default() -> Self {
+        IqrDetector::new(1.5)
+    }
+}
+
+impl Detector for IqrDetector {
+    fn name(&self) -> &'static str {
+        "iqr"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let q1 = match series.quantile(0.25) {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let q3 = series.quantile(0.75).expect("non-empty if q1 exists");
+        let iqr = q3 - q1;
+        if iqr < 1e-12 {
+            return Vec::new();
+        }
+        let lo = q1 - self.k * iqr;
+        let hi = q3 + self.k * iqr;
+        let flags: Vec<bool> = series.values().iter().map(|&v| v < lo || v > hi).collect();
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
+            let v = series.values()[i];
+            ((v - hi).max(lo - v)).max(0.0) / iqr
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+    }
+
+    #[test]
+    fn flags_far_out_samples() {
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.001 * (i % 10) as f64).collect();
+        for v in vals.iter_mut().skip(50).take(3) {
+            *v = 0.95;
+        }
+        let spans = IqrDetector::new(1.5).detect(&series(&vals));
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].severity > 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_iqr() {
+        assert!(IqrDetector::default().detect(&series(&[0.4; 50])).is_empty());
+        assert!(IqrDetector::default().detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn larger_k_flags_fewer() {
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.02 * (i % 5) as f64).collect();
+        vals[50] = 0.6;
+        let tight = IqrDetector::new(1.5).detect(&series(&vals)).len();
+        let loose = IqrDetector::new(3.0).detect(&series(&vals)).len();
+        assert!(tight >= loose);
+    }
+}

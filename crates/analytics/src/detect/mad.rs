@@ -1,0 +1,111 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Flags samples whose robust z-score (median absolute deviation) exceeds
+/// `z`. Outlier-resistant: a few extreme values cannot inflate the scale
+/// estimate the way they inflate a standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MadDetector {
+    /// Robust z-score magnitude above which a sample is anomalous.
+    pub z: f64,
+    /// Minimum consecutive samples for a span to be reported.
+    pub min_samples: usize,
+}
+
+/// Consistency constant making MAD comparable to a standard deviation for
+/// normal data.
+const MAD_SCALE: f64 = 1.4826;
+
+impl MadDetector {
+    /// A robust 3.5-sigma-equivalent detector.
+    pub fn new(z: f64) -> Self {
+        MadDetector { z, min_samples: 2 }
+    }
+}
+
+impl Default for MadDetector {
+    fn default() -> Self {
+        MadDetector::new(3.5)
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl Detector for MadDetector {
+    fn name(&self) -> &'static str {
+        "mad"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        if series.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = series.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let med = median(&sorted);
+        let mut deviations: Vec<f64> = series.values().iter().map(|&v| (v - med).abs()).collect();
+        deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mad = median(&deviations);
+        if mad < 1e-12 {
+            return Vec::new();
+        }
+        let score = |v: f64| (v - med).abs() / (MAD_SCALE * mad);
+        let flags: Vec<bool> =
+            series.values().iter().map(|&v| score(v) > self.z).collect();
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
+            score(series.values()[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    fn wobble(n: usize, level: f64) -> Vec<f64> {
+        (0..n).map(|i| level + 0.02 * ((i % 5) as f64 - 2.0) / 2.0).collect()
+    }
+
+    #[test]
+    fn robust_to_the_outliers_it_finds() {
+        let mut vals = wobble(100, 0.3);
+        // A huge burst that would drag a plain std-dev estimate.
+        for v in vals.iter_mut().skip(60).take(5) {
+            *v = 1.0;
+        }
+        let spans = MadDetector::default().detect(&series(&vals));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].range.start(), Timestamp::new(60 * 60));
+        assert!(spans[0].severity > 3.5);
+    }
+
+    #[test]
+    fn constant_series_is_clean() {
+        assert!(MadDetector::default().detect(&series(&[0.4; 40])).is_empty());
+        assert!(MadDetector::default().detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

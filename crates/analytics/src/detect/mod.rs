@@ -1,0 +1,182 @@
+//! Anomaly detection over utilization series.
+//!
+//! Two families:
+//!
+//! * **Generic metric detectors** implementing [`Detector`] — threshold,
+//!   z-score, EWMA and MAD. These are the "metric-based approaches" the
+//!   paper cites as prior art and that BatchLens complements visually.
+//! * **Signature detectors** for the two case-study behaviours:
+//!   [`spike::SpikeDetector`] (utilization peaking at job end, Fig 3(b)) and
+//!   [`thrashing::ThrashingDetector`] (memory pinned while CPU collapses,
+//!   Fig 3(c)). Signature detectors need more context than a single series,
+//!   so they expose their own inherent methods instead of the trait.
+
+mod cusum;
+mod ensemble;
+mod ewma;
+mod iqr;
+mod mad;
+pub mod spike;
+mod threshold;
+pub mod thrashing;
+mod zscore;
+
+pub use cusum::CusumDetector;
+pub use ensemble::Ensemble;
+pub use ewma::EwmaDetector;
+pub use iqr::IqrDetector;
+pub use mad::MadDetector;
+pub use spike::SpikeDetector;
+pub use threshold::ThresholdDetector;
+pub use thrashing::ThrashingDetector;
+pub use zscore::ZScoreDetector;
+
+use batchlens_trace::{TimeDelta, TimeRange, TimeSeries, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// What kind of anomalous behaviour a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AnomalyKind {
+    /// Sustained utilization above a fixed threshold.
+    HighUtilization,
+    /// Statistical outlier relative to the series' own distribution.
+    Outlier,
+    /// Deviation from the EWMA-smoothed expectation.
+    Deviation,
+    /// The end-of-job spike signature (Fig 3(b)).
+    EndSpike,
+    /// The thrashing signature (Fig 3(c)).
+    Thrashing,
+}
+
+/// A detected anomalous interval in one series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnomalySpan {
+    /// Behaviour classification.
+    pub kind: AnomalyKind,
+    /// The flagged interval.
+    pub range: TimeRange,
+    /// The most extreme value inside the span.
+    pub peak: f64,
+    /// When the most extreme value occurred.
+    pub peak_time: Timestamp,
+    /// Detector-specific severity (threshold excess, z-score, …); larger is
+    /// more anomalous, values are comparable only within one detector.
+    pub severity: f64,
+}
+
+/// A detector that scans a single metric series.
+///
+/// Implementations are pure: the same series yields the same spans.
+pub trait Detector {
+    /// Short name for reports and benches (e.g. `"zscore"`).
+    fn name(&self) -> &'static str;
+
+    /// Scans `series` and returns anomalous spans in time order.
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan>;
+}
+
+/// Groups consecutive flagged sample indices into [`AnomalySpan`]s.
+///
+/// `flags[i]` marks sample `i` anomalous; runs shorter than `min_samples`
+/// are dropped. `severity_of(i)` scores one sample; a span's severity/peak
+/// come from its most severe sample. Span ends extend one sample period past
+/// the last flagged sample (half-open ranges).
+pub(crate) fn spans_from_flags(
+    series: &TimeSeries,
+    flags: &[bool],
+    min_samples: usize,
+    kind: AnomalyKind,
+    severity_of: impl Fn(usize) -> f64,
+) -> Vec<AnomalySpan> {
+    let times = series.times();
+    let values = series.values();
+    debug_assert_eq!(times.len(), flags.len());
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < flags.len() {
+        if !flags[i] {
+            i += 1;
+            continue;
+        }
+        let run_start = i;
+        while i < flags.len() && flags[i] {
+            i += 1;
+        }
+        let run_end = i; // exclusive
+        if run_end - run_start < min_samples.max(1) {
+            continue;
+        }
+        let mut best = run_start;
+        for j in run_start..run_end {
+            if severity_of(j) > severity_of(best) {
+                best = j;
+            }
+        }
+        // Half-open end: one nominal sample period past the last flagged point.
+        let period = if times.len() >= 2 {
+            (times[1] - times[0]).as_seconds().max(1)
+        } else {
+            1
+        };
+        let range = TimeRange::new(
+            times[run_start],
+            times[run_end - 1] + TimeDelta::seconds(period),
+        )
+        .expect("monotone sample times");
+        out.push(AnomalySpan {
+            kind,
+            range,
+            peak: values[best],
+            peak_time: times[best],
+            severity: severity_of(best),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    #[test]
+    fn spans_merge_consecutive_flags() {
+        let s = series(&[0.0, 1.0, 1.0, 0.0, 1.0]);
+        let flags = [false, true, true, false, true];
+        let spans =
+            spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].range.start(), Timestamp::new(60));
+        assert_eq!(spans[0].range.end(), Timestamp::new(180));
+        assert_eq!(spans[1].range.start(), Timestamp::new(240));
+    }
+
+    #[test]
+    fn short_runs_are_dropped() {
+        let s = series(&[0.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+        let flags = [false, true, false, true, true, true];
+        let spans =
+            spans_from_flags(&s, &flags, 3, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].range.start(), Timestamp::new(180));
+    }
+
+    #[test]
+    fn peak_is_most_severe_sample() {
+        let s = series(&[0.0, 0.5, 0.9, 0.7, 0.0]);
+        let flags = [false, true, true, true, false];
+        let spans =
+            spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        assert_eq!(spans[0].peak, 0.9);
+        assert_eq!(spans[0].peak_time, Timestamp::new(120));
+    }
+}

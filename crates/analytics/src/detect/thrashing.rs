@@ -1,0 +1,239 @@
+//! The Fig 3(c) signature: **thrashing**. Virtual memory is overused, so
+//! the machine pages instead of computing — memory utilization stays pinned
+//! while CPU utilization *decreases* and the system stops making progress.
+//! ("It is likely to speculate that the compute node is suffering thrashing
+//! while the virtual memory is overused … Eventually thrashing forces the
+//! CPU utilization to decrease and the whole system is not making any
+//! progresses.")
+
+use batchlens_trace::{TimeRange, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use super::{AnomalyKind, AnomalySpan};
+
+/// Detects the thrashing signature across a machine's CPU and memory series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrashingDetector {
+    /// Memory utilization considered "pinned".
+    pub mem_high: f64,
+    /// Minimum gap `mem - cpu` for a sample to look thrashing.
+    pub min_gap: f64,
+    /// Minimum consecutive samples for a span to be reported.
+    pub min_samples: usize,
+    /// The CPU must have *declined*: mean CPU inside the span must sit at
+    /// least this far below the mean CPU over an equal window before it.
+    pub min_cpu_decline: f64,
+}
+
+impl ThrashingDetector {
+    /// Detector with the case study's default thresholds.
+    pub fn new() -> Self {
+        ThrashingDetector { mem_high: 0.6, min_gap: 0.25, min_samples: 3, min_cpu_decline: 0.05 }
+    }
+
+    /// Scans paired CPU/memory series (same machine) for thrashing spans.
+    ///
+    /// The two series may have different grids; memory is looked up with
+    /// sample-and-hold at each CPU timestamp.
+    pub fn detect(&self, cpu: &TimeSeries, mem: &TimeSeries) -> Vec<AnomalySpan> {
+        if cpu.is_empty() || mem.is_empty() {
+            return Vec::new();
+        }
+        let times = cpu.times();
+        let cpu_vals = cpu.values();
+        // Candidate flags: memory pinned AND a wide mem-cpu gap.
+        let mut flags = vec![false; times.len()];
+        let mut gaps = vec![0.0f64; times.len()];
+        for (i, (&t, &c)) in times.iter().zip(cpu_vals).enumerate() {
+            if let Some(m) = mem.value_at_or_before(t) {
+                let gap = m - c;
+                gaps[i] = gap;
+                flags[i] = m > self.mem_high && gap > self.min_gap;
+            }
+        }
+        let raw = super::spans_from_flags(
+            cpu,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Thrashing,
+            |i| gaps[i],
+        );
+        // Confirm the CPU actually declined into each span.
+        raw.into_iter()
+            .filter(|span| self.cpu_declined(cpu, span.range))
+            .map(|mut span| {
+                // Report the *memory* peak as the span peak: that is the
+                // overuse driving the collapse.
+                if let Some(m) = mem.value_at_or_before(span.peak_time) {
+                    span.peak = m;
+                }
+                span
+            })
+            .collect()
+    }
+
+    /// True when CPU is *falling* through the span: the collapse signature.
+    ///
+    /// Thrashing often begins with a clamped burst (the job's initial CPU
+    /// demand), so comparing against pre-span history misclassifies; the
+    /// discriminating feature is the declining trend inside the span itself.
+    /// Short spans (< 4 samples) fall back to the history comparison.
+    fn cpu_declined(&self, cpu: &TimeSeries, span: TimeRange) -> bool {
+        let inside = cpu.slice(&span);
+        if inside.is_empty() {
+            return false;
+        }
+        // Gradual collapse: declining trend within the span (thrashing often
+        // begins with a clamped CPU burst, so history alone misclassifies).
+        if inside.len() >= 4 {
+            let vals = inside.values();
+            let mid = vals.len() / 2;
+            let first: f64 = vals[..mid].iter().sum::<f64>() / mid as f64;
+            let last: f64 = vals[mid..].iter().sum::<f64>() / (vals.len() - mid) as f64;
+            if first - last >= self.min_cpu_decline {
+                return true;
+            }
+        }
+        // Step collapse: CPU already fell before the flagged span opened.
+        let len = span.duration();
+        let Ok(before) = TimeRange::new(span.start() - len, span.start()) else {
+            return false;
+        };
+        match (cpu.stats_in(&before), inside.stats()) {
+            (Some(prior), Some(now)) => prior.mean - now.mean >= self.min_cpu_decline,
+            // No history and no trend: indistinguishable from an idle box
+            // with committed memory — stay conservative.
+            _ => false,
+        }
+    }
+}
+
+impl Default for ThrashingDetector {
+    fn default() -> Self {
+        ThrashingDetector::new()
+    }
+}
+
+/// Convenience: fraction of flagged machines among `pairs`, used by reports
+/// ("a tremendous amount of nodes are running at high memory but low CPU").
+pub fn thrashing_machine_fraction<'a, I>(detector: &ThrashingDetector, pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a TimeSeries, &'a TimeSeries)>,
+{
+    let mut total = 0usize;
+    let mut hit = 0usize;
+    for (cpu, mem) in pairs {
+        total += 1;
+        if !detector.detect(cpu, mem).is_empty() {
+            hit += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    /// CPU healthy then collapsing at `collapse_at`; memory pinned from
+    /// `collapse_at` on.
+    fn thrash_pair(collapse_at: i64) -> (TimeSeries, TimeSeries) {
+        let mut cpu = TimeSeries::new();
+        let mut mem = TimeSeries::new();
+        for i in 0..120 {
+            let t = i * 60;
+            let c = if t < collapse_at {
+                0.55
+            } else {
+                // Exponential collapse toward 0.08.
+                0.08 + (0.55 - 0.08) * (-((t - collapse_at) as f64) / 600.0).exp()
+            };
+            let m = if t < collapse_at { 0.45 } else { 0.92 };
+            cpu.push(Timestamp::new(t), c).unwrap();
+            mem.push(Timestamp::new(t), m).unwrap();
+        }
+        (cpu, mem)
+    }
+
+    #[test]
+    fn detects_collapse() {
+        let (cpu, mem) = thrash_pair(3600);
+        let spans = ThrashingDetector::new().detect(&cpu, &mem);
+        assert_eq!(spans.len(), 1, "spans: {spans:?}");
+        let s = spans[0];
+        assert_eq!(s.kind, AnomalyKind::Thrashing);
+        assert!(s.range.start().seconds() >= 3600);
+        assert!(s.peak > 0.9, "span peak should be the pinned memory, got {}", s.peak);
+        assert!(s.severity > 0.25);
+    }
+
+    #[test]
+    fn healthy_busy_machine_is_not_thrashing() {
+        // Both CPU and memory high: busy, not thrashing.
+        let cpu: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.85)).collect();
+        let mem: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.9)).collect();
+        assert!(ThrashingDetector::new().detect(&cpu, &mem).is_empty());
+    }
+
+    #[test]
+    fn idle_machine_with_cached_memory_is_not_thrashing() {
+        // Memory high but CPU flat-low the whole time: no decline, so not
+        // thrashing (just cached/committed memory on an idle box).
+        let cpu: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.1)).collect();
+        let mem: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.8)).collect();
+        assert!(ThrashingDetector::new().detect(&cpu, &mem).is_empty());
+    }
+
+    #[test]
+    fn gap_alone_without_pinned_memory_is_ignored() {
+        let cpu: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.05)).collect();
+        let mem: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.45)).collect();
+        assert!(ThrashingDetector::new().detect(&cpu, &mem).is_empty());
+    }
+
+    #[test]
+    fn fraction_counts_hits() {
+        let (c1, m1) = thrash_pair(3600);
+        let c2: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.5)).collect();
+        let m2: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.4)).collect();
+        let f = thrashing_machine_fraction(
+            &ThrashingDetector::new(),
+            vec![(&c1, &m1), (&c2, &m2)],
+        );
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(
+            thrashing_machine_fraction(&ThrashingDetector::new(), Vec::new()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_series_are_clean() {
+        let d = ThrashingDetector::new();
+        assert!(d.detect(&TimeSeries::new(), &TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn different_grids_are_aligned() {
+        // Memory sampled at 300 s, CPU at 60 s.
+        let mut cpu = TimeSeries::new();
+        let mut mem = TimeSeries::new();
+        for i in 0..120 {
+            let t = i * 60;
+            let c = if t < 3600 { 0.5 } else { 0.1 };
+            cpu.push(Timestamp::new(t), c).unwrap();
+        }
+        for i in 0..24 {
+            let t = i * 300;
+            let m = if t < 3600 { 0.4 } else { 0.9 };
+            mem.push(Timestamp::new(t), m).unwrap();
+        }
+        let spans = ThrashingDetector::new().detect(&cpu, &mem);
+        assert!(!spans.is_empty());
+    }
+}

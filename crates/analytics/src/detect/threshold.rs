@@ -1,0 +1,91 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Flags sustained runs above a fixed utilization threshold — the simplest
+/// "metric-based" monitor and the mental model behind the paper's color
+/// scale (nodes "reaching the respective capacity of node performance").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdDetector {
+    /// Values strictly above this are anomalous (fraction, e.g. `0.9`).
+    pub high: f64,
+    /// Minimum consecutive samples for a span to be reported.
+    pub min_samples: usize,
+}
+
+impl ThresholdDetector {
+    /// A 90 %-for-3-samples detector, the conventional pager rule.
+    pub fn new(high: f64) -> Self {
+        ThresholdDetector { high, min_samples: 3 }
+    }
+}
+
+impl Default for ThresholdDetector {
+    fn default() -> Self {
+        ThresholdDetector::new(0.9)
+    }
+}
+
+impl Detector for ThresholdDetector {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let flags: Vec<bool> = series.values().iter().map(|&v| v > self.high).collect();
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::HighUtilization, |i| {
+            series.values()[i] - self.high
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    #[test]
+    fn flags_sustained_high_runs() {
+        let mut vals = vec![0.3; 20];
+        for v in vals.iter_mut().skip(8).take(5) {
+            *v = 0.97;
+        }
+        let spans = ThresholdDetector::new(0.9).detect(&series(&vals));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, AnomalyKind::HighUtilization);
+        assert_eq!(spans[0].range.start(), Timestamp::new(8 * 60));
+        assert!((spans[0].peak - 0.97).abs() < 1e-12);
+        assert!(spans[0].severity > 0.0);
+    }
+
+    #[test]
+    fn ignores_short_blips() {
+        let mut vals = vec![0.3; 10];
+        vals[4] = 0.99; // single-sample blip
+        let spans = ThresholdDetector::new(0.9).detect(&series(&vals));
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn clean_series_is_clean() {
+        let spans = ThresholdDetector::default().detect(&series(&[0.2; 50]));
+        assert!(spans.is_empty());
+        assert!(ThresholdDetector::default().detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn boundary_value_is_not_flagged() {
+        // Strictly-above semantics.
+        let spans = ThresholdDetector::new(0.9).detect(&series(&[0.9; 10]));
+        assert!(spans.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+use batchlens_trace::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+
+/// Flags samples whose z-score against the whole series exceeds `z`.
+///
+/// Robust for stationary series; fooled by regime changes (which is exactly
+/// why the paper argues for visual inspection alongside statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZScoreDetector {
+    /// Z-score magnitude above which a sample is anomalous.
+    pub z: f64,
+    /// Minimum consecutive samples for a span to be reported.
+    pub min_samples: usize,
+    /// When true, only positive deviations (spikes) are flagged; negative
+    /// deviations (drops, e.g. the thrashing CPU collapse) otherwise count
+    /// too.
+    pub positive_only: bool,
+}
+
+impl ZScoreDetector {
+    /// A symmetric 3-sigma detector.
+    pub fn new(z: f64) -> Self {
+        ZScoreDetector { z, min_samples: 2, positive_only: false }
+    }
+
+    /// Spike-only variant.
+    #[must_use]
+    pub fn positive_only(mut self) -> Self {
+        self.positive_only = true;
+        self
+    }
+}
+
+impl Default for ZScoreDetector {
+    fn default() -> Self {
+        ZScoreDetector::new(3.0)
+    }
+}
+
+impl Detector for ZScoreDetector {
+    fn name(&self) -> &'static str {
+        "zscore"
+    }
+
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let Some(stats) = series.stats() else {
+            return Vec::new();
+        };
+        if stats.std_dev < 1e-12 {
+            return Vec::new();
+        }
+        let score = |v: f64| (v - stats.mean) / stats.std_dev;
+        let flags: Vec<bool> = series
+            .values()
+            .iter()
+            .map(|&v| {
+                let s = score(v);
+                if self.positive_only {
+                    s > self.z
+                } else {
+                    s.abs() > self.z
+                }
+            })
+            .collect();
+        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
+            score(series.values()[i]).abs()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::Timestamp;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    #[test]
+    fn finds_positive_burst() {
+        let mut vals = vec![0.3; 100];
+        for v in vals.iter_mut().skip(50).take(4) {
+            *v = 0.95;
+        }
+        let spans = ZScoreDetector::new(3.0).detect(&series(&vals));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, AnomalyKind::Outlier);
+        assert!(spans[0].severity > 3.0);
+    }
+
+    #[test]
+    fn symmetric_finds_drops_positive_only_does_not() {
+        let mut vals = vec![0.6; 100];
+        for v in vals.iter_mut().skip(40).take(4) {
+            *v = 0.05;
+        }
+        let sym = ZScoreDetector::new(3.0).detect(&series(&vals));
+        assert_eq!(sym.len(), 1);
+        let pos = ZScoreDetector::new(3.0).positive_only().detect(&series(&vals));
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn constant_series_has_no_outliers() {
+        let spans = ZScoreDetector::default().detect(&series(&[0.5; 50]));
+        assert!(spans.is_empty());
+        assert!(ZScoreDetector::default().detect(&TimeSeries::new()).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Temporal pattern analysis: correlation between series and detection of the
+//! qualitative patterns the paper calls out — "a spike or a valley in the
+//! context of other nodes' performance", and whether "all lines bundle into
+//! one cluster".
+
+use batchlens_trace::{TimeDelta, TimeSeries, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Pearson correlation between two series, resampled onto a common grid of
+/// `step` with sample-and-hold. Returns `None` when either series is empty
+/// or constant over the overlap.
+pub fn correlation(a: &TimeSeries, b: &TimeSeries, step: TimeDelta) -> Option<f64> {
+    let span_a = a.span()?;
+    let span_b = b.span()?;
+    let overlap = span_a.intersect(&span_b)?;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for t in overlap.steps(step) {
+        if let (Some(x), Some(y)) = (a.value_at_or_before(t), b.value_at_or_before(t)) {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 || n != ys.len() {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// A detected local feature in a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Feature {
+    /// Where it occurs.
+    pub at: Timestamp,
+    /// Its value.
+    pub value: f64,
+    /// Spike (local max) or valley (local min).
+    pub kind: FeatureKind,
+    /// Prominence: how far the feature stands out from its neighbourhood.
+    pub prominence: f64,
+}
+
+/// Whether a feature is a spike or a valley.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A local maximum standing above its surroundings.
+    Spike,
+    /// A local minimum standing below its surroundings.
+    Valley,
+}
+
+/// Finds spikes and valleys whose prominence (height above/below the mean of
+/// a `window`-sample neighbourhood) exceeds `min_prominence`.
+///
+/// This is the computable form of the paper's "a spike or a valley in the
+/// context of other nodes' performance".
+pub fn features(series: &TimeSeries, window: usize, min_prominence: f64) -> Vec<Feature> {
+    let values = series.values();
+    let times = series.times();
+    let n = values.len();
+    let w = window.max(1);
+    if n < 2 * w + 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in w..n - w {
+        let left = &values[i - w..i];
+        let right = &values[i + 1..=i + w];
+        let neighbourhood_mean =
+            (left.iter().chain(right).sum::<f64>()) / (left.len() + right.len()) as f64;
+        let v = values[i];
+        let is_peak = left.iter().all(|&x| v >= x) && right.iter().all(|&x| v >= x);
+        let is_valley = left.iter().all(|&x| v <= x) && right.iter().all(|&x| v <= x);
+        let prom = (v - neighbourhood_mean).abs();
+        if prom < min_prominence {
+            continue;
+        }
+        if is_peak && v > neighbourhood_mean {
+            out.push(Feature { at: times[i], value: v, kind: FeatureKind::Spike, prominence: prom });
+        } else if is_valley && v < neighbourhood_mean {
+            out.push(Feature {
+                at: times[i],
+                value: v,
+                kind: FeatureKind::Valley,
+                prominence: prom,
+            });
+        }
+    }
+    out
+}
+
+/// Cross-correlation lag (in grid steps) at which `b` best matches `a`,
+/// searching lags in `-max_lag..=max_lag`. Positive lag means `b` follows
+/// `a`. Returns `(lag_steps, correlation)` or `None` when undefined.
+pub fn best_lag(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    step: TimeDelta,
+    max_lag: i64,
+) -> Option<(i64, f64)> {
+    let span = a.span()?.intersect(&b.span()?)?;
+    let grid: Vec<Timestamp> = span.steps(step).collect();
+    if grid.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = grid.iter().filter_map(|&t| a.value_at_or_before(t)).collect();
+    if xs.len() != grid.len() {
+        return None;
+    }
+    let n = grid.len() as i64;
+    let mut best: Option<(i64, f64)> = None;
+    for lag in -max_lag..=max_lag {
+        // Correlate over the overlapping index range where both k and k+lag
+        // are in bounds; a boundary overrun trims the window, it does not
+        // reject the lag.
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for k in 0..n {
+            let j = k + lag;
+            if j < 0 || j >= n {
+                continue;
+            }
+            if let Some(v) = b.value_at_or_before(grid[j as usize]) {
+                left.push(xs[k as usize]);
+                right.push(v);
+            }
+        }
+        if left.len() < 2 {
+            continue;
+        }
+        if let Some(r) = pearson(&left, &right) {
+            if best.is_none_or(|(_, br)| r.abs() > br.abs()) {
+                best = Some((lag, r));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(i64) -> f64, n: i64, step: i64) -> TimeSeries {
+        (0..n).map(|i| (Timestamp::new(i * step), f(i))).collect()
+    }
+
+    #[test]
+    fn identical_series_correlate_perfectly() {
+        let s = series(|i| (i as f64 * 0.1).sin(), 200, 60);
+        let r = correlation(&s, &s, TimeDelta::seconds(60)).unwrap();
+        assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+    }
+
+    #[test]
+    fn anti_correlated_series() {
+        let a = series(|i| (i as f64 * 0.1).sin(), 200, 60);
+        let b = series(|i| -(i as f64 * 0.1).sin(), 200, 60);
+        let r = correlation(&a, &b, TimeDelta::seconds(60)).unwrap();
+        assert!((r + 1.0).abs() < 1e-6, "r = {r}");
+    }
+
+    #[test]
+    fn constant_series_has_no_correlation() {
+        let a = series(|_| 0.5, 50, 60);
+        let b = series(|i| i as f64, 50, 60);
+        assert!(correlation(&a, &b, TimeDelta::seconds(60)).is_none());
+    }
+
+    #[test]
+    fn finds_a_spike() {
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.001 * (i % 3) as f64).collect();
+        vals[50] = 0.95;
+        let s: TimeSeries =
+            vals.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect();
+        let feats = features(&s, 5, 0.2);
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].kind, FeatureKind::Spike);
+        assert_eq!(feats[0].at, Timestamp::new(50 * 60));
+        assert!(feats[0].prominence > 0.4);
+    }
+
+    #[test]
+    fn finds_a_valley() {
+        let mut vals: Vec<f64> = (0..100).map(|i| 0.6 + 0.001 * (i % 3) as f64).collect();
+        vals[40] = 0.05;
+        let s: TimeSeries =
+            vals.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect();
+        let feats = features(&s, 5, 0.2);
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].kind, FeatureKind::Valley);
+    }
+
+    #[test]
+    fn short_series_has_no_features() {
+        let s = series(|i| i as f64, 5, 60);
+        assert!(features(&s, 5, 0.1).is_empty());
+    }
+
+    #[test]
+    fn best_lag_finds_shift() {
+        // b is a 3-step-delayed copy of a.
+        let a = series(|i| (i as f64 * 0.2).sin(), 200, 60);
+        let b = series(|i| ((i - 3) as f64 * 0.2).sin(), 200, 60);
+        let (lag, r) = best_lag(&a, &b, TimeDelta::seconds(60), 10).unwrap();
+        assert_eq!(lag, 3, "expected lag 3, got {lag} (r={r})");
+        assert!(r > 0.99);
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation: machine behavioral clustering (feature extraction + k-means) as
+//! the cluster size and k grow.
+
+use batchlens_analytics::behavior::{behavior_vectors, cluster_behaviors};
+use batchlens_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("behavior_cluster");
+    group.sample_size(20);
+    for machines in [50u32, 200] {
+        let mut cfg = SimConfig::medium(7);
+        cfg.machines = machines;
+        let ds = Simulation::new(cfg).run().unwrap();
+        let window = ds.span().unwrap();
+        group.bench_with_input(BenchmarkId::new("vectors", machines), &ds, |b, ds| {
+            b.iter(|| black_box(behavior_vectors(ds, &window).len()))
+        });
+        let vecs = behavior_vectors(&ds, &window);
+        for k in [3usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("kmeans_k{k}"), machines),
+                &vecs,
+                |b, vecs| b.iter(|| black_box(cluster_behaviors(vecs, k, 50))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

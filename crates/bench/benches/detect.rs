@@ -1,0 +1,63 @@
+//! Ablation: anomaly-detector throughput — threshold vs z-score vs EWMA vs
+//! MAD on one series, plus the signature detectors.
+
+use batchlens_analytics::detect::{
+    CusumDetector, Detector, Ensemble, EwmaDetector, IqrDetector, MadDetector, SpikeDetector,
+    ThrashingDetector, ThresholdDetector, ZScoreDetector,
+};
+use batchlens_trace::{Metric, TimeRange, Timestamp, TraceDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn spike_job_series(ds: &TraceDataset) -> (batchlens_trace::TimeSeries, batchlens_trace::TimeSeries, TimeRange) {
+    let job = ds.job(batchlens_sim::scenario::JOB_7901).unwrap();
+    let m = job.machines()[0];
+    let mv = ds.machine(m).unwrap();
+    let cpu = mv.usage(Metric::Cpu).unwrap().clone();
+    let mem = mv.usage(Metric::Memory).unwrap().clone();
+    let window = job.lifetime().unwrap();
+    (cpu, mem, window)
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = batchlens_sim::scenario::fig3b(7).run().unwrap();
+    let (cpu, mem, window) = spike_job_series(&ds);
+
+    let mut group = c.benchmark_group("detect");
+    let threshold = ThresholdDetector::new(0.9);
+    let zscore = ZScoreDetector::new(3.0);
+    let ewma = EwmaDetector::default();
+    let mad = MadDetector::default();
+    let iqr = IqrDetector::default();
+    let cusum = CusumDetector::default();
+    group.bench_function("threshold", |b| b.iter(|| black_box(threshold.detect(&cpu))));
+    group.bench_function("zscore", |b| b.iter(|| black_box(zscore.detect(&cpu))));
+    group.bench_function("ewma", |b| b.iter(|| black_box(ewma.detect(&cpu))));
+    group.bench_function("mad", |b| b.iter(|| black_box(mad.detect(&cpu))));
+    group.bench_function("iqr", |b| b.iter(|| black_box(iqr.detect(&cpu))));
+    group.bench_function("cusum", |b| b.iter(|| black_box(cusum.detect(&cpu))));
+    group.bench_function("ensemble_3", |b| {
+        let e = Ensemble::new(
+            vec![
+                Box::new(ThresholdDetector::new(0.9)),
+                Box::new(ZScoreDetector::new(3.0)),
+                Box::new(MadDetector::new(3.5)),
+            ],
+            2,
+        );
+        b.iter(|| black_box(e.detect(&cpu)))
+    });
+    group.bench_function("spike_signature", |b| {
+        let d = SpikeDetector::new();
+        b.iter(|| black_box(d.match_spike(&cpu, &window)))
+    });
+    group.bench_function("thrashing_signature", |b| {
+        let d = ThrashingDetector::new();
+        b.iter(|| black_box(d.detect(&cpu, &mem)))
+    });
+    group.finish();
+    let _ = Timestamp::ZERO;
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

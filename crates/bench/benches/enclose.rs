@@ -1,0 +1,30 @@
+//! Ablation: the Welzl smallest-enclosing-circle cost (used by packing and
+//! by fitting bubbles into the viewport).
+
+use batchlens_layout::enclose::enclose;
+use batchlens_layout::Circle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclose");
+    for n in [8usize, 64, 512, 4096] {
+        // Spread circles over a plane so the basis churns.
+        let circles: Vec<Circle> = batchlens_bench::radii(n, 11)
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let a = i as f64 * 2.399_963; // golden-angle spiral
+                let rad = (i as f64).sqrt() * 5.0;
+                Circle::new(rad * a.cos(), rad * a.sin(), r)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circles, |b, circles| {
+            b.iter(|| black_box(enclose(circles)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for Fig 1 / Fig 3 bubble-chart regeneration: hierarchy snapshot +
+//! circle packing + SVG emission.
+
+use batchlens_analytics::hierarchy::HierarchySnapshot;
+use batchlens_render::bubble::BubbleChart;
+use batchlens_render::svg::to_svg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_bubble");
+    for (name, sim, at) in batchlens_bench::case_scenarios() {
+        let ds = sim.run().unwrap();
+        group.bench_function(format!("snapshot_{name}"), |b| {
+            b.iter(|| black_box(HierarchySnapshot::at(&ds, at)))
+        });
+        let snap = HierarchySnapshot::at(&ds, at);
+        group.bench_function(format!("render_{name}"), |b| {
+            b.iter(|| black_box(BubbleChart::new(900.0, 900.0).render(&snap)))
+        });
+        group.bench_function(format!("svg_{name}"), |b| {
+            let scene = BubbleChart::new(900.0, 900.0).render(&snap);
+            b.iter(|| black_box(to_svg(&scene).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for the full Fig 3 dashboard regeneration, one per regime.
+
+use batchlens_render::Dashboard;
+use batchlens_render::svg::to_svg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_dashboard");
+    group.sample_size(30);
+    for (name, sim, at) in batchlens_bench::case_scenarios() {
+        let ds = sim.run().unwrap();
+        group.bench_function(format!("dashboard_{name}"), |b| {
+            b.iter(|| {
+                let scene = Dashboard::new(1400.0, 880.0).render(&ds, at);
+                black_box(to_svg(&scene).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for Fig 2 line-chart regeneration: per-job line aggregation,
+//! simplification and SVG emission, overall vs brushed detail.
+
+use batchlens_analytics::aggregate::JobMetricLines;
+use batchlens_render::linechart::LineChart;
+use batchlens_render::svg::to_svg;
+use batchlens_sim::scenario;
+use batchlens_trace::{Metric, TimeRange, TimeDelta};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = scenario::fig2_sample(7).run().unwrap();
+    let full = ds.span().unwrap();
+    let detail = TimeRange::new(
+        full.start(),
+        full.start() + TimeDelta::seconds(full.duration().as_seconds() / 3),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("fig_linechart");
+    group.bench_function("aggregate_overall", |b| {
+        b.iter(|| {
+            black_box(JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap())
+        })
+    });
+    let overall = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
+    group.bench_function("render_overall", |b| {
+        b.iter(|| black_box(LineChart::new(820.0, 300.0).overview().render(&overall, &full)))
+    });
+    let dl = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &detail).unwrap();
+    group.bench_function("render_detail", |b| {
+        b.iter(|| black_box(LineChart::new(820.0, 300.0).detail().render(&dl, &detail)))
+    });
+    group.bench_function("svg_overall", |b| {
+        let scene = LineChart::new(820.0, 300.0).overview().render(&overall, &full);
+        b.iter(|| black_box(to_svg(&scene).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

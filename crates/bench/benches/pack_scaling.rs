@@ -1,0 +1,26 @@
+//! Ablation: circle-packing cost as the node count grows (the bubble chart's
+//! dominant layout cost). DESIGN.md calls out front-chain packing as a design
+//! choice; this measures how it scales.
+
+use batchlens_layout::pack::pack_siblings;
+use batchlens_layout::Circle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_scaling");
+    for n in [16usize, 64, 256, 1024] {
+        let radii = batchlens_bench::radii(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &radii, |b, radii| {
+            b.iter(|| {
+                let mut circles: Vec<Circle> =
+                    radii.iter().map(|&r| Circle::new(0.0, 0.0, r)).collect();
+                black_box(pack_siblings(&mut circles))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

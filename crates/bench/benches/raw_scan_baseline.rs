@@ -1,0 +1,53 @@
+//! Ablation: BatchLens's indexed queries vs the "no visualization
+//! structures" raw table scans the paper argues against. Same questions, two
+//! implementations; the speedup is the value of the indexed representation.
+
+use batchlens_analytics::baseline::{
+    busiest_job_raw, export_usage_records, jobs_running_at_raw, shared_machines_raw,
+};
+use batchlens_analytics::coalloc::CoallocationIndex;
+use batchlens_analytics::hierarchy::HierarchySnapshot;
+use batchlens_sim::scenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = scenario::fig3c(7).run().unwrap();
+    let at = scenario::T_FIG3C;
+    let instances = ds.instance_records().to_vec();
+    let usage = export_usage_records(&ds);
+
+    let mut group = c.benchmark_group("raw_scan_baseline");
+
+    // Question 1: which jobs run now?
+    group.bench_function("jobs_running/indexed", |b| {
+        b.iter(|| black_box(ds.jobs_running_at(at).len()))
+    });
+    group.bench_function("jobs_running/raw", |b| {
+        b.iter(|| black_box(jobs_running_at_raw(&instances, at).len()))
+    });
+
+    // Question 2: which machines are shared?
+    group.bench_function("shared_machines/indexed", |b| {
+        b.iter(|| black_box(CoallocationIndex::at(&ds, at).len()))
+    });
+    group.bench_function("shared_machines/raw", |b| {
+        b.iter(|| black_box(shared_machines_raw(&instances, at).len()))
+    });
+
+    // Question 3: which job is busiest?
+    group.bench_function("busiest_job/indexed", |b| {
+        b.iter(|| {
+            let snap = HierarchySnapshot::at(&ds, at);
+            black_box(snap.jobs_by_mean_util().last().map(|(j, _)| *j))
+        })
+    });
+    group.bench_function("busiest_job/raw", |b| {
+        b.iter(|| black_box(busiest_job_raw(&instances, &usage, at)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: time-series operations (resample, slice, aggregate) that back
+//! the line-chart and timeline views.
+
+use batchlens_trace::{Resample, TimeDelta, TimeRange, TimeSeries, Timestamp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn ramp(n: usize) -> TimeSeries {
+    (0..n as i64).map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin())).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series_ops");
+    for n in [1_000usize, 10_000, 86_400] {
+        let s = ramp(n);
+        group.bench_with_input(BenchmarkId::new("resample_mean", n), &s, |b, s| {
+            b.iter(|| black_box(s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("slice_half", n), &s, |b, s| {
+            let w = TimeRange::new(Timestamp::new(0), Timestamp::new(n as i64 / 2)).unwrap();
+            b.iter(|| black_box(s.slice(&w).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("stats", n), &s, |b, s| {
+            b.iter(|| black_box(s.stats()))
+        });
+    }
+
+    // Aggregate many machine series (the timeline's mean_of).
+    let many: Vec<TimeSeries> = (0..100).map(|_| ramp(1_440)).collect();
+    group.bench_function("mean_of_100x1440", |b| {
+        b.iter(|| black_box(TimeSeries::mean_of(many.iter()).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

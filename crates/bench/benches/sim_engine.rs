@@ -1,0 +1,31 @@
+//! Ablation: simulator throughput (events/sec) as the cluster scales — the
+//! cost of building the substrate the paper's real trace provided for free.
+
+use batchlens_sim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    for machines in [20u32, 100, 400] {
+        let mut cfg = SimConfig::paper_scale(7);
+        cfg.machines = machines;
+        cfg.window = batchlens_trace::TimeRange::new(
+            batchlens_trace::Timestamp::ZERO,
+            batchlens_trace::Timestamp::new(3 * 3600),
+        )
+        .unwrap();
+        // Throughput measured in usage samples produced.
+        let samples =
+            (machines as u64) * (cfg.window.duration().as_seconds() / cfg.usage_resolution.as_seconds()) as u64;
+        group.throughput(Throughput::Elements(samples));
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::new(cfg.clone()).run().unwrap().instance_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

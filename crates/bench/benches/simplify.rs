@@ -1,0 +1,37 @@
+//! Ablation: line simplification (LTTB vs Douglas-Peucker vs none) at an
+//! equal point budget — the design choice that keeps day-long lines drawable.
+
+use batchlens_layout::line::{douglas_peucker, lttb};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn day_series() -> Vec<(f64, f64)> {
+    // 1 Hz for 24 h = 86400 points with spikes.
+    (0..86_400)
+        .map(|i| {
+            let x = i as f64;
+            let base = (x * 0.0005).sin() * 0.3 + 0.4;
+            let spike = if i % 9000 == 0 { 0.5 } else { 0.0 };
+            (x, base + spike)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pts = day_series();
+    let mut group = c.benchmark_group("simplify");
+    group.bench_function("lttb_to_480", |b| b.iter(|| black_box(lttb(&pts, 480).len())));
+    group.bench_function("dp_eps_0_01", |b| {
+        b.iter(|| black_box(douglas_peucker(&pts, 0.01).len()))
+    });
+    group.bench_function("dp_eps_0_05", |b| {
+        b.iter(|| black_box(douglas_peucker(&pts, 0.05).len()))
+    });
+    // "none" baseline: copy the full vector (what rendering without
+    // simplification would hand the SVG layer).
+    group.bench_function("none_copy", |b| b.iter(|| black_box(pts.clone().len())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

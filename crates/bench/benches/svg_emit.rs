@@ -1,0 +1,25 @@
+//! Ablation: scene-graph → SVG serialization throughput.
+
+use batchlens_analytics::hierarchy::HierarchySnapshot;
+use batchlens_render::bubble::BubbleChart;
+use batchlens_render::svg::to_svg;
+use batchlens_sim::scenario;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = scenario::fig3c(7).run().unwrap();
+    let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3C);
+    let scene = BubbleChart::new(1200.0, 1200.0).render(&snap);
+    let counts = scene.counts();
+    let nodes = (counts.circles + counts.sectors + counts.polylines + counts.lines + counts.texts)
+        as u64;
+
+    let mut group = c.benchmark_group("svg_emit");
+    group.throughput(Throughput::Elements(nodes.max(1)));
+    group.bench_function("bubble_scene", |b| b.iter(|| black_box(to_svg(&scene).len())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

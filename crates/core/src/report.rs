@@ -1,0 +1,87 @@
+//! Textual case-study reports: the programmatic narrative that mirrors the
+//! paper's Section IV analysis of a snapshot.
+
+use batchlens_analytics::compare::RegimeSummary;
+use batchlens_analytics::hierarchy::HierarchySnapshot;
+use batchlens_analytics::rootcause::{render_report, RootCauseAnalyzer};
+use batchlens_trace::{Timestamp, TraceDataset};
+
+/// Builds a full case-study report for `ds` at `at`: the regime summary, the
+/// hierarchy overview and the root-cause diagnoses.
+pub fn case_study_report(ds: &TraceDataset, at: Timestamp) -> String {
+    let regime = RegimeSummary::at(ds, at);
+    let snapshot = HierarchySnapshot::at(ds, at);
+    let analyzer = RootCauseAnalyzer::new();
+    let diagnoses = analyzer.analyze(ds, at);
+
+    let mut out = String::new();
+    out.push_str(&format!("=== BatchLens case study @ {at} ===\n"));
+    out.push_str(&format!(
+        "regime: {:?} — mean utilization {:.1}% (cpu {:.1}%, mem {:.1}%, disk {:.1}%)\n",
+        regime.band(),
+        regime.mean * 100.0,
+        regime.mean_cpu * 100.0,
+        regime.mean_mem * 100.0,
+        regime.mean_disk * 100.0,
+    ));
+    out.push_str(&format!(
+        "{} job(s) running on {} machine(s); {:.0}% of machines saturated\n\n",
+        snapshot.jobs.len(),
+        regime.machines,
+        regime.saturated_fraction * 100.0,
+    ));
+
+    // Lowest-utilization job (the paper's "job_8124 has the lowest
+    // utilization" observation).
+    if let Some((job, Some(util))) = snapshot.jobs_by_mean_util().into_iter().next() {
+        out.push_str(&format!(
+            "lowest-utilization job: {job} (mean {:.1}%)\n\n",
+            util.mean().percent()
+        ));
+    }
+
+    out.push_str(&render_report(at, &diagnoses));
+    out
+}
+
+/// A compact one-line regime banner, for interactive status lines.
+pub fn regime_banner(ds: &TraceDataset, at: Timestamp) -> String {
+    let regime = RegimeSummary::at(ds, at);
+    format!(
+        "{at}: {:?} regime, mean {:.0}% util, {} jobs",
+        regime.band(),
+        regime.mean * 100.0,
+        HierarchySnapshot::at(ds, at).jobs.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let ds = scenario::fig3c(1).run().unwrap();
+        let report = case_study_report(&ds, scenario::T_FIG3C);
+        assert!(report.contains("case study @"));
+        assert!(report.contains("regime:"));
+        assert!(report.contains("root-cause report"));
+        assert!(report.contains("thrashing"));
+    }
+
+    #[test]
+    fn report_names_lowest_util_job_in_healthy_regime() {
+        let ds = scenario::fig3a(2).run().unwrap();
+        let report = case_study_report(&ds, scenario::T_FIG3A);
+        assert!(report.contains("lowest-utilization job: job_8124"));
+    }
+
+    #[test]
+    fn banner_is_one_line() {
+        let ds = scenario::fig3b(3).run().unwrap();
+        let banner = regime_banner(&ds, scenario::T_FIG3B);
+        assert_eq!(banner.lines().count(), 1);
+        assert!(banner.contains("regime"));
+    }
+}

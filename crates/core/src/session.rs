@@ -1,0 +1,145 @@
+//! Session persistence and interaction logging.
+//!
+//! A BatchLens session can be serialized to JSON and replayed: the recorded
+//! interaction log plus the view extent reconstruct the exact view state
+//! deterministically. This supports the paper's workflow of users attaching
+//! "more detailed information to system administrators when submitting
+//! tickets" — the session log *is* that information.
+
+use batchlens_trace::TimeRange;
+use serde::{Deserialize, Serialize};
+
+use crate::interaction::{reduce, Event, Interaction};
+use crate::view::ViewState;
+
+/// A serializable recording of an interactive session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionLog {
+    /// The brushable extent the session opened with.
+    pub extent: TimeRange,
+    /// The ordered interaction log.
+    pub interactions: Vec<Interaction>,
+}
+
+impl SessionLog {
+    /// Starts an empty log over `extent`.
+    pub fn new(extent: TimeRange) -> Self {
+        SessionLog { extent, interactions: Vec::new() }
+    }
+
+    /// Appends an event with the next sequence number.
+    pub fn record(&mut self, event: Event) -> &mut Self {
+        let seq = self.interactions.len() as u64;
+        self.interactions.push(Interaction { seq, event });
+        self
+    }
+
+    /// Number of recorded interactions.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Reconstructs the final view state by replaying the log.
+    pub fn replay(&self) -> ViewState {
+        let mut state = ViewState::new(self.extent);
+        for interaction in &self.interactions {
+            reduce(&mut state, interaction.event);
+        }
+        state
+    }
+
+    /// Replays the first `n` interactions (for scrubbing / debugging).
+    pub fn replay_prefix(&self, n: usize) -> ViewState {
+        let mut state = ViewState::new(self.extent);
+        for interaction in self.interactions.iter().take(n) {
+            reduce(&mut state, interaction.event);
+        }
+        state
+    }
+
+    /// Serializes the log to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails (it should not
+    /// for this plain-data type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a log from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<SessionLog, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::{JobId, Metric, Timestamp};
+
+    fn extent() -> TimeRange {
+        TimeRange::new(Timestamp::new(0), Timestamp::new(86400)).unwrap()
+    }
+
+    #[test]
+    fn record_assigns_sequence_numbers() {
+        let mut log = SessionLog::new(extent());
+        log.record(Event::SelectTimestamp(Timestamp::new(100)))
+            .record(Event::SelectJob(JobId::new(7)));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.interactions[0].seq, 0);
+        assert_eq!(log.interactions[1].seq, 1);
+    }
+
+    #[test]
+    fn replay_reconstructs_state() {
+        let mut log = SessionLog::new(extent());
+        log.record(Event::SelectTimestamp(Timestamp::new(46200)))
+            .record(Event::SelectJob(JobId::new(7901)))
+            .record(Event::SetDetailMetric(Metric::Memory));
+        let state = log.replay();
+        assert_eq!(state.selected_timestamp(), Timestamp::new(46200));
+        assert_eq!(state.selected_job(), Some(JobId::new(7901)));
+        assert_eq!(state.detail_metric(), Metric::Memory);
+    }
+
+    #[test]
+    fn prefix_replay_scrubs() {
+        let mut log = SessionLog::new(extent());
+        log.record(Event::SelectJob(JobId::new(1)))
+            .record(Event::SelectJob(JobId::new(2)));
+        assert_eq!(log.replay_prefix(1).selected_job(), Some(JobId::new(1)));
+        assert_eq!(log.replay_prefix(2).selected_job(), Some(JobId::new(2)));
+        assert_eq!(log.replay_prefix(0).selected_job(), None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut log = SessionLog::new(extent());
+        log.record(Event::SelectTimestamp(Timestamp::new(43800)))
+            .record(Event::BrushTime(
+                TimeRange::new(Timestamp::new(40000), Timestamp::new(45000)).unwrap(),
+            ));
+        let json = log.to_json().unwrap();
+        let back = SessionLog::from_json(&json).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(back.replay(), log.replay());
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = SessionLog::new(extent());
+        assert!(log.is_empty());
+        assert_eq!(log.replay(), ViewState::new(extent()));
+    }
+}

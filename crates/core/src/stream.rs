@@ -1,0 +1,268 @@
+//! The real-time online extension (the paper's future work §VI: "extend
+//! BatchLens into a real-time online system").
+//!
+//! [`StreamMonitor`] ingests `server_usage` records as they arrive, keeps a
+//! bounded rolling window per machine, and runs online detectors so
+//! anomalies surface without a full re-scan. It is thread-safe
+//! (`parking_lot` mutex over the rolling state) and pairs with a
+//! `crossbeam` channel for producer/consumer ingest.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use batchlens_trace::{MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries, Timestamp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A rolling per-machine window of recent utilization.
+#[derive(Debug, Clone, Default)]
+struct Window {
+    samples: VecDeque<(Timestamp, [f64; 3])>,
+}
+
+impl Window {
+    fn push(&mut self, t: Timestamp, util: [f64; 3], horizon: TimeDelta) {
+        self.samples.push_back((t, util));
+        let cutoff = t - horizon;
+        while let Some(&(ft, _)) = self.samples.front() {
+            if ft < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn series(&self, metric: Metric) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, util) in &self.samples {
+            // Samples arrive time-ordered; ignore any out-of-order straggler.
+            let _ = s.push(t, util[metric.index()]);
+        }
+        s
+    }
+
+    fn latest(&self) -> Option<(Timestamp, [f64; 3])> {
+        self.samples.back().copied()
+    }
+}
+
+/// An online alert emitted by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The machine the alert concerns.
+    pub machine: MachineId,
+    /// When it fired.
+    pub at: Timestamp,
+    /// The metric that tripped (for threshold/spike alerts).
+    pub metric: Metric,
+    /// The value that tripped the alert.
+    pub value: f64,
+    /// Whether this looks like thrashing (memory high, CPU falling).
+    pub thrashing: bool,
+}
+
+/// Configuration of the online monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// How long the rolling window retains samples.
+    pub horizon: TimeDelta,
+    /// Utilization above which a high-utilization alert fires.
+    pub high: f64,
+    /// Memory level considered pinned for thrashing.
+    pub mem_pinned: f64,
+    /// Minimum CPU decline across the window for thrashing.
+    pub cpu_decline: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            horizon: TimeDelta::minutes(30),
+            high: 0.9,
+            mem_pinned: 0.6,
+            cpu_decline: 0.1,
+        }
+    }
+}
+
+/// Thread-safe rolling-window monitor.
+#[derive(Debug)]
+pub struct StreamMonitor {
+    cfg: StreamConfig,
+    windows: Mutex<BTreeMap<MachineId, Window>>,
+    ingested: Mutex<u64>,
+}
+
+impl StreamMonitor {
+    /// Creates a monitor.
+    pub fn new(cfg: StreamConfig) -> Self {
+        StreamMonitor { cfg, windows: Mutex::new(BTreeMap::new()), ingested: Mutex::new(0) }
+    }
+
+    /// Ingests one usage record, returning any alert it triggers.
+    pub fn ingest(&self, rec: ServerUsageRecord) -> Option<Alert> {
+        let util = [rec.util.cpu.fraction(), rec.util.mem.fraction(), rec.util.disk.fraction()];
+        let (cpu_decline, mem_now, cpu_now) = {
+            let mut windows = self.windows.lock();
+            let w = windows.entry(rec.machine).or_default();
+            w.push(rec.time, util, self.cfg.horizon);
+            let cpu = w.series(Metric::Cpu);
+            let decline = cpu
+                .first()
+                .zip(cpu.last())
+                .map(|((_, first), (_, last))| first - last)
+                .unwrap_or(0.0);
+            (decline, util[1], util[0])
+        };
+        *self.ingested.lock() += 1;
+
+        let thrashing = mem_now > self.cfg.mem_pinned
+            && cpu_decline >= self.cfg.cpu_decline
+            && mem_now - cpu_now > 0.25;
+        if thrashing {
+            return Some(Alert {
+                machine: rec.machine,
+                at: rec.time,
+                metric: Metric::Memory,
+                value: mem_now,
+                thrashing: true,
+            });
+        }
+        for metric in Metric::ALL {
+            if util[metric.index()] > self.cfg.high {
+                return Some(Alert {
+                    machine: rec.machine,
+                    at: rec.time,
+                    metric,
+                    value: util[metric.index()],
+                    thrashing: false,
+                });
+            }
+        }
+        None
+    }
+
+    /// Ingests many records, collecting every alert.
+    pub fn ingest_all<I>(&self, records: I) -> Vec<Alert>
+    where
+        I: IntoIterator<Item = ServerUsageRecord>,
+    {
+        records.into_iter().filter_map(|r| self.ingest(r)).collect()
+    }
+
+    /// Number of records ingested so far.
+    pub fn ingested(&self) -> u64 {
+        *self.ingested.lock()
+    }
+
+    /// The latest utilization known for a machine, if any.
+    pub fn latest(&self, machine: MachineId) -> Option<[f64; 3]> {
+        self.windows.lock().get(&machine).and_then(|w| w.latest()).map(|(_, u)| u)
+    }
+
+    /// The current rolling series for a machine/metric (a snapshot copy).
+    pub fn series(&self, machine: MachineId, metric: Metric) -> Option<TimeSeries> {
+        self.windows.lock().get(&machine).map(|w| w.series(metric))
+    }
+
+    /// Number of machines currently tracked.
+    pub fn tracked_machines(&self) -> usize {
+        self.windows.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::UtilizationTriple;
+
+    fn rec(machine: u32, t: i64, cpu: f64, mem: f64, disk: f64) -> ServerUsageRecord {
+        ServerUsageRecord {
+            time: Timestamp::new(t),
+            machine: MachineId::new(machine),
+            util: UtilizationTriple::clamped(cpu, mem, disk),
+        }
+    }
+
+    #[test]
+    fn high_utilization_alerts() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        assert!(m.ingest(rec(1, 0, 0.3, 0.3, 0.3)).is_none());
+        let alert = m.ingest(rec(1, 60, 0.95, 0.3, 0.3)).unwrap();
+        assert_eq!(alert.metric, Metric::Cpu);
+        assert!(!alert.thrashing);
+        assert_eq!(m.ingested(), 2);
+    }
+
+    #[test]
+    fn rolling_window_evicts_old_samples() {
+        let cfg = StreamConfig { horizon: TimeDelta::seconds(120), ..Default::default() };
+        let m = StreamMonitor::new(cfg);
+        for i in 0..10 {
+            m.ingest(rec(1, i * 60, 0.3, 0.3, 0.3));
+        }
+        let s = m.series(MachineId::new(1), Metric::Cpu).unwrap();
+        // Horizon 120 s at 60 s spacing keeps ~3 samples.
+        assert!(s.len() <= 3, "window not evicting: {} samples", s.len());
+    }
+
+    #[test]
+    fn thrashing_is_detected_online() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        // CPU high then collapsing, memory pinned.
+        let mut last = None;
+        for i in 0..30 {
+            let t = i * 60;
+            let cpu = if t < 600 { 0.6 } else { 0.6 - (t - 600) as f64 / 2000.0 };
+            let r = rec(1, t, cpu.max(0.05), 0.9, 0.4);
+            last = m.ingest(r).or(last);
+        }
+        let alert = last.expect("thrashing should alert");
+        assert!(alert.thrashing);
+        assert_eq!(alert.metric, Metric::Memory);
+    }
+
+    #[test]
+    fn latest_and_tracking() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        m.ingest(rec(1, 0, 0.2, 0.3, 0.4));
+        m.ingest(rec(2, 0, 0.5, 0.6, 0.7));
+        assert_eq!(m.tracked_machines(), 2);
+        let l = m.latest(MachineId::new(2)).unwrap();
+        assert!((l[0] - 0.5).abs() < 1e-9);
+        assert!(m.latest(MachineId::new(99)).is_none());
+    }
+
+    #[test]
+    fn ingest_all_collects_alerts() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        let recs = vec![
+            rec(1, 0, 0.2, 0.2, 0.2),
+            rec(1, 60, 0.95, 0.2, 0.2),
+            rec(2, 0, 0.99, 0.2, 0.2),
+        ];
+        let alerts = m.ingest_all(recs);
+        assert_eq!(alerts.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_ingest_is_safe() {
+        use std::sync::Arc;
+        use std::thread;
+        let m = Arc::new(StreamMonitor::new(StreamConfig::default()));
+        let mut handles = Vec::new();
+        for machine in 0..4u32 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    m.ingest(rec(machine, i * 60, 0.3, 0.3, 0.3));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.ingested(), 400);
+        assert_eq!(m.tracked_machines(), 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! The view state: the mutable UI state a user builds up through
+//! interactions, kept separate from the immutable dataset.
+
+use batchlens_trace::{JobId, MachineId, Metric, TimeRange, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Which metric the detail line charts plot.
+pub type DetailMetric = Metric;
+
+/// The complete interactive state of a BatchLens session.
+///
+/// `ViewState` is plain serializable data; [`crate::interaction`] mutates it
+/// through a reducer, and [`crate::app::BatchLens`] renders from it. Nothing
+/// here borrows the dataset, so a view can be saved, diffed or replayed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewState {
+    /// The chosen snapshot timestamp (the bubble chart's "now").
+    selected_timestamp: Timestamp,
+    /// The full time extent available for brushing.
+    extent: TimeRange,
+    /// The active brush selection, if any.
+    brush: Option<TimeRange>,
+    /// The selected job (drives the detail line charts).
+    selected_job: Option<JobId>,
+    /// The hovered machine (drives co-allocation link highlighting).
+    hovered_machine: Option<MachineId>,
+    /// The detail-chart metric.
+    detail_metric: DetailMetric,
+    /// Jobs explicitly pinned into the detail sidebar.
+    pinned_jobs: Vec<JobId>,
+}
+
+impl ViewState {
+    /// A fresh view over `extent`, snapped to its start.
+    pub fn new(extent: TimeRange) -> Self {
+        ViewState {
+            selected_timestamp: extent.start(),
+            extent,
+            brush: None,
+            selected_job: None,
+            hovered_machine: None,
+            detail_metric: Metric::Cpu,
+            pinned_jobs: Vec::new(),
+        }
+    }
+
+    /// The snapshot timestamp.
+    pub fn selected_timestamp(&self) -> Timestamp {
+        self.selected_timestamp
+    }
+
+    /// The brushable extent.
+    pub fn extent(&self) -> TimeRange {
+        self.extent
+    }
+
+    /// The active brush selection, if any.
+    pub fn brush(&self) -> Option<TimeRange> {
+        self.brush
+    }
+
+    /// The window the detail view should display: the brush if active,
+    /// otherwise the full extent.
+    pub fn effective_window(&self) -> TimeRange {
+        self.brush.unwrap_or(self.extent)
+    }
+
+    /// The selected job.
+    pub fn selected_job(&self) -> Option<JobId> {
+        self.selected_job
+    }
+
+    /// The hovered machine.
+    pub fn hovered_machine(&self) -> Option<MachineId> {
+        self.hovered_machine
+    }
+
+    /// The detail-chart metric.
+    pub fn detail_metric(&self) -> DetailMetric {
+        self.detail_metric
+    }
+
+    /// Pinned jobs in pin order.
+    pub fn pinned_jobs(&self) -> &[JobId] {
+        &self.pinned_jobs
+    }
+
+    // --- mutators used by the reducer ---
+
+    pub(crate) fn set_timestamp(&mut self, t: Timestamp) {
+        self.selected_timestamp = self.extent.clamp(t);
+    }
+
+    pub(crate) fn set_brush(&mut self, window: Option<TimeRange>) {
+        self.brush = window.and_then(|w| w.intersect(&self.extent)).filter(|w| !w.is_empty());
+    }
+
+    pub(crate) fn set_job(&mut self, job: Option<JobId>) {
+        self.selected_job = job;
+    }
+
+    pub(crate) fn set_hover(&mut self, machine: Option<MachineId>) {
+        self.hovered_machine = machine;
+    }
+
+    pub(crate) fn set_metric(&mut self, metric: DetailMetric) {
+        self.detail_metric = metric;
+    }
+
+    pub(crate) fn toggle_pin(&mut self, job: JobId) {
+        if let Some(pos) = self.pinned_jobs.iter().position(|&j| j == job) {
+            self.pinned_jobs.remove(pos);
+        } else {
+            self.pinned_jobs.push(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> TimeRange {
+        TimeRange::new(Timestamp::new(0), Timestamp::new(86400)).unwrap()
+    }
+
+    #[test]
+    fn new_view_snaps_to_extent_start() {
+        let v = ViewState::new(extent());
+        assert_eq!(v.selected_timestamp(), Timestamp::new(0));
+        assert!(v.brush().is_none());
+        assert_eq!(v.effective_window(), extent());
+        assert_eq!(v.detail_metric(), Metric::Cpu);
+    }
+
+    #[test]
+    fn timestamp_is_clamped() {
+        let mut v = ViewState::new(extent());
+        v.set_timestamp(Timestamp::new(999_999));
+        assert_eq!(v.selected_timestamp(), Timestamp::new(86400));
+        v.set_timestamp(Timestamp::new(-50));
+        assert_eq!(v.selected_timestamp(), Timestamp::new(0));
+    }
+
+    #[test]
+    fn brush_is_intersected_with_extent() {
+        let mut v = ViewState::new(extent());
+        v.set_brush(Some(TimeRange::new(Timestamp::new(-100), Timestamp::new(200)).unwrap()));
+        assert_eq!(v.brush().unwrap().start(), Timestamp::new(0));
+        assert_eq!(v.effective_window().end(), Timestamp::new(200));
+        // A disjoint brush is ignored.
+        v.set_brush(Some(TimeRange::new(Timestamp::new(200_000), Timestamp::new(300_000)).unwrap()));
+        assert!(v.brush().is_none());
+        // Empty brush is ignored.
+        v.set_brush(Some(TimeRange::new(Timestamp::new(10), Timestamp::new(10)).unwrap()));
+        assert!(v.brush().is_none());
+    }
+
+    #[test]
+    fn pins_toggle() {
+        let mut v = ViewState::new(extent());
+        v.toggle_pin(JobId::new(1));
+        v.toggle_pin(JobId::new(2));
+        assert_eq!(v.pinned_jobs(), &[JobId::new(1), JobId::new(2)]);
+        v.toggle_pin(JobId::new(1));
+        assert_eq!(v.pinned_jobs(), &[JobId::new(2)]);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let mut v = ViewState::new(extent());
+        v.set_job(Some(JobId::new(7)));
+        v.set_metric(Metric::Memory);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: ViewState = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,134 @@
+//! 1-D clustering of annotation-line positions.
+//!
+//! The paper reads meaning out of how vertical annotation lines *bundle*:
+//! "All lines bundling into one cluster indicates that the job is scheduled
+//! for all nodes at the same time. Red lines … are bundled as two clusters,
+//! as job 7339 includes two tasks and each has a different end timestamp."
+//! This module makes bundling computable: positions within `gap` of their
+//! neighbour merge into one cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of nearby 1-D positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Mean position of the members.
+    pub center: f64,
+    /// Indices into the input slice, in ascending position order.
+    pub members: Vec<usize>,
+    /// Smallest member position.
+    pub min: f64,
+    /// Largest member position.
+    pub max: f64,
+}
+
+impl Cluster {
+    /// Number of bundled positions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the cluster has no members (never produced by
+    /// [`cluster_1d`], which only emits non-empty clusters).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when the cluster is a single line.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// Clusters `positions` by single-linkage with threshold `gap`: two
+/// positions belong to the same cluster when a chain of neighbours at
+/// distance ≤ `gap` connects them. Returns clusters ordered by center.
+///
+/// NaN positions are ignored.
+pub fn cluster_1d(positions: &[f64], gap: f64) -> Vec<Cluster> {
+    let mut order: Vec<usize> =
+        (0..positions.len()).filter(|&i| !positions[i].is_nan()).collect();
+    order.sort_by(|&a, &b| {
+        positions[a].partial_cmp(&positions[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out: Vec<Cluster> = Vec::new();
+    for idx in order {
+        let p = positions[idx];
+        match out.last_mut() {
+            Some(c) if p - c.max <= gap => {
+                c.members.push(idx);
+                c.max = p;
+                // Incremental mean.
+                c.center += (p - c.center) / c.members.len() as f64;
+            }
+            _ => out.push(Cluster { center: p, members: vec![idx], min: p, max: p }),
+        }
+    }
+    out
+}
+
+/// How many clusters `positions` form at threshold `gap` — the assertion
+/// the Fig 2 / Fig 3 tests make ("one start cluster, two end clusters").
+pub fn cluster_count(positions: &[f64], gap: f64) -> usize {
+    cluster_1d(positions, gap).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_starts_form_one_cluster() {
+        // 20 node start times within a few seconds of each other.
+        let starts: Vec<f64> = (0..20).map(|i| 1200.0 + (i % 7) as f64).collect();
+        let clusters = cluster_1d(&starts, 30.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 20);
+        assert!((clusters[0].center - 1203.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn two_task_ends_form_two_clusters() {
+        let mut ends: Vec<f64> = (0..10).map(|i| 3600.0 + i as f64 * 5.0).collect();
+        ends.extend((0..10).map(|i| 5100.0 + i as f64 * 5.0));
+        let clusters = cluster_1d(&ends, 120.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 10);
+        assert_eq!(clusters[1].len(), 10);
+        assert!(clusters[0].center < clusters[1].center);
+    }
+
+    #[test]
+    fn chain_linkage_merges_through_neighbours() {
+        // 0, 10, 20: pairwise gaps of 10 chain into one cluster at gap=10,
+        // though 0 and 20 are farther apart than the gap.
+        let clusters = cluster_1d(&[0.0, 10.0, 20.0], 10.0);
+        assert_eq!(clusters.len(), 1);
+        let clusters = cluster_1d(&[0.0, 10.0, 21.0], 10.0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let clusters = cluster_1d(&[50.0, 0.0, 52.0, 1.0], 5.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![1, 3]);
+        assert_eq!(clusters[1].members, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        assert!(cluster_1d(&[], 1.0).is_empty());
+        let clusters = cluster_1d(&[1.0, f64::NAN, 1.5], 1.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn singleton_flag() {
+        let clusters = cluster_1d(&[5.0, 100.0], 1.0);
+        assert!(clusters.iter().all(Cluster::is_singleton));
+        assert_eq!(cluster_count(&[5.0, 100.0], 1.0), 2);
+        assert_eq!(cluster_count(&[5.0, 100.0], 1000.0), 1);
+    }
+}

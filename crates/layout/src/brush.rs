@@ -1,0 +1,177 @@
+//! The 1-D brush model: "after selecting the time range via brushing, a
+//! detailed view of the selected part is generated".
+//!
+//! A [`Brush`] owns an extent (the full domain shown in the overview chart)
+//! and an optional selection inside it. All mutation goes through methods
+//! that clamp and normalize, so a selection is always a valid, in-extent,
+//! non-inverted interval — the invariant property tests in the workspace
+//! exercise.
+
+use serde::{Deserialize, Serialize};
+
+/// A brushable 1-D selection over `[extent.0, extent.1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Brush {
+    extent: (f64, f64),
+    selection: Option<(f64, f64)>,
+}
+
+impl Brush {
+    /// Creates a brush over the given extent (swapped if inverted), with no
+    /// selection.
+    pub fn new(extent: (f64, f64)) -> Brush {
+        let (a, b) = extent;
+        Brush { extent: if a <= b { (a, b) } else { (b, a) }, selection: None }
+    }
+
+    /// The full extent.
+    pub fn extent(&self) -> (f64, f64) {
+        self.extent
+    }
+
+    /// The current selection, if any.
+    pub fn selection(&self) -> Option<(f64, f64)> {
+        self.selection
+    }
+
+    /// True when a non-empty selection exists.
+    pub fn is_active(&self) -> bool {
+        self.selection.is_some()
+    }
+
+    /// Sets the selection; endpoints are swapped if inverted and clamped to
+    /// the extent. A zero-length result clears the selection instead.
+    pub fn select(&mut self, a: f64, b: f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let lo = lo.clamp(self.extent.0, self.extent.1);
+        let hi = hi.clamp(self.extent.0, self.extent.1);
+        self.selection = if hi - lo > 0.0 { Some((lo, hi)) } else { None };
+    }
+
+    /// Clears the selection (the "click outside the brush" gesture).
+    pub fn clear(&mut self) {
+        self.selection = None;
+    }
+
+    /// Translates the selection by `delta`, sliding against the extent
+    /// bounds without changing its width. No-op without a selection.
+    pub fn pan(&mut self, delta: f64) {
+        if let Some((lo, hi)) = self.selection {
+            let width = hi - lo;
+            // A selection can fill the whole extent; guard the clamp bounds
+            // against float rounding that would put max below min.
+            let max_lo = (self.extent.1 - width).max(self.extent.0);
+            let new_lo = (lo + delta).clamp(self.extent.0, max_lo);
+            self.selection = Some((new_lo, (new_lo + width).min(self.extent.1)));
+        }
+    }
+
+    /// Scales the selection about its center by `factor` (> 1 widens),
+    /// clamped to the extent. No-op without a selection.
+    pub fn zoom(&mut self, factor: f64) {
+        if factor <= 0.0 {
+            return;
+        }
+        if let Some((lo, hi)) = self.selection {
+            let mid = (lo + hi) / 2.0;
+            let half = (hi - lo) / 2.0 * factor;
+            self.select(mid - half, mid + half);
+        }
+    }
+
+    /// The selection if active, otherwise the full extent — what the detail
+    /// view should display.
+    pub fn effective(&self) -> (f64, f64) {
+        self.selection.unwrap_or(self.extent)
+    }
+
+    /// Fraction `[0, 1]` of the extent covered by the selection (0 when
+    /// inactive).
+    pub fn coverage(&self) -> f64 {
+        match self.selection {
+            Some((lo, hi)) => {
+                let span = self.extent.1 - self.extent.0;
+                if span <= 0.0 {
+                    0.0
+                } else {
+                    (hi - lo) / span
+                }
+            }
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_brush_is_inactive() {
+        let b = Brush::new((0.0, 100.0));
+        assert!(!b.is_active());
+        assert_eq!(b.effective(), (0.0, 100.0));
+        assert_eq!(b.coverage(), 0.0);
+    }
+
+    #[test]
+    fn inverted_extent_is_normalized() {
+        let b = Brush::new((100.0, 0.0));
+        assert_eq!(b.extent(), (0.0, 100.0));
+    }
+
+    #[test]
+    fn select_clamps_and_orders() {
+        let mut b = Brush::new((0.0, 100.0));
+        b.select(150.0, 30.0);
+        assert_eq!(b.selection(), Some((30.0, 100.0)));
+        b.select(-10.0, -5.0); // entirely outside → zero width → cleared
+        assert!(!b.is_active());
+    }
+
+    #[test]
+    fn zero_width_selection_clears() {
+        let mut b = Brush::new((0.0, 100.0));
+        b.select(40.0, 40.0);
+        assert!(!b.is_active());
+    }
+
+    #[test]
+    fn pan_slides_without_resizing() {
+        let mut b = Brush::new((0.0, 100.0));
+        b.select(10.0, 30.0);
+        b.pan(20.0);
+        assert_eq!(b.selection(), Some((30.0, 50.0)));
+        b.pan(1000.0); // hits the right wall
+        assert_eq!(b.selection(), Some((80.0, 100.0)));
+        b.pan(-1000.0);
+        assert_eq!(b.selection(), Some((0.0, 20.0)));
+    }
+
+    #[test]
+    fn zoom_scales_about_center() {
+        let mut b = Brush::new((0.0, 100.0));
+        b.select(40.0, 60.0);
+        b.zoom(2.0);
+        assert_eq!(b.selection(), Some((30.0, 70.0)));
+        b.zoom(0.5);
+        assert_eq!(b.selection(), Some((40.0, 60.0)));
+        b.zoom(-1.0); // ignored
+        assert_eq!(b.selection(), Some((40.0, 60.0)));
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut b = Brush::new((0.0, 200.0));
+        b.select(50.0, 100.0);
+        assert!((b.coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pan_without_selection_is_noop() {
+        let mut b = Brush::new((0.0, 10.0));
+        b.pan(5.0);
+        b.zoom(2.0);
+        assert!(!b.is_active());
+    }
+}

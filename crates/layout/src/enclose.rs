@@ -1,0 +1,251 @@
+//! Smallest enclosing circle of a set of circles — the `d3.packEnclose`
+//! algorithm (Welzl's move-to-front with a basis of at most three circles),
+//! made deterministic with a seeded LCG shuffle.
+
+use crate::geometry::Circle;
+
+/// Computes the smallest circle enclosing every input circle.
+///
+/// Returns `None` for empty input. The result is deterministic: the
+/// algorithm's internal shuffle uses a fixed-seed LCG.
+///
+/// # Example
+///
+/// ```
+/// use batchlens_layout::{enclose, Circle};
+///
+/// let e = enclose(&[Circle::new(0.0, 0.0, 1.0), Circle::new(4.0, 0.0, 1.0)]).unwrap();
+/// assert!((e.r - 3.0).abs() < 1e-9);
+/// assert!((e.x - 2.0).abs() < 1e-9);
+/// ```
+pub fn enclose(circles: &[Circle]) -> Option<Circle> {
+    if circles.is_empty() {
+        return None;
+    }
+    let mut shuffled = circles.to_vec();
+    lcg_shuffle(&mut shuffled);
+
+    let mut basis: Vec<Circle> = Vec::new();
+    let mut e: Option<Circle> = None;
+    let mut i = 0usize;
+    while i < shuffled.len() {
+        let p = shuffled[i];
+        match e {
+            Some(ref cur) if cur.contains_circle(&p) => i += 1,
+            _ => {
+                basis = extend_basis(&basis, p);
+                e = Some(enclose_basis(&basis));
+                i = 0;
+            }
+        }
+    }
+    e
+}
+
+/// Deterministic Fisher–Yates with d3's LCG (a=1664525, c=1013904223, m=2³²).
+fn lcg_shuffle(items: &mut [Circle]) {
+    let mut s: u64 = 1;
+    let mut next = || {
+        s = (1664525u64.wrapping_mul(s).wrapping_add(1013904223)) % 4294967296;
+        s as f64 / 4294967296.0
+    };
+    let mut m = items.len();
+    while m > 0 {
+        let i = (next() * m as f64) as usize;
+        m -= 1;
+        items.swap(m, i.min(m));
+    }
+}
+
+fn encloses_not(a: &Circle, b: &Circle) -> bool {
+    let dr = a.r - b.r;
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    dr < 0.0 || dr * dr < dx * dx + dy * dy
+}
+
+fn encloses_weak_all(a: &Circle, basis: &[Circle]) -> bool {
+    basis.iter().all(|b| a.contains_circle(b))
+}
+
+fn extend_basis(basis: &[Circle], p: Circle) -> Vec<Circle> {
+    if encloses_weak_all(&p, basis) {
+        return vec![p];
+    }
+    for b in basis {
+        if encloses_not(&p, b) && encloses_weak_all(&enclose_basis2(b, &p), basis) {
+            return vec![*b, p];
+        }
+    }
+    for i in 0..basis.len().saturating_sub(1) {
+        for j in i + 1..basis.len() {
+            let (bi, bj) = (&basis[i], &basis[j]);
+            if encloses_not(&enclose_basis2(bi, bj), &p)
+                && encloses_not(&enclose_basis2(bi, &p), bj)
+                && encloses_not(&enclose_basis2(bj, &p), bi)
+                && encloses_weak_all(&enclose_basis3(bi, bj, &p), basis)
+            {
+                return vec![*bi, *bj, p];
+            }
+        }
+    }
+    unreachable!("Welzl basis extension failed — numerically degenerate input");
+}
+
+fn enclose_basis(basis: &[Circle]) -> Circle {
+    match basis {
+        [a] => *a,
+        [a, b] => enclose_basis2(a, b),
+        [a, b, c] => enclose_basis3(a, b, c),
+        _ => unreachable!("basis holds at most three circles"),
+    }
+}
+
+fn enclose_basis2(a: &Circle, b: &Circle) -> Circle {
+    let (x1, y1, r1) = (a.x, a.y, a.r);
+    let (x2, y2, r2) = (b.x, b.y, b.r);
+    let x21 = x2 - x1;
+    let y21 = y2 - y1;
+    let r21 = r2 - r1;
+    let l = (x21 * x21 + y21 * y21).sqrt();
+    if l < 1e-12 {
+        // Concentric: the larger circle is the enclosure.
+        return if r1 >= r2 { *a } else { *b };
+    }
+    Circle::new(
+        (x1 + x2 + x21 / l * r21) / 2.0,
+        (y1 + y2 + y21 / l * r21) / 2.0,
+        (l + r1 + r2) / 2.0,
+    )
+}
+
+fn enclose_basis3(a: &Circle, b: &Circle, c: &Circle) -> Circle {
+    let (x1, y1, r1) = (a.x, a.y, a.r);
+    let (x2, y2, r2) = (b.x, b.y, b.r);
+    let (x3, y3, r3) = (c.x, c.y, c.r);
+    let a2 = x1 - x2;
+    let a3 = x1 - x3;
+    let b2 = y1 - y2;
+    let b3 = y1 - y3;
+    let c2 = r2 - r1;
+    let c3 = r3 - r1;
+    let d1 = x1 * x1 + y1 * y1 - r1 * r1;
+    let d2 = d1 - x2 * x2 - y2 * y2 + r2 * r2;
+    let d3 = d1 - x3 * x3 - y3 * y3 + r3 * r3;
+    let ab = a3 * b2 - a2 * b3;
+    let xa = (b2 * d3 - b3 * d2) / (ab * 2.0) - x1;
+    let xb = (b3 * c2 - b2 * c3) / ab;
+    let ya = (a3 * d2 - a2 * d3) / (ab * 2.0) - y1;
+    let yb = (a2 * c3 - a3 * c2) / ab;
+    let qa = xb * xb + yb * yb - 1.0;
+    let qb = 2.0 * (r1 + xa * xb + ya * yb);
+    let qc = xa * xa + ya * ya - r1 * r1;
+    let r = -(if qa.abs() > 1e-6 {
+        (qb + (qb * qb - 4.0 * qa * qc).max(0.0).sqrt()) / (2.0 * qa)
+    } else {
+        qc / qb
+    });
+    Circle::new(x1 + xa + xb * r, y1 + ya + yb * r, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_encloses(e: &Circle, circles: &[Circle]) {
+        for c in circles {
+            let d = ((c.x - e.x).powi(2) + (c.y - e.y).powi(2)).sqrt();
+            assert!(
+                d + c.r <= e.r + 1e-6,
+                "circle {c:?} sticks out of {e:?} by {}",
+                d + c.r - e.r
+            );
+        }
+    }
+
+    #[test]
+    fn single_circle_is_its_own_enclosure() {
+        let c = Circle::new(3.0, 4.0, 2.0);
+        let e = enclose(&[c]).unwrap();
+        assert_eq!(e, c);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(enclose(&[]).is_none());
+    }
+
+    #[test]
+    fn two_disjoint_circles() {
+        let a = Circle::new(0.0, 0.0, 1.0);
+        let b = Circle::new(10.0, 0.0, 2.0);
+        let e = enclose(&[a, b]).unwrap();
+        assert_encloses(&e, &[a, b]);
+        // Optimal: spans from -1 to 12 → r = 6.5 centered at 5.5.
+        assert!((e.r - 6.5).abs() < 1e-9);
+        assert!((e.x - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contained_circle_is_free() {
+        let big = Circle::new(0.0, 0.0, 10.0);
+        let small = Circle::new(1.0, 1.0, 1.0);
+        let e = enclose(&[big, small]).unwrap();
+        assert!((e.r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_triple() {
+        // Three unit circles at the vertices of an equilateral triangle.
+        let h = 3.0f64.sqrt();
+        let circles = [
+            Circle::new(0.0, 0.0, 1.0),
+            Circle::new(2.0, 0.0, 1.0),
+            Circle::new(1.0, h, 1.0),
+        ];
+        let e = enclose(&circles).unwrap();
+        assert_encloses(&e, &circles);
+        // Circumradius of the triangle is 2/√3; enclosure adds the unit radius.
+        let expected = 2.0 / h + 1.0;
+        assert!((e.r - expected).abs() < 1e-6, "r = {}, expected {expected}", e.r);
+    }
+
+    #[test]
+    fn enclosure_is_tight_for_many_random_circles() {
+        // Deterministic pseudo-random layout.
+        let mut s = 42u64;
+        let mut rnd = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        };
+        let circles: Vec<Circle> = (0..200)
+            .map(|_| Circle::new(rnd() * 100.0, rnd() * 100.0, rnd() * 5.0 + 0.1))
+            .collect();
+        let e = enclose(&circles).unwrap();
+        assert_encloses(&e, &circles);
+        // Tightness: at least one circle must touch the boundary.
+        let touches = circles.iter().any(|c| {
+            let d = ((c.x - e.x).powi(2) + (c.y - e.y).powi(2)).sqrt();
+            (d + c.r - e.r).abs() < 1e-6
+        });
+        assert!(touches, "enclosure is not tight");
+    }
+
+    #[test]
+    fn determinism() {
+        let circles = [
+            Circle::new(0.0, 0.0, 1.0),
+            Circle::new(5.0, 1.0, 2.0),
+            Circle::new(2.0, 7.0, 1.5),
+        ];
+        assert_eq!(enclose(&circles), enclose(&circles));
+    }
+
+    #[test]
+    fn concentric_circles() {
+        let a = Circle::new(1.0, 1.0, 3.0);
+        let b = Circle::new(1.0, 1.0, 1.0);
+        let e = enclose(&[a, b]).unwrap();
+        assert!((e.r - 3.0).abs() < 1e-9);
+    }
+}

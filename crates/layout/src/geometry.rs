@@ -1,0 +1,228 @@
+//! Minimal 2-D geometry used by the packing and rendering layers.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in view coordinates (x right, y down, as in SVG).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Vector length from the origin.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Linear interpolation toward `other` at `t`.
+    #[must_use]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Point {
+    type Output = Point;
+
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// A circle `(x, y, r)` — the unit of the packing algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center x.
+    pub x: f64,
+    /// Center y.
+    pub y: f64,
+    /// Radius (non-negative).
+    pub r: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    pub const fn new(x: f64, y: f64, r: f64) -> Self {
+        Circle { x, y, r }
+    }
+
+    /// The center point.
+    pub const fn center(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// True when `p` lies inside or on the circle.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        (p.x - self.x).hypot(p.y - self.y) <= self.r + 1e-9
+    }
+
+    /// True when `other` lies entirely inside (or on) this circle, with a
+    /// relative tolerance — the d3 `enclosesWeak` predicate.
+    pub fn contains_circle(&self, other: &Circle) -> bool {
+        let dr = self.r - other.r + self.r.max(other.r).max(1.0) * 1e-9;
+        if dr < 0.0 {
+            return false;
+        }
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        dr * dr > dx * dx + dy * dy || (dx == 0.0 && dy == 0.0 && dr >= 0.0)
+    }
+
+    /// True when the two circles' interiors overlap (tangency excluded, with
+    /// the d3 packing epsilon).
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let dr = self.r + other.r - 1e-6;
+        if dr <= 0.0 {
+            return false;
+        }
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        dr * dr > dx * dx + dy * dy
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Circle {
+        Circle::new(self.x + dx, self.y + dy, self.r)
+    }
+}
+
+/// An axis-aligned rectangle (origin at top-left, SVG convention).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width (non-negative).
+    pub width: f64,
+    /// Height (non-negative).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub const fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect { x, y, width, height }
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// True when `p` lies inside (closed).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.bottom()
+    }
+
+    /// Shrinks all four sides by `margin` (clamped at zero size).
+    #[must_use]
+    pub fn inset(&self, margin: f64) -> Rect {
+        let w = (self.width - 2.0 * margin).max(0.0);
+        let h = (self.height - 2.0 * margin).max(0.0);
+        Rect::new(self.x + margin, self.y + margin, w, h)
+    }
+
+    /// The largest circle fitting inside, centered.
+    pub fn inscribed_circle(&self) -> Circle {
+        let c = self.center();
+        Circle::new(c.x, c.y, self.width.min(self.height) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!((b - a).norm(), 5.0);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(2.5, 4.0));
+        assert_eq!(a + b, Point::new(5.0, 8.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn circle_containment() {
+        let big = Circle::new(0.0, 0.0, 10.0);
+        let small = Circle::new(3.0, 0.0, 2.0);
+        assert!(big.contains_circle(&small));
+        assert!(!small.contains_circle(&big));
+        // Internally tangent counts as contained (weak).
+        let tangent = Circle::new(8.0, 0.0, 2.0);
+        assert!(big.contains_circle(&tangent));
+        assert!(big.contains_point(&Point::new(0.0, 10.0)));
+        assert!(!big.contains_point(&Point::new(0.0, 10.1)));
+    }
+
+    #[test]
+    fn circle_intersection_excludes_tangency() {
+        let a = Circle::new(0.0, 0.0, 1.0);
+        let b = Circle::new(2.0, 0.0, 1.0); // externally tangent
+        assert!(!a.intersects(&b));
+        let c = Circle::new(1.5, 0.0, 1.0);
+        assert!(a.intersects(&c));
+        let far = Circle::new(5.0, 0.0, 1.0);
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn rect_operations() {
+        let r = Rect::new(10.0, 20.0, 100.0, 50.0);
+        assert_eq!(r.center(), Point::new(60.0, 45.0));
+        assert_eq!(r.right(), 110.0);
+        assert_eq!(r.bottom(), 70.0);
+        assert!(r.contains(&Point::new(10.0, 20.0)));
+        assert!(!r.contains(&Point::new(9.9, 20.0)));
+        let inner = r.inset(5.0);
+        assert_eq!(inner, Rect::new(15.0, 25.0, 90.0, 40.0));
+        // Over-inset clamps to zero.
+        assert_eq!(r.inset(100.0).width, 0.0);
+        let c = r.inscribed_circle();
+        assert_eq!(c.r, 25.0);
+        assert_eq!(c.center(), r.center());
+    }
+}

@@ -1,0 +1,206 @@
+//! Polyline simplification for drawing long series at screen resolution.
+//!
+//! A 24-hour trace at 60 s resolution is 1440 points per line and the Fig 3
+//! views draw dozens of lines; the paper's D3 frontend relies on the browser
+//! for this, we downsample explicitly. Two standard algorithms:
+//!
+//! * [`lttb`] — largest-triangle-three-buckets, the de-facto standard for
+//!   time-series *visual* downsampling (preserves spikes and valleys, which
+//!   is exactly what anomaly inspection needs);
+//! * [`douglas_peucker`] — tolerance-driven shape simplification, better
+//!   when an error bound matters more than a point budget.
+
+/// Downsamples `points` (x ascending) to at most `threshold` points using
+/// largest-triangle-three-buckets. The first and last points are always
+/// kept. A `threshold < 3` or an input already small enough is returned
+/// unchanged.
+pub fn lttb(points: &[(f64, f64)], threshold: usize) -> Vec<(f64, f64)> {
+    let n = points.len();
+    if threshold >= n || threshold < 3 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(threshold);
+    out.push(points[0]);
+
+    // Bucket size excluding the two endpoints.
+    let every = (n - 2) as f64 / (threshold - 2) as f64;
+    let mut a = 0usize; // index of the previously selected point
+
+    for i in 0..threshold - 2 {
+        // Average of the next bucket — the "third point" of the triangle.
+        let avg_start = ((i as f64 + 1.0) * every) as usize + 1;
+        let avg_end = (((i as f64 + 2.0) * every) as usize + 1).min(n);
+        let len = (avg_end - avg_start).max(1) as f64;
+        let (mut avg_x, mut avg_y) = (0.0, 0.0);
+        for p in &points[avg_start.min(n - 1)..avg_end] {
+            avg_x += p.0;
+            avg_y += p.1;
+        }
+        avg_x /= len;
+        avg_y /= len;
+
+        // Current bucket: pick the point forming the largest triangle with
+        // the previous selection and the next bucket's average.
+        let range_start = (i as f64 * every) as usize + 1;
+        let range_end = (((i as f64 + 1.0) * every) as usize + 1).min(n - 1);
+        let (ax, ay) = points[a];
+        let mut best = range_start;
+        let mut best_area = -1.0f64;
+        for (j, p) in points[range_start..range_end].iter().enumerate() {
+            let area = ((ax - avg_x) * (p.1 - ay) - (ax - p.0) * (avg_y - ay)).abs();
+            if area > best_area {
+                best_area = area;
+                best = range_start + j;
+            }
+        }
+        out.push(points[best]);
+        a = best;
+    }
+
+    out.push(points[n - 1]);
+    out
+}
+
+/// Simplifies a polyline with the Douglas–Peucker algorithm: removes points
+/// whose perpendicular distance to the local chord is below `epsilon`.
+/// Endpoints are always kept.
+pub fn douglas_peucker(points: &[(f64, f64)], epsilon: f64) -> Vec<(f64, f64)> {
+    if points.len() < 3 || epsilon <= 0.0 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    dp_recurse(points, 0, points.len() - 1, epsilon, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+#[allow(clippy::needless_range_loop)] // indexing two parallel arrays by i
+fn dp_recurse(points: &[(f64, f64)], lo: usize, hi: usize, epsilon: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (x0, y0) = points[lo];
+    let (x1, y1) = points[hi];
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let len = dx.hypot(dy).max(f64::EPSILON);
+    let mut worst = lo;
+    let mut worst_d = -1.0f64;
+    for i in lo + 1..hi {
+        let (px, py) = points[i];
+        let d = ((px - x0) * dy - (py - y0) * dx).abs() / len;
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > epsilon {
+        keep[worst] = true;
+        dp_recurse(points, lo, worst, epsilon, keep);
+        dp_recurse(points, worst, hi, epsilon, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spike_wave(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                // Flat with a single tall spike at 70 % through.
+                let y = if i == n * 7 / 10 { 10.0 } else { (x * 0.1).sin() * 0.5 };
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lttb_respects_budget_and_endpoints() {
+        let pts = spike_wave(1440);
+        let out = lttb(&pts, 100);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], pts[0]);
+        assert_eq!(*out.last().unwrap(), *pts.last().unwrap());
+        // x stays ascending.
+        for w in out.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn lttb_preserves_the_spike() {
+        let pts = spike_wave(1440);
+        let spike = pts[1440 * 7 / 10];
+        let out = lttb(&pts, 50);
+        assert!(
+            out.iter().any(|p| (p.1 - spike.1).abs() < 1e-9),
+            "spike lost in downsampling"
+        );
+    }
+
+    #[test]
+    fn lttb_small_inputs_pass_through() {
+        let pts = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert_eq!(lttb(&pts, 100), pts);
+        assert_eq!(lttb(&pts, 2), pts);
+        assert!(lttb(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn douglas_peucker_collapses_straight_lines() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let out = douglas_peucker(&pts, 0.01);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], pts[0]);
+        assert_eq!(out[1], *pts.last().unwrap());
+    }
+
+    #[test]
+    fn douglas_peucker_keeps_corners() {
+        let pts = vec![(0.0, 0.0), (5.0, 0.0), (5.0, 5.0), (10.0, 5.0)];
+        let out = douglas_peucker(&pts, 0.1);
+        assert_eq!(out.len(), 4, "corners must survive");
+    }
+
+    #[test]
+    fn douglas_peucker_epsilon_controls_detail() {
+        let pts: Vec<(f64, f64)> =
+            (0..500).map(|i| (i as f64, (i as f64 * 0.1).sin())).collect();
+        let fine = douglas_peucker(&pts, 0.01);
+        let coarse = douglas_peucker(&pts, 0.5);
+        assert!(fine.len() > coarse.len());
+        assert!(coarse.len() >= 2);
+    }
+
+    #[test]
+    fn douglas_peucker_error_bound_holds() {
+        let pts: Vec<(f64, f64)> =
+            (0..300).map(|i| (i as f64, (i as f64 * 0.05).sin() * 3.0)).collect();
+        let eps = 0.2;
+        let out = douglas_peucker(&pts, eps);
+        // Every original point is within eps (perpendicular distance to the
+        // line of its spanning segment) of the simplified polyline.
+        for &(px, py) in &pts {
+            let mut perp = f64::INFINITY;
+            for w in out.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                if px >= x0 - 1e-9 && px <= x1 + 1e-9 {
+                    let dx = x1 - x0;
+                    let dy = y1 - y0;
+                    let len = dx.hypot(dy).max(f64::EPSILON);
+                    perp = ((px - x0) * dy - (py - y0) * dx).abs() / len;
+                    break;
+                }
+            }
+            assert!(perp <= eps + 1e-9, "point ({px}, {py}) off by {perp}");
+        }
+    }
+}

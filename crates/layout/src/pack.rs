@@ -1,0 +1,424 @@
+//! Circle packing: the `d3.packSiblings` front-chain algorithm and the
+//! hierarchical pack layout that nests job → task → node bubbles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::enclose::enclose;
+use crate::geometry::Circle;
+
+/// Packs circles (radii given, positions ignored) tightly around the origin
+/// using the front-chain algorithm; returns the enclosing radius.
+///
+/// On return every circle has its `(x, y)` set; the layout is centered so
+/// the smallest enclosing circle sits at the origin.
+///
+/// # Example
+///
+/// ```
+/// use batchlens_layout::{pack_siblings, Circle};
+///
+/// let mut circles = vec![Circle::new(0.0, 0.0, 2.0); 5];
+/// let r = pack_siblings(&mut circles);
+/// assert!(r > 2.0);
+/// for (i, a) in circles.iter().enumerate() {
+///     for b in &circles[i + 1..] {
+///         assert!(!a.intersects(b));
+///     }
+/// }
+/// ```
+pub fn pack_siblings(circles: &mut [Circle]) -> f64 {
+    let n = circles.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // First circle at the origin.
+    circles[0].x = 0.0;
+    circles[0].y = 0.0;
+    if n == 1 {
+        return circles[0].r;
+    }
+    // Second circle to the right of the first.
+    let (r0, r1) = (circles[0].r, circles[1].r);
+    circles[0].x = -r1;
+    circles[1].x = r0;
+    circles[1].y = 0.0;
+    if n == 2 {
+        return r0 + r1;
+    }
+    // Third circle tangent to the first two.
+    let c2 = place(&circles[1], &circles[0], circles[2].r);
+    circles[2] = c2;
+
+    // Front chain as index-linked nodes over `circles`, replicating d3's
+    // initialization: a.next = c.previous = b; b.next = a.previous = c;
+    // c.next = b.previous = a (for a=0, b=1, c=2).
+    let mut next = vec![0usize; n];
+    let mut prev = vec![0usize; n];
+    next[0] = 1;
+    prev[2] = 1;
+    next[1] = 2;
+    prev[0] = 2;
+    next[2] = 0;
+    prev[1] = 0;
+    let (mut a, mut b) = (0usize, 1usize);
+
+    let mut i = 3usize;
+    'pack: while i < n {
+        let candidate = place(&circles[a], &circles[b], circles[i].r);
+        circles[i] = candidate;
+
+        // Walk the chain outward from (a, b) looking for an intersection.
+        let mut j = next[b];
+        let mut k = prev[a];
+        let mut sj = circles[b].r;
+        let mut sk = circles[a].r;
+        loop {
+            if sj <= sk {
+                if circles[j].intersects(&circles[i]) {
+                    b = j;
+                    next[a] = b;
+                    prev[b] = a;
+                    continue 'pack; // retry the same circle i
+                }
+                sj += circles[j].r;
+                j = next[j];
+            } else {
+                if circles[k].intersects(&circles[i]) {
+                    a = k;
+                    next[a] = b;
+                    prev[b] = a;
+                    continue 'pack;
+                }
+                sk += circles[k].r;
+                k = prev[k];
+            }
+            if j == next[k] {
+                break;
+            }
+        }
+
+        // Success: insert i between a and b.
+        prev[i] = a;
+        next[i] = b;
+        next[a] = i;
+        prev[b] = i;
+        b = i;
+
+        // Advance (a, b) to the pair closest to the origin.
+        let score = |idx: usize, next: &[usize]| -> f64 {
+            let ca = &circles[idx];
+            let cb = &circles[next[idx]];
+            let ab = ca.r + cb.r;
+            let dx = (ca.x * cb.r + cb.x * ca.r) / ab;
+            let dy = (ca.y * cb.r + cb.y * ca.r) / ab;
+            dx * dx + dy * dy
+        };
+        let mut aa = score(a, &next);
+        // b currently equals the inserted node; walk the ring once.
+        let stop = b;
+        let mut cur = next[stop];
+        while cur != stop {
+            let ca = score(cur, &next);
+            if ca < aa {
+                a = cur;
+                aa = ca;
+            }
+            cur = next[cur];
+        }
+        b = next[a];
+        i += 1;
+    }
+
+    // Enclose the front chain and recenter everything on the origin.
+    let mut chain = vec![circles[b]];
+    let mut cur = next[b];
+    while cur != b {
+        chain.push(circles[cur]);
+        cur = next[cur];
+    }
+    let e = enclose(&chain).expect("chain is non-empty");
+    for c in circles.iter_mut() {
+        c.x -= e.x;
+        c.y -= e.y;
+    }
+    e.r
+}
+
+/// Positions a circle of radius `r` tangent to `b` and `a` (d3's `place`).
+fn place(b: &Circle, a: &Circle, r: f64) -> Circle {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let d2 = dx * dx + dy * dy;
+    if d2 > 1e-12 {
+        let a2 = (a.r + r) * (a.r + r);
+        let b2 = (b.r + r) * (b.r + r);
+        if a2 > b2 {
+            let x = (d2 + b2 - a2) / (2.0 * d2);
+            let y = (b2 / d2 - x * x).max(0.0).sqrt();
+            Circle::new(b.x - x * dx - y * dy, b.y - x * dy + y * dx, r)
+        } else {
+            let x = (d2 + a2 - b2) / (2.0 * d2);
+            let y = (a2 / d2 - x * x).max(0.0).sqrt();
+            Circle::new(a.x + x * dx - y * dy, a.y + x * dy + y * dx, r)
+        }
+    } else {
+        Circle::new(a.x + a.r + r, a.y, r)
+    }
+}
+
+/// A node of the hierarchical pack layout.
+///
+/// Build the tree with [`PackNode::leaf`] / [`PackNode::parent`], lay it out
+/// with [`PackNode::pack`], then read absolute circles via
+/// [`PackNode::visit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackNode<T> {
+    /// User payload (job id, task id, machine id, …).
+    pub data: T,
+    /// Layout circle (absolute coordinates after [`PackNode::pack`]).
+    pub circle: Circle,
+    /// Children (empty for leaves).
+    pub children: Vec<PackNode<T>>,
+}
+
+impl<T> PackNode<T> {
+    /// A leaf with a fixed radius.
+    pub fn leaf(data: T, radius: f64) -> Self {
+        PackNode { data, circle: Circle::new(0.0, 0.0, radius.max(0.0)), children: Vec::new() }
+    }
+
+    /// An internal node; its radius is computed from its children.
+    pub fn parent(data: T, children: Vec<PackNode<T>>) -> Self {
+        PackNode { data, circle: Circle::default(), children }
+    }
+
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Lays out the subtree: packs children recursively (each child inflated
+    /// by `padding` during packing), computes this node's radius, then
+    /// positions everything in absolute coordinates centered at `(cx, cy)`.
+    ///
+    /// Returns this node's final radius.
+    pub fn pack(&mut self, cx: f64, cy: f64, padding: f64) -> f64 {
+        self.pack_relative(padding);
+        self.absolutize(cx, cy);
+        self.circle.r
+    }
+
+    /// Bottom-up pass: children positioned relative to this node's center.
+    fn pack_relative(&mut self, padding: f64) -> f64 {
+        if self.is_leaf() {
+            return self.circle.r;
+        }
+        for child in &mut self.children {
+            child.pack_relative(padding);
+        }
+        let mut circles: Vec<Circle> = self
+            .children
+            .iter()
+            .map(|c| Circle::new(0.0, 0.0, c.circle.r + padding))
+            .collect();
+        let r = pack_siblings(&mut circles);
+        for (child, packed) in self.children.iter_mut().zip(&circles) {
+            child.circle.x = packed.x;
+            child.circle.y = packed.y;
+        }
+        self.circle = Circle::new(0.0, 0.0, r + padding);
+        self.circle.r
+    }
+
+    /// Top-down pass: convert relative child offsets into absolute centers.
+    fn absolutize(&mut self, cx: f64, cy: f64) {
+        self.circle.x = cx;
+        self.circle.y = cy;
+        let (px, py) = (cx, cy);
+        for child in &mut self.children {
+            let (ox, oy) = (child.circle.x, child.circle.y);
+            child.absolutize(px + ox, py + oy);
+        }
+    }
+
+    /// Depth-first visit: `f(depth, node)`.
+    pub fn visit<F: FnMut(usize, &PackNode<T>)>(&self, f: &mut F) {
+        self.visit_inner(0, f);
+    }
+
+    fn visit_inner<F: FnMut(usize, &PackNode<T>)>(&self, depth: usize, f: &mut F) {
+        f(depth, self);
+        for child in &self.children {
+            child.visit_inner(depth + 1, f);
+        }
+    }
+
+    /// Scales the whole layout about `(cx, cy)` so this node's radius
+    /// becomes `target_r`. Call after [`PackNode::pack`] to fit a viewport.
+    pub fn scale_to(&mut self, cx: f64, cy: f64, target_r: f64) {
+        if self.circle.r <= 0.0 {
+            return;
+        }
+        let k = target_r / self.circle.r;
+        self.rescale(cx, cy, k);
+    }
+
+    fn rescale(&mut self, cx: f64, cy: f64, k: f64) {
+        self.circle.x = cx + (self.circle.x - cx) * k;
+        self.circle.y = cy + (self.circle.y - cy) * k;
+        self.circle.r *= k;
+        for child in &mut self.children {
+            child.rescale(cx, cy, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_disjoint(circles: &[Circle]) {
+        for (i, a) in circles.iter().enumerate() {
+            for b in &circles[i + 1..] {
+                let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+                assert!(
+                    d + 1e-6 >= a.r + b.r,
+                    "overlap: {a:?} vs {b:?} (gap {})",
+                    d - a.r - b.r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut none: Vec<Circle> = vec![];
+        assert_eq!(pack_siblings(&mut none), 0.0);
+        let mut one = vec![Circle::new(9.0, 9.0, 3.0)];
+        assert_eq!(pack_siblings(&mut one), 3.0);
+        assert_eq!((one[0].x, one[0].y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn two_circles_touch() {
+        let mut cs = vec![Circle::new(0.0, 0.0, 1.0), Circle::new(0.0, 0.0, 2.0)];
+        let r = pack_siblings(&mut cs);
+        assert!((r - 3.0).abs() < 1e-9);
+        let d = ((cs[0].x - cs[1].x).powi(2) + (cs[0].y - cs[1].y).powi(2)).sqrt();
+        assert!((d - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_circles_pack_without_overlap() {
+        for n in [3usize, 5, 10, 30, 100] {
+            let mut cs = vec![Circle::new(0.0, 0.0, 1.0); n];
+            let r = pack_siblings(&mut cs);
+            assert_disjoint(&cs);
+            // Everything inside the reported enclosure.
+            for c in &cs {
+                let d = (c.x * c.x + c.y * c.y).sqrt();
+                assert!(d + c.r <= r + 1e-6, "n={n}: circle escapes enclosure");
+            }
+            // Density sanity: the packing should not be catastrophically loose.
+            let used = n as f64; // Σ r² of unit circles
+            let density = used / (r * r);
+            assert!(density > 0.5, "n={n}: density {density} too low (r={r})");
+        }
+    }
+
+    #[test]
+    fn mixed_radii_pack() {
+        let radii = [5.0, 1.0, 3.0, 2.0, 8.0, 1.5, 0.5, 4.0, 2.5, 1.0];
+        let mut cs: Vec<Circle> = radii.iter().map(|&r| Circle::new(0.0, 0.0, r)).collect();
+        let enclosure = pack_siblings(&mut cs);
+        assert_disjoint(&cs);
+        assert!(enclosure >= 8.0);
+        for (c, &r) in cs.iter().zip(&radii) {
+            assert_eq!(c.r, r, "radius must be preserved");
+        }
+    }
+
+    #[test]
+    fn pack_is_deterministic() {
+        let mk = || {
+            let mut cs: Vec<Circle> =
+                (1..=20).map(|i| Circle::new(0.0, 0.0, i as f64 / 3.0)).collect();
+            pack_siblings(&mut cs);
+            cs
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn hierarchy_nests_children_inside_parents() {
+        // job with two tasks: 3 and 4 nodes.
+        let t1 = PackNode::parent(
+            "task1",
+            (0..3).map(|i| PackNode::leaf("n", 4.0 + i as f64)).collect(),
+        );
+        let t2 = PackNode::parent(
+            "task2",
+            (0..4).map(|_| PackNode::leaf("n", 5.0)).collect(),
+        );
+        let mut job = PackNode::parent("job", vec![t1, t2]);
+        let r = job.pack(100.0, 100.0, 2.0);
+        assert!(r > 0.0);
+        assert_eq!(job.circle.center().x, 100.0);
+
+        // Every child strictly inside its parent.
+        fn check<T>(node: &PackNode<T>) {
+            for child in &node.children {
+                let d = node.circle.center().distance(&child.circle.center());
+                assert!(
+                    d + child.circle.r <= node.circle.r + 1e-6,
+                    "child escapes parent by {}",
+                    d + child.circle.r - node.circle.r
+                );
+                check(child);
+            }
+        }
+        check(&job);
+
+        // Siblings disjoint at every level.
+        let tasks: Vec<Circle> = job.children.iter().map(|c| c.circle).collect();
+        assert_disjoint(&tasks);
+        for t in &job.children {
+            let leaves: Vec<Circle> = t.children.iter().map(|c| c.circle).collect();
+            assert_disjoint(&leaves);
+        }
+    }
+
+    #[test]
+    fn visit_reports_depths() {
+        let mut job = PackNode::parent(
+            0usize,
+            vec![PackNode::parent(1, vec![PackNode::leaf(2, 1.0)])],
+        );
+        job.pack(0.0, 0.0, 1.0);
+        let mut depths = Vec::new();
+        job.visit(&mut |d, n| depths.push((d, n.data)));
+        assert_eq!(depths, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn scale_to_fits_viewport() {
+        let mut job = PackNode::parent(
+            (),
+            (0..6).map(|_| PackNode::leaf((), 3.0)).collect(),
+        );
+        job.pack(50.0, 50.0, 1.0);
+        job.scale_to(50.0, 50.0, 40.0);
+        assert!((job.circle.r - 40.0).abs() < 1e-9);
+        for child in &job.children {
+            let d = job.circle.center().distance(&child.circle.center());
+            assert!(d + child.circle.r <= 40.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_radius_leaves_are_tolerated() {
+        let mut cs = vec![Circle::new(0.0, 0.0, 0.0), Circle::new(0.0, 0.0, 1.0)];
+        let r = pack_siblings(&mut cs);
+        assert!(r >= 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Linear scales with d3-style "nice" tick generation — the mapping layer
+//! between data coordinates (seconds, utilization fractions) and view
+//! coordinates (pixels).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear mapping `domain → range` with tick generation and inversion.
+///
+/// # Example
+///
+/// ```
+/// use batchlens_layout::LinearScale;
+///
+/// let x = LinearScale::new((0.0, 86400.0), (0.0, 960.0));
+/// assert_eq!(x.scale(43200.0), 480.0);
+/// assert_eq!(x.invert(480.0), 43200.0);
+/// let ticks = x.ticks(5);
+/// assert!(ticks.len() >= 4 && ticks.len() <= 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearScale {
+    domain: (f64, f64),
+    range: (f64, f64),
+    clamped: bool,
+}
+
+impl LinearScale {
+    /// Creates a scale. A degenerate domain (`d0 == d1`) maps everything to
+    /// the middle of the range.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        LinearScale { domain, range, clamped: false }
+    }
+
+    /// Enables clamping: outputs are confined to the range.
+    #[must_use]
+    pub fn clamped(mut self) -> Self {
+        self.clamped = true;
+        self
+    }
+
+    /// The domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// The range.
+    pub fn range(&self) -> (f64, f64) {
+        self.range
+    }
+
+    /// Maps a domain value to the range.
+    pub fn scale(&self, v: f64) -> f64 {
+        let (d0, d1) = self.domain;
+        let (r0, r1) = self.range;
+        if (d1 - d0).abs() < f64::EPSILON {
+            return (r0 + r1) / 2.0;
+        }
+        let t = (v - d0) / (d1 - d0);
+        let out = r0 + t * (r1 - r0);
+        if self.clamped {
+            let (lo, hi) = if r0 <= r1 { (r0, r1) } else { (r1, r0) };
+            out.clamp(lo, hi)
+        } else {
+            out
+        }
+    }
+
+    /// Maps a range value back to the domain (ignores clamping).
+    pub fn invert(&self, v: f64) -> f64 {
+        let (d0, d1) = self.domain;
+        let (r0, r1) = self.range;
+        if (r1 - r0).abs() < f64::EPSILON {
+            return (d0 + d1) / 2.0;
+        }
+        let t = (v - r0) / (r1 - r0);
+        d0 + t * (d1 - d0)
+    }
+
+    /// Expands the domain to nice round bounds (d3's `nice`).
+    #[must_use]
+    pub fn nice(mut self, count: usize) -> Self {
+        let (mut d0, mut d1) = self.domain;
+        let reversed = d1 < d0;
+        if reversed {
+            std::mem::swap(&mut d0, &mut d1);
+        }
+        let step = tick_increment(d0, d1, count.max(1));
+        if step > 0.0 {
+            d0 = (d0 / step).floor() * step;
+            d1 = (d1 / step).ceil() * step;
+        }
+        self.domain = if reversed { (d1, d0) } else { (d0, d1) };
+        self
+    }
+
+    /// Roughly `count` nice tick values inside the domain (d3's `ticks`).
+    pub fn ticks(&self, count: usize) -> Vec<f64> {
+        let (mut d0, mut d1) = self.domain;
+        let reversed = d1 < d0;
+        if reversed {
+            std::mem::swap(&mut d0, &mut d1);
+        }
+        if (d1 - d0).abs() < f64::EPSILON {
+            return vec![d0];
+        }
+        let step = tick_increment(d0, d1, count.max(1));
+        if step <= 0.0 || !step.is_finite() {
+            return vec![d0, d1];
+        }
+        let start = (d0 / step).ceil();
+        let stop = (d1 / step).floor();
+        let n = (stop - start + 1.0).max(0.0) as usize;
+        let mut out: Vec<f64> = (0..n).map(|i| (start + i as f64) * step).collect();
+        if reversed {
+            out.reverse();
+        }
+        out
+    }
+}
+
+/// The d3 tick-increment rule: a power of ten times 1, 2 or 5.
+fn tick_increment(start: f64, stop: f64, count: usize) -> f64 {
+    let step = (stop - start) / count.max(1) as f64;
+    if step <= 0.0 || !step.is_finite() {
+        return 0.0;
+    }
+    let power = step.log10().floor();
+    let error = step / 10f64.powf(power);
+    let factor = if error >= 50f64.sqrt() {
+        10.0
+    } else if error >= 10f64.sqrt() {
+        5.0
+    } else if error >= 2f64.sqrt() {
+        2.0
+    } else {
+        1.0
+    };
+    factor * 10f64.powf(power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_invert_round_trip() {
+        let s = LinearScale::new((10.0, 20.0), (100.0, 300.0));
+        assert_eq!(s.scale(15.0), 200.0);
+        assert_eq!(s.invert(200.0), 15.0);
+        for v in [10.0, 12.5, 19.0] {
+            assert!((s.invert(s.scale(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reversed_range_works() {
+        // SVG y axes run downward: utilization 0 at the bottom.
+        let y = LinearScale::new((0.0, 1.0), (200.0, 0.0));
+        assert_eq!(y.scale(0.0), 200.0);
+        assert_eq!(y.scale(1.0), 0.0);
+        assert_eq!(y.scale(0.25), 150.0);
+        assert_eq!(y.invert(150.0), 0.25);
+    }
+
+    #[test]
+    fn clamping() {
+        let s = LinearScale::new((0.0, 1.0), (0.0, 100.0)).clamped();
+        assert_eq!(s.scale(2.0), 100.0);
+        assert_eq!(s.scale(-1.0), 0.0);
+        let rev = LinearScale::new((0.0, 1.0), (100.0, 0.0)).clamped();
+        assert_eq!(rev.scale(2.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_domain_maps_to_mid_range() {
+        let s = LinearScale::new((5.0, 5.0), (0.0, 10.0));
+        assert_eq!(s.scale(5.0), 5.0);
+        assert_eq!(s.ticks(5), vec![5.0]);
+    }
+
+    #[test]
+    fn ticks_are_nice_and_inside_domain() {
+        let s = LinearScale::new((0.0, 1.0), (0.0, 100.0));
+        let ticks = s.ticks(5);
+        assert_eq!(ticks, vec![0.0, 0.2, 0.4, 0.6000000000000001, 0.8, 1.0]);
+        let s = LinearScale::new((0.0, 86400.0), (0.0, 960.0));
+        for t in s.ticks(6) {
+            assert!((0.0..=86400.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn ticks_handle_reversed_domain() {
+        let s = LinearScale::new((1.0, 0.0), (0.0, 100.0));
+        let ticks = s.ticks(5);
+        assert!(ticks.first().unwrap() > ticks.last().unwrap());
+    }
+
+    #[test]
+    fn nice_rounds_outward() {
+        let s = LinearScale::new((0.13, 0.87), (0.0, 1.0)).nice(5);
+        let (d0, d1) = s.domain();
+        assert!(d0 <= 0.13 && d1 >= 0.87);
+        // Nice bounds land on the tick grid.
+        assert_eq!(d0, 0.0);
+        assert!((d1 - 0.9).abs() < 1e-12 || (d1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_increment_uses_1_2_5() {
+        for (start, stop, count) in
+            [(0.0, 1.0, 10), (0.0, 100.0, 7), (0.0, 86400.0, 6), (3.0, 17.0, 4)]
+        {
+            let step = tick_increment(start, stop, count);
+            let mant = step / 10f64.powf(step.log10().floor());
+            assert!(
+                [1.0, 2.0, 5.0, 10.0].iter().any(|m| (mant - m).abs() < 1e-9),
+                "step {step} has mantissa {mant}"
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! An ASCII backend for the scene graph.
+//!
+//! The same [`crate::scene::Scene`] that serializes to SVG also rasterizes to
+//! a character grid, which is handy for terminal dashboards, doctest-friendly
+//! snapshots and CI logs where an SVG would be opaque. It demonstrates that
+//! the scene graph is backend-independent (the paper's design, not its D3
+//! rendering, is the contribution).
+//!
+//! The rasterizer supports circles (outline), lines (Bresenham), rectangles,
+//! polylines and text; annulus sectors are drawn as their bounding circle's
+//! fill shade. Color maps to a ramp of characters by luminance.
+
+use batchlens_layout::Color;
+
+use crate::scene::{Node, Scene};
+
+/// A fixed-size character canvas.
+#[derive(Debug, Clone)]
+pub struct AsciiCanvas {
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+    /// Scene-units-per-cell on each axis.
+    sx: f64,
+    sy: f64,
+}
+
+/// Luminance ramp from light to dark (space = empty).
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+impl AsciiCanvas {
+    /// Creates a canvas rasterizing `scene` into `cols`×`rows` characters.
+    pub fn render(scene: &Scene, cols: usize, rows: usize) -> AsciiCanvas {
+        let cols = cols.max(1);
+        let rows = rows.max(1);
+        let mut canvas = AsciiCanvas {
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+            sx: scene.width / cols as f64,
+            sy: scene.height / rows as f64,
+        };
+        for node in &scene.root {
+            canvas.draw_node(node, 0.0, 0.0);
+        }
+        canvas
+    }
+
+    /// The rendered text (rows joined by newlines).
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            let start = r * self.cols;
+            s.extend(self.cells[start..start + self.cols].iter());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The character at `(col, row)`, or `None` out of bounds.
+    pub fn at(&self, col: usize, row: usize) -> Option<char> {
+        if col < self.cols && row < self.rows {
+            Some(self.cells[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Count of non-space cells (ink).
+    pub fn ink(&self) -> usize {
+        self.cells.iter().filter(|&&c| c != ' ').count()
+    }
+
+    fn put(&mut self, col: isize, row: isize, ch: char) {
+        if col >= 0 && row >= 0 && (col as usize) < self.cols && (row as usize) < self.rows {
+            self.cells[row as usize * self.cols + col as usize] = ch;
+        }
+    }
+
+    fn to_cell(&self, x: f64, y: f64) -> (isize, isize) {
+        ((x / self.sx) as isize, (y / self.sy) as isize)
+    }
+
+    fn shade(color: Color) -> char {
+        let l = color.luminance().clamp(0.0, 1.0);
+        // Darker = denser character.
+        let idx = ((1.0 - l) * (RAMP.len() - 1) as f64).round() as usize;
+        RAMP[idx.min(RAMP.len() - 1)] as char
+    }
+
+    fn draw_node(&mut self, node: &Node, ox: f64, oy: f64) {
+        match node {
+            Node::Group { translate, children, .. } => {
+                let (tx, ty) = *translate;
+                for child in children {
+                    self.draw_node(child, ox + tx, oy + ty);
+                }
+            }
+            Node::Circle { cx, cy, r, style, .. } => {
+                let fill = style.fill.map(Self::shade);
+                self.draw_circle(ox + cx, oy + cy, *r, fill.unwrap_or('o'));
+            }
+            Node::AnnulusSector { cx, cy, outer, style, .. } => {
+                let ch = style.fill.map(Self::shade).unwrap_or('o');
+                self.draw_circle(ox + cx, oy + cy, *outer, ch);
+            }
+            Node::Line { from, to, .. } => {
+                self.draw_line(ox + from.0, oy + from.1, ox + to.0, oy + to.1, '.');
+            }
+            Node::Polyline { points, .. } => {
+                for w in points.windows(2) {
+                    self.draw_line(ox + w[0].0, oy + w[0].1, ox + w[1].0, oy + w[1].1, '.');
+                }
+            }
+            Node::Rect { x, y, width, height, .. } => {
+                self.draw_rect(ox + x, oy + y, *width, *height);
+            }
+            Node::Text { x, y, text, .. } => {
+                let (cx, cy) = self.to_cell(ox + x, oy + y);
+                for (i, ch) in text.chars().enumerate() {
+                    self.put(cx + i as isize, cy, ch);
+                }
+            }
+        }
+    }
+
+    fn draw_circle(&mut self, cx: f64, cy: f64, r: f64, ch: char) {
+        // Rasterize the outline by angle sampling (cheap and dependency-free).
+        let rc = (r / self.sx).max(r / self.sy);
+        let steps = (rc * 8.0).clamp(8.0, 720.0) as usize;
+        for i in 0..steps {
+            let a = std::f64::consts::TAU * i as f64 / steps as f64;
+            let (col, row) = self.to_cell(cx + r * a.cos(), cy + r * a.sin());
+            self.put(col, row, ch);
+        }
+    }
+
+    fn draw_rect(&mut self, x: f64, y: f64, w: f64, h: f64) {
+        self.draw_line(x, y, x + w, y, '-');
+        self.draw_line(x, y + h, x + w, y + h, '-');
+        self.draw_line(x, y, x, y + h, '|');
+        self.draw_line(x + w, y, x + w, y + h, '|');
+    }
+
+    fn draw_line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, ch: char) {
+        let (mut cx, mut cy) = self.to_cell(x0, y0);
+        let (ex, ey) = self.to_cell(x1, y1);
+        let dx = (ex - cx).abs();
+        let dy = -(ey - cy).abs();
+        let sx = if cx < ex { 1 } else { -1 };
+        let sy = if cy < ey { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put(cx, cy, ch);
+            if cx == ex && cy == ey {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                cx += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                cy += sy;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Node, Scene, Style};
+    use batchlens_layout::Color;
+
+    #[test]
+    fn empty_scene_is_blank() {
+        let canvas = AsciiCanvas::render(&Scene::new(100.0, 100.0), 20, 10);
+        assert_eq!(canvas.ink(), 0);
+        assert_eq!(canvas.to_text().lines().count(), 10);
+    }
+
+    #[test]
+    fn circle_leaves_ink() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::Circle {
+            cx: 50.0,
+            cy: 50.0,
+            r: 30.0,
+            style: Style::filled(Color::BLACK),
+            label: None,
+        });
+        let canvas = AsciiCanvas::render(&scene, 40, 40);
+        assert!(canvas.ink() > 0);
+    }
+
+    #[test]
+    fn line_is_drawn() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::Line {
+            from: (0.0, 0.0),
+            to: (100.0, 100.0),
+            style: Style::default(),
+        });
+        let canvas = AsciiCanvas::render(&scene, 20, 20);
+        // Diagonal touches the corners.
+        assert_eq!(canvas.at(0, 0), Some('.'));
+        assert_eq!(canvas.at(19, 19), Some('.'));
+    }
+
+    #[test]
+    fn text_is_placed() {
+        let mut scene = Scene::new(100.0, 20.0);
+        scene.push(Node::Text {
+            x: 0.0,
+            y: 10.0,
+            text: "HI".into(),
+            size: 10.0,
+            align: crate::scene::Align::Start,
+            color: Color::BLACK,
+        });
+        let canvas = AsciiCanvas::render(&scene, 40, 4);
+        assert!(canvas.to_text().contains('H'));
+        assert!(canvas.to_text().contains('I'));
+    }
+
+    #[test]
+    fn dashboard_rasterizes() {
+        use batchlens_analytics::hierarchy::HierarchySnapshot;
+        use batchlens_sim::scenario;
+        use crate::bubble::BubbleChart;
+        let ds = scenario::fig3a(1).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3A);
+        let scene = BubbleChart::new(600.0, 600.0).render(&snap);
+        let canvas = AsciiCanvas::render(&scene, 80, 40);
+        assert!(canvas.ink() > 0);
+        assert_eq!(canvas.to_text().lines().count(), 40);
+    }
+}

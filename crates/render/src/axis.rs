@@ -1,0 +1,207 @@
+//! Reusable axis and gridline rendering.
+//!
+//! The line chart, timeline and heatmap all need axes with nice ticks and
+//! optional gridlines. This module centralizes that so every chart's axes
+//! look and behave identically, built on [`batchlens_layout::LinearScale`]'s
+//! tick generation.
+
+use batchlens_layout::{Color, LinearScale};
+
+use crate::scene::{Align, Node, Style};
+
+/// How an axis formats its tick labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickFormat {
+    /// Plain number with the given decimal places.
+    Number(u8),
+    /// Percentage (`value * 100`) with no decimals.
+    Percent,
+    /// Seconds rendered as whole hours with an `h` suffix.
+    Hours,
+}
+
+impl TickFormat {
+    fn render(self, v: f64) -> String {
+        match self {
+            TickFormat::Number(dp) => format!("{v:.*}", dp as usize),
+            TickFormat::Percent => format!("{}%", (v * 100.0).round() as i64),
+            TickFormat::Hours => format!("{}h", (v / 3600.0).round() as i64),
+        }
+    }
+}
+
+/// A horizontal (x) axis along the bottom of a plot rectangle.
+#[derive(Debug, Clone, Copy)]
+pub struct XAxis {
+    /// The data→pixel scale.
+    pub scale: LinearScale,
+    /// The y pixel coordinate of the axis line.
+    pub y: f64,
+    /// Plot top (for full-height gridlines).
+    pub top: f64,
+    /// Desired tick count.
+    pub ticks: usize,
+    /// Label format.
+    pub format: TickFormat,
+    /// Whether to draw vertical gridlines.
+    pub grid: bool,
+}
+
+impl XAxis {
+    /// Emits the axis line, ticks, labels and optional gridlines.
+    pub fn render(&self) -> Vec<Node> {
+        let (r0, r1) = self.scale.range();
+        let mut nodes = vec![Node::Line {
+            from: (r0, self.y),
+            to: (r1, self.y),
+            style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
+        }];
+        for t in self.scale.ticks(self.ticks) {
+            let x = self.scale.scale(t);
+            if self.grid {
+                nodes.push(Node::Line {
+                    from: (x, self.top),
+                    to: (x, self.y),
+                    style: Style::stroked(Color::rgb(225, 225, 225), 0.5),
+                });
+            }
+            nodes.push(Node::Line {
+                from: (x, self.y),
+                to: (x, self.y + 4.0),
+                style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
+            });
+            nodes.push(Node::Text {
+                x,
+                y: self.y + 14.0,
+                text: self.format.render(t),
+                size: 9.0,
+                align: Align::Middle,
+                color: Color::rgb(90, 90, 90),
+            });
+        }
+        nodes
+    }
+}
+
+/// A vertical (y) axis along the left of a plot rectangle.
+#[derive(Debug, Clone, Copy)]
+pub struct YAxis {
+    /// The data→pixel scale.
+    pub scale: LinearScale,
+    /// The x pixel coordinate of the axis line.
+    pub x: f64,
+    /// Plot right edge (for full-width gridlines).
+    pub right: f64,
+    /// Desired tick count.
+    pub ticks: usize,
+    /// Label format.
+    pub format: TickFormat,
+    /// Whether to draw horizontal gridlines.
+    pub grid: bool,
+}
+
+impl YAxis {
+    /// Emits the axis line, ticks, labels and optional gridlines.
+    pub fn render(&self) -> Vec<Node> {
+        let (r0, r1) = self.scale.range();
+        let mut nodes = vec![Node::Line {
+            from: (self.x, r0),
+            to: (self.x, r1),
+            style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
+        }];
+        for t in self.scale.ticks(self.ticks) {
+            let y = self.scale.scale(t);
+            if self.grid {
+                nodes.push(Node::Line {
+                    from: (self.x, y),
+                    to: (self.right, y),
+                    style: Style::stroked(Color::rgb(225, 225, 225), 0.5),
+                });
+            }
+            nodes.push(Node::Line {
+                from: (self.x - 4.0, y),
+                to: (self.x, y),
+                style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
+            });
+            nodes.push(Node::Text {
+                x: self.x - 6.0,
+                y: y + 3.0,
+                text: self.format.render(t),
+                size: 9.0,
+                align: Align::End,
+                color: Color::rgb(90, 90, 90),
+            });
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Node;
+
+    fn count_kinds(nodes: &[Node]) -> (usize, usize) {
+        let lines = nodes.iter().filter(|n| matches!(n, Node::Line { .. })).count();
+        let texts = nodes.iter().filter(|n| matches!(n, Node::Text { .. })).count();
+        (lines, texts)
+    }
+
+    #[test]
+    fn tick_formats() {
+        assert_eq!(TickFormat::Number(1).render(3.46), "3.5");
+        assert_eq!(TickFormat::Percent.render(0.5), "50%");
+        assert_eq!(TickFormat::Hours.render(43200.0), "12h");
+    }
+
+    #[test]
+    fn x_axis_emits_ticks_and_labels() {
+        let axis = XAxis {
+            scale: LinearScale::new((0.0, 86400.0), (40.0, 800.0)),
+            y: 300.0,
+            top: 10.0,
+            ticks: 6,
+            format: TickFormat::Hours,
+            grid: true,
+        };
+        let nodes = axis.render();
+        let (lines, texts) = count_kinds(&nodes);
+        // One axis line + per tick: gridline + tick mark; labels = ticks.
+        assert!(texts >= 4);
+        assert!(lines > texts * 2);
+    }
+
+    #[test]
+    fn y_axis_without_grid_has_fewer_lines() {
+        let base = YAxis {
+            scale: LinearScale::new((0.0, 1.0), (300.0, 10.0)),
+            x: 40.0,
+            right: 800.0,
+            ticks: 5,
+            format: TickFormat::Percent,
+            grid: true,
+        };
+        let with_grid = base.render();
+        let no_grid = YAxis { grid: false, ..base }.render();
+        assert!(with_grid.len() > no_grid.len());
+        // Percent labels present.
+        assert!(no_grid.iter().any(|n| matches!(n, Node::Text { text, .. } if text.ends_with('%'))));
+    }
+
+    #[test]
+    fn labels_lie_within_range() {
+        let axis = XAxis {
+            scale: LinearScale::new((0.0, 100.0), (0.0, 500.0)),
+            y: 200.0,
+            top: 0.0,
+            ticks: 5,
+            format: TickFormat::Number(0),
+            grid: false,
+        };
+        for n in axis.render() {
+            if let Node::Text { x, .. } = n {
+                assert!((0.0..=500.0).contains(&x));
+            }
+        }
+    }
+}

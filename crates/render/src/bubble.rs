@@ -1,0 +1,333 @@
+//! The hierarchical bubble chart (paper Fig 1 and the Fig 3 main views).
+//!
+//! Jobs (blue dotted circles) contain tasks (purple dotted circles) contain
+//! compute-node glyphs. Each node glyph is three concentric annuli colored
+//! by CPU (inner), memory (middle) and disk (outer) utilization via the
+//! legend colormap of Fig 1.
+
+use std::f64::consts::TAU;
+
+use batchlens_analytics::hierarchy::{HierarchySnapshot, NodeEntry};
+use batchlens_layout::color::{
+    job_outline_color, task_outline_color, utilization_colormap,
+};
+use batchlens_layout::pack::PackNode;
+use batchlens_layout::{Circle, Color};
+use batchlens_trace::{Metric, UtilizationTriple};
+
+use crate::scene::{Align, Node, Scene, Stroke, Style};
+
+/// Renders a [`HierarchySnapshot`] as a hierarchical bubble chart.
+#[derive(Debug, Clone, Copy)]
+pub struct BubbleChart {
+    width: f64,
+    height: f64,
+    padding: f64,
+    min_node_radius: f64,
+    show_labels: bool,
+}
+
+/// What a node bubble in the packed layout carries.
+#[derive(Debug, Clone)]
+enum Payload {
+    /// Root (whole chart).
+    Root,
+    /// A job bubble.
+    Job(String),
+    /// A task bubble.
+    Task(String),
+    /// A node glyph with its utilization.
+    NodeGlyph { machine: String, util: Option<UtilizationTriple> },
+}
+
+impl BubbleChart {
+    /// A bubble chart for the given viewport.
+    pub fn new(width: f64, height: f64) -> Self {
+        BubbleChart { width, height, padding: 6.0, min_node_radius: 10.0, show_labels: true }
+    }
+
+    /// Sets the packing padding between sibling bubbles (builder).
+    #[must_use]
+    pub fn padding(mut self, padding: f64) -> Self {
+        self.padding = padding.max(0.0);
+        self
+    }
+
+    /// Sets whether job/task labels are drawn (builder).
+    #[must_use]
+    pub fn labels(mut self, show: bool) -> Self {
+        self.show_labels = show;
+        self
+    }
+
+    /// Renders the snapshot to a [`Scene`].
+    ///
+    /// An empty snapshot yields a scene with only the background and a
+    /// "no running jobs" note.
+    pub fn render(&self, snapshot: &HierarchySnapshot) -> Scene {
+        let mut scene = Scene::new(self.width, self.height);
+        if snapshot.jobs.is_empty() {
+            scene.push(Node::Text {
+                x: self.width / 2.0,
+                y: self.height / 2.0,
+                text: format!("no running jobs at {}", snapshot.at),
+                size: 16.0,
+                align: Align::Middle,
+                color: Color::rgb(120, 120, 120),
+            });
+            return scene;
+        }
+
+        // Build the pack tree: root → jobs → tasks → node glyphs.
+        let mut job_nodes = Vec::new();
+        for job in &snapshot.jobs {
+            let mut task_nodes = Vec::new();
+            for task in &job.tasks {
+                let glyphs: Vec<PackNode<Payload>> = task
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        // Glyph radius grows slightly with load so busy nodes
+                        // read as bigger, like the paper's figures.
+                        let load = n.util.map_or(0.3, |u| u.mean().fraction());
+                        let r = self.min_node_radius * (1.0 + load);
+                        PackNode::leaf(
+                            Payload::NodeGlyph {
+                                machine: n.machine.to_string(),
+                                util: n.util,
+                            },
+                            r,
+                        )
+                    })
+                    .collect();
+                task_nodes
+                    .push(PackNode::parent(Payload::Task(task.task.to_string()), glyphs));
+            }
+            job_nodes.push(PackNode::parent(Payload::Job(job.job.to_string()), task_nodes));
+        }
+        let mut root = PackNode::parent(Payload::Root, job_nodes);
+
+        let cx = self.width / 2.0;
+        let cy = self.height / 2.0;
+        root.pack(cx, cy, self.padding);
+        let target = (self.width.min(self.height) / 2.0) - 10.0;
+        root.scale_to(cx, cy, target);
+
+        let mut children = Vec::new();
+        self.emit(&root, &mut children);
+        scene.push(Node::group_at((0.0, 0.0), children));
+        scene
+    }
+
+    fn emit(&self, node: &PackNode<Payload>, out: &mut Vec<Node>) {
+        match &node.data {
+            Payload::Root => {
+                for child in &node.children {
+                    self.emit(child, out);
+                }
+            }
+            Payload::Job(label) => {
+                out.push(Node::Circle {
+                    cx: node.circle.x,
+                    cy: node.circle.y,
+                    r: node.circle.r,
+                    style: Style::stroked(job_outline_color(), 1.5).dash(Stroke::Dotted),
+                    label: Some(label.clone()),
+                });
+                if self.show_labels {
+                    out.push(Node::Text {
+                        x: node.circle.x,
+                        y: node.circle.y - node.circle.r - 3.0,
+                        text: label.clone(),
+                        size: 11.0,
+                        align: Align::Middle,
+                        color: job_outline_color(),
+                    });
+                }
+                for child in &node.children {
+                    self.emit(child, out);
+                }
+            }
+            Payload::Task(label) => {
+                out.push(Node::Circle {
+                    cx: node.circle.x,
+                    cy: node.circle.y,
+                    r: node.circle.r,
+                    style: Style::stroked(task_outline_color(), 1.0).dash(Stroke::Dotted),
+                    label: Some(label.clone()),
+                });
+                for child in &node.children {
+                    self.emit(child, out);
+                }
+            }
+            Payload::NodeGlyph { machine, util } => {
+                out.push(self.node_glyph(node.circle, machine, *util));
+            }
+        }
+    }
+
+    /// A single compute-node glyph: three annuli (CPU inner, memory middle,
+    /// disk outer) colored by the utilization colormap.
+    fn node_glyph(
+        &self,
+        circle: Circle,
+        machine: &str,
+        util: Option<UtilizationTriple>,
+    ) -> Node {
+        let colormap = utilization_colormap();
+        let mut parts = Vec::with_capacity(4);
+        let u = util.unwrap_or_default();
+        // Three concentric bands of equal thickness.
+        let bands = [
+            (Metric::Cpu, 0.0, circle.r / 3.0),
+            (Metric::Memory, circle.r / 3.0, circle.r * 2.0 / 3.0),
+            (Metric::Disk, circle.r * 2.0 / 3.0, circle.r),
+        ];
+        for (metric, inner, outer) in bands {
+            let frac = u[metric].fraction();
+            let color = if util.is_some() {
+                colormap.at(frac)
+            } else {
+                Color::rgb(220, 220, 220)
+            };
+            // A full ring = sector spanning the whole circle, split in two
+            // halves so the large-arc path stays well-formed.
+            parts.push(Node::AnnulusSector {
+                cx: circle.x,
+                cy: circle.y,
+                inner,
+                outer,
+                start_angle: 0.0,
+                end_angle: TAU * 0.5,
+                style: Style::filled(color),
+            });
+            parts.push(Node::AnnulusSector {
+                cx: circle.x,
+                cy: circle.y,
+                inner,
+                outer,
+                start_angle: TAU * 0.5,
+                end_angle: TAU,
+                style: Style::filled(color),
+            });
+        }
+        // Thin outline so adjacent glyphs are distinguishable.
+        parts.push(Node::Circle {
+            cx: circle.x,
+            cy: circle.y,
+            r: circle.r,
+            style: Style::stroked(Color::rgb(80, 80, 80), 0.5),
+            label: None,
+        });
+        Node::labelled(machine.to_string(), parts)
+    }
+}
+
+/// Helper exposing the number of node glyphs a snapshot would render, for
+/// tests and sizing heuristics.
+pub fn glyph_count(snapshot: &HierarchySnapshot) -> usize {
+    snapshot.total_nodes()
+}
+
+/// Exposes the glyph band ordering (CPU, memory, disk) so tests can assert
+/// the paper's annulus order without reaching into the renderer.
+pub fn band_order() -> [Metric; 3] {
+    [Metric::Cpu, Metric::Memory, Metric::Disk]
+}
+
+#[allow(dead_code)]
+fn _node_entry_is_used(_n: &NodeEntry) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+    use batchlens_trace::Timestamp;
+
+    #[test]
+    fn fig1_sample_has_three_levels() {
+        let ds = scenario::fig1_sample(1).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, Timestamp::new(600));
+        let scene = BubbleChart::new(600.0, 600.0).render(&snap);
+        let counts = scene.counts();
+        // 1 job + 2 tasks = 3 dotted outline circles, plus one thin outline
+        // per node glyph.
+        let glyphs = glyph_count(&snap);
+        // Each glyph: 6 annulus sectors + 1 outline circle.
+        assert_eq!(counts.sectors, glyphs * 6);
+        assert_eq!(counts.circles, 1 + 2 + glyphs);
+    }
+
+    #[test]
+    fn bubbles_stay_within_viewport() {
+        let ds = scenario::fig3a(2).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3A);
+        let w = 900.0;
+        let scene = BubbleChart::new(w, w).render(&snap);
+        // Collect every circle center+radius and check it is inside [0, w].
+        fn check(node: &Node, w: f64) {
+            match node {
+                Node::Group { children, .. } => {
+                    for c in children {
+                        check(c, w);
+                    }
+                }
+                Node::Circle { cx, cy, r, .. } => {
+                    assert!(cx - r >= -1.0 && cx + r <= w + 1.0, "x out: {cx} r {r}");
+                    assert!(cy - r >= -1.0 && cy + r <= w + 1.0, "y out: {cy} r {r}");
+                }
+                _ => {}
+            }
+        }
+        for n in &scene.root {
+            check(n, w);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_note() {
+        let ds = scenario::fig1_sample(3).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, Timestamp::new(999_999));
+        let scene = BubbleChart::new(400.0, 400.0).render(&snap);
+        assert_eq!(scene.counts().circles, 0);
+        assert_eq!(scene.counts().texts, 1);
+    }
+
+    #[test]
+    fn fig3a_renders_15_job_bubbles() {
+        let ds = scenario::fig3a(4).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3A);
+        let scene = BubbleChart::new(1000.0, 1000.0).render(&snap);
+        // Job bubbles are labelled circles whose label starts with "job_".
+        let mut job_labels = 0;
+        fn walk(node: &Node, jobs: &mut usize) {
+            match node {
+                Node::Circle { label: Some(l), .. } if l.starts_with("job_") => *jobs += 1,
+                Node::Group { children, .. } => {
+                    for c in children {
+                        walk(c, jobs);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for n in &scene.root {
+            walk(n, &mut job_labels);
+        }
+        assert_eq!(job_labels, 15);
+    }
+
+    #[test]
+    fn band_order_matches_paper() {
+        assert_eq!(band_order(), [Metric::Cpu, Metric::Memory, Metric::Disk]);
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let ds = scenario::fig1_sample(5).run().unwrap();
+        let snap = HierarchySnapshot::at(&ds, Timestamp::new(600));
+        let with = BubbleChart::new(500.0, 500.0).render(&snap).counts().texts;
+        let without = BubbleChart::new(500.0, 500.0).labels(false).render(&snap).counts().texts;
+        assert!(with > without);
+    }
+}

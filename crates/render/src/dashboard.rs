@@ -1,0 +1,180 @@
+//! The full BatchLens dashboard (paper Fig 3): the hierarchical bubble chart
+//! as the main view, with the aggregated timeline across the top and per-job
+//! detail line charts stacked down the side.
+
+use batchlens_analytics::aggregate::{ClusterTimeline, JobMetricLines};
+use batchlens_analytics::hierarchy::HierarchySnapshot;
+use batchlens_layout::{Brush, Color};
+use batchlens_trace::{JobId, Metric, TimeRange, Timestamp, TraceDataset};
+
+use crate::bubble::BubbleChart;
+use crate::linechart::LineChart;
+use crate::scene::{Align, Node, Scene, Style};
+use crate::timeline::TimelineView;
+
+/// Composes the multi-view dashboard for one snapshot.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    width: f64,
+    height: f64,
+    /// Jobs to show detail line charts for (top-right stack).
+    focus_jobs: Vec<JobId>,
+    /// Metric plotted in the detail charts.
+    detail_metric: Metric,
+}
+
+impl Dashboard {
+    /// A dashboard for the given viewport.
+    pub fn new(width: f64, height: f64) -> Self {
+        Dashboard { width, height, focus_jobs: Vec::new(), detail_metric: Metric::Cpu }
+    }
+
+    /// Sets the jobs whose detail line charts appear (builder).
+    #[must_use]
+    pub fn focus(mut self, jobs: impl IntoIterator<Item = JobId>) -> Self {
+        self.focus_jobs = jobs.into_iter().collect();
+        self
+    }
+
+    /// Sets the detail-chart metric (builder).
+    #[must_use]
+    pub fn detail_metric(mut self, metric: Metric) -> Self {
+        self.detail_metric = metric;
+        self
+    }
+
+    /// Renders the composed dashboard at snapshot time `at`.
+    ///
+    /// Layout: a timeline strip across the top, the bubble chart filling the
+    /// lower-left, and up to four focus-job detail charts down the right.
+    pub fn render(&self, ds: &TraceDataset, at: Timestamp) -> Scene {
+        let mut scene = Scene::new(self.width, self.height).background(Color::rgb(250, 250, 250));
+        let timeline_h = 90.0;
+        let sidebar_w = (self.width * 0.33).min(360.0);
+        let main_w = self.width - sidebar_w;
+        let main_h = self.height - timeline_h;
+
+        // Title.
+        scene.push(Node::Text {
+            x: 8.0,
+            y: 16.0,
+            text: format!("BatchLens @ {at}"),
+            size: 13.0,
+            align: Align::Start,
+            color: Color::rgb(30, 30, 30),
+        });
+
+        // Timeline strip with a brush centered on the snapshot.
+        let timeline = ClusterTimeline::build(ds);
+        let mut brush_holder = None;
+        if let Some(span) = timeline.cpu.span() {
+            let mut brush =
+                Brush::new((span.start().seconds() as f64, span.end().seconds() as f64));
+            let half = 1800.0;
+            brush.select(at.seconds() as f64 - half, at.seconds() as f64 + half);
+            brush_holder = Some(brush);
+        }
+        let tl_scene =
+            TimelineView::new(self.width, timeline_h).render(&timeline, brush_holder.as_ref());
+        scene.push(Node::group_at((0.0, 20.0), tl_scene.root));
+
+        // Main bubble chart.
+        let snapshot = HierarchySnapshot::at(ds, at);
+        let bubble = BubbleChart::new(main_w, main_h - 20.0).render(&snapshot);
+        scene.push(Node::group_at((0.0, timeline_h + 20.0), bubble.root));
+
+        // Sidebar detail charts.
+        let focus = self.resolve_focus(&snapshot);
+        let chart_h = ((main_h - 20.0) / focus.len().max(1) as f64).min(200.0);
+        let window = snapshot_window(ds, at);
+        for (i, job) in focus.iter().enumerate() {
+            let y = timeline_h + 20.0 + i as f64 * chart_h;
+            if let Some(lines) = JobMetricLines::build(ds, *job, self.detail_metric, &window) {
+                let chart = LineChart::new(sidebar_w, chart_h).detail().render(&lines, &window);
+                scene.push(Node::group_at((main_w, y), chart.root));
+            }
+        }
+
+        // Separator.
+        scene.push(Node::Line {
+            from: (main_w, timeline_h + 20.0),
+            to: (main_w, self.height),
+            style: Style::stroked(Color::rgb(200, 200, 200), 1.0),
+        });
+
+        scene
+    }
+
+    fn resolve_focus(&self, snapshot: &HierarchySnapshot) -> Vec<JobId> {
+        if !self.focus_jobs.is_empty() {
+            return self.focus_jobs.iter().copied().take(4).collect();
+        }
+        // Default: the busiest few running jobs.
+        let mut ranked = snapshot.jobs_by_mean_util();
+        ranked.reverse(); // busiest first
+        ranked.into_iter().map(|(j, _)| j).take(4).collect()
+    }
+}
+
+/// The detail window for a snapshot: a ±1-hour window clamped to the trace,
+/// matching the paper's "overall time period" of a selected job.
+fn snapshot_window(ds: &TraceDataset, at: Timestamp) -> TimeRange {
+    let span = ds.span().unwrap_or_else(TimeRange::full_day);
+    let lo = (at - batchlens_trace::TimeDelta::hours(1)).max(span.start());
+    let hi = (at + batchlens_trace::TimeDelta::hours(1)).min(span.end());
+    TimeRange::new(lo, hi).unwrap_or(span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn dashboard_composes_all_views() {
+        let ds = scenario::fig3b(1).run().unwrap();
+        let scene = Dashboard::new(1400.0, 900.0)
+            .focus([scenario::JOB_7901])
+            .render(&ds, scenario::T_FIG3B);
+        let counts = scene.counts();
+        // Bubble circles, timeline polylines and at least one detail polyline.
+        assert!(counts.circles > 0, "no bubbles");
+        assert!(counts.polylines >= 3, "timeline series missing");
+        assert!(counts.texts > 0);
+        // Title present.
+        fn has_title(n: &Node) -> bool {
+            match n {
+                Node::Text { text, .. } => text.contains("BatchLens @"),
+                Node::Group { children, .. } => children.iter().any(has_title),
+                _ => false,
+            }
+        }
+        assert!(scene.root.iter().any(has_title));
+    }
+
+    #[test]
+    fn default_focus_picks_busiest_jobs() {
+        let ds = scenario::fig3c(2).run().unwrap();
+        let scene = Dashboard::new(1400.0, 900.0).render(&ds, scenario::T_FIG3C);
+        // Without explicit focus it still renders detail charts for the
+        // busiest jobs (extra polylines beyond the 3 timeline series).
+        assert!(scene.counts().polylines > 3);
+    }
+
+    #[test]
+    fn fig3a_dashboard_renders() {
+        let ds = scenario::fig3a(3).run().unwrap();
+        let scene = Dashboard::new(1400.0, 900.0)
+            .focus([scenario::JOB_8124, scenario::JOB_6639])
+            .render(&ds, scenario::T_FIG3A);
+        assert!(scene.counts().circles > 15);
+    }
+
+    #[test]
+    fn snapshot_window_is_bounded() {
+        let ds = scenario::fig3b(4).run().unwrap();
+        let w = snapshot_window(&ds, scenario::T_FIG3B);
+        assert!(w.duration().as_seconds() <= 2 * 3600);
+        assert!(w.contains(scenario::T_FIG3B) || w.end() == scenario::T_FIG3B);
+    }
+}

@@ -1,0 +1,63 @@
+//! # batchlens-render
+//!
+//! The rendering layer: a small scene graph, an SVG serializer, and the
+//! BatchLens view renderers that turn analytics output into the paper's
+//! figures.
+//!
+//! The paper's prototype drew into the browser with D3/SVG; this crate emits
+//! standalone SVG documents, which makes every figure reproducible and
+//! diffable headlessly (no browser, no screenshot pipeline).
+//!
+//! * [`scene`] — a resolution-independent scene graph (groups, circles,
+//!   annulus sectors, polylines, vertical rules, text) with styles.
+//! * [`svg`] — serializes a [`scene::Scene`] to an SVG string.
+//! * [`bubble`] — the hierarchical bubble chart (Fig 1, Fig 3 main views):
+//!   job → task → node nesting via [`batchlens_layout::pack`], node glyphs as
+//!   three annuli colored by CPU/memory/disk.
+//! * [`linechart`] — the multi line chart with start/end annotation lines
+//!   and the brushed detail view (Fig 2).
+//! * [`timeline`] — the aggregated, brushable system timeline.
+//! * [`links`] — the co-allocation dotted links (Fig 3(b)).
+//! * [`legend`] — the utilization color legend (Fig 1).
+//! * [`dashboard`] — composes bubble chart + line charts + timeline into the
+//!   full Fig 3 dashboard.
+//!
+//! ## Example
+//!
+//! ```
+//! use batchlens_render::{bubble::BubbleChart, svg::to_svg};
+//! use batchlens_analytics::hierarchy::HierarchySnapshot;
+//! use batchlens_sim::scenario;
+//! use batchlens_trace::Timestamp;
+//!
+//! let ds = scenario::fig1_sample(1).run().unwrap();
+//! let snap = HierarchySnapshot::at(&ds, Timestamp::new(600));
+//! let scene = BubbleChart::new(600.0, 600.0).render(&snap);
+//! let svg = to_svg(&scene);
+//! assert!(svg.starts_with("<?xml"));
+//! assert!(svg.contains("<circle"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod axis;
+pub mod bubble;
+pub mod dashboard;
+pub mod heatmap;
+pub mod legend;
+pub mod linechart;
+pub mod links;
+pub mod node_detail;
+pub mod radial;
+pub mod scene;
+pub mod svg;
+pub mod timeline;
+
+pub use ascii::AsciiCanvas;
+pub use bubble::BubbleChart;
+pub use dashboard::Dashboard;
+pub use linechart::LineChart;
+pub use scene::{Align, Node, Scene, Stroke, Style};
+pub use svg::to_svg;

@@ -1,0 +1,254 @@
+//! The multi line chart (paper Fig 2) with start/end annotation lines and
+//! the brushed detail view.
+//!
+//! Plots every node's metric series for one job. Green vertical rules mark
+//! per-node start times; per-task colored rules mark end times (bundled into
+//! clusters). The detail view colors each node's line by its task.
+
+use batchlens_analytics::aggregate::JobMetricLines;
+use batchlens_layout::color::{start_annotation_color, task_color};
+use batchlens_layout::line::lttb;
+use batchlens_layout::{Color, LinearScale};
+use batchlens_trace::{TimeRange, Timestamp};
+
+use crate::axis::{TickFormat, XAxis, YAxis};
+use crate::scene::{Align, Node, Scene, Stroke, Style};
+
+/// Renders a job's multi line chart for one metric.
+#[derive(Debug, Clone, Copy)]
+pub struct LineChart {
+    width: f64,
+    height: f64,
+    margin: f64,
+    /// Maximum points per line after simplification.
+    point_budget: usize,
+    /// When true, color each node's line by its task (the detail view);
+    /// when false, draw all lines in one muted color (the overview).
+    color_by_task: bool,
+    show_annotations: bool,
+}
+
+impl LineChart {
+    /// A line chart for the given viewport.
+    pub fn new(width: f64, height: f64) -> Self {
+        LineChart {
+            width,
+            height,
+            margin: 40.0,
+            point_budget: 240,
+            color_by_task: false,
+            show_annotations: true,
+        }
+    }
+
+    /// Overview style: muted single-color lines (Fig 2(a)).
+    #[must_use]
+    pub fn overview(mut self) -> Self {
+        self.color_by_task = false;
+        self
+    }
+
+    /// Detail style: lines colored per task (Fig 2(b)).
+    #[must_use]
+    pub fn detail(mut self) -> Self {
+        self.color_by_task = true;
+        self
+    }
+
+    /// Toggles annotation rules (builder).
+    #[must_use]
+    pub fn annotations(mut self, show: bool) -> Self {
+        self.show_annotations = show;
+        self
+    }
+
+    /// Renders the line chart over the given time window.
+    pub fn render(&self, lines: &JobMetricLines, window: &TimeRange) -> Scene {
+        let mut scene = Scene::new(self.width, self.height);
+        let plot_left = self.margin;
+        let plot_right = self.width - self.margin / 2.0;
+        let plot_top = self.margin / 2.0;
+        let plot_bottom = self.height - self.margin;
+
+        let x = LinearScale::new(
+            (window.start().seconds() as f64, window.end().seconds() as f64),
+            (plot_left, plot_right),
+        )
+        .clamped();
+        // Utilization axis 0..1, inverted for SVG (0 at bottom).
+        let y = LinearScale::new((0.0, 1.0), (plot_bottom, plot_top));
+
+        let mut root = Vec::new();
+
+        // Axes (shared helpers): time on x, 0–100 % utilization on y.
+        root.extend(
+            XAxis {
+                scale: x,
+                y: plot_bottom,
+                top: plot_top,
+                ticks: 6,
+                format: TickFormat::Hours,
+                grid: false,
+            }
+            .render(),
+        );
+        root.extend(
+            YAxis {
+                scale: y,
+                x: plot_left,
+                right: plot_right,
+                ticks: 2,
+                format: TickFormat::Percent,
+                grid: true,
+            }
+            .render(),
+        );
+        root.push(Node::Text {
+            x: (plot_left + plot_right) / 2.0,
+            y: self.height - 4.0,
+            text: format!("{} — {}", lines.job, lines.metric.label()),
+            size: 11.0,
+            align: Align::Middle,
+            color: Color::rgb(40, 40, 40),
+        });
+
+        // Annotation rules first (behind the lines).
+        if self.show_annotations {
+            for line in &lines.lines {
+                if window.contains(line.start) {
+                    root.push(Node::Line {
+                        from: (x.scale(line.start.seconds() as f64), plot_top),
+                        to: (x.scale(line.start.seconds() as f64), plot_bottom),
+                        style: Style::stroked(start_annotation_color().with_alpha(120), 0.8),
+                    });
+                }
+            }
+            for (ti, task) in lines.tasks().into_iter().enumerate() {
+                let color = task_color(ti).with_alpha(150);
+                for line in lines.lines.iter().filter(|l| l.task == task) {
+                    if window.contains(line.end) {
+                        root.push(Node::Line {
+                            from: (x.scale(line.end.seconds() as f64), plot_top),
+                            to: (x.scale(line.end.seconds() as f64), plot_bottom),
+                            style: Style::stroked(color, 0.8).dash(Stroke::Dashed),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Node lines.
+        let task_index = |task| lines.tasks().iter().position(|&t| t == task).unwrap_or(0);
+        for line in &lines.lines {
+            let raw: Vec<(f64, f64)> = line
+                .series
+                .iter()
+                .map(|(t, v)| (x.scale(t.seconds() as f64), y.scale(v)))
+                .collect();
+            if raw.len() < 2 {
+                continue;
+            }
+            let simplified = lttb(&raw, self.point_budget);
+            let color = if self.color_by_task {
+                task_color(task_index(line.task)).with_alpha(200)
+            } else {
+                Color::rgb(70, 110, 170).with_alpha(110)
+            };
+            root.push(Node::Polyline { points: simplified, style: Style::stroked(color, 1.0) });
+        }
+
+        scene.push(Node::group_at((0.0, 0.0), root));
+        scene
+    }
+}
+
+/// Clamps a timestamp display into a window; used by dashboards for titles.
+pub fn clamp_to_window(t: Timestamp, window: &TimeRange) -> Timestamp {
+    window.clamp(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+    use batchlens_trace::Metric;
+
+    fn lines() -> (JobMetricLines, TimeRange) {
+        let ds = scenario::fig2_sample(1).run().unwrap();
+        let window = ds.span().unwrap();
+        let l = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &window).unwrap();
+        (l, window)
+    }
+
+    #[test]
+    fn overview_draws_a_polyline_per_node() {
+        let (l, window) = lines();
+        let scene = LineChart::new(800.0, 300.0).overview().render(&l, &window);
+        // 20 node lines.
+        assert_eq!(scene.counts().polylines, 20);
+    }
+
+    #[test]
+    fn annotations_present_and_toggleable() {
+        let (l, window) = lines();
+        let with = LineChart::new(800.0, 300.0).render(&l, &window).counts().lines;
+        let without =
+            LineChart::new(800.0, 300.0).annotations(false).render(&l, &window).counts().lines;
+        // Annotations add vertical rules (20 starts + 20 ends) on top of the
+        // axis lines/ticks, so enabling them strictly increases line count.
+        assert_eq!(with - without, 40);
+    }
+
+    #[test]
+    fn detail_colors_differ_by_task() {
+        let (l, window) = lines();
+        let scene = LineChart::new(800.0, 300.0).detail().render(&l, &window);
+        // Collect distinct polyline stroke colors.
+        let mut colors = std::collections::HashSet::new();
+        fn walk(n: &Node, set: &mut std::collections::HashSet<String>) {
+            match n {
+                Node::Group { children, .. } => {
+                    for c in children {
+                        walk(c, set);
+                    }
+                }
+                Node::Polyline { style, .. } => {
+                    if let Some(s) = style.stroke {
+                        set.insert(s.to_hex());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for n in &scene.root {
+            walk(n, &mut colors);
+        }
+        // Two tasks → at least two line colors.
+        assert!(colors.len() >= 2, "expected per-task colors, got {colors:?}");
+    }
+
+    #[test]
+    fn brushed_window_restricts_rendering() {
+        let ds = scenario::fig2_sample(2).run().unwrap();
+        let full = ds.span().unwrap();
+        let _full_lines =
+            JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
+        // Brush to the first quarter.
+        let detail_win = TimeRange::new(
+            full.start(),
+            full.start() + batchlens_trace::TimeDelta::seconds(full.duration().as_seconds() / 4),
+        )
+        .unwrap();
+        let l2 = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &detail_win).unwrap();
+        let scene = LineChart::new(800.0, 300.0).detail().render(&l2, &detail_win);
+        assert!(scene.counts().polylines > 0);
+    }
+
+    #[test]
+    fn empty_window_still_produces_axes() {
+        let (l, _) = lines();
+        let empty = TimeRange::new(Timestamp::new(0), Timestamp::new(1)).unwrap();
+        let scene = LineChart::new(400.0, 200.0).render(&l, &empty);
+        assert!(scene.counts().lines >= 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Co-allocation dotted links (paper Fig 3(b)): connecting the renderings of
+//! one physical machine that appears inside several job bubbles.
+//!
+//! Given a bubble layout's per-(job, machine) glyph positions and a
+//! [`CoallocationIndex`], this draws one colored dotted line per shared
+//! machine between the bubbles that host it.
+
+use std::collections::HashMap;
+
+use batchlens_analytics::CoallocationIndex;
+use batchlens_layout::color::link_color;
+use batchlens_layout::geometry::Point;
+
+use crate::scene::{Node, Stroke, Style};
+
+/// Where a given machine's glyph sits inside a given job's bubble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlyphAnchor {
+    /// The job bubble the glyph belongs to.
+    pub job: batchlens_trace::JobId,
+    /// The physical machine.
+    pub machine: batchlens_trace::MachineId,
+    /// The glyph center in scene coordinates.
+    pub position: Point,
+}
+
+/// Builds dotted-link nodes from glyph anchors and the co-allocation index.
+///
+/// Returns one [`Node::Line`] per `(machine, job_a, job_b)` pair for which
+/// both anchors are known. Colors cycle through the paper's green/orange/
+/// purple link palette, keyed by machine so each shared machine keeps one
+/// color across its links.
+pub fn build_links(anchors: &[GlyphAnchor], index: &CoallocationIndex) -> Vec<Node> {
+    // (job, machine) → position.
+    let mut pos: HashMap<(batchlens_trace::JobId, batchlens_trace::MachineId), Point> =
+        HashMap::new();
+    for a in anchors {
+        pos.insert((a.job, a.machine), a.position);
+    }
+
+    let mut out = Vec::new();
+    for link in index.links() {
+        let a = pos.get(&(link.job_a, link.machine));
+        let b = pos.get(&(link.job_b, link.machine));
+        if let (Some(pa), Some(pb)) = (a, b) {
+            // All links of one machine share a hue, keyed by machine id.
+            let color = link_color(link.machine.raw() as usize);
+            out.push(Node::Line {
+                from: (pa.x, pa.y),
+                to: (pb.x, pb.y),
+                style: Style::stroked(color.with_alpha(200), 1.2).dash(Stroke::Dotted),
+            });
+        }
+    }
+    out
+}
+
+/// Number of links that would be drawn given the available anchors — for
+/// tests and sizing.
+pub fn link_count(anchors: &[GlyphAnchor], index: &CoallocationIndex) -> usize {
+    build_links(anchors, index).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::{JobId, MachineId};
+
+    fn anchor(job: u32, machine: u32, x: f64, y: f64) -> GlyphAnchor {
+        GlyphAnchor {
+            job: JobId::new(job),
+            machine: MachineId::new(machine),
+            position: Point::new(x, y),
+        }
+    }
+
+    #[test]
+    fn links_connect_shared_glyphs() {
+        // Build a co-allocation index directly from a tiny dataset.
+        use batchlens_trace::{BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp, TraceDatasetBuilder};
+        let mut b = TraceDatasetBuilder::new();
+        for job in [1u32, 2] {
+            b.push_task(BatchTaskRecord {
+                create_time: Timestamp::new(0),
+                modify_time: Timestamp::new(100),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                instance_count: 1,
+                status: TaskStatus::Terminated,
+                plan_cpu: 1.0,
+                plan_mem: 0.5,
+            });
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(0),
+                end_time: Timestamp::new(100),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                seq: 0,
+                total: 1,
+                machine: MachineId::new(5),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.1,
+                cpu_max: 0.2,
+                mem_avg: 0.1,
+                mem_max: 0.2,
+            });
+        }
+        let ds = b.build().unwrap();
+        let index = CoallocationIndex::at(&ds, Timestamp::new(50));
+        assert_eq!(index.len(), 1);
+
+        let anchors = vec![
+            anchor(1, 5, 100.0, 100.0),
+            anchor(2, 5, 300.0, 200.0),
+        ];
+        let links = build_links(&anchors, &index);
+        assert_eq!(links.len(), 1);
+        if let Node::Line { from, to, style } = &links[0] {
+            assert_eq!(*from, (100.0, 100.0));
+            assert_eq!(*to, (300.0, 200.0));
+            assert_eq!(style.dash, Stroke::Dotted);
+        } else {
+            panic!("not a line");
+        }
+    }
+
+    #[test]
+    fn missing_anchor_drops_link() {
+        use batchlens_trace::{BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp, TraceDatasetBuilder};
+        let mut b = TraceDatasetBuilder::new();
+        for job in [1u32, 2] {
+            b.push_task(BatchTaskRecord {
+                create_time: Timestamp::new(0),
+                modify_time: Timestamp::new(100),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                instance_count: 1,
+                status: TaskStatus::Terminated,
+                plan_cpu: 1.0,
+                plan_mem: 0.5,
+            });
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(0),
+                end_time: Timestamp::new(100),
+                job: JobId::new(job),
+                task: TaskId::new(1),
+                seq: 0,
+                total: 1,
+                machine: MachineId::new(5),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.1,
+                cpu_max: 0.2,
+                mem_avg: 0.1,
+                mem_max: 0.2,
+            });
+        }
+        let ds = b.build().unwrap();
+        let index = CoallocationIndex::at(&ds, Timestamp::new(50));
+        // Only job 1's anchor known.
+        let anchors = vec![anchor(1, 5, 100.0, 100.0)];
+        assert_eq!(link_count(&anchors, &index), 0);
+    }
+
+    #[test]
+    fn no_shared_machines_no_links() {
+        let index = CoallocationIndex::default();
+        assert_eq!(build_links(&[], &index).len(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The hover "zoom-in refresh" detail view (paper Fig 3(b)): when the user
+//! mouses over a compute node that several jobs share, BatchLens refreshes to
+//! show that one physical machine's utilization with the jobs running on it
+//! marked.
+//!
+//! This view plots a single machine's three metric series over a window and
+//! overlays each co-located job's execution interval as a shaded band, so the
+//! operator sees *which* job is responsible for a spike on the shared node.
+
+use batchlens_layout::color::task_color;
+use batchlens_layout::line::lttb;
+use batchlens_layout::{Color, LinearScale};
+use batchlens_trace::{MachineId, Metric, TimeRange, TraceDataset};
+
+use crate::axis::{TickFormat, XAxis, YAxis};
+use crate::scene::{Align, Node, Scene, Style};
+
+/// Renders one machine's detail (all three metrics) with co-located job
+/// bands.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeDetail {
+    width: f64,
+    height: f64,
+    margin: f64,
+    point_budget: usize,
+}
+
+impl NodeDetail {
+    /// A node-detail view for the given viewport.
+    pub fn new(width: f64, height: f64) -> Self {
+        NodeDetail { width, height, margin: 44.0, point_budget: 300 }
+    }
+
+    /// Renders machine `machine`'s three metric series over `window`, with a
+    /// shaded band and label for each distinct job that runs on it during the
+    /// window.
+    pub fn render(&self, ds: &TraceDataset, machine: MachineId, window: &TimeRange) -> Scene {
+        let mut scene = Scene::new(self.width, self.height);
+        let Some(mv) = ds.machine(machine) else {
+            scene.push(note(self.width, self.height, &format!("{machine} not found")));
+            return scene;
+        };
+
+        let plot_left = self.margin;
+        let plot_right = self.width - 10.0;
+        let plot_top = 24.0;
+        let plot_bottom = self.height - self.margin;
+        let x = LinearScale::new(
+            (window.start().seconds() as f64, window.end().seconds() as f64),
+            (plot_left, plot_right),
+        )
+        .clamped();
+        let y = LinearScale::new((0.0, 1.0), (plot_bottom, plot_top));
+
+        let mut root = Vec::new();
+
+        // Co-located job bands (drawn first, behind the lines).
+        let mut jobs: Vec<_> = mv
+            .instances()
+            .filter_map(|i| i.record.window().ok().map(|w| (i.record.job, w)))
+            .collect();
+        jobs.sort_by_key(|(j, w)| (*j, w.start()));
+        jobs.dedup_by_key(|(j, _)| *j);
+        for (idx, (job, jw)) in jobs.iter().enumerate() {
+            if let Some(clip) = jw.intersect(window) {
+                let x0 = x.scale(clip.start().seconds() as f64);
+                let x1 = x.scale(clip.end().seconds() as f64);
+                let color = task_color(idx).with_alpha(36);
+                root.push(Node::Rect {
+                    x: x0,
+                    y: plot_top,
+                    width: (x1 - x0).max(0.0),
+                    height: plot_bottom - plot_top,
+                    style: Style::filled(color),
+                });
+                root.push(Node::Text {
+                    x: (x0 + x1) / 2.0,
+                    y: plot_top + 10.0 + (idx % 3) as f64 * 10.0,
+                    text: job.to_string(),
+                    size: 8.0,
+                    align: Align::Middle,
+                    color: task_color(idx),
+                });
+            }
+        }
+
+        // Axes.
+        root.extend(
+            XAxis { scale: x, y: plot_bottom, top: plot_top, ticks: 5, format: TickFormat::Hours, grid: false }
+                .render(),
+        );
+        root.extend(
+            YAxis { scale: y, x: plot_left, right: plot_right, ticks: 2, format: TickFormat::Percent, grid: true }
+                .render(),
+        );
+
+        // One line per metric.
+        for (i, metric) in Metric::ALL.into_iter().enumerate() {
+            if let Some(series) = mv.usage(metric) {
+                let raw: Vec<(f64, f64)> = series
+                    .slice(window)
+                    .iter()
+                    .map(|(t, v)| (x.scale(t.seconds() as f64), y.scale(v)))
+                    .collect();
+                if raw.len() >= 2 {
+                    root.push(Node::Polyline {
+                        points: lttb(&raw, self.point_budget),
+                        style: Style::stroked(metric_color(i), 1.3),
+                    });
+                }
+            }
+        }
+
+        root.push(Node::Text {
+            x: plot_left,
+            y: 14.0,
+            text: format!("{machine} — CPU/mem/disk with {} co-located job(s)", jobs.len()),
+            size: 11.0,
+            align: Align::Start,
+            color: Color::rgb(40, 40, 40),
+        });
+
+        scene.push(Node::group_at((0.0, 0.0), root));
+        scene
+    }
+}
+
+fn metric_color(i: usize) -> Color {
+    // CPU blue, memory orange, disk green (distinct from the band palette).
+    const C: [&str; 3] = ["#1f77b4", "#ff7f0e", "#2ca02c"];
+    Color::from_hex(C[i % 3]).expect("static hex")
+}
+
+fn note(w: f64, h: f64, text: &str) -> Node {
+    Node::Text {
+        x: w / 2.0,
+        y: h / 2.0,
+        text: text.to_string(),
+        size: 14.0,
+        align: Align::Middle,
+        color: Color::rgb(120, 120, 120),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn renders_shared_node_with_bands() {
+        let ds = scenario::fig3b(1).run().unwrap();
+        // Pick a machine shared by several jobs.
+        let idx = batchlens_analytics::CoallocationIndex::at(&ds, scenario::T_FIG3B);
+        let shared = idx.shared_machines()[0].machine;
+        let window = ds.span().unwrap();
+        let scene = NodeDetail::new(800.0, 300.0).render(&ds, shared, &window);
+        // Three metric lines.
+        assert_eq!(scene.counts().polylines, 3);
+        // At least two job bands (it is shared).
+        assert!(scene.counts().rects >= 2);
+    }
+
+    #[test]
+    fn missing_machine_notes() {
+        let ds = scenario::fig1_sample(2).run().unwrap();
+        let scene =
+            NodeDetail::new(400.0, 200.0).render(&ds, MachineId::new(99999), &TimeRange::full_day());
+        assert_eq!(scene.counts().polylines, 0);
+        assert_eq!(scene.counts().texts, 1);
+    }
+
+    #[test]
+    fn single_job_node_has_one_band() {
+        let ds = scenario::fig1_sample(3).run().unwrap();
+        let m = ds.machine(MachineId::new(0)).unwrap().id();
+        let window = ds.span().unwrap();
+        let scene = NodeDetail::new(600.0, 250.0).render(&ds, m, &window);
+        assert!(scene.counts().polylines >= 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! A minimal, resolution-independent scene graph.
+//!
+//! Views build a tree of [`Node`]s; [`crate::svg::to_svg`] serializes it.
+//! Keeping the scene graph separate from SVG means the same view code could
+//! target another backend (canvas, PDF) without change, and lets tests
+//! inspect structure (counts of circles, presence of annotation rules)
+//! without parsing text.
+
+use batchlens_layout::Color;
+use serde::{Deserialize, Serialize};
+
+/// Stroke dash style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stroke {
+    /// Solid line.
+    Solid,
+    /// Dotted line (the paper's dotted job/task outlines and links).
+    Dotted,
+    /// Dashed line.
+    Dashed,
+}
+
+/// Fill/stroke/text style for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Style {
+    /// Fill color (`None` = no fill).
+    pub fill: Option<Color>,
+    /// Stroke color (`None` = no stroke).
+    pub stroke: Option<Color>,
+    /// Stroke width in user units.
+    pub stroke_width: f64,
+    /// Dash style.
+    pub dash: Stroke,
+    /// Fill opacity multiplier in `[0, 1]` (composes with the color alpha).
+    pub opacity: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            fill: None,
+            stroke: Some(Color::BLACK),
+            stroke_width: 1.0,
+            dash: Stroke::Solid,
+            opacity: 1.0,
+        }
+    }
+}
+
+impl Style {
+    /// A filled style with no stroke.
+    pub fn filled(color: Color) -> Self {
+        Style { fill: Some(color), stroke: None, ..Style::default() }
+    }
+
+    /// A stroked style with no fill.
+    pub fn stroked(color: Color, width: f64) -> Self {
+        Style {
+            fill: None,
+            stroke: Some(color),
+            stroke_width: width,
+            ..Style::default()
+        }
+    }
+
+    /// Sets the dash style (builder).
+    #[must_use]
+    pub fn dash(mut self, dash: Stroke) -> Self {
+        self.dash = dash;
+        self
+    }
+
+    /// Sets the fill (builder).
+    #[must_use]
+    pub fn with_fill(mut self, color: Color) -> Self {
+        self.fill = Some(color);
+        self
+    }
+
+    /// Sets opacity (builder).
+    #[must_use]
+    pub fn with_opacity(mut self, opacity: f64) -> Self {
+        self.opacity = opacity.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Horizontal text alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Align {
+    /// Anchor at the start (left).
+    Start,
+    /// Anchor at the middle.
+    Middle,
+    /// Anchor at the end (right).
+    End,
+}
+
+/// A drawable node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A group of child nodes, optionally translated and titled (title
+    /// becomes an SVG `<title>` for tooltips and a `data-label`).
+    Group {
+        /// Optional label (for tooltips/tests).
+        label: Option<String>,
+        /// Translation applied to children.
+        translate: (f64, f64),
+        /// Child nodes.
+        children: Vec<Node>,
+    },
+    /// A circle.
+    Circle {
+        /// Center x.
+        cx: f64,
+        /// Center y.
+        cy: f64,
+        /// Radius.
+        r: f64,
+        /// Style.
+        style: Style,
+        /// Optional label.
+        label: Option<String>,
+    },
+    /// An annulus sector (ring wedge) — the node glyph's metric arcs.
+    AnnulusSector {
+        /// Center x.
+        cx: f64,
+        /// Center y.
+        cy: f64,
+        /// Inner radius.
+        inner: f64,
+        /// Outer radius.
+        outer: f64,
+        /// Start angle in radians (0 = +x, clockwise in SVG).
+        start_angle: f64,
+        /// End angle in radians.
+        end_angle: f64,
+        /// Style (usually filled).
+        style: Style,
+    },
+    /// A polyline through the given points.
+    Polyline {
+        /// Points in user coordinates.
+        points: Vec<(f64, f64)>,
+        /// Style (usually stroked, no fill).
+        style: Style,
+    },
+    /// A straight line segment (annotation rules, axes).
+    Line {
+        /// Start.
+        from: (f64, f64),
+        /// End.
+        to: (f64, f64),
+        /// Style.
+        style: Style,
+    },
+    /// An axis-aligned rectangle.
+    Rect {
+        /// Left.
+        x: f64,
+        /// Top.
+        y: f64,
+        /// Width.
+        width: f64,
+        /// Height.
+        height: f64,
+        /// Style.
+        style: Style,
+    },
+    /// A text label.
+    Text {
+        /// Anchor x.
+        x: f64,
+        /// Baseline y.
+        y: f64,
+        /// The string.
+        text: String,
+        /// Font size in user units.
+        size: f64,
+        /// Horizontal alignment.
+        align: Align,
+        /// Fill color.
+        color: Color,
+    },
+}
+
+impl Node {
+    /// A translated group.
+    pub fn group_at(translate: (f64, f64), children: Vec<Node>) -> Node {
+        Node::Group { label: None, translate, children }
+    }
+
+    /// A labelled group at the origin.
+    pub fn labelled(label: impl Into<String>, children: Vec<Node>) -> Node {
+        Node::Group { label: Some(label.into()), translate: (0.0, 0.0), children }
+    }
+
+    /// Counts nodes of each leaf kind in the subtree (for tests).
+    pub fn counts(&self) -> NodeCounts {
+        let mut c = NodeCounts::default();
+        self.accumulate(&mut c);
+        c
+    }
+
+    fn accumulate(&self, c: &mut NodeCounts) {
+        match self {
+            Node::Group { children, .. } => {
+                c.groups += 1;
+                for child in children {
+                    child.accumulate(c);
+                }
+            }
+            Node::Circle { .. } => c.circles += 1,
+            Node::AnnulusSector { .. } => c.sectors += 1,
+            Node::Polyline { .. } => c.polylines += 1,
+            Node::Line { .. } => c.lines += 1,
+            Node::Rect { .. } => c.rects += 1,
+            Node::Text { .. } => c.texts += 1,
+        }
+    }
+}
+
+/// Tally of node kinds in a subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeCounts {
+    /// Number of group nodes.
+    pub groups: usize,
+    /// Number of circles.
+    pub circles: usize,
+    /// Number of annulus sectors.
+    pub sectors: usize,
+    /// Number of polylines.
+    pub polylines: usize,
+    /// Number of line segments.
+    pub lines: usize,
+    /// Number of rectangles.
+    pub rects: usize,
+    /// Number of text labels.
+    pub texts: usize,
+}
+
+/// A complete scene with a viewport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// Viewport width.
+    pub width: f64,
+    /// Viewport height.
+    pub height: f64,
+    /// Background color (drawn as a full-viewport rect).
+    pub background: Color,
+    /// Root nodes.
+    pub root: Vec<Node>,
+}
+
+impl Scene {
+    /// An empty scene with a white background.
+    pub fn new(width: f64, height: f64) -> Scene {
+        Scene { width, height, background: Color::WHITE, root: Vec::new() }
+    }
+
+    /// Sets the background (builder).
+    #[must_use]
+    pub fn background(mut self, color: Color) -> Scene {
+        self.background = color;
+        self
+    }
+
+    /// Adds a root node.
+    pub fn push(&mut self, node: Node) -> &mut Scene {
+        self.root.push(node);
+        self
+    }
+
+    /// Total leaf/group counts over all roots.
+    pub fn counts(&self) -> NodeCounts {
+        let mut c = NodeCounts::default();
+        for n in &self.root {
+            n.accumulate(&mut c);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_builders() {
+        let s = Style::filled(Color::BLACK).dash(Stroke::Dotted).with_opacity(0.5);
+        assert_eq!(s.fill, Some(Color::BLACK));
+        assert_eq!(s.dash, Stroke::Dotted);
+        assert_eq!(s.opacity, 0.5);
+        assert_eq!(Style::default().stroke, Some(Color::BLACK));
+    }
+
+    #[test]
+    fn counts_traverse_groups() {
+        let scene = {
+            let mut s = Scene::new(100.0, 100.0);
+            s.push(Node::group_at(
+                (0.0, 0.0),
+                vec![
+                    Node::Circle { cx: 1.0, cy: 1.0, r: 1.0, style: Style::default(), label: None },
+                    Node::Circle { cx: 2.0, cy: 2.0, r: 1.0, style: Style::default(), label: None },
+                    Node::Line { from: (0.0, 0.0), to: (1.0, 1.0), style: Style::default() },
+                ],
+            ));
+            s
+        };
+        let c = scene.counts();
+        assert_eq!(c.circles, 2);
+        assert_eq!(c.lines, 1);
+        assert_eq!(c.groups, 1);
+    }
+
+    #[test]
+    fn labelled_group_carries_label() {
+        let n = Node::labelled("job_1", vec![]);
+        if let Node::Group { label, .. } = n {
+            assert_eq!(label.as_deref(), Some("job_1"));
+        } else {
+            panic!("not a group");
+        }
+    }
+
+    #[test]
+    fn opacity_clamps() {
+        assert_eq!(Style::default().with_opacity(5.0).opacity, 1.0);
+        assert_eq!(Style::default().with_opacity(-1.0).opacity, 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! SVG serialization of a [`crate::scene::Scene`].
+
+use std::fmt::Write as _;
+
+use batchlens_layout::Color;
+
+use crate::scene::{Align, Node, Scene, Stroke, Style};
+
+/// Serializes a scene into a standalone SVG document string.
+///
+/// The output is deterministic and self-contained (no external refs), so
+/// figures are byte-stable across runs and diffable in tests.
+pub fn to_svg(scene: &Scene) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">",
+        w = fmt_num(scene.width),
+        h = fmt_num(scene.height),
+    );
+    // Background.
+    let _ = writeln!(
+        s,
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+        fmt_num(scene.width),
+        fmt_num(scene.height),
+        scene.background,
+    );
+    for node in &scene.root {
+        write_node(&mut s, node);
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn write_node(s: &mut String, node: &Node) {
+    match node {
+        Node::Group { label, translate, children } => {
+            let (tx, ty) = *translate;
+            s.push_str("<g");
+            if tx != 0.0 || ty != 0.0 {
+                let _ = write!(s, " transform=\"translate({} {})\"", fmt_num(tx), fmt_num(ty));
+            }
+            if let Some(l) = label {
+                let _ = write!(s, " data-label=\"{}\"", escape(l));
+            }
+            s.push_str(">\n");
+            if let Some(l) = label {
+                let _ = writeln!(s, "<title>{}</title>", escape(l));
+            }
+            for child in children {
+                write_node(s, child);
+            }
+            s.push_str("</g>\n");
+        }
+        Node::Circle { cx, cy, r, style, label } => {
+            s.push_str("<circle");
+            let _ = write!(s, " cx=\"{}\" cy=\"{}\" r=\"{}\"", fmt_num(*cx), fmt_num(*cy), fmt_num(*r));
+            write_style(s, style);
+            if label.is_some() {
+                s.push('>');
+                if let Some(l) = label {
+                    let _ = write!(s, "<title>{}</title>", escape(l));
+                }
+                s.push_str("</circle>\n");
+            } else {
+                s.push_str("/>\n");
+            }
+        }
+        Node::AnnulusSector { cx, cy, inner, outer, start_angle, end_angle, style } => {
+            let _ = write!(s, "<path d=\"{}\"", annulus_path(*cx, *cy, *inner, *outer, *start_angle, *end_angle));
+            write_style(s, style);
+            s.push_str("/>\n");
+        }
+        Node::Polyline { points, style } => {
+            s.push_str("<polyline points=\"");
+            for (i, (x, y)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{},{}", fmt_num(*x), fmt_num(*y));
+            }
+            s.push('"');
+            write_style(s, style);
+            s.push_str("/>\n");
+        }
+        Node::Line { from, to, style } => {
+            let _ = write!(
+                s,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"",
+                fmt_num(from.0),
+                fmt_num(from.1),
+                fmt_num(to.0),
+                fmt_num(to.1)
+            );
+            write_style(s, style);
+            s.push_str("/>\n");
+        }
+        Node::Rect { x, y, width, height, style } => {
+            let _ = write!(
+                s,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"",
+                fmt_num(*x),
+                fmt_num(*y),
+                fmt_num(*width),
+                fmt_num(*height)
+            );
+            write_style(s, style);
+            s.push_str("/>\n");
+        }
+        Node::Text { x, y, text, size, align, color } => {
+            let anchor = match align {
+                Align::Start => "start",
+                Align::Middle => "middle",
+                Align::End => "end",
+            };
+            let _ = writeln!(
+                s,
+                "<text x=\"{}\" y=\"{}\" font-size=\"{}\" text-anchor=\"{}\" \
+                 font-family=\"sans-serif\" fill=\"{}\">{}</text>",
+                fmt_num(*x),
+                fmt_num(*y),
+                fmt_num(*size),
+                anchor,
+                color,
+                escape(text)
+            );
+        }
+    }
+}
+
+fn write_style(s: &mut String, style: &Style) {
+    match style.fill {
+        Some(c) => {
+            let _ = write!(s, " fill=\"{}\"", c);
+            if c.a != 255 {
+                let _ = write!(s, " fill-opacity=\"{}\"", fmt_num(c.a as f64 / 255.0));
+            }
+        }
+        None => s.push_str(" fill=\"none\""),
+    }
+    if style.opacity < 1.0 {
+        let _ = write!(s, " opacity=\"{}\"", fmt_num(style.opacity));
+    }
+    if let Some(c) = style.stroke {
+        let _ = write!(s, " stroke=\"{}\" stroke-width=\"{}\"", c, fmt_num(style.stroke_width));
+        if c.a != 255 {
+            let _ = write!(s, " stroke-opacity=\"{}\"", fmt_num(c.a as f64 / 255.0));
+        }
+        match style.dash {
+            Stroke::Solid => {}
+            Stroke::Dotted => {
+                let _ = write!(s, " stroke-dasharray=\"{} {}\"", fmt_num(style.stroke_width), fmt_num(style.stroke_width * 2.0));
+            }
+            Stroke::Dashed => {
+                let _ = write!(s, " stroke-dasharray=\"{} {}\"", fmt_num(style.stroke_width * 4.0), fmt_num(style.stroke_width * 2.0));
+            }
+        }
+    }
+}
+
+/// Builds the SVG path for an annulus sector (ring wedge).
+fn annulus_path(
+    cx: f64,
+    cy: f64,
+    inner: f64,
+    outer: f64,
+    start: f64,
+    end: f64,
+) -> String {
+    let (sx_o, sy_o) = (cx + outer * start.cos(), cy + outer * start.sin());
+    let (ex_o, ey_o) = (cx + outer * end.cos(), cy + outer * end.sin());
+    let (sx_i, sy_i) = (cx + inner * end.cos(), cy + inner * end.sin());
+    let (ex_i, ey_i) = (cx + inner * start.cos(), cy + inner * start.sin());
+    let large = if (end - start).abs() > std::f64::consts::PI { 1 } else { 0 };
+    // Outer arc sweeps positive (1), inner arc sweeps back (0).
+    format!(
+        "M {} {} A {r} {r} 0 {large} 1 {} {} L {} {} A {ri} {ri} 0 {large} 0 {} {} Z",
+        fmt_num(sx_o),
+        fmt_num(sy_o),
+        fmt_num(ex_o),
+        fmt_num(ey_o),
+        fmt_num(sx_i),
+        fmt_num(sy_i),
+        fmt_num(ex_i),
+        fmt_num(ey_i),
+        r = fmt_num(outer),
+        ri = fmt_num(inner),
+        large = large,
+    )
+}
+
+/// Formats a number compactly: integers without a decimal point, others to
+/// three decimals with trailing zeros trimmed.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let mut s = format!("{v:.3}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Estimates the text color (black or white) with the best contrast against
+/// a background — used by renderers to label colored glyphs.
+pub fn contrasting_text(background: Color) -> Color {
+    if background.luminance() > 0.55 {
+        Color::BLACK
+    } else {
+        Color::WHITE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Scene;
+
+    #[test]
+    fn empty_scene_is_valid_svg() {
+        let svg = to_svg(&Scene::new(100.0, 50.0));
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("width=\"100\" height=\"50\""));
+        assert!(svg.contains("viewBox=\"0 0 100 50\""));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn circle_emits_attributes() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::Circle {
+            cx: 5.0,
+            cy: 5.0,
+            r: 3.0,
+            style: Style::filled(Color::rgb(255, 0, 0)),
+            label: Some("node".into()),
+        });
+        let svg = to_svg(&scene);
+        assert!(svg.contains("<circle cx=\"5\" cy=\"5\" r=\"3\""));
+        assert!(svg.contains("fill=\"#ff0000\""));
+        assert!(svg.contains("<title>node</title>"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(5.0), "5");
+        assert_eq!(fmt_num(5.5), "5.5");
+        assert_eq!(fmt_num(5.12345), "5.123");
+        assert_eq!(fmt_num(5.100), "5.1");
+        assert_eq!(fmt_num(f64::NAN), "0");
+        assert_eq!(fmt_num(-3.0), "-3");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a & b < c > d \""), "a &amp; b &lt; c &gt; d &quot;");
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::Text {
+            x: 0.0,
+            y: 0.0,
+            text: "job <1> & \"x\"".into(),
+            size: 10.0,
+            align: Align::Start,
+            color: Color::BLACK,
+        });
+        let svg = to_svg(&scene);
+        assert!(svg.contains("job &lt;1&gt; &amp; &quot;x&quot;"));
+        assert!(!svg.contains("job <1>"));
+    }
+
+    #[test]
+    fn dotted_stroke_has_dasharray() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::Circle {
+            cx: 5.0,
+            cy: 5.0,
+            r: 3.0,
+            style: Style::stroked(Color::BLACK, 2.0).dash(Stroke::Dotted),
+            label: None,
+        });
+        let svg = to_svg(&scene);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn polyline_points_are_ordered() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.push(Node::Polyline {
+            points: vec![(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)],
+            style: Style::stroked(Color::BLACK, 1.0),
+        });
+        let svg = to_svg(&scene);
+        assert!(svg.contains("points=\"0,0 1,2 3,1\""));
+        assert!(svg.contains("fill=\"none\""));
+    }
+
+    #[test]
+    fn annulus_sector_is_a_path() {
+        let mut scene = Scene::new(100.0, 100.0);
+        scene.push(Node::AnnulusSector {
+            cx: 50.0,
+            cy: 50.0,
+            inner: 10.0,
+            outer: 20.0,
+            start_angle: 0.0,
+            end_angle: std::f64::consts::FRAC_PI_2,
+            style: Style::filled(Color::rgb(0, 128, 0)),
+        });
+        let svg = to_svg(&scene);
+        assert!(svg.contains("<path d=\"M "));
+        assert!(svg.contains(" A 20 20 0 "));
+        assert!(svg.contains(" A 10 10 0 "));
+        assert!(svg.contains('Z'));
+    }
+
+    #[test]
+    fn contrast_picks_readable_color() {
+        assert_eq!(contrasting_text(Color::WHITE), Color::BLACK);
+        assert_eq!(contrasting_text(Color::BLACK), Color::WHITE);
+    }
+}

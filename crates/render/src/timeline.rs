@@ -1,0 +1,153 @@
+//! The aggregated, brushable system timeline — the overview strip where the
+//! user "selects an interesting time range through brushing".
+
+use batchlens_analytics::aggregate::ClusterTimeline;
+use batchlens_layout::color::task_color;
+use batchlens_layout::line::lttb;
+use batchlens_layout::{Brush, Color, LinearScale};
+use batchlens_trace::{Metric, TimeRange};
+
+use crate::scene::{Align, Node, Scene, Style};
+
+/// Renders the aggregated cluster timeline with an optional brush overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineView {
+    width: f64,
+    height: f64,
+    margin: f64,
+    point_budget: usize,
+}
+
+impl TimelineView {
+    /// A timeline view for the given viewport.
+    pub fn new(width: f64, height: f64) -> Self {
+        TimelineView { width, height, margin: 30.0, point_budget: 400 }
+    }
+
+    /// Renders the three metric series stacked in one strip. When `brush`
+    /// has a selection, the unselected regions are dimmed with an overlay.
+    pub fn render(&self, timeline: &ClusterTimeline, brush: Option<&Brush>) -> Scene {
+        let mut scene = Scene::new(self.width, self.height);
+        let plot_left = self.margin;
+        let plot_right = self.width - self.margin / 2.0;
+        let plot_top = 4.0;
+        let plot_bottom = self.height - self.margin / 2.0;
+
+        // Domain from the CPU series span (all three share a grid).
+        let span = timeline
+            .cpu
+            .span()
+            .unwrap_or_else(|| TimeRange::new(batchlens_trace::Timestamp::ZERO, batchlens_trace::Timestamp::new(1)).unwrap());
+        let x = LinearScale::new(
+            (span.start().seconds() as f64, span.end().seconds() as f64),
+            (plot_left, plot_right),
+        )
+        .clamped();
+        let y = LinearScale::new((0.0, 1.0), (plot_bottom, plot_top));
+
+        let mut root = Vec::new();
+        // Axis baseline.
+        root.push(Node::Line {
+            from: (plot_left, plot_bottom),
+            to: (plot_right, plot_bottom),
+            style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
+        });
+
+        for (i, metric) in [Metric::Cpu, Metric::Memory, Metric::Disk].into_iter().enumerate() {
+            let series = timeline.metric(metric);
+            let raw: Vec<(f64, f64)> = series
+                .iter()
+                .map(|(t, v)| (x.scale(t.seconds() as f64), y.scale(v)))
+                .collect();
+            if raw.len() >= 2 {
+                let pts = lttb(&raw, self.point_budget);
+                root.push(Node::Polyline {
+                    points: pts,
+                    style: Style::stroked(task_color(i).with_alpha(200), 1.2),
+                });
+            }
+            // Legend swatch.
+            root.push(Node::Text {
+                x: plot_left + 4.0 + i as f64 * 70.0,
+                y: plot_top + 10.0,
+                text: metric.short_name().to_string(),
+                size: 9.0,
+                align: Align::Start,
+                color: task_color(i),
+            });
+        }
+
+        // Brush overlay: dim everything outside the selection.
+        if let Some(b) = brush {
+            if let Some((lo, hi)) = b.selection() {
+                let sx0 = x.scale(lo);
+                let sx1 = x.scale(hi);
+                let dim = Color::rgb(120, 120, 120).with_alpha(60);
+                // Left dim.
+                root.push(Node::Rect {
+                    x: plot_left,
+                    y: plot_top,
+                    width: (sx0 - plot_left).max(0.0),
+                    height: plot_bottom - plot_top,
+                    style: Style::filled(dim),
+                });
+                // Right dim.
+                root.push(Node::Rect {
+                    x: sx1,
+                    y: plot_top,
+                    width: (plot_right - sx1).max(0.0),
+                    height: plot_bottom - plot_top,
+                    style: Style::filled(dim),
+                });
+                // Selection borders.
+                for sx in [sx0, sx1] {
+                    root.push(Node::Line {
+                        from: (sx, plot_top),
+                        to: (sx, plot_bottom),
+                        style: Style::stroked(Color::rgb(40, 40, 40), 1.0),
+                    });
+                }
+            }
+        }
+
+        scene.push(Node::group_at((0.0, 0.0), root));
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    #[test]
+    fn timeline_draws_three_series() {
+        let ds = scenario::fig2_sample(1).run().unwrap();
+        let tl = ClusterTimeline::build(&ds);
+        let scene = TimelineView::new(800.0, 120.0).render(&tl, None);
+        assert_eq!(scene.counts().polylines, 3);
+        // Three legend labels + baseline.
+        assert_eq!(scene.counts().texts, 3);
+    }
+
+    #[test]
+    fn brush_overlay_adds_dim_rects() {
+        let ds = scenario::fig2_sample(2).run().unwrap();
+        let tl = ClusterTimeline::build(&ds);
+        let span = tl.cpu.span().unwrap();
+        let mut brush = Brush::new((span.start().seconds() as f64, span.end().seconds() as f64));
+        brush.select(1000.0, 3000.0);
+        let scene = TimelineView::new(800.0, 120.0).render(&tl, Some(&brush));
+        assert_eq!(scene.counts().rects, 2, "two dim rects flank the selection");
+    }
+
+    #[test]
+    fn inactive_brush_adds_no_overlay() {
+        let ds = scenario::fig2_sample(3).run().unwrap();
+        let tl = ClusterTimeline::build(&ds);
+        let span = tl.cpu.span().unwrap();
+        let brush = Brush::new((span.start().seconds() as f64, span.end().seconds() as f64));
+        let scene = TimelineView::new(800.0, 120.0).render(&tl, Some(&brush));
+        assert_eq!(scene.counts().rects, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Ground-truth anomaly injection.
+//!
+//! The paper's case study identifies anomalous behaviours *anecdotally* in
+//! the real trace; the simulator plants them *deliberately*, which is what
+//! makes the reproduction testable: detectors in `batchlens-analytics` must
+//! find exactly these injected behaviours, and the regenerated Fig 3 views
+//! must show them.
+
+use batchlens_trace::{JobId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::{FootprintProfile, Shape};
+
+/// A per-job anomalous behaviour, attached to a [`crate::JobSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Anomaly {
+    /// Fig 3(b): CPU and memory climb through the run and **peak when the
+    /// job execution is over**, then drop back slowly. ("a notable spike
+    /// emerges for CPU and memory usage after Job job_7901 is scheduled…
+    /// Both metrics reach the peak of the utilization when the job execution
+    /// is over, followed by a slow drop to the normal level.")
+    EndSpike {
+        /// CPU contribution at the peak.
+        cpu_peak: f64,
+        /// Memory contribution at the peak.
+        mem_peak: f64,
+    },
+    /// Fig 3(c): virtual-memory thrashing. Memory stays pinned while CPU
+    /// utilization *decreases* and the system stops making progress.
+    Thrashing {
+        /// Pinned memory contribution.
+        mem_level: f64,
+        /// CPU contribution at job start.
+        cpu_initial: f64,
+        /// CPU contribution the collapse decays toward.
+        cpu_floor: f64,
+    },
+    /// Memory grows linearly through the run (leak).
+    MemoryLeak {
+        /// Memory contribution at start.
+        mem_from: f64,
+        /// Memory contribution at end.
+        mem_to: f64,
+    },
+    /// One instance per task runs `factor`× the nominal duration,
+    /// de-bundling that task's end annotation cluster.
+    Straggler {
+        /// Duration multiplier for the straggling instance (> 1).
+        factor: f64,
+    },
+}
+
+impl Anomaly {
+    /// The default Fig 3(b) spike used by scenarios.
+    pub fn end_spike() -> Self {
+        Anomaly::EndSpike { cpu_peak: 0.55, mem_peak: 0.45 }
+    }
+
+    /// The default Fig 3(c) thrashing used by scenarios.
+    pub fn thrashing() -> Self {
+        Anomaly::Thrashing { mem_level: 0.65, cpu_initial: 0.55, cpu_floor: 0.06 }
+    }
+
+    /// Rewrites a task footprint according to the anomaly, if the anomaly
+    /// works through footprints. `Straggler` leaves footprints alone (it
+    /// perturbs durations instead — see [`Anomaly::straggler_factor`]).
+    pub fn apply_to_footprint(&self, base: FootprintProfile) -> FootprintProfile {
+        match *self {
+            Anomaly::EndSpike { cpu_peak, mem_peak } => {
+                FootprintProfile::end_spike(cpu_peak, mem_peak)
+            }
+            Anomaly::Thrashing { mem_level, cpu_initial, cpu_floor } => {
+                FootprintProfile::thrashing(mem_level, cpu_initial, cpu_floor)
+            }
+            Anomaly::MemoryLeak { mem_from, mem_to } => FootprintProfile {
+                mem: Shape::Linear { from: mem_from, to: mem_to },
+                ..base
+            },
+            Anomaly::Straggler { .. } => base,
+        }
+    }
+
+    /// For `Straggler`, the duration multiplier applied to one instance per
+    /// task; `None` otherwise.
+    pub fn straggler_factor(&self) -> Option<f64> {
+        match *self {
+            Anomaly::Straggler { factor } => Some(factor),
+            _ => None,
+        }
+    }
+
+    /// Short machine-readable kind name (used in reports and test asserts).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Anomaly::EndSpike { .. } => "end_spike",
+            Anomaly::Thrashing { .. } => "thrashing",
+            Anomaly::MemoryLeak { .. } => "memory_leak",
+            Anomaly::Straggler { .. } => "straggler",
+        }
+    }
+}
+
+/// A cluster-level scripted event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ClusterEvent {
+    /// The paper's timestamp-44100 event: every running job is terminated
+    /// (status `Cancelled`, end truncated to `at`) except the survivors.
+    /// ("at Timestamp 44100, all of the preceding nodes on the system are
+    /// shut down, and only Job job_11599 is left on the entire platform.")
+    MassShutdown {
+        /// When the shutdown happens.
+        at: Timestamp,
+        /// Jobs that keep running.
+        survivors: Vec<JobId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_spike_rewrites_cpu_and_mem() {
+        let base = FootprintProfile::steady(0.1, 0.1, 0.1);
+        let f = Anomaly::end_spike().apply_to_footprint(base);
+        assert!(f.has_tail());
+        assert!(f.cpu.max() > 0.5);
+    }
+
+    #[test]
+    fn thrashing_pins_memory_and_collapses_cpu() {
+        let base = FootprintProfile::steady(0.1, 0.1, 0.1);
+        let f = Anomaly::thrashing().apply_to_footprint(base);
+        assert!(f.mem.eval(0.8) > 0.6);
+        assert!(f.cpu.eval(0.9) < f.cpu.eval(0.05));
+    }
+
+    #[test]
+    fn memory_leak_only_touches_memory() {
+        let base = FootprintProfile::steady(0.1, 0.1, 0.1);
+        let f = Anomaly::MemoryLeak { mem_from: 0.05, mem_to: 0.8 }.apply_to_footprint(base);
+        assert_eq!(f.cpu, base.cpu);
+        assert_eq!(f.disk, base.disk);
+        assert!(f.mem.eval(1.0) > 0.75);
+    }
+
+    #[test]
+    fn straggler_exposes_factor_not_footprint() {
+        let base = FootprintProfile::steady(0.1, 0.1, 0.1);
+        let a = Anomaly::Straggler { factor: 4.0 };
+        assert_eq!(a.apply_to_footprint(base), base);
+        assert_eq!(a.straggler_factor(), Some(4.0));
+        assert_eq!(Anomaly::end_spike().straggler_factor(), None);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Anomaly::end_spike().kind(), "end_spike");
+        assert_eq!(Anomaly::thrashing().kind(), "thrashing");
+    }
+}

@@ -1,0 +1,201 @@
+use batchlens_trace::{TimeDelta, TimeRange, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::{SimError, WorkloadModel};
+
+/// Complete configuration of a simulation run.
+///
+/// Use [`SimConfig::paper_scale`] for the full 1300-machine / 24-hour setup
+/// matching the Alibaba v2017 trace, or [`SimConfig::small`] for fast tests.
+/// All knobs are public data (C-STRUCT in the builder-vs-data tradeoff: the
+/// config is a passive parameter bundle that scenarios tweak freely).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give bit-identical datasets.
+    pub seed: u64,
+    /// Number of machines in the cluster.
+    pub machines: u32,
+    /// Simulated window (usually `[0, 86400)`).
+    pub window: TimeRange,
+    /// Sampling period of the `server_usage` table. The paper quotes 1 s;
+    /// defaults keep 60 s so default artifacts stay small. Figures are
+    /// resolution-independent.
+    pub usage_resolution: TimeDelta,
+    /// Reporting grid of the batch tables (paper: 300 s).
+    pub batch_resolution: TimeDelta,
+    /// Statistical workload model for background jobs.
+    pub workload: WorkloadModel,
+    /// Mean baseline utilization each machine idles at, per metric
+    /// `[cpu, mem, disk]`.
+    pub baseline: [f64; 3],
+    /// Std-dev of the per-sample Gaussian noise added to every usage value.
+    pub noise_sigma: f64,
+    /// Half-width of the static per-machine baseline offset ("personality"):
+    /// machines idle at `baseline ± personality_spread`.
+    pub personality_spread: f64,
+    /// Per-step std-dev of the AR(1) baseline wander of each machine.
+    pub walk_sigma: f64,
+    /// Scheduler selection.
+    pub scheduler: SchedulerKind,
+}
+
+/// Which placement policy the engine uses for background jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Place each instance on the machine with the fewest running instances.
+    LeastLoaded,
+    /// Cycle through machines.
+    RoundRobin,
+    /// Fill the currently busiest machine that still has headroom.
+    Packing,
+}
+
+impl SimConfig {
+    /// Full paper-scale configuration: 1300 machines, 24 hours.
+    pub fn paper_scale(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            machines: 1300,
+            window: TimeRange::full_day(),
+            usage_resolution: TimeDelta::MINUTE,
+            batch_resolution: TimeDelta::BATCH_RESOLUTION,
+            workload: WorkloadModel::alibaba_v2017(),
+            baseline: [0.15, 0.20, 0.10],
+            noise_sigma: 0.015,
+            personality_spread: 0.03,
+            walk_sigma: 0.008,
+            scheduler: SchedulerKind::LeastLoaded,
+        }
+    }
+
+    /// Small configuration for unit tests and doctests: 20 machines, 2 hours.
+    pub fn small(seed: u64) -> Self {
+        SimConfig {
+            machines: 20,
+            window: TimeRange::new(Timestamp::ZERO, Timestamp::new(7200))
+                .expect("static window"),
+            ..SimConfig::paper_scale(seed)
+        }
+    }
+
+    /// Medium configuration for benches: 200 machines, 6 hours.
+    pub fn medium(seed: u64) -> Self {
+        SimConfig {
+            machines: 200,
+            window: TimeRange::new(Timestamp::ZERO, Timestamp::new(6 * 3600))
+                .expect("static window"),
+            ..SimConfig::paper_scale(seed)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.machines == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "machines",
+                message: "must be at least 1".into(),
+            });
+        }
+        if !self.usage_resolution.is_positive() {
+            return Err(SimError::InvalidConfig {
+                parameter: "usage_resolution",
+                message: format!("must be positive, got {}", self.usage_resolution),
+            });
+        }
+        if !self.batch_resolution.is_positive() {
+            return Err(SimError::InvalidConfig {
+                parameter: "batch_resolution",
+                message: format!("must be positive, got {}", self.batch_resolution),
+            });
+        }
+        if self.window.is_empty() {
+            return Err(SimError::InvalidConfig {
+                parameter: "window",
+                message: "must span positive time".into(),
+            });
+        }
+        for (i, b) in self.baseline.iter().enumerate() {
+            if !(0.0..=1.0).contains(b) {
+                return Err(SimError::InvalidConfig {
+                    parameter: "baseline",
+                    message: format!("baseline[{i}] = {b} outside 0..=1"),
+                });
+            }
+        }
+        if !(0.0..=0.5).contains(&self.noise_sigma) {
+            return Err(SimError::InvalidConfig {
+                parameter: "noise_sigma",
+                message: format!("{} outside 0..=0.5", self.noise_sigma),
+            });
+        }
+        if !(0.0..=0.5).contains(&self.personality_spread) {
+            return Err(SimError::InvalidConfig {
+                parameter: "personality_spread",
+                message: format!("{} outside 0..=0.5", self.personality_spread),
+            });
+        }
+        if !(0.0..=0.1).contains(&self.walk_sigma) {
+            return Err(SimError::InvalidConfig {
+                parameter: "walk_sigma",
+                message: format!("{} outside 0..=0.1", self.walk_sigma),
+            });
+        }
+        self.workload.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimConfig::paper_scale(1).validate().unwrap();
+        SimConfig::small(1).validate().unwrap();
+        SimConfig::medium(1).validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_matches_trace_shape() {
+        let cfg = SimConfig::paper_scale(0);
+        assert_eq!(cfg.machines, 1300);
+        assert_eq!(cfg.window.duration(), TimeDelta::DAY);
+        assert_eq!(cfg.batch_resolution, TimeDelta::BATCH_RESOLUTION);
+    }
+
+    #[test]
+    fn invalid_configs_are_named() {
+        let mut cfg = SimConfig::small(0);
+        cfg.machines = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { parameter: "machines", .. })
+        ));
+
+        let mut cfg = SimConfig::small(0);
+        cfg.usage_resolution = TimeDelta::ZERO;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { parameter: "usage_resolution", .. })
+        ));
+
+        let mut cfg = SimConfig::small(0);
+        cfg.baseline = [0.2, 1.5, 0.1];
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { parameter: "baseline", .. })
+        ));
+
+        let mut cfg = SimConfig::small(0);
+        cfg.noise_sigma = 0.9;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { parameter: "noise_sigma", .. })
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! Task dependency DAGs within a job.
+//!
+//! The Alibaba batch workloads are DAGs of tasks ("DAG batch workloads" in
+//! the paper's Section II): a task may only start when all of its parents
+//! have completed. This module provides a small adjacency-list DAG with
+//! cycle detection and topological scheduling of task start offsets — the
+//! mechanism that produces the paper's "same start timestamp but multiple
+//! end timestamps" (chained tasks) and "four separated tasks ... same start
+//! timestamp" (parallel tasks) annotation patterns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// A dependency DAG over task indices `0..n`.
+///
+/// Edges point parent → child; a child starts after all parents end.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TaskDag {
+    n: usize,
+    /// `edges[c]` lists the parents of child `c`.
+    parents: Vec<Vec<usize>>,
+}
+
+impl TaskDag {
+    /// A DAG of `n` independent (parallel) tasks.
+    pub fn parallel(n: usize) -> Self {
+        TaskDag { n, parents: vec![Vec::new(); n] }
+    }
+
+    /// A linear chain `0 → 1 → … → n-1`.
+    pub fn chain(n: usize) -> Self {
+        let mut parents = vec![Vec::new(); n];
+        for (i, p) in parents.iter_mut().enumerate().skip(1) {
+            p.push(i - 1);
+        }
+        TaskDag { n, parents }
+    }
+
+    /// A fan-out: task 0 is the root, tasks `1..n` all depend on it.
+    pub fn fan_out(n: usize) -> Self {
+        let mut parents = vec![Vec::new(); n];
+        for p in parents.iter_mut().skip(1) {
+            p.push(0);
+        }
+        TaskDag { n, parents }
+    }
+
+    /// Builds a DAG from explicit `(parent, child)` edges over `n` tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] for out-of-range indices, self
+    /// loops, or cycles.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, SimError> {
+        let mut parents = vec![Vec::new(); n];
+        for &(p, c) in edges {
+            if p >= n || c >= n {
+                return Err(SimError::InvalidSpec {
+                    message: format!("edge ({p}, {c}) out of range for {n} tasks"),
+                });
+            }
+            if p == c {
+                return Err(SimError::InvalidSpec { message: format!("self loop on task {p}") });
+            }
+            parents[c].push(p);
+        }
+        let dag = TaskDag { n, parents };
+        dag.topo_order()?; // cycle check
+        Ok(dag)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The parents of task `i`.
+    pub fn parents_of(&self, i: usize) -> &[usize] {
+        &self.parents[i]
+    }
+
+    /// A topological order of the tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] when the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>, SimError> {
+        let mut indegree = vec![0usize; self.n];
+        let mut children = vec![Vec::new(); self.n];
+        for (c, ps) in self.parents.iter().enumerate() {
+            indegree[c] = ps.len();
+            for &p in ps {
+                children[p].push(c);
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &c in &children[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != self.n {
+            return Err(SimError::InvalidSpec {
+                message: "task dependency graph has a cycle".into(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Computes each task's start offset given per-task durations: a task
+    /// starts at the max end time of its parents (0 for roots). Returns
+    /// `(start_offset, end_offset)` pairs in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] on cycles or when `durations`
+    /// disagrees in length.
+    pub fn schedule(&self, durations: &[i64]) -> Result<Vec<(i64, i64)>, SimError> {
+        if durations.len() != self.n {
+            return Err(SimError::InvalidSpec {
+                message: format!(
+                    "{} durations for {} tasks",
+                    durations.len(),
+                    self.n
+                ),
+            });
+        }
+        let order = self.topo_order()?;
+        let mut windows = vec![(0i64, 0i64); self.n];
+        for &i in &order {
+            let start =
+                self.parents[i].iter().map(|&p| windows[p].1).max().unwrap_or(0);
+            windows[i] = (start, start + durations[i].max(0));
+        }
+        Ok(windows)
+    }
+
+    /// The length of the critical path under the given durations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TaskDag::schedule`].
+    pub fn critical_path(&self, durations: &[i64]) -> Result<i64, SimError> {
+        Ok(self.schedule(durations)?.iter().map(|&(_, end)| end).max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_tasks_all_start_at_zero() {
+        let dag = TaskDag::parallel(4);
+        let w = dag.schedule(&[100, 200, 300, 50]).unwrap();
+        assert!(w.iter().all(|&(s, _)| s == 0));
+        // Paper Fig 3(a), job_6639: same start, multiple ends.
+        let ends: Vec<i64> = w.iter().map(|&(_, e)| e).collect();
+        assert_eq!(ends, vec![100, 200, 300, 50]);
+    }
+
+    #[test]
+    fn chain_serializes_starts() {
+        let dag = TaskDag::chain(3);
+        let w = dag.schedule(&[100, 50, 25]).unwrap();
+        assert_eq!(w, vec![(0, 100), (100, 150), (150, 175)]);
+        assert_eq!(dag.critical_path(&[100, 50, 25]).unwrap(), 175);
+    }
+
+    #[test]
+    fn fan_out_waits_for_root() {
+        let dag = TaskDag::fan_out(3);
+        let w = dag.schedule(&[60, 10, 20]).unwrap();
+        assert_eq!(w[0], (0, 60));
+        assert_eq!(w[1], (60, 70));
+        assert_eq!(w[2], (60, 80));
+    }
+
+    #[test]
+    fn diamond_takes_max_parent_end() {
+        // 0 → 1, 0 → 2, {1,2} → 3
+        let dag = TaskDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let w = dag.schedule(&[10, 100, 20, 5]).unwrap();
+        assert_eq!(w[3].0, 110); // waits for the slower branch
+    }
+
+    #[test]
+    fn cycles_and_bad_edges_rejected() {
+        assert!(TaskDag::from_edges(2, &[(0, 1), (1, 0)]).is_err());
+        assert!(TaskDag::from_edges(2, &[(0, 0)]).is_err());
+        assert!(TaskDag::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn duration_length_mismatch_rejected() {
+        let dag = TaskDag::parallel(3);
+        assert!(dag.schedule(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = TaskDag::parallel(0);
+        assert!(dag.is_empty());
+        assert_eq!(dag.schedule(&[]).unwrap(), vec![]);
+        assert_eq!(dag.critical_path(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let dag = TaskDag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let order = dag.topo_order().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        assert!(pos(2) < pos(4));
+    }
+}

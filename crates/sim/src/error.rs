@@ -1,0 +1,72 @@
+use std::fmt;
+
+use batchlens_trace::TraceError;
+
+/// Error type for simulation configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Which parameter.
+        parameter: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A scripted job spec was inconsistent (e.g. dependency cycle).
+    InvalidSpec {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// The produced records failed trace-level validation.
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid config parameter {parameter}: {message}")
+            }
+            SimError::InvalidSpec { message } => write!(f, "invalid job spec: {message}"),
+            SimError::Trace(e) => write!(f, "trace validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::InvalidConfig { parameter: "machines", message: "must be > 0".into() };
+        assert!(e.to_string().contains("machines"));
+        let e = SimError::InvalidSpec { message: "cycle a->b->a".into() };
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn trace_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let inner = TraceError::InvalidResolution { seconds: 0 };
+        let e: SimError = inner.clone().into();
+        assert_eq!(e, SimError::Trace(inner));
+        assert!(e.source().is_some());
+    }
+}

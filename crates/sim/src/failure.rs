@@ -1,0 +1,230 @@
+//! Machine failure injection.
+//!
+//! The paper motivates anomaly analysis with *"software bugs and hardware
+//! crashes"*. This module models hardware failures as scripted machine
+//! lifecycle events: a machine hits a soft error (stops accepting work),
+//! optionally escalates to a hard error (crashes), and may later recover
+//! (rejoins). Failures can **cascade**: a crash raises the failure
+//! probability of topological neighbours for a window, modelling correlated
+//! rack/power failures.
+
+use batchlens_trace::{MachineEvent, MachineEventRecord, MachineId, TimeDelta, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A scripted failure of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineFailure {
+    /// The affected machine.
+    pub machine: MachineId,
+    /// When the failure begins.
+    pub at: Timestamp,
+    /// Whether it escalates to a hard crash (`Remove`) vs a soft error.
+    pub hard: bool,
+    /// Recovery delay after the failure; `None` means the machine never
+    /// rejoins within the trace.
+    pub recover_after: Option<TimeDelta>,
+}
+
+impl MachineFailure {
+    /// The machine-event records this failure emits, in time order.
+    pub fn events(&self) -> Vec<MachineEventRecord> {
+        let mut out = vec![MachineEventRecord {
+            time: self.at,
+            machine: self.machine,
+            event: if self.hard { MachineEvent::HardError } else { MachineEvent::SoftError },
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        }];
+        if self.hard {
+            out.push(MachineEventRecord {
+                time: self.at,
+                machine: self.machine,
+                event: MachineEvent::Remove,
+                capacity_cpu: 0.0,
+                capacity_mem: 0.0,
+                capacity_disk: 0.0,
+            });
+        }
+        if let Some(delay) = self.recover_after {
+            out.push(MachineEventRecord {
+                time: self.at + delay,
+                machine: self.machine,
+                event: MachineEvent::Add,
+                capacity_cpu: 1.0,
+                capacity_mem: 1.0,
+                capacity_disk: 1.0,
+            });
+        }
+        out
+    }
+}
+
+/// A cascade model: a failure of machine `m` raises the near-term failure
+/// odds of machines `m±1 … m±radius` (a simple linear-rack adjacency).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeModel {
+    /// How many neighbours on each side are affected.
+    pub radius: u32,
+    /// Delay before a cascaded neighbour fails.
+    pub propagation_delay: TimeDelta,
+    /// Whether cascaded failures are hard.
+    pub hard: bool,
+}
+
+impl CascadeModel {
+    /// Expands a set of seed failures with their cascaded neighbours.
+    ///
+    /// Cascades propagate one hop from each *seed* (not transitively) to keep
+    /// the blast radius bounded and deterministic. Neighbour ids are clamped
+    /// to `0..machines`.
+    pub fn expand(&self, seeds: &[MachineFailure], machines: u32) -> Vec<MachineFailure> {
+        let mut out = seeds.to_vec();
+        for seed in seeds {
+            if !seed.hard {
+                continue; // only crashes cascade
+            }
+            let m = seed.machine.raw() as i64;
+            for d in 1..=self.radius as i64 {
+                for side in [-d, d] {
+                    let n = m + side;
+                    if n < 0 || n >= machines as i64 {
+                        continue;
+                    }
+                    out.push(MachineFailure {
+                        machine: MachineId::new(n as u32),
+                        at: seed.at + self.propagation_delay,
+                        hard: self.hard,
+                        recover_after: seed.recover_after,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collects the machine-event records for a set of failures, time-sorted and
+/// de-duplicated (a machine can appear in several cascades; the earliest
+/// failure wins).
+pub fn failure_events(failures: &[MachineFailure]) -> Vec<MachineEventRecord> {
+    use std::collections::BTreeMap;
+    // Keep the earliest failure per machine.
+    let mut earliest: BTreeMap<MachineId, MachineFailure> = BTreeMap::new();
+    for f in failures {
+        earliest
+            .entry(f.machine)
+            .and_modify(|e| {
+                if f.at < e.at {
+                    *e = *f;
+                }
+            })
+            .or_insert(*f);
+    }
+    let mut events: Vec<MachineEventRecord> =
+        earliest.values().flat_map(|f| f.events()).collect();
+    events.sort_by_key(|e| (e.time, e.machine));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_failure_emits_one_event() {
+        let f = MachineFailure {
+            machine: MachineId::new(3),
+            at: Timestamp::new(1000),
+            hard: false,
+            recover_after: None,
+        };
+        let ev = f.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].event, MachineEvent::SoftError);
+    }
+
+    #[test]
+    fn hard_failure_removes_and_recovers() {
+        let f = MachineFailure {
+            machine: MachineId::new(3),
+            at: Timestamp::new(1000),
+            hard: true,
+            recover_after: Some(TimeDelta::minutes(30)),
+        };
+        let ev = f.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].event, MachineEvent::HardError);
+        assert_eq!(ev[1].event, MachineEvent::Remove);
+        assert_eq!(ev[2].event, MachineEvent::Add);
+        assert_eq!(ev[2].time, Timestamp::new(1000 + 1800));
+    }
+
+    #[test]
+    fn cascade_affects_neighbours() {
+        let seed = MachineFailure {
+            machine: MachineId::new(10),
+            at: Timestamp::new(5000),
+            hard: true,
+            recover_after: None,
+        };
+        let model = CascadeModel {
+            radius: 2,
+            propagation_delay: TimeDelta::minutes(1),
+            hard: true,
+        };
+        let expanded = model.expand(&[seed], 100);
+        // seed + 4 neighbours (8,9,11,12).
+        assert_eq!(expanded.len(), 5);
+        let machines: Vec<u32> = expanded.iter().map(|f| f.machine.raw()).collect();
+        for n in [8, 9, 11, 12] {
+            assert!(machines.contains(&n), "missing neighbour {n}");
+        }
+    }
+
+    #[test]
+    fn cascade_clamps_at_boundaries() {
+        let seed = MachineFailure {
+            machine: MachineId::new(0),
+            at: Timestamp::new(0),
+            hard: true,
+            recover_after: None,
+        };
+        let model = CascadeModel { radius: 3, propagation_delay: TimeDelta::ZERO, hard: true };
+        let expanded = model.expand(&[seed], 5);
+        // Only machines 1,2,3 on the positive side (no negative ids).
+        assert_eq!(expanded.len(), 1 + 3);
+    }
+
+    #[test]
+    fn soft_failures_do_not_cascade() {
+        let seed = MachineFailure {
+            machine: MachineId::new(10),
+            at: Timestamp::new(0),
+            hard: false,
+            recover_after: None,
+        };
+        let model = CascadeModel { radius: 2, propagation_delay: TimeDelta::ZERO, hard: true };
+        assert_eq!(model.expand(&[seed], 100).len(), 1);
+    }
+
+    #[test]
+    fn events_are_sorted_and_deduped() {
+        let a = MachineFailure {
+            machine: MachineId::new(5),
+            at: Timestamp::new(2000),
+            hard: false,
+            recover_after: None,
+        };
+        let b = MachineFailure {
+            machine: MachineId::new(5),
+            at: Timestamp::new(1000),
+            hard: false,
+            recover_after: None,
+        };
+        let events = failure_events(&[a, b]);
+        // Earliest failure per machine wins → one event at t=1000.
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time, Timestamp::new(1000));
+    }
+}

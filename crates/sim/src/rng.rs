@@ -1,0 +1,209 @@
+//! Distribution sampling built from uniform draws.
+//!
+//! The workspace's dependency policy allows `rand` but not `rand_distr`, so
+//! the handful of distributions the workload model needs (exponential,
+//! Poisson, normal, log-normal, geometric, weighted choice) are implemented
+//! here via inverse-CDF / Box–Muller / Knuth methods. All of them take a
+//! generic [`rand::Rng`], so the whole simulator is deterministic under
+//! `StdRng::seed_from_u64`.
+
+use rand::{Rng, RngExt};
+
+/// Samples `Exp(rate)`; mean is `1/rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive (programming error — rates come
+/// from validated configs).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    // Inverse CDF; 1 - u avoids ln(0).
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples `Poisson(lambda)` by Knuth's product method (fine for the small
+/// lambdas the workload model uses) with a normal approximation above 30.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or NaN.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson lambda must be non-negative, got {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let n = normal(rng, lambda, lambda.sqrt());
+        return n.round().max(0.0) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.random::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Samples `N(mean, std_dev)` by the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples `LogNormal(mu, sigma)` (parameters of the underlying normal).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples a geometric count of failures before the first success,
+/// `p ∈ (0, 1]`; returns values in `0..`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Picks an index with probability proportional to `weights[i]`.
+/// Zero-total or empty weights fall back to uniform choice (empty → `None`).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return Some(rng.random_range(0..weights.len()));
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    Some(weights.len() - 1)
+}
+
+/// Uniform sample in `[lo, hi)`; returns `lo` when the interval is empty.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + rng.random::<f64>() * (hi - lo)
+}
+
+/// Jitters `value` by a multiplicative factor in `[1-spread, 1+spread]`.
+pub fn jitter<R: Rng + ?Sized>(rng: &mut R, value: f64, spread: f64) -> f64 {
+    value * (1.0 + uniform(rng, -spread, spread))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBA7C4)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_converges_small_and_large_lambda() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.08, "lambda {lambda} mean {mean}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.08, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_converges() {
+        let mut r = rng();
+        let p = 0.25;
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / n as f64;
+        let expected = (1.0 - p) / p; // 3.0
+        assert!((mean - expected).abs() < 0.15, "mean {mean}");
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[weighted_index(&mut r, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        // All-zero weights: uniform fallback still returns an index.
+        assert!(weighted_index(&mut r, &[0.0, 0.0]).is_some());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = uniform(&mut r, 2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+        }
+        assert_eq!(uniform(&mut r, 3.0, 3.0), 3.0);
+        assert_eq!(uniform(&mut r, 5.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut a, 1.0), exponential(&mut b, 1.0));
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Scenario presets reproducing the paper's figures.
+//!
+//! Each preset returns a configured [`Simulation`]; call
+//! [`Simulation::run`] (or `run_with_truth`) to get the dataset. The named
+//! jobs and timestamps match the paper's case study exactly:
+//!
+//! * [`fig3a`] — timestamp **47400**: healthy cluster at 20–40 % utilization,
+//!   15 root jobs including two 2-task jobs (`job_8121`, `job_8123`), the
+//!   lowest-utilization single-task `job_8124`, and `job_6639` whose four
+//!   parallel tasks share one start timestamp but end at four different
+//!   times.
+//! * [`fig3b`] — timestamp **46200**: medium 50–80 % regime; `job_7901` runs
+//!   on busier nodes and carries the end-of-job **spike** anomaly; three
+//!   machines are shared with a neighbour job to exercise the co-allocation
+//!   links.
+//! * [`fig3c`] — timestamp **43800**: overloaded cluster; `job_7513` has a
+//!   hot task and a cooler smaller task; `job_11939`'s five tasks **thrash**
+//!   (memory pinned, CPU collapsing); at **44100** a mass shutdown cancels
+//!   everything except `job_11599`.
+//! * [`paper_day`] — the full 24-hour, 1300-machine trace containing all
+//!   three regimes at the paper's timestamps, plus Poisson background
+//!   workload calibrated to Section II statistics.
+//! * [`fig1_sample`] / [`fig2_sample`] — the small datasets behind Fig 1's
+//!   encoding diagram and Fig 2's annotated line charts (`job_7399`).
+
+use batchlens_trace::{JobId, MachineId, TimeRange, Timestamp};
+
+use crate::{Anomaly, FootprintProfile, JobSpec, SimConfig, Simulation, TaskSpec};
+
+/// `job_8121` — Fig 3(a), two tasks on a substantial volume of nodes.
+pub const JOB_8121: JobId = JobId::new(8121);
+/// `job_8123` — Fig 3(a), two tasks on a substantial volume of nodes.
+pub const JOB_8123: JobId = JobId::new(8123);
+/// `job_8124` — Fig 3(a), single task, the lowest-utilization job.
+pub const JOB_8124: JobId = JobId::new(8124);
+/// `job_6639` — Fig 3(a), four parallel tasks, one start / four ends.
+pub const JOB_6639: JobId = JobId::new(6639);
+/// `job_11599` — the long-running job left alone after the mass shutdown.
+pub const JOB_11599: JobId = JobId::new(11599);
+/// `job_7901` — Fig 3(b), the end-of-job spike anomaly on busy nodes.
+pub const JOB_7901: JobId = JobId::new(7901);
+/// `job_7513` — Fig 3(c), two tasks: a hot one and a smaller cooler one.
+pub const JOB_7513: JobId = JobId::new(7513);
+/// `job_11939` — Fig 3(c), five tasks suffering thrashing.
+pub const JOB_11939: JobId = JobId::new(11939);
+/// `job_7399` — Fig 2's example job (two tasks, bundled annotations).
+pub const JOB_7399: JobId = JobId::new(7399);
+
+/// The Fig 3(a) snapshot timestamp.
+pub const T_FIG3A: Timestamp = Timestamp::new(47400);
+/// The Fig 3(b) snapshot timestamp.
+pub const T_FIG3B: Timestamp = Timestamp::new(46200);
+/// The Fig 3(c) snapshot timestamp.
+pub const T_FIG3C: Timestamp = Timestamp::new(43800);
+/// The mass-shutdown timestamp ("all of the preceding nodes are shut down").
+pub const T_SHUTDOWN: Timestamp = Timestamp::new(44100);
+
+fn window(start: i64, end: i64) -> TimeRange {
+    TimeRange::new(Timestamp::new(start), Timestamp::new(end)).expect("static window")
+}
+
+/// A nondescript background-style job used to populate bubble charts.
+fn filler(id: u32, submit: i64, tasks: &[(u32, i64)], level: f64) -> JobSpec {
+    let specs: Vec<TaskSpec> = tasks
+        .iter()
+        .map(|&(instances, duration)| {
+            TaskSpec::steady(instances, duration, level, level * 0.8, level * 0.5)
+        })
+        .collect();
+    JobSpec::parallel_tasks(JobId::new(id), Timestamp::new(submit), specs)
+}
+
+/// Fig 3(a): the healthy low-utilization regime at timestamp 47400.
+///
+/// 60 machines, zero background workload (the 15 root jobs are scripted so
+/// the paper's "15 root bubbles" count is exact).
+pub fn fig3a(seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = 60;
+    cfg.window = window(46200, 49500);
+    cfg.workload.jobs_per_hour = 0.0;
+    cfg.baseline = [0.16, 0.20, 0.10];
+    cfg.noise_sigma = 0.01;
+    // Low machine-to-machine variance so the job ranking assertion of the
+    // case study (job_8124 least utilized) is driven by footprints, not noise.
+    cfg.personality_spread = 0.012;
+    cfg.walk_sigma = 0.004;
+
+    let jobs = vec![
+        // Two primary 2-task jobs on many nodes.
+        filler(8121, 46600, &[(10, 1600), (8, 2200)], 0.10),
+        filler(8123, 46700, &[(9, 1500), (9, 2100)], 0.10),
+        // The lowest-utilization job: single task, near-idle footprint,
+        // pinned to reserved machines so nothing hotter lands there.
+        JobSpec::single_task(
+            JOB_8124,
+            Timestamp::new(46900),
+            TaskSpec::steady(6, 1800, 0.012, 0.010, 0.006),
+        )
+        .pinned_to((54..60).map(MachineId::new).collect()),
+        // Four parallel tasks: one start cluster, four end clusters.
+        JobSpec::parallel_tasks(
+            JOB_6639,
+            Timestamp::new(46800),
+            vec![
+                TaskSpec::steady(5, 900, 0.09, 0.08, 0.05),
+                TaskSpec::steady(5, 1400, 0.09, 0.08, 0.05),
+                TaskSpec::steady(4, 1900, 0.09, 0.08, 0.05),
+                TaskSpec::steady(4, 2400, 0.09, 0.08, 0.05),
+            ],
+        ),
+        // The long-running survivor job (also present in Fig 3(c)).
+        filler(11599, 46300, &[(6, 3000), (6, 3000)], 0.09),
+        // Ten background-style fillers to reach 15 root bubbles at t=47400.
+        filler(8100, 46650, &[(5, 1500)], 0.09),
+        filler(8101, 46750, &[(4, 1400)], 0.10),
+        filler(8103, 46850, &[(6, 1300)], 0.09),
+        filler(8105, 46950, &[(4, 1200)], 0.10),
+        filler(8107, 47000, &[(5, 1100)], 0.09),
+        filler(8109, 47050, &[(3, 1000), (3, 1600)], 0.10),
+        filler(8111, 47100, &[(4, 900)], 0.09),
+        filler(8113, 47150, &[(5, 800)], 0.10),
+        filler(8115, 47200, &[(4, 700)], 0.09),
+        filler(8117, 47250, &[(3, 600)], 0.10),
+    ];
+    Simulation::new(cfg)
+        .with_jobs(jobs)
+        .with_reserved_machines((54..60).map(MachineId::new).collect())
+}
+
+/// Fig 3(b): the medium-utilization regime at timestamp 46200 with the
+/// `job_7901` end-of-job spike and shared (co-allocated) machines.
+pub fn fig3b(seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = 60;
+    cfg.window = window(45000, 48000);
+    cfg.workload.jobs_per_hour = 0.0;
+    cfg.baseline = [0.18, 0.22, 0.12];
+    cfg.noise_sigma = 0.012;
+
+    // Medium regime: 50–80 % band comes from a cluster-wide load phase.
+    let phase = window(45000, 48000);
+
+    // job_7901 runs on machines 0..10; its neighbour job_7905 shares
+    // machines 7, 8, 9 → three co-allocation link pairs, like the paper's
+    // green/orange/purple dotted lines.
+    let spike_pins: Vec<MachineId> = (0..10).map(MachineId::new).collect();
+    let shared_pins: Vec<MachineId> = (7..13).map(MachineId::new).collect();
+
+    let jobs = vec![
+        JobSpec::single_task(
+            JOB_7901,
+            Timestamp::new(45600),
+            TaskSpec {
+                instances: 10,
+                duration: 1200,
+                footprint: FootprintProfile::steady(0.1, 0.1, 0.05),
+                start_jitter: 4,
+                end_jitter: 20,
+            },
+        )
+        .with_anomaly(Anomaly::end_spike())
+        .pinned_to(spike_pins),
+        filler(7905, 45700, &[(6, 1500)], 0.08).pinned_to(shared_pins),
+        filler(7910, 45300, &[(8, 1800), (6, 2300)], 0.09),
+        filler(7912, 45500, &[(7, 1700)], 0.10),
+        filler(7914, 45800, &[(6, 1500), (5, 2000)], 0.09),
+        filler(7916, 45900, &[(8, 1400)], 0.10),
+        filler(7918, 46000, &[(5, 1300)], 0.09),
+        filler(7920, 46050, &[(6, 1250)], 0.10),
+    ];
+    Simulation::new(cfg).with_jobs(jobs).with_load_phase(phase, [0.38, 0.33, 0.20])
+}
+
+/// Fig 3(c): the overloaded regime at timestamp 43800 with thrashing
+/// (`job_11939`), a hot/cool task pair (`job_7513`) and the mass shutdown at
+/// 44100 sparing only `job_11599`.
+pub fn fig3c(seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = 60;
+    cfg.window = window(42600, 45600);
+    cfg.workload.jobs_per_hour = 0.0;
+    cfg.baseline = [0.20, 0.24, 0.14];
+    cfg.noise_sigma = 0.012;
+
+    // Heavy regime until the shutdown clears the cluster. The CPU component
+    // stays moderate so the thrashing machines' CPU *collapse* remains
+    // visible below the cluster-wide floor; memory carries the overload.
+    let heavy = window(42600, 44100);
+    let after = window(44100, 45600);
+
+    let jobs = vec![
+        // Two tasks: the purple (smaller, cooler) cluster vs the blue one.
+        JobSpec::parallel_tasks(
+            JOB_7513,
+            Timestamp::new(43000),
+            vec![
+                TaskSpec::steady(12, 1500, 0.22, 0.20, 0.10),
+                TaskSpec::steady(5, 1500, 0.09, 0.08, 0.05),
+            ],
+        ),
+        // Five tasks, all thrashing after creation: CPU drops, memory
+        // pinned. Pinned to reserved machines so co-located work cannot mask
+        // the collapse.
+        JobSpec::parallel_tasks(
+            JOB_11939,
+            Timestamp::new(43200),
+            vec![
+                TaskSpec::steady(4, 2000, 0.1, 0.1, 0.05),
+                TaskSpec::steady(4, 2100, 0.1, 0.1, 0.05),
+                TaskSpec::steady(3, 2200, 0.1, 0.1, 0.05),
+                TaskSpec::steady(3, 2300, 0.1, 0.1, 0.05),
+                TaskSpec::steady(3, 2400, 0.1, 0.1, 0.05),
+            ],
+        )
+        .with_anomaly(Anomaly::thrashing())
+        .pinned_to((40..57).map(MachineId::new).collect()),
+        // The survivor: spans the shutdown and keeps running.
+        filler(11599, 42700, &[(6, 2600), (6, 2600)], 0.06),
+        // Hot fillers pushing nodes toward capacity.
+        filler(11900, 42800, &[(8, 1600)], 0.20),
+        filler(11902, 42900, &[(7, 1700), (6, 1400)], 0.19),
+        filler(11904, 43100, &[(8, 1500)], 0.20),
+        filler(11906, 43300, &[(6, 1300)], 0.19),
+        filler(11908, 43400, &[(7, 1200)], 0.20),
+    ];
+    Simulation::new(cfg)
+        .with_jobs(jobs)
+        .with_reserved_machines((40..57).map(MachineId::new).collect())
+        .with_load_phase(heavy, [0.25, 0.42, 0.22])
+        .with_load_phase(after, [0.06, 0.08, 0.04])
+        .with_mass_shutdown(T_SHUTDOWN, vec![JOB_11599])
+}
+
+/// The full paper-scale day: 1300 machines, 24 hours, Poisson background
+/// workload plus every named case-study job at its exact timestamp.
+pub fn paper_day(seed: u64) -> Simulation {
+    paper_day_with_machines(seed, 1300)
+}
+
+/// [`paper_day`] with a custom cluster size (smaller clusters keep tests and
+/// debug builds fast while preserving every pattern).
+pub fn paper_day_with_machines(seed: u64, machines: u32) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = machines;
+
+    let mut sim = Simulation::new(cfg)
+        // Regime phases: overload before the shutdown (memory-led, so the
+        // thrashing CPU collapse stays visible), lull after it, medium
+        // around 46200, low around 47400.
+        .with_load_phase(window(42600, 44100), [0.25, 0.42, 0.22])
+        .with_load_phase(window(44100, 45300), [0.02, 0.04, 0.02])
+        .with_load_phase(window(45300, 47000), [0.30, 0.26, 0.16])
+        .with_load_phase(window(47000, 49500), [0.05, 0.05, 0.03])
+        .with_mass_shutdown(T_SHUTDOWN, vec![JOB_11599]);
+
+    // Fig 3(c) cast.
+    sim = sim
+        .with_job(
+            JobSpec::parallel_tasks(
+                JOB_7513,
+                Timestamp::new(43000),
+                vec![
+                    TaskSpec::steady(12, 1500, 0.22, 0.20, 0.10),
+                    TaskSpec::steady(5, 1500, 0.09, 0.08, 0.05),
+                ],
+            ),
+        )
+        .with_job(
+            JobSpec::parallel_tasks(
+                JOB_11939,
+                Timestamp::new(43200),
+                vec![
+                    TaskSpec::steady(4, 2000, 0.1, 0.1, 0.05),
+                    TaskSpec::steady(4, 2100, 0.1, 0.1, 0.05),
+                    TaskSpec::steady(3, 2200, 0.1, 0.1, 0.05),
+                    TaskSpec::steady(3, 2300, 0.1, 0.1, 0.05),
+                    TaskSpec::steady(3, 2400, 0.1, 0.1, 0.05),
+                ],
+            )
+            .with_anomaly(Anomaly::thrashing())
+            .pinned_to((40..57).map(MachineId::new).collect()),
+        )
+        .with_reserved_machines((40..57).map(MachineId::new).collect())
+        // The survivor spans from before the shutdown to past Fig 3(a).
+        .with_job(filler(11599, 42000, &[(6, 6600), (6, 6600)], 0.05));
+
+    // Fig 3(b) cast.
+    let spike_pins: Vec<MachineId> = (0..10).map(MachineId::new).collect();
+    let shared_pins: Vec<MachineId> = (7..13).map(MachineId::new).collect();
+    sim = sim
+        .with_job(
+            JobSpec::single_task(
+                JOB_7901,
+                Timestamp::new(45600),
+                TaskSpec {
+                    instances: 10,
+                    duration: 1200,
+                    footprint: FootprintProfile::steady(0.1, 0.1, 0.05),
+                    start_jitter: 4,
+                    end_jitter: 20,
+                },
+            )
+            .with_anomaly(Anomaly::end_spike())
+            .pinned_to(spike_pins),
+        )
+        .with_job(filler(7905, 45700, &[(6, 1500)], 0.08).pinned_to(shared_pins));
+
+    // Fig 3(a) cast.
+    sim = sim
+        .with_job(filler(8121, 46600, &[(10, 1600), (8, 2200)], 0.07))
+        .with_job(filler(8123, 46700, &[(9, 1500), (9, 2100)], 0.07))
+        .with_job(
+            JobSpec::single_task(
+                JOB_8124,
+                Timestamp::new(46900),
+                TaskSpec::steady(6, 1800, 0.012, 0.010, 0.006),
+            )
+            .pinned_to(
+                // Reserved machines near the top of the range.
+                (machines.saturating_sub(6)..machines).map(MachineId::new).collect(),
+            ),
+        )
+        .with_reserved_machines(
+            (machines.saturating_sub(6)..machines).map(MachineId::new).collect(),
+        )
+        .with_job(JobSpec::parallel_tasks(
+            JOB_6639,
+            Timestamp::new(46800),
+            vec![
+                TaskSpec::steady(5, 900, 0.06, 0.05, 0.03),
+                TaskSpec::steady(5, 1400, 0.06, 0.05, 0.03),
+                TaskSpec::steady(4, 1900, 0.06, 0.05, 0.03),
+                TaskSpec::steady(4, 2400, 0.06, 0.05, 0.03),
+            ],
+        ));
+
+    sim
+}
+
+/// The tiny dataset behind Fig 1's encoding diagram: one job, two tasks,
+/// six nodes at assorted utilization levels.
+pub fn fig1_sample(seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = 8;
+    cfg.window = window(0, 1800);
+    cfg.workload.jobs_per_hour = 0.0;
+    cfg.baseline = [0.15, 0.25, 0.35];
+    let job = JobSpec::parallel_tasks(
+        JobId::new(1),
+        Timestamp::new(120),
+        vec![
+            TaskSpec::steady(3, 1500, 0.45, 0.25, 0.15),
+            TaskSpec::steady(3, 1500, 0.15, 0.40, 0.30),
+        ],
+    );
+    Simulation::new(cfg).with_job(job)
+}
+
+/// The dataset behind Fig 2: `job_7399` with two parallel tasks of different
+/// durations (one start-annotation cluster, two end-annotation clusters)
+/// across 20 nodes.
+pub fn fig2_sample(seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = 20;
+    cfg.window = window(0, 7200);
+    cfg.workload.jobs_per_hour = 0.0;
+    cfg.baseline = [0.18, 0.20, 0.12];
+    let job = JobSpec::parallel_tasks(
+        JOB_7399,
+        Timestamp::new(1200),
+        vec![
+            TaskSpec {
+                instances: 10,
+                duration: 2400,
+                footprint: FootprintProfile::steady(0.25, 0.18, 0.10),
+                start_jitter: 6,
+                end_jitter: 40,
+            },
+            TaskSpec {
+                instances: 10,
+                duration: 3900,
+                footprint: FootprintProfile::steady(0.20, 0.22, 0.12),
+                start_jitter: 6,
+                end_jitter: 40,
+            },
+        ],
+    );
+    Simulation::new(cfg).with_job(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_has_15_root_jobs_at_snapshot() {
+        let ds = fig3a(1).run().unwrap();
+        let running = ds.jobs_running_at(T_FIG3A);
+        assert_eq!(running.len(), 15, "paper: 15 root bubbles at t47400");
+        // Named cast present.
+        let ids: Vec<JobId> = running.iter().map(|j| j.id()).collect();
+        for id in [JOB_8121, JOB_8123, JOB_8124, JOB_6639, JOB_11599] {
+            assert!(ids.contains(&id), "{id} missing at t47400");
+        }
+    }
+
+    #[test]
+    fn fig3a_job_8124_is_least_utilized() {
+        let ds = fig3a(2).run().unwrap();
+        let mut means: Vec<(JobId, f64)> = Vec::new();
+        for job in ds.jobs_running_at(T_FIG3A) {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for m in job.machines() {
+                if let Some(u) = ds.machine(m).unwrap().util_at(T_FIG3A) {
+                    total += u.mean().fraction();
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                means.push((job.id(), total / n as f64));
+            }
+        }
+        let min = means
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(min.0, JOB_8124, "rankings: {means:?}");
+    }
+
+    #[test]
+    fn fig3a_utilization_in_low_band() {
+        let ds = fig3a(3).run().unwrap();
+        let mut cpu_sum = 0.0;
+        let mut n = 0;
+        for m in ds.machines() {
+            if let Some(u) = m.util_at(T_FIG3A) {
+                cpu_sum += u.cpu.fraction();
+                n += 1;
+            }
+        }
+        let mean = cpu_sum / n as f64;
+        assert!((0.10..=0.45).contains(&mean), "mean cpu {mean} outside the paper's low band");
+    }
+
+    #[test]
+    fn fig3a_job_6639_one_start_four_ends() {
+        let ds = fig3a(4).run().unwrap();
+        let job = ds.job(JOB_6639).unwrap();
+        assert_eq!(job.task_count(), 4);
+        let starts: Vec<i64> = job
+            .tasks()
+            .filter_map(|t| t.observed_start())
+            .map(|t| t.seconds())
+            .collect();
+        let spread = starts.iter().max().unwrap() - starts.iter().min().unwrap();
+        assert!(spread <= 10, "task starts should bundle, spread {spread}");
+        let mut ends: Vec<i64> = job
+            .tasks()
+            .filter_map(|t| t.observed_end())
+            .map(|t| t.seconds())
+            .collect();
+        ends.sort_unstable();
+        for w in ends.windows(2) {
+            assert!(w[1] - w[0] > 200, "task ends should separate: {ends:?}");
+        }
+    }
+
+    #[test]
+    fn fig3b_regime_is_medium_and_7901_hotter() {
+        let ds = fig3b(5).run().unwrap();
+        let mut all = Vec::new();
+        for m in ds.machines() {
+            if let Some(u) = m.util_at(T_FIG3B) {
+                all.push(u.cpu.fraction());
+            }
+        }
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((0.45..=0.85).contains(&mean), "mean cpu {mean} outside medium band");
+
+        // job_7901's nodes are busier than the cluster average.
+        let job = ds.job(JOB_7901).unwrap();
+        let mut hot = Vec::new();
+        for m in job.machines() {
+            if let Some(u) = ds.machine(m).unwrap().util_at(T_FIG3B) {
+                hot.push(u.cpu.fraction());
+            }
+        }
+        let hot_mean = hot.iter().sum::<f64>() / hot.len() as f64;
+        assert!(hot_mean > mean, "job_7901 nodes {hot_mean} vs cluster {mean}");
+    }
+
+    #[test]
+    fn fig3b_has_shared_machines() {
+        let (_, truth) = fig3b(6).run_with_truth().unwrap();
+        assert!(
+            truth.coallocated_machines.len() >= 3,
+            "need ≥3 shared machines for the link interaction, got {:?}",
+            truth.coallocated_machines
+        );
+    }
+
+    #[test]
+    fn fig3c_shutdown_leaves_only_survivor() {
+        let ds = fig3c(7).run().unwrap();
+        let after: Vec<JobId> = ds
+            .jobs_running_at(Timestamp::new(T_SHUTDOWN.seconds() + 60))
+            .iter()
+            .map(|j| j.id())
+            .collect();
+        assert_eq!(after, vec![JOB_11599]);
+        // Before the shutdown the cluster is crowded.
+        assert!(ds.jobs_running_at(T_FIG3C).len() >= 7);
+    }
+
+    #[test]
+    fn fig3c_thrashing_signature_on_11939_nodes() {
+        let ds = fig3c(8).run().unwrap();
+        let job = ds.job(JOB_11939).unwrap();
+        // Late in the job's run, memory should exceed CPU markedly on its
+        // machines (paper: CPU decreases while virtual memory is overused).
+        let late = Timestamp::new(44000);
+        let mut gaps = Vec::new();
+        for m in job.machines() {
+            if let Some(u) = ds.machine(m).unwrap().util_at(late) {
+                gaps.push(u.mem.fraction() - u.cpu.fraction());
+            }
+        }
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(mean_gap > 0.15, "mem-cpu gap {mean_gap} too small for thrashing");
+    }
+
+    #[test]
+    fn fig2_sample_has_two_end_clusters() {
+        let ds = fig2_sample(9).run().unwrap();
+        let job = ds.job(JOB_7399).unwrap();
+        assert_eq!(job.task_count(), 2);
+        let ends: Vec<i64> = job
+            .tasks()
+            .filter_map(|t| t.observed_end())
+            .map(|t| t.seconds())
+            .collect();
+        assert!((ends[0] - ends[1]).abs() > 1000, "ends {ends:?} should separate");
+    }
+
+    #[test]
+    fn fig1_sample_is_tiny() {
+        let ds = fig1_sample(10).run().unwrap();
+        assert_eq!(ds.job_count(), 1);
+        assert_eq!(ds.job(JobId::new(1)).unwrap().task_count(), 2);
+        assert!(ds.machine_count() <= 8);
+    }
+
+    #[test]
+    fn paper_day_scaled_contains_all_regimes() {
+        // 80 machines keeps this fast while preserving every pattern.
+        let ds = paper_day_with_machines(11, 80).run().unwrap();
+        // All named jobs exist.
+        for id in [JOB_7513, JOB_11939, JOB_11599, JOB_7901, JOB_8121, JOB_8123, JOB_8124, JOB_6639]
+        {
+            assert!(ds.job(id).is_some(), "{id} missing from paper day");
+        }
+        // Shutdown leaves the survivor plus at most stragglers that started after.
+        let after = ds.jobs_running_at(Timestamp::new(T_SHUTDOWN.seconds() + 30));
+        assert!(after.iter().any(|j| j.id() == JOB_11599));
+        // Regime ordering: overload band at 43800 is hotter than the healthy
+        // band at 47400.
+        let mean_at = |t: Timestamp| {
+            let mut s = 0.0;
+            let mut n = 0;
+            for m in ds.machines() {
+                if let Some(u) = m.util_at(t) {
+                    s += u.cpu.fraction();
+                    n += 1;
+                }
+            }
+            s / n as f64
+        };
+        let hot = mean_at(T_FIG3C);
+        let cool = mean_at(T_FIG3A);
+        assert!(hot > cool + 0.15, "overload {hot} vs healthy {cool}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Instance placement policies.
+//!
+//! The trace's co-allocation patterns — the same machine executing instances
+//! of several jobs at once, which BatchLens surfaces with dotted links —
+//! emerge from how the scheduler packs instances onto machines. Three
+//! classic policies are provided; all operate on a per-machine snapshot of
+//! current load (active instance count at the placement time).
+
+use std::fmt;
+
+/// A placement policy: given per-machine active-instance counts, pick the
+/// machine index for the next instance.
+///
+/// Implementations are deterministic; any tie-breaking is by lowest index so
+/// simulation runs are reproducible.
+pub trait Scheduler: fmt::Debug {
+    /// Picks a machine index in `0..loads.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `loads` is empty; the engine never
+    /// calls with an empty cluster.
+    fn pick(&mut self, loads: &[u32]) -> usize;
+
+    /// Policy name for reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Places each instance on the machine with the fewest active instances
+/// (spreading / load balancing — the default, and the reason the paper's
+/// Fig 3(a) shows "uniform color distribution due to the load balance").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Scheduler for LeastLoaded {
+    fn pick(&mut self, loads: &[u32]) -> usize {
+        assert!(!loads.is_empty(), "cannot schedule on an empty cluster");
+        let mut best = 0usize;
+        for (i, &l) in loads.iter().enumerate() {
+            if l < loads[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Cycles through machines regardless of load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at machine 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, loads: &[u32]) -> usize {
+        assert!(!loads.is_empty(), "cannot schedule on an empty cluster");
+        let i = self.next % loads.len();
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Fills the busiest machine that still has headroom (`< cap` active
+/// instances); falls back to the least-loaded machine when all are at cap.
+/// Packing concentrates co-allocation, making shared-node links denser.
+#[derive(Debug, Clone, Copy)]
+pub struct Packing {
+    cap: u32,
+}
+
+impl Packing {
+    /// Creates a packing scheduler with the given per-machine instance cap.
+    pub fn new(cap: u32) -> Self {
+        Packing { cap: cap.max(1) }
+    }
+}
+
+impl Default for Packing {
+    fn default() -> Self {
+        Packing::new(48)
+    }
+}
+
+impl Scheduler for Packing {
+    fn pick(&mut self, loads: &[u32]) -> usize {
+        assert!(!loads.is_empty(), "cannot schedule on an empty cluster");
+        let mut best: Option<usize> = None;
+        for (i, &l) in loads.iter().enumerate() {
+            if l < self.cap {
+                match best {
+                    Some(b) if loads[b] >= l => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best.unwrap_or_else(|| LeastLoaded.pick(loads))
+    }
+
+    fn name(&self) -> &'static str {
+        "packing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_spreads() {
+        let mut s = LeastLoaded;
+        let mut loads = vec![0u32; 4];
+        for _ in 0..8 {
+            let i = s.pick(&loads);
+            loads[i] += 1;
+        }
+        assert_eq!(loads, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low_index() {
+        let mut s = LeastLoaded;
+        assert_eq!(s.pick(&[3, 1, 1, 2]), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let loads = vec![0u32; 3];
+        let picks: Vec<usize> = (0..6).map(|_| s.pick(&loads)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn packing_concentrates_until_cap() {
+        let mut s = Packing::new(3);
+        let mut loads = vec![0u32; 3];
+        for _ in 0..3 {
+            let i = s.pick(&loads);
+            loads[i] += 1;
+        }
+        // All three went to the same machine.
+        assert!(loads.contains(&3));
+        assert_eq!(loads.iter().sum::<u32>(), 3);
+        // Next pick must go elsewhere (machine at cap).
+        let i = s.pick(&loads);
+        assert_eq!(loads[i], 0);
+    }
+
+    #[test]
+    fn packing_falls_back_when_all_full() {
+        let mut s = Packing::new(1);
+        let loads = vec![5u32, 4, 6];
+        assert_eq!(s.pick(&loads), 1); // least loaded fallback
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        LeastLoaded.pick(&[]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Utilization footprint shapes.
+//!
+//! Every running instance contributes load to its machine. The contribution
+//! over the instance's lifetime is described by a [`Shape`] per metric,
+//! evaluated at normalized progress `p ∈ [0, 1]` (0 = instance start,
+//! 1 = instance end). Shapes are what make the paper's case-study patterns
+//! visible in line charts:
+//!
+//! * a normal task is a [`Shape::RampPlateau`] — quick ramp, steady level
+//!   (Fig 3(a): "fairly constant with only small increase"),
+//! * the Fig 3(b) anomaly is a [`Shape::SpikeToEnd`] — utilization climbs
+//!   through the run, *peaks exactly when the job execution is over*, then
+//!   decays back after the end (the tail extends beyond `p = 1`),
+//! * the Fig 3(c) thrashing signature combines a high flat memory shape with
+//!   a [`Shape::Collapse`] CPU shape — CPU falls away while memory stays
+//!   pinned.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar load contribution over normalized instance progress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Constant `level` for the whole run.
+    Constant {
+        /// Contribution level.
+        level: f64,
+    },
+    /// Linear ramp from 0 to `level` over the first `ramp` fraction of the
+    /// run, flat `level` afterwards, symmetric ramp-down over the last
+    /// `ramp` fraction.
+    RampPlateau {
+        /// Plateau contribution level.
+        level: f64,
+        /// Fraction of the run spent ramping on each side, `0..=0.5`.
+        ramp: f64,
+    },
+    /// Grows from `base` to `peak` over the run, peaking at the end; after
+    /// the instance ends the contribution decays exponentially with time
+    /// constant `tail` (fraction of the run length).
+    SpikeToEnd {
+        /// Starting contribution.
+        base: f64,
+        /// Contribution at the moment the instance ends.
+        peak: f64,
+        /// Post-end exponential decay constant as a fraction of run length.
+        tail: f64,
+    },
+    /// Starts at `from` and decays exponentially toward `to` (thrashing CPU:
+    /// the system stops making progress).
+    Collapse {
+        /// Initial contribution.
+        from: f64,
+        /// Asymptotic contribution.
+        to: f64,
+        /// How many e-foldings fit in the run; larger = faster collapse.
+        rate: f64,
+    },
+    /// Linear interpolation from `from` to `to` (memory leak).
+    Linear {
+        /// Contribution at `p = 0`.
+        from: f64,
+        /// Contribution at `p = 1`.
+        to: f64,
+    },
+}
+
+impl Shape {
+    /// Evaluates the contribution at progress `p`.
+    ///
+    /// `p` may exceed 1.0: shapes with a post-end tail ([`Shape::SpikeToEnd`])
+    /// return their decayed value, all others return 0 past the end. Negative
+    /// `p` (before start) always returns 0.
+    pub fn eval(&self, p: f64) -> f64 {
+        if p < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Shape::Constant { level } => {
+                if p <= 1.0 {
+                    level
+                } else {
+                    0.0
+                }
+            }
+            Shape::RampPlateau { level, ramp } => {
+                if p > 1.0 {
+                    return 0.0;
+                }
+                let ramp = ramp.clamp(0.0, 0.5);
+                if ramp == 0.0 {
+                    return level;
+                }
+                if p < ramp {
+                    level * (p / ramp)
+                } else if p > 1.0 - ramp {
+                    level * ((1.0 - p) / ramp)
+                } else {
+                    level
+                }
+            }
+            Shape::SpikeToEnd { base, peak, tail } => {
+                if p <= 1.0 {
+                    // Quadratic growth reads as "drastic fluctuation then spike".
+                    base + (peak - base) * p * p
+                } else {
+                    let tail = tail.max(1e-6);
+                    peak * (-(p - 1.0) / tail).exp()
+                }
+            }
+            Shape::Collapse { from, to, rate } => {
+                if p > 1.0 {
+                    return 0.0;
+                }
+                to + (from - to) * (-rate * p).exp()
+            }
+            Shape::Linear { from, to } => {
+                if p > 1.0 {
+                    return 0.0;
+                }
+                from + (to - from) * p
+            }
+        }
+    }
+
+    /// True when the shape still contributes after the instance end
+    /// (needed by the engine to know how far past `end` to keep adding).
+    pub fn has_tail(&self) -> bool {
+        matches!(self, Shape::SpikeToEnd { .. })
+    }
+
+    /// Mean contribution over the run `[0, 1]`, sampled; used to fill the
+    /// `cpu_avg`/`mem_avg` columns of `batch_instance` records.
+    pub fn mean(&self) -> f64 {
+        const N: usize = 64;
+        (0..N).map(|i| self.eval((i as f64 + 0.5) / N as f64)).sum::<f64>() / N as f64
+    }
+
+    /// Peak contribution over the run `[0, 1]`, sampled; fills the
+    /// `cpu_max`/`mem_max` columns.
+    pub fn max(&self) -> f64 {
+        const N: usize = 64;
+        (0..=N)
+            .map(|i| self.eval(i as f64 / N as f64))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Per-metric footprint of one instance: CPU, memory and disk shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintProfile {
+    /// CPU contribution shape.
+    pub cpu: Shape,
+    /// Memory contribution shape.
+    pub mem: Shape,
+    /// Disk I/O contribution shape.
+    pub disk: Shape,
+}
+
+impl FootprintProfile {
+    /// A steady batch-work footprint at roughly the given per-metric levels.
+    pub fn steady(cpu: f64, mem: f64, disk: f64) -> Self {
+        FootprintProfile {
+            cpu: Shape::RampPlateau { level: cpu, ramp: 0.08 },
+            mem: Shape::RampPlateau { level: mem, ramp: 0.05 },
+            disk: Shape::RampPlateau { level: disk, ramp: 0.10 },
+        }
+    }
+
+    /// The Fig 3(b) anomaly: CPU and memory spike, peaking at job end,
+    /// decaying afterwards. Disk stays modest.
+    pub fn end_spike(cpu_peak: f64, mem_peak: f64) -> Self {
+        FootprintProfile {
+            cpu: Shape::SpikeToEnd { base: cpu_peak * 0.35, peak: cpu_peak, tail: 0.35 },
+            mem: Shape::SpikeToEnd { base: mem_peak * 0.40, peak: mem_peak, tail: 0.45 },
+            disk: Shape::RampPlateau { level: 0.10, ramp: 0.1 },
+        }
+    }
+
+    /// The Fig 3(c) thrashing signature: memory pinned high, CPU collapsing
+    /// as the machine stops making progress, disk busy with paging.
+    pub fn thrashing(mem_level: f64, cpu_initial: f64, cpu_floor: f64) -> Self {
+        FootprintProfile {
+            cpu: Shape::Collapse { from: cpu_initial, to: cpu_floor, rate: 4.0 },
+            mem: Shape::Constant { level: mem_level },
+            disk: Shape::Constant { level: 0.45 },
+        }
+    }
+
+    /// A memory-leak footprint: memory grows linearly through the run.
+    pub fn memory_leak(mem_from: f64, mem_to: f64, cpu: f64) -> Self {
+        FootprintProfile {
+            cpu: Shape::RampPlateau { level: cpu, ramp: 0.08 },
+            mem: Shape::Linear { from: mem_from, to: mem_to },
+            disk: Shape::RampPlateau { level: 0.08, ramp: 0.1 },
+        }
+    }
+
+    /// The shape for a given metric index (`0` cpu, `1` mem, `2` disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics on indexes above 2.
+    pub fn by_index(&self, index: usize) -> Shape {
+        match index {
+            0 => self.cpu,
+            1 => self.mem,
+            2 => self.disk,
+            other => panic!("metric index {other} out of range"),
+        }
+    }
+
+    /// True when any metric has a post-end tail.
+    pub fn has_tail(&self) -> bool {
+        self.cpu.has_tail() || self.mem.has_tail() || self.disk.has_tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat_and_ends() {
+        let s = Shape::Constant { level: 0.4 };
+        assert_eq!(s.eval(0.0), 0.4);
+        assert_eq!(s.eval(1.0), 0.4);
+        assert_eq!(s.eval(1.01), 0.0);
+        assert_eq!(s.eval(-0.1), 0.0);
+    }
+
+    #[test]
+    fn ramp_plateau_profile() {
+        let s = Shape::RampPlateau { level: 0.6, ramp: 0.1 };
+        assert_eq!(s.eval(0.0), 0.0);
+        assert!((s.eval(0.05) - 0.3).abs() < 1e-12);
+        assert_eq!(s.eval(0.5), 0.6);
+        assert!((s.eval(0.95) - 0.3).abs() < 1e-12);
+        assert!(s.eval(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_plateau_degenerate_ramp() {
+        let s = Shape::RampPlateau { level: 0.6, ramp: 0.0 };
+        assert_eq!(s.eval(0.5), 0.6);
+        // ramp is clamped to 0.5 at most
+        let s = Shape::RampPlateau { level: 0.6, ramp: 0.9 };
+        assert!((s.eval(0.5) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spike_peaks_at_end_and_decays() {
+        let s = Shape::SpikeToEnd { base: 0.2, peak: 0.9, tail: 0.5 };
+        assert!((s.eval(0.0) - 0.2).abs() < 1e-12);
+        assert!((s.eval(1.0) - 0.9).abs() < 1e-12);
+        // Monotone growth during the run.
+        assert!(s.eval(0.5) < s.eval(0.9));
+        // Decays after the end but is still positive (the paper's "slow drop").
+        let after = s.eval(1.2);
+        assert!(after > 0.0 && after < 0.9);
+        assert!(s.eval(2.0) < after);
+        assert!(s.has_tail());
+    }
+
+    #[test]
+    fn collapse_falls_toward_floor() {
+        let s = Shape::Collapse { from: 0.8, to: 0.1, rate: 4.0 };
+        assert!((s.eval(0.0) - 0.8).abs() < 1e-12);
+        assert!(s.eval(0.5) < 0.35);
+        assert!(s.eval(1.0) > 0.1 && s.eval(1.0) < 0.15);
+        assert!(!s.has_tail());
+    }
+
+    #[test]
+    fn linear_interpolates() {
+        let s = Shape::Linear { from: 0.1, to: 0.5 };
+        assert!((s.eval(0.5) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_max_are_sane() {
+        let flat = Shape::Constant { level: 0.4 };
+        assert!((flat.mean() - 0.4).abs() < 1e-9);
+        assert!((flat.max() - 0.4).abs() < 1e-9);
+        let spike = Shape::SpikeToEnd { base: 0.2, peak: 0.9, tail: 0.3 };
+        assert!(spike.mean() > 0.2 && spike.mean() < 0.9);
+        assert!((spike.max() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_expose_expected_signatures() {
+        let t = FootprintProfile::thrashing(0.9, 0.7, 0.1);
+        // Memory stays pinned while CPU collapses: the detector's signature.
+        assert!(t.mem.eval(0.9) > 0.85);
+        assert!(t.cpu.eval(0.9) < 0.2);
+        let s = FootprintProfile::end_spike(0.8, 0.7);
+        assert!(s.has_tail());
+        assert!(!t.has_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "metric index")]
+    fn by_index_panics_out_of_range() {
+        FootprintProfile::steady(0.1, 0.1, 0.1).by_index(3);
+    }
+}

@@ -1,0 +1,234 @@
+use batchlens_trace::{JobId, MachineId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::dag::TaskDag;
+use crate::{Anomaly, FootprintProfile, SimError};
+
+/// A fully scripted batch job: the mechanism scenarios use to plant the
+/// paper's named jobs (`job_7901`, `job_11939`, …) with exact timing,
+/// placement and anomaly behaviour on top of the random background workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The job's identity (must be unique in the run).
+    pub job: JobId,
+    /// Submission time; task start offsets are relative to this.
+    pub submit: Timestamp,
+    /// The job's tasks, indexed by the DAG.
+    pub tasks: Vec<TaskSpec>,
+    /// Dependency structure over `tasks` (same length).
+    pub dag: TaskDag,
+    /// Optional anomaly overriding the tasks' footprints.
+    pub anomaly: Option<Anomaly>,
+    /// When set, instances are placed round-robin over exactly these
+    /// machines instead of going through the scheduler — used to co-allocate
+    /// jobs on shared nodes (Fig 3(b)'s dotted links) and to park anomalous
+    /// jobs on "busier" machines.
+    pub pinned_machines: Option<Vec<MachineId>>,
+}
+
+/// One task inside a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Number of instances.
+    pub instances: u32,
+    /// Nominal duration in seconds (before jitter).
+    pub duration: i64,
+    /// Load contribution of each instance.
+    pub footprint: FootprintProfile,
+    /// Max absolute start jitter per instance, seconds. The paper's Fig 2
+    /// shows starts "bundling into one cluster": jitter is small but nonzero.
+    pub start_jitter: i64,
+    /// Max absolute end jitter per instance, seconds. Ends bundle per task.
+    pub end_jitter: i64,
+}
+
+impl TaskSpec {
+    /// A steady task with default small jitter.
+    pub fn steady(instances: u32, duration: i64, cpu: f64, mem: f64, disk: f64) -> Self {
+        TaskSpec {
+            instances,
+            duration,
+            footprint: FootprintProfile::steady(cpu, mem, disk),
+            start_jitter: 5,
+            end_jitter: 30,
+        }
+    }
+}
+
+impl JobSpec {
+    /// A single-task job (the 75 % case) with parallel instances.
+    pub fn single_task(job: JobId, submit: Timestamp, task: TaskSpec) -> Self {
+        JobSpec {
+            job,
+            submit,
+            dag: TaskDag::parallel(1),
+            tasks: vec![task],
+            anomaly: None,
+            pinned_machines: None,
+        }
+    }
+
+    /// A job of `tasks.len()` parallel tasks (same start, per-task ends —
+    /// the `job_6639` pattern of Fig 3(a)).
+    pub fn parallel_tasks(job: JobId, submit: Timestamp, tasks: Vec<TaskSpec>) -> Self {
+        JobSpec {
+            job,
+            submit,
+            dag: TaskDag::parallel(tasks.len()),
+            tasks,
+            anomaly: None,
+            pinned_machines: None,
+        }
+    }
+
+    /// A job whose tasks form a chain (staged ends — the two-cluster end
+    /// annotation pattern of Fig 2).
+    pub fn chained_tasks(job: JobId, submit: Timestamp, tasks: Vec<TaskSpec>) -> Self {
+        JobSpec {
+            job,
+            submit,
+            dag: TaskDag::chain(tasks.len()),
+            tasks,
+            anomaly: None,
+            pinned_machines: None,
+        }
+    }
+
+    /// Attaches an anomaly (builder style).
+    #[must_use]
+    pub fn with_anomaly(mut self, anomaly: Anomaly) -> Self {
+        self.anomaly = Some(anomaly);
+        self
+    }
+
+    /// Pins placement to the given machines (builder style).
+    #[must_use]
+    pub fn pinned_to(mut self, machines: Vec<MachineId>) -> Self {
+        self.pinned_machines = Some(machines);
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] when the DAG and task list disagree,
+    /// a task has zero instances or a non-positive duration, or the pinned
+    /// machine list is empty.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tasks.is_empty() {
+            return Err(SimError::InvalidSpec {
+                message: format!("{} has no tasks", self.job),
+            });
+        }
+        if self.dag.len() != self.tasks.len() {
+            return Err(SimError::InvalidSpec {
+                message: format!(
+                    "{}: dag covers {} tasks but spec has {}",
+                    self.job,
+                    self.dag.len(),
+                    self.tasks.len()
+                ),
+            });
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.instances == 0 {
+                return Err(SimError::InvalidSpec {
+                    message: format!("{} task {i} has zero instances", self.job),
+                });
+            }
+            if t.duration <= 0 {
+                return Err(SimError::InvalidSpec {
+                    message: format!("{} task {i} has non-positive duration", self.job),
+                });
+            }
+            if t.start_jitter < 0 || t.end_jitter < 0 {
+                return Err(SimError::InvalidSpec {
+                    message: format!("{} task {i} has negative jitter", self.job),
+                });
+            }
+        }
+        if let Some(pins) = &self.pinned_machines {
+            if pins.is_empty() {
+                return Err(SimError::InvalidSpec {
+                    message: format!("{} pinned to an empty machine list", self.job),
+                });
+            }
+        }
+        self.dag.topo_order()?;
+        Ok(())
+    }
+
+    /// Total instance count across tasks.
+    pub fn instance_count(&self) -> u32 {
+        self.tasks.iter().map(|t| t.instances).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::parallel_tasks(
+            JobId::new(6639),
+            Timestamp::new(47000),
+            vec![
+                TaskSpec::steady(4, 600, 0.1, 0.1, 0.05),
+                TaskSpec::steady(3, 900, 0.1, 0.1, 0.05),
+            ],
+        )
+    }
+
+    #[test]
+    fn constructors_produce_valid_specs() {
+        spec().validate().unwrap();
+        JobSpec::single_task(
+            JobId::new(8124),
+            Timestamp::ZERO,
+            TaskSpec::steady(5, 300, 0.05, 0.05, 0.02),
+        )
+        .validate()
+        .unwrap();
+        JobSpec::chained_tasks(
+            JobId::new(7399),
+            Timestamp::ZERO,
+            vec![TaskSpec::steady(2, 100, 0.1, 0.1, 0.1); 3],
+        )
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = spec();
+        s.tasks.clear();
+        s.dag = TaskDag::parallel(0);
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.tasks[0].instances = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.tasks[1].duration = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.dag = TaskDag::parallel(5);
+        assert!(s.validate().is_err());
+
+        let s = spec().pinned_to(vec![]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_attach() {
+        let s = spec()
+            .with_anomaly(Anomaly::end_spike())
+            .pinned_to(vec![MachineId::new(1), MachineId::new(2)]);
+        assert!(s.anomaly.is_some());
+        assert_eq!(s.pinned_machines.as_ref().unwrap().len(), 2);
+        assert_eq!(s.instance_count(), 7);
+    }
+}

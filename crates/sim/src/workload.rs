@@ -1,0 +1,282 @@
+//! Statistical workload model calibrated to the Alibaba v2017 shape.
+//!
+//! The paper's Section II gives the distributional facts the generator must
+//! hit: **75 % of batch jobs contain only one task** and **94 % of tasks have
+//! multiple instances**. Job arrivals are Poisson; task durations are
+//! log-normal (heavy-tailed, as in the published analyses of the trace).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::rng as dist;
+use crate::SimError;
+
+/// Parameters of the background workload generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Mean job arrivals per hour.
+    pub jobs_per_hour: f64,
+    /// Probability that a job has exactly one task (paper: 0.75).
+    pub single_task_probability: f64,
+    /// Geometric `p` for extra tasks beyond the first two in multi-task jobs.
+    pub extra_task_p: f64,
+    /// Maximum tasks per job.
+    pub max_tasks: u32,
+    /// Probability that a task has exactly one instance (paper: 1 − 0.94).
+    pub single_instance_probability: f64,
+    /// Log-normal `mu` of the instance count of multi-instance tasks.
+    pub instance_count_mu: f64,
+    /// Log-normal `sigma` of the instance count.
+    pub instance_count_sigma: f64,
+    /// Maximum instances per task.
+    pub max_instances: u32,
+    /// Log-normal `mu` of task duration in seconds.
+    pub duration_mu: f64,
+    /// Log-normal `sigma` of task duration.
+    pub duration_sigma: f64,
+    /// Minimum task duration in seconds.
+    pub min_duration: i64,
+    /// Maximum task duration in seconds.
+    pub max_duration: i64,
+    /// Probability that a multi-task job has a dependency chain (vs parallel
+    /// tasks); chained tasks start when their parent ends.
+    pub chain_probability: f64,
+    /// Mean steady CPU footprint of an instance (plateau contribution).
+    pub mean_cpu_footprint: f64,
+    /// Mean steady memory footprint of an instance.
+    pub mean_mem_footprint: f64,
+    /// Mean steady disk footprint of an instance.
+    pub mean_disk_footprint: f64,
+}
+
+impl WorkloadModel {
+    /// Calibration matching the paper's Section II statistics.
+    pub fn alibaba_v2017() -> Self {
+        WorkloadModel {
+            jobs_per_hour: 55.0,
+            single_task_probability: 0.75,
+            extra_task_p: 0.55,
+            max_tasks: 8,
+            single_instance_probability: 0.06,
+            instance_count_mu: 2.1,
+            instance_count_sigma: 0.9,
+            max_instances: 96,
+            duration_mu: 6.9, // e^6.9 ≈ 992 s ≈ 16.5 min median
+            duration_sigma: 0.8,
+            min_duration: 120,
+            max_duration: 4 * 3600,
+            chain_probability: 0.6,
+            mean_cpu_footprint: 0.045,
+            mean_mem_footprint: 0.035,
+            mean_disk_footprint: 0.020,
+        }
+    }
+
+    /// A light workload (fewer, smaller jobs) for low-utilization regimes.
+    pub fn light() -> Self {
+        WorkloadModel {
+            jobs_per_hour: 25.0,
+            instance_count_mu: 1.8,
+            mean_cpu_footprint: 0.03,
+            mean_mem_footprint: 0.025,
+            mean_disk_footprint: 0.015,
+            ..WorkloadModel::alibaba_v2017()
+        }
+    }
+
+    /// A heavy workload for high-utilization regimes.
+    pub fn heavy() -> Self {
+        WorkloadModel {
+            jobs_per_hour: 90.0,
+            instance_count_mu: 2.4,
+            mean_cpu_footprint: 0.08,
+            mean_mem_footprint: 0.07,
+            mean_disk_footprint: 0.03,
+            ..WorkloadModel::alibaba_v2017()
+        }
+    }
+
+    /// Validates all probabilities and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn prob(name: &'static str, v: f64) -> Result<(), SimError> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SimError::InvalidConfig {
+                    parameter: name,
+                    message: format!("{v} is not a probability"),
+                });
+            }
+            Ok(())
+        }
+        prob("single_task_probability", self.single_task_probability)?;
+        prob("single_instance_probability", self.single_instance_probability)?;
+        prob("chain_probability", self.chain_probability)?;
+        if !(self.extra_task_p > 0.0 && self.extra_task_p <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                parameter: "extra_task_p",
+                message: format!("{} outside (0, 1]", self.extra_task_p),
+            });
+        }
+        if self.jobs_per_hour < 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "jobs_per_hour",
+                message: "must be non-negative".into(),
+            });
+        }
+        if self.max_tasks == 0 || self.max_instances == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "max_tasks/max_instances",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.min_duration <= 0 || self.max_duration < self.min_duration {
+            return Err(SimError::InvalidConfig {
+                parameter: "duration",
+                message: format!(
+                    "need 0 < min ({}) <= max ({})",
+                    self.min_duration, self.max_duration
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Samples the number of tasks of a job.
+    pub fn sample_task_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if rng.random::<f64>() < self.single_task_probability {
+            1
+        } else {
+            let extra = dist::geometric(rng, self.extra_task_p) as u32;
+            (2 + extra).min(self.max_tasks)
+        }
+    }
+
+    /// Samples the number of instances of a task.
+    pub fn sample_instance_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if rng.random::<f64>() < self.single_instance_probability {
+            1
+        } else {
+            let n = dist::log_normal(rng, self.instance_count_mu, self.instance_count_sigma);
+            (n.round() as u32).clamp(2, self.max_instances)
+        }
+    }
+
+    /// Samples a task duration in seconds.
+    pub fn sample_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let d = dist::log_normal(rng, self.duration_mu, self.duration_sigma);
+        (d.round() as i64).clamp(self.min_duration, self.max_duration)
+    }
+
+    /// Samples the number of job arrivals in a window of `hours`.
+    pub fn sample_job_count<R: Rng + ?Sized>(&self, rng: &mut R, hours: f64) -> u64 {
+        dist::poisson(rng, self.jobs_per_hour * hours.max(0.0))
+    }
+
+    /// Samples a steady footprint for one instance, jittered around the
+    /// model's mean footprints.
+    pub fn sample_footprint<R: Rng + ?Sized>(&self, rng: &mut R) -> crate::FootprintProfile {
+        crate::FootprintProfile::steady(
+            dist::jitter(rng, self.mean_cpu_footprint, 0.5).max(0.002),
+            dist::jitter(rng, self.mean_mem_footprint, 0.5).max(0.002),
+            dist::jitter(rng, self.mean_disk_footprint, 0.5).max(0.001),
+        )
+    }
+}
+
+impl Default for WorkloadModel {
+    fn default() -> Self {
+        WorkloadModel::alibaba_v2017()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_validate() {
+        WorkloadModel::alibaba_v2017().validate().unwrap();
+        WorkloadModel::light().validate().unwrap();
+        WorkloadModel::heavy().validate().unwrap();
+    }
+
+    #[test]
+    fn task_count_fraction_matches_paper() {
+        let m = WorkloadModel::alibaba_v2017();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let single = (0..n).filter(|_| m.sample_task_count(&mut rng) == 1).count();
+        let frac = single as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "single-task fraction {frac}");
+    }
+
+    #[test]
+    fn instance_count_fraction_matches_paper() {
+        let m = WorkloadModel::alibaba_v2017();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 40_000;
+        let multi = (0..n).filter(|_| m.sample_instance_count(&mut rng) > 1).count();
+        let frac = multi as f64 / n as f64;
+        assert!((frac - 0.94).abs() < 0.02, "multi-instance fraction {frac}");
+    }
+
+    #[test]
+    fn durations_respect_bounds() {
+        let m = WorkloadModel::alibaba_v2017();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5000 {
+            let d = m.sample_duration(&mut rng);
+            assert!(d >= m.min_duration && d <= m.max_duration);
+        }
+    }
+
+    #[test]
+    fn job_count_scales_with_hours() {
+        let m = WorkloadModel::alibaba_v2017();
+        let mut rng = StdRng::seed_from_u64(14);
+        let trials = 300;
+        let mean: f64 =
+            (0..trials).map(|_| m.sample_job_count(&mut rng, 24.0) as f64).sum::<f64>()
+                / trials as f64;
+        let expected = m.jobs_per_hour * 24.0;
+        assert!((mean - expected).abs() < expected * 0.05, "mean {mean} vs {expected}");
+        assert_eq!(m.sample_job_count(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let mut m = WorkloadModel::alibaba_v2017();
+        m.single_task_probability = 1.2;
+        assert!(m.validate().is_err());
+
+        let mut m = WorkloadModel::alibaba_v2017();
+        m.min_duration = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = WorkloadModel::alibaba_v2017();
+        m.max_duration = 10;
+        m.min_duration = 20;
+        assert!(m.validate().is_err());
+
+        let mut m = WorkloadModel::alibaba_v2017();
+        m.extra_task_p = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn footprints_are_positive() {
+        let m = WorkloadModel::alibaba_v2017();
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..100 {
+            let f = m.sample_footprint(&mut rng);
+            assert!(f.cpu.mean() > 0.0);
+            assert!(f.mem.mean() > 0.0);
+            assert!(f.disk.mean() > 0.0);
+        }
+    }
+}

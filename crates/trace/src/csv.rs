@@ -1,0 +1,422 @@
+//! Line-oriented CSV codec for the four Alibaba-v2017-shaped tables.
+//!
+//! The v2017 dumps are plain comma-separated files without quoting or
+//! embedded commas, so a minimal, allocation-light codec is both sufficient
+//! and fast. Each table has a `parse_*` / `write_*` pair; writers emit a
+//! header line, parsers accept input with or without it.
+//!
+//! Column layouts (documented here, asserted by round-trip tests):
+//!
+//! | table | columns |
+//! |---|---|
+//! | `batch_task` | `create_time,modify_time,job_id,task_id,instance_num,status,plan_cpu,plan_mem` |
+//! | `batch_instance` | `start_time,end_time,job_id,task_id,seq_no,total_seq_no,machine_id,status,cpu_avg,cpu_max,mem_avg,mem_max` |
+//! | `server_usage` | `time,machine_id,util_cpu,util_mem,util_disk` (percent) |
+//! | `machine_events` | `time,machine_id,event,capacity_cpu,capacity_mem,capacity_disk` |
+
+use std::fmt::Write as _;
+
+use crate::{
+    BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ServerUsageRecord, Timestamp,
+    TraceError, UtilizationTriple,
+};
+
+/// Header emitted/accepted for `batch_task` files.
+pub const BATCH_TASK_HEADER: &str =
+    "create_time,modify_time,job_id,task_id,instance_num,status,plan_cpu,plan_mem";
+/// Header emitted/accepted for `batch_instance` files.
+pub const BATCH_INSTANCE_HEADER: &str = "start_time,end_time,job_id,task_id,seq_no,\
+total_seq_no,machine_id,status,cpu_avg,cpu_max,mem_avg,mem_max";
+/// Header emitted/accepted for `server_usage` files.
+pub const SERVER_USAGE_HEADER: &str = "time,machine_id,util_cpu,util_mem,util_disk";
+/// Header emitted/accepted for `machine_events` files.
+pub const MACHINE_EVENTS_HEADER: &str =
+    "time,machine_id,event,capacity_cpu,capacity_mem,capacity_disk";
+
+fn split_fields<'a>(
+    line: &'a str,
+    expected: usize,
+    table: &'static str,
+    line_no: usize,
+) -> Result<Vec<&'a str>, TraceError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != expected {
+        return Err(TraceError::ParseLine {
+            line: line_no,
+            table,
+            message: format!("expected {expected} fields, found {}", fields.len()),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_i64(s: &str, field: &'static str) -> Result<i64, TraceError> {
+    s.parse::<i64>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+}
+
+fn parse_u32(s: &str, field: &'static str) -> Result<u32, TraceError> {
+    s.parse::<u32>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+}
+
+fn parse_f64(s: &str, field: &'static str) -> Result<f64, TraceError> {
+    s.parse::<f64>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+}
+
+fn at_line(err: TraceError, table: &'static str, line_no: usize) -> TraceError {
+    match err {
+        TraceError::ParseField { field, value } => TraceError::ParseLine {
+            line: line_no,
+            table,
+            message: format!("bad {field}: {value:?}"),
+        },
+        other => other,
+    }
+}
+
+/// Lines of `input` that carry data: skips blanks, `#` comments and a
+/// leading header equal to `header`.
+fn data_lines<'a>(input: &'a str, header: &'a str) -> impl Iterator<Item = (usize, &'a str)> {
+    input.lines().enumerate().filter_map(move |(i, line)| {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed == header {
+            None
+        } else {
+            Some((i + 1, trimmed))
+        }
+    })
+}
+
+/// Parses a `batch_task` file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseLine`] naming the first offending line.
+pub fn parse_batch_tasks(input: &str) -> Result<Vec<BatchTaskRecord>, TraceError> {
+    const TABLE: &str = "batch_task";
+    let mut out = Vec::new();
+    for (line_no, line) in data_lines(input, BATCH_TASK_HEADER) {
+        let f = split_fields(line, 8, TABLE, line_no)?;
+        let rec = (|| -> Result<BatchTaskRecord, TraceError> {
+            Ok(BatchTaskRecord {
+                create_time: Timestamp::new(parse_i64(f[0], "create_time")?),
+                modify_time: Timestamp::new(parse_i64(f[1], "modify_time")?),
+                job: f[2].parse()?,
+                task: f[3].parse()?,
+                instance_count: parse_u32(f[4], "instance_num")?,
+                status: f[5].parse()?,
+                plan_cpu: parse_f64(f[6], "plan_cpu")?,
+                plan_mem: parse_f64(f[7], "plan_mem")?,
+            })
+        })()
+        .map_err(|e| at_line(e, TABLE, line_no))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Serializes `batch_task` records with a header line.
+pub fn write_batch_tasks(records: &[BatchTaskRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 48 + BATCH_TASK_HEADER.len() + 1);
+    s.push_str(BATCH_TASK_HEADER);
+    s.push('\n');
+    for r in records {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{}",
+            r.create_time.seconds(),
+            r.modify_time.seconds(),
+            r.job,
+            r.task,
+            r.instance_count,
+            r.status,
+            r.plan_cpu,
+            r.plan_mem
+        );
+    }
+    s
+}
+
+/// Parses a `batch_instance` file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseLine`] naming the first offending line.
+pub fn parse_batch_instances(input: &str) -> Result<Vec<BatchInstanceRecord>, TraceError> {
+    const TABLE: &str = "batch_instance";
+    let mut out = Vec::new();
+    for (line_no, line) in data_lines(input, BATCH_INSTANCE_HEADER) {
+        let f = split_fields(line, 12, TABLE, line_no)?;
+        let rec = (|| -> Result<BatchInstanceRecord, TraceError> {
+            Ok(BatchInstanceRecord {
+                start_time: Timestamp::new(parse_i64(f[0], "start_time")?),
+                end_time: Timestamp::new(parse_i64(f[1], "end_time")?),
+                job: f[2].parse()?,
+                task: f[3].parse()?,
+                seq: parse_u32(f[4], "seq_no")?,
+                total: parse_u32(f[5], "total_seq_no")?,
+                machine: f[6].parse()?,
+                status: f[7].parse()?,
+                cpu_avg: parse_f64(f[8], "cpu_avg")?,
+                cpu_max: parse_f64(f[9], "cpu_max")?,
+                mem_avg: parse_f64(f[10], "mem_avg")?,
+                mem_max: parse_f64(f[11], "mem_max")?,
+            })
+        })()
+        .map_err(|e| at_line(e, TABLE, line_no))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Serializes `batch_instance` records with a header line.
+pub fn write_batch_instances(records: &[BatchInstanceRecord]) -> String {
+    let mut s =
+        String::with_capacity(records.len() * 64 + BATCH_INSTANCE_HEADER.len() + 1);
+    s.push_str(BATCH_INSTANCE_HEADER);
+    s.push('\n');
+    for r in records {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.start_time.seconds(),
+            r.end_time.seconds(),
+            r.job,
+            r.task,
+            r.seq,
+            r.total,
+            r.machine,
+            r.status,
+            r.cpu_avg,
+            r.cpu_max,
+            r.mem_avg,
+            r.mem_max
+        );
+    }
+    s
+}
+
+/// Parses a `server_usage` file. Utilization columns are percentages and are
+/// clamped into `0..=100`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseLine`] naming the first offending line.
+pub fn parse_server_usage(input: &str) -> Result<Vec<ServerUsageRecord>, TraceError> {
+    const TABLE: &str = "server_usage";
+    let mut out = Vec::new();
+    for (line_no, line) in data_lines(input, SERVER_USAGE_HEADER) {
+        let f = split_fields(line, 5, TABLE, line_no)?;
+        let rec = (|| -> Result<ServerUsageRecord, TraceError> {
+            Ok(ServerUsageRecord {
+                time: Timestamp::new(parse_i64(f[0], "time")?),
+                machine: f[1].parse()?,
+                util: UtilizationTriple::clamped(
+                    parse_f64(f[2], "util_cpu")? / 100.0,
+                    parse_f64(f[3], "util_mem")? / 100.0,
+                    parse_f64(f[4], "util_disk")? / 100.0,
+                ),
+            })
+        })()
+        .map_err(|e| at_line(e, TABLE, line_no))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Serializes `server_usage` records (percent columns) with a header line.
+pub fn write_server_usage(records: &[ServerUsageRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 40 + SERVER_USAGE_HEADER.len() + 1);
+    s.push_str(SERVER_USAGE_HEADER);
+    s.push('\n');
+    for r in records {
+        let _ = writeln!(
+            s,
+            "{},{},{:.2},{:.2},{:.2}",
+            r.time.seconds(),
+            r.machine,
+            r.util.cpu.percent(),
+            r.util.mem.percent(),
+            r.util.disk.percent()
+        );
+    }
+    s
+}
+
+/// Parses a `machine_events` file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseLine`] naming the first offending line.
+pub fn parse_machine_events(input: &str) -> Result<Vec<MachineEventRecord>, TraceError> {
+    const TABLE: &str = "machine_events";
+    let mut out = Vec::new();
+    for (line_no, line) in data_lines(input, MACHINE_EVENTS_HEADER) {
+        let f = split_fields(line, 6, TABLE, line_no)?;
+        let rec = (|| -> Result<MachineEventRecord, TraceError> {
+            Ok(MachineEventRecord {
+                time: Timestamp::new(parse_i64(f[0], "time")?),
+                machine: f[1].parse()?,
+                event: f[2].parse()?,
+                capacity_cpu: parse_f64(f[3], "capacity_cpu")?,
+                capacity_mem: parse_f64(f[4], "capacity_mem")?,
+                capacity_disk: parse_f64(f[5], "capacity_disk")?,
+            })
+        })()
+        .map_err(|e| at_line(e, TABLE, line_no))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Serializes `machine_events` records with a header line.
+pub fn write_machine_events(records: &[MachineEventRecord]) -> String {
+    let mut s =
+        String::with_capacity(records.len() * 40 + MACHINE_EVENTS_HEADER.len() + 1);
+    s.push_str(MACHINE_EVENTS_HEADER);
+    s.push('\n');
+    for r in records {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{}",
+            r.time.seconds(),
+            r.machine,
+            r.event,
+            r.capacity_cpu,
+            r.capacity_mem,
+            r.capacity_disk
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, MachineEvent, MachineId, TaskId, TaskStatus};
+
+    fn sample_task() -> BatchTaskRecord {
+        BatchTaskRecord {
+            create_time: Timestamp::new(46200),
+            modify_time: Timestamp::new(47400),
+            job: JobId::new(7901),
+            task: TaskId::new(1),
+            instance_count: 12,
+            status: TaskStatus::Terminated,
+            plan_cpu: 2.0,
+            plan_mem: 0.25,
+        }
+    }
+
+    fn sample_instance() -> BatchInstanceRecord {
+        BatchInstanceRecord {
+            start_time: Timestamp::new(46200),
+            end_time: Timestamp::new(47100),
+            job: JobId::new(7901),
+            task: TaskId::new(1),
+            seq: 3,
+            total: 12,
+            machine: MachineId::new(451),
+            status: TaskStatus::Terminated,
+            cpu_avg: 0.61,
+            cpu_max: 0.97,
+            mem_avg: 0.42,
+            mem_max: 0.66,
+        }
+    }
+
+    #[test]
+    fn batch_task_round_trip() {
+        let recs = vec![sample_task()];
+        let text = write_batch_tasks(&recs);
+        assert!(text.starts_with(BATCH_TASK_HEADER));
+        let parsed = parse_batch_tasks(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn batch_instance_round_trip() {
+        let recs = vec![sample_instance()];
+        let text = write_batch_instances(&recs);
+        let parsed = parse_batch_instances(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn server_usage_round_trip_at_centipercent_precision() {
+        let recs = vec![ServerUsageRecord {
+            time: Timestamp::new(43800),
+            machine: MachineId::new(12),
+            util: UtilizationTriple::clamped(0.91, 0.87, 0.33),
+        }];
+        let text = write_server_usage(&recs);
+        let parsed = parse_server_usage(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed[0].util.cpu.fraction() - 0.91).abs() < 5e-5);
+        assert!((parsed[0].util.mem.fraction() - 0.87).abs() < 5e-5);
+        assert!((parsed[0].util.disk.fraction() - 0.33).abs() < 5e-5);
+    }
+
+    #[test]
+    fn machine_events_round_trip() {
+        let recs = vec![MachineEventRecord {
+            time: Timestamp::new(0),
+            machine: MachineId::new(0),
+            event: MachineEvent::Add,
+            capacity_cpu: 64.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        }];
+        let text = write_machine_events(&recs);
+        let parsed = parse_machine_events(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn parser_skips_blank_comment_and_header_lines() {
+        let text = format!(
+            "# generated by batchlens-sim\n\n{}\n46200,47400,job_1,task_1,1,T,1,0.5\n",
+            BATCH_TASK_HEADER
+        );
+        let parsed = parse_batch_tasks(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].job, JobId::new(1));
+    }
+
+    #[test]
+    fn parser_accepts_bare_numeric_ids() {
+        let text = "0,300,42,7,3,T,1,0.5\n";
+        let parsed = parse_batch_tasks(text).unwrap();
+        assert_eq!(parsed[0].job, JobId::new(42));
+        assert_eq!(parsed[0].task, TaskId::new(7));
+    }
+
+    #[test]
+    fn parse_error_names_line_and_table() {
+        let text = "0,300,job_1,task_1,NOTANUM,T,1,0.5\n";
+        let err = parse_batch_tasks(text).unwrap_err();
+        match err {
+            TraceError::ParseLine { line, table, message } => {
+                assert_eq!(line, 1);
+                assert_eq!(table, "batch_task");
+                assert!(message.contains("instance_num"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_is_reported() {
+        let text = "0,300,job_1\n";
+        let err = parse_batch_tasks(text).unwrap_err();
+        assert!(matches!(err, TraceError::ParseLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn usage_values_are_clamped_not_rejected() {
+        let text = "0,machine_1,150,-20,50\n";
+        let parsed = parse_server_usage(text).unwrap();
+        assert_eq!(parsed[0].util.cpu.fraction(), 1.0);
+        assert_eq!(parsed[0].util.mem.fraction(), 0.0);
+        assert_eq!(parsed[0].util.disk.fraction(), 0.5);
+    }
+}

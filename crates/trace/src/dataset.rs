@@ -1,0 +1,757 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    BatchInstanceRecord, BatchTaskRecord, InstanceId, JobId, MachineEvent, MachineEventRecord,
+    MachineId, Metric, ServerUsageRecord, TaskId, TimeRange, TimeSeries, Timestamp, TraceError,
+    UtilizationTriple,
+};
+
+/// A fully indexed, immutable trace: the substrate every BatchLens view
+/// queries.
+///
+/// Build one with [`TraceDatasetBuilder`] (from simulator output or parsed
+/// CSV tables). The dataset owns:
+///
+/// * the **batch hierarchy** — jobs → tasks → instances, each instance pinned
+///   to one machine,
+/// * the **machine table** — capacities and lifecycle events,
+/// * the **usage series** — one [`TimeSeries`] per machine per
+///   [`Metric`].
+///
+/// All accessors are `O(log n)` or better thanks to the indexes built at
+/// construction time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceDataset {
+    tasks: BTreeMap<(JobId, TaskId), BatchTaskRecord>,
+    instances: Vec<BatchInstanceRecord>,
+    /// `(job, task)` → indices into `instances`, sorted by seq.
+    task_instances: BTreeMap<(JobId, TaskId), Vec<usize>>,
+    /// machine → indices into `instances`.
+    machine_instances: BTreeMap<MachineId, Vec<usize>>,
+    machines: BTreeMap<MachineId, MachineInfo>,
+    machine_events: Vec<MachineEventRecord>,
+    /// machine → `[cpu, mem, disk]` series.
+    usage: BTreeMap<MachineId, [TimeSeries; 3]>,
+}
+
+/// Static information about one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// Normalized CPU capacity (cores).
+    pub capacity_cpu: f64,
+    /// Normalized memory capacity.
+    pub capacity_mem: f64,
+    /// Normalized disk capacity.
+    pub capacity_disk: f64,
+}
+
+impl Default for MachineInfo {
+    fn default() -> Self {
+        MachineInfo { capacity_cpu: 1.0, capacity_mem: 1.0, capacity_disk: 1.0 }
+    }
+}
+
+/// Accumulates records and validates them into a [`TraceDataset`].
+///
+/// The builder is deliberately permissive about *order* (records may arrive
+/// shuffled, as they do in the real dumps) but strict about *integrity*:
+/// duplicate keys, inverted intervals and dangling task references are
+/// reported as [`TraceError`]s by [`TraceDatasetBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceDatasetBuilder {
+    tasks: Vec<BatchTaskRecord>,
+    instances: Vec<BatchInstanceRecord>,
+    usage: Vec<ServerUsageRecord>,
+    machine_events: Vec<MachineEventRecord>,
+    /// Machines declared directly (simulator path) rather than via events.
+    declared_machines: BTreeMap<MachineId, MachineInfo>,
+    /// When true, instances referencing undeclared tasks are errors.
+    strict_hierarchy: bool,
+}
+
+impl TraceDatasetBuilder {
+    /// Creates an empty builder with strict hierarchy checking enabled.
+    pub fn new() -> Self {
+        TraceDatasetBuilder { strict_hierarchy: true, ..Default::default() }
+    }
+
+    /// Disables the instance→task referential check (some real dump slices
+    /// are task-incomplete).
+    pub fn allow_dangling_instances(&mut self) -> &mut Self {
+        self.strict_hierarchy = false;
+        self
+    }
+
+    /// Declares a machine with explicit capacities.
+    pub fn declare_machine(&mut self, machine: MachineId, info: MachineInfo) -> &mut Self {
+        self.declared_machines.insert(machine, info);
+        self
+    }
+
+    /// Adds a `batch_task` record.
+    pub fn push_task(&mut self, record: BatchTaskRecord) -> &mut Self {
+        self.tasks.push(record);
+        self
+    }
+
+    /// Adds a `batch_instance` record.
+    pub fn push_instance(&mut self, record: BatchInstanceRecord) -> &mut Self {
+        self.instances.push(record);
+        self
+    }
+
+    /// Adds a `server_usage` record.
+    pub fn push_usage(&mut self, record: ServerUsageRecord) -> &mut Self {
+        self.usage.push(record);
+        self
+    }
+
+    /// Adds a `machine_events` record.
+    pub fn push_machine_event(&mut self, record: MachineEventRecord) -> &mut Self {
+        self.machine_events.push(record);
+        self
+    }
+
+    /// Bulk-adds records of all four kinds.
+    pub fn extend_tables(
+        &mut self,
+        tasks: impl IntoIterator<Item = BatchTaskRecord>,
+        instances: impl IntoIterator<Item = BatchInstanceRecord>,
+        usage: impl IntoIterator<Item = ServerUsageRecord>,
+        events: impl IntoIterator<Item = MachineEventRecord>,
+    ) -> &mut Self {
+        self.tasks.extend(tasks);
+        self.instances.extend(instances);
+        self.usage.extend(usage);
+        self.machine_events.extend(events);
+        self
+    }
+
+    /// Validates and indexes everything into a [`TraceDataset`].
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::DuplicateTask`] / [`TraceError::DuplicateInstance`]
+    ///   for repeated keys,
+    /// * [`TraceError::InvertedInterval`] for records whose end precedes
+    ///   their start,
+    /// * [`TraceError::UnknownTask`] for dangling instances (strict mode),
+    /// * [`TraceError::UnorderedSamples`] for duplicate usage timestamps on
+    ///   one machine.
+    pub fn build(&self) -> Result<TraceDataset, TraceError> {
+        let mut ds = TraceDataset::default();
+
+        for rec in &self.tasks {
+            rec.lifetime()?;
+            if ds.tasks.insert((rec.job, rec.task), *rec).is_some() {
+                return Err(TraceError::DuplicateTask { job: rec.job, task: rec.task });
+            }
+        }
+
+        let mut seen_instances = BTreeSet::new();
+        let mut instances = self.instances.clone();
+        instances.sort_by_key(|r| (r.job, r.task, r.seq));
+        for rec in &instances {
+            rec.window()?;
+            let id = InstanceId::new(rec.job, rec.task, rec.seq);
+            if !seen_instances.insert(id) {
+                return Err(TraceError::DuplicateInstance { instance: id });
+            }
+            if self.strict_hierarchy && !ds.tasks.contains_key(&(rec.job, rec.task)) {
+                return Err(TraceError::UnknownTask { job: rec.job, task: rec.task });
+            }
+        }
+        for (idx, rec) in instances.iter().enumerate() {
+            ds.task_instances.entry((rec.job, rec.task)).or_default().push(idx);
+            ds.machine_instances.entry(rec.machine).or_default().push(idx);
+        }
+        ds.instances = instances;
+
+        // Machine table: explicit declarations take precedence, then Add events,
+        // then machines implied by placements/usage with default capacities.
+        for (m, info) in &self.declared_machines {
+            ds.machines.insert(*m, *info);
+        }
+        for ev in &self.machine_events {
+            if ev.event == MachineEvent::Add {
+                ds.machines.entry(ev.machine).or_insert(MachineInfo {
+                    capacity_cpu: ev.capacity_cpu,
+                    capacity_mem: ev.capacity_mem,
+                    capacity_disk: ev.capacity_disk,
+                });
+            }
+        }
+        for rec in &ds.instances {
+            ds.machines.entry(rec.machine).or_default();
+        }
+        for rec in &self.usage {
+            ds.machines.entry(rec.machine).or_default();
+        }
+
+        let mut events = self.machine_events.clone();
+        events.sort_by_key(|e| (e.time, e.machine));
+        ds.machine_events = events;
+
+        // Usage: group by machine, sort by time, reject duplicates.
+        let mut by_machine: BTreeMap<MachineId, Vec<(Timestamp, UtilizationTriple)>> =
+            BTreeMap::new();
+        for rec in &self.usage {
+            by_machine.entry(rec.machine).or_default().push((rec.time, rec.util));
+        }
+        for (machine, mut samples) in by_machine {
+            samples.sort_by_key(|(t, _)| *t);
+            let cpu = TimeSeries::from_samples(
+                samples.iter().map(|(t, u)| (*t, u.cpu.fraction())),
+            )?;
+            let mem = TimeSeries::from_samples(
+                samples.iter().map(|(t, u)| (*t, u.mem.fraction())),
+            )?;
+            let disk = TimeSeries::from_samples(
+                samples.iter().map(|(t, u)| (*t, u.disk.fraction())),
+            )?;
+            ds.usage.insert(machine, [cpu, mem, disk]);
+        }
+
+        Ok(ds)
+    }
+}
+
+impl TraceDataset {
+    /// Starts a builder (alias of [`TraceDatasetBuilder::new`]).
+    pub fn builder() -> TraceDatasetBuilder {
+        TraceDatasetBuilder::new()
+    }
+
+    /// Iterates over all jobs in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = JobView<'_>> + '_ {
+        let mut ids: Vec<JobId> = self.tasks.keys().map(|(j, _)| *j).collect();
+        ids.dedup();
+        ids.into_iter().map(move |id| JobView { ds: self, id })
+    }
+
+    /// Looks up one job.
+    pub fn job(&self, id: JobId) -> Option<JobView<'_>> {
+        let has = self
+            .tasks
+            .range((id, TaskId::new(0))..=(id, TaskId::new(u32::MAX)))
+            .next()
+            .is_some();
+        has.then_some(JobView { ds: self, id })
+    }
+
+    /// Number of distinct jobs.
+    pub fn job_count(&self) -> usize {
+        let mut last = None;
+        let mut n = 0;
+        for (j, _) in self.tasks.keys() {
+            if last != Some(*j) {
+                n += 1;
+                last = Some(*j);
+            }
+        }
+        n
+    }
+
+    /// Number of task records.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of instance records.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// All task records, in `(job, task)` order.
+    pub fn task_records(&self) -> impl Iterator<Item = &BatchTaskRecord> + '_ {
+        self.tasks.values()
+    }
+
+    /// All instance records, in `(job, task, seq)` order.
+    pub fn instance_records(&self) -> &[BatchInstanceRecord] {
+        &self.instances
+    }
+
+    /// All machine lifecycle events, in time order.
+    pub fn machine_events(&self) -> &[MachineEventRecord] {
+        &self.machine_events
+    }
+
+    /// Iterates over all machines in id order.
+    pub fn machines(&self) -> impl Iterator<Item = MachineView<'_>> + '_ {
+        self.machines.keys().map(move |&id| MachineView { ds: self, id })
+    }
+
+    /// Looks up one machine.
+    pub fn machine(&self, id: MachineId) -> Option<MachineView<'_>> {
+        self.machines.contains_key(&id).then_some(MachineView { ds: self, id })
+    }
+
+    /// Number of machines (declared, added or referenced).
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Jobs with at least one instance running at `t`, in id order.
+    pub fn jobs_running_at(&self, t: Timestamp) -> Vec<JobView<'_>> {
+        let mut ids: BTreeSet<JobId> = BTreeSet::new();
+        for rec in &self.instances {
+            if rec.running_at(t) {
+                ids.insert(rec.job);
+            }
+        }
+        ids.into_iter().map(|id| JobView { ds: self, id }).collect()
+    }
+
+    /// The union time span of all instances and usage samples, or `None` for
+    /// an empty dataset.
+    pub fn span(&self) -> Option<TimeRange> {
+        let mut span: Option<TimeRange> = None;
+        let mut merge = |r: TimeRange| {
+            span = Some(match span {
+                Some(s) => s.union(&r),
+                None => r,
+            });
+        };
+        for rec in &self.instances {
+            if let Ok(w) = rec.window() {
+                merge(w);
+            }
+        }
+        for series in self.usage.values() {
+            if let Some(s) = series[0].span() {
+                merge(s);
+            }
+        }
+        span
+    }
+
+    fn instance_by_idx(&self, idx: usize) -> InstanceRef<'_> {
+        InstanceRef { record: &self.instances[idx] }
+    }
+}
+
+/// Borrowed view of one job and its subtree.
+#[derive(Debug, Clone, Copy)]
+pub struct JobView<'a> {
+    ds: &'a TraceDataset,
+    id: JobId,
+}
+
+impl<'a> JobView<'a> {
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Iterates over the job's tasks in task-id order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskView<'a>> + 'a {
+        let ds = self.ds;
+        let id = self.id;
+        ds.tasks
+            .range((id, TaskId::new(0))..=(id, TaskId::new(u32::MAX)))
+            .map(move |(&(_, task), _)| TaskView { ds, job: id, id: task })
+    }
+
+    /// Number of tasks in this job.
+    pub fn task_count(&self) -> usize {
+        self.tasks().count()
+    }
+
+    /// Total instances across all tasks.
+    pub fn instance_count(&self) -> usize {
+        self.tasks().map(|t| t.instance_count()).sum()
+    }
+
+    /// The distinct machines executing any instance of this job.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut out: BTreeSet<MachineId> = BTreeSet::new();
+        for task in self.tasks() {
+            for inst in task.instances() {
+                out.insert(inst.record.machine);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The job's lifetime: union of its tasks' lifetimes.
+    pub fn lifetime(&self) -> Option<TimeRange> {
+        let mut out: Option<TimeRange> = None;
+        for task in self.tasks() {
+            if let Ok(l) = task.record().lifetime() {
+                out = Some(match out {
+                    Some(o) => o.union(&l),
+                    None => l,
+                });
+            }
+        }
+        out
+    }
+
+    /// True when any instance of the job runs at `t`.
+    pub fn running_at(&self, t: Timestamp) -> bool {
+        self.tasks().any(|task| task.instances().any(|i| i.record.running_at(t)))
+    }
+}
+
+/// Borrowed view of one task and its instances.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    ds: &'a TraceDataset,
+    job: JobId,
+    id: TaskId,
+}
+
+impl<'a> TaskView<'a> {
+    /// The owning job id.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The task id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The underlying `batch_task` record.
+    pub fn record(&self) -> &'a BatchTaskRecord {
+        &self.ds.tasks[&(self.job, self.id)]
+    }
+
+    /// Iterates over the task's instances in sequence order.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceRef<'a>> + 'a {
+        let ds = self.ds;
+        ds.task_instances
+            .get(&(self.job, self.id))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&idx| ds.instance_by_idx(idx))
+    }
+
+    /// Number of instance records attached to this task.
+    pub fn instance_count(&self) -> usize {
+        self.ds.task_instances.get(&(self.job, self.id)).map_or(0, Vec::len)
+    }
+
+    /// The distinct machines executing this task.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut out: BTreeSet<MachineId> = BTreeSet::new();
+        for inst in self.instances() {
+            out.insert(inst.record.machine);
+        }
+        out.into_iter().collect()
+    }
+
+    /// The latest `end_time` among this task's instances (the task's
+    /// observed completion), or `None` without instances.
+    pub fn observed_end(&self) -> Option<Timestamp> {
+        self.instances().map(|i| i.record.end_time).max()
+    }
+
+    /// The earliest `start_time` among this task's instances.
+    pub fn observed_start(&self) -> Option<Timestamp> {
+        self.instances().map(|i| i.record.start_time).min()
+    }
+}
+
+/// Borrowed view of one instance record.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceRef<'a> {
+    /// The underlying `batch_instance` record.
+    pub record: &'a BatchInstanceRecord,
+}
+
+impl InstanceRef<'_> {
+    /// The instance's identity.
+    pub fn id(&self) -> InstanceId {
+        InstanceId::new(self.record.job, self.record.task, self.record.seq)
+    }
+}
+
+/// Borrowed view of one machine: capacities, placements and usage series.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineView<'a> {
+    ds: &'a TraceDataset,
+    id: MachineId,
+}
+
+impl<'a> MachineView<'a> {
+    /// The machine id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Capacity information.
+    pub fn info(&self) -> MachineInfo {
+        self.ds.machines[&self.id]
+    }
+
+    /// Instances placed on this machine, in `(job, task, seq)` order.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceRef<'a>> + 'a {
+        let ds = self.ds;
+        ds.machine_instances
+            .get(&self.id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&idx| ds.instance_by_idx(idx))
+    }
+
+    /// Distinct jobs with an instance on this machine running at `t`.
+    pub fn jobs_at(&self, t: Timestamp) -> Vec<JobId> {
+        let mut out: BTreeSet<JobId> = BTreeSet::new();
+        for inst in self.instances() {
+            if inst.record.running_at(t) {
+                out.insert(inst.record.job);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The machine's usage series for `metric`, or `None` when the trace has
+    /// no usage rows for it.
+    pub fn usage(&self, metric: Metric) -> Option<&'a TimeSeries> {
+        self.ds.usage.get(&self.id).map(|s| &s[metric.index()])
+    }
+
+    /// The machine's utilization triple at `t` (sample-and-hold), or `None`
+    /// before its first sample.
+    pub fn util_at(&self, t: Timestamp) -> Option<UtilizationTriple> {
+        let series = self.ds.usage.get(&self.id)?;
+        let cpu = series[0].value_at_or_before(t)?;
+        let mem = series[1].value_at_or_before(t)?;
+        let disk = series[2].value_at_or_before(t)?;
+        Some(UtilizationTriple::clamped(cpu, mem, disk))
+    }
+
+    /// Whether the machine is alive at `t` according to machine events.
+    /// Machines with no events are considered always alive.
+    pub fn alive_at(&self, t: Timestamp) -> bool {
+        let mut alive = true;
+        let mut saw_event = false;
+        for ev in self.ds.machine_events.iter().filter(|e| e.machine == self.id) {
+            if ev.time > t {
+                break;
+            }
+            saw_event = true;
+            alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
+        }
+        if !saw_event {
+            true
+        } else {
+            alive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskStatus;
+
+    fn task(job: u32, task_id: u32, n: u32, t0: i64, t1: i64) -> BatchTaskRecord {
+        BatchTaskRecord {
+            create_time: Timestamp::new(t0),
+            modify_time: Timestamp::new(t1),
+            job: JobId::new(job),
+            task: TaskId::new(task_id),
+            instance_count: n,
+            status: TaskStatus::Terminated,
+            plan_cpu: 1.0,
+            plan_mem: 0.5,
+        }
+    }
+
+    fn instance(job: u32, task_id: u32, seq: u32, machine: u32, t0: i64, t1: i64) -> BatchInstanceRecord {
+        BatchInstanceRecord {
+            start_time: Timestamp::new(t0),
+            end_time: Timestamp::new(t1),
+            job: JobId::new(job),
+            task: TaskId::new(task_id),
+            seq,
+            total: 1,
+            machine: MachineId::new(machine),
+            status: TaskStatus::Terminated,
+            cpu_avg: 0.5,
+            cpu_max: 0.8,
+            mem_avg: 0.3,
+            mem_max: 0.4,
+        }
+    }
+
+    fn usage(machine: u32, t: i64, cpu: f64) -> ServerUsageRecord {
+        ServerUsageRecord {
+            time: Timestamp::new(t),
+            machine: MachineId::new(machine),
+            util: UtilizationTriple::clamped(cpu, cpu / 2.0, cpu / 4.0),
+        }
+    }
+
+    fn small_dataset() -> TraceDataset {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(task(1, 1, 2, 0, 600));
+        b.push_task(task(1, 2, 1, 0, 900));
+        b.push_task(task(2, 1, 1, 300, 1200));
+        b.push_instance(instance(1, 1, 0, 10, 0, 600));
+        b.push_instance(instance(1, 1, 1, 11, 0, 550));
+        b.push_instance(instance(1, 2, 0, 10, 0, 900));
+        b.push_instance(instance(2, 1, 0, 12, 300, 1200));
+        for t in (0..1200).step_by(300) {
+            for m in [10u32, 11, 12] {
+                b.push_usage(usage(m, t, 0.4));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hierarchy_counts() {
+        let ds = small_dataset();
+        assert_eq!(ds.job_count(), 2);
+        assert_eq!(ds.task_count(), 3);
+        assert_eq!(ds.instance_count(), 4);
+        assert_eq!(ds.machine_count(), 3);
+        let job1 = ds.job(JobId::new(1)).unwrap();
+        assert_eq!(job1.task_count(), 2);
+        assert_eq!(job1.instance_count(), 3);
+        assert_eq!(job1.machines(), vec![MachineId::new(10), MachineId::new(11)]);
+    }
+
+    #[test]
+    fn job_lookup_missing() {
+        let ds = small_dataset();
+        assert!(ds.job(JobId::new(99)).is_none());
+    }
+
+    #[test]
+    fn jobs_running_at_timestamp() {
+        let ds = small_dataset();
+        let at0: Vec<JobId> = ds.jobs_running_at(Timestamp::new(0)).iter().map(|j| j.id()).collect();
+        assert_eq!(at0, vec![JobId::new(1)]);
+        let at500: Vec<JobId> =
+            ds.jobs_running_at(Timestamp::new(500)).iter().map(|j| j.id()).collect();
+        assert_eq!(at500, vec![JobId::new(1), JobId::new(2)]);
+        let at1000: Vec<JobId> =
+            ds.jobs_running_at(Timestamp::new(1000)).iter().map(|j| j.id()).collect();
+        assert_eq!(at1000, vec![JobId::new(2)]);
+    }
+
+    #[test]
+    fn task_observed_window() {
+        let ds = small_dataset();
+        let job1 = ds.job(JobId::new(1)).unwrap();
+        let t1 = job1.tasks().next().unwrap();
+        assert_eq!(t1.observed_start(), Some(Timestamp::new(0)));
+        assert_eq!(t1.observed_end(), Some(Timestamp::new(600)));
+    }
+
+    #[test]
+    fn machine_placements_and_coallocation() {
+        let ds = small_dataset();
+        let m10 = ds.machine(MachineId::new(10)).unwrap();
+        assert_eq!(m10.instances().count(), 2);
+        // machine 10 runs job 1 twice (tasks 1 and 2) — one distinct job at t=100.
+        assert_eq!(m10.jobs_at(Timestamp::new(100)), vec![JobId::new(1)]);
+    }
+
+    #[test]
+    fn usage_series_and_sample_hold() {
+        let ds = small_dataset();
+        let m10 = ds.machine(MachineId::new(10)).unwrap();
+        let cpu = m10.usage(Metric::Cpu).unwrap();
+        assert_eq!(cpu.len(), 4);
+        let u = m10.util_at(Timestamp::new(450)).unwrap();
+        assert!((u.cpu.fraction() - 0.4).abs() < 1e-12);
+        assert!(m10.util_at(Timestamp::new(-5)).is_none());
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(task(1, 1, 1, 0, 10));
+        b.push_task(task(1, 1, 1, 0, 20));
+        assert!(matches!(b.build(), Err(TraceError::DuplicateTask { .. })));
+    }
+
+    #[test]
+    fn duplicate_instance_rejected() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(task(1, 1, 2, 0, 10));
+        b.push_instance(instance(1, 1, 0, 5, 0, 10));
+        b.push_instance(instance(1, 1, 0, 6, 0, 10));
+        assert!(matches!(b.build(), Err(TraceError::DuplicateInstance { .. })));
+    }
+
+    #[test]
+    fn dangling_instance_strictness() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_instance(instance(9, 1, 0, 5, 0, 10));
+        assert!(matches!(b.build(), Err(TraceError::UnknownTask { .. })));
+        b.allow_dangling_instances();
+        let ds = b.build().unwrap();
+        assert_eq!(ds.instance_count(), 1);
+    }
+
+    #[test]
+    fn inverted_instance_interval_rejected() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(task(1, 1, 1, 0, 10));
+        b.push_instance(instance(1, 1, 0, 5, 10, 0));
+        assert!(matches!(b.build(), Err(TraceError::InvertedInterval { .. })));
+    }
+
+    #[test]
+    fn machine_events_drive_liveness() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(task(1, 1, 1, 0, 10));
+        b.push_instance(instance(1, 1, 0, 5, 0, 10));
+        b.push_machine_event(MachineEventRecord {
+            time: Timestamp::new(0),
+            machine: MachineId::new(5),
+            event: MachineEvent::Add,
+            capacity_cpu: 64.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        });
+        b.push_machine_event(MachineEventRecord {
+            time: Timestamp::new(100),
+            machine: MachineId::new(5),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        let ds = b.build().unwrap();
+        let m = ds.machine(MachineId::new(5)).unwrap();
+        assert!(m.alive_at(Timestamp::new(50)));
+        assert!(!m.alive_at(Timestamp::new(100)));
+        assert!((m.info().capacity_cpu - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_unions_instances_and_usage() {
+        let ds = small_dataset();
+        let span = ds.span().unwrap();
+        assert_eq!(span.start(), Timestamp::new(0));
+        assert!(span.end() >= Timestamp::new(1200));
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let ds = TraceDatasetBuilder::new().build().unwrap();
+        assert_eq!(ds.job_count(), 0);
+        assert!(ds.span().is_none());
+        assert!(ds.jobs_running_at(Timestamp::ZERO).is_empty());
+    }
+
+    #[test]
+    fn duplicate_usage_timestamp_rejected() {
+        let mut b = TraceDatasetBuilder::new();
+        b.push_usage(usage(1, 0, 0.5));
+        b.push_usage(usage(1, 0, 0.6));
+        assert!(matches!(b.build(), Err(TraceError::UnorderedSamples { .. })));
+    }
+}

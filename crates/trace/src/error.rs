@@ -1,0 +1,151 @@
+use std::fmt;
+
+use crate::{InstanceId, JobId, MachineId, TaskId, Timestamp};
+
+/// Error type for trace construction, parsing and querying.
+///
+/// Every public fallible operation in this crate returns `Result<_, TraceError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A CSV line could not be parsed.
+    ParseLine {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Name of the table being parsed (e.g. `"batch_task"`).
+        table: &'static str,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A CSV field could not be parsed.
+    ParseField {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The raw text that failed to parse.
+        value: String,
+    },
+    /// An instance record references a task that has no `batch_task` record.
+    UnknownTask {
+        /// The job the instance claimed to belong to.
+        job: JobId,
+        /// The missing task.
+        task: TaskId,
+    },
+    /// An instance record references a machine outside the machine table.
+    UnknownMachine {
+        /// The missing machine.
+        machine: MachineId,
+    },
+    /// A record's time interval is inverted (end before start).
+    InvertedInterval {
+        /// Interval start.
+        start: Timestamp,
+        /// Interval end.
+        end: Timestamp,
+    },
+    /// Two instances claimed the same `(job, task, seq)` identity.
+    DuplicateInstance {
+        /// The duplicated instance identity.
+        instance: InstanceId,
+    },
+    /// A task was declared twice for the same job.
+    DuplicateTask {
+        /// Owning job.
+        job: JobId,
+        /// The duplicated task.
+        task: TaskId,
+    },
+    /// A utilization value was outside `0.0..=1.0` after clamping was disabled.
+    UtilizationOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// Samples pushed into a [`crate::TimeSeries`] were not time-ordered.
+    UnorderedSamples {
+        /// Timestamp of the previous sample.
+        previous: Timestamp,
+        /// Timestamp of the offending sample.
+        offending: Timestamp,
+    },
+    /// A query referenced an entity that does not exist in the dataset.
+    NotFound {
+        /// Description of the missing entity, e.g. `"job job_77"`.
+        entity: String,
+    },
+    /// A resolution or window parameter was zero or negative.
+    InvalidResolution {
+        /// The offending resolution in seconds.
+        seconds: i64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ParseLine { line, table, message } => {
+                write!(f, "failed to parse {table} line {line}: {message}")
+            }
+            TraceError::ParseField { field, value } => {
+                write!(f, "failed to parse field {field} from {value:?}")
+            }
+            TraceError::UnknownTask { job, task } => {
+                write!(f, "instance references unknown task {task} of {job}")
+            }
+            TraceError::UnknownMachine { machine } => {
+                write!(f, "record references unknown machine {machine}")
+            }
+            TraceError::InvertedInterval { start, end } => {
+                write!(f, "interval end {end} precedes start {start}")
+            }
+            TraceError::DuplicateInstance { instance } => {
+                write!(f, "duplicate instance record {instance}")
+            }
+            TraceError::DuplicateTask { job, task } => {
+                write!(f, "duplicate task record {task} of {job}")
+            }
+            TraceError::UtilizationOutOfRange { value } => {
+                write!(f, "utilization {value} outside 0.0..=1.0")
+            }
+            TraceError::UnorderedSamples { previous, offending } => {
+                write!(f, "sample at {offending} pushed after sample at {previous}")
+            }
+            TraceError::NotFound { entity } => write!(f, "{entity} not found"),
+            TraceError::InvalidResolution { seconds } => {
+                write!(f, "invalid resolution of {seconds} seconds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TraceError::UnknownMachine { machine: MachineId::new(7) };
+        let text = err.to_string();
+        assert!(text.starts_with("record references unknown machine"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+
+    #[test]
+    fn parse_line_mentions_table_and_line() {
+        let err = TraceError::ParseLine {
+            line: 12,
+            table: "server_usage",
+            message: "too few fields".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("server_usage"));
+        assert!(text.contains("12"));
+    }
+}

@@ -1,0 +1,180 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+macro_rules! id_type {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $prefix:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The textual prefix used in the trace dumps (e.g. `"job"`).
+            pub const fn prefix() -> &'static str {
+                $prefix
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "_{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = TraceError;
+
+            /// Parses either the bare number (`"7399"`) or the prefixed trace
+            /// form (`"job_7399"`).
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let digits = s.strip_prefix(concat!($prefix, "_")).unwrap_or(s);
+                digits.parse::<u32>().map($name).map_err(|_| TraceError::ParseField {
+                    field: stringify!($name),
+                    value: s.to_owned(),
+                })
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a batch job, rendered as `job_<n>` like the paper
+    /// (`job_7399`, `job_8124`, …).
+    ///
+    /// A job is the root of the batch hierarchy and owns one or more
+    /// [`TaskId`]s. Per the paper's Section II, about 75 % of jobs in the
+    /// Alibaba v2017 trace contain exactly one task.
+    JobId, "job"
+);
+
+id_type!(
+    /// Identifier of a task within a job, rendered as `task_<n>`.
+    ///
+    /// Task ids are scoped to their owning job: `(JobId, TaskId)` is the
+    /// globally unique key. About 94 % of tasks have multiple instances.
+    TaskId, "task"
+);
+
+id_type!(
+    /// Identifier of a compute node (machine), rendered as `machine_<n>`.
+    ///
+    /// Each batch instance runs on exactly one machine; a machine runs many
+    /// instances concurrently.
+    MachineId, "machine"
+);
+
+/// Globally unique identity of a batch instance: `(job, task, seq)`.
+///
+/// The v2017 `batch_instance` table keys instances by their sequence number
+/// within the owning task. Each instance executes on exactly one machine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct InstanceId {
+    /// Owning job.
+    pub job: JobId,
+    /// Owning task within the job.
+    pub task: TaskId,
+    /// Sequence number within the task, `0..total`.
+    pub seq: u32,
+}
+
+impl InstanceId {
+    /// Creates an instance identity.
+    pub const fn new(job: JobId, task: TaskId, seq: u32) -> Self {
+        Self { job, task, seq }
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/inst_{}", self.job, self.task, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(JobId::new(7399).to_string(), "job_7399");
+        assert_eq!(TaskId::new(2).to_string(), "task_2");
+        assert_eq!(MachineId::new(1299).to_string(), "machine_1299");
+    }
+
+    #[test]
+    fn parse_round_trips_prefixed_and_bare() {
+        let id: JobId = "job_8124".parse().unwrap();
+        assert_eq!(id, JobId::new(8124));
+        let id: JobId = "8124".parse().unwrap();
+        assert_eq!(id, JobId::new(8124));
+        let id: MachineId = "machine_5".parse().unwrap();
+        assert_eq!(id, MachineId::new(5));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("job_x".parse::<JobId>().is_err());
+        assert!("task_".parse::<TaskId>().is_err());
+        assert!("".parse::<MachineId>().is_err());
+        // A foreign prefix is not silently accepted as digits.
+        assert!("job_12".parse::<TaskId>().is_err());
+    }
+
+    #[test]
+    fn instance_id_orders_by_job_task_seq() {
+        let a = InstanceId::new(JobId::new(1), TaskId::new(1), 0);
+        let b = InstanceId::new(JobId::new(1), TaskId::new(1), 1);
+        let c = InstanceId::new(JobId::new(1), TaskId::new(2), 0);
+        let d = InstanceId::new(JobId::new(2), TaskId::new(0), 0);
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn instance_display_is_hierarchical() {
+        let id = InstanceId::new(JobId::new(3), TaskId::new(1), 7);
+        assert_eq!(id.to_string(), "job_3/task_1/inst_7");
+    }
+
+    #[test]
+    fn ids_implement_common_traits() {
+        fn assert_common<T: Copy + Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug>() {}
+        assert_common::<JobId>();
+        assert_common::<TaskId>();
+        assert_common::<MachineId>();
+        assert_common::<InstanceId>();
+    }
+}

@@ -1,0 +1,320 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+/// The three general performance metrics BatchLens visualizes.
+///
+/// The paper's Fig 1 encodes each compute node as three annuli colored by
+/// these metrics; the detailed line charts plot one metric at a time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Metric {
+    /// CPU utilization (inner annulus in Fig 1).
+    Cpu,
+    /// Memory utilization (middle annulus).
+    Memory,
+    /// Disk I/O utilization (outer annulus).
+    Disk,
+}
+
+impl Metric {
+    /// All metrics in the paper's annulus order (inner → outer).
+    pub const ALL: [Metric; 3] = [Metric::Cpu, Metric::Memory, Metric::Disk];
+
+    /// Stable index `0..3`, usable for dense per-metric arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            Metric::Cpu => 0,
+            Metric::Memory => 1,
+            Metric::Disk => 2,
+        }
+    }
+
+    /// Short lowercase name used in CSV headers and filenames.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Metric::Cpu => "cpu",
+            Metric::Memory => "mem",
+            Metric::Disk => "disk",
+        }
+    }
+
+    /// Human-readable label used for chart titles and legends.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Metric::Cpu => "CPU utilization",
+            Metric::Memory => "Memory utilization",
+            Metric::Disk => "Disk utilization",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Metric {
+    type Err = TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu" | "CPU" => Ok(Metric::Cpu),
+            "mem" | "memory" | "Memory" => Ok(Metric::Memory),
+            "disk" | "Disk" | "io" => Ok(Metric::Disk),
+            other => Err(TraceError::ParseField { field: "Metric", value: other.to_owned() }),
+        }
+    }
+}
+
+/// A utilization fraction in `0.0..=1.0`.
+///
+/// The trace dumps report utilization as percentages; this type stores the
+/// fraction and formats as a percentage. Construction clamps by default
+/// ([`Utilization::clamped`]); [`Utilization::checked`] rejects out-of-range
+/// values instead, for validating external data (C-VALIDATE).
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// Fully idle.
+    pub const ZERO: Utilization = Utilization(0.0);
+    /// Fully saturated.
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization, clamping into `0.0..=1.0`; NaN becomes `0.0`.
+    pub fn clamped(fraction: f64) -> Self {
+        if fraction.is_nan() {
+            Utilization(0.0)
+        } else {
+            Utilization(fraction.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Creates a utilization, rejecting values outside `0.0..=1.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UtilizationOutOfRange`] for NaN or out-of-range
+    /// input.
+    pub fn checked(fraction: f64) -> Result<Self, TraceError> {
+        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+            Err(TraceError::UtilizationOutOfRange { value: fraction })
+        } else {
+            Ok(Utilization(fraction))
+        }
+    }
+
+    /// Creates a utilization from a percentage in `0..=100`, clamping.
+    pub fn from_percent(percent: f64) -> Self {
+        Self::clamped(percent / 100.0)
+    }
+
+    /// The fraction in `0.0..=1.0`.
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The percentage in `0.0..=100.0`.
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Saturating addition (caps at 100 %).
+    #[must_use]
+    pub fn saturating_add(self, other: Utilization) -> Utilization {
+        Utilization::clamped(self.0 + other.0)
+    }
+
+    /// Linear interpolation between `self` and `other` at `t ∈ [0, 1]`.
+    #[must_use]
+    pub fn lerp(self, other: Utilization, t: f64) -> Utilization {
+        Utilization::clamped(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+impl From<Utilization> for f64 {
+    fn from(u: Utilization) -> f64 {
+        u.0
+    }
+}
+
+/// Per-machine utilization of all three metrics at one point in time.
+///
+/// This is the payload of a `server_usage` row and the color input of the
+/// node glyph (three annuli) in the hierarchical bubble chart.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UtilizationTriple {
+    /// CPU utilization.
+    pub cpu: Utilization,
+    /// Memory utilization.
+    pub mem: Utilization,
+    /// Disk I/O utilization.
+    pub disk: Utilization,
+}
+
+impl UtilizationTriple {
+    /// Creates a triple from three fractions, clamping each into `0..=1`.
+    pub fn clamped(cpu: f64, mem: f64, disk: f64) -> Self {
+        UtilizationTriple {
+            cpu: Utilization::clamped(cpu),
+            mem: Utilization::clamped(mem),
+            disk: Utilization::clamped(disk),
+        }
+    }
+
+    /// The arithmetic mean of the three metrics, used for "how busy is this
+    /// node overall" orderings in the case study.
+    pub fn mean(&self) -> Utilization {
+        Utilization::clamped((self.cpu.fraction() + self.mem.fraction() + self.disk.fraction()) / 3.0)
+    }
+
+    /// The hottest of the three metrics.
+    pub fn max(&self) -> Utilization {
+        let m = self.cpu.fraction().max(self.mem.fraction()).max(self.disk.fraction());
+        Utilization::clamped(m)
+    }
+
+    /// Element-wise mean of many triples; `None` on empty input.
+    pub fn mean_of<'a, I>(triples: I) -> Option<UtilizationTriple>
+    where
+        I: IntoIterator<Item = &'a UtilizationTriple>,
+    {
+        let mut n = 0usize;
+        let (mut c, mut m, mut d) = (0.0, 0.0, 0.0);
+        for t in triples {
+            c += t.cpu.fraction();
+            m += t.mem.fraction();
+            d += t.disk.fraction();
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let n = n as f64;
+        Some(UtilizationTriple::clamped(c / n, m / n, d / n))
+    }
+}
+
+impl Index<Metric> for UtilizationTriple {
+    type Output = Utilization;
+
+    fn index(&self, metric: Metric) -> &Utilization {
+        match metric {
+            Metric::Cpu => &self.cpu,
+            Metric::Memory => &self.mem,
+            Metric::Disk => &self.disk,
+        }
+    }
+}
+
+impl IndexMut<Metric> for UtilizationTriple {
+    fn index_mut(&mut self, metric: Metric) -> &mut Utilization {
+        match metric {
+            Metric::Cpu => &mut self.cpu,
+            Metric::Memory => &mut self.mem,
+            Metric::Disk => &mut self.disk,
+        }
+    }
+}
+
+impl fmt::Display for UtilizationTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu {} / mem {} / disk {}", self.cpu, self.mem, self.disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_order_matches_annulus_order() {
+        assert_eq!(Metric::ALL, [Metric::Cpu, Metric::Memory, Metric::Disk]);
+        assert_eq!(Metric::Cpu.index(), 0);
+        assert_eq!(Metric::Disk.index(), 2);
+    }
+
+    #[test]
+    fn metric_parse_round_trip() {
+        for m in Metric::ALL {
+            let parsed: Metric = m.short_name().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("gpu".parse::<Metric>().is_err());
+    }
+
+    #[test]
+    fn utilization_clamps_and_checks() {
+        assert_eq!(Utilization::clamped(1.5).fraction(), 1.0);
+        assert_eq!(Utilization::clamped(-0.5).fraction(), 0.0);
+        assert_eq!(Utilization::clamped(f64::NAN).fraction(), 0.0);
+        assert!(Utilization::checked(0.5).is_ok());
+        assert!(Utilization::checked(1.01).is_err());
+        assert!(Utilization::checked(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let u = Utilization::from_percent(37.5);
+        assert!((u.percent() - 37.5).abs() < 1e-9);
+        assert_eq!(u.to_string(), "37.5%");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Utilization::clamped(0.2);
+        let b = Utilization::clamped(0.8);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert!((a.lerp(b, 0.5).fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_mean_and_max() {
+        let t = UtilizationTriple::clamped(0.2, 0.4, 0.9);
+        assert!((t.mean().fraction() - 0.5).abs() < 1e-12);
+        assert!((t.max().fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_indexing() {
+        let mut t = UtilizationTriple::default();
+        t[Metric::Memory] = Utilization::clamped(0.7);
+        assert!((t[Metric::Memory].fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(t[Metric::Cpu], Utilization::ZERO);
+    }
+
+    #[test]
+    fn mean_of_triples() {
+        let ts = [
+            UtilizationTriple::clamped(0.0, 0.2, 0.4),
+            UtilizationTriple::clamped(1.0, 0.4, 0.6),
+        ];
+        let m = UtilizationTriple::mean_of(ts.iter()).unwrap();
+        assert!((m.cpu.fraction() - 0.5).abs() < 1e-12);
+        assert!((m.mem.fraction() - 0.3).abs() < 1e-12);
+        assert!((m.disk.fraction() - 0.5).abs() < 1e-12);
+        assert!(UtilizationTriple::mean_of([].iter()).is_none());
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let a = Utilization::clamped(0.7);
+        assert_eq!(a.saturating_add(a), Utilization::FULL);
+    }
+}

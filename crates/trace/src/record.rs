@@ -1,0 +1,307 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{JobId, MachineId, TaskId, TimeRange, Timestamp, TraceError, UtilizationTriple};
+
+/// Lifecycle status of a batch task, mirroring the v2017 `batch_task` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Accepted by the scheduler, not yet running.
+    Waiting,
+    /// At least one instance is executing.
+    Running,
+    /// All instances finished successfully.
+    Terminated,
+    /// The task failed.
+    Failed,
+    /// The task was cancelled (e.g. the mass relaunch in the paper's Fig 3(c)).
+    Cancelled,
+}
+
+impl TaskStatus {
+    /// True for the terminal states (`Terminated`, `Failed`, `Cancelled`).
+    pub const fn is_terminal(self) -> bool {
+        matches!(self, TaskStatus::Terminated | TaskStatus::Failed | TaskStatus::Cancelled)
+    }
+
+    /// The single-letter code used in the CSV dumps.
+    pub const fn code(self) -> &'static str {
+        match self {
+            TaskStatus::Waiting => "W",
+            TaskStatus::Running => "R",
+            TaskStatus::Terminated => "T",
+            TaskStatus::Failed => "F",
+            TaskStatus::Cancelled => "C",
+        }
+    }
+}
+
+impl fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for TaskStatus {
+    type Err = TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "W" | "Waiting" => Ok(TaskStatus::Waiting),
+            "R" | "Running" => Ok(TaskStatus::Running),
+            "T" | "Terminated" => Ok(TaskStatus::Terminated),
+            "F" | "Failed" => Ok(TaskStatus::Failed),
+            "C" | "Cancelled" => Ok(TaskStatus::Cancelled),
+            other => Err(TraceError::ParseField { field: "TaskStatus", value: other.to_owned() }),
+        }
+    }
+}
+
+/// Lifecycle status of a batch instance.
+pub type InstanceStatus = TaskStatus;
+
+/// One row of the `batch_task` table: a task declaration within a job.
+///
+/// `(job, task)` is the unique key; `instance_count` declares how many
+/// `batch_instance` rows belong to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchTaskRecord {
+    /// When the task was created (aligned to the 300 s batch grid in dumps).
+    pub create_time: Timestamp,
+    /// Last status-change time; for terminal tasks this is the end time.
+    pub modify_time: Timestamp,
+    /// Owning job.
+    pub job: JobId,
+    /// Task id, unique within the job.
+    pub task: TaskId,
+    /// Declared number of instances.
+    pub instance_count: u32,
+    /// Task status.
+    pub status: TaskStatus,
+    /// Requested CPU cores (plan, not usage).
+    pub plan_cpu: f64,
+    /// Requested memory fraction of a machine (plan, not usage).
+    pub plan_mem: f64,
+}
+
+impl BatchTaskRecord {
+    /// The task's lifetime `[create_time, modify_time)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvertedInterval`] when `modify_time`
+    /// precedes `create_time`.
+    pub fn lifetime(&self) -> Result<TimeRange, TraceError> {
+        TimeRange::new(self.create_time, self.modify_time)
+    }
+}
+
+/// One row of the `batch_instance` table: a unit of task execution pinned to
+/// exactly one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchInstanceRecord {
+    /// Instance start time.
+    pub start_time: Timestamp,
+    /// Instance end time (equal to `start_time` while still running).
+    pub end_time: Timestamp,
+    /// Owning job.
+    pub job: JobId,
+    /// Owning task.
+    pub task: TaskId,
+    /// Sequence number within the task, `0..total`.
+    pub seq: u32,
+    /// Declared number of sibling instances (`total_seq_no` in the dump).
+    pub total: u32,
+    /// The machine executing this instance.
+    pub machine: MachineId,
+    /// Instance status.
+    pub status: InstanceStatus,
+    /// Average CPU cores actually used.
+    pub cpu_avg: f64,
+    /// Peak CPU cores actually used.
+    pub cpu_max: f64,
+    /// Average memory fraction actually used.
+    pub mem_avg: f64,
+    /// Peak memory fraction actually used.
+    pub mem_max: f64,
+}
+
+impl BatchInstanceRecord {
+    /// The instance's execution window `[start_time, end_time)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvertedInterval`] when the record's interval
+    /// is inverted.
+    pub fn window(&self) -> Result<TimeRange, TraceError> {
+        TimeRange::new(self.start_time, self.end_time)
+    }
+
+    /// True when the instance is executing at `t`.
+    pub fn running_at(&self, t: Timestamp) -> bool {
+        self.start_time <= t && t < self.end_time
+    }
+}
+
+/// One row of the `server_usage` table: a machine's utilization snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerUsageRecord {
+    /// Snapshot time.
+    pub time: Timestamp,
+    /// The reporting machine.
+    pub machine: MachineId,
+    /// CPU / memory / disk utilization at `time`.
+    pub util: UtilizationTriple,
+}
+
+/// Machine lifecycle event kinds from the `machine_events` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineEvent {
+    /// Machine joined the cluster.
+    Add,
+    /// Machine experienced a recoverable error (stops accepting work).
+    SoftError,
+    /// Machine experienced a hard failure.
+    HardError,
+    /// Machine left the cluster (the mass shutdown of Fig 3(c) emits these).
+    Remove,
+}
+
+impl MachineEvent {
+    /// The event code used in the CSV dumps.
+    pub const fn code(self) -> &'static str {
+        match self {
+            MachineEvent::Add => "add",
+            MachineEvent::SoftError => "softerror",
+            MachineEvent::HardError => "harderror",
+            MachineEvent::Remove => "remove",
+        }
+    }
+}
+
+impl fmt::Display for MachineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for MachineEvent {
+    type Err = TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "add" => Ok(MachineEvent::Add),
+            "softerror" => Ok(MachineEvent::SoftError),
+            "harderror" => Ok(MachineEvent::HardError),
+            "remove" => Ok(MachineEvent::Remove),
+            other => {
+                Err(TraceError::ParseField { field: "MachineEvent", value: other.to_owned() })
+            }
+        }
+    }
+}
+
+/// One row of the `machine_events` table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineEventRecord {
+    /// Event time.
+    pub time: Timestamp,
+    /// The machine the event concerns.
+    pub machine: MachineId,
+    /// What happened.
+    pub event: MachineEvent,
+    /// Normalized CPU capacity (cores) — meaningful on `Add`.
+    pub capacity_cpu: f64,
+    /// Normalized memory capacity — meaningful on `Add`.
+    pub capacity_mem: f64,
+    /// Normalized disk capacity — meaningful on `Add`.
+    pub capacity_disk: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Utilization;
+
+    #[test]
+    fn status_codes_round_trip() {
+        for s in [
+            TaskStatus::Waiting,
+            TaskStatus::Running,
+            TaskStatus::Terminated,
+            TaskStatus::Failed,
+            TaskStatus::Cancelled,
+        ] {
+            assert_eq!(s.code().parse::<TaskStatus>().unwrap(), s);
+        }
+        assert!("X".parse::<TaskStatus>().is_err());
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(!TaskStatus::Waiting.is_terminal());
+        assert!(!TaskStatus::Running.is_terminal());
+        assert!(TaskStatus::Terminated.is_terminal());
+        assert!(TaskStatus::Failed.is_terminal());
+        assert!(TaskStatus::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn machine_event_codes_round_trip() {
+        for e in
+            [MachineEvent::Add, MachineEvent::SoftError, MachineEvent::HardError, MachineEvent::Remove]
+        {
+            assert_eq!(e.code().parse::<MachineEvent>().unwrap(), e);
+        }
+        assert!("reboot".parse::<MachineEvent>().is_err());
+    }
+
+    #[test]
+    fn instance_window_and_running_at() {
+        let rec = BatchInstanceRecord {
+            start_time: Timestamp::new(100),
+            end_time: Timestamp::new(400),
+            job: JobId::new(1),
+            task: TaskId::new(1),
+            seq: 0,
+            total: 1,
+            machine: MachineId::new(0),
+            status: TaskStatus::Terminated,
+            cpu_avg: 0.5,
+            cpu_max: 0.9,
+            mem_avg: 0.3,
+            mem_max: 0.4,
+        };
+        assert!(rec.running_at(Timestamp::new(100)));
+        assert!(rec.running_at(Timestamp::new(399)));
+        assert!(!rec.running_at(Timestamp::new(400)));
+        assert_eq!(rec.window().unwrap().duration().as_seconds(), 300);
+    }
+
+    #[test]
+    fn inverted_interval_is_reported() {
+        let rec = BatchTaskRecord {
+            create_time: Timestamp::new(500),
+            modify_time: Timestamp::new(100),
+            job: JobId::new(1),
+            task: TaskId::new(1),
+            instance_count: 1,
+            status: TaskStatus::Terminated,
+            plan_cpu: 1.0,
+            plan_mem: 0.5,
+        };
+        assert!(matches!(rec.lifetime(), Err(TraceError::InvertedInterval { .. })));
+    }
+
+    #[test]
+    fn usage_record_holds_triple() {
+        let rec = ServerUsageRecord {
+            time: Timestamp::new(60),
+            machine: MachineId::new(3),
+            util: UtilizationTriple::clamped(0.2, 0.3, 0.4),
+        };
+        assert_eq!(rec.util.cpu, Utilization::clamped(0.2));
+    }
+}

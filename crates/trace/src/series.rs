@@ -1,0 +1,549 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{TimeDelta, TimeRange, Timestamp, TraceError};
+
+/// A time-ordered series of `(Timestamp, f64)` samples.
+///
+/// This is the workhorse behind every line chart in BatchLens: per-machine
+/// metric series, per-job aggregates and the system-wide timeline are all
+/// `TimeSeries`. Samples are kept sorted by timestamp; duplicate timestamps
+/// are rejected at push time so lookups are unambiguous.
+///
+/// Values are plain `f64` rather than [`crate::Utilization`] so the type can
+/// also carry derived quantities (z-scores, EWMA residuals, counts).
+///
+/// # Example
+///
+/// ```
+/// use batchlens_trace::{TimeSeries, Timestamp, TimeDelta, TimeRange};
+///
+/// let mut s = TimeSeries::new();
+/// for i in 0..10 {
+///     s.push(Timestamp::new(i * 60), i as f64)?;
+/// }
+/// let window = TimeRange::new(Timestamp::new(120), Timestamp::new(300))?;
+/// let cut = s.slice(&window);
+/// assert_eq!(cut.len(), 3); // t=120, 180, 240
+/// # Ok::<(), batchlens_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<Timestamp>,
+    values: Vec<f64>,
+}
+
+/// How [`TimeSeries::resample`] combines the samples that fall into a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resample {
+    /// Arithmetic mean of the bucket.
+    Mean,
+    /// Maximum of the bucket.
+    Max,
+    /// Minimum of the bucket.
+    Min,
+    /// Last sample in the bucket (sample-and-hold downsampling).
+    Last,
+    /// Sum of the bucket (for counts/loads).
+    Sum,
+}
+
+/// Summary statistics of a series or a window of it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl SeriesStats {
+    fn from_values<'a, I: IntoIterator<Item = &'a f64>>(values: I) -> Option<SeriesStats> {
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for &v in values {
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            sum_sq += v * v;
+        }
+        if count == 0 {
+            return None;
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        Some(SeriesStats { count, min, max, mean, std_dev: var.sqrt() })
+    }
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Creates an empty series with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    /// Builds a series from unordered `(t, v)` pairs, sorting by time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnorderedSamples`] if two samples share a
+    /// timestamp (the series would be ambiguous).
+    pub fn from_samples<I>(samples: I) -> Result<Self, TraceError>
+    where
+        I: IntoIterator<Item = (Timestamp, f64)>,
+    {
+        let mut pairs: Vec<(Timestamp, f64)> = samples.into_iter().collect();
+        pairs.sort_by_key(|(t, _)| *t);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(TraceError::UnorderedSamples {
+                    previous: w[0].0,
+                    offending: w[1].0,
+                });
+            }
+        }
+        let mut s = TimeSeries::with_capacity(pairs.len());
+        for (t, v) in pairs {
+            s.times.push(t);
+            s.values.push(v);
+        }
+        Ok(s)
+    }
+
+    /// Appends a sample; timestamps must be strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnorderedSamples`] when `t` is not after the
+    /// last timestamp.
+    pub fn push(&mut self, t: Timestamp, value: f64) -> Result<(), TraceError> {
+        if let Some(&last) = self.times.last() {
+            if t <= last {
+                return Err(TraceError::UnorderedSamples { previous: last, offending: t });
+            }
+        }
+        self.times.push(t);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The timestamps, sorted ascending.
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// The values, parallel to [`TimeSeries::times`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(timestamp, value)` pairs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// First sample, if any.
+    pub fn first(&self) -> Option<(Timestamp, f64)> {
+        Some((*self.times.first()?, *self.values.first()?))
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(Timestamp, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// The closed span `[first, last]` as a half-open range `[first, last+1)`,
+    /// or `None` when empty.
+    pub fn span(&self) -> Option<TimeRange> {
+        let (first, _) = self.first()?;
+        let (last, _) = self.last()?;
+        TimeRange::new(first, last + TimeDelta::seconds(1)).ok()
+    }
+
+    /// Exact-match lookup.
+    pub fn value_at(&self, t: Timestamp) -> Option<f64> {
+        let i = self.times.binary_search(&t).ok()?;
+        Some(self.values[i])
+    }
+
+    /// Sample-and-hold lookup: the value of the latest sample at or before
+    /// `t`, or `None` when `t` precedes the first sample.
+    ///
+    /// This matches how a 300 s-resolution trace is read: between reports the
+    /// previous report stands.
+    pub fn value_at_or_before(&self, t: Timestamp) -> Option<f64> {
+        match self.times.binary_search(&t) {
+            Ok(i) => Some(self.values[i]),
+            Err(0) => None,
+            Err(i) => Some(self.values[i - 1]),
+        }
+    }
+
+    /// Linear interpolation at `t`; clamps to the boundary values outside the
+    /// sampled span. `None` on an empty series.
+    pub fn interpolate(&self, t: Timestamp) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        match self.times.binary_search(&t) {
+            Ok(i) => Some(self.values[i]),
+            Err(0) => Some(self.values[0]),
+            Err(i) if i == self.len() => Some(self.values[self.len() - 1]),
+            Err(i) => {
+                let (t0, v0) = (self.times[i - 1], self.values[i - 1]);
+                let (t1, v1) = (self.times[i], self.values[i]);
+                let span = (t1 - t0).as_secs_f64();
+                let frac = (t - t0).as_secs_f64() / span;
+                Some(v0 + (v1 - v0) * frac)
+            }
+        }
+    }
+
+    /// Copies the samples whose timestamps fall inside `range` (half-open).
+    pub fn slice(&self, range: &TimeRange) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < range.start());
+        let end = self.times.partition_point(|&t| t < range.end());
+        TimeSeries {
+            times: self.times[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Re-buckets the series onto a regular grid of `resolution`, combining
+    /// each bucket's samples with `how`. Empty buckets produce no sample.
+    ///
+    /// Bucket `k` covers `[k*resolution, (k+1)*resolution)` and is stamped at
+    /// its left edge, matching the trace's reporting convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidResolution`] for non-positive resolutions.
+    pub fn resample(&self, resolution: TimeDelta, how: Resample) -> Result<TimeSeries, TraceError> {
+        if !resolution.is_positive() {
+            return Err(TraceError::InvalidResolution { seconds: resolution.as_seconds() });
+        }
+        let mut out = TimeSeries::new();
+        let mut i = 0usize;
+        while i < self.len() {
+            let bucket_start = self.times[i].align_down(resolution)?;
+            let bucket_end = bucket_start + resolution;
+            let mut j = i;
+            while j < self.len() && self.times[j] < bucket_end {
+                j += 1;
+            }
+            let bucket = &self.values[i..j];
+            let v = match how {
+                Resample::Mean => bucket.iter().sum::<f64>() / bucket.len() as f64,
+                Resample::Max => bucket.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Resample::Min => bucket.iter().copied().fold(f64::INFINITY, f64::min),
+                Resample::Last => bucket[bucket.len() - 1],
+                Resample::Sum => bucket.iter().sum::<f64>(),
+            };
+            out.push(bucket_start, v)?;
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// Summary statistics over the whole series; `None` when empty.
+    pub fn stats(&self) -> Option<SeriesStats> {
+        SeriesStats::from_values(&self.values)
+    }
+
+    /// Summary statistics over a window; `None` when the window is empty.
+    pub fn stats_in(&self, range: &TimeRange) -> Option<SeriesStats> {
+        let start = self.times.partition_point(|&t| t < range.start());
+        let end = self.times.partition_point(|&t| t < range.end());
+        SeriesStats::from_values(&self.values[start..end])
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+    /// statistics; `None` when empty or `q` is out of range / NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() || q.is_nan() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            Some(sorted[lo])
+        } else {
+            let frac = pos - lo as f64;
+            Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+        }
+    }
+
+    /// Maps every value through `f`, keeping timestamps.
+    #[must_use]
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> TimeSeries {
+        TimeSeries {
+            times: self.times.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Pointwise mean of many series evaluated on the union of their time
+    /// grids using sample-and-hold semantics. Series that have not started
+    /// yet at a grid point do not contribute there.
+    ///
+    /// This is the aggregation behind the paper's system-wide timeline view.
+    pub fn mean_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+        I::IntoIter: Clone,
+    {
+        let iter = series.into_iter();
+        let mut grid: Vec<Timestamp> = Vec::new();
+        for s in iter.clone() {
+            grid.extend_from_slice(s.times());
+        }
+        grid.sort_unstable();
+        grid.dedup();
+        let mut out = TimeSeries::with_capacity(grid.len());
+        for t in grid {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for s in iter.clone() {
+                if let Some(v) = s.value_at_or_before(t) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                // Grid is sorted+deduped, so pushes are strictly increasing.
+                out.push(t, sum / n as f64).expect("grid is strictly increasing");
+            }
+        }
+        out
+    }
+
+    /// Pointwise difference `self - other` on `self`'s grid using
+    /// sample-and-hold lookups into `other`; grid points where `other` has
+    /// no value yet are skipped.
+    #[must_use]
+    pub fn sub_series(&self, other: &TimeSeries) -> TimeSeries {
+        let mut out = TimeSeries::with_capacity(self.len());
+        for (t, v) in self.iter() {
+            if let Some(o) = other.value_at_or_before(t) {
+                out.push(t, v - o).expect("self grid is strictly increasing");
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Timestamp, f64)> for TimeSeries {
+    /// Collects pairs into a series, sorting by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two samples share a timestamp; use
+    /// [`TimeSeries::from_samples`] for fallible construction.
+    fn from_iter<I: IntoIterator<Item = (Timestamp, f64)>>(iter: I) -> Self {
+        TimeSeries::from_samples(iter).expect("duplicate timestamps in FromIterator")
+    }
+}
+
+impl Extend<(Timestamp, f64)> for TimeSeries {
+    /// Extends with pairs that must continue the time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a pair is not strictly after the current last sample.
+    fn extend<I: IntoIterator<Item = (Timestamp, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v).expect("out-of-order extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: i64, step: i64) -> TimeSeries {
+        (0..n).map(|i| (Timestamp::new(i * step), i as f64)).collect()
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = TimeSeries::new();
+        s.push(Timestamp::new(10), 1.0).unwrap();
+        assert!(s.push(Timestamp::new(10), 2.0).is_err());
+        assert!(s.push(Timestamp::new(5), 2.0).is_err());
+        s.push(Timestamp::new(11), 2.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_samples_sorts_and_rejects_duplicates() {
+        let s = TimeSeries::from_samples(vec![
+            (Timestamp::new(20), 2.0),
+            (Timestamp::new(0), 0.0),
+            (Timestamp::new(10), 1.0),
+        ])
+        .unwrap();
+        assert_eq!(s.times()[0], Timestamp::new(0));
+        assert_eq!(s.times()[2], Timestamp::new(20));
+
+        let dup = TimeSeries::from_samples(vec![
+            (Timestamp::new(0), 0.0),
+            (Timestamp::new(0), 1.0),
+        ]);
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let s = ramp(5, 60); // t = 0,60,120,180,240 ; v = 0..4
+        assert_eq!(s.value_at(Timestamp::new(120)), Some(2.0));
+        assert_eq!(s.value_at(Timestamp::new(121)), None);
+        assert_eq!(s.value_at_or_before(Timestamp::new(121)), Some(2.0));
+        assert_eq!(s.value_at_or_before(Timestamp::new(-1)), None);
+        assert_eq!(s.value_at_or_before(Timestamp::new(999)), Some(4.0));
+    }
+
+    #[test]
+    fn interpolation_is_linear_and_clamped() {
+        let s = ramp(3, 100); // (0,0) (100,1) (200,2)
+        assert_eq!(s.interpolate(Timestamp::new(50)), Some(0.5));
+        assert_eq!(s.interpolate(Timestamp::new(-10)), Some(0.0));
+        assert_eq!(s.interpolate(Timestamp::new(500)), Some(2.0));
+        assert_eq!(TimeSeries::new().interpolate(Timestamp::ZERO), None);
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let s = ramp(10, 60);
+        let r = TimeRange::new(Timestamp::new(60), Timestamp::new(240)).unwrap();
+        let cut = s.slice(&r);
+        assert_eq!(cut.len(), 3); // 60, 120, 180
+        assert_eq!(cut.first().unwrap().0, Timestamp::new(60));
+        assert_eq!(cut.last().unwrap().0, Timestamp::new(180));
+    }
+
+    #[test]
+    fn resample_mean_and_max() {
+        // 1 Hz ramp over 10 minutes, re-bucketed to 300 s.
+        let s: TimeSeries =
+            (0..600).map(|i| (Timestamp::new(i), i as f64)).collect();
+        let mean = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap();
+        assert_eq!(mean.len(), 2);
+        assert!((mean.values()[0] - 149.5).abs() < 1e-9);
+        assert!((mean.values()[1] - 449.5).abs() < 1e-9);
+        let max = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Max).unwrap();
+        assert_eq!(max.values(), &[299.0, 599.0]);
+    }
+
+    #[test]
+    fn resample_rejects_bad_resolution() {
+        let s = ramp(3, 10);
+        assert!(s.resample(TimeDelta::ZERO, Resample::Mean).is_err());
+    }
+
+    #[test]
+    fn resample_skips_empty_buckets() {
+        let s = TimeSeries::from_samples(vec![
+            (Timestamp::new(0), 1.0),
+            (Timestamp::new(900), 2.0),
+        ])
+        .unwrap();
+        let r = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap();
+        assert_eq!(r.times(), &[Timestamp::new(0), Timestamp::new(900)]);
+    }
+
+    #[test]
+    fn stats_and_quantiles() {
+        let s = ramp(5, 1); // 0,1,2,3,4
+        let st = s.stats().unwrap();
+        assert_eq!(st.count, 5);
+        assert_eq!(st.min, 0.0);
+        assert_eq!(st.max, 4.0);
+        assert!((st.mean - 2.0).abs() < 1e-12);
+        assert!((st.std_dev - 2.0_f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        assert_eq!(s.quantile(1.5), None);
+        assert_eq!(TimeSeries::new().stats(), None);
+    }
+
+    #[test]
+    fn stats_in_window() {
+        let s = ramp(10, 10);
+        let r = TimeRange::new(Timestamp::new(30), Timestamp::new(60)).unwrap();
+        let st = s.stats_in(&r).unwrap();
+        assert_eq!(st.count, 3);
+        assert_eq!(st.min, 3.0);
+        assert_eq!(st.max, 5.0);
+    }
+
+    #[test]
+    fn mean_of_uses_sample_and_hold() {
+        let a = TimeSeries::from_samples(vec![
+            (Timestamp::new(0), 0.0),
+            (Timestamp::new(100), 1.0),
+        ])
+        .unwrap();
+        let b = TimeSeries::from_samples(vec![(Timestamp::new(50), 3.0)]).unwrap();
+        let m = TimeSeries::mean_of([&a, &b]);
+        // grid: 0 (only a), 50 (a holds 0.0, b=3 → 1.5), 100 (a=1, b holds 3 → 2)
+        assert_eq!(m.times(), &[Timestamp::new(0), Timestamp::new(50), Timestamp::new(100)]);
+        assert_eq!(m.values(), &[0.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn sub_series_skips_unstarted_other() {
+        let a = ramp(3, 10); // (0,0) (10,1) (20,2)
+        let b = TimeSeries::from_samples(vec![(Timestamp::new(10), 10.0)]).unwrap();
+        let d = a.sub_series(&b);
+        assert_eq!(d.times(), &[Timestamp::new(10), Timestamp::new(20)]);
+        assert_eq!(d.values(), &[-9.0, -8.0]);
+    }
+
+    #[test]
+    fn map_preserves_grid() {
+        let s = ramp(3, 10);
+        let doubled = s.map(|v| v * 2.0);
+        assert_eq!(doubled.times(), s.times());
+        assert_eq!(doubled.values(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn span_covers_endpoints() {
+        let s = ramp(3, 100);
+        let span = s.span().unwrap();
+        assert!(span.contains(Timestamp::new(0)));
+        assert!(span.contains(Timestamp::new(200)));
+        assert!(!span.contains(Timestamp::new(201)));
+        assert!(TimeSeries::new().span().is_none());
+    }
+}

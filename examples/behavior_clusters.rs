@@ -1,0 +1,66 @@
+//! Clusters machines by behavioral signature and renders the clusters as a
+//! radial comparison (the spatial-comparison idea of the paper's Intercept
+//! Graph reference). Prints cluster sizes and the hottest cluster's members.
+//!
+//! Run with: `cargo run -p batchlens --example behavior_clusters`
+
+use batchlens::analytics::behavior::{behavior_vectors, cluster_behaviors};
+use batchlens::render::radial::{RadialComparison, Spoke};
+use batchlens::render::svg::to_svg;
+use batchlens::sim::scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = scenario::fig3c(7).run()?;
+    let window = ds.span().unwrap();
+    let vectors = behavior_vectors(&ds, &window);
+    println!("summarized {} machines over {}", vectors.len(), window);
+
+    let k = 4;
+    let clusters = cluster_behaviors(&vectors, k, 50).expect("enough machines");
+    println!("\nk={k} behavior clusters (cpu_mean, cpu_std, mem_mean, disk_mean, peak):");
+    for (i, centroid) in clusters.centroids.iter().enumerate() {
+        println!(
+            "  cluster {i}: size {:>3} | [{:.2} {:.2} {:.2} {:.2} {:.2}]",
+            clusters.members(i).len(),
+            centroid[0],
+            centroid[1],
+            centroid[2],
+            centroid[3],
+            centroid[4],
+        );
+    }
+
+    // Identify the hottest cluster (highest CPU centroid).
+    let hottest = clusters
+        .centroids
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+        .unwrap()
+        .0;
+    let members = clusters.members(hottest);
+    println!("\nhottest cluster {hottest} has {} machines:", members.len());
+    for m in members.iter().take(8) {
+        print!("{m} ");
+    }
+    println!("{}", if members.len() > 8 { "…" } else { "" });
+
+    // Render each cluster centroid as a radial spoke (before = cpu_std proxy,
+    // after = cpu_mean) and write the SVG.
+    let spokes: Vec<Spoke> = clusters
+        .centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Spoke {
+            label: format!("c{i} ({})", clusters.members(i).len()),
+            before: c[3], // disk mean
+            after: c[0],  // cpu mean
+        })
+        .collect();
+    let svg = to_svg(&RadialComparison::new(480.0, 480.0).render(&spokes));
+    let out = std::env::temp_dir().join("batchlens_behavior_radial.svg");
+    std::fs::write(&out, &svg)?;
+    println!("\nwrote radial comparison ({} bytes) to {}", svg.len(), out.display());
+
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Reproduces the paper's Section IV case study: the three regimes at
+//! timestamps 47400 / 46200 / 43800, plus the mass shutdown at 44100.
+//!
+//! For each regime it prints the regime summary and the root-cause report,
+//! and writes the dashboard SVG. This is the narrative the paper tells,
+//! regenerated from the simulated trace.
+//!
+//! Run with: `cargo run -p batchlens --example case_study`
+
+use batchlens::pipeline::Pipeline;
+use batchlens::report::case_study_report;
+use batchlens::sim::scenario;
+use batchlens::trace::Timestamp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::temp_dir().join("batchlens_case_study");
+    std::fs::create_dir_all(&out_dir)?;
+
+    type Build = Box<dyn Fn() -> batchlens::sim::Simulation>;
+    let cases: [(&str, Build, Timestamp); 3] = [
+        ("fig3a_healthy", Box::new(|| scenario::fig3a(7)), scenario::T_FIG3A),
+        ("fig3b_medium_spike", Box::new(|| scenario::fig3b(7)), scenario::T_FIG3B),
+        ("fig3c_overload_thrashing", Box::new(|| scenario::fig3c(7)), scenario::T_FIG3C),
+    ];
+
+    for (name, build, at) in cases {
+        println!("\n################ {name} @ {at} ################");
+        let sim = build();
+        let dataset = sim.run()?;
+
+        // Narrative report.
+        let report = case_study_report(&dataset, at);
+        println!("{report}");
+
+        // Dashboard SVG via the pipeline.
+        let pipe = Pipeline::new(build());
+        let art = pipe.artifacts_at(at, 900.0, 620.0)?;
+        let path = out_dir.join(format!("{name}_dashboard.svg"));
+        std::fs::write(&path, &art.dashboard_svg)?;
+        println!("wrote {} ({} bytes)", path.display(), art.dashboard_svg.len());
+    }
+
+    // The mass shutdown: show the cluster before and after timestamp 44100.
+    println!("\n################ mass shutdown @ {} ################", scenario::T_SHUTDOWN);
+    let ds = scenario::fig3c(7).run()?;
+    let before = ds.jobs_running_at(Timestamp::new(scenario::T_SHUTDOWN.seconds() - 60));
+    let after = ds.jobs_running_at(Timestamp::new(scenario::T_SHUTDOWN.seconds() + 60));
+    println!(
+        "before: {} jobs running; after: {} job(s) — {}",
+        before.len(),
+        after.len(),
+        after
+            .iter()
+            .map(|j| j.id().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("(paper: only job_11599 is left on the entire platform)");
+
+    Ok(())
+}

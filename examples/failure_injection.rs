@@ -1,0 +1,70 @@
+//! Injects a cascading hardware failure into a simulated cluster and shows
+//! how it appears in the trace: machine-lifecycle events, lost availability,
+//! and the jobs left stranded on dead nodes.
+//!
+//! Run with: `cargo run -p batchlens --example failure_injection`
+
+use batchlens::sim::failure::{failure_events, CascadeModel};
+use batchlens::sim::{MachineFailure, SimConfig, Simulation};
+use batchlens::trace::{MachineEvent, MachineId, TimeDelta, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hard crash of machine 5 at t=3600, cascading to its rack neighbours.
+    let seed = MachineFailure {
+        machine: MachineId::new(5),
+        at: Timestamp::new(3600),
+        hard: true,
+        recover_after: Some(TimeDelta::minutes(20)),
+    };
+    let cascade = CascadeModel {
+        radius: 2,
+        propagation_delay: TimeDelta::minutes(2),
+        hard: true,
+    };
+    let failures = cascade.expand(&[seed], 40);
+    println!("injecting {} failures (1 seed + cascade):", failures.len());
+    for f in &failures {
+        println!(
+            "  {} {} at {}{}",
+            f.machine,
+            if f.hard { "CRASH" } else { "soft-error" },
+            f.at,
+            f.recover_after.map(|d| format!(" (recovers after {d})")).unwrap_or_default()
+        );
+    }
+    println!("\n{} machine-event records emitted", failure_events(&failures).len());
+
+    let mut cfg = SimConfig::small(7);
+    cfg.machines = 40;
+    cfg.window = batchlens::trace::TimeRange::new(Timestamp::ZERO, Timestamp::new(10_800))?;
+    let ds = Simulation::new(cfg).with_failures(failures.clone()).run()?;
+
+    // Which machines are down at t=4000 (after the cascade propagates)?
+    let t = Timestamp::new(4000);
+    let down: Vec<MachineId> = ds
+        .machines()
+        .filter(|m| !m.alive_at(t))
+        .map(|m| m.id())
+        .collect();
+    println!("\nmachines down at {t}: {down:?}");
+
+    // Recovery: by t=6000 the seed (recover after 20 min = 1200 s from 3600 =
+    // 4800) should be back.
+    let recovered = Timestamp::new(6000);
+    let still_down: Vec<MachineId> = ds
+        .machines()
+        .filter(|m| !m.alive_at(recovered))
+        .map(|m| m.id())
+        .collect();
+    println!("machines still down at {recovered}: {still_down:?}");
+
+    // Count the hard-error events in the trace.
+    let crashes = ds
+        .machine_events()
+        .iter()
+        .filter(|e| e.event == MachineEvent::HardError)
+        .count();
+    println!("\ntotal hard-error events in trace: {crashes}");
+
+    Ok(())
+}

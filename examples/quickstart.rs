@@ -1,0 +1,51 @@
+//! Quickstart: simulate a small cluster, open a BatchLens session, drive a
+//! few interactions, and write a bubble-chart SVG.
+//!
+//! Run with: `cargo run -p batchlens --example quickstart`
+
+use batchlens::interaction::Event;
+use batchlens::sim::{SimConfig, Simulation};
+use batchlens::trace::stats::DatasetStats;
+use batchlens::BatchLens;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a small Alibaba-v2017-shaped cluster (seeded → reproducible).
+    let dataset = Simulation::new(SimConfig::small(2025)).run()?;
+    let stats = DatasetStats::compute(&dataset);
+    println!(
+        "simulated {} jobs, {} tasks, {} instances on {} machines",
+        stats.jobs, stats.tasks, stats.instances, stats.machines
+    );
+    println!(
+        "single-task jobs: {:.0}%, multi-instance tasks: {:.0}%",
+        stats.single_task_job_fraction * 100.0,
+        stats.multi_instance_task_fraction * 100.0
+    );
+
+    // 2. Open a session and jump to the first moment with running work.
+    let mut app = BatchLens::new(dataset);
+    app.jump_to_first_activity();
+    println!("\nsnapshot at {}", app.now());
+
+    let snapshot = app.snapshot();
+    println!("{} job bubble(s), {} node glyph(s)", snapshot.jobs.len(), snapshot.total_nodes());
+
+    // 3. Select the first running job and switch the detail metric.
+    if let Some(job) = snapshot.jobs.first() {
+        app.apply(Event::SelectJob(job.job));
+        app.apply(Event::SetDetailMetric(batchlens::trace::Metric::Memory));
+        println!("selected {}", job.job);
+    }
+
+    // 4. Render the bubble chart and report its size.
+    let svg = app.render_bubble(700.0, 700.0);
+    let out = std::env::temp_dir().join("batchlens_quickstart.svg");
+    std::fs::write(&out, &svg)?;
+    println!("\nwrote bubble chart ({} bytes) to {}", svg.len(), out.display());
+
+    // 5. Step the snapshot forward and show the regime banner.
+    app.apply(Event::StepTimestamp(600));
+    println!("{}", batchlens::report::regime_banner(app.dataset(), app.now()));
+
+    Ok(())
+}

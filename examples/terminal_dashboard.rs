@@ -1,0 +1,32 @@
+//! Renders the BatchLens bubble chart to the terminal as ASCII, then steps
+//! through the three case-study timestamps — a browser-free way to watch the
+//! cluster's color/shape change over the day.
+//!
+//! Run with: `cargo run -p batchlens --example terminal_dashboard`
+
+use batchlens::analytics::hierarchy::HierarchySnapshot;
+use batchlens::render::ascii::AsciiCanvas;
+use batchlens::render::BubbleChart;
+use batchlens::report::regime_banner;
+use batchlens::sim::scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The full day contains all three regimes.
+    let ds = scenario::paper_day_with_machines(7, 80).run()?;
+
+    for (label, at) in [
+        ("healthy (Fig 3a)", scenario::T_FIG3A),
+        ("medium + spike (Fig 3b)", scenario::T_FIG3B),
+        ("overload + thrashing (Fig 3c)", scenario::T_FIG3C),
+    ] {
+        println!("\n======== {label} ========");
+        println!("{}", regime_banner(&ds, at));
+        let snap = HierarchySnapshot::at(&ds, at);
+        println!("{} jobs, {} node glyphs", snap.jobs.len(), snap.total_nodes());
+        let scene = BubbleChart::new(600.0, 600.0).labels(false).render(&snap);
+        let canvas = AsciiCanvas::render(&scene, 72, 32);
+        print!("{}", canvas.to_text());
+    }
+
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Integration and property test suites for the BatchLens workspace.
+//!
+//! The actual tests live in `tests/` next to this crate root; this library
+//! target exists only to anchor the workspace member.

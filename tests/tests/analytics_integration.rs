@@ -1,0 +1,136 @@
+//! Integration tests for the higher-level analytics: guided tour, query
+//! roll-ups, behavior clustering and the supplementary render views.
+
+use batchlens::analytics::behavior::{behavior_vectors, cluster_behaviors};
+use batchlens::render::heatmap::Heatmap;
+use batchlens::render::radial::{RadialComparison, Spoke};
+use batchlens::render::svg::to_svg;
+use batchlens::sim::scenario;
+use batchlens::tour::{GuidedTour, StopReason};
+use batchlens::trace::query;
+use batchlens::trace::{Metric, TimeDelta};
+
+/// The guided tour of an overload regime surfaces the thrashing anomaly and a
+/// load change, and every stop is a timestamp where work is running.
+#[test]
+fn guided_tour_surfaces_anomalies_and_changes() {
+    let ds = scenario::fig3c(1).run().unwrap();
+    let stops = GuidedTour::new().discover(&ds);
+    assert!(!stops.is_empty());
+
+    let has_thrashing = stops.iter().any(|s| matches!(
+        &s.reason,
+        StopReason::AnomalyOnset { job, .. } if *job == scenario::JOB_11939
+    ));
+    assert!(has_thrashing, "tour should find the thrashing job");
+
+    // Every stop's timestamp has at least one running job.
+    for stop in &stops {
+        assert!(!ds.jobs_running_at(stop.at).is_empty(), "dead stop at {}", stop.at);
+    }
+}
+
+/// The query roll-ups agree with the hierarchy at the Fig 3(b) snapshot:
+/// the busiest machine is one hosting the spike job.
+#[test]
+fn query_rollups_agree_with_snapshot() {
+    let ds = scenario::fig3b(2).run().unwrap();
+    let at = scenario::T_FIG3B;
+
+    let busiest = query::busiest_machines(&ds, at, 5);
+    assert_eq!(busiest.len(), 5);
+    // Descending utilization.
+    for w in busiest.windows(2) {
+        assert!(w[0].utilization.fraction() >= w[1].utilization.fraction());
+    }
+
+    // The spike job's footprint is a subset of all machines.
+    let footprint = query::job_footprint(&ds, scenario::JOB_7901);
+    assert!(!footprint.is_empty());
+    for m in &footprint {
+        assert!(ds.machine(*m).is_some());
+    }
+
+    // The hottest sample over the job window is within [0, 1].
+    let window = query::job_window(&ds, scenario::JOB_7901).unwrap();
+    let (_, _, v, _) = query::hottest_sample(&ds, &window).unwrap();
+    assert!((0.0..=1.0).contains(&v));
+}
+
+/// Behavior clustering of an overload regime puts the thrashing machines
+/// (memory-heavy, CPU-light) in a recognizable cluster.
+#[test]
+fn behavior_clustering_groups_similar_machines() {
+    let ds = scenario::fig3c(3).run().unwrap();
+    let window = ds.span().unwrap();
+    let vectors = behavior_vectors(&ds, &window);
+    let clusters = cluster_behaviors(&vectors, 4, 50).unwrap();
+
+    // Every machine is assigned to exactly one cluster.
+    assert_eq!(clusters.assignments.len(), vectors.len());
+    assert_eq!(clusters.sizes().iter().sum::<usize>(), vectors.len());
+
+    // The thrashing job's machines should cluster together more than chance:
+    // most of them share one assignment.
+    let job = ds.job(scenario::JOB_11939).unwrap();
+    let thrash_machines: std::collections::BTreeSet<_> = job.machines().into_iter().collect();
+    let mut cluster_of = std::collections::BTreeMap::new();
+    for (m, c) in &clusters.assignments {
+        if thrash_machines.contains(m) {
+            *cluster_of.entry(*c).or_insert(0usize) += 1;
+        }
+    }
+    let dominant = cluster_of.values().copied().max().unwrap_or(0);
+    assert!(
+        dominant as f64 >= thrash_machines.len() as f64 * 0.5,
+        "thrashing machines scattered: {cluster_of:?}"
+    );
+}
+
+/// The supplementary views render valid, non-trivial SVG.
+#[test]
+fn supplementary_views_render() {
+    let ds = scenario::fig3c(4).run().unwrap();
+    let window = ds.span().unwrap();
+
+    let heatmap = to_svg(&Heatmap::new(1000.0, 500.0)
+        .bucket(TimeDelta::minutes(15))
+        .render(&ds, Metric::Cpu, &window));
+    assert!(heatmap.starts_with("<?xml"));
+    assert!(heatmap.matches("<rect").count() > 10);
+
+    let spokes: Vec<Spoke> = ds
+        .jobs_running_at(scenario::T_FIG3C)
+        .iter()
+        .take(6)
+        .map(|j| {
+            let machines = j.machines();
+            let (subset, cluster) =
+                batchlens::analytics::compare::subset_vs_cluster(&ds, &machines, scenario::T_FIG3C);
+            Spoke { label: j.id().to_string(), before: cluster, after: subset }
+        })
+        .collect();
+    let radial = to_svg(&RadialComparison::new(400.0, 400.0).render(&spokes));
+    assert!(radial.contains("<path") || radial.contains("<text"));
+}
+
+/// A session log driven through a tour's stops reconstructs deterministically.
+#[test]
+fn tour_drives_a_reproducible_session() {
+    use batchlens::interaction::Event;
+    use batchlens::BatchLens;
+
+    let ds = scenario::fig3c(5).run().unwrap();
+    let stops = GuidedTour::new().discover(&ds);
+    let render = |ds: batchlens::trace::TraceDataset| {
+        let mut app = BatchLens::new(ds);
+        for stop in &stops {
+            app.apply(Event::SelectTimestamp(stop.at));
+        }
+        app.log().clone()
+    };
+    let a = render(scenario::fig3c(5).run().unwrap());
+    let b = render(scenario::fig3c(5).run().unwrap());
+    assert_eq!(a, b);
+    assert_eq!(a.len(), stops.len());
+}

@@ -1,0 +1,134 @@
+//! Property and integration tests for the Alibaba-v2017 CSV codec.
+
+use batchlens::trace::{
+    csv, BatchInstanceRecord, BatchTaskRecord, InstanceStatus, JobId, MachineId, ServerUsageRecord,
+    TaskId, TaskStatus, Timestamp, UtilizationTriple,
+};
+use proptest::prelude::*;
+
+fn task_strategy() -> impl Strategy<Value = BatchTaskRecord> {
+    (0i64..86400, 0i64..5000, 1u32..10000, 1u32..50, 1u32..100).prop_map(
+        |(create, dur, job, task, n)| BatchTaskRecord {
+            create_time: Timestamp::new(create),
+            modify_time: Timestamp::new(create + dur),
+            job: JobId::new(job),
+            task: TaskId::new(task),
+            instance_count: n,
+            status: TaskStatus::Terminated,
+            plan_cpu: 1.0,
+            plan_mem: 0.5,
+        },
+    )
+}
+
+fn instance_strategy() -> impl Strategy<Value = BatchInstanceRecord> {
+    (0i64..86400, 1i64..5000, 1u32..10000, 1u32..50, 0u32..100, 0u32..2000).prop_map(
+        |(start, dur, job, task, seq, machine)| BatchInstanceRecord {
+            start_time: Timestamp::new(start),
+            end_time: Timestamp::new(start + dur),
+            job: JobId::new(job),
+            task: TaskId::new(task),
+            seq,
+            total: seq + 1,
+            machine: MachineId::new(machine),
+            status: InstanceStatus::Terminated,
+            cpu_avg: 0.4,
+            cpu_max: 0.8,
+            mem_avg: 0.3,
+            mem_max: 0.5,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batch_task_csv_round_trips(tasks in prop::collection::vec(task_strategy(), 0..50)) {
+        let text = csv::write_batch_tasks(&tasks);
+        let parsed = csv::parse_batch_tasks(&text).unwrap();
+        prop_assert_eq!(parsed, tasks);
+    }
+
+    #[test]
+    fn batch_instance_csv_round_trips(
+        instances in prop::collection::vec(instance_strategy(), 0..50)
+    ) {
+        let text = csv::write_batch_instances(&instances);
+        let parsed = csv::parse_batch_instances(&text).unwrap();
+        prop_assert_eq!(parsed, instances);
+    }
+
+    #[test]
+    fn server_usage_csv_round_trips_at_precision(
+        rows in prop::collection::vec(
+            (0i64..86400, 0u32..2000, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+            0..100,
+        )
+    ) {
+        let usage: Vec<ServerUsageRecord> = rows
+            .iter()
+            .map(|&(t, m, c, mem, d)| ServerUsageRecord {
+                time: Timestamp::new(t),
+                machine: MachineId::new(m),
+                util: UtilizationTriple::clamped(c, mem, d),
+            })
+            .collect();
+        let text = csv::write_server_usage(&usage);
+        let parsed = csv::parse_server_usage(&text).unwrap();
+        prop_assert_eq!(parsed.len(), usage.len());
+        for (a, b) in parsed.iter().zip(&usage) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.machine, b.machine);
+            // Centipercent write precision.
+            prop_assert!((a.util.cpu.fraction() - b.util.cpu.fraction()).abs() < 1e-4);
+            prop_assert!((a.util.mem.fraction() - b.util.mem.fraction()).abs() < 1e-4);
+            prop_assert!((a.util.disk.fraction() - b.util.disk.fraction()).abs() < 1e-4);
+        }
+    }
+}
+
+/// A simulated dataset survives a full CSV round-trip with identical stats.
+#[test]
+fn simulated_dataset_round_trips() {
+    use batchlens::sim::{SimConfig, Simulation};
+    use batchlens::trace::stats::DatasetStats;
+    use batchlens::trace::{Metric, TraceDatasetBuilder};
+
+    let ds = Simulation::new(SimConfig::small(314)).run().unwrap();
+    let before = DatasetStats::compute(&ds);
+
+    let tasks: Vec<_> = ds.task_records().copied().collect();
+    let instances = ds.instance_records().to_vec();
+    let usage: Vec<ServerUsageRecord> = ds
+        .machines()
+        .flat_map(|m| {
+            let times =
+                m.usage(Metric::Cpu).map(|s| s.times().to_vec()).unwrap_or_default();
+            times.into_iter().filter_map(move |t| {
+                m.util_at(t).map(|util| ServerUsageRecord { time: t, machine: m.id(), util })
+            })
+        })
+        .collect();
+    let events = ds.machine_events().to_vec();
+
+    let task_text = csv::write_batch_tasks(&tasks);
+    let inst_text = csv::write_batch_instances(&instances);
+    let usage_text = csv::write_server_usage(&usage);
+    let event_text = csv::write_machine_events(&events);
+
+    let mut b = TraceDatasetBuilder::new();
+    b.extend_tables(
+        csv::parse_batch_tasks(&task_text).unwrap(),
+        csv::parse_batch_instances(&inst_text).unwrap(),
+        csv::parse_server_usage(&usage_text).unwrap(),
+        csv::parse_machine_events(&event_text).unwrap(),
+    );
+    let rebuilt = b.build().unwrap();
+    let after = DatasetStats::compute(&rebuilt);
+
+    assert_eq!(before.jobs, after.jobs);
+    assert_eq!(before.tasks, after.tasks);
+    assert_eq!(before.instances, after.instances);
+    assert_eq!(before.machines, after.machines);
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the anomaly detectors and new analytics.
+
+use batchlens::analytics::detect::{
+    CusumDetector, Detector, EwmaDetector, IqrDetector, MadDetector, ThresholdDetector,
+    ZScoreDetector,
+};
+use batchlens::analytics::temporal::{correlation, features};
+use batchlens::trace::{TimeDelta, TimeSeries, Timestamp};
+use proptest::prelude::*;
+
+fn to_series(values: &[f64]) -> TimeSeries {
+    values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// No generic detector ever flags a constant series (no signal).
+    #[test]
+    fn constant_series_is_never_flagged(level in 0.0f64..1.0, n in 5usize..200) {
+        let s = to_series(&vec![level; n]);
+        prop_assert!(ThresholdDetector::new(1.01).detect(&s).is_empty());
+        prop_assert!(ZScoreDetector::new(3.0).detect(&s).is_empty());
+        prop_assert!(MadDetector::new(3.5).detect(&s).is_empty());
+        prop_assert!(IqrDetector::new(1.5).detect(&s).is_empty());
+        prop_assert!(EwmaDetector::default().detect(&s).is_empty());
+        prop_assert!(CusumDetector::default().detect(&s).is_empty());
+    }
+
+    /// Every reported span lies inside the series' time span and is
+    /// non-empty.
+    #[test]
+    fn spans_are_well_formed(
+        values in prop::collection::vec(0.0f64..1.0, 20..300),
+    ) {
+        let s = to_series(&values);
+        let span = s.span().unwrap();
+        for d in detectors() {
+            for sp in d.detect(&s) {
+                prop_assert!(!sp.range.is_empty());
+                prop_assert!(sp.range.start() >= span.start());
+                prop_assert!(sp.range.end() <= span.end() + TimeDelta::seconds(60));
+                // Peak time is inside the flagged range.
+                prop_assert!(sp.range.contains(sp.peak_time)
+                    || sp.peak_time == sp.range.start());
+            }
+        }
+    }
+
+    /// A threshold detector flags more (or equal) as the threshold drops.
+    #[test]
+    fn lower_threshold_flags_monotonically_more(
+        values in prop::collection::vec(0.0f64..1.0, 30..200),
+    ) {
+        let s = to_series(&values);
+        let hi = count_flagged(&ThresholdDetector { high: 0.8, min_samples: 1 }, &s);
+        let lo = count_flagged(&ThresholdDetector { high: 0.5, min_samples: 1 }, &s);
+        prop_assert!(lo >= hi);
+    }
+
+    /// Correlation is symmetric and in [-1, 1].
+    #[test]
+    fn correlation_is_bounded_and_symmetric(
+        a in prop::collection::vec(-1.0f64..1.0, 10..100),
+        b in prop::collection::vec(-1.0f64..1.0, 10..100),
+    ) {
+        let n = a.len().min(b.len());
+        let sa = to_series(&a[..n]);
+        let sb = to_series(&b[..n]);
+        if let Some(r) = correlation(&sa, &sb, TimeDelta::seconds(60)) {
+            prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&r));
+            let r2 = correlation(&sb, &sa, TimeDelta::seconds(60)).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    /// Every detected feature's value equals the series value at its time.
+    #[test]
+    fn features_are_real_samples(
+        values in prop::collection::vec(0.0f64..1.0, 30..200),
+        window in 2usize..8,
+        prom in 0.05f64..0.5,
+    ) {
+        let s = to_series(&values);
+        for f in features(&s, window, prom) {
+            let v = s.value_at(f.at).unwrap();
+            prop_assert!((v - f.value).abs() < 1e-12);
+            prop_assert!(f.prominence >= prom);
+        }
+    }
+}
+
+fn detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(ThresholdDetector::new(0.9)),
+        Box::new(ZScoreDetector::new(3.0)),
+        Box::new(MadDetector::new(3.5)),
+        Box::new(IqrDetector::new(1.5)),
+        Box::new(EwmaDetector::default()),
+        Box::new(CusumDetector::default()),
+    ]
+}
+
+fn count_flagged(d: &dyn Detector, s: &TimeSeries) -> usize {
+    d.detect(s).iter().map(|sp| {
+        s.times().iter().filter(|&&t| sp.range.contains(t)).count()
+    }).sum()
+}

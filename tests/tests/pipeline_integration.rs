@@ -1,0 +1,155 @@
+//! End-to-end integration tests spanning simulate → analyze → render.
+
+use batchlens::interaction::Event;
+use batchlens::sim::scenario;
+use batchlens::trace::{JobId, Metric, Timestamp};
+use batchlens::BatchLens;
+
+/// The full pipeline runs and every view renders for each canonical regime.
+#[test]
+fn every_regime_renders_end_to_end() {
+    for (build, at) in [
+        (scenario::fig3a as fn(u64) -> batchlens::sim::Simulation, scenario::T_FIG3A),
+        (scenario::fig3b, scenario::T_FIG3B),
+        (scenario::fig3c, scenario::T_FIG3C),
+    ] {
+        let ds = build(100).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(at));
+        assert!(app.render_bubble(800.0, 800.0).contains("<circle"));
+        assert!(app.render_timeline(800.0, 100.0).contains("<polyline"));
+        let dash = app.render_dashboard(1400.0, 900.0);
+        assert!(dash.starts_with("<?xml"));
+        assert!(dash.contains("BatchLens @"));
+    }
+}
+
+/// Selecting a job and brushing narrows the line chart's window consistently
+/// across the analytics and render layers.
+#[test]
+fn brush_narrows_detail_across_layers() {
+    let ds = scenario::fig2_sample(1).run().unwrap();
+    let mut app = BatchLens::new(ds);
+    app.apply(Event::SelectTimestamp(Timestamp::new(3000)));
+    app.apply(Event::SelectJob(scenario::JOB_7399));
+
+    let full = app.selected_job_lines().unwrap();
+    let full_points: usize = full.lines.iter().map(|l| l.series.len()).sum();
+
+    app.apply(Event::BrushTime(
+        batchlens::trace::TimeRange::new(Timestamp::new(1200), Timestamp::new(2400)).unwrap(),
+    ));
+    let brushed = app.selected_job_lines().unwrap();
+    let brushed_points: usize = brushed.lines.iter().map(|l| l.series.len()).sum();
+
+    assert!(brushed_points < full_points, "brush should reduce plotted points");
+    assert_eq!(app.view().effective_window().end(), Timestamp::new(2400));
+}
+
+/// Hovering a shared machine surfaces its co-allocation links, which the
+/// render layer can draw.
+#[test]
+fn hover_surfaces_coallocation_links() {
+    use batchlens::analytics::CoallocationIndex;
+    let ds = scenario::fig3b(2).run().unwrap();
+    let idx = CoallocationIndex::at(&ds, scenario::T_FIG3B);
+    assert!(!idx.is_empty(), "fig3b should have shared machines");
+    let shared = idx.shared_machines()[0].machine;
+
+    let mut app = BatchLens::new(ds);
+    app.apply(Event::SelectTimestamp(scenario::T_FIG3B));
+    app.apply(Event::HoverMachine(shared));
+    assert_eq!(app.view().hovered_machine(), Some(shared));
+    assert!(!idx.links_for(shared).is_empty());
+}
+
+/// The detail metric switch propagates to the rendered line chart.
+#[test]
+fn detail_metric_switch_changes_chart_title() {
+    let ds = scenario::fig3b(3).run().unwrap();
+    let mut app = BatchLens::new(ds);
+    app.apply(Event::SelectTimestamp(scenario::T_FIG3B));
+    app.apply(Event::SelectJob(scenario::JOB_7901));
+    let cpu = app.render_line_chart(400.0, 200.0);
+    assert!(cpu.contains("CPU utilization"));
+    app.apply(Event::SetDetailMetric(Metric::Memory));
+    let mem = app.render_line_chart(400.0, 200.0);
+    assert!(mem.contains("Memory utilization"));
+}
+
+/// The case-study narrative facts hold across the layers: healthy jobs are
+/// diagnosed healthy, job_8124 is least utilized, the spike and thrashing
+/// jobs are diagnosed correctly.
+#[test]
+fn case_study_narrative_holds() {
+    use batchlens::analytics::rootcause::{RootCauseAnalyzer, Verdict};
+
+    // Fig 3(a): healthy, job_8124 least utilized.
+    let ds = scenario::fig3a(4).run().unwrap();
+    let snap = batchlens::analytics::hierarchy::HierarchySnapshot::at(&ds, scenario::T_FIG3A);
+    let least = snap.jobs_by_mean_util()[0].0;
+    assert_eq!(least, scenario::JOB_8124);
+
+    // Fig 3(b): job_7901 end spike.
+    let ds = scenario::fig3b(4).run().unwrap();
+    let d = RootCauseAnalyzer::new()
+        .analyze(&ds, scenario::T_FIG3B)
+        .into_iter()
+        .find(|d| d.job == scenario::JOB_7901)
+        .unwrap();
+    assert_eq!(d.verdict, Verdict::EndSpike);
+
+    // Fig 3(c): job_11939 thrashing.
+    let ds = scenario::fig3c(4).run().unwrap();
+    let d = RootCauseAnalyzer::new()
+        .analyze(&ds, scenario::T_FIG3C)
+        .into_iter()
+        .find(|d| d.job == scenario::JOB_11939)
+        .unwrap();
+    assert_eq!(d.verdict, Verdict::Thrashing);
+}
+
+/// The interaction log replays deterministically into the same SVG.
+#[test]
+fn interaction_replay_is_reproducible() {
+    let script = [
+        Event::SelectTimestamp(scenario::T_FIG3B),
+        Event::SelectJob(JobId::new(7901)),
+        Event::SetDetailMetric(Metric::Memory),
+        Event::BrushTime(
+            batchlens::trace::TimeRange::new(Timestamp::new(45600), Timestamp::new(46800)).unwrap(),
+        ),
+    ];
+    let render = || {
+        let ds = scenario::fig3b(5).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        for &e in &script {
+            app.apply(e);
+        }
+        app.render_dashboard(1200.0, 800.0)
+    };
+    assert_eq!(render(), render());
+}
+
+/// Paper-scale (reduced) day contains every named job and survives the
+/// shutdown correctly end to end.
+#[test]
+fn paper_day_end_to_end() {
+    let ds = scenario::paper_day_with_machines(6, 100).run().unwrap();
+    for id in [
+        scenario::JOB_7513,
+        scenario::JOB_11939,
+        scenario::JOB_11599,
+        scenario::JOB_7901,
+        scenario::JOB_8121,
+        scenario::JOB_8124,
+        scenario::JOB_6639,
+    ] {
+        assert!(ds.job(id).is_some(), "{id} missing");
+    }
+    let app = BatchLens::new(ds);
+    // Rendering the whole day's dashboard at the overload timestamp works.
+    let mut app = app;
+    app.apply(Event::SelectTimestamp(scenario::T_FIG3C));
+    assert!(app.render_dashboard(1400.0, 900.0).contains("<svg"));
+}

@@ -1,0 +1,189 @@
+//! Property-based tests on core invariants across the workspace.
+
+use batchlens::layout::annotation::cluster_1d;
+use batchlens::layout::enclose::enclose;
+use batchlens::layout::line::{douglas_peucker, lttb};
+use batchlens::layout::pack::pack_siblings;
+use batchlens::layout::{Brush, Circle, LinearScale};
+use batchlens::trace::{TimeRange, TimeSeries, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Packed circles never overlap (the core layout invariant).
+    #[test]
+    fn packed_circles_are_disjoint(radii in prop::collection::vec(0.1f64..20.0, 1..40)) {
+        let mut circles: Vec<Circle> = radii.iter().map(|&r| Circle::new(0.0, 0.0, r)).collect();
+        pack_siblings(&mut circles);
+        for i in 0..circles.len() {
+            for j in i + 1..circles.len() {
+                let a = &circles[i];
+                let b = &circles[j];
+                let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+                prop_assert!(d + 1e-5 >= a.r + b.r, "overlap between {a:?} and {b:?}");
+            }
+        }
+    }
+
+    /// The enclosing circle contains every input circle.
+    #[test]
+    fn enclosure_contains_all(
+        data in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, 0.1f64..10.0), 1..30)
+    ) {
+        let circles: Vec<Circle> = data.iter().map(|&(x, y, r)| Circle::new(x, y, r)).collect();
+        let e = enclose(&circles).unwrap();
+        for c in &circles {
+            let d = ((c.x - e.x).powi(2) + (c.y - e.y).powi(2)).sqrt();
+            prop_assert!(d + c.r <= e.r + 1e-4, "circle {c:?} escapes {e:?}");
+        }
+    }
+
+    /// A linear scale and its inverse round-trip (non-degenerate domain).
+    #[test]
+    fn scale_inverts(
+        d0 in -1000.0f64..1000.0,
+        span in 0.5f64..1000.0,
+        r0 in -500.0f64..500.0,
+        rspan in 0.5f64..500.0,
+        v in -2000.0f64..2000.0,
+    ) {
+        let s = LinearScale::new((d0, d0 + span), (r0, r0 + rspan));
+        let back = s.invert(s.scale(v));
+        prop_assert!((back - v).abs() < 1e-6, "round trip {v} -> {back}");
+    }
+
+    /// LTTB never exceeds its point budget and keeps the endpoints.
+    #[test]
+    fn lttb_budget_and_endpoints(
+        values in prop::collection::vec(-1.0f64..1.0, 5..500),
+        threshold in 3usize..50,
+    ) {
+        let points: Vec<(f64, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let out = lttb(&points, threshold);
+        prop_assert!(out.len() <= threshold.max(points.len().min(threshold)));
+        prop_assert!(out.len() <= points.len());
+        prop_assert_eq!(out[0], points[0]);
+        prop_assert_eq!(*out.last().unwrap(), *points.last().unwrap());
+        // x strictly increasing.
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    /// Douglas-Peucker keeps every original point within epsilon of the
+    /// simplified polyline.
+    #[test]
+    fn douglas_peucker_error_bound(
+        values in prop::collection::vec(-5.0f64..5.0, 3..200),
+        eps in 0.05f64..2.0,
+    ) {
+        let points: Vec<(f64, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let out = douglas_peucker(&points, eps);
+        prop_assert!(out.len() >= 2);
+        // Douglas-Peucker bounds the *perpendicular distance to the line* of
+        // the segment spanning each point's x-range (not the distance to the
+        // clamped segment, which differs for steep slopes). Verify that.
+        for &(px, py) in &points {
+            // x is monotonic, so find the output segment containing px.
+            let mut perp = f64::INFINITY;
+            for w in out.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                if px >= x0 - 1e-9 && px <= x1 + 1e-9 {
+                    let dx = x1 - x0;
+                    let dy = y1 - y0;
+                    let len = dx.hypot(dy).max(f64::EPSILON);
+                    perp = ((px - x0) * dy - (py - y0) * dx).abs() / len;
+                    break;
+                }
+            }
+            prop_assert!(perp <= eps + 1e-6, "point off by {perp} > {eps}");
+        }
+    }
+
+    /// A brush selection always stays inside its extent and is non-inverted.
+    #[test]
+    fn brush_selection_stays_valid(
+        e0 in -100.0f64..100.0,
+        espan in 1.0f64..200.0,
+        a in -300.0f64..300.0,
+        b in -300.0f64..300.0,
+    ) {
+        let mut brush = Brush::new((e0, e0 + espan));
+        brush.select(a, b);
+        if let Some((lo, hi)) = brush.selection() {
+            prop_assert!(lo <= hi);
+            prop_assert!(lo >= e0 - 1e-9 && hi <= e0 + espan + 1e-9);
+        }
+        // Pan and zoom preserve the invariant.
+        brush.pan(50.0);
+        brush.zoom(1.5);
+        if let Some((lo, hi)) = brush.selection() {
+            prop_assert!(lo >= e0 - 1e-9 && hi <= e0 + espan + 1e-9);
+        }
+    }
+
+    /// 1-D clustering: members are partitioned and every cluster is internally
+    /// gap-connected.
+    #[test]
+    fn clusters_partition_and_connect(
+        positions in prop::collection::vec(0.0f64..1000.0, 0..100),
+        gap in 0.1f64..50.0,
+    ) {
+        let clusters = cluster_1d(&positions, gap);
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, positions.len());
+        // Within a cluster, consecutive sorted members are within gap.
+        for c in &clusters {
+            let mut ps: Vec<f64> = c.members.iter().map(|&i| positions[i]).collect();
+            ps.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            for w in ps.windows(2) {
+                prop_assert!(w[1] - w[0] <= gap + 1e-9);
+            }
+        }
+    }
+
+    /// TimeSeries resample preserves the time ordering and never invents
+    /// samples outside the source span.
+    #[test]
+    fn resample_stays_in_span(
+        values in prop::collection::vec(0.0f64..1.0, 2..200),
+        res in 30i64..600,
+    ) {
+        let series: TimeSeries =
+            values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect();
+        let resampled = series
+            .resample(batchlens::trace::TimeDelta::seconds(res), batchlens::trace::Resample::Mean)
+            .unwrap_or_else(|_| TimeSeries::new());
+        // Monotone timestamps.
+        for w in resampled.times().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Values stay within the original [min, max].
+        if let Some(src) = series.stats() {
+            for v in resampled.values() {
+                prop_assert!(*v >= src.min - 1e-9 && *v <= src.max + 1e-9);
+            }
+        }
+    }
+
+    /// TimeRange intersection is commutative and contained in both operands.
+    #[test]
+    fn range_intersection_is_contained(
+        a0 in -1000i64..1000, aspan in 0i64..1000,
+        b0 in -1000i64..1000, bspan in 0i64..1000,
+    ) {
+        let a = TimeRange::new(Timestamp::new(a0), Timestamp::new(a0 + aspan)).unwrap();
+        let b = TimeRange::new(Timestamp::new(b0), Timestamp::new(b0 + bspan)).unwrap();
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(i.start() >= a.start() && i.end() <= a.end());
+            prop_assert!(i.start() >= b.start() && i.end() <= b.end());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the simulator's invariants: whatever seed or size
+//! it runs at, the output must be a valid, paper-shaped trace.
+
+use batchlens::sim::{SchedulerKind, SimConfig, Simulation};
+use batchlens::trace::stats::DatasetStats;
+use batchlens::trace::{TimeRange, Timestamp};
+use proptest::prelude::*;
+
+fn config(seed: u64, machines: u32, hours: i64, sched: u8) -> SimConfig {
+    let mut cfg = SimConfig::paper_scale(seed);
+    cfg.machines = machines;
+    cfg.window = TimeRange::new(Timestamp::ZERO, Timestamp::new(hours * 3600)).unwrap();
+    cfg.scheduler = match sched % 3 {
+        0 => SchedulerKind::LeastLoaded,
+        1 => SchedulerKind::RoundRobin,
+        _ => SchedulerKind::Packing,
+    };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Any valid config produces a structurally sound dataset: the hierarchy
+    /// nests (instances ≥ tasks ≥ jobs) and every instance window is valid.
+    #[test]
+    fn output_is_always_structurally_sound(
+        seed in 0u64..1000,
+        machines in 5u32..80,
+        hours in 1i64..8,
+        sched in 0u8..3,
+    ) {
+        let ds = Simulation::new(config(seed, machines, hours, sched)).run().unwrap();
+        let st = DatasetStats::compute(&ds);
+        prop_assert!(st.instances >= st.tasks);
+        prop_assert!(st.tasks >= st.jobs);
+        prop_assert_eq!(st.machines, machines as usize);
+        // Every instance has a non-inverted window and a known machine.
+        for rec in ds.instance_records() {
+            prop_assert!(rec.end_time >= rec.start_time);
+            prop_assert!(ds.machine(rec.machine).is_some());
+        }
+    }
+
+    /// The span never exceeds the observation window (boundary jobs are
+    /// truncated), so the headline "24 h" analogue always holds.
+    #[test]
+    fn span_is_within_the_window(
+        seed in 0u64..1000,
+        machines in 5u32..60,
+        hours in 1i64..6,
+    ) {
+        let window_s = hours * 3600;
+        let ds = Simulation::new(config(seed, machines, hours, 0)).run().unwrap();
+        if let Some(span) = ds.span() {
+            prop_assert!(span.duration().as_seconds() <= window_s);
+            prop_assert!(span.start() >= Timestamp::ZERO);
+        }
+    }
+
+    /// Re-running the same config is bit-identical (determinism).
+    #[test]
+    fn same_config_is_deterministic(
+        seed in 0u64..1000,
+        machines in 5u32..40,
+        sched in 0u8..3,
+    ) {
+        let a = Simulation::new(config(seed, machines, 2, sched)).run().unwrap();
+        let b = Simulation::new(config(seed, machines, 2, sched)).run().unwrap();
+        prop_assert_eq!(a.job_count(), b.job_count());
+        prop_assert_eq!(a.instance_count(), b.instance_count());
+        prop_assert_eq!(a.instance_records(), b.instance_records());
+    }
+
+    /// Over a large enough sample, the Section II fractions stay in band
+    /// regardless of seed.
+    #[test]
+    fn section_ii_fractions_stay_in_band(seed in 0u64..2000) {
+        let ds = Simulation::new(config(seed, 80, 6, 0)).run().unwrap();
+        let st = DatasetStats::compute(&ds);
+        // Only assert when the sample is large enough to be meaningful.
+        if st.jobs >= 100 {
+            prop_assert!((0.65..=0.85).contains(&st.single_task_job_fraction),
+                "single-task {}", st.single_task_job_fraction);
+        }
+        if st.tasks >= 100 {
+            prop_assert!((0.88..=0.99).contains(&st.multi_instance_task_fraction),
+                "multi-instance {}", st.multi_instance_task_fraction);
+        }
+    }
+
+    /// Utilization never leaves [0, 1] on any machine at any sample, whatever
+    /// the injected load.
+    #[test]
+    fn utilization_is_always_bounded(
+        seed in 0u64..500,
+        machines in 5u32..40,
+    ) {
+        let ds = Simulation::new(config(seed, machines, 3, 0)).run().unwrap();
+        for m in ds.machines() {
+            for metric in batchlens::trace::Metric::ALL {
+                if let Some(series) = m.usage(metric) {
+                    for v in series.values() {
+                        prop_assert!((0.0..=1.0).contains(v), "util {v} out of range");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Integration tests for SLA analysis across the three case-study regimes.
+
+use batchlens::analytics::sla::{availability, check, SlaPolicy};
+use batchlens::sim::scenario;
+use batchlens::trace::TimeDelta;
+
+/// Saturation violations increase monotonically with the regime's load:
+/// healthy < medium < overload.
+#[test]
+fn saturation_tracks_regime_load() {
+    let a = check(&scenario::fig3a(1).run().unwrap(), &SlaPolicy::default());
+    let b = check(&scenario::fig3b(1).run().unwrap(), &SlaPolicy::default());
+    let c = check(&scenario::fig3c(1).run().unwrap(), &SlaPolicy::default());
+    let fa = a.saturated_machine_fraction();
+    let fb = b.saturated_machine_fraction();
+    let fc = c.saturated_machine_fraction();
+    assert!(fa <= fb + 0.05, "healthy {fa} vs medium {fb}");
+    assert!(fb <= fc + 0.05, "medium {fb} vs overload {fc}");
+    assert!(fc > fa, "overload {fc} should exceed healthy {fa}");
+}
+
+/// The mass shutdown in fig3c shows up as job-failure SLA violations.
+#[test]
+fn shutdown_creates_job_failures() {
+    let report = check(&scenario::fig3c(2).run().unwrap(), &SlaPolicy::default());
+    assert!(report.job_failures() >= 1);
+    // job_11599 survives, so not every job fails.
+    assert!(report.job_failures() < report.jobs_checked);
+}
+
+/// Availability over the healthy window is high (work is always running).
+#[test]
+fn availability_high_in_healthy_regime() {
+    let ds = scenario::fig3a(3).run().unwrap();
+    let window = ds.span().unwrap();
+    let avail = availability(&ds, &window, 1, TimeDelta::minutes(5));
+    assert!(avail > 0.8, "availability {avail}");
+}
+
+/// Disabling failure penalties removes all job-failure violations.
+#[test]
+fn policy_toggles_failure_penalty() {
+    let ds = scenario::fig3c(4).run().unwrap();
+    let strict = check(&ds, &SlaPolicy::default());
+    let lenient = check(&ds, &SlaPolicy { penalize_failures: false, ..SlaPolicy::default() });
+    assert!(strict.job_failures() > 0);
+    assert_eq!(lenient.job_failures(), 0);
+}

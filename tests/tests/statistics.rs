@@ -1,0 +1,103 @@
+//! Integration tests asserting the paper's Section II dataset statistics
+//! hold on the simulated trace across seeds.
+
+use batchlens::sim::{SimConfig, Simulation};
+use batchlens::trace::stats::{
+    instances_per_task_histogram, max_concurrency, tasks_per_job_histogram, DatasetStats,
+};
+
+/// Across many seeds, the single-task-job and multi-instance-task fractions
+/// track the paper's 75 % / 94 %.
+#[test]
+fn section_ii_fractions_hold_across_seeds() {
+    let mut single_task = Vec::new();
+    let mut multi_instance = Vec::new();
+    for seed in 0..8u64 {
+        // Use a longer window so the sample size per run is large.
+        let mut cfg = SimConfig::small(seed);
+        cfg.machines = 60;
+        cfg.window =
+            batchlens::trace::TimeRange::new(batchlens::trace::Timestamp::ZERO, batchlens::trace::Timestamp::new(6 * 3600))
+                .unwrap();
+        let ds = Simulation::new(cfg).run().unwrap();
+        let st = DatasetStats::compute(&ds);
+        if st.jobs > 50 {
+            single_task.push(st.single_task_job_fraction);
+        }
+        if st.tasks > 50 {
+            multi_instance.push(st.multi_instance_task_fraction);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let st_mean = mean(&single_task);
+    let mi_mean = mean(&multi_instance);
+    assert!((st_mean - 0.75).abs() < 0.06, "single-task fraction {st_mean}");
+    assert!((mi_mean - 0.94).abs() < 0.06, "multi-instance fraction {mi_mean}");
+}
+
+/// Machines run multiple instances concurrently (the paper's explicit note).
+#[test]
+fn machines_run_many_instances_concurrently() {
+    let ds = Simulation::new(SimConfig::medium(1)).run().unwrap();
+    let st = DatasetStats::compute(&ds);
+    assert!(
+        st.max_concurrent_instances_per_machine > 1,
+        "expected concurrent instances, got {}",
+        st.max_concurrent_instances_per_machine
+    );
+}
+
+/// Every instance is executed by exactly one machine (structural invariant).
+#[test]
+fn each_instance_on_exactly_one_machine() {
+    let ds = Simulation::new(SimConfig::small(2)).run().unwrap();
+    use std::collections::BTreeSet;
+    let mut ids = BTreeSet::new();
+    for rec in ds.instance_records() {
+        // (job, task, seq) unique; single machine field.
+        assert!(ids.insert((rec.job, rec.task, rec.seq)), "duplicate instance id");
+    }
+}
+
+/// Histograms sum to the totals.
+#[test]
+fn histograms_are_consistent() {
+    let ds = Simulation::new(SimConfig::small(3)).run().unwrap();
+    let st = DatasetStats::compute(&ds);
+    let tj: usize = tasks_per_job_histogram(&ds).iter().map(|(_, c)| c).sum();
+    let it: usize = instances_per_task_histogram(&ds).iter().map(|(_, c)| c).sum();
+    assert_eq!(tj, st.jobs);
+    assert_eq!(it, st.tasks);
+}
+
+/// `max_concurrency` agrees with a brute-force count at the busiest instant.
+#[test]
+fn max_concurrency_matches_brute_force() {
+    let ds = Simulation::new(SimConfig::small(4)).run().unwrap();
+    // Pick the busiest machine.
+    let busiest = ds
+        .machines()
+        .max_by_key(|m| m.instances().count())
+        .unwrap();
+    let intervals: Vec<_> =
+        busiest.instances().map(|i| (i.record.start_time, i.record.end_time)).collect();
+    let by_formula = max_concurrency(intervals.iter().copied());
+
+    // Brute-force: sample every instance start and count overlaps.
+    let mut brute = 0usize;
+    for &(s, _) in &intervals {
+        let c = intervals.iter().filter(|&&(a, b)| a <= s && s < b).count();
+        brute = brute.max(c);
+    }
+    assert_eq!(by_formula, brute);
+}
+
+/// The comparison table mentions the paper's headline numbers.
+#[test]
+fn comparison_table_is_well_formed() {
+    let ds = Simulation::new(SimConfig::small(5)).run().unwrap();
+    let table = DatasetStats::compute(&ds).comparison_table();
+    assert!(table.contains("0.75"));
+    assert!(table.contains("0.94"));
+    assert!(table.lines().count() >= 5);
+}
