@@ -18,10 +18,16 @@ use batchlens_trace::{
 pub fn export_usage_records(ds: &TraceDataset) -> Vec<ServerUsageRecord> {
     let mut out = Vec::new();
     for machine in ds.machines() {
-        let Some(cpu) = machine.usage(batchlens_trace::Metric::Cpu) else { continue };
+        let Some(cpu) = machine.usage(batchlens_trace::Metric::Cpu) else {
+            continue;
+        };
         for (t, _) in cpu.iter() {
             if let Some(util) = machine.util_at(t) {
-                out.push(ServerUsageRecord { time: t, machine: machine.id(), util });
+                out.push(ServerUsageRecord {
+                    time: t,
+                    machine: machine.id(),
+                    util,
+                });
             }
         }
     }
@@ -135,8 +141,7 @@ mod tests {
 
         // Jobs running.
         let raw_jobs = jobs_running_at_raw(&instances, t);
-        let indexed_jobs: Vec<JobId> =
-            ds.jobs_running_at(t).iter().map(|j| j.id()).collect();
+        let indexed_jobs: Vec<JobId> = ds.jobs_running_at(t).iter().map(|j| j.id()).collect();
         assert_eq!(raw_jobs, indexed_jobs);
 
         // Shared machines.

@@ -47,7 +47,13 @@ impl BehaviorVector {
 
     /// The 5-D feature vector for clustering.
     fn features(&self) -> [f64; 5] {
-        [self.cpu_mean, self.cpu_std, self.mem_mean, self.disk_mean, self.peak]
+        [
+            self.cpu_mean,
+            self.cpu_std,
+            self.mem_mean,
+            self.disk_mean,
+            self.peak,
+        ]
     }
 
     /// Squared Euclidean distance between two signatures' features.
@@ -72,7 +78,11 @@ pub struct BehaviorClusters {
 impl BehaviorClusters {
     /// Machines in cluster `k`.
     pub fn members(&self, k: usize) -> Vec<MachineId> {
-        self.assignments.iter().filter(|(_, c)| *c == k).map(|(m, _)| *m).collect()
+        self.assignments
+            .iter()
+            .filter(|(_, c)| *c == k)
+            .map(|(m, _)| *m)
+            .collect()
     }
 
     /// Size of each cluster.
@@ -88,7 +98,9 @@ impl BehaviorClusters {
 
 /// Collects behavior vectors for every machine over `window`.
 pub fn behavior_vectors(ds: &TraceDataset, window: &TimeRange) -> Vec<BehaviorVector> {
-    ds.machines().filter_map(|m| BehaviorVector::of(ds, m.id(), window)).collect()
+    ds.machines()
+        .filter_map(|m| BehaviorVector::of(ds, m.id(), window))
+        .collect()
 }
 
 /// Deterministic k-means over behavior vectors.
@@ -96,7 +108,11 @@ pub fn behavior_vectors(ds: &TraceDataset, window: &TimeRange) -> Vec<BehaviorVe
 /// Centroids are seeded by a farthest-first traversal (k-means++ flavour
 /// without randomness) so the result is reproducible. Returns `None` when
 /// there are fewer vectors than `k` or `k == 0`.
-pub fn cluster_behaviors(vectors: &[BehaviorVector], k: usize, max_iters: usize) -> Option<BehaviorClusters> {
+pub fn cluster_behaviors(
+    vectors: &[BehaviorVector],
+    k: usize,
+    max_iters: usize,
+) -> Option<BehaviorClusters> {
     if k == 0 || vectors.len() < k {
         return None;
     }

@@ -38,14 +38,29 @@ pub struct CoallocationIndex {
 
 impl CoallocationIndex {
     /// Builds the index of `ds` at time `at`.
+    ///
+    /// One interval-index stab over the running instances, grouped by
+    /// machine — O(log n + k log k) instead of a per-machine instance scan
+    /// across the whole cluster.
     pub fn at(ds: &TraceDataset, at: Timestamp) -> CoallocationIndex {
-        let mut shared = Vec::new();
-        for machine in ds.machines() {
-            let jobs = machine.jobs_at(at);
-            if jobs.len() >= 2 {
-                shared.push(SharedMachine { machine: machine.id(), jobs });
-            }
+        let mut by_machine: std::collections::BTreeMap<
+            MachineId,
+            std::collections::BTreeSet<JobId>,
+        > = std::collections::BTreeMap::new();
+        for inst in ds.instances_running_at(at) {
+            by_machine
+                .entry(inst.record.machine)
+                .or_default()
+                .insert(inst.record.job);
         }
+        let shared = by_machine
+            .into_iter()
+            .filter(|(_, jobs)| jobs.len() >= 2)
+            .map(|(machine, jobs)| SharedMachine {
+                machine,
+                jobs: jobs.into_iter().collect(),
+            })
+            .collect();
         CoallocationIndex { shared }
     }
 
@@ -71,7 +86,11 @@ impl CoallocationIndex {
         for s in &self.shared {
             for (i, &a) in s.jobs.iter().enumerate() {
                 for &b in &s.jobs[i + 1..] {
-                    out.push(MachineLink { machine: s.machine, job_a: a, job_b: b });
+                    out.push(MachineLink {
+                        machine: s.machine,
+                        job_a: a,
+                        job_b: b,
+                    });
                 }
             }
         }
@@ -81,12 +100,18 @@ impl CoallocationIndex {
     /// The links involving one specific machine — what a mouse-over on that
     /// node highlights.
     pub fn links_for(&self, machine: MachineId) -> Vec<MachineLink> {
-        self.links().into_iter().filter(|l| l.machine == machine).collect()
+        self.links()
+            .into_iter()
+            .filter(|l| l.machine == machine)
+            .collect()
     }
 
     /// The jobs sharing a given machine, if it is shared.
     pub fn jobs_on(&self, machine: MachineId) -> Option<&[JobId]> {
-        self.shared.iter().find(|s| s.machine == machine).map(|s| s.jobs.as_slice())
+        self.shared
+            .iter()
+            .find(|s| s.machine == machine)
+            .map(|s| s.jobs.as_slice())
     }
 }
 

@@ -62,31 +62,27 @@ impl RegimeSummary {
                 }
             }
         }
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = means.len();
-        let pct = |q: f64| -> f64 {
-            if n == 0 {
-                return 0.0;
-            }
-            let pos = q * (n - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            if lo == hi {
-                means[lo]
-            } else {
-                means[lo] + (means[hi] - means[lo]) * (pos - lo as f64)
-            }
-        };
         let nf = n.max(1) as f64;
+        let mean = means.iter().sum::<f64>() / nf;
+        // Selection instead of a full sort; O(n) per percentile.
+        let (p10, p90) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                batchlens_trace::quantile_select(&mut means, 0.10),
+                batchlens_trace::quantile_select(&mut means, 0.90),
+            )
+        };
         RegimeSummary {
             at,
             machines: n,
-            mean: means.iter().sum::<f64>() / nf,
+            mean,
             mean_cpu: c / nf,
             mean_mem: m / nf,
             mean_disk: d / nf,
-            p10: pct(0.10),
-            p90: pct(0.90),
+            p10,
+            p90,
             saturated_fraction: saturated as f64 / nf,
         }
     }
@@ -174,7 +170,11 @@ impl SnapshotDiff {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        let dir = if self.delta_mean > 0.0 { "rose" } else { "fell" };
+        let dir = if self.delta_mean > 0.0 {
+            "rose"
+        } else {
+            "fell"
+        };
         format!(
             "utilization {dir} {:.1} pts ({:.1}% → {:.1}%); saturation {:+.1} pts",
             self.delta_mean.abs() * 100.0,
@@ -196,8 +196,18 @@ mod tests {
         let med = RegimeSummary::at(&scenario::fig3b(31).run().unwrap(), scenario::T_FIG3B);
         let high = RegimeSummary::at(&scenario::fig3c(31).run().unwrap(), scenario::T_FIG3C);
         assert_eq!(low.band(), RegimeBand::Low, "low: {low:?}");
-        assert!(med.mean > low.mean, "medium {:.2} vs low {:.2}", med.mean, low.mean);
-        assert!(high.mean > med.mean * 0.9, "high {:.2} vs med {:.2}", high.mean, med.mean);
+        assert!(
+            med.mean > low.mean,
+            "medium {:.2} vs low {:.2}",
+            med.mean,
+            low.mean
+        );
+        assert!(
+            high.mean > med.mean * 0.9,
+            "high {:.2} vs med {:.2}",
+            high.mean,
+            med.mean
+        );
         assert_ne!(med.band(), RegimeBand::Low);
         assert_ne!(high.band(), RegimeBand::Low);
         // The overload regime saturates machines; the healthy one does not.

@@ -24,7 +24,13 @@ pub struct CusumDetector {
 impl CusumDetector {
     /// A detector tuned for utilization fractions.
     pub fn new(slack: f64, threshold: f64) -> Self {
-        CusumDetector { slack, threshold, alpha: 0.05, min_samples: 2, positive_only: false }
+        CusumDetector {
+            slack,
+            threshold,
+            alpha: 0.05,
+            min_samples: 2,
+            positive_only: false,
+        }
     }
 
     /// Upward-only variant.
@@ -69,7 +75,13 @@ impl Detector for CusumDetector {
                 target += self.alpha * (v - target);
             }
         }
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Deviation, |i| scores[i])
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Deviation,
+            |i| scores[i],
+        )
     }
 }
 
@@ -79,7 +91,11 @@ mod tests {
     use batchlens_trace::Timestamp;
 
     fn series(values: &[f64]) -> TimeSeries {
-        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
     }
 
     #[test]
@@ -97,8 +113,12 @@ mod tests {
 
     #[test]
     fn clean_series_is_clean() {
-        assert!(CusumDetector::default().detect(&series(&[0.3; 100])).is_empty());
-        assert!(CusumDetector::default().detect(&TimeSeries::new()).is_empty());
+        assert!(CusumDetector::default()
+            .detect(&series(&[0.3; 100]))
+            .is_empty());
+        assert!(CusumDetector::default()
+            .detect(&TimeSeries::new())
+            .is_empty());
     }
 
     #[test]
@@ -107,7 +127,9 @@ mod tests {
         for v in vals.iter_mut().skip(40) {
             *v = 0.3;
         }
-        let up = CusumDetector::new(0.03, 0.4).positive_only().detect(&series(&vals));
+        let up = CusumDetector::new(0.03, 0.4)
+            .positive_only()
+            .detect(&series(&vals));
         assert!(up.is_empty());
         let both = CusumDetector::new(0.03, 0.4).detect(&series(&vals));
         assert!(!both.is_empty());

@@ -7,7 +7,7 @@
 //! detector (the paper's complaint about inflexible metric monitors) while
 //! keeping recall.
 
-use batchlens_trace::{TimeSeries, Timestamp};
+use batchlens_trace::TimeSeries;
 
 use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
 
@@ -21,7 +21,10 @@ pub struct Ensemble {
 impl std::fmt::Debug for Ensemble {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ensemble")
-            .field("members", &self.detectors.iter().map(|d| d.name()).collect::<Vec<_>>())
+            .field(
+                "members",
+                &self.detectors.iter().map(|d| d.name()).collect::<Vec<_>>(),
+            )
             .field("quorum", &self.quorum)
             .finish()
     }
@@ -33,7 +36,11 @@ impl Ensemble {
     /// `1..=members`.
     pub fn new(detectors: Vec<Box<dyn Detector>>, quorum: usize) -> Self {
         let n = detectors.len().max(1);
-        Ensemble { detectors, quorum: quorum.clamp(1, n), min_samples: 2 }
+        Ensemble {
+            detectors,
+            quorum: quorum.clamp(1, n),
+            min_samples: 2,
+        }
     }
 
     /// Member detector names (for reports).
@@ -44,17 +51,16 @@ impl Ensemble {
     /// Per-member vote counts over a series, indexed by sample.
     fn vote_counts(&self, series: &TimeSeries) -> Vec<u32> {
         let mut votes = vec![0u32; series.len()];
-        // Index samples by timestamp for mapping member spans back to samples.
-        let index: std::collections::HashMap<Timestamp, usize> =
-            series.times().iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let times = series.times();
         for d in &self.detectors {
             for span in d.detect(series) {
-                for (t, i) in series.times().iter().zip(0..series.len()) {
-                    if span.range.contains(*t) {
-                        votes[i] += 1;
-                    }
+                // Times are sorted; a half-open span maps to a contiguous
+                // sample range found by binary search.
+                let lo = times.partition_point(|&t| t < span.range.start());
+                let hi = times.partition_point(|&t| t < span.range.end());
+                for v in &mut votes[lo..hi] {
+                    *v += 1;
                 }
-                let _ = &index; // index kept for clarity; linear scan is fine here
             }
         }
         votes
@@ -72,9 +78,13 @@ impl Detector for Ensemble {
         }
         let votes = self.vote_counts(series);
         let flags: Vec<bool> = votes.iter().map(|&v| v as usize >= self.quorum).collect();
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
-            votes[i] as f64
-        })
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Outlier,
+            |i| votes[i] as f64,
+        )
     }
 }
 
@@ -85,7 +95,11 @@ mod tests {
     use batchlens_trace::Timestamp;
 
     fn series(values: &[f64]) -> TimeSeries {
-        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
     }
 
     fn ensemble(quorum: usize) -> Ensemble {

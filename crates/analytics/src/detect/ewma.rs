@@ -24,7 +24,12 @@ pub struct EwmaDetector {
 impl EwmaDetector {
     /// A `alpha = 0.2, k = 4` detector with 10-sample warm-up.
     pub fn new(alpha: f64, k: f64) -> Self {
-        EwmaDetector { alpha: alpha.clamp(1e-6, 1.0), k, min_samples: 1, warmup: 10 }
+        EwmaDetector {
+            alpha: alpha.clamp(1e-6, 1.0),
+            k,
+            min_samples: 1,
+            warmup: 10,
+        }
     }
 }
 
@@ -62,7 +67,13 @@ impl Detector for EwmaDetector {
             mean += self.alpha * (v - mean);
             var = (1.0 - self.alpha) * (var + self.alpha * (v - mean) * (v - mean));
         }
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Deviation, |i| scores[i])
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Deviation,
+            |i| scores[i],
+        )
     }
 }
 
@@ -81,7 +92,9 @@ mod tests {
 
     fn noisy_flat(n: usize, level: f64) -> Vec<f64> {
         // Small deterministic wobble so the running variance is nonzero.
-        (0..n).map(|i| level + 0.01 * ((i % 7) as f64 - 3.0) / 3.0).collect()
+        (0..n)
+            .map(|i| level + 0.01 * ((i % 7) as f64 - 3.0) / 3.0)
+            .collect()
     }
 
     #[test]
@@ -109,7 +122,9 @@ mod tests {
         let mut vals = noisy_flat(30, 0.3);
         vals[2] = 0.99; // inside warm-up
         let spans = EwmaDetector::default().detect(&series(&vals));
-        assert!(spans.iter().all(|s| s.range.start() > Timestamp::new(2 * 60)));
+        assert!(spans
+            .iter()
+            .all(|s| s.range.start() > Timestamp::new(2 * 60)));
     }
 
     #[test]

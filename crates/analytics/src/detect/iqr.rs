@@ -46,10 +46,16 @@ impl Detector for IqrDetector {
         let lo = q1 - self.k * iqr;
         let hi = q3 + self.k * iqr;
         let flags: Vec<bool> = series.values().iter().map(|&v| v < lo || v > hi).collect();
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
-            let v = series.values()[i];
-            ((v - hi).max(lo - v)).max(0.0) / iqr
-        })
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Outlier,
+            |i| {
+                let v = series.values()[i];
+                ((v - hi).max(lo - v)).max(0.0) / iqr
+            },
+        )
     }
 }
 
@@ -59,7 +65,11 @@ mod tests {
     use batchlens_trace::Timestamp;
 
     fn series(values: &[f64]) -> TimeSeries {
-        values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect()
     }
 
     #[test]
@@ -75,7 +85,9 @@ mod tests {
 
     #[test]
     fn constant_series_has_zero_iqr() {
-        assert!(IqrDetector::default().detect(&series(&[0.4; 50])).is_empty());
+        assert!(IqrDetector::default()
+            .detect(&series(&[0.4; 50]))
+            .is_empty());
         assert!(IqrDetector::default().detect(&TimeSeries::new()).is_empty());
     }
 

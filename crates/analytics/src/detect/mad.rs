@@ -31,13 +31,9 @@ impl Default for MadDetector {
     }
 }
 
-fn median(sorted: &[f64]) -> f64 {
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-    }
+/// In-place median by selection — O(n) expected, no full sort.
+fn median(values: &mut [f64]) -> f64 {
+    batchlens_trace::quantile_select(values, 0.5)
 }
 
 impl Detector for MadDetector {
@@ -49,21 +45,25 @@ impl Detector for MadDetector {
         if series.is_empty() {
             return Vec::new();
         }
-        let mut sorted = series.values().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let med = median(&sorted);
-        let mut deviations: Vec<f64> = series.values().iter().map(|&v| (v - med).abs()).collect();
-        deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let mad = median(&deviations);
+        let mut scratch = series.values().to_vec();
+        let med = median(&mut scratch);
+        // Reuse the scratch buffer for the absolute deviations.
+        for (dst, &v) in scratch.iter_mut().zip(series.values()) {
+            *dst = (v - med).abs();
+        }
+        let mad = median(&mut scratch);
         if mad < 1e-12 {
             return Vec::new();
         }
         let score = |v: f64| (v - med).abs() / (MAD_SCALE * mad);
-        let flags: Vec<bool> =
-            series.values().iter().map(|&v| score(v) > self.z).collect();
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
-            score(series.values()[i])
-        })
+        let flags: Vec<bool> = series.values().iter().map(|&v| score(v) > self.z).collect();
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Outlier,
+            |i| score(series.values()[i]),
+        )
     }
 }
 
@@ -81,7 +81,9 @@ mod tests {
     }
 
     fn wobble(n: usize, level: f64) -> Vec<f64> {
-        (0..n).map(|i| level + 0.02 * ((i % 5) as f64 - 2.0) / 2.0).collect()
+        (0..n)
+            .map(|i| level + 0.02 * ((i % 5) as f64 - 2.0) / 2.0)
+            .collect()
     }
 
     #[test]
@@ -99,13 +101,15 @@ mod tests {
 
     #[test]
     fn constant_series_is_clean() {
-        assert!(MadDetector::default().detect(&series(&[0.4; 40])).is_empty());
+        assert!(MadDetector::default()
+            .detect(&series(&[0.4; 40]))
+            .is_empty());
         assert!(MadDetector::default().detect(&TimeSeries::new()).is_empty());
     }
 
     #[test]
     fn median_helper() {
-        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
-        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
     }
 }

@@ -17,8 +17,8 @@ mod ewma;
 mod iqr;
 mod mad;
 pub mod spike;
-mod threshold;
 pub mod thrashing;
+mod threshold;
 mod zscore;
 
 pub use cusum::CusumDetector;
@@ -27,8 +27,8 @@ pub use ewma::EwmaDetector;
 pub use iqr::IqrDetector;
 pub use mad::MadDetector;
 pub use spike::SpikeDetector;
-pub use threshold::ThresholdDetector;
 pub use thrashing::ThrashingDetector;
+pub use threshold::ThresholdDetector;
 pub use zscore::ZScoreDetector;
 
 use batchlens_trace::{TimeDelta, TimeRange, TimeSeries, Timestamp};
@@ -114,9 +114,16 @@ pub(crate) fn spans_from_flags(
                 best = j;
             }
         }
-        // Half-open end: one nominal sample period past the last flagged point.
-        let period = if times.len() >= 2 {
-            (times[1] - times[0]).as_seconds().max(1)
+        // Half-open end: one sample period past the last flagged point. The
+        // period is the *local* gap after the run's last sample (or, at the
+        // series tail, the gap before it) so irregular or resampled series
+        // don't inherit a global `times[1] - times[0]` estimate that
+        // mis-sizes their spans.
+        let last = run_end - 1;
+        let period = if last + 1 < times.len() {
+            (times[last + 1] - times[last]).as_seconds().max(1)
+        } else if last > 0 {
+            (times[last] - times[last - 1]).as_seconds().max(1)
         } else {
             1
         };
@@ -152,8 +159,9 @@ mod tests {
     fn spans_merge_consecutive_flags() {
         let s = series(&[0.0, 1.0, 1.0, 0.0, 1.0]);
         let flags = [false, true, true, false, true];
-        let spans =
-            spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        let spans = spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].range.start(), Timestamp::new(60));
         assert_eq!(spans[0].range.end(), Timestamp::new(180));
@@ -164,18 +172,50 @@ mod tests {
     fn short_runs_are_dropped() {
         let s = series(&[0.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
         let flags = [false, true, false, true, true, true];
-        let spans =
-            spans_from_flags(&s, &flags, 3, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        let spans = spans_from_flags(&s, &flags, 3, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].range.start(), Timestamp::new(180));
+    }
+
+    #[test]
+    fn span_end_uses_local_gap_on_irregular_grids() {
+        // Samples at 0, 60, 120, then a 600 s reporting gap, then 720.
+        let s: TimeSeries = [0i64, 60, 120, 720, 780]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (Timestamp::new(t), i as f64))
+            .collect();
+        // Run ends at t=60; the local gap to the next sample (120) is 60 s.
+        let flags = [true, true, false, false, false];
+        let spans = spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
+        assert_eq!(spans[0].range.end(), Timestamp::new(120));
+        // Run ending right before the long gap extends by that gap, not by
+        // the global times[1]-times[0] estimate.
+        let flags = [false, false, true, false, false];
+        let spans = spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
+        assert_eq!(spans[0].range.end(), Timestamp::new(720));
+        // A run reaching the series tail reuses the gap before the last
+        // sample (60 s here).
+        let flags = [false, false, false, true, true];
+        let spans = spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
+        assert_eq!(spans[0].range.end(), Timestamp::new(840));
     }
 
     #[test]
     fn peak_is_most_severe_sample() {
         let s = series(&[0.0, 0.5, 0.9, 0.7, 0.0]);
         let flags = [false, true, true, true, false];
-        let spans =
-            spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| s.values()[i]);
+        let spans = spans_from_flags(&s, &flags, 1, AnomalyKind::HighUtilization, |i| {
+            s.values()[i]
+        });
         assert_eq!(spans[0].peak, 0.9);
         assert_eq!(spans[0].peak_time, Timestamp::new(120));
     }

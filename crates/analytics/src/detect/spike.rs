@@ -44,7 +44,11 @@ impl SpikeDetector {
     /// task co-located with another job can produce a ~10–20 point rise
     /// that is normal multiplexing, not the Fig 3(b) anomaly.
     pub fn new() -> Self {
-        SpikeDetector { min_rise: 0.30, end_slack: 0.6, decay_fraction: 0.3 }
+        SpikeDetector {
+            min_rise: 0.30,
+            end_slack: 0.6,
+            decay_fraction: 0.3,
+        }
     }
 
     /// Scans one machine's metric series for the spike signature relative to
@@ -53,11 +57,7 @@ impl SpikeDetector {
     /// Returns `None` when any part of the signature is missing: no
     /// sufficient rise, peak not aligned with the job end, or no post-peak
     /// decay visible in the data.
-    pub fn match_spike(
-        &self,
-        series: &TimeSeries,
-        job_window: &TimeRange,
-    ) -> Option<SpikeMatch> {
+    pub fn match_spike(&self, series: &TimeSeries, job_window: &TimeRange) -> Option<SpikeMatch> {
         if series.is_empty() || job_window.is_empty() {
             return None;
         }
@@ -91,8 +91,8 @@ impl SpikeDetector {
 
         // The peak must be near the job end: in the last third of the run or
         // within the slack after it.
-        let last_third = job_window.start()
-            + batchlens_trace::TimeDelta::seconds((dur as f64 * 0.66) as i64);
+        let last_third =
+            job_window.start() + batchlens_trace::TimeDelta::seconds((dur as f64 * 0.66) as i64);
         if peak_time < last_third {
             return None;
         }
@@ -108,14 +108,18 @@ impl SpikeDetector {
             return None;
         }
 
-        Some(SpikeMatch { peak_time, peak, baseline, rise })
+        Some(SpikeMatch {
+            peak_time,
+            peak,
+            baseline,
+            rise,
+        })
     }
 
     /// Converts a match into a generic [`AnomalySpan`] covering the job
     /// window plus slack.
     pub fn span_for(&self, m: &SpikeMatch, job_window: &TimeRange) -> AnomalySpan {
-        let slack =
-            (job_window.duration().as_seconds() as f64 * self.end_slack) as i64;
+        let slack = (job_window.duration().as_seconds() as f64 * self.end_slack) as i64;
         AnomalySpan {
             kind: AnomalyKind::EndSpike,
             range: TimeRange::new(
@@ -158,7 +162,10 @@ mod tests {
             };
             s.push(Timestamp::new(t), v).unwrap();
         }
-        (s, TimeRange::new(Timestamp::new(start), Timestamp::new(end)).unwrap())
+        (
+            s,
+            TimeRange::new(Timestamp::new(start), Timestamp::new(end)).unwrap(),
+        )
     }
 
     #[test]
@@ -167,7 +174,11 @@ mod tests {
         let m = SpikeDetector::new().match_spike(&s, &w).unwrap();
         assert!(m.rise > 0.5);
         // Peak within a sample of the job end.
-        assert!((m.peak_time.seconds() - 4200).abs() <= 60, "peak at {}", m.peak_time);
+        assert!(
+            (m.peak_time.seconds() - 4200).abs() <= 60,
+            "peak at {}",
+            m.peak_time
+        );
         let span = SpikeDetector::new().span_for(&m, &w);
         assert_eq!(span.kind, AnomalyKind::EndSpike);
         assert!(span.range.contains(m.peak_time));
@@ -175,8 +186,7 @@ mod tests {
 
     #[test]
     fn rejects_flat_series() {
-        let s: TimeSeries =
-            (0..100).map(|i| (Timestamp::new(i * 60), 0.3)).collect();
+        let s: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.3)).collect();
         let w = TimeRange::new(Timestamp::new(1800), Timestamp::new(4200)).unwrap();
         assert!(SpikeDetector::new().match_spike(&s, &w).is_none());
     }

@@ -28,7 +28,12 @@ pub struct ThrashingDetector {
 impl ThrashingDetector {
     /// Detector with the case study's default thresholds.
     pub fn new() -> Self {
-        ThrashingDetector { mem_high: 0.6, min_gap: 0.25, min_samples: 3, min_cpu_decline: 0.05 }
+        ThrashingDetector {
+            mem_high: 0.6,
+            min_gap: 0.25,
+            min_samples: 3,
+            min_cpu_decline: 0.05,
+        }
     }
 
     /// Scans paired CPU/memory series (same machine) for thrashing spans.
@@ -51,13 +56,10 @@ impl ThrashingDetector {
                 flags[i] = m > self.mem_high && gap > self.min_gap;
             }
         }
-        let raw = super::spans_from_flags(
-            cpu,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Thrashing,
-            |i| gaps[i],
-        );
+        let raw =
+            super::spans_from_flags(cpu, &flags, self.min_samples, AnomalyKind::Thrashing, |i| {
+                gaps[i]
+            });
         // Confirm the CPU actually declined into each span.
         raw.into_iter()
             .filter(|span| self.cpu_declined(cpu, span.range))
@@ -168,7 +170,11 @@ mod tests {
         let s = spans[0];
         assert_eq!(s.kind, AnomalyKind::Thrashing);
         assert!(s.range.start().seconds() >= 3600);
-        assert!(s.peak > 0.9, "span peak should be the pinned memory, got {}", s.peak);
+        assert!(
+            s.peak > 0.9,
+            "span peak should be the pinned memory, got {}",
+            s.peak
+        );
         assert!(s.severity > 0.25);
     }
 
@@ -201,10 +207,7 @@ mod tests {
         let (c1, m1) = thrash_pair(3600);
         let c2: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.5)).collect();
         let m2: TimeSeries = (0..100).map(|i| (Timestamp::new(i * 60), 0.4)).collect();
-        let f = thrashing_machine_fraction(
-            &ThrashingDetector::new(),
-            vec![(&c1, &m1), (&c2, &m2)],
-        );
+        let f = thrashing_machine_fraction(&ThrashingDetector::new(), vec![(&c1, &m1), (&c2, &m2)]);
         assert!((f - 0.5).abs() < 1e-12);
         assert_eq!(
             thrashing_machine_fraction(&ThrashingDetector::new(), Vec::new()),

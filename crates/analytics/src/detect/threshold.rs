@@ -17,7 +17,10 @@ pub struct ThresholdDetector {
 impl ThresholdDetector {
     /// A 90 %-for-3-samples detector, the conventional pager rule.
     pub fn new(high: f64) -> Self {
-        ThresholdDetector { high, min_samples: 3 }
+        ThresholdDetector {
+            high,
+            min_samples: 3,
+        }
     }
 }
 
@@ -34,9 +37,13 @@ impl Detector for ThresholdDetector {
 
     fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
         let flags: Vec<bool> = series.values().iter().map(|&v| v > self.high).collect();
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::HighUtilization, |i| {
-            series.values()[i] - self.high
-        })
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::HighUtilization,
+            |i| series.values()[i] - self.high,
+        )
     }
 }
 
@@ -79,7 +86,9 @@ mod tests {
     fn clean_series_is_clean() {
         let spans = ThresholdDetector::default().detect(&series(&[0.2; 50]));
         assert!(spans.is_empty());
-        assert!(ThresholdDetector::default().detect(&TimeSeries::new()).is_empty());
+        assert!(ThresholdDetector::default()
+            .detect(&TimeSeries::new())
+            .is_empty());
     }
 
     #[test]

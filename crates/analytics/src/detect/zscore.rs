@@ -22,7 +22,11 @@ pub struct ZScoreDetector {
 impl ZScoreDetector {
     /// A symmetric 3-sigma detector.
     pub fn new(z: f64) -> Self {
-        ZScoreDetector { z, min_samples: 2, positive_only: false }
+        ZScoreDetector {
+            z,
+            min_samples: 2,
+            positive_only: false,
+        }
     }
 
     /// Spike-only variant.
@@ -64,9 +68,13 @@ impl Detector for ZScoreDetector {
                 }
             })
             .collect();
-        spans_from_flags(series, &flags, self.min_samples, AnomalyKind::Outlier, |i| {
-            score(series.values()[i]).abs()
-        })
+        spans_from_flags(
+            series,
+            &flags,
+            self.min_samples,
+            AnomalyKind::Outlier,
+            |i| score(series.values()[i]).abs(),
+        )
     }
 }
 
@@ -103,7 +111,9 @@ mod tests {
         }
         let sym = ZScoreDetector::new(3.0).detect(&series(&vals));
         assert_eq!(sym.len(), 1);
-        let pos = ZScoreDetector::new(3.0).positive_only().detect(&series(&vals));
+        let pos = ZScoreDetector::new(3.0)
+            .positive_only()
+            .detect(&series(&vals));
         assert!(pos.is_empty());
     }
 
@@ -111,6 +121,8 @@ mod tests {
     fn constant_series_has_no_outliers() {
         let spans = ZScoreDetector::default().detect(&series(&[0.5; 50]));
         assert!(spans.is_empty());
-        assert!(ZScoreDetector::default().detect(&TimeSeries::new()).is_empty());
+        assert!(ZScoreDetector::default()
+            .detect(&TimeSeries::new())
+            .is_empty());
     }
 }

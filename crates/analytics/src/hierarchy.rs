@@ -50,8 +50,11 @@ pub struct JobEntry {
 impl JobEntry {
     /// All distinct machines under this job at the snapshot time.
     pub fn machines(&self) -> Vec<MachineId> {
-        let mut out: Vec<MachineId> =
-            self.tasks.iter().flat_map(|t| t.nodes.iter().map(|n| n.machine)).collect();
+        let mut out: Vec<MachineId> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.nodes.iter().map(|n| n.machine))
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -60,7 +63,10 @@ impl JobEntry {
     /// Mean utilization over all nodes of all tasks.
     pub fn mean_util(&self) -> Option<UtilizationTriple> {
         UtilizationTriple::mean_of(
-            self.tasks.iter().flat_map(|t| t.nodes.iter()).filter_map(|n| n.util.as_ref()),
+            self.tasks
+                .iter()
+                .flat_map(|t| t.nodes.iter())
+                .filter_map(|n| n.util.as_ref()),
         )
     }
 
@@ -87,33 +93,46 @@ impl HierarchySnapshot {
     /// (half-open execution windows). Node utilization is the machine's
     /// sample-and-hold value at `at`.
     pub fn at(ds: &TraceDataset, at: Timestamp) -> HierarchySnapshot {
-        let mut jobs = Vec::new();
-        for job in ds.jobs_running_at(at) {
-            let mut tasks = Vec::new();
-            for task in job.tasks() {
-                // machine → instance count for instances running now.
-                let mut per_machine: std::collections::BTreeMap<MachineId, u32> =
-                    std::collections::BTreeMap::new();
-                for inst in task.instances() {
-                    if inst.record.running_at(at) {
-                        *per_machine.entry(inst.record.machine).or_default() += 1;
-                    }
-                }
-                if per_machine.is_empty() {
-                    continue;
-                }
-                let nodes = per_machine
-                    .into_iter()
-                    .map(|(machine, instances)| NodeEntry {
-                        machine,
-                        instances,
-                        util: ds.machine(machine).and_then(|m| m.util_at(at)),
-                    })
-                    .collect();
-                tasks.push(TaskEntry { task: task.id(), nodes });
-            }
-            if !tasks.is_empty() {
-                jobs.push(JobEntry { job: job.id(), tasks });
+        // One interval-index stab gives every running instance; grouping by
+        // (job, task, machine) in a BTreeMap reproduces the job → task →
+        // machine ordering of the per-job walk it replaces, in
+        // O(k log k) for k running instances instead of a scan of every
+        // instance of every running job.
+        let mut grouped: std::collections::BTreeMap<(JobId, TaskId, MachineId), u32> =
+            std::collections::BTreeMap::new();
+        for inst in ds.instances_running_at(at) {
+            *grouped
+                .entry((inst.record.job, inst.record.task, inst.record.machine))
+                .or_default() += 1;
+        }
+        // Machines repeat across tasks/jobs; look their utilization up once.
+        let mut util_cache: std::collections::BTreeMap<MachineId, Option<UtilizationTriple>> =
+            std::collections::BTreeMap::new();
+        let mut jobs: Vec<JobEntry> = Vec::new();
+        for ((job, task, machine), instances) in grouped {
+            let util = *util_cache
+                .entry(machine)
+                .or_insert_with(|| ds.machine(machine).and_then(|m| m.util_at(at)));
+            let node = NodeEntry {
+                machine,
+                instances,
+                util,
+            };
+            match jobs.last_mut() {
+                Some(entry) if entry.job == job => match entry.tasks.last_mut() {
+                    Some(te) if te.task == task => te.nodes.push(node),
+                    _ => entry.tasks.push(TaskEntry {
+                        task,
+                        nodes: vec![node],
+                    }),
+                },
+                _ => jobs.push(JobEntry {
+                    job,
+                    tasks: vec![TaskEntry {
+                        task,
+                        nodes: vec![node],
+                    }],
+                }),
             }
         }
         HierarchySnapshot { at, jobs }

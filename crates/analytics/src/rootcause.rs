@@ -11,9 +11,7 @@ use batchlens_trace::{JobId, MachineId, Metric, TimeRange, Timestamp, TraceDatas
 use serde::{Deserialize, Serialize};
 
 use crate::coalloc::CoallocationIndex;
-use crate::detect::{
-    AnomalySpan, SpikeDetector, ThrashingDetector, ThresholdDetector, Detector,
-};
+use crate::detect::{AnomalySpan, Detector, SpikeDetector, ThrashingDetector, ThresholdDetector};
 use crate::hierarchy::HierarchySnapshot;
 
 /// The analyzer's verdict for one job.
@@ -133,7 +131,9 @@ impl RootCauseAnalyzer {
             }
         }
 
-        let quorum = (machines.len() as f64 * self.machine_quorum).ceil().max(1.0) as usize;
+        let quorum = (machines.len() as f64 * self.machine_quorum)
+            .ceil()
+            .max(1.0) as usize;
         let shared_machines: Vec<MachineId> = machines
             .iter()
             .copied()
@@ -200,7 +200,14 @@ impl RootCauseAnalyzer {
             ),
         };
 
-        Diagnosis { job, verdict, affected_machines: affected, evidence, shared_machines, summary }
+        Diagnosis {
+            job,
+            verdict,
+            affected_machines: affected,
+            evidence,
+            shared_machines,
+            summary,
+        }
     }
 }
 
@@ -220,7 +227,10 @@ pub fn render_report(at: Timestamp, diagnoses: &[Diagnosis]) -> String {
         Verdict::Healthy => 3,
     });
     let mut out = format!("BatchLens root-cause report @ {at}\n");
-    let anomalous = sorted.iter().filter(|d| d.verdict != Verdict::Healthy).count();
+    let anomalous = sorted
+        .iter()
+        .filter(|d| d.verdict != Verdict::Healthy)
+        .count();
     out.push_str(&format!(
         "{} job(s) inspected, {} anomalous\n\n",
         sorted.len(),
@@ -256,7 +266,10 @@ mod tests {
         let ds = scenario::fig3b(21).run().unwrap();
         let analyzer = RootCauseAnalyzer::new();
         let diagnoses = analyzer.analyze(&ds, scenario::T_FIG3B);
-        let d = diagnoses.iter().find(|d| d.job == scenario::JOB_7901).unwrap();
+        let d = diagnoses
+            .iter()
+            .find(|d| d.job == scenario::JOB_7901)
+            .unwrap();
         assert_eq!(d.verdict, Verdict::EndSpike, "evidence: {}", d.summary);
         assert!(!d.affected_machines.is_empty());
         // job_7901 shares machines with job_7905.
@@ -268,7 +281,10 @@ mod tests {
         let ds = scenario::fig3c(22).run().unwrap();
         let analyzer = RootCauseAnalyzer::new();
         let diagnoses = analyzer.analyze(&ds, scenario::T_FIG3C);
-        let d = diagnoses.iter().find(|d| d.job == scenario::JOB_11939).unwrap();
+        let d = diagnoses
+            .iter()
+            .find(|d| d.job == scenario::JOB_11939)
+            .unwrap();
         assert_eq!(d.verdict, Verdict::Thrashing, "evidence: {}", d.summary);
     }
 
@@ -278,9 +294,15 @@ mod tests {
         let analyzer = RootCauseAnalyzer::new();
         let diagnoses = analyzer.analyze(&ds, scenario::T_FIG3A);
         assert_eq!(diagnoses.len(), 15);
-        let healthy = diagnoses.iter().filter(|d| d.verdict == Verdict::Healthy).count();
+        let healthy = diagnoses
+            .iter()
+            .filter(|d| d.verdict == Verdict::Healthy)
+            .count();
         assert!(healthy >= 13, "only {healthy}/15 healthy");
-        let d = diagnoses.iter().find(|d| d.job == scenario::JOB_8124).unwrap();
+        let d = diagnoses
+            .iter()
+            .find(|d| d.job == scenario::JOB_8124)
+            .unwrap();
         assert_eq!(d.verdict, Verdict::Healthy);
     }
 

@@ -95,7 +95,10 @@ impl SlaReport {
 
     /// Number of job-failure violations.
     pub fn job_failures(&self) -> usize {
-        self.violations.iter().filter(|v| matches!(v, Violation::JobFailure { .. })).count()
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, Violation::JobFailure { .. }))
+            .count()
     }
 
     /// True when no violations were found.
@@ -112,7 +115,9 @@ pub fn check(ds: &TraceDataset, policy: &SlaPolicy) -> SlaReport {
     for machine in ds.machines() {
         machines_checked += 1;
         for metric in Metric::ALL {
-            let Some(series) = machine.usage(metric) else { continue };
+            let Some(series) = machine.usage(metric) else {
+                continue;
+            };
             for range in over_threshold_runs(series, policy.saturation_level, policy.max_saturation)
             {
                 violations.push(Violation::Saturation {
@@ -142,14 +147,21 @@ pub fn check(ds: &TraceDataset, policy: &SlaPolicy) -> SlaReport {
                 }
             }
             if let Some(status) = worst {
-                violations.push(Violation::JobFailure { job: job.id(), status });
+                violations.push(Violation::JobFailure {
+                    job: job.id(),
+                    status,
+                });
             }
         }
     } else {
         jobs_checked = ds.job_count();
     }
 
-    SlaReport { violations, machines_checked, jobs_checked }
+    SlaReport {
+        violations,
+        machines_checked,
+        jobs_checked,
+    }
 }
 
 /// Maximal intervals where the series stays strictly above `level` for at
@@ -189,7 +201,12 @@ fn over_threshold_runs(
 /// Cluster-wide availability over a window: the fraction of `[start, end)`
 /// during which at least `min_jobs` jobs are running (a coarse "is the
 /// platform doing useful work" SLA).
-pub fn availability(ds: &TraceDataset, window: &TimeRange, min_jobs: usize, step: TimeDelta) -> f64 {
+pub fn availability(
+    ds: &TraceDataset,
+    window: &TimeRange,
+    min_jobs: usize,
+    step: TimeDelta,
+) -> f64 {
     let mut up = 0usize;
     let mut total = 0usize;
     for t in window.steps(step) {
@@ -224,7 +241,11 @@ mod tests {
         let report = check(&ds, &SlaPolicy::default());
         assert!(report.machines_checked > 0);
         // Fig 3(a) is explicitly low-utilization: essentially no saturation.
-        assert!(report.saturated_machine_fraction() < 0.1, "{:?}", report.saturated_machine_fraction());
+        assert!(
+            report.saturated_machine_fraction() < 0.1,
+            "{:?}",
+            report.saturated_machine_fraction()
+        );
     }
 
     #[test]
@@ -244,7 +265,10 @@ mod tests {
         // fig3c cancels all but job_11599 at t=44100.
         let ds = scenario::fig3c(3).run().unwrap();
         let report = check(&ds, &SlaPolicy::default());
-        assert!(report.job_failures() > 0, "expected cancelled jobs to count as failures");
+        assert!(
+            report.job_failures() > 0,
+            "expected cancelled jobs to count as failures"
+        );
     }
 
     #[test]
@@ -261,14 +285,22 @@ mod tests {
         // A 2-sample blip above 0.95 at 60 s spacing = 120 s, below a 10-min
         // minimum → no violation.
         let s: TimeSeries = (0..20)
-            .map(|i| (Timestamp::new(i * 60), if (5..7).contains(&i) { 0.99 } else { 0.3 }))
+            .map(|i| {
+                (
+                    Timestamp::new(i * 60),
+                    if (5..7).contains(&i) { 0.99 } else { 0.3 },
+                )
+            })
             .collect();
         assert!(over_threshold_runs(&s, 0.95, TimeDelta::minutes(10)).is_empty());
         // A long run does violate.
         let s2: TimeSeries = (0..40)
             .map(|i| (Timestamp::new(i * 60), if i >= 5 { 0.99 } else { 0.3 }))
             .collect();
-        assert_eq!(over_threshold_runs(&s2, 0.95, TimeDelta::minutes(10)).len(), 1);
+        assert_eq!(
+            over_threshold_runs(&s2, 0.95, TimeDelta::minutes(10)).len(),
+            1
+        );
     }
 
     #[test]
@@ -283,8 +315,9 @@ mod tests {
     fn violation_kinds() {
         let ds = scenario::fig3c(5).run().unwrap();
         let report = check(&ds, &SlaPolicy::default());
-        assert!(report.violations.iter().all(|v| {
-            matches!(v.kind(), "saturation" | "job_failure")
-        }));
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| { matches!(v.kind(), "saturation" | "job_failure") }));
     }
 }

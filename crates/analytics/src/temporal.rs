@@ -95,7 +95,12 @@ pub fn features(series: &TimeSeries, window: usize, min_prominence: f64) -> Vec<
             continue;
         }
         if is_peak && v > neighbourhood_mean {
-            out.push(Feature { at: times[i], value: v, kind: FeatureKind::Spike, prominence: prom });
+            out.push(Feature {
+                at: times[i],
+                value: v,
+                kind: FeatureKind::Spike,
+                prominence: prom,
+            });
         } else if is_valley && v < neighbourhood_mean {
             out.push(Feature {
                 at: times[i],
@@ -122,7 +127,10 @@ pub fn best_lag(
     if grid.len() < 2 {
         return None;
     }
-    let xs: Vec<f64> = grid.iter().filter_map(|&t| a.value_at_or_before(t)).collect();
+    let xs: Vec<f64> = grid
+        .iter()
+        .filter_map(|&t| a.value_at_or_before(t))
+        .collect();
     if xs.len() != grid.len() {
         return None;
     }
@@ -190,8 +198,11 @@ mod tests {
     fn finds_a_spike() {
         let mut vals: Vec<f64> = (0..100).map(|i| 0.3 + 0.001 * (i % 3) as f64).collect();
         vals[50] = 0.95;
-        let s: TimeSeries =
-            vals.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect();
+        let s: TimeSeries = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect();
         let feats = features(&s, 5, 0.2);
         assert_eq!(feats.len(), 1);
         assert_eq!(feats[0].kind, FeatureKind::Spike);
@@ -203,8 +214,11 @@ mod tests {
     fn finds_a_valley() {
         let mut vals: Vec<f64> = (0..100).map(|i| 0.6 + 0.001 * (i % 3) as f64).collect();
         vals[40] = 0.05;
-        let s: TimeSeries =
-            vals.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect();
+        let s: TimeSeries = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+            .collect();
         let feats = features(&s, 5, 0.2);
         assert_eq!(feats.len(), 1);
         assert_eq!(feats[0].kind, FeatureKind::Valley);

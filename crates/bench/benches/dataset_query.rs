@@ -1,0 +1,68 @@
+//! Ablation: indexed dataset snapshot queries (`jobs_running_at`,
+//! `instances_running_at`, liveness) against the full-table scans they
+//! replaced.
+
+use batchlens_bench::medium_dataset;
+use batchlens_trace::{JobId, Timestamp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = medium_dataset(7);
+    let span = ds.span().expect("medium dataset has a span");
+    let probes: Vec<Timestamp> = span
+        .steps(batchlens_trace::TimeDelta::seconds(
+            (span.duration().as_seconds() / 16).max(1),
+        ))
+        .collect();
+
+    let mut group = c.benchmark_group("dataset_query");
+    group.bench_function("jobs_running_at_indexed", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &t in &probes {
+                total += black_box(ds.jobs_running_at(t).len());
+            }
+            total
+        })
+    });
+    group.bench_function("jobs_running_at_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &t in &probes {
+                // The pre-index implementation: scan every instance record.
+                let jobs: BTreeSet<JobId> = ds
+                    .instance_records()
+                    .iter()
+                    .filter(|r| r.running_at(t))
+                    .map(|r| r.job)
+                    .collect();
+                total += black_box(jobs.len());
+            }
+            total
+        })
+    });
+    group.bench_function("running_count_indexed", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&t| black_box(ds.running_instance_count_at(t)))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("alive_at_indexed", |b| {
+        let machines: Vec<_> = ds.machines().collect();
+        b.iter(|| {
+            let mut alive = 0usize;
+            for &t in &probes {
+                alive += machines.iter().filter(|m| m.alive_at(t)).count();
+            }
+            black_box(alive)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

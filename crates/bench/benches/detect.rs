@@ -9,7 +9,13 @@ use batchlens_trace::{Metric, TimeRange, Timestamp, TraceDataset};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn spike_job_series(ds: &TraceDataset) -> (batchlens_trace::TimeSeries, batchlens_trace::TimeSeries, TimeRange) {
+fn spike_job_series(
+    ds: &TraceDataset,
+) -> (
+    batchlens_trace::TimeSeries,
+    batchlens_trace::TimeSeries,
+    TimeRange,
+) {
     let job = ds.job(batchlens_sim::scenario::JOB_7901).unwrap();
     let m = job.machines()[0];
     let mv = ds.machine(m).unwrap();
@@ -30,7 +36,9 @@ fn bench(c: &mut Criterion) {
     let mad = MadDetector::default();
     let iqr = IqrDetector::default();
     let cusum = CusumDetector::default();
-    group.bench_function("threshold", |b| b.iter(|| black_box(threshold.detect(&cpu))));
+    group.bench_function("threshold", |b| {
+        b.iter(|| black_box(threshold.detect(&cpu)))
+    });
     group.bench_function("zscore", |b| b.iter(|| black_box(zscore.detect(&cpu))));
     group.bench_function("ewma", |b| b.iter(|| black_box(ewma.detect(&cpu))));
     group.bench_function("mad", |b| b.iter(|| black_box(mad.detect(&cpu))));

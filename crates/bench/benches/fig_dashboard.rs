@@ -1,7 +1,7 @@
 //! Bench for the full Fig 3 dashboard regeneration, one per regime.
 
-use batchlens_render::Dashboard;
 use batchlens_render::svg::to_svg;
+use batchlens_render::Dashboard;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -5,7 +5,7 @@ use batchlens_analytics::aggregate::JobMetricLines;
 use batchlens_render::linechart::LineChart;
 use batchlens_render::svg::to_svg;
 use batchlens_sim::scenario;
-use batchlens_trace::{Metric, TimeRange, TimeDelta};
+use batchlens_trace::{Metric, TimeDelta, TimeRange};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -26,14 +26,22 @@ fn bench(c: &mut Criterion) {
     });
     let overall = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
     group.bench_function("render_overall", |b| {
-        b.iter(|| black_box(LineChart::new(820.0, 300.0).overview().render(&overall, &full)))
+        b.iter(|| {
+            black_box(
+                LineChart::new(820.0, 300.0)
+                    .overview()
+                    .render(&overall, &full),
+            )
+        })
     });
     let dl = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &detail).unwrap();
     group.bench_function("render_detail", |b| {
         b.iter(|| black_box(LineChart::new(820.0, 300.0).detail().render(&dl, &detail)))
     });
     group.bench_function("svg_overall", |b| {
-        let scene = LineChart::new(820.0, 300.0).overview().render(&overall, &full);
+        let scene = LineChart::new(820.0, 300.0)
+            .overview()
+            .render(&overall, &full);
         b.iter(|| black_box(to_svg(&scene).len()))
     });
     group.finish();

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn ramp(n: usize) -> TimeSeries {
-    (0..n as i64).map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin())).collect()
+    (0..n as i64)
+        .map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin()))
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {
@@ -14,7 +16,12 @@ fn bench(c: &mut Criterion) {
     for n in [1_000usize, 10_000, 86_400] {
         let s = ramp(n);
         group.bench_with_input(BenchmarkId::new("resample_mean", n), &s, |b, s| {
-            b.iter(|| black_box(s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap()))
+            b.iter(|| {
+                black_box(
+                    s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean)
+                        .unwrap(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("slice_half", n), &s, |b, s| {
             let w = TimeRange::new(Timestamp::new(0), Timestamp::new(n as i64 / 2)).unwrap();
@@ -25,11 +32,50 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // Aggregate many machine series (the timeline's mean_of).
-    let many: Vec<TimeSeries> = (0..100).map(|_| ramp(1_440)).collect();
-    group.bench_function("mean_of_100x1440", |b| {
-        b.iter(|| black_box(TimeSeries::mean_of(many.iter()).len()))
-    });
+    // Aggregate many machine series (the timeline's mean_of): the sweep
+    // kernel at cluster scale, with the naive union-grid reference as the
+    // baseline it replaced. Machines report on the trace's 300 s cadence
+    // but at staggered offsets, as in the real dumps — so the union grid is
+    // much denser than any single series.
+    for machines in [100usize, 1000] {
+        let many: Vec<TimeSeries> = (0..machines)
+            .map(|m| {
+                let offset = (m as i64 * 131) % 300;
+                (0..288i64)
+                    .map(|i| {
+                        (
+                            Timestamp::new(offset + i * 300),
+                            ((m + i as usize) as f64 * 0.01).sin(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("mean_of_sweep", machines),
+            &many,
+            |b, many| b.iter(|| black_box(TimeSeries::mean_of(many.iter()).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sum_of_sweep", machines),
+            &many,
+            |b, many| b.iter(|| black_box(TimeSeries::sum_of(many.iter()).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_of_sweep", machines),
+            &many,
+            |b, many| b.iter(|| black_box(TimeSeries::max_of(many.iter()).len())),
+        );
+        if machines <= 100 {
+            // The naive kernel at 1000×1440 takes seconds per iteration;
+            // bench it only at the smaller size.
+            group.bench_with_input(
+                BenchmarkId::new("mean_of_naive", machines),
+                &many,
+                |b, many| b.iter(|| black_box(batchlens_trace::naive::mean_of(many.iter()).len())),
+            );
+        }
+    }
     group.finish();
 }
 

@@ -17,8 +17,8 @@ fn bench(c: &mut Criterion) {
         )
         .unwrap();
         // Throughput measured in usage samples produced.
-        let samples =
-            (machines as u64) * (cfg.window.duration().as_seconds() / cfg.usage_resolution.as_seconds()) as u64;
+        let samples = (machines as u64)
+            * (cfg.window.duration().as_seconds() / cfg.usage_resolution.as_seconds()) as u64;
         group.throughput(Throughput::Elements(samples));
         group.bench_with_input(BenchmarkId::from_parameter(machines), &cfg, |b, cfg| {
             b.iter(|| black_box(Simulation::new(cfg.clone()).run().unwrap().instance_count()))

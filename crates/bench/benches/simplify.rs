@@ -20,7 +20,9 @@ fn day_series() -> Vec<(f64, f64)> {
 fn bench(c: &mut Criterion) {
     let pts = day_series();
     let mut group = c.benchmark_group("simplify");
-    group.bench_function("lttb_to_480", |b| b.iter(|| black_box(lttb(&pts, 480).len())));
+    group.bench_function("lttb_to_480", |b| {
+        b.iter(|| black_box(lttb(&pts, 480).len()))
+    });
     group.bench_function("dp_eps_0_01", |b| {
         b.iter(|| black_box(douglas_peucker(&pts, 0.01).len()))
     });

@@ -12,12 +12,14 @@ fn bench(c: &mut Criterion) {
     let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3C);
     let scene = BubbleChart::new(1200.0, 1200.0).render(&snap);
     let counts = scene.counts();
-    let nodes = (counts.circles + counts.sectors + counts.polylines + counts.lines + counts.texts)
-        as u64;
+    let nodes =
+        (counts.circles + counts.sectors + counts.polylines + counts.lines + counts.texts) as u64;
 
     let mut group = c.benchmark_group("svg_emit");
     group.throughput(Throughput::Elements(nodes.max(1)));
-    group.bench_function("bubble_scene", |b| b.iter(|| black_box(to_svg(&scene).len())));
+    group.bench_function("bubble_scene", |b| {
+        b.iter(|| black_box(to_svg(&scene).len()))
+    });
     group.finish();
 }
 

@@ -1,0 +1,189 @@
+//! Perf guardrail for the trace-layer hot paths.
+//!
+//! Run with: `cargo run --release -p batchlens-bench --bin bench_trace`
+//!
+//! Times the sweep/index kernels against the naive implementations they
+//! replaced and writes `BENCH_trace.json` (working directory) so future PRs
+//! can track the trajectory. The relevant acceptance bar for the sweep-line
+//! PR: `mean_of` at 1000 series and `jobs_running_at` on the medium
+//! dataset must hold a ≥10× speedup over naive.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use batchlens::trace::{naive, JobId, TimeDelta, TimeSeries, Timestamp};
+use batchlens_bench::medium_dataset;
+use serde::Serialize;
+
+/// One timed comparison.
+#[derive(Debug, Serialize)]
+struct Entry {
+    name: String,
+    naive_ns: f64,
+    optimized_ns: f64,
+    speedup: f64,
+}
+
+/// The emitted report.
+#[derive(Debug, Serialize)]
+struct Report {
+    description: String,
+    entries: Vec<Entry>,
+}
+
+/// Best-of-N wall-clock nanoseconds for one closure.
+fn time_ns(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// A day of 300 s samples, staggered per machine as in the real trace
+/// (machines don't report on a globally aligned grid).
+fn machine_series(machine: usize) -> TimeSeries {
+    let offset = (machine as i64 * 131) % 300;
+    (0..288i64)
+        .map(|i| {
+            (
+                Timestamp::new(offset + i * 300),
+                ((machine + i as usize) as f64 * 0.01).sin(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // --- mean_of: sweep vs union-grid binary searches ---
+    for machines in [100usize, 1000] {
+        let series: Vec<TimeSeries> = (0..machines).map(machine_series).collect();
+        let reps = if machines >= 1000 { 3 } else { 10 };
+        let optimized = time_ns(reps, || TimeSeries::mean_of(series.iter()).len());
+        let naive_ns = time_ns(2, || naive::mean_of(series.iter()).len());
+        entries.push(Entry {
+            name: format!("mean_of_{machines}x288"),
+            naive_ns,
+            optimized_ns: optimized,
+            speedup: naive_ns / optimized,
+        });
+    }
+
+    // --- jobs_running_at: interval index vs full-table scan ---
+    let ds = medium_dataset(7);
+    let span = ds.span().expect("medium dataset has a span");
+    let probes: Vec<Timestamp> = span
+        .steps(TimeDelta::seconds(
+            (span.duration().as_seconds() / 64).max(1),
+        ))
+        .collect();
+    println!(
+        "medium dataset: {} instances, {} machines, {} probes",
+        ds.instance_count(),
+        ds.machine_count(),
+        probes.len()
+    );
+    let optimized = time_ns(10, || {
+        probes
+            .iter()
+            .map(|&t| ds.jobs_running_at(t).len())
+            .sum::<usize>()
+    });
+    let naive_ns = time_ns(5, || {
+        probes
+            .iter()
+            .map(|&t| {
+                ds.instance_records()
+                    .iter()
+                    .filter(|r| r.running_at(t))
+                    .map(|r| r.job)
+                    .collect::<BTreeSet<JobId>>()
+                    .len()
+            })
+            .sum::<usize>()
+    });
+    entries.push(Entry {
+        name: "jobs_running_at_medium".into(),
+        naive_ns,
+        optimized_ns: optimized,
+        speedup: naive_ns / optimized,
+    });
+
+    // --- alive_at: liveness checkpoints vs event-table scan ---
+    let machines: Vec<_> = ds.machines().collect();
+    let optimized = time_ns(10, || {
+        probes
+            .iter()
+            .map(|&t| machines.iter().filter(|m| m.alive_at(t)).count())
+            .sum::<usize>()
+    });
+    let naive_ns = time_ns(5, || {
+        probes
+            .iter()
+            .map(|&t| {
+                machines
+                    .iter()
+                    .filter(|m| {
+                        let mut alive = true;
+                        for ev in ds.machine_events().iter().filter(|e| e.machine == m.id()) {
+                            if ev.time > t {
+                                break;
+                            }
+                            alive = !matches!(
+                                ev.event,
+                                batchlens::trace::MachineEvent::Remove
+                                    | batchlens::trace::MachineEvent::HardError
+                            );
+                        }
+                        alive
+                    })
+                    .count()
+            })
+            .sum::<usize>()
+    });
+    entries.push(Entry {
+        name: "alive_at_medium".into(),
+        naive_ns,
+        optimized_ns: optimized,
+        speedup: naive_ns / optimized,
+    });
+
+    // --- quantile: selection vs clone + sort ---
+    let big: TimeSeries = (0..86_400i64)
+        .map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin()))
+        .collect();
+    let optimized = time_ns(10, || {
+        big.quantile(0.95)
+            .map(|v| v.to_bits() as usize)
+            .unwrap_or(0)
+    });
+    let naive_ns = time_ns(5, || {
+        let mut sorted = big.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = 0.95 * (sorted.len() - 1) as f64;
+        sorted[pos.floor() as usize].to_bits() as usize
+    });
+    entries.push(Entry {
+        name: "quantile_86400".into(),
+        naive_ns,
+        optimized_ns: optimized,
+        speedup: naive_ns / optimized,
+    });
+
+    let report = Report {
+        description: "naive vs optimized wall-clock (best-of-N, release) for the \
+                      trace-layer hot paths; speedup = naive / optimized"
+            .into(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("{json}");
+    println!("wrote BENCH_trace.json");
+}

@@ -26,10 +26,9 @@ use batchlens::trace::stats::DatasetStats;
 use batchlens::trace::{Metric, TimeRange, Timestamp};
 
 fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("figures");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("figures");
     fs::create_dir_all(&dir).expect("create figures dir");
     dir
 }
@@ -63,12 +62,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let ds = scenario::fig2_sample(1).run()?;
         let full = ds.span().unwrap();
-        let overall =
-            JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
+        let overall = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &full).unwrap();
         write(
             &dir,
             "fig2a_overall.svg",
-            &to_svg(&LineChart::new(820.0, 300.0).overview().render(&overall, &full)),
+            &to_svg(
+                &LineChart::new(820.0, 300.0)
+                    .overview()
+                    .render(&overall, &full),
+            ),
         );
         // Brush to the first third.
         let detail_win = TimeRange::new(
@@ -80,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         write(
             &dir,
             "fig2b_detail.svg",
-            &to_svg(&LineChart::new(820.0, 300.0).detail().render(&detail, &detail_win)),
+            &to_svg(
+                &LineChart::new(820.0, 300.0)
+                    .detail()
+                    .render(&detail, &detail_win),
+            ),
         );
     }
 
@@ -109,7 +115,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ds = build().run()?;
         let scene = Dashboard::new(1400.0, 880.0).focus(focus).render(&ds, at);
         write(&dir, &format!("{name}_dashboard.svg"), &to_svg(&scene));
-        write(&dir, &format!("{name}_report.txt"), &case_study_report(&ds, at));
+        write(
+            &dir,
+            &format!("{name}_report.txt"),
+            &case_study_report(&ds, at),
+        );
     }
 
     // --- Supplementary: cluster heatmap (Muelder-style behavioral overview) ---
@@ -133,10 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ds = Simulation::new(SimConfig::paper_scale(7)).run()?;
         let stats = DatasetStats::compute(&ds);
         table.push_str(&stats.comparison_table());
-        table.push_str(&format!(
-            "\nfull measured stats:\n{:#?}\n",
-            stats
-        ));
+        table.push_str(&format!("\nfull measured stats:\n{:#?}\n", stats));
         write(&dir, "table_dataset_stats.txt", &table);
     }
 

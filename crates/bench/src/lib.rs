@@ -15,12 +15,16 @@ use batchlens_trace::TraceDataset;
 
 /// A deterministic medium dataset for throughput benches.
 pub fn medium_dataset(seed: u64) -> TraceDataset {
-    Simulation::new(SimConfig::medium(seed)).run().expect("medium sim")
+    Simulation::new(SimConfig::medium(seed))
+        .run()
+        .expect("medium sim")
 }
 
 /// A deterministic small dataset for quick benches.
 pub fn small_dataset(seed: u64) -> TraceDataset {
-    Simulation::new(SimConfig::small(seed)).run().expect("small sim")
+    Simulation::new(SimConfig::small(seed))
+        .run()
+        .expect("small sim")
 }
 
 /// The three case-study scenario builders paired with their timestamps.
@@ -37,7 +41,9 @@ pub fn radii(n: usize, seed: u64) -> Vec<f64> {
     let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             1.0 + ((s >> 33) as f64 / u32::MAX as f64) * 9.0
         })
         .collect()

@@ -5,12 +5,12 @@ use batchlens_analytics::aggregate::{ClusterTimeline, JobMetricLines};
 use batchlens_analytics::coalloc::CoallocationIndex;
 use batchlens_analytics::hierarchy::HierarchySnapshot;
 use batchlens_analytics::rootcause::{Diagnosis, RootCauseAnalyzer};
+use batchlens_layout::Brush;
 use batchlens_render::bubble::BubbleChart;
 use batchlens_render::dashboard::Dashboard;
 use batchlens_render::linechart::LineChart;
 use batchlens_render::svg::to_svg;
 use batchlens_render::timeline::TimelineView;
-use batchlens_layout::Brush;
 use batchlens_trace::{JobId, TimeRange, Timestamp, TraceDataset};
 
 use crate::interaction::{reduce, Event};
@@ -24,6 +24,9 @@ pub struct BatchLens {
     view: ViewState,
     analyzer: RootCauseAnalyzer,
     log: SessionLog,
+    /// The aggregated cluster timeline, built once per dataset: the dataset
+    /// is immutable, so every timeline/dashboard render reuses it.
+    timeline: ClusterTimeline,
 }
 
 impl BatchLens {
@@ -31,11 +34,13 @@ impl BatchLens {
     /// 24-hour window when the dataset is empty).
     pub fn new(dataset: TraceDataset) -> Self {
         let extent = dataset.span().unwrap_or_else(TimeRange::full_day);
+        let timeline = ClusterTimeline::build(&dataset);
         BatchLens {
             dataset,
             view: ViewState::new(extent),
             analyzer: RootCauseAnalyzer::new(),
             log: SessionLog::new(extent),
+            timeline,
         }
     }
 
@@ -74,14 +79,15 @@ impl BatchLens {
         CoallocationIndex::at(&self.dataset, self.view.selected_timestamp())
     }
 
-    /// The aggregated cluster timeline.
-    pub fn timeline(&self) -> ClusterTimeline {
-        ClusterTimeline::build(&self.dataset)
+    /// The aggregated cluster timeline (cached: built once per dataset).
+    pub fn timeline(&self) -> &ClusterTimeline {
+        &self.timeline
     }
 
     /// Root-cause diagnoses for every job running at the selected timestamp.
     pub fn diagnose(&self) -> Vec<Diagnosis> {
-        self.analyzer.analyze(&self.dataset, self.view.selected_timestamp())
+        self.analyzer
+            .analyze(&self.dataset, self.view.selected_timestamp())
     }
 
     /// The line-chart data for the selected job (or `None` when no job is
@@ -124,8 +130,13 @@ impl BatchLens {
     /// empty-scene SVG when no machine is hovered.
     pub fn render_node_detail(&self, width: f64, height: f64) -> String {
         match self.view.hovered_machine() {
-            Some(machine) => to_svg(&batchlens_render::node_detail::NodeDetail::new(width, height)
-                .render(&self.dataset, machine, &self.view.effective_window())),
+            Some(machine) => to_svg(
+                &batchlens_render::node_detail::NodeDetail::new(width, height).render(
+                    &self.dataset,
+                    machine,
+                    &self.view.effective_window(),
+                ),
+            ),
             None => to_svg(&batchlens_render::scene::Scene::new(width, height)),
         }
     }
@@ -135,11 +146,14 @@ impl BatchLens {
         let timeline = self.timeline();
         let brush = self.view.brush().map(|w| {
             let extent = self.view.extent();
-            let mut b = Brush::new((extent.start().seconds() as f64, extent.end().seconds() as f64));
+            let mut b = Brush::new((
+                extent.start().seconds() as f64,
+                extent.end().seconds() as f64,
+            ));
             b.select(w.start().seconds() as f64, w.end().seconds() as f64);
             b
         });
-        to_svg(&TimelineView::new(width, height).render(&timeline, brush.as_ref()))
+        to_svg(&TimelineView::new(width, height).render(timeline, brush.as_ref()))
     }
 
     /// Renders the full multi-view dashboard as SVG.
@@ -149,7 +163,11 @@ impl BatchLens {
         if !focus.is_empty() {
             dash = dash.focus(focus);
         }
-        to_svg(&dash.render(&self.dataset, self.view.selected_timestamp()))
+        to_svg(&dash.render_with_timeline(
+            &self.dataset,
+            self.view.selected_timestamp(),
+            &self.timeline,
+        ))
     }
 
     /// The jobs the detail sidebar should show: pinned jobs plus the

@@ -95,9 +95,15 @@ mod tests {
     #[test]
     fn select_timestamp_clamps_and_reports_change() {
         let mut v = ViewState::new(extent());
-        assert!(reduce(&mut v, Event::SelectTimestamp(Timestamp::new(43800))));
+        assert!(reduce(
+            &mut v,
+            Event::SelectTimestamp(Timestamp::new(43800))
+        ));
         assert_eq!(v.selected_timestamp(), Timestamp::new(43800));
-        assert!(!reduce(&mut v, Event::SelectTimestamp(Timestamp::new(43800))));
+        assert!(!reduce(
+            &mut v,
+            Event::SelectTimestamp(Timestamp::new(43800))
+        ));
     }
 
     #[test]

@@ -56,13 +56,23 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates [`SimError`] from the simulation.
-    pub fn artifacts_at(&self, at: Timestamp, width: f64, height: f64) -> Result<Artifacts, SimError> {
+    pub fn artifacts_at(
+        &self,
+        at: Timestamp,
+        width: f64,
+        height: f64,
+    ) -> Result<Artifacts, SimError> {
         let mut app = self.session()?;
         app.apply(crate::interaction::Event::SelectTimestamp(at));
         let bubble = app.render_bubble(width, height);
         let dashboard = app.render_dashboard(width * 1.6, height);
         let report = case_study_report(app.dataset(), at);
-        Ok(Artifacts { bubble_svg: bubble, dashboard_svg: dashboard, report, at })
+        Ok(Artifacts {
+            bubble_svg: bubble,
+            dashboard_svg: dashboard,
+            report,
+            at,
+        })
     }
 
     /// Renders just the bubble chart SVG at `at`.
@@ -70,7 +80,12 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates [`SimError`] from the simulation.
-    pub fn bubble_svg_at(&self, at: Timestamp, width: f64, height: f64) -> Result<String, SimError> {
+    pub fn bubble_svg_at(
+        &self,
+        at: Timestamp,
+        width: f64,
+        height: f64,
+    ) -> Result<String, SimError> {
         let mut app = self.session()?;
         app.apply(crate::interaction::Event::SelectTimestamp(at));
         Ok(app.render_bubble(width, height))
@@ -108,7 +123,9 @@ mod tests {
     #[test]
     fn bubble_svg_shortcut() {
         let pipe = Pipeline::new(scenario::fig1_sample(3));
-        let svg = pipe.bubble_svg_at(Timestamp::new(600), 500.0, 500.0).unwrap();
+        let svg = pipe
+            .bubble_svg_at(Timestamp::new(600), 500.0, 500.0)
+            .unwrap();
         assert!(svg.contains("<svg"));
     }
 

@@ -24,7 +24,10 @@ pub struct SessionLog {
 impl SessionLog {
     /// Starts an empty log over `extent`.
     pub fn new(extent: TimeRange) -> Self {
-        SessionLog { extent, interactions: Vec::new() }
+        SessionLog {
+            extent,
+            interactions: Vec::new(),
+        }
     }
 
     /// Appends an event with the next sequence number.

@@ -96,12 +96,20 @@ pub struct StreamMonitor {
 impl StreamMonitor {
     /// Creates a monitor.
     pub fn new(cfg: StreamConfig) -> Self {
-        StreamMonitor { cfg, windows: Mutex::new(BTreeMap::new()), ingested: Mutex::new(0) }
+        StreamMonitor {
+            cfg,
+            windows: Mutex::new(BTreeMap::new()),
+            ingested: Mutex::new(0),
+        }
     }
 
     /// Ingests one usage record, returning any alert it triggers.
     pub fn ingest(&self, rec: ServerUsageRecord) -> Option<Alert> {
-        let util = [rec.util.cpu.fraction(), rec.util.mem.fraction(), rec.util.disk.fraction()];
+        let util = [
+            rec.util.cpu.fraction(),
+            rec.util.mem.fraction(),
+            rec.util.disk.fraction(),
+        ];
         let (cpu_decline, mem_now, cpu_now) = {
             let mut windows = self.windows.lock();
             let w = windows.entry(rec.machine).or_default();
@@ -157,7 +165,11 @@ impl StreamMonitor {
 
     /// The latest utilization known for a machine, if any.
     pub fn latest(&self, machine: MachineId) -> Option<[f64; 3]> {
-        self.windows.lock().get(&machine).and_then(|w| w.latest()).map(|(_, u)| u)
+        self.windows
+            .lock()
+            .get(&machine)
+            .and_then(|w| w.latest())
+            .map(|(_, u)| u)
     }
 
     /// The current rolling series for a machine/metric (a snapshot copy).
@@ -196,7 +208,10 @@ mod tests {
 
     #[test]
     fn rolling_window_evicts_old_samples() {
-        let cfg = StreamConfig { horizon: TimeDelta::seconds(120), ..Default::default() };
+        let cfg = StreamConfig {
+            horizon: TimeDelta::seconds(120),
+            ..Default::default()
+        };
         let m = StreamMonitor::new(cfg);
         for i in 0..10 {
             m.ingest(rec(1, i * 60, 0.3, 0.3, 0.3));
@@ -213,7 +228,11 @@ mod tests {
         let mut last = None;
         for i in 0..30 {
             let t = i * 60;
-            let cpu = if t < 600 { 0.6 } else { 0.6 - (t - 600) as f64 / 2000.0 };
+            let cpu = if t < 600 {
+                0.6
+            } else {
+                0.6 - (t - 600) as f64 / 2000.0
+            };
             let r = rec(1, t, cpu.max(0.05), 0.9, 0.4);
             last = m.ingest(r).or(last);
         }

@@ -98,7 +98,8 @@ impl GuidedTour {
 
         let mut stops = Vec::new();
         let mut prev_band: Option<RegimeBand> = None;
-        let mut seen_anomalies: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
+        let mut seen_anomalies: std::collections::BTreeSet<JobId> =
+            std::collections::BTreeSet::new();
 
         for w in times.windows(2) {
             let (t0, t1) = (w[0], w[1]);
@@ -125,13 +126,17 @@ impl GuidedTour {
             if diff.escalated(self.load_threshold) {
                 stops.push(TourStop {
                     at: t1,
-                    reason: StopReason::LoadSpike { delta: diff.delta_mean },
+                    reason: StopReason::LoadSpike {
+                        delta: diff.delta_mean,
+                    },
                     note: format!("load spikes +{:.0} pts", diff.delta_mean * 100.0),
                 });
             } else if diff.collapsed(self.load_threshold) {
                 stops.push(TourStop {
                     at: t1,
-                    reason: StopReason::LoadCollapse { delta: diff.delta_mean },
+                    reason: StopReason::LoadCollapse {
+                        delta: diff.delta_mean,
+                    },
                     note: format!("load collapses {:.0} pts", diff.delta_mean * 100.0),
                 });
             }
@@ -141,7 +146,10 @@ impl GuidedTour {
                 if d.verdict != Verdict::Healthy && seen_anomalies.insert(d.job) {
                     stops.push(TourStop {
                         at: t1,
-                        reason: StopReason::AnomalyOnset { job: d.job, verdict: d.verdict },
+                        reason: StopReason::AnomalyOnset {
+                            job: d.job,
+                            verdict: d.verdict,
+                        },
                         note: d.summary,
                     });
                 }
@@ -201,10 +209,15 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(anomaly_jobs.contains(&scenario::JOB_11939), "thrashing not discovered");
+        assert!(
+            anomaly_jobs.contains(&scenario::JOB_11939),
+            "thrashing not discovered"
+        );
 
         // A load collapse around the mass shutdown should appear.
-        assert!(stops.iter().any(|s| matches!(s.reason, StopReason::LoadCollapse { .. })));
+        assert!(stops
+            .iter()
+            .any(|s| matches!(s.reason, StopReason::LoadCollapse { .. })));
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl ViewState {
     }
 
     pub(crate) fn set_brush(&mut self, window: Option<TimeRange>) {
-        self.brush = window.and_then(|w| w.intersect(&self.extent)).filter(|w| !w.is_empty());
+        self.brush = window
+            .and_then(|w| w.intersect(&self.extent))
+            .filter(|w| !w.is_empty());
     }
 
     pub(crate) fn set_job(&mut self, job: Option<JobId>) {
@@ -145,14 +147,20 @@ mod tests {
     #[test]
     fn brush_is_intersected_with_extent() {
         let mut v = ViewState::new(extent());
-        v.set_brush(Some(TimeRange::new(Timestamp::new(-100), Timestamp::new(200)).unwrap()));
+        v.set_brush(Some(
+            TimeRange::new(Timestamp::new(-100), Timestamp::new(200)).unwrap(),
+        ));
         assert_eq!(v.brush().unwrap().start(), Timestamp::new(0));
         assert_eq!(v.effective_window().end(), Timestamp::new(200));
         // A disjoint brush is ignored.
-        v.set_brush(Some(TimeRange::new(Timestamp::new(200_000), Timestamp::new(300_000)).unwrap()));
+        v.set_brush(Some(
+            TimeRange::new(Timestamp::new(200_000), Timestamp::new(300_000)).unwrap(),
+        ));
         assert!(v.brush().is_none());
         // Empty brush is ignored.
-        v.set_brush(Some(TimeRange::new(Timestamp::new(10), Timestamp::new(10)).unwrap()));
+        v.set_brush(Some(
+            TimeRange::new(Timestamp::new(10), Timestamp::new(10)).unwrap(),
+        ));
         assert!(v.brush().is_none());
     }
 

@@ -46,10 +46,13 @@ impl Cluster {
 ///
 /// NaN positions are ignored.
 pub fn cluster_1d(positions: &[f64], gap: f64) -> Vec<Cluster> {
-    let mut order: Vec<usize> =
-        (0..positions.len()).filter(|&i| !positions[i].is_nan()).collect();
+    let mut order: Vec<usize> = (0..positions.len())
+        .filter(|&i| !positions[i].is_nan())
+        .collect();
     order.sort_by(|&a, &b| {
-        positions[a].partial_cmp(&positions[b]).unwrap_or(std::cmp::Ordering::Equal)
+        positions[a]
+            .partial_cmp(&positions[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut out: Vec<Cluster> = Vec::new();
     for idx in order {
@@ -61,7 +64,12 @@ pub fn cluster_1d(positions: &[f64], gap: f64) -> Vec<Cluster> {
                 // Incremental mean.
                 c.center += (p - c.center) / c.members.len() as f64;
             }
-            _ => out.push(Cluster { center: p, members: vec![idx], min: p, max: p }),
+            _ => out.push(Cluster {
+                center: p,
+                members: vec![idx],
+                min: p,
+                max: p,
+            }),
         }
     }
     out

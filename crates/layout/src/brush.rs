@@ -21,7 +21,10 @@ impl Brush {
     /// selection.
     pub fn new(extent: (f64, f64)) -> Brush {
         let (a, b) = extent;
-        Brush { extent: if a <= b { (a, b) } else { (b, a) }, selection: None }
+        Brush {
+            extent: if a <= b { (a, b) } else { (b, a) },
+            selection: None,
+        }
     }
 
     /// The full extent.

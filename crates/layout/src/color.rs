@@ -30,7 +30,12 @@ impl Color {
     /// Opaque white.
     pub const WHITE: Color = Color::rgb(255, 255, 255);
     /// Fully transparent.
-    pub const TRANSPARENT: Color = Color { r: 0, g: 0, b: 0, a: 0 };
+    pub const TRANSPARENT: Color = Color {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 0,
+    };
 
     /// Opaque color from channels.
     pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
@@ -67,7 +72,9 @@ impl Color {
     pub fn lerp(&self, other: &Color, t: f64) -> Color {
         let t = t.clamp(0.0, 1.0);
         let ch = |a: u8, b: u8| -> u8 {
-            (a as f64 + (b as f64 - a as f64) * t).round().clamp(0.0, 255.0) as u8
+            (a as f64 + (b as f64 - a as f64) * t)
+                .round()
+                .clamp(0.0, 255.0) as u8
         };
         Color {
             r: ch(self.r, other.r),

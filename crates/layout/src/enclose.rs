@@ -207,7 +207,11 @@ mod tests {
         assert_encloses(&e, &circles);
         // Circumradius of the triangle is 2/√3; enclosure adds the unit radius.
         let expected = 2.0 / h + 1.0;
-        assert!((e.r - expected).abs() < 1e-6, "r = {}, expected {expected}", e.r);
+        assert!(
+            (e.r - expected).abs() < 1e-6,
+            "r = {}, expected {expected}",
+            e.r
+        );
     }
 
     #[test]
@@ -215,7 +219,9 @@ mod tests {
         // Deterministic pseudo-random layout.
         let mut s = 42u64;
         let mut rnd = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64)
         };
         let circles: Vec<Circle> = (0..200)

@@ -30,7 +30,10 @@ impl Point {
     /// Linear interpolation toward `other` at `t`.
     #[must_use]
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 }
 
@@ -132,7 +135,12 @@ pub struct Rect {
 impl Rect {
     /// Creates a rectangle.
     pub const fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
-        Rect { x, y, width, height }
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// The center point.

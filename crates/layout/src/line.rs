@@ -115,7 +115,11 @@ mod tests {
             .map(|i| {
                 let x = i as f64;
                 // Flat with a single tall spike at 70 % through.
-                let y = if i == n * 7 / 10 { 10.0 } else { (x * 0.1).sin() * 0.5 };
+                let y = if i == n * 7 / 10 {
+                    10.0
+                } else {
+                    (x * 0.1).sin() * 0.5
+                };
                 (x, y)
             })
             .collect()
@@ -171,8 +175,9 @@ mod tests {
 
     #[test]
     fn douglas_peucker_epsilon_controls_detail() {
-        let pts: Vec<(f64, f64)> =
-            (0..500).map(|i| (i as f64, (i as f64 * 0.1).sin())).collect();
+        let pts: Vec<(f64, f64)> = (0..500)
+            .map(|i| (i as f64, (i as f64 * 0.1).sin()))
+            .collect();
         let fine = douglas_peucker(&pts, 0.01);
         let coarse = douglas_peucker(&pts, 0.5);
         assert!(fine.len() > coarse.len());
@@ -181,8 +186,9 @@ mod tests {
 
     #[test]
     fn douglas_peucker_error_bound_holds() {
-        let pts: Vec<(f64, f64)> =
-            (0..300).map(|i| (i as f64, (i as f64 * 0.05).sin() * 3.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..300)
+            .map(|i| (i as f64, (i as f64 * 0.05).sin() * 3.0))
+            .collect();
         let eps = 0.2;
         let out = douglas_peucker(&pts, eps);
         // Every original point is within eps (perpendicular distance to the

@@ -184,12 +184,20 @@ pub struct PackNode<T> {
 impl<T> PackNode<T> {
     /// A leaf with a fixed radius.
     pub fn leaf(data: T, radius: f64) -> Self {
-        PackNode { data, circle: Circle::new(0.0, 0.0, radius.max(0.0)), children: Vec::new() }
+        PackNode {
+            data,
+            circle: Circle::new(0.0, 0.0, radius.max(0.0)),
+            children: Vec::new(),
+        }
     }
 
     /// An internal node; its radius is computed from its children.
     pub fn parent(data: T, children: Vec<PackNode<T>>) -> Self {
-        PackNode { data, circle: Circle::default(), children }
+        PackNode {
+            data,
+            circle: Circle::default(),
+            children,
+        }
     }
 
     /// True when the node has no children.
@@ -341,8 +349,9 @@ mod tests {
     #[test]
     fn pack_is_deterministic() {
         let mk = || {
-            let mut cs: Vec<Circle> =
-                (1..=20).map(|i| Circle::new(0.0, 0.0, i as f64 / 3.0)).collect();
+            let mut cs: Vec<Circle> = (1..=20)
+                .map(|i| Circle::new(0.0, 0.0, i as f64 / 3.0))
+                .collect();
             pack_siblings(&mut cs);
             cs
         };
@@ -354,12 +363,11 @@ mod tests {
         // job with two tasks: 3 and 4 nodes.
         let t1 = PackNode::parent(
             "task1",
-            (0..3).map(|i| PackNode::leaf("n", 4.0 + i as f64)).collect(),
+            (0..3)
+                .map(|i| PackNode::leaf("n", 4.0 + i as f64))
+                .collect(),
         );
-        let t2 = PackNode::parent(
-            "task2",
-            (0..4).map(|_| PackNode::leaf("n", 5.0)).collect(),
-        );
+        let t2 = PackNode::parent("task2", (0..4).map(|_| PackNode::leaf("n", 5.0)).collect());
         let mut job = PackNode::parent("job", vec![t1, t2]);
         let r = job.pack(100.0, 100.0, 2.0);
         assert!(r > 0.0);
@@ -402,10 +410,7 @@ mod tests {
 
     #[test]
     fn scale_to_fits_viewport() {
-        let mut job = PackNode::parent(
-            (),
-            (0..6).map(|_| PackNode::leaf((), 3.0)).collect(),
-        );
+        let mut job = PackNode::parent((), (0..6).map(|_| PackNode::leaf((), 3.0)).collect());
         job.pack(50.0, 50.0, 1.0);
         job.scale_to(50.0, 50.0, 40.0);
         assert!((job.circle.r - 40.0).abs() < 1e-9);

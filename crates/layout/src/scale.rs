@@ -28,7 +28,11 @@ impl LinearScale {
     /// Creates a scale. A degenerate domain (`d0 == d1`) maps everything to
     /// the middle of the range.
     pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
-        LinearScale { domain, range, clamped: false }
+        LinearScale {
+            domain,
+            range,
+            clamped: false,
+        }
     }
 
     /// Enables clamping: outputs are confined to the range.
@@ -208,13 +212,18 @@ mod tests {
 
     #[test]
     fn tick_increment_uses_1_2_5() {
-        for (start, stop, count) in
-            [(0.0, 1.0, 10), (0.0, 100.0, 7), (0.0, 86400.0, 6), (3.0, 17.0, 4)]
-        {
+        for (start, stop, count) in [
+            (0.0, 1.0, 10),
+            (0.0, 100.0, 7),
+            (0.0, 86400.0, 6),
+            (3.0, 17.0, 4),
+        ] {
             let step = tick_increment(start, stop, count);
             let mant = step / 10f64.powf(step.log10().floor());
             assert!(
-                [1.0, 2.0, 5.0, 10.0].iter().any(|m| (mant - m).abs() < 1e-9),
+                [1.0, 2.0, 5.0, 10.0]
+                    .iter()
+                    .any(|m| (mant - m).abs() < 1e-9),
                 "step {step} has mantissa {mant}"
             );
         }

@@ -90,17 +90,29 @@ impl AsciiCanvas {
 
     fn draw_node(&mut self, node: &Node, ox: f64, oy: f64) {
         match node {
-            Node::Group { translate, children, .. } => {
+            Node::Group {
+                translate,
+                children,
+                ..
+            } => {
                 let (tx, ty) = *translate;
                 for child in children {
                     self.draw_node(child, ox + tx, oy + ty);
                 }
             }
-            Node::Circle { cx, cy, r, style, .. } => {
+            Node::Circle {
+                cx, cy, r, style, ..
+            } => {
                 let fill = style.fill.map(Self::shade);
                 self.draw_circle(ox + cx, oy + cy, *r, fill.unwrap_or('o'));
             }
-            Node::AnnulusSector { cx, cy, outer, style, .. } => {
+            Node::AnnulusSector {
+                cx,
+                cy,
+                outer,
+                style,
+                ..
+            } => {
                 let ch = style.fill.map(Self::shade).unwrap_or('o');
                 self.draw_circle(ox + cx, oy + cy, *outer, ch);
             }
@@ -112,7 +124,13 @@ impl AsciiCanvas {
                     self.draw_line(ox + w[0].0, oy + w[0].1, ox + w[1].0, oy + w[1].1, '.');
                 }
             }
-            Node::Rect { x, y, width, height, .. } => {
+            Node::Rect {
+                x,
+                y,
+                width,
+                height,
+                ..
+            } => {
                 self.draw_rect(ox + x, oy + y, *width, *height);
             }
             Node::Text { x, y, text, .. } => {
@@ -227,9 +245,9 @@ mod tests {
 
     #[test]
     fn dashboard_rasterizes() {
+        use crate::bubble::BubbleChart;
         use batchlens_analytics::hierarchy::HierarchySnapshot;
         use batchlens_sim::scenario;
-        use crate::bubble::BubbleChart;
         let ds = scenario::fig3a(1).run().unwrap();
         let snap = HierarchySnapshot::at(&ds, scenario::T_FIG3A);
         let scene = BubbleChart::new(600.0, 600.0).render(&snap);

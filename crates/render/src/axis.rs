@@ -142,8 +142,14 @@ mod tests {
     use crate::scene::Node;
 
     fn count_kinds(nodes: &[Node]) -> (usize, usize) {
-        let lines = nodes.iter().filter(|n| matches!(n, Node::Line { .. })).count();
-        let texts = nodes.iter().filter(|n| matches!(n, Node::Text { .. })).count();
+        let lines = nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Line { .. }))
+            .count();
+        let texts = nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Text { .. }))
+            .count();
         (lines, texts)
     }
 
@@ -182,10 +188,16 @@ mod tests {
             grid: true,
         };
         let with_grid = base.render();
-        let no_grid = YAxis { grid: false, ..base }.render();
+        let no_grid = YAxis {
+            grid: false,
+            ..base
+        }
+        .render();
         assert!(with_grid.len() > no_grid.len());
         // Percent labels present.
-        assert!(no_grid.iter().any(|n| matches!(n, Node::Text { text, .. } if text.ends_with('%'))));
+        assert!(no_grid
+            .iter()
+            .any(|n| matches!(n, Node::Text { text, .. } if text.ends_with('%'))));
     }
 
     #[test]

@@ -8,9 +8,7 @@
 use std::f64::consts::TAU;
 
 use batchlens_analytics::hierarchy::{HierarchySnapshot, NodeEntry};
-use batchlens_layout::color::{
-    job_outline_color, task_outline_color, utilization_colormap,
-};
+use batchlens_layout::color::{job_outline_color, task_outline_color, utilization_colormap};
 use batchlens_layout::pack::PackNode;
 use batchlens_layout::{Circle, Color};
 use batchlens_trace::{Metric, UtilizationTriple};
@@ -37,13 +35,22 @@ enum Payload {
     /// A task bubble.
     Task(String),
     /// A node glyph with its utilization.
-    NodeGlyph { machine: String, util: Option<UtilizationTriple> },
+    NodeGlyph {
+        machine: String,
+        util: Option<UtilizationTriple>,
+    },
 }
 
 impl BubbleChart {
     /// A bubble chart for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        BubbleChart { width, height, padding: 6.0, min_node_radius: 10.0, show_labels: true }
+        BubbleChart {
+            width,
+            height,
+            padding: 6.0,
+            min_node_radius: 10.0,
+            show_labels: true,
+        }
     }
 
     /// Sets the packing padding between sibling bubbles (builder).
@@ -100,10 +107,15 @@ impl BubbleChart {
                         )
                     })
                     .collect();
-                task_nodes
-                    .push(PackNode::parent(Payload::Task(task.task.to_string()), glyphs));
+                task_nodes.push(PackNode::parent(
+                    Payload::Task(task.task.to_string()),
+                    glyphs,
+                ));
             }
-            job_nodes.push(PackNode::parent(Payload::Job(job.job.to_string()), task_nodes));
+            job_nodes.push(PackNode::parent(
+                Payload::Job(job.job.to_string()),
+                task_nodes,
+            ));
         }
         let mut root = PackNode::parent(Payload::Root, job_nodes);
 
@@ -168,12 +180,7 @@ impl BubbleChart {
 
     /// A single compute-node glyph: three annuli (CPU inner, memory middle,
     /// disk outer) colored by the utilization colormap.
-    fn node_glyph(
-        &self,
-        circle: Circle,
-        machine: &str,
-        util: Option<UtilizationTriple>,
-    ) -> Node {
+    fn node_glyph(&self, circle: Circle, machine: &str, util: Option<UtilizationTriple>) -> Node {
         let colormap = utilization_colormap();
         let mut parts = Vec::with_capacity(4);
         let u = util.unwrap_or_default();
@@ -327,7 +334,11 @@ mod tests {
         let ds = scenario::fig1_sample(5).run().unwrap();
         let snap = HierarchySnapshot::at(&ds, Timestamp::new(600));
         let with = BubbleChart::new(500.0, 500.0).render(&snap).counts().texts;
-        let without = BubbleChart::new(500.0, 500.0).labels(false).render(&snap).counts().texts;
+        let without = BubbleChart::new(500.0, 500.0)
+            .labels(false)
+            .render(&snap)
+            .counts()
+            .texts;
         assert!(with > without);
     }
 }

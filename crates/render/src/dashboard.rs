@@ -26,7 +26,12 @@ pub struct Dashboard {
 impl Dashboard {
     /// A dashboard for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        Dashboard { width, height, focus_jobs: Vec::new(), detail_metric: Metric::Cpu }
+        Dashboard {
+            width,
+            height,
+            focus_jobs: Vec::new(),
+            detail_metric: Metric::Cpu,
+        }
     }
 
     /// Sets the jobs whose detail line charts appear (builder).
@@ -43,11 +48,25 @@ impl Dashboard {
         self
     }
 
-    /// Renders the composed dashboard at snapshot time `at`.
+    /// Renders the composed dashboard at snapshot time `at`, building the
+    /// aggregated timeline on the fly. Callers that already hold one (the
+    /// application session caches it) should use
+    /// [`Dashboard::render_with_timeline`].
+    pub fn render(&self, ds: &TraceDataset, at: Timestamp) -> Scene {
+        self.render_with_timeline(ds, at, &ClusterTimeline::build(ds))
+    }
+
+    /// Renders the composed dashboard at snapshot time `at` reusing a
+    /// precomputed cluster timeline.
     ///
     /// Layout: a timeline strip across the top, the bubble chart filling the
     /// lower-left, and up to four focus-job detail charts down the right.
-    pub fn render(&self, ds: &TraceDataset, at: Timestamp) -> Scene {
+    pub fn render_with_timeline(
+        &self,
+        ds: &TraceDataset,
+        at: Timestamp,
+        timeline: &ClusterTimeline,
+    ) -> Scene {
         let mut scene = Scene::new(self.width, self.height).background(Color::rgb(250, 250, 250));
         let timeline_h = 90.0;
         let sidebar_w = (self.width * 0.33).min(360.0);
@@ -65,7 +84,6 @@ impl Dashboard {
         });
 
         // Timeline strip with a brush centered on the snapshot.
-        let timeline = ClusterTimeline::build(ds);
         let mut brush_holder = None;
         if let Some(span) = timeline.cpu.span() {
             let mut brush =
@@ -75,7 +93,7 @@ impl Dashboard {
             brush_holder = Some(brush);
         }
         let tl_scene =
-            TimelineView::new(self.width, timeline_h).render(&timeline, brush_holder.as_ref());
+            TimelineView::new(self.width, timeline_h).render(timeline, brush_holder.as_ref());
         scene.push(Node::group_at((0.0, 20.0), tl_scene.root));
 
         // Main bubble chart.
@@ -90,7 +108,9 @@ impl Dashboard {
         for (i, job) in focus.iter().enumerate() {
             let y = timeline_h + 20.0 + i as f64 * chart_h;
             if let Some(lines) = JobMetricLines::build(ds, *job, self.detail_metric, &window) {
-                let chart = LineChart::new(sidebar_w, chart_h).detail().render(&lines, &window);
+                let chart = LineChart::new(sidebar_w, chart_h)
+                    .detail()
+                    .render(&lines, &window);
                 scene.push(Node::group_at((main_w, y), chart.root));
             }
         }

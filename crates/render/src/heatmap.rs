@@ -107,7 +107,10 @@ impl Heatmap {
 
         // Axis labels.
         let x = LinearScale::new(
-            (window.start().seconds() as f64, window.end().seconds() as f64),
+            (
+                window.start().seconds() as f64,
+                window.end().seconds() as f64,
+            ),
             (plot_left, plot_right),
         );
         for t in x.ticks(6) {
@@ -123,7 +126,12 @@ impl Heatmap {
         root.push(Node::Text {
             x: plot_left,
             y: 12.0,
-            text: format!("{} heatmap — {} machines × {} buckets", metric.short_name(), n_rows, n_cols),
+            text: format!(
+                "{} heatmap — {} machines × {} buckets",
+                metric.short_name(),
+                n_rows,
+                n_cols
+            ),
             size: 11.0,
             align: Align::Start,
             color: Color::rgb(40, 40, 40),
@@ -171,11 +179,12 @@ mod tests {
             &ds.span().unwrap(),
         );
         // The "+N more" note appears.
-        let has_note = |n: &Node| matches!(n, Node::Text { text, .. } if text.contains("more machines"));
+        let has_note =
+            |n: &Node| matches!(n, Node::Text { text, .. } if text.contains("more machines"));
         fn any(nodes: &[Node], f: &dyn Fn(&Node) -> bool) -> bool {
-            nodes.iter().any(|n| {
-                f(n) || matches!(n, Node::Group { children, .. } if any(children, f))
-            })
+            nodes
+                .iter()
+                .any(|n| f(n) || matches!(n, Node::Group { children, .. } if any(children, f)))
         }
         assert!(any(&scene.root, &has_note));
     }
@@ -190,7 +199,9 @@ mod tests {
 
     #[test]
     fn bucket_and_rows_builders_guard_inputs() {
-        let hm = Heatmap::new(100.0, 100.0).bucket(TimeDelta::ZERO).max_rows(0);
+        let hm = Heatmap::new(100.0, 100.0)
+            .bucket(TimeDelta::ZERO)
+            .max_rows(0);
         // Zero bucket ignored (kept default positive), rows clamped to 1.
         assert!(hm.bucket.is_positive());
         assert_eq!(hm.max_rows, 1);

@@ -19,7 +19,11 @@ pub struct Legend {
 impl Legend {
     /// A legend for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        Legend { width, height, steps: 64 }
+        Legend {
+            width,
+            height,
+            steps: 64,
+        }
     }
 
     /// Renders the color-scale bar with 0 % / 50 % / 100 % ticks.

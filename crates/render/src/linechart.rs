@@ -71,7 +71,10 @@ impl LineChart {
         let plot_bottom = self.height - self.margin;
 
         let x = LinearScale::new(
-            (window.start().seconds() as f64, window.end().seconds() as f64),
+            (
+                window.start().seconds() as f64,
+                window.end().seconds() as f64,
+            ),
             (plot_left, plot_right),
         )
         .clamped();
@@ -154,7 +157,10 @@ impl LineChart {
             } else {
                 Color::rgb(70, 110, 170).with_alpha(110)
             };
-            root.push(Node::Polyline { points: simplified, style: Style::stroked(color, 1.0) });
+            root.push(Node::Polyline {
+                points: simplified,
+                style: Style::stroked(color, 1.0),
+            });
         }
 
         scene.push(Node::group_at((0.0, 0.0), root));
@@ -191,9 +197,15 @@ mod tests {
     #[test]
     fn annotations_present_and_toggleable() {
         let (l, window) = lines();
-        let with = LineChart::new(800.0, 300.0).render(&l, &window).counts().lines;
-        let without =
-            LineChart::new(800.0, 300.0).annotations(false).render(&l, &window).counts().lines;
+        let with = LineChart::new(800.0, 300.0)
+            .render(&l, &window)
+            .counts()
+            .lines;
+        let without = LineChart::new(800.0, 300.0)
+            .annotations(false)
+            .render(&l, &window)
+            .counts()
+            .lines;
         // Annotations add vertical rules (20 starts + 20 ends) on top of the
         // axis lines/ticks, so enabling them strictly increases line count.
         assert_eq!(with - without, 40);
@@ -224,7 +236,10 @@ mod tests {
             walk(n, &mut colors);
         }
         // Two tasks → at least two line colors.
-        assert!(colors.len() >= 2, "expected per-task colors, got {colors:?}");
+        assert!(
+            colors.len() >= 2,
+            "expected per-task colors, got {colors:?}"
+        );
     }
 
     #[test]
@@ -240,7 +255,9 @@ mod tests {
         )
         .unwrap();
         let l2 = JobMetricLines::build(&ds, scenario::JOB_7399, Metric::Cpu, &detail_win).unwrap();
-        let scene = LineChart::new(800.0, 300.0).detail().render(&l2, &detail_win);
+        let scene = LineChart::new(800.0, 300.0)
+            .detail()
+            .render(&l2, &detail_win);
         assert!(scene.counts().polylines > 0);
     }
 

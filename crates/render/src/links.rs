@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn links_connect_shared_glyphs() {
         // Build a co-allocation index directly from a tiny dataset.
-        use batchlens_trace::{BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp, TraceDatasetBuilder};
+        use batchlens_trace::{
+            BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp,
+            TraceDatasetBuilder,
+        };
         let mut b = TraceDatasetBuilder::new();
         for job in [1u32, 2] {
             b.push_task(BatchTaskRecord {
@@ -109,10 +112,7 @@ mod tests {
         let index = CoallocationIndex::at(&ds, Timestamp::new(50));
         assert_eq!(index.len(), 1);
 
-        let anchors = vec![
-            anchor(1, 5, 100.0, 100.0),
-            anchor(2, 5, 300.0, 200.0),
-        ];
+        let anchors = vec![anchor(1, 5, 100.0, 100.0), anchor(2, 5, 300.0, 200.0)];
         let links = build_links(&anchors, &index);
         assert_eq!(links.len(), 1);
         if let Node::Line { from, to, style } = &links[0] {
@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn missing_anchor_drops_link() {
-        use batchlens_trace::{BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp, TraceDatasetBuilder};
+        use batchlens_trace::{
+            BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, Timestamp,
+            TraceDatasetBuilder,
+        };
         let mut b = TraceDatasetBuilder::new();
         for job in [1u32, 2] {
             b.push_task(BatchTaskRecord {

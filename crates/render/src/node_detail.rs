@@ -28,7 +28,12 @@ pub struct NodeDetail {
 impl NodeDetail {
     /// A node-detail view for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        NodeDetail { width, height, margin: 44.0, point_budget: 300 }
+        NodeDetail {
+            width,
+            height,
+            margin: 44.0,
+            point_budget: 300,
+        }
     }
 
     /// Renders machine `machine`'s three metric series over `window`, with a
@@ -37,7 +42,11 @@ impl NodeDetail {
     pub fn render(&self, ds: &TraceDataset, machine: MachineId, window: &TimeRange) -> Scene {
         let mut scene = Scene::new(self.width, self.height);
         let Some(mv) = ds.machine(machine) else {
-            scene.push(note(self.width, self.height, &format!("{machine} not found")));
+            scene.push(note(
+                self.width,
+                self.height,
+                &format!("{machine} not found"),
+            ));
             return scene;
         };
 
@@ -46,7 +55,10 @@ impl NodeDetail {
         let plot_top = 24.0;
         let plot_bottom = self.height - self.margin;
         let x = LinearScale::new(
-            (window.start().seconds() as f64, window.end().seconds() as f64),
+            (
+                window.start().seconds() as f64,
+                window.end().seconds() as f64,
+            ),
             (plot_left, plot_right),
         )
         .clamped();
@@ -86,12 +98,26 @@ impl NodeDetail {
 
         // Axes.
         root.extend(
-            XAxis { scale: x, y: plot_bottom, top: plot_top, ticks: 5, format: TickFormat::Hours, grid: false }
-                .render(),
+            XAxis {
+                scale: x,
+                y: plot_bottom,
+                top: plot_top,
+                ticks: 5,
+                format: TickFormat::Hours,
+                grid: false,
+            }
+            .render(),
         );
         root.extend(
-            YAxis { scale: y, x: plot_left, right: plot_right, ticks: 2, format: TickFormat::Percent, grid: true }
-                .render(),
+            YAxis {
+                scale: y,
+                x: plot_left,
+                right: plot_right,
+                ticks: 2,
+                format: TickFormat::Percent,
+                grid: true,
+            }
+            .render(),
         );
 
         // One line per metric.
@@ -114,7 +140,10 @@ impl NodeDetail {
         root.push(Node::Text {
             x: plot_left,
             y: 14.0,
-            text: format!("{machine} — CPU/mem/disk with {} co-located job(s)", jobs.len()),
+            text: format!(
+                "{machine} — CPU/mem/disk with {} co-located job(s)",
+                jobs.len()
+            ),
             size: 11.0,
             align: Align::Start,
             color: Color::rgb(40, 40, 40),
@@ -164,8 +193,11 @@ mod tests {
     #[test]
     fn missing_machine_notes() {
         let ds = scenario::fig1_sample(2).run().unwrap();
-        let scene =
-            NodeDetail::new(400.0, 200.0).render(&ds, MachineId::new(99999), &TimeRange::full_day());
+        let scene = NodeDetail::new(400.0, 200.0).render(
+            &ds,
+            MachineId::new(99999),
+            &TimeRange::full_day(),
+        );
         assert_eq!(scene.counts().polylines, 0);
         assert_eq!(scene.counts().texts, 1);
     }

@@ -38,7 +38,11 @@ pub struct RadialComparison {
 impl RadialComparison {
     /// A radial view for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        RadialComparison { width, height, inner_frac: 0.35 }
+        RadialComparison {
+            width,
+            height,
+            inner_frac: 0.35,
+        }
     }
 
     /// Renders the spokes. Each spoke is a radial wedge from the inner hub;
@@ -108,7 +112,11 @@ impl RadialComparison {
             // Label at the outer edge.
             let lx = cx + (max_r + 12.0) * mid.cos();
             let ly = cy + (max_r + 12.0) * mid.sin();
-            let align = if mid.cos() >= 0.0 { Align::Start } else { Align::End };
+            let align = if mid.cos() >= 0.0 {
+                Align::Start
+            } else {
+                Align::End
+            };
             root.push(Node::Text {
                 x: lx,
                 y: ly,
@@ -129,9 +137,21 @@ mod tests {
 
     fn spokes() -> Vec<Spoke> {
         vec![
-            Spoke { label: "job_1".into(), before: 0.2, after: 0.8 },
-            Spoke { label: "job_2".into(), before: 0.5, after: 0.5 },
-            Spoke { label: "job_3".into(), before: 0.9, after: 0.3 },
+            Spoke {
+                label: "job_1".into(),
+                before: 0.2,
+                after: 0.8,
+            },
+            Spoke {
+                label: "job_2".into(),
+                before: 0.5,
+                after: 0.5,
+            },
+            Spoke {
+                label: "job_3".into(),
+                before: 0.9,
+                after: 0.3,
+            },
         ]
     }
 
@@ -153,7 +173,11 @@ mod tests {
 
     #[test]
     fn values_are_clamped() {
-        let wild = vec![Spoke { label: "x".into(), before: -1.0, after: 2.0 }];
+        let wild = vec![Spoke {
+            label: "x".into(),
+            before: -1.0,
+            after: 2.0,
+        }];
         // Should not panic and should still produce sectors.
         let scene = RadialComparison::new(300.0, 300.0).render(&wild);
         assert!(scene.counts().sectors >= 1);

@@ -50,7 +50,11 @@ impl Default for Style {
 impl Style {
     /// A filled style with no stroke.
     pub fn filled(color: Color) -> Self {
-        Style { fill: Some(color), stroke: None, ..Style::default() }
+        Style {
+            fill: Some(color),
+            stroke: None,
+            ..Style::default()
+        }
     }
 
     /// A stroked style with no fill.
@@ -188,12 +192,20 @@ pub enum Node {
 impl Node {
     /// A translated group.
     pub fn group_at(translate: (f64, f64), children: Vec<Node>) -> Node {
-        Node::Group { label: None, translate, children }
+        Node::Group {
+            label: None,
+            translate,
+            children,
+        }
     }
 
     /// A labelled group at the origin.
     pub fn labelled(label: impl Into<String>, children: Vec<Node>) -> Node {
-        Node::Group { label: Some(label.into()), translate: (0.0, 0.0), children }
+        Node::Group {
+            label: Some(label.into()),
+            translate: (0.0, 0.0),
+            children,
+        }
     }
 
     /// Counts nodes of each leaf kind in the subtree (for tests).
@@ -256,7 +268,12 @@ pub struct Scene {
 impl Scene {
     /// An empty scene with a white background.
     pub fn new(width: f64, height: f64) -> Scene {
-        Scene { width, height, background: Color::WHITE, root: Vec::new() }
+        Scene {
+            width,
+            height,
+            background: Color::WHITE,
+            root: Vec::new(),
+        }
     }
 
     /// Sets the background (builder).
@@ -288,7 +305,9 @@ mod tests {
 
     #[test]
     fn style_builders() {
-        let s = Style::filled(Color::BLACK).dash(Stroke::Dotted).with_opacity(0.5);
+        let s = Style::filled(Color::BLACK)
+            .dash(Stroke::Dotted)
+            .with_opacity(0.5);
         assert_eq!(s.fill, Some(Color::BLACK));
         assert_eq!(s.dash, Stroke::Dotted);
         assert_eq!(s.opacity, 0.5);
@@ -302,9 +321,25 @@ mod tests {
             s.push(Node::group_at(
                 (0.0, 0.0),
                 vec![
-                    Node::Circle { cx: 1.0, cy: 1.0, r: 1.0, style: Style::default(), label: None },
-                    Node::Circle { cx: 2.0, cy: 2.0, r: 1.0, style: Style::default(), label: None },
-                    Node::Line { from: (0.0, 0.0), to: (1.0, 1.0), style: Style::default() },
+                    Node::Circle {
+                        cx: 1.0,
+                        cy: 1.0,
+                        r: 1.0,
+                        style: Style::default(),
+                        label: None,
+                    },
+                    Node::Circle {
+                        cx: 2.0,
+                        cy: 2.0,
+                        r: 1.0,
+                        style: Style::default(),
+                        label: None,
+                    },
+                    Node::Line {
+                        from: (0.0, 0.0),
+                        to: (1.0, 1.0),
+                        style: Style::default(),
+                    },
                 ],
             ));
             s

@@ -37,11 +37,20 @@ pub fn to_svg(scene: &Scene) -> String {
 
 fn write_node(s: &mut String, node: &Node) {
     match node {
-        Node::Group { label, translate, children } => {
+        Node::Group {
+            label,
+            translate,
+            children,
+        } => {
             let (tx, ty) = *translate;
             s.push_str("<g");
             if tx != 0.0 || ty != 0.0 {
-                let _ = write!(s, " transform=\"translate({} {})\"", fmt_num(tx), fmt_num(ty));
+                let _ = write!(
+                    s,
+                    " transform=\"translate({} {})\"",
+                    fmt_num(tx),
+                    fmt_num(ty)
+                );
             }
             if let Some(l) = label {
                 let _ = write!(s, " data-label=\"{}\"", escape(l));
@@ -55,9 +64,21 @@ fn write_node(s: &mut String, node: &Node) {
             }
             s.push_str("</g>\n");
         }
-        Node::Circle { cx, cy, r, style, label } => {
+        Node::Circle {
+            cx,
+            cy,
+            r,
+            style,
+            label,
+        } => {
             s.push_str("<circle");
-            let _ = write!(s, " cx=\"{}\" cy=\"{}\" r=\"{}\"", fmt_num(*cx), fmt_num(*cy), fmt_num(*r));
+            let _ = write!(
+                s,
+                " cx=\"{}\" cy=\"{}\" r=\"{}\"",
+                fmt_num(*cx),
+                fmt_num(*cy),
+                fmt_num(*r)
+            );
             write_style(s, style);
             if label.is_some() {
                 s.push('>');
@@ -69,8 +90,20 @@ fn write_node(s: &mut String, node: &Node) {
                 s.push_str("/>\n");
             }
         }
-        Node::AnnulusSector { cx, cy, inner, outer, start_angle, end_angle, style } => {
-            let _ = write!(s, "<path d=\"{}\"", annulus_path(*cx, *cy, *inner, *outer, *start_angle, *end_angle));
+        Node::AnnulusSector {
+            cx,
+            cy,
+            inner,
+            outer,
+            start_angle,
+            end_angle,
+            style,
+        } => {
+            let _ = write!(
+                s,
+                "<path d=\"{}\"",
+                annulus_path(*cx, *cy, *inner, *outer, *start_angle, *end_angle)
+            );
             write_style(s, style);
             s.push_str("/>\n");
         }
@@ -98,7 +131,13 @@ fn write_node(s: &mut String, node: &Node) {
             write_style(s, style);
             s.push_str("/>\n");
         }
-        Node::Rect { x, y, width, height, style } => {
+        Node::Rect {
+            x,
+            y,
+            width,
+            height,
+            style,
+        } => {
             let _ = write!(
                 s,
                 "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"",
@@ -110,7 +149,14 @@ fn write_node(s: &mut String, node: &Node) {
             write_style(s, style);
             s.push_str("/>\n");
         }
-        Node::Text { x, y, text, size, align, color } => {
+        Node::Text {
+            x,
+            y,
+            text,
+            size,
+            align,
+            color,
+        } => {
             let anchor = match align {
                 Align::Start => "start",
                 Align::Middle => "middle",
@@ -145,36 +191,48 @@ fn write_style(s: &mut String, style: &Style) {
         let _ = write!(s, " opacity=\"{}\"", fmt_num(style.opacity));
     }
     if let Some(c) = style.stroke {
-        let _ = write!(s, " stroke=\"{}\" stroke-width=\"{}\"", c, fmt_num(style.stroke_width));
+        let _ = write!(
+            s,
+            " stroke=\"{}\" stroke-width=\"{}\"",
+            c,
+            fmt_num(style.stroke_width)
+        );
         if c.a != 255 {
             let _ = write!(s, " stroke-opacity=\"{}\"", fmt_num(c.a as f64 / 255.0));
         }
         match style.dash {
             Stroke::Solid => {}
             Stroke::Dotted => {
-                let _ = write!(s, " stroke-dasharray=\"{} {}\"", fmt_num(style.stroke_width), fmt_num(style.stroke_width * 2.0));
+                let _ = write!(
+                    s,
+                    " stroke-dasharray=\"{} {}\"",
+                    fmt_num(style.stroke_width),
+                    fmt_num(style.stroke_width * 2.0)
+                );
             }
             Stroke::Dashed => {
-                let _ = write!(s, " stroke-dasharray=\"{} {}\"", fmt_num(style.stroke_width * 4.0), fmt_num(style.stroke_width * 2.0));
+                let _ = write!(
+                    s,
+                    " stroke-dasharray=\"{} {}\"",
+                    fmt_num(style.stroke_width * 4.0),
+                    fmt_num(style.stroke_width * 2.0)
+                );
             }
         }
     }
 }
 
 /// Builds the SVG path for an annulus sector (ring wedge).
-fn annulus_path(
-    cx: f64,
-    cy: f64,
-    inner: f64,
-    outer: f64,
-    start: f64,
-    end: f64,
-) -> String {
+fn annulus_path(cx: f64, cy: f64, inner: f64, outer: f64, start: f64, end: f64) -> String {
     let (sx_o, sy_o) = (cx + outer * start.cos(), cy + outer * start.sin());
     let (ex_o, ey_o) = (cx + outer * end.cos(), cy + outer * end.sin());
     let (sx_i, sy_i) = (cx + inner * end.cos(), cy + inner * end.sin());
     let (ex_i, ey_i) = (cx + inner * start.cos(), cy + inner * start.sin());
-    let large = if (end - start).abs() > std::f64::consts::PI { 1 } else { 0 };
+    let large = if (end - start).abs() > std::f64::consts::PI {
+        1
+    } else {
+        0
+    };
     // Outer arc sweeps positive (1), inner arc sweeps back (0).
     format!(
         "M {} {} A {r} {r} 0 {large} 1 {} {} L {} {} A {ri} {ri} 0 {large} 0 {} {} Z",

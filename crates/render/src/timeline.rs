@@ -21,7 +21,12 @@ pub struct TimelineView {
 impl TimelineView {
     /// A timeline view for the given viewport.
     pub fn new(width: f64, height: f64) -> Self {
-        TimelineView { width, height, margin: 30.0, point_budget: 400 }
+        TimelineView {
+            width,
+            height,
+            margin: 30.0,
+            point_budget: 400,
+        }
     }
 
     /// Renders the three metric series stacked in one strip. When `brush`
@@ -34,10 +39,13 @@ impl TimelineView {
         let plot_bottom = self.height - self.margin / 2.0;
 
         // Domain from the CPU series span (all three share a grid).
-        let span = timeline
-            .cpu
-            .span()
-            .unwrap_or_else(|| TimeRange::new(batchlens_trace::Timestamp::ZERO, batchlens_trace::Timestamp::new(1)).unwrap());
+        let span = timeline.cpu.span().unwrap_or_else(|| {
+            TimeRange::new(
+                batchlens_trace::Timestamp::ZERO,
+                batchlens_trace::Timestamp::new(1),
+            )
+            .unwrap()
+        });
         let x = LinearScale::new(
             (span.start().seconds() as f64, span.end().seconds() as f64),
             (plot_left, plot_right),
@@ -53,7 +61,10 @@ impl TimelineView {
             style: Style::stroked(Color::rgb(60, 60, 60), 1.0),
         });
 
-        for (i, metric) in [Metric::Cpu, Metric::Memory, Metric::Disk].into_iter().enumerate() {
+        for (i, metric) in [Metric::Cpu, Metric::Memory, Metric::Disk]
+            .into_iter()
+            .enumerate()
+        {
             let series = timeline.metric(metric);
             let raw: Vec<(f64, f64)> = series
                 .iter()

@@ -54,12 +54,19 @@ pub enum Anomaly {
 impl Anomaly {
     /// The default Fig 3(b) spike used by scenarios.
     pub fn end_spike() -> Self {
-        Anomaly::EndSpike { cpu_peak: 0.55, mem_peak: 0.45 }
+        Anomaly::EndSpike {
+            cpu_peak: 0.55,
+            mem_peak: 0.45,
+        }
     }
 
     /// The default Fig 3(c) thrashing used by scenarios.
     pub fn thrashing() -> Self {
-        Anomaly::Thrashing { mem_level: 0.65, cpu_initial: 0.55, cpu_floor: 0.06 }
+        Anomaly::Thrashing {
+            mem_level: 0.65,
+            cpu_initial: 0.55,
+            cpu_floor: 0.06,
+        }
     }
 
     /// Rewrites a task footprint according to the anomaly, if the anomaly
@@ -70,11 +77,16 @@ impl Anomaly {
             Anomaly::EndSpike { cpu_peak, mem_peak } => {
                 FootprintProfile::end_spike(cpu_peak, mem_peak)
             }
-            Anomaly::Thrashing { mem_level, cpu_initial, cpu_floor } => {
-                FootprintProfile::thrashing(mem_level, cpu_initial, cpu_floor)
-            }
+            Anomaly::Thrashing {
+                mem_level,
+                cpu_initial,
+                cpu_floor,
+            } => FootprintProfile::thrashing(mem_level, cpu_initial, cpu_floor),
             Anomaly::MemoryLeak { mem_from, mem_to } => FootprintProfile {
-                mem: Shape::Linear { from: mem_from, to: mem_to },
+                mem: Shape::Linear {
+                    from: mem_from,
+                    to: mem_to,
+                },
                 ..base
             },
             Anomaly::Straggler { .. } => base,
@@ -140,7 +152,11 @@ mod tests {
     #[test]
     fn memory_leak_only_touches_memory() {
         let base = FootprintProfile::steady(0.1, 0.1, 0.1);
-        let f = Anomaly::MemoryLeak { mem_from: 0.05, mem_to: 0.8 }.apply_to_footprint(base);
+        let f = Anomaly::MemoryLeak {
+            mem_from: 0.05,
+            mem_to: 0.8,
+        }
+        .apply_to_footprint(base);
         assert_eq!(f.cpu, base.cpu);
         assert_eq!(f.disk, base.disk);
         assert!(f.mem.eval(1.0) > 0.75);

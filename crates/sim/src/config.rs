@@ -72,8 +72,7 @@ impl SimConfig {
     pub fn small(seed: u64) -> Self {
         SimConfig {
             machines: 20,
-            window: TimeRange::new(Timestamp::ZERO, Timestamp::new(7200))
-                .expect("static window"),
+            window: TimeRange::new(Timestamp::ZERO, Timestamp::new(7200)).expect("static window"),
             ..SimConfig::paper_scale(seed)
         }
     }
@@ -174,28 +173,40 @@ mod tests {
         cfg.machines = 0;
         assert!(matches!(
             cfg.validate(),
-            Err(SimError::InvalidConfig { parameter: "machines", .. })
+            Err(SimError::InvalidConfig {
+                parameter: "machines",
+                ..
+            })
         ));
 
         let mut cfg = SimConfig::small(0);
         cfg.usage_resolution = TimeDelta::ZERO;
         assert!(matches!(
             cfg.validate(),
-            Err(SimError::InvalidConfig { parameter: "usage_resolution", .. })
+            Err(SimError::InvalidConfig {
+                parameter: "usage_resolution",
+                ..
+            })
         ));
 
         let mut cfg = SimConfig::small(0);
         cfg.baseline = [0.2, 1.5, 0.1];
         assert!(matches!(
             cfg.validate(),
-            Err(SimError::InvalidConfig { parameter: "baseline", .. })
+            Err(SimError::InvalidConfig {
+                parameter: "baseline",
+                ..
+            })
         ));
 
         let mut cfg = SimConfig::small(0);
         cfg.noise_sigma = 0.9;
         assert!(matches!(
             cfg.validate(),
-            Err(SimError::InvalidConfig { parameter: "noise_sigma", .. })
+            Err(SimError::InvalidConfig {
+                parameter: "noise_sigma",
+                ..
+            })
         ));
     }
 }

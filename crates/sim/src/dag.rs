@@ -25,7 +25,10 @@ pub struct TaskDag {
 impl TaskDag {
     /// A DAG of `n` independent (parallel) tasks.
     pub fn parallel(n: usize) -> Self {
-        TaskDag { n, parents: vec![Vec::new(); n] }
+        TaskDag {
+            n,
+            parents: vec![Vec::new(); n],
+        }
     }
 
     /// A linear chain `0 → 1 → … → n-1`.
@@ -61,7 +64,9 @@ impl TaskDag {
                 });
             }
             if p == c {
-                return Err(SimError::InvalidSpec { message: format!("self loop on task {p}") });
+                return Err(SimError::InvalidSpec {
+                    message: format!("self loop on task {p}"),
+                });
             }
             parents[c].push(p);
         }
@@ -99,8 +104,7 @@ impl TaskDag {
                 children[p].push(c);
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(i) = queue.pop() {
             order.push(i);
@@ -130,18 +134,17 @@ impl TaskDag {
     pub fn schedule(&self, durations: &[i64]) -> Result<Vec<(i64, i64)>, SimError> {
         if durations.len() != self.n {
             return Err(SimError::InvalidSpec {
-                message: format!(
-                    "{} durations for {} tasks",
-                    durations.len(),
-                    self.n
-                ),
+                message: format!("{} durations for {} tasks", durations.len(), self.n),
             });
         }
         let order = self.topo_order()?;
         let mut windows = vec![(0i64, 0i64); self.n];
         for &i in &order {
-            let start =
-                self.parents[i].iter().map(|&p| windows[p].1).max().unwrap_or(0);
+            let start = self.parents[i]
+                .iter()
+                .map(|&p| windows[p].1)
+                .max()
+                .unwrap_or(0);
             windows[i] = (start, start + durations[i].max(0));
         }
         Ok(windows)
@@ -153,7 +156,12 @@ impl TaskDag {
     ///
     /// Same conditions as [`TaskDag::schedule`].
     pub fn critical_path(&self, durations: &[i64]) -> Result<i64, SimError> {
-        Ok(self.schedule(durations)?.iter().map(|&(_, end)| end).max().unwrap_or(0))
+        Ok(self
+            .schedule(durations)?
+            .iter()
+            .map(|&(_, end)| end)
+            .max()
+            .unwrap_or(0))
     }
 }
 

@@ -97,7 +97,8 @@ impl Simulation {
     /// Schedules a mass shutdown at `at`, sparing `survivors`.
     #[must_use]
     pub fn with_mass_shutdown(mut self, at: Timestamp, survivors: Vec<JobId>) -> Self {
-        self.cluster_events.push(ClusterEvent::MassShutdown { at, survivors });
+        self.cluster_events
+            .push(ClusterEvent::MassShutdown { at, survivors });
         self
     }
 
@@ -189,7 +190,11 @@ impl Simulation {
         for m in 0..self.cfg.machines {
             builder.declare_machine(
                 MachineId::new(m),
-                MachineInfo { capacity_cpu: 1.0, capacity_mem: 1.0, capacity_disk: 1.0 },
+                MachineInfo {
+                    capacity_cpu: 1.0,
+                    capacity_mem: 1.0,
+                    capacity_disk: 1.0,
+                },
             );
             builder.push_machine_event(MachineEventRecord {
                 time: self.cfg.window.start(),
@@ -254,9 +259,7 @@ impl Simulation {
             let job = JobId::new(next_id);
             next_id += 1;
 
-            let submit = Timestamp::new(
-                dist::uniform(rng, start_s as f64, end_s as f64) as i64,
-            );
+            let submit = Timestamp::new(dist::uniform(rng, start_s as f64, end_s as f64) as i64);
             let n_tasks = w.sample_task_count(rng);
             let tasks: Vec<TaskSpec> = (0..n_tasks)
                 .map(|_| TaskSpec {
@@ -305,9 +308,8 @@ impl Simulation {
         };
 
         let origin = self.cfg.window.start().seconds();
-        let bucket_of = |t: Timestamp| -> usize {
-            (((t.seconds() - origin).max(0)) / bucket) as usize
-        };
+        let bucket_of =
+            |t: Timestamp| -> usize { (((t.seconds() - origin).max(0)) / bucket) as usize };
 
         let mut placed = Vec::new();
         for spec in specs {
@@ -514,7 +516,11 @@ impl Simulation {
             for p in instances {
                 let dur = (p.end - p.start).as_secs_f64().max(1.0);
                 // How far past the end this footprint still matters.
-                let tail_s = if p.footprint.has_tail() { (dur * 1.5) as i64 } else { 0 };
+                let tail_s = if p.footprint.has_tail() {
+                    (dur * 1.5) as i64
+                } else {
+                    0
+                };
                 let i0 = (((p.start.seconds() - start_s).max(0)) / res) as usize;
                 let last = p.end.seconds() + tail_s;
                 let i1 = ((((last - start_s) / res) + 1).max(0) as usize).min(n_points);
@@ -714,7 +720,10 @@ mod tests {
         cfg.workload.jobs_per_hour = 0.0;
         cfg.noise_sigma = 0.0;
         let window = TimeRange::new(Timestamp::new(3600), Timestamp::new(7200)).unwrap();
-        let ds = Simulation::new(cfg).with_load_phase(window, [0.4, 0.3, 0.2]).run().unwrap();
+        let ds = Simulation::new(cfg)
+            .with_load_phase(window, [0.4, 0.3, 0.2])
+            .run()
+            .unwrap();
         let m = ds.machine(MachineId::new(0)).unwrap();
         let cpu = m.usage(Metric::Cpu).unwrap();
         let early = cpu.stats_in(&TimeRange::new(Timestamp::ZERO, Timestamp::new(3600)).unwrap());
@@ -763,9 +772,22 @@ mod tests {
         let ds = Simulation::new(cfg).with_job(spec).run().unwrap();
         let m = ds.machine(MachineId::new(1)).unwrap();
         let win_late = TimeRange::new(Timestamp::new(3000), Timestamp::new(4500)).unwrap();
-        let cpu_late = m.usage(Metric::Cpu).unwrap().stats_in(&win_late).unwrap().mean;
-        let mem_late = m.usage(Metric::Memory).unwrap().stats_in(&win_late).unwrap().mean;
-        assert!(mem_late > cpu_late + 0.3, "mem {mem_late} vs cpu {cpu_late}");
+        let cpu_late = m
+            .usage(Metric::Cpu)
+            .unwrap()
+            .stats_in(&win_late)
+            .unwrap()
+            .mean;
+        let mem_late = m
+            .usage(Metric::Memory)
+            .unwrap()
+            .stats_in(&win_late)
+            .unwrap()
+            .mean;
+        assert!(
+            mem_late > cpu_late + 0.3,
+            "mem {mem_late} vs cpu {cpu_late}"
+        );
     }
 
     #[test]
@@ -784,7 +806,10 @@ mod tests {
         .pinned_to(vec![MachineId::new(5)]);
         let mut cfg = SimConfig::small(10);
         cfg.workload.jobs_per_hour = 0.0;
-        let (_, truth) = Simulation::new(cfg).with_jobs([a, b]).run_with_truth().unwrap();
+        let (_, truth) = Simulation::new(cfg)
+            .with_jobs([a, b])
+            .run_with_truth()
+            .unwrap();
         assert_eq!(truth.coallocated_machines, vec![MachineId::new(5)]);
     }
 
@@ -800,7 +825,10 @@ mod tests {
             hard: true,
             recover_after: Some(TimeDelta::minutes(10)),
         };
-        let ds = Simulation::new(cfg).with_failures(vec![fail]).run().unwrap();
+        let ds = Simulation::new(cfg)
+            .with_failures(vec![fail])
+            .run()
+            .unwrap();
         let m = ds.machine(MachineId::new(2)).unwrap();
         // Alive at start, dead after the crash, alive again after recovery.
         assert!(m.alive_at(Timestamp::new(500)));
@@ -836,8 +864,10 @@ mod tests {
         let ds = Simulation::new(cfg).with_job(spec).run().unwrap();
         let job = ds.job(JobId::new(42)).unwrap();
         let task = job.tasks().next().unwrap();
-        let ends: Vec<i64> =
-            task.instances().map(|i| i.record.end_time.seconds()).collect();
+        let ends: Vec<i64> = task
+            .instances()
+            .map(|i| i.record.end_time.seconds())
+            .collect();
         assert_eq!(ends.iter().filter(|&&e| e == 1800).count(), 1);
         assert_eq!(ends.iter().filter(|&&e| e == 600).count(), 3);
     }

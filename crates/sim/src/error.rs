@@ -55,9 +55,14 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = SimError::InvalidConfig { parameter: "machines", message: "must be > 0".into() };
+        let e = SimError::InvalidConfig {
+            parameter: "machines",
+            message: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("machines"));
-        let e = SimError::InvalidSpec { message: "cycle a->b->a".into() };
+        let e = SimError::InvalidSpec {
+            message: "cycle a->b->a".into(),
+        };
         assert!(e.to_string().contains("cycle"));
     }
 

@@ -31,7 +31,11 @@ impl MachineFailure {
         let mut out = vec![MachineEventRecord {
             time: self.at,
             machine: self.machine,
-            event: if self.hard { MachineEvent::HardError } else { MachineEvent::SoftError },
+            event: if self.hard {
+                MachineEvent::HardError
+            } else {
+                MachineEvent::SoftError
+            },
             capacity_cpu: 0.0,
             capacity_mem: 0.0,
             capacity_disk: 0.0,
@@ -121,8 +125,7 @@ pub fn failure_events(failures: &[MachineFailure]) -> Vec<MachineEventRecord> {
             })
             .or_insert(*f);
     }
-    let mut events: Vec<MachineEventRecord> =
-        earliest.values().flat_map(|f| f.events()).collect();
+    let mut events: Vec<MachineEventRecord> = earliest.values().flat_map(|f| f.events()).collect();
     events.sort_by_key(|e| (e.time, e.machine));
     events
 }
@@ -190,7 +193,11 @@ mod tests {
             hard: true,
             recover_after: None,
         };
-        let model = CascadeModel { radius: 3, propagation_delay: TimeDelta::ZERO, hard: true };
+        let model = CascadeModel {
+            radius: 3,
+            propagation_delay: TimeDelta::ZERO,
+            hard: true,
+        };
         let expanded = model.expand(&[seed], 5);
         // Only machines 1,2,3 on the positive side (no negative ids).
         assert_eq!(expanded.len(), 1 + 3);
@@ -204,7 +211,11 @@ mod tests {
             hard: false,
             recover_after: None,
         };
-        let model = CascadeModel { radius: 2, propagation_delay: TimeDelta::ZERO, hard: true };
+        let model = CascadeModel {
+            radius: 2,
+            propagation_delay: TimeDelta::ZERO,
+            hard: true,
+        };
         assert_eq!(model.expand(&[seed], 100).len(), 1);
     }
 

@@ -60,9 +60,9 @@ pub mod workload;
 
 pub use anomaly::Anomaly;
 pub use config::{SchedulerKind, SimConfig};
-pub use failure::{CascadeModel, MachineFailure};
 pub use engine::Simulation;
 pub use error::SimError;
+pub use failure::{CascadeModel, MachineFailure};
 pub use scheduler::{LeastLoaded, Packing, RoundRobin, Scheduler};
 pub use shape::{FootprintProfile, Shape};
 pub use spec::{JobSpec, TaskSpec};

@@ -7,7 +7,7 @@
 //! generic [`rand::Rng`], so the whole simulator is deterministic under
 //! `StdRng::seed_from_u64`.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples `Exp(rate)`; mean is `1/rate`.
 ///
@@ -29,7 +29,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics if `lambda` is negative or NaN.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0, "poisson lambda must be non-negative, got {lambda}");
+    assert!(
+        lambda >= 0.0,
+        "poisson lambda must be non-negative, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -68,7 +71,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1]`.
 pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
-    assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "geometric p must be in (0, 1], got {p}"
+    );
     if p >= 1.0 {
         return 0;
     }
@@ -134,9 +140,11 @@ mod tests {
         let mut r = rng();
         for lambda in [0.5, 4.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.08, "lambda {lambda} mean {mean}");
+            let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.08,
+                "lambda {lambda} mean {mean}"
+            );
         }
         assert_eq!(poisson(&mut r, 0.0), 0);
     }

@@ -169,7 +169,9 @@ pub fn fig3b(seed: u64) -> Simulation {
         filler(7918, 46000, &[(5, 1300)], 0.09),
         filler(7920, 46050, &[(6, 1250)], 0.10),
     ];
-    Simulation::new(cfg).with_jobs(jobs).with_load_phase(phase, [0.38, 0.33, 0.20])
+    Simulation::new(cfg)
+        .with_jobs(jobs)
+        .with_load_phase(phase, [0.38, 0.33, 0.20])
 }
 
 /// Fig 3(c): the overloaded regime at timestamp 43800 with thrashing
@@ -256,16 +258,14 @@ pub fn paper_day_with_machines(seed: u64, machines: u32) -> Simulation {
 
     // Fig 3(c) cast.
     sim = sim
-        .with_job(
-            JobSpec::parallel_tasks(
-                JOB_7513,
-                Timestamp::new(43000),
-                vec![
-                    TaskSpec::steady(12, 1500, 0.22, 0.20, 0.10),
-                    TaskSpec::steady(5, 1500, 0.09, 0.08, 0.05),
-                ],
-            ),
-        )
+        .with_job(JobSpec::parallel_tasks(
+            JOB_7513,
+            Timestamp::new(43000),
+            vec![
+                TaskSpec::steady(12, 1500, 0.22, 0.20, 0.10),
+                TaskSpec::steady(5, 1500, 0.09, 0.08, 0.05),
+            ],
+        ))
         .with_job(
             JobSpec::parallel_tasks(
                 JOB_11939,
@@ -318,11 +318,15 @@ pub fn paper_day_with_machines(seed: u64, machines: u32) -> Simulation {
             )
             .pinned_to(
                 // Reserved machines near the top of the range.
-                (machines.saturating_sub(6)..machines).map(MachineId::new).collect(),
+                (machines.saturating_sub(6)..machines)
+                    .map(MachineId::new)
+                    .collect(),
             ),
         )
         .with_reserved_machines(
-            (machines.saturating_sub(6)..machines).map(MachineId::new).collect(),
+            (machines.saturating_sub(6)..machines)
+                .map(MachineId::new)
+                .collect(),
         )
         .with_job(JobSpec::parallel_tasks(
             JOB_6639,
@@ -441,7 +445,10 @@ mod tests {
             }
         }
         let mean = cpu_sum / n as f64;
-        assert!((0.10..=0.45).contains(&mean), "mean cpu {mean} outside the paper's low band");
+        assert!(
+            (0.10..=0.45).contains(&mean),
+            "mean cpu {mean} outside the paper's low band"
+        );
     }
 
     #[test]
@@ -477,7 +484,10 @@ mod tests {
             }
         }
         let mean = all.iter().sum::<f64>() / all.len() as f64;
-        assert!((0.45..=0.85).contains(&mean), "mean cpu {mean} outside medium band");
+        assert!(
+            (0.45..=0.85).contains(&mean),
+            "mean cpu {mean} outside medium band"
+        );
 
         // job_7901's nodes are busier than the cluster average.
         let job = ds.job(JOB_7901).unwrap();
@@ -488,7 +498,10 @@ mod tests {
             }
         }
         let hot_mean = hot.iter().sum::<f64>() / hot.len() as f64;
-        assert!(hot_mean > mean, "job_7901 nodes {hot_mean} vs cluster {mean}");
+        assert!(
+            hot_mean > mean,
+            "job_7901 nodes {hot_mean} vs cluster {mean}"
+        );
     }
 
     #[test]
@@ -528,7 +541,10 @@ mod tests {
             }
         }
         let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!(mean_gap > 0.15, "mem-cpu gap {mean_gap} too small for thrashing");
+        assert!(
+            mean_gap > 0.15,
+            "mem-cpu gap {mean_gap} too small for thrashing"
+        );
     }
 
     #[test]
@@ -541,7 +557,10 @@ mod tests {
             .filter_map(|t| t.observed_end())
             .map(|t| t.seconds())
             .collect();
-        assert!((ends[0] - ends[1]).abs() > 1000, "ends {ends:?} should separate");
+        assert!(
+            (ends[0] - ends[1]).abs() > 1000,
+            "ends {ends:?} should separate"
+        );
     }
 
     #[test]
@@ -557,8 +576,9 @@ mod tests {
         // 80 machines keeps this fast while preserving every pattern.
         let ds = paper_day_with_machines(11, 80).run().unwrap();
         // All named jobs exist.
-        for id in [JOB_7513, JOB_11939, JOB_11599, JOB_7901, JOB_8121, JOB_8123, JOB_8124, JOB_6639]
-        {
+        for id in [
+            JOB_7513, JOB_11939, JOB_11599, JOB_7901, JOB_8121, JOB_8123, JOB_8124, JOB_6639,
+        ] {
             assert!(ds.job(id).is_some(), "{id} missing from paper day");
         }
         // Shutdown leaves the survivor plus at most stragglers that started after.

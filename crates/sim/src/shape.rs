@@ -132,7 +132,10 @@ impl Shape {
     /// `cpu_avg`/`mem_avg` columns of `batch_instance` records.
     pub fn mean(&self) -> f64 {
         const N: usize = 64;
-        (0..N).map(|i| self.eval((i as f64 + 0.5) / N as f64)).sum::<f64>() / N as f64
+        (0..N)
+            .map(|i| self.eval((i as f64 + 0.5) / N as f64))
+            .sum::<f64>()
+            / N as f64
     }
 
     /// Peak contribution over the run `[0, 1]`, sampled; fills the
@@ -160,9 +163,18 @@ impl FootprintProfile {
     /// A steady batch-work footprint at roughly the given per-metric levels.
     pub fn steady(cpu: f64, mem: f64, disk: f64) -> Self {
         FootprintProfile {
-            cpu: Shape::RampPlateau { level: cpu, ramp: 0.08 },
-            mem: Shape::RampPlateau { level: mem, ramp: 0.05 },
-            disk: Shape::RampPlateau { level: disk, ramp: 0.10 },
+            cpu: Shape::RampPlateau {
+                level: cpu,
+                ramp: 0.08,
+            },
+            mem: Shape::RampPlateau {
+                level: mem,
+                ramp: 0.05,
+            },
+            disk: Shape::RampPlateau {
+                level: disk,
+                ramp: 0.10,
+            },
         }
     }
 
@@ -170,9 +182,20 @@ impl FootprintProfile {
     /// decaying afterwards. Disk stays modest.
     pub fn end_spike(cpu_peak: f64, mem_peak: f64) -> Self {
         FootprintProfile {
-            cpu: Shape::SpikeToEnd { base: cpu_peak * 0.35, peak: cpu_peak, tail: 0.35 },
-            mem: Shape::SpikeToEnd { base: mem_peak * 0.40, peak: mem_peak, tail: 0.45 },
-            disk: Shape::RampPlateau { level: 0.10, ramp: 0.1 },
+            cpu: Shape::SpikeToEnd {
+                base: cpu_peak * 0.35,
+                peak: cpu_peak,
+                tail: 0.35,
+            },
+            mem: Shape::SpikeToEnd {
+                base: mem_peak * 0.40,
+                peak: mem_peak,
+                tail: 0.45,
+            },
+            disk: Shape::RampPlateau {
+                level: 0.10,
+                ramp: 0.1,
+            },
         }
     }
 
@@ -180,7 +203,11 @@ impl FootprintProfile {
     /// as the machine stops making progress, disk busy with paging.
     pub fn thrashing(mem_level: f64, cpu_initial: f64, cpu_floor: f64) -> Self {
         FootprintProfile {
-            cpu: Shape::Collapse { from: cpu_initial, to: cpu_floor, rate: 4.0 },
+            cpu: Shape::Collapse {
+                from: cpu_initial,
+                to: cpu_floor,
+                rate: 4.0,
+            },
             mem: Shape::Constant { level: mem_level },
             disk: Shape::Constant { level: 0.45 },
         }
@@ -189,9 +216,18 @@ impl FootprintProfile {
     /// A memory-leak footprint: memory grows linearly through the run.
     pub fn memory_leak(mem_from: f64, mem_to: f64, cpu: f64) -> Self {
         FootprintProfile {
-            cpu: Shape::RampPlateau { level: cpu, ramp: 0.08 },
-            mem: Shape::Linear { from: mem_from, to: mem_to },
-            disk: Shape::RampPlateau { level: 0.08, ramp: 0.1 },
+            cpu: Shape::RampPlateau {
+                level: cpu,
+                ramp: 0.08,
+            },
+            mem: Shape::Linear {
+                from: mem_from,
+                to: mem_to,
+            },
+            disk: Shape::RampPlateau {
+                level: 0.08,
+                ramp: 0.1,
+            },
         }
     }
 
@@ -230,7 +266,10 @@ mod tests {
 
     #[test]
     fn ramp_plateau_profile() {
-        let s = Shape::RampPlateau { level: 0.6, ramp: 0.1 };
+        let s = Shape::RampPlateau {
+            level: 0.6,
+            ramp: 0.1,
+        };
         assert_eq!(s.eval(0.0), 0.0);
         assert!((s.eval(0.05) - 0.3).abs() < 1e-12);
         assert_eq!(s.eval(0.5), 0.6);
@@ -240,16 +279,26 @@ mod tests {
 
     #[test]
     fn ramp_plateau_degenerate_ramp() {
-        let s = Shape::RampPlateau { level: 0.6, ramp: 0.0 };
+        let s = Shape::RampPlateau {
+            level: 0.6,
+            ramp: 0.0,
+        };
         assert_eq!(s.eval(0.5), 0.6);
         // ramp is clamped to 0.5 at most
-        let s = Shape::RampPlateau { level: 0.6, ramp: 0.9 };
+        let s = Shape::RampPlateau {
+            level: 0.6,
+            ramp: 0.9,
+        };
         assert!((s.eval(0.5) - 0.6).abs() < 1e-9);
     }
 
     #[test]
     fn spike_peaks_at_end_and_decays() {
-        let s = Shape::SpikeToEnd { base: 0.2, peak: 0.9, tail: 0.5 };
+        let s = Shape::SpikeToEnd {
+            base: 0.2,
+            peak: 0.9,
+            tail: 0.5,
+        };
         assert!((s.eval(0.0) - 0.2).abs() < 1e-12);
         assert!((s.eval(1.0) - 0.9).abs() < 1e-12);
         // Monotone growth during the run.
@@ -263,7 +312,11 @@ mod tests {
 
     #[test]
     fn collapse_falls_toward_floor() {
-        let s = Shape::Collapse { from: 0.8, to: 0.1, rate: 4.0 };
+        let s = Shape::Collapse {
+            from: 0.8,
+            to: 0.1,
+            rate: 4.0,
+        };
         assert!((s.eval(0.0) - 0.8).abs() < 1e-12);
         assert!(s.eval(0.5) < 0.35);
         assert!(s.eval(1.0) > 0.1 && s.eval(1.0) < 0.15);
@@ -281,7 +334,11 @@ mod tests {
         let flat = Shape::Constant { level: 0.4 };
         assert!((flat.mean() - 0.4).abs() < 1e-9);
         assert!((flat.max() - 0.4).abs() < 1e-9);
-        let spike = Shape::SpikeToEnd { base: 0.2, peak: 0.9, tail: 0.3 };
+        let spike = Shape::SpikeToEnd {
+            base: 0.2,
+            peak: 0.9,
+            tail: 0.3,
+        };
         assert!(spike.mean() > 0.2 && spike.mean() < 0.9);
         assert!((spike.max() - 0.9).abs() < 1e-9);
     }

@@ -5,7 +5,7 @@
 //! multiple instances**. Job arrivals are Poisson; task durations are
 //! log-normal (heavy-tailed, as in the published analyses of the trace).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::rng as dist;
@@ -112,7 +112,10 @@ impl WorkloadModel {
             Ok(())
         }
         prob("single_task_probability", self.single_task_probability)?;
-        prob("single_instance_probability", self.single_instance_probability)?;
+        prob(
+            "single_instance_probability",
+            self.single_instance_probability,
+        )?;
         prob("chain_probability", self.chain_probability)?;
         if !(self.extra_task_p > 0.0 && self.extra_task_p <= 1.0) {
             return Err(SimError::InvalidConfig {
@@ -210,7 +213,9 @@ mod tests {
         let m = WorkloadModel::alibaba_v2017();
         let mut rng = StdRng::seed_from_u64(11);
         let n = 40_000;
-        let single = (0..n).filter(|_| m.sample_task_count(&mut rng) == 1).count();
+        let single = (0..n)
+            .filter(|_| m.sample_task_count(&mut rng) == 1)
+            .count();
         let frac = single as f64 / n as f64;
         assert!((frac - 0.75).abs() < 0.02, "single-task fraction {frac}");
     }
@@ -220,7 +225,9 @@ mod tests {
         let m = WorkloadModel::alibaba_v2017();
         let mut rng = StdRng::seed_from_u64(12);
         let n = 40_000;
-        let multi = (0..n).filter(|_| m.sample_instance_count(&mut rng) > 1).count();
+        let multi = (0..n)
+            .filter(|_| m.sample_instance_count(&mut rng) > 1)
+            .count();
         let frac = multi as f64 / n as f64;
         assert!((frac - 0.94).abs() < 0.02, "multi-instance fraction {frac}");
     }
@@ -240,11 +247,15 @@ mod tests {
         let m = WorkloadModel::alibaba_v2017();
         let mut rng = StdRng::seed_from_u64(14);
         let trials = 300;
-        let mean: f64 =
-            (0..trials).map(|_| m.sample_job_count(&mut rng, 24.0) as f64).sum::<f64>()
-                / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| m.sample_job_count(&mut rng, 24.0) as f64)
+            .sum::<f64>()
+            / trials as f64;
         let expected = m.jobs_per_hour * 24.0;
-        assert!((mean - expected).abs() < expected * 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} vs {expected}"
+        );
         assert_eq!(m.sample_job_count(&mut rng, 0.0), 0);
     }
 

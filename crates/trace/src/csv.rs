@@ -51,15 +51,24 @@ fn split_fields<'a>(
 }
 
 fn parse_i64(s: &str, field: &'static str) -> Result<i64, TraceError> {
-    s.parse::<i64>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+    s.parse::<i64>().map_err(|_| TraceError::ParseField {
+        field,
+        value: s.to_owned(),
+    })
 }
 
 fn parse_u32(s: &str, field: &'static str) -> Result<u32, TraceError> {
-    s.parse::<u32>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+    s.parse::<u32>().map_err(|_| TraceError::ParseField {
+        field,
+        value: s.to_owned(),
+    })
 }
 
 fn parse_f64(s: &str, field: &'static str) -> Result<f64, TraceError> {
-    s.parse::<f64>().map_err(|_| TraceError::ParseField { field, value: s.to_owned() })
+    s.parse::<f64>().map_err(|_| TraceError::ParseField {
+        field,
+        value: s.to_owned(),
+    })
 }
 
 fn at_line(err: TraceError, table: &'static str, line_no: usize) -> TraceError {
@@ -170,8 +179,7 @@ pub fn parse_batch_instances(input: &str) -> Result<Vec<BatchInstanceRecord>, Tr
 
 /// Serializes `batch_instance` records with a header line.
 pub fn write_batch_instances(records: &[BatchInstanceRecord]) -> String {
-    let mut s =
-        String::with_capacity(records.len() * 64 + BATCH_INSTANCE_HEADER.len() + 1);
+    let mut s = String::with_capacity(records.len() * 64 + BATCH_INSTANCE_HEADER.len() + 1);
     s.push_str(BATCH_INSTANCE_HEADER);
     s.push('\n');
     for r in records {
@@ -270,8 +278,7 @@ pub fn parse_machine_events(input: &str) -> Result<Vec<MachineEventRecord>, Trac
 
 /// Serializes `machine_events` records with a header line.
 pub fn write_machine_events(records: &[MachineEventRecord]) -> String {
-    let mut s =
-        String::with_capacity(records.len() * 40 + MACHINE_EVENTS_HEADER.len() + 1);
+    let mut s = String::with_capacity(records.len() * 40 + MACHINE_EVENTS_HEADER.len() + 1);
     s.push_str(MACHINE_EVENTS_HEADER);
     s.push('\n');
     for r in records {
@@ -395,7 +402,11 @@ mod tests {
         let text = "0,300,job_1,task_1,NOTANUM,T,1,0.5\n";
         let err = parse_batch_tasks(text).unwrap_err();
         match err {
-            TraceError::ParseLine { line, table, message } => {
+            TraceError::ParseLine {
+                line,
+                table,
+                message,
+            } => {
                 assert_eq!(line, 1);
                 assert_eq!(table, "batch_task");
                 assert!(message.contains("instance_num"));

@@ -3,9 +3,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    BatchInstanceRecord, BatchTaskRecord, InstanceId, JobId, MachineEvent, MachineEventRecord,
-    MachineId, Metric, ServerUsageRecord, TaskId, TimeRange, TimeSeries, Timestamp, TraceError,
-    UtilizationTriple,
+    BatchInstanceRecord, BatchTaskRecord, InstanceId, IntervalIndex, JobId, MachineEvent,
+    MachineEventRecord, MachineId, Metric, ServerUsageRecord, TaskId, TimeRange, TimeSeries,
+    Timestamp, TraceError, UtilizationTriple,
 };
 
 /// A fully indexed, immutable trace: the substrate every BatchLens view
@@ -34,6 +34,20 @@ pub struct TraceDataset {
     machine_events: Vec<MachineEventRecord>,
     /// machine → `[cpu, mem, disk]` series.
     usage: BTreeMap<MachineId, [TimeSeries; 3]>,
+    /// Interval index over every instance's execution window; payload ids
+    /// are indices into `instances`.
+    instance_index: IntervalIndex,
+    /// Interval index over *disjoint per-job* execution windows (each job's
+    /// instance windows merged at build time); payload ids are raw job ids.
+    /// A stab reports every running job exactly once — no per-query dedup.
+    job_intervals: IntervalIndex,
+    /// Per-machine interval index over that machine's instance windows.
+    machine_intervals: BTreeMap<MachineId, IntervalIndex>,
+    /// machine → sorted `(event time, alive afterwards)` checkpoints, for
+    /// O(log n) liveness lookups.
+    liveness: BTreeMap<MachineId, Vec<(Timestamp, bool)>>,
+    /// The union time span, precomputed at build time.
+    cached_span: Option<TimeRange>,
 }
 
 /// Static information about one machine.
@@ -49,7 +63,11 @@ pub struct MachineInfo {
 
 impl Default for MachineInfo {
     fn default() -> Self {
-        MachineInfo { capacity_cpu: 1.0, capacity_mem: 1.0, capacity_disk: 1.0 }
+        MachineInfo {
+            capacity_cpu: 1.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        }
     }
 }
 
@@ -74,7 +92,10 @@ pub struct TraceDatasetBuilder {
 impl TraceDatasetBuilder {
     /// Creates an empty builder with strict hierarchy checking enabled.
     pub fn new() -> Self {
-        TraceDatasetBuilder { strict_hierarchy: true, ..Default::default() }
+        TraceDatasetBuilder {
+            strict_hierarchy: true,
+            ..Default::default()
+        }
     }
 
     /// Disables the instance→task referential check (some real dump slices
@@ -146,7 +167,10 @@ impl TraceDatasetBuilder {
         for rec in &self.tasks {
             rec.lifetime()?;
             if ds.tasks.insert((rec.job, rec.task), *rec).is_some() {
-                return Err(TraceError::DuplicateTask { job: rec.job, task: rec.task });
+                return Err(TraceError::DuplicateTask {
+                    job: rec.job,
+                    task: rec.task,
+                });
             }
         }
 
@@ -160,12 +184,21 @@ impl TraceDatasetBuilder {
                 return Err(TraceError::DuplicateInstance { instance: id });
             }
             if self.strict_hierarchy && !ds.tasks.contains_key(&(rec.job, rec.task)) {
-                return Err(TraceError::UnknownTask { job: rec.job, task: rec.task });
+                return Err(TraceError::UnknownTask {
+                    job: rec.job,
+                    task: rec.task,
+                });
             }
         }
         for (idx, rec) in instances.iter().enumerate() {
-            ds.task_instances.entry((rec.job, rec.task)).or_default().push(idx);
-            ds.machine_instances.entry(rec.machine).or_default().push(idx);
+            ds.task_instances
+                .entry((rec.job, rec.task))
+                .or_default()
+                .push(idx);
+            ds.machine_instances
+                .entry(rec.machine)
+                .or_default()
+                .push(idx);
         }
         ds.instances = instances;
 
@@ -198,23 +231,112 @@ impl TraceDatasetBuilder {
         let mut by_machine: BTreeMap<MachineId, Vec<(Timestamp, UtilizationTriple)>> =
             BTreeMap::new();
         for rec in &self.usage {
-            by_machine.entry(rec.machine).or_default().push((rec.time, rec.util));
+            by_machine
+                .entry(rec.machine)
+                .or_default()
+                .push((rec.time, rec.util));
         }
         for (machine, mut samples) in by_machine {
             samples.sort_by_key(|(t, _)| *t);
-            let cpu = TimeSeries::from_samples(
-                samples.iter().map(|(t, u)| (*t, u.cpu.fraction())),
-            )?;
-            let mem = TimeSeries::from_samples(
-                samples.iter().map(|(t, u)| (*t, u.mem.fraction())),
-            )?;
-            let disk = TimeSeries::from_samples(
-                samples.iter().map(|(t, u)| (*t, u.disk.fraction())),
-            )?;
+            let cpu =
+                TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.cpu.fraction())))?;
+            let mem =
+                TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.mem.fraction())))?;
+            let disk =
+                TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.disk.fraction())))?;
             ds.usage.insert(machine, [cpu, mem, disk]);
         }
 
+        ds.build_indexes();
         Ok(ds)
+    }
+}
+
+impl TraceDataset {
+    /// Builds the query indexes (interval stabbing, liveness, span) from the
+    /// validated tables. Called as the last step of
+    /// [`TraceDatasetBuilder::build`].
+    fn build_indexes(&mut self) {
+        self.instance_index = IntervalIndex::build(
+            self.instances
+                .iter()
+                .enumerate()
+                .map(|(idx, rec)| (rec.start_time, rec.end_time, idx as u32)),
+        );
+        // Merge each job's instance windows into disjoint intervals so a
+        // stab yields each running job once.
+        let mut per_job: BTreeMap<JobId, Vec<(Timestamp, Timestamp)>> = BTreeMap::new();
+        for rec in &self.instances {
+            if rec.start_time < rec.end_time {
+                per_job
+                    .entry(rec.job)
+                    .or_default()
+                    .push((rec.start_time, rec.end_time));
+            }
+        }
+        let mut job_rows: Vec<(Timestamp, Timestamp, u32)> = Vec::new();
+        for (job, mut windows) in per_job {
+            windows.sort_unstable();
+            let mut current: Option<(Timestamp, Timestamp)> = None;
+            for (s, e) in windows {
+                match &mut current {
+                    Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+                    _ => {
+                        if let Some((cs, ce)) = current.take() {
+                            job_rows.push((cs, ce, u32::from(job)));
+                        }
+                        current = Some((s, e));
+                    }
+                }
+            }
+            if let Some((cs, ce)) = current {
+                job_rows.push((cs, ce, u32::from(job)));
+            }
+        }
+        self.job_intervals = IntervalIndex::build(job_rows);
+
+        self.machine_intervals = self
+            .machine_instances
+            .iter()
+            .map(|(&machine, idxs)| {
+                let index = IntervalIndex::build(idxs.iter().map(|&idx| {
+                    let rec = &self.instances[idx];
+                    (rec.start_time, rec.end_time, idx as u32)
+                }));
+                (machine, index)
+            })
+            .collect();
+
+        // Liveness checkpoints: events are already time-sorted; a machine is
+        // alive after an event unless it was a Remove/HardError.
+        self.liveness.clear();
+        for ev in &self.machine_events {
+            let alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
+            self.liveness
+                .entry(ev.machine)
+                .or_default()
+                .push((ev.time, alive));
+        }
+
+        // Union span of instance windows and usage series.
+        let mut span: Option<TimeRange> = None;
+        let mut merge = |r: TimeRange| {
+            span = Some(match span {
+                Some(s) => s.union(&r),
+                None => r,
+            });
+        };
+        for rec in &self.instances {
+            if let Ok(w) = rec.window() {
+                merge(w);
+            }
+        }
+        for series in self.usage.values() {
+            if let Some(s) = series[0].span() {
+                merge(s);
+            }
+        }
+        self.cached_span = span;
     }
 }
 
@@ -281,12 +403,16 @@ impl TraceDataset {
 
     /// Iterates over all machines in id order.
     pub fn machines(&self) -> impl Iterator<Item = MachineView<'_>> + '_ {
-        self.machines.keys().map(move |&id| MachineView { ds: self, id })
+        self.machines
+            .keys()
+            .map(move |&id| MachineView { ds: self, id })
     }
 
     /// Looks up one machine.
     pub fn machine(&self, id: MachineId) -> Option<MachineView<'_>> {
-        self.machines.contains_key(&id).then_some(MachineView { ds: self, id })
+        self.machines
+            .contains_key(&id)
+            .then_some(MachineView { ds: self, id })
     }
 
     /// Number of machines (declared, added or referenced).
@@ -295,41 +421,52 @@ impl TraceDataset {
     }
 
     /// Jobs with at least one instance running at `t`, in id order.
+    ///
+    /// Served by the per-job interval index (disjoint merged windows):
+    /// O(log n + j log j) in the number of running jobs `j`, with no
+    /// instance-level dedup at query time.
     pub fn jobs_running_at(&self, t: Timestamp) -> Vec<JobView<'_>> {
-        let mut ids: BTreeSet<JobId> = BTreeSet::new();
-        for rec in &self.instances {
-            if rec.running_at(t) {
-                ids.insert(rec.job);
-            }
-        }
+        let mut ids: Vec<JobId> = Vec::new();
+        self.job_intervals
+            .stab_with(t, |raw| ids.push(JobId::new(raw)));
+        ids.sort_unstable();
         ids.into_iter().map(|id| JobView { ds: self, id }).collect()
     }
 
+    /// Every instance running at `t`, in `(job, task, seq)` order —
+    /// O(log n + k) via the interval index. This is the primitive behind the
+    /// hierarchy snapshot and co-allocation views.
+    pub fn instances_running_at(&self, t: Timestamp) -> Vec<InstanceRef<'_>> {
+        let mut idxs = self.instance_index.stab(t);
+        idxs.sort_unstable();
+        idxs.into_iter()
+            .map(|idx| self.instance_by_idx(idx as usize))
+            .collect()
+    }
+
+    /// How many instances are running at `t` — O(log n), independent of the
+    /// answer.
+    pub fn running_instance_count_at(&self, t: Timestamp) -> usize {
+        self.instance_index.count_at(t)
+    }
+
+    /// The interval index over all instance execution windows (payload ids
+    /// are indices into [`TraceDataset::instance_records`]). Exposed for
+    /// event sweeps that want the sorted start/end arrays directly.
+    pub fn instance_index(&self) -> &IntervalIndex {
+        &self.instance_index
+    }
+
     /// The union time span of all instances and usage samples, or `None` for
-    /// an empty dataset.
+    /// an empty dataset. Precomputed at build time.
     pub fn span(&self) -> Option<TimeRange> {
-        let mut span: Option<TimeRange> = None;
-        let mut merge = |r: TimeRange| {
-            span = Some(match span {
-                Some(s) => s.union(&r),
-                None => r,
-            });
-        };
-        for rec in &self.instances {
-            if let Ok(w) = rec.window() {
-                merge(w);
-            }
-        }
-        for series in self.usage.values() {
-            if let Some(s) = series[0].span() {
-                merge(s);
-            }
-        }
-        span
+        self.cached_span
     }
 
     fn instance_by_idx(&self, idx: usize) -> InstanceRef<'_> {
-        InstanceRef { record: &self.instances[idx] }
+        InstanceRef {
+            record: &self.instances[idx],
+        }
     }
 }
 
@@ -352,7 +489,11 @@ impl<'a> JobView<'a> {
         let id = self.id;
         ds.tasks
             .range((id, TaskId::new(0))..=(id, TaskId::new(u32::MAX)))
-            .map(move |(&(_, task), _)| TaskView { ds, job: id, id: task })
+            .map(move |(&(_, task), _)| TaskView {
+                ds,
+                job: id,
+                id: task,
+            })
     }
 
     /// Number of tasks in this job.
@@ -392,7 +533,8 @@ impl<'a> JobView<'a> {
 
     /// True when any instance of the job runs at `t`.
     pub fn running_at(&self, t: Timestamp) -> bool {
-        self.tasks().any(|task| task.instances().any(|i| i.record.running_at(t)))
+        self.tasks()
+            .any(|task| task.instances().any(|i| i.record.running_at(t)))
     }
 }
 
@@ -433,7 +575,10 @@ impl<'a> TaskView<'a> {
 
     /// Number of instance records attached to this task.
     pub fn instance_count(&self) -> usize {
-        self.ds.task_instances.get(&(self.job, self.id)).map_or(0, Vec::len)
+        self.ds
+            .task_instances
+            .get(&(self.job, self.id))
+            .map_or(0, Vec::len)
     }
 
     /// The distinct machines executing this task.
@@ -500,15 +645,24 @@ impl<'a> MachineView<'a> {
             .map(move |&idx| ds.instance_by_idx(idx))
     }
 
-    /// Distinct jobs with an instance on this machine running at `t`.
+    /// Distinct jobs with an instance on this machine running at `t` —
+    /// O(log n + k) via the per-machine interval index.
     pub fn jobs_at(&self, t: Timestamp) -> Vec<JobId> {
         let mut out: BTreeSet<JobId> = BTreeSet::new();
-        for inst in self.instances() {
-            if inst.record.running_at(t) {
-                out.insert(inst.record.job);
-            }
+        if let Some(index) = self.ds.machine_intervals.get(&self.id) {
+            index.stab_with(t, |idx| {
+                out.insert(self.ds.instances[idx as usize].job);
+            });
         }
         out.into_iter().collect()
+    }
+
+    /// How many of this machine's instances are running at `t` — O(log n).
+    pub fn running_instances_at(&self, t: Timestamp) -> usize {
+        self.ds
+            .machine_intervals
+            .get(&self.id)
+            .map_or(0, |index| index.count_at(t))
     }
 
     /// The machine's usage series for `metric`, or `None` when the trace has
@@ -529,20 +683,18 @@ impl<'a> MachineView<'a> {
 
     /// Whether the machine is alive at `t` according to machine events.
     /// Machines with no events are considered always alive.
+    ///
+    /// A binary search over the machine's liveness checkpoints — O(log e) in
+    /// the machine's own event count, not a scan of the global event table.
     pub fn alive_at(&self, t: Timestamp) -> bool {
-        let mut alive = true;
-        let mut saw_event = false;
-        for ev in self.ds.machine_events.iter().filter(|e| e.machine == self.id) {
-            if ev.time > t {
-                break;
-            }
-            saw_event = true;
-            alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
-        }
-        if !saw_event {
-            true
-        } else {
-            alive
+        let Some(checkpoints) = self.ds.liveness.get(&self.id) else {
+            return true;
+        };
+        // Last checkpoint at or before `t` decides; before the first event
+        // the machine counts as alive (matching the event-less default).
+        match checkpoints.partition_point(|&(time, _)| time <= t) {
+            0 => true,
+            n => checkpoints[n - 1].1,
         }
     }
 }
@@ -565,7 +717,14 @@ mod tests {
         }
     }
 
-    fn instance(job: u32, task_id: u32, seq: u32, machine: u32, t0: i64, t1: i64) -> BatchInstanceRecord {
+    fn instance(
+        job: u32,
+        task_id: u32,
+        seq: u32,
+        machine: u32,
+        t0: i64,
+        t1: i64,
+    ) -> BatchInstanceRecord {
         BatchInstanceRecord {
             start_time: Timestamp::new(t0),
             end_time: Timestamp::new(t1),
@@ -617,7 +776,10 @@ mod tests {
         let job1 = ds.job(JobId::new(1)).unwrap();
         assert_eq!(job1.task_count(), 2);
         assert_eq!(job1.instance_count(), 3);
-        assert_eq!(job1.machines(), vec![MachineId::new(10), MachineId::new(11)]);
+        assert_eq!(
+            job1.machines(),
+            vec![MachineId::new(10), MachineId::new(11)]
+        );
     }
 
     #[test]
@@ -629,13 +791,23 @@ mod tests {
     #[test]
     fn jobs_running_at_timestamp() {
         let ds = small_dataset();
-        let at0: Vec<JobId> = ds.jobs_running_at(Timestamp::new(0)).iter().map(|j| j.id()).collect();
+        let at0: Vec<JobId> = ds
+            .jobs_running_at(Timestamp::new(0))
+            .iter()
+            .map(|j| j.id())
+            .collect();
         assert_eq!(at0, vec![JobId::new(1)]);
-        let at500: Vec<JobId> =
-            ds.jobs_running_at(Timestamp::new(500)).iter().map(|j| j.id()).collect();
+        let at500: Vec<JobId> = ds
+            .jobs_running_at(Timestamp::new(500))
+            .iter()
+            .map(|j| j.id())
+            .collect();
         assert_eq!(at500, vec![JobId::new(1), JobId::new(2)]);
-        let at1000: Vec<JobId> =
-            ds.jobs_running_at(Timestamp::new(1000)).iter().map(|j| j.id()).collect();
+        let at1000: Vec<JobId> = ds
+            .jobs_running_at(Timestamp::new(1000))
+            .iter()
+            .map(|j| j.id())
+            .collect();
         assert_eq!(at1000, vec![JobId::new(2)]);
     }
 
@@ -682,7 +854,10 @@ mod tests {
         b.push_task(task(1, 1, 2, 0, 10));
         b.push_instance(instance(1, 1, 0, 5, 0, 10));
         b.push_instance(instance(1, 1, 0, 6, 0, 10));
-        assert!(matches!(b.build(), Err(TraceError::DuplicateInstance { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(TraceError::DuplicateInstance { .. })
+        ));
     }
 
     #[test]
@@ -700,7 +875,10 @@ mod tests {
         let mut b = TraceDatasetBuilder::new();
         b.push_task(task(1, 1, 1, 0, 10));
         b.push_instance(instance(1, 1, 0, 5, 10, 0));
-        assert!(matches!(b.build(), Err(TraceError::InvertedInterval { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(TraceError::InvertedInterval { .. })
+        ));
     }
 
     #[test]
@@ -732,6 +910,76 @@ mod tests {
     }
 
     #[test]
+    fn indexed_queries_match_linear_scans() {
+        let ds = small_dataset();
+        for t in (-100..1400).step_by(37) {
+            let t = Timestamp::new(t);
+            // jobs_running_at vs a full-table scan.
+            let scanned: BTreeSet<JobId> = ds
+                .instance_records()
+                .iter()
+                .filter(|r| r.running_at(t))
+                .map(|r| r.job)
+                .collect();
+            let indexed: Vec<JobId> = ds.jobs_running_at(t).iter().map(|j| j.id()).collect();
+            assert_eq!(
+                indexed,
+                scanned.iter().copied().collect::<Vec<_>>(),
+                "at {t}"
+            );
+            // Running instances and counts.
+            let running = ds.instances_running_at(t);
+            assert_eq!(
+                running.len(),
+                ds.instance_records()
+                    .iter()
+                    .filter(|r| r.running_at(t))
+                    .count()
+            );
+            assert_eq!(ds.running_instance_count_at(t), running.len());
+            assert!(running.iter().all(|i| i.record.running_at(t)));
+            // Per-machine queries.
+            for m in ds.machines() {
+                let scan_jobs: BTreeSet<JobId> = m
+                    .instances()
+                    .filter(|i| i.record.running_at(t))
+                    .map(|i| i.record.job)
+                    .collect();
+                assert_eq!(m.jobs_at(t), scan_jobs.iter().copied().collect::<Vec<_>>());
+                assert_eq!(
+                    m.running_instances_at(t),
+                    m.instances().filter(|i| i.record.running_at(t)).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_handles_multiple_events() {
+        let mut b = TraceDatasetBuilder::new();
+        let ev = |t: i64, e: MachineEvent| MachineEventRecord {
+            time: Timestamp::new(t),
+            machine: MachineId::new(5),
+            event: e,
+            capacity_cpu: 1.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        };
+        b.push_machine_event(ev(10, MachineEvent::Add));
+        b.push_machine_event(ev(20, MachineEvent::SoftError));
+        b.push_machine_event(ev(30, MachineEvent::Remove));
+        b.push_machine_event(ev(40, MachineEvent::Add));
+        let ds = b.build().unwrap();
+        let m = ds.machine(MachineId::new(5)).unwrap();
+        assert!(m.alive_at(Timestamp::new(5))); // before first event
+        assert!(m.alive_at(Timestamp::new(15)));
+        assert!(m.alive_at(Timestamp::new(25))); // soft errors stay alive
+        assert!(!m.alive_at(Timestamp::new(30)));
+        assert!(!m.alive_at(Timestamp::new(39)));
+        assert!(m.alive_at(Timestamp::new(40)));
+    }
+
+    #[test]
     fn span_unions_instances_and_usage() {
         let ds = small_dataset();
         let span = ds.span().unwrap();
@@ -752,6 +1000,9 @@ mod tests {
         let mut b = TraceDatasetBuilder::new();
         b.push_usage(usage(1, 0, 0.5));
         b.push_usage(usage(1, 0, 0.6));
-        assert!(matches!(b.build(), Err(TraceError::UnorderedSamples { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(TraceError::UnorderedSamples { .. })
+        ));
     }
 }

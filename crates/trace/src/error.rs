@@ -82,7 +82,11 @@ pub enum TraceError {
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::ParseLine { line, table, message } => {
+            TraceError::ParseLine {
+                line,
+                table,
+                message,
+            } => {
                 write!(f, "failed to parse {table} line {line}: {message}")
             }
             TraceError::ParseField { field, value } => {
@@ -106,7 +110,10 @@ impl fmt::Display for TraceError {
             TraceError::UtilizationOutOfRange { value } => {
                 write!(f, "utilization {value} outside 0.0..=1.0")
             }
-            TraceError::UnorderedSamples { previous, offending } => {
+            TraceError::UnorderedSamples {
+                previous,
+                offending,
+            } => {
                 write!(f, "sample at {offending} pushed after sample at {previous}")
             }
             TraceError::NotFound { entity } => write!(f, "{entity} not found"),
@@ -125,7 +132,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let err = TraceError::UnknownMachine { machine: MachineId::new(7) };
+        let err = TraceError::UnknownMachine {
+            machine: MachineId::new(7),
+        };
         let text = err.to_string();
         assert!(text.starts_with("record references unknown machine"));
         assert!(!text.ends_with('.'));

@@ -99,9 +99,7 @@ id_type!(
 ///
 /// The v2017 `batch_instance` table keys instances by their sequence number
 /// within the owning task. Each instance executes on exactly one machine.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceId {
     /// Owning job.
     pub job: JobId,

@@ -1,0 +1,320 @@
+//! A static interval index for half-open time windows.
+//!
+//! Built once over a batch of `[start, end)` intervals, it answers two
+//! queries the BatchLens views hammer:
+//!
+//! * **stab** — which intervals contain `t` — in O(log n + k) via a
+//!   centered interval tree: each node owns the intervals straddling its
+//!   center timestamp, kept in two sorted lists so a query only touches
+//!   matching intervals (plus one miss) per node on its root-to-leaf path.
+//!   Long-running straggler intervals cannot degrade the bound the way
+//!   they poison max-end pruning in augmented start-sorted layouts.
+//! * **count** — how many intervals contain `t` — in O(log n) from the
+//!   sorted start/end arrays alone.
+//!
+//! [`crate::TraceDataset`] builds one over every `batch_instance` window at
+//! construction time (plus one per machine), which turns
+//! `jobs_running_at`-style snapshot queries from full-table scans into
+//! index lookups.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Timestamp;
+
+/// One node of the centered tree. Intervals with `start <= center < end`
+/// live here; strictly-earlier intervals descend left, strictly-later ones
+/// right.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    center: Timestamp,
+    /// `(start, id)` of the straddling intervals, ascending start.
+    by_start: Vec<(Timestamp, u32)>,
+    /// `(end, id)` of the straddling intervals, descending end.
+    by_end: Vec<(Timestamp, u32)>,
+    /// Index of the left child in `nodes`, or `u32::MAX`.
+    left: u32,
+    /// Index of the right child in `nodes`, or `u32::MAX`.
+    right: u32,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// A static stabbing index over half-open `[start, end)` intervals.
+///
+/// Each interval carries a `u32` payload id (typically an index into the
+/// caller's record table). Empty intervals (`end <= start`) are accepted
+/// but never reported by queries, matching
+/// `BatchInstanceRecord::running_at`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IntervalIndex {
+    nodes: Vec<Node>,
+    /// Non-empty interval starts, sorted ascending (for counting/sweeps).
+    sorted_starts: Vec<Timestamp>,
+    /// Non-empty interval ends, sorted ascending (for counting/sweeps).
+    sorted_ends: Vec<Timestamp>,
+    /// Total intervals indexed (including empty ones).
+    len: usize,
+}
+
+impl IntervalIndex {
+    /// Builds the index from `(start, end, id)` triples (any order).
+    pub fn build(intervals: impl IntoIterator<Item = (Timestamp, Timestamp, u32)>) -> Self {
+        let rows: Vec<(Timestamp, Timestamp, u32)> = intervals.into_iter().collect();
+        let len = rows.len();
+        // Empty intervals can never be stabbed; keep them out of the tree
+        // and the counting arrays so both queries agree.
+        let rows: Vec<(Timestamp, Timestamp, u32)> =
+            rows.into_iter().filter(|&(s, e, _)| s < e).collect();
+        let mut sorted_starts: Vec<Timestamp> = rows.iter().map(|r| r.0).collect();
+        let mut sorted_ends: Vec<Timestamp> = rows.iter().map(|r| r.1).collect();
+        sorted_starts.sort_unstable();
+        sorted_ends.sort_unstable();
+        let mut index = IntervalIndex {
+            nodes: Vec::new(),
+            sorted_starts,
+            sorted_ends,
+            len,
+        };
+        if !rows.is_empty() {
+            index.build_node(rows);
+        }
+        index
+    }
+
+    /// Recursively builds a subtree; returns its node index.
+    fn build_node(&mut self, rows: Vec<(Timestamp, Timestamp, u32)>) -> u32 {
+        debug_assert!(!rows.is_empty());
+        // Center on the median start: cheap, and splits straddler-free sets
+        // roughly in half.
+        let mut starts: Vec<Timestamp> = rows.iter().map(|r| r.0).collect();
+        let mid = starts.len() / 2;
+        let (_, &mut center, _) = starts.select_nth_unstable(mid);
+        let mut here: Vec<(Timestamp, Timestamp, u32)> = Vec::new();
+        let mut left_rows = Vec::new();
+        let mut right_rows = Vec::new();
+        for row in rows {
+            if row.1 <= center {
+                left_rows.push(row);
+            } else if row.0 > center {
+                right_rows.push(row);
+            } else {
+                here.push(row);
+            }
+        }
+        // `here` is never empty: the interval contributing the median start
+        // has `start <= center` and (being non-empty) `end > center`, so it
+        // straddles. That also bounds both partitions at n/2 — the median
+        // property caps `start > center` (right) and `start < center`
+        // (superset of left) — giving O(log n) depth.
+        debug_assert!(!here.is_empty());
+        self.place_node(center, here, left_rows, right_rows)
+    }
+
+    fn place_node(
+        &mut self,
+        center: Timestamp,
+        here: Vec<(Timestamp, Timestamp, u32)>,
+        left_rows: Vec<(Timestamp, Timestamp, u32)>,
+        right_rows: Vec<(Timestamp, Timestamp, u32)>,
+    ) -> u32 {
+        debug_assert!(here.iter().all(|&(s, e, _)| s <= center && center < e));
+        let mut by_start: Vec<(Timestamp, u32)> = here.iter().map(|r| (r.0, r.2)).collect();
+        by_start.sort_unstable();
+        let mut by_end: Vec<(Timestamp, u32)> = here.iter().map(|r| (r.1, r.2)).collect();
+        by_end.sort_unstable_by(|a, b| b.cmp(a));
+        let slot = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            center,
+            by_start,
+            by_end,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
+        if !left_rows.is_empty() {
+            let left = self.build_node(left_rows);
+            self.nodes[slot as usize].left = left;
+        }
+        if !right_rows.is_empty() {
+            let right = self.build_node(right_rows);
+            self.nodes[slot as usize].right = right;
+        }
+        slot
+    }
+
+    /// Number of indexed intervals (including empty ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no intervals are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `visit` with the payload id of every interval containing `t`
+    /// (`start <= t < end`). Order is unspecified.
+    pub fn stab_with(&self, t: Timestamp, mut visit: impl FnMut(u32)) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut node = 0u32;
+        loop {
+            let n = &self.nodes[node as usize];
+            if t < n.center {
+                // Straddlers have end > center > t: they contain t iff
+                // start <= t. The by-start list stops at the first miss.
+                for &(start, id) in &n.by_start {
+                    if start > t {
+                        break;
+                    }
+                    visit(id);
+                }
+                node = n.left;
+            } else {
+                // t >= center: straddlers have start <= center <= t; they
+                // contain t iff end > t. The by-end list is descending.
+                for &(end, id) in &n.by_end {
+                    if end <= t {
+                        break;
+                    }
+                    visit(id);
+                }
+                if t == n.center {
+                    return;
+                }
+                node = n.right;
+            }
+            if node == NO_CHILD {
+                return;
+            }
+        }
+    }
+
+    /// The payload ids of every interval containing `t`, unspecified order.
+    pub fn stab(&self, t: Timestamp) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.stab_with(t, |id| out.push(id));
+        out
+    }
+
+    /// How many intervals contain `t` — O(log n), independent of the answer.
+    pub fn count_at(&self, t: Timestamp) -> usize {
+        let started = self.sorted_starts.partition_point(|&s| s <= t);
+        let ended = self.sorted_ends.partition_point(|&e| e <= t);
+        started - ended
+    }
+
+    /// Non-empty interval starts, sorted ascending (for event sweeps).
+    pub fn sorted_starts(&self) -> &[Timestamp] {
+        &self.sorted_starts
+    }
+
+    /// Non-empty interval ends, sorted ascending (for event sweeps).
+    pub fn sorted_ends(&self) -> &[Timestamp] {
+        &self.sorted_ends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: i64) -> Timestamp {
+        Timestamp::new(t)
+    }
+
+    fn scan(rows: &[(i64, i64)], t: i64) -> Vec<u32> {
+        rows.iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| s <= t && t < e)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn build(rows: &[(i64, i64)]) -> IntervalIndex {
+        IntervalIndex::build(
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(s, e))| (ts(s), ts(e), i as u32)),
+        )
+    }
+
+    #[test]
+    fn stab_matches_linear_scan() {
+        let rows = [
+            (0, 10),
+            (5, 8),
+            (5, 20),
+            (9, 9), // empty
+            (12, 15),
+            (-3, 2),
+            (2, 3),
+            (0, 1000), // straggler spanning everything
+        ];
+        let idx = build(&rows);
+        for t in -5..25 {
+            let mut got = idx.stab(ts(t));
+            got.sort_unstable();
+            assert_eq!(got, scan(&rows, t), "stab at t={t}");
+            assert_eq!(idx.count_at(ts(t)), scan(&rows, t).len(), "count at t={t}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_scan() {
+        // Deterministic pseudo-random intervals incl. duplicates, empties
+        // and stragglers.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let rows: Vec<(i64, i64)> = (0..500)
+            .map(|_| {
+                let s = (next() % 2000) as i64;
+                let dur = match next() % 10 {
+                    0 => 0,                     // empty
+                    1 => 5000,                  // straggler
+                    _ => (next() % 120) as i64, // typical
+                };
+                (s, s + dur)
+            })
+            .collect();
+        let idx = build(&rows);
+        for probe in (-10..2200).step_by(17) {
+            let mut got = idx.stab(ts(probe));
+            got.sort_unstable();
+            assert_eq!(got, scan(&rows, probe), "stab at t={probe}");
+            assert_eq!(idx.count_at(ts(probe)), scan(&rows, probe).len());
+        }
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = IntervalIndex::build(std::iter::empty());
+        assert!(idx.is_empty());
+        assert!(idx.stab(ts(0)).is_empty());
+        assert_eq!(idx.count_at(ts(0)), 0);
+    }
+
+    #[test]
+    fn duplicate_intervals_all_reported() {
+        let rows = [(0, 10), (0, 10), (0, 10)];
+        let idx = build(&rows);
+        assert_eq!(idx.stab(ts(5)).len(), 3);
+        assert_eq!(idx.count_at(ts(5)), 3);
+        assert_eq!(idx.count_at(ts(10)), 0);
+    }
+
+    #[test]
+    fn survives_serde_round_trip() {
+        let rows = [(0, 10), (5, 8)];
+        let idx = build(&rows);
+        let v = serde::Serialize::to_value(&idx);
+        let back: IntervalIndex = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.stab(ts(6)).len(), 2);
+    }
+}

@@ -78,6 +78,7 @@ pub mod csv;
 mod dataset;
 mod error;
 mod ids;
+mod interval;
 mod metric;
 pub mod query;
 mod record;
@@ -90,12 +91,13 @@ pub use dataset::{
 };
 pub use error::TraceError;
 pub use ids::{InstanceId, JobId, MachineId, TaskId};
+pub use interval::IntervalIndex;
 pub use metric::{Metric, Utilization, UtilizationTriple};
 pub use record::{
     BatchInstanceRecord, BatchTaskRecord, InstanceStatus, MachineEvent, MachineEventRecord,
     ServerUsageRecord, TaskStatus,
 };
-pub use series::{Resample, SeriesStats, TimeSeries};
+pub use series::{naive, quantile_select, Resample, SeriesStats, SeriesView, TimeSeries};
 pub use time::{TimeDelta, TimeRange, Timestamp};
 
 /// Commonly used items, for glob import in examples and downstream crates.

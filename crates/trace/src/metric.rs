@@ -9,9 +9,7 @@ use crate::TraceError;
 ///
 /// The paper's Fig 1 encodes each compute node as three annuli colored by
 /// these metrics; the detailed line charts plot one metric at a time.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Metric {
     /// CPU utilization (inner annulus in Fig 1).
     Cpu,
@@ -67,7 +65,10 @@ impl std::str::FromStr for Metric {
             "cpu" | "CPU" => Ok(Metric::Cpu),
             "mem" | "memory" | "Memory" => Ok(Metric::Memory),
             "disk" | "Disk" | "io" => Ok(Metric::Disk),
-            other => Err(TraceError::ParseField { field: "Metric", value: other.to_owned() }),
+            other => Err(TraceError::ParseField {
+                field: "Metric",
+                value: other.to_owned(),
+            }),
         }
     }
 }
@@ -78,9 +79,7 @@ impl std::str::FromStr for Metric {
 /// fraction and formats as a percentage. Construction clamps by default
 /// ([`Utilization::clamped`]); [`Utilization::checked`] rejects out-of-range
 /// values instead, for validating external data (C-VALIDATE).
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Utilization(f64);
 
@@ -180,12 +179,18 @@ impl UtilizationTriple {
     /// The arithmetic mean of the three metrics, used for "how busy is this
     /// node overall" orderings in the case study.
     pub fn mean(&self) -> Utilization {
-        Utilization::clamped((self.cpu.fraction() + self.mem.fraction() + self.disk.fraction()) / 3.0)
+        Utilization::clamped(
+            (self.cpu.fraction() + self.mem.fraction() + self.disk.fraction()) / 3.0,
+        )
     }
 
     /// The hottest of the three metrics.
     pub fn max(&self) -> Utilization {
-        let m = self.cpu.fraction().max(self.mem.fraction()).max(self.disk.fraction());
+        let m = self
+            .cpu
+            .fraction()
+            .max(self.mem.fraction())
+            .max(self.disk.fraction());
         Utilization::clamped(m)
     }
 
@@ -234,7 +239,11 @@ impl IndexMut<Metric> for UtilizationTriple {
 
 impl fmt::Display for UtilizationTriple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cpu {} / mem {} / disk {}", self.cpu, self.mem, self.disk)
+        write!(
+            f,
+            "cpu {} / mem {} / disk {}",
+            self.cpu, self.mem, self.disk
+        )
     }
 }
 

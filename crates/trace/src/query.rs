@@ -25,8 +25,12 @@ pub fn busiest_machines(ds: &TraceDataset, t: Timestamp, n: usize) -> Vec<Machin
         .machines()
         .filter_map(|m| {
             let u = m.util_at(t)?;
-            let instances = m.instances().filter(|i| i.record.running_at(t)).count();
-            Some(MachineLoad { machine: m.id(), utilization: u.mean(), instances })
+            let instances = m.running_instances_at(t);
+            Some(MachineLoad {
+                machine: m.id(),
+                utilization: u.mean(),
+                instances,
+            })
         })
         .collect();
     loads.sort_by(|a, b| {
@@ -64,11 +68,15 @@ pub fn machine_peak_concurrency(ds: &TraceDataset, machine: MachineId) -> usize 
     let Some(m) = ds.machine(machine) else {
         return 0;
     };
-    crate::stats::max_concurrency(m.instances().map(|i| (i.record.start_time, i.record.end_time)))
+    crate::stats::max_concurrency(
+        m.instances()
+            .map(|i| (i.record.start_time, i.record.end_time)),
+    )
 }
 
 /// The single hottest `(machine, metric, value, time)` sample over `window`,
-/// scanning every machine's series. `None` for an empty dataset/window.
+/// scanning every machine's series through borrowed views — no allocation
+/// per machine per metric. `None` for an empty dataset/window.
 pub fn hottest_sample(
     ds: &TraceDataset,
     window: &TimeRange,
@@ -76,8 +84,10 @@ pub fn hottest_sample(
     let mut best: Option<(MachineId, Metric, f64, Timestamp)> = None;
     for m in ds.machines() {
         for metric in Metric::ALL {
-            let Some(series) = m.usage(metric) else { continue };
-            for (t, v) in series.slice(window).iter() {
+            let Some(series) = m.usage(metric) else {
+                continue;
+            };
+            for (t, v) in series.slice_view(window).iter() {
                 if best.is_none_or(|(_, _, bv, _)| v > bv) {
                     best = Some((m.id(), metric, v, t));
                 }
@@ -87,6 +97,20 @@ pub fn hottest_sample(
     best
 }
 
+/// Windowed summary statistics for one machine/metric without copying the
+/// series — the view-based counterpart of slicing then calling `stats`.
+pub fn stats_in(
+    ds: &TraceDataset,
+    machine: MachineId,
+    metric: Metric,
+    window: &TimeRange,
+) -> Option<crate::SeriesStats> {
+    ds.machine(machine)?
+        .usage(metric)?
+        .slice_view(window)
+        .stats()
+}
+
 /// Total instance-seconds of work executed on `machine` (a crude "how much
 /// did this node do" measure).
 pub fn machine_instance_seconds(ds: &TraceDataset, machine: MachineId) -> i64 {
@@ -94,7 +118,11 @@ pub fn machine_instance_seconds(ds: &TraceDataset, machine: MachineId) -> i64 {
         return 0;
     };
     m.instances()
-        .map(|i| (i.record.end_time - i.record.start_time).as_seconds().max(0))
+        .map(|i| {
+            (i.record.end_time - i.record.start_time)
+                .as_seconds()
+                .max(0)
+        })
         .sum()
 }
 
@@ -189,6 +217,23 @@ mod tests {
         let (m, _metric, v, _t) = hottest_sample(&ds, &ds.span().unwrap()).unwrap();
         assert_eq!(m, MachineId::new(2)); // hottest machine
         assert!((v - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_stats_match_sliced_series() {
+        let ds = dataset();
+        let window = TimeRange::new(Timestamp::new(300), Timestamp::new(900)).unwrap();
+        let viewed = stats_in(&ds, MachineId::new(1), Metric::Cpu, &window).unwrap();
+        let sliced = ds
+            .machine(MachineId::new(1))
+            .unwrap()
+            .usage(Metric::Cpu)
+            .unwrap()
+            .slice(&window)
+            .stats()
+            .unwrap();
+        assert_eq!(viewed, sliced);
+        assert!(stats_in(&ds, MachineId::new(99), Metric::Cpu, &window).is_none());
     }
 
     #[test]

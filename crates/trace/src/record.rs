@@ -23,7 +23,10 @@ pub enum TaskStatus {
 impl TaskStatus {
     /// True for the terminal states (`Terminated`, `Failed`, `Cancelled`).
     pub const fn is_terminal(self) -> bool {
-        matches!(self, TaskStatus::Terminated | TaskStatus::Failed | TaskStatus::Cancelled)
+        matches!(
+            self,
+            TaskStatus::Terminated | TaskStatus::Failed | TaskStatus::Cancelled
+        )
     }
 
     /// The single-letter code used in the CSV dumps.
@@ -54,7 +57,10 @@ impl FromStr for TaskStatus {
             "T" | "Terminated" => Ok(TaskStatus::Terminated),
             "F" | "Failed" => Ok(TaskStatus::Failed),
             "C" | "Cancelled" => Ok(TaskStatus::Cancelled),
-            other => Err(TraceError::ParseField { field: "TaskStatus", value: other.to_owned() }),
+            other => Err(TraceError::ParseField {
+                field: "TaskStatus",
+                value: other.to_owned(),
+            }),
         }
     }
 }
@@ -196,9 +202,10 @@ impl FromStr for MachineEvent {
             "softerror" => Ok(MachineEvent::SoftError),
             "harderror" => Ok(MachineEvent::HardError),
             "remove" => Ok(MachineEvent::Remove),
-            other => {
-                Err(TraceError::ParseField { field: "MachineEvent", value: other.to_owned() })
-            }
+            other => Err(TraceError::ParseField {
+                field: "MachineEvent",
+                value: other.to_owned(),
+            }),
         }
     }
 }
@@ -250,9 +257,12 @@ mod tests {
 
     #[test]
     fn machine_event_codes_round_trip() {
-        for e in
-            [MachineEvent::Add, MachineEvent::SoftError, MachineEvent::HardError, MachineEvent::Remove]
-        {
+        for e in [
+            MachineEvent::Add,
+            MachineEvent::SoftError,
+            MachineEvent::HardError,
+            MachineEvent::Remove,
+        ] {
             assert_eq!(e.code().parse::<MachineEvent>().unwrap(), e);
         }
         assert!("reboot".parse::<MachineEvent>().is_err());
@@ -292,7 +302,10 @@ mod tests {
             plan_cpu: 1.0,
             plan_mem: 0.5,
         };
-        assert!(matches!(rec.lifetime(), Err(TraceError::InvertedInterval { .. })));
+        assert!(matches!(
+            rec.lifetime(),
+            Err(TraceError::InvertedInterval { .. })
+        ));
     }
 
     #[test]

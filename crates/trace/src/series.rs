@@ -1,3 +1,6 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::{TimeDelta, TimeRange, Timestamp, TraceError};
@@ -82,7 +85,13 @@ impl SeriesStats {
         let n = count as f64;
         let mean = sum / n;
         let var = (sum_sq / n - mean * mean).max(0.0);
-        Some(SeriesStats { count, min, max, mean, std_dev: var.sqrt() })
+        Some(SeriesStats {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        })
     }
 }
 
@@ -94,7 +103,10 @@ impl TimeSeries {
 
     /// Creates an empty series with capacity for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+        TimeSeries {
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
     }
 
     /// Builds a series from unordered `(t, v)` pairs, sorting by time.
@@ -134,7 +146,10 @@ impl TimeSeries {
     pub fn push(&mut self, t: Timestamp, value: f64) -> Result<(), TraceError> {
         if let Some(&last) = self.times.last() {
             if t <= last {
-                return Err(TraceError::UnorderedSamples { previous: last, offending: t });
+                return Err(TraceError::UnorderedSamples {
+                    previous: last,
+                    offending: t,
+                });
             }
         }
         self.times.push(t);
@@ -225,12 +240,30 @@ impl TimeSeries {
     }
 
     /// Copies the samples whose timestamps fall inside `range` (half-open).
+    ///
+    /// Prefer [`TimeSeries::slice_view`] on hot paths — it borrows instead
+    /// of copying.
     pub fn slice(&self, range: &TimeRange) -> TimeSeries {
+        self.slice_view(range).to_owned()
+    }
+
+    /// A borrowed view of the whole series.
+    pub fn view(&self) -> SeriesView<'_> {
+        SeriesView {
+            times: &self.times,
+            values: &self.values,
+        }
+    }
+
+    /// A borrowed view of the samples inside `range` (half-open). No
+    /// allocation: window scans over many machines should use this instead
+    /// of [`TimeSeries::slice`].
+    pub fn slice_view(&self, range: &TimeRange) -> SeriesView<'_> {
         let start = self.times.partition_point(|&t| t < range.start());
         let end = self.times.partition_point(|&t| t < range.end());
-        TimeSeries {
-            times: self.times[start..end].to_vec(),
-            values: self.values[start..end].to_vec(),
+        SeriesView {
+            times: &self.times[start..end],
+            values: &self.values[start..end],
         }
     }
 
@@ -245,7 +278,9 @@ impl TimeSeries {
     /// Returns [`TraceError::InvalidResolution`] for non-positive resolutions.
     pub fn resample(&self, resolution: TimeDelta, how: Resample) -> Result<TimeSeries, TraceError> {
         if !resolution.is_positive() {
-            return Err(TraceError::InvalidResolution { seconds: resolution.as_seconds() });
+            return Err(TraceError::InvalidResolution {
+                seconds: resolution.as_seconds(),
+            });
         }
         let mut out = TimeSeries::new();
         let mut i = 0usize;
@@ -284,21 +319,14 @@ impl TimeSeries {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
     /// statistics; `None` when empty or `q` is out of range / NaN.
+    ///
+    /// Runs in O(n) expected time via selection rather than a full sort.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.is_empty() || q.is_nan() || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            Some(sorted[lo])
-        } else {
-            let frac = pos - lo as f64;
-            Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
-        }
+        let mut scratch = self.values.clone();
+        Some(quantile_select(&mut scratch, q))
     }
 
     /// Maps every value through `f`, keeping timestamps.
@@ -315,20 +343,314 @@ impl TimeSeries {
     /// yet at a grid point do not contribute there.
     ///
     /// This is the aggregation behind the paper's system-wide timeline view.
+    /// It runs a single k-way merge sweep holding one cursor per series —
+    /// O(total samples · log M) for M series — instead of a binary search
+    /// per series per union-grid point.
+    pub fn mean_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        sweep_aggregate(series, MeanAccum::default())
+    }
+
+    /// Pointwise sum of many series on the union grid (sample-and-hold),
+    /// by the same sweep as [`TimeSeries::mean_of`]. Series that have not
+    /// started yet contribute nothing.
+    pub fn sum_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        sweep_aggregate(series, SumAccum::default())
+    }
+
+    /// Pointwise maximum of many series on the union grid (sample-and-hold),
+    /// by the same sweep as [`TimeSeries::mean_of`]. The running maximum is
+    /// maintained in an ordered multiset, so one series dropping from the
+    /// top never forces a rescan of the others.
+    pub fn max_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        sweep_aggregate(series, MaxAccum::default())
+    }
+
+    /// Pointwise difference `self - other` on `self`'s grid using
+    /// sample-and-hold lookups into `other`; grid points where `other` has
+    /// no value yet are skipped.
+    ///
+    /// A two-cursor merge: O(n + m) instead of a binary search into `other`
+    /// per sample of `self`.
+    #[must_use]
+    pub fn sub_series(&self, other: &TimeSeries) -> TimeSeries {
+        let mut out = TimeSeries::with_capacity(self.len());
+        let mut j = 0usize; // first index of `other` with time > t
+        for (t, v) in self.iter() {
+            while j < other.len() && other.times[j] <= t {
+                j += 1;
+            }
+            if j > 0 {
+                out.push(t, v - other.values[j - 1])
+                    .expect("self grid is strictly increasing");
+            }
+        }
+        out
+    }
+}
+
+/// Interpolated `q`-quantile of `values` by in-place selection — O(n)
+/// expected, no full sort. Shared by [`TimeSeries::quantile`] and the
+/// median/MAD paths in the analytics crate.
+///
+/// # Panics
+///
+/// Panics when `values` is empty or `q` is outside `[0, 1]` / NaN.
+pub fn quantile_select(values: &mut [f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction {q} outside [0, 1]"
+    );
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let (_, &mut lo_v, rest) = values.select_nth_unstable_by(lo, f64::total_cmp);
+    let frac = pos - lo as f64;
+    if frac == 0.0 {
+        return lo_v;
+    }
+    // The hi = lo+1 order statistic is the minimum of the right partition.
+    let hi_v = rest.iter().copied().fold(f64::INFINITY, f64::min);
+    lo_v + (hi_v - lo_v) * frac
+}
+
+// ------------------------------------------------------- k-way merge sweep --
+
+/// Folds the per-series sample-and-hold state of a sweep into one output
+/// value per union-grid point.
+trait SweepAccum {
+    /// A series produced its first sample, `new`.
+    fn enter(&mut self, new: f64);
+    /// A started series moved from value `old` to `new`.
+    fn update(&mut self, old: f64, new: f64);
+    /// The aggregate over the currently started series.
+    fn emit(&self) -> f64;
+}
+
+#[derive(Default)]
+struct MeanAccum {
+    sum: f64,
+    count: usize,
+}
+
+impl SweepAccum for MeanAccum {
+    fn enter(&mut self, new: f64) {
+        self.sum += new;
+        self.count += 1;
+    }
+    fn update(&mut self, old: f64, new: f64) {
+        self.sum += new - old;
+    }
+    fn emit(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+#[derive(Default)]
+struct SumAccum {
+    sum: f64,
+}
+
+impl SweepAccum for SumAccum {
+    fn enter(&mut self, new: f64) {
+        self.sum += new;
+    }
+    fn update(&mut self, old: f64, new: f64) {
+        self.sum += new - old;
+    }
+    fn emit(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Ordered multiset of the started series' current values (total order over
+/// f64 bits), so the maximum survives arbitrary per-series updates.
+#[derive(Default)]
+struct MaxAccum {
+    values: std::collections::BTreeMap<u64, u32>,
+}
+
+/// Monotone bijection from f64 to u64 preserving `total_cmp` order.
+fn f64_order_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    bits ^ (((bits as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+fn f64_from_order_key(k: u64) -> f64 {
+    let bits = k ^ ((((k ^ 0x8000_0000_0000_0000) as i64 >> 63) as u64) | 0x8000_0000_0000_0000);
+    f64::from_bits(bits)
+}
+
+impl SweepAccum for MaxAccum {
+    fn enter(&mut self, new: f64) {
+        *self.values.entry(f64_order_key(new)).or_insert(0) += 1;
+    }
+    fn update(&mut self, old: f64, new: f64) {
+        let old_key = f64_order_key(old);
+        if let Some(n) = self.values.get_mut(&old_key) {
+            *n -= 1;
+            if *n == 0 {
+                self.values.remove(&old_key);
+            }
+        }
+        self.enter(new);
+    }
+    fn emit(&self) -> f64 {
+        self.values
+            .keys()
+            .next_back()
+            .copied()
+            .map(f64_from_order_key)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// The shared sweep: one cursor per series, a min-heap of `(next time,
+/// series)`, and a running accumulator over the started series' current
+/// values. Emits one sample per distinct timestamp in the union grid.
+fn sweep_aggregate<'a, I, A>(series: I, mut acc: A) -> TimeSeries
+where
+    I: IntoIterator<Item = &'a TimeSeries>,
+    A: SweepAccum,
+{
+    let series: Vec<&TimeSeries> = series.into_iter().filter(|s| !s.is_empty()).collect();
+    let total: usize = series.iter().map(|s| s.len()).sum();
+    let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Reverse((s.times[0], i)))
+        .collect();
+    // cursor[i] = index of the *next* unconsumed sample of series i.
+    let mut cursor = vec![0usize; series.len()];
+    let mut current = vec![0.0f64; series.len()];
+    let mut out = TimeSeries::with_capacity(total.min(1 << 20));
+    while let Some(&Reverse((t, _))) = heap.peek() {
+        // Consume every series sample stamped exactly `t`.
+        while let Some(mut top) = heap.peek_mut() {
+            let Reverse((next_t, i)) = *top;
+            if next_t != t {
+                break;
+            }
+            let j = cursor[i];
+            let new = series[i].values[j];
+            if j == 0 {
+                acc.enter(new);
+            } else {
+                acc.update(current[i], new);
+            }
+            current[i] = new;
+            cursor[i] = j + 1;
+            if j + 1 < series[i].len() {
+                // Replace the root in place: one sift instead of pop+push.
+                *top = Reverse((series[i].times[j + 1], i));
+            } else {
+                std::collections::binary_heap::PeekMut::pop(top);
+            }
+        }
+        // Union grid timestamps strictly increase across iterations.
+        out.push(t, acc.emit())
+            .expect("sweep emits strictly increasing grid");
+    }
+    out
+}
+
+/// A borrowed, zero-copy window over a [`TimeSeries`].
+///
+/// Window scans that previously cloned sub-series per machine per metric
+/// (hottest-sample search, windowed stats) borrow the underlying sample
+/// storage instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesView<'a> {
+    times: &'a [Timestamp],
+    values: &'a [f64],
+}
+
+impl<'a> SeriesView<'a> {
+    /// Number of samples in the view.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The timestamps, sorted ascending.
+    pub fn times(&self) -> &'a [Timestamp] {
+        self.times
+    }
+
+    /// The values, parallel to [`SeriesView::times`].
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Iterates `(timestamp, value)` pairs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + 'a {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// First sample, if any.
+    pub fn first(&self) -> Option<(Timestamp, f64)> {
+        Some((*self.times.first()?, *self.values.first()?))
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(Timestamp, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Narrows the view to `range` (half-open), still without copying.
+    pub fn slice(&self, range: &TimeRange) -> SeriesView<'a> {
+        let start = self.times.partition_point(|&t| t < range.start());
+        let end = self.times.partition_point(|&t| t < range.end());
+        SeriesView {
+            times: &self.times[start..end],
+            values: &self.values[start..end],
+        }
+    }
+
+    /// Summary statistics over the view; `None` when empty.
+    pub fn stats(&self) -> Option<SeriesStats> {
+        SeriesStats::from_values(self.values)
+    }
+
+    /// Copies the view into an owned series.
+    pub fn to_owned(&self) -> TimeSeries {
+        TimeSeries {
+            times: self.times.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
+}
+
+/// Reference implementations of the aggregation kernels, kept for
+/// differential testing and as benchmark baselines.
+///
+/// These are the pre-sweep algorithms: a union grid with one binary search
+/// per series per grid point. They are O(G·M·log S) where the sweep kernels
+/// are O(total · log M) — do not call them on hot paths.
+pub mod naive {
+    use super::{TimeSeries, Timestamp};
+
+    /// Reference [`TimeSeries::mean_of`].
     pub fn mean_of<'a, I>(series: I) -> TimeSeries
     where
         I: IntoIterator<Item = &'a TimeSeries>,
         I::IntoIter: Clone,
     {
         let iter = series.into_iter();
-        let mut grid: Vec<Timestamp> = Vec::new();
-        for s in iter.clone() {
-            grid.extend_from_slice(s.times());
-        }
-        grid.sort_unstable();
-        grid.dedup();
-        let mut out = TimeSeries::with_capacity(grid.len());
-        for t in grid {
+        let mut out = TimeSeries::with_capacity(0);
+        for t in union_grid(iter.clone()) {
             let mut sum = 0.0;
             let mut n = 0usize;
             for s in iter.clone() {
@@ -338,25 +660,81 @@ impl TimeSeries {
                 }
             }
             if n > 0 {
-                // Grid is sorted+deduped, so pushes are strictly increasing.
-                out.push(t, sum / n as f64).expect("grid is strictly increasing");
+                out.push(t, sum / n as f64)
+                    .expect("grid is strictly increasing");
             }
         }
         out
     }
 
-    /// Pointwise difference `self - other` on `self`'s grid using
-    /// sample-and-hold lookups into `other`; grid points where `other` has
-    /// no value yet are skipped.
-    #[must_use]
-    pub fn sub_series(&self, other: &TimeSeries) -> TimeSeries {
-        let mut out = TimeSeries::with_capacity(self.len());
-        for (t, v) in self.iter() {
-            if let Some(o) = other.value_at_or_before(t) {
-                out.push(t, v - o).expect("self grid is strictly increasing");
+    /// Reference [`TimeSeries::sum_of`].
+    pub fn sum_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+        I::IntoIter: Clone,
+    {
+        let iter = series.into_iter();
+        let mut out = TimeSeries::with_capacity(0);
+        for t in union_grid(iter.clone()) {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for s in iter.clone() {
+                if let Some(v) = s.value_at_or_before(t) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out.push(t, sum).expect("grid is strictly increasing");
             }
         }
         out
+    }
+
+    /// Reference [`TimeSeries::max_of`].
+    pub fn max_of<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+        I::IntoIter: Clone,
+    {
+        let iter = series.into_iter();
+        let mut out = TimeSeries::with_capacity(0);
+        for t in union_grid(iter.clone()) {
+            let mut max = f64::NEG_INFINITY;
+            let mut n = 0usize;
+            for s in iter.clone() {
+                if let Some(v) = s.value_at_or_before(t) {
+                    max = max.max(v);
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out.push(t, max).expect("grid is strictly increasing");
+            }
+        }
+        out
+    }
+
+    /// Reference [`TimeSeries::sub_series`]: binary search per sample.
+    pub fn sub_series(a: &TimeSeries, other: &TimeSeries) -> TimeSeries {
+        let mut out = TimeSeries::with_capacity(a.len());
+        for (t, v) in a.iter() {
+            if let Some(o) = other.value_at_or_before(t) {
+                out.push(t, v - o)
+                    .expect("self grid is strictly increasing");
+            }
+        }
+        out
+    }
+
+    fn union_grid<'a, I: Iterator<Item = &'a TimeSeries>>(iter: I) -> Vec<Timestamp> {
+        let mut grid: Vec<Timestamp> = Vec::new();
+        for s in iter {
+            grid.extend_from_slice(s.times());
+        }
+        grid.sort_unstable();
+        grid.dedup();
+        grid
     }
 }
 
@@ -390,7 +768,9 @@ mod tests {
     use super::*;
 
     fn ramp(n: i64, step: i64) -> TimeSeries {
-        (0..n).map(|i| (Timestamp::new(i * step), i as f64)).collect()
+        (0..n)
+            .map(|i| (Timestamp::new(i * step), i as f64))
+            .collect()
     }
 
     #[test]
@@ -414,10 +794,8 @@ mod tests {
         assert_eq!(s.times()[0], Timestamp::new(0));
         assert_eq!(s.times()[2], Timestamp::new(20));
 
-        let dup = TimeSeries::from_samples(vec![
-            (Timestamp::new(0), 0.0),
-            (Timestamp::new(0), 1.0),
-        ]);
+        let dup =
+            TimeSeries::from_samples(vec![(Timestamp::new(0), 0.0), (Timestamp::new(0), 1.0)]);
         assert!(dup.is_err());
     }
 
@@ -453,13 +831,16 @@ mod tests {
     #[test]
     fn resample_mean_and_max() {
         // 1 Hz ramp over 10 minutes, re-bucketed to 300 s.
-        let s: TimeSeries =
-            (0..600).map(|i| (Timestamp::new(i), i as f64)).collect();
-        let mean = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap();
+        let s: TimeSeries = (0..600).map(|i| (Timestamp::new(i), i as f64)).collect();
+        let mean = s
+            .resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean)
+            .unwrap();
         assert_eq!(mean.len(), 2);
         assert!((mean.values()[0] - 149.5).abs() < 1e-9);
         assert!((mean.values()[1] - 449.5).abs() < 1e-9);
-        let max = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Max).unwrap();
+        let max = s
+            .resample(TimeDelta::BATCH_RESOLUTION, Resample::Max)
+            .unwrap();
         assert_eq!(max.values(), &[299.0, 599.0]);
     }
 
@@ -471,12 +852,12 @@ mod tests {
 
     #[test]
     fn resample_skips_empty_buckets() {
-        let s = TimeSeries::from_samples(vec![
-            (Timestamp::new(0), 1.0),
-            (Timestamp::new(900), 2.0),
-        ])
-        .unwrap();
-        let r = s.resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean).unwrap();
+        let s =
+            TimeSeries::from_samples(vec![(Timestamp::new(0), 1.0), (Timestamp::new(900), 2.0)])
+                .unwrap();
+        let r = s
+            .resample(TimeDelta::BATCH_RESOLUTION, Resample::Mean)
+            .unwrap();
         assert_eq!(r.times(), &[Timestamp::new(0), Timestamp::new(900)]);
     }
 
@@ -508,16 +889,94 @@ mod tests {
 
     #[test]
     fn mean_of_uses_sample_and_hold() {
-        let a = TimeSeries::from_samples(vec![
-            (Timestamp::new(0), 0.0),
-            (Timestamp::new(100), 1.0),
-        ])
-        .unwrap();
+        let a =
+            TimeSeries::from_samples(vec![(Timestamp::new(0), 0.0), (Timestamp::new(100), 1.0)])
+                .unwrap();
         let b = TimeSeries::from_samples(vec![(Timestamp::new(50), 3.0)]).unwrap();
         let m = TimeSeries::mean_of([&a, &b]);
         // grid: 0 (only a), 50 (a holds 0.0, b=3 → 1.5), 100 (a=1, b holds 3 → 2)
-        assert_eq!(m.times(), &[Timestamp::new(0), Timestamp::new(50), Timestamp::new(100)]);
+        assert_eq!(
+            m.times(),
+            &[Timestamp::new(0), Timestamp::new(50), Timestamp::new(100)]
+        );
         assert_eq!(m.values(), &[0.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn sum_and_max_follow_sample_and_hold() {
+        let a =
+            TimeSeries::from_samples(vec![(Timestamp::new(0), 1.0), (Timestamp::new(100), 4.0)])
+                .unwrap();
+        let b = TimeSeries::from_samples(vec![(Timestamp::new(50), 3.0)]).unwrap();
+        let sum = TimeSeries::sum_of([&a, &b]);
+        assert_eq!(
+            sum.times(),
+            &[Timestamp::new(0), Timestamp::new(50), Timestamp::new(100)]
+        );
+        assert_eq!(sum.values(), &[1.0, 4.0, 7.0]);
+        let max = TimeSeries::max_of([&a, &b]);
+        assert_eq!(max.values(), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_irregular_grids() {
+        let a = TimeSeries::from_samples(vec![
+            (Timestamp::new(0), 0.25),
+            (Timestamp::new(7), 0.5),
+            (Timestamp::new(300), 0.125),
+        ])
+        .unwrap();
+        let b = TimeSeries::from_samples(vec![(Timestamp::new(3), 1.5), (Timestamp::new(7), -2.0)])
+            .unwrap();
+        let c = TimeSeries::new();
+        let sets: [&[&TimeSeries]; 3] = [&[&a, &b, &c], &[&a], &[]];
+        for set in sets {
+            assert_eq!(
+                TimeSeries::mean_of(set.iter().copied()),
+                naive::mean_of(set.iter().copied())
+            );
+            assert_eq!(
+                TimeSeries::sum_of(set.iter().copied()),
+                naive::sum_of(set.iter().copied())
+            );
+            assert_eq!(
+                TimeSeries::max_of(set.iter().copied()),
+                naive::max_of(set.iter().copied())
+            );
+        }
+        assert_eq!(a.sub_series(&b), naive::sub_series(&a, &b));
+        assert_eq!(b.sub_series(&a), naive::sub_series(&b, &a));
+    }
+
+    #[test]
+    fn views_borrow_without_copying() {
+        let s = ramp(10, 60);
+        let r = TimeRange::new(Timestamp::new(60), Timestamp::new(240)).unwrap();
+        let v = s.slice_view(&r);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.first().unwrap().0, Timestamp::new(60));
+        assert_eq!(v.last().unwrap().0, Timestamp::new(180));
+        assert_eq!(v.to_owned(), s.slice(&r));
+        assert_eq!(v.stats().unwrap().count, 3);
+        // Narrowing a view agrees with slicing the owned series.
+        let narrower = TimeRange::new(Timestamp::new(120), Timestamp::new(240)).unwrap();
+        assert_eq!(v.slice(&narrower).to_owned(), s.slice(&narrower));
+        assert_eq!(s.view().len(), s.len());
+        assert!(TimeSeries::new().view().is_empty());
+    }
+
+    #[test]
+    fn quantile_select_matches_sorted_definition() {
+        let values = [5.0, 1.0, 4.0, 2.0, 3.0, 2.5];
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let pos = q * (sorted.len() - 1) as f64;
+            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+            let expected = sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64);
+            let got = quantile_select(&mut values.to_vec(), q);
+            assert!((got - expected).abs() < 1e-12, "q={q}: {got} vs {expected}");
+        }
     }
 
     #[test]

@@ -67,7 +67,12 @@ impl DatasetStats {
 
         let max_concurrent = ds
             .machines()
-            .map(|m| max_concurrency(m.instances().map(|i| (i.record.start_time, i.record.end_time))))
+            .map(|m| {
+                max_concurrency(
+                    m.instances()
+                        .map(|i| (i.record.start_time, i.record.end_time)),
+                )
+            })
             .max()
             .unwrap_or(0);
 
@@ -273,7 +278,10 @@ mod tests {
     #[test]
     fn max_concurrency_counts_overlaps() {
         let t = Timestamp::new;
-        assert_eq!(max_concurrency(vec![(t(0), t(10)), (t(5), t(15)), (t(20), t(30))]), 2);
+        assert_eq!(
+            max_concurrency(vec![(t(0), t(10)), (t(5), t(15)), (t(20), t(30))]),
+            2
+        );
         // Half-open: one interval ending exactly when another starts is not overlap.
         assert_eq!(max_concurrency(vec![(t(0), t(10)), (t(10), t(20))]), 1);
         assert_eq!(max_concurrency(Vec::<(Timestamp, Timestamp)>::new()), 0);

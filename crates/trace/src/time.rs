@@ -40,7 +40,9 @@ impl Timestamp {
     /// strictly positive.
     pub fn align_down(self, resolution: TimeDelta) -> Result<Self, TraceError> {
         if resolution.0 <= 0 {
-            return Err(TraceError::InvalidResolution { seconds: resolution.0 });
+            return Err(TraceError::InvalidResolution {
+                seconds: resolution.0,
+            });
         }
         Ok(Timestamp(self.0.div_euclid(resolution.0) * resolution.0))
     }
@@ -238,7 +240,10 @@ impl TimeRange {
 
     /// Interval covering the whole v2017 trace window, `[0, 86400)`.
     pub fn full_day() -> Self {
-        TimeRange { start: Timestamp::ZERO, end: Timestamp::new(86_400) }
+        TimeRange {
+            start: Timestamp::ZERO,
+            end: Timestamp::new(86_400),
+        }
     }
 
     /// Interval start (inclusive).
@@ -335,8 +340,14 @@ mod tests {
     #[test]
     fn align_to_batch_grid() {
         let r = TimeDelta::BATCH_RESOLUTION;
-        assert_eq!(Timestamp::new(47400).align_down(r).unwrap().seconds(), 47400);
-        assert_eq!(Timestamp::new(47401).align_down(r).unwrap().seconds(), 47400);
+        assert_eq!(
+            Timestamp::new(47400).align_down(r).unwrap().seconds(),
+            47400
+        );
+        assert_eq!(
+            Timestamp::new(47401).align_down(r).unwrap().seconds(),
+            47400
+        );
         assert_eq!(Timestamp::new(47401).align_up(r).unwrap().seconds(), 47700);
         assert_eq!(Timestamp::new(-1).align_down(r).unwrap().seconds(), -300);
     }
@@ -389,8 +400,10 @@ mod tests {
     #[test]
     fn steps_cover_range_exclusively() {
         let r = TimeRange::new(Timestamp::new(0), Timestamp::new(900)).unwrap();
-        let pts: Vec<i64> =
-            r.steps(TimeDelta::BATCH_RESOLUTION).map(|t| t.seconds()).collect();
+        let pts: Vec<i64> = r
+            .steps(TimeDelta::BATCH_RESOLUTION)
+            .map(|t| t.seconds())
+            .collect();
         assert_eq!(pts, vec![0, 300, 600]);
         // Non-positive step: empty.
         assert_eq!(r.steps(TimeDelta::ZERO).count(), 0);

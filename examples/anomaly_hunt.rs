@@ -18,13 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dataset, truth) = sim.run_with_truth()?;
     println!(
         "scanning a {:.0}h trace: {} jobs on {} machines",
-        dataset.span().map_or(0.0, |s| s.duration().as_secs_f64() / 3600.0),
+        dataset
+            .span()
+            .map_or(0.0, |s| s.duration().as_secs_f64() / 3600.0),
         dataset.job_count(),
         dataset.machine_count()
     );
 
-    let truth_anomalous: BTreeSet<JobId> =
-        truth.anomalous_jobs.iter().map(|(j, _)| *j).collect();
+    let truth_anomalous: BTreeSet<JobId> = truth.anomalous_jobs.iter().map(|(j, _)| *j).collect();
     println!("injected anomalies: {:?}", truth.anomalous_jobs);
 
     // Sweep the batch grid, diagnosing each active snapshot and collecting
@@ -57,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Show the classification at the canonical timestamps.
-    for (label, t) in
-        [("fig3b", scenario::T_FIG3B), ("fig3c", scenario::T_FIG3C)]
-    {
+    for (label, t) in [("fig3b", scenario::T_FIG3B), ("fig3c", scenario::T_FIG3C)] {
         println!("\n--- verdicts @ {label} ({t}) ---");
         for d in analyzer.analyze(&dataset, t) {
             if d.verdict != Verdict::Healthy {

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap()
         .0;
     let members = clusters.members(hottest);
-    println!("\nhottest cluster {hottest} has {} machines:", members.len());
+    println!(
+        "\nhottest cluster {hottest} has {} machines:",
+        members.len()
+    );
     for m in members.iter().take(8) {
         print!("{m} ");
     }
@@ -60,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svg = to_svg(&RadialComparison::new(480.0, 480.0).render(&spokes));
     let out = std::env::temp_dir().join("batchlens_behavior_radial.svg");
     std::fs::write(&out, &svg)?;
-    println!("\nwrote radial comparison ({} bytes) to {}", svg.len(), out.display());
+    println!(
+        "\nwrote radial comparison ({} bytes) to {}",
+        svg.len(),
+        out.display()
+    );
 
     Ok(())
 }

@@ -18,9 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     type Build = Box<dyn Fn() -> batchlens::sim::Simulation>;
     let cases: [(&str, Build, Timestamp); 3] = [
-        ("fig3a_healthy", Box::new(|| scenario::fig3a(7)), scenario::T_FIG3A),
-        ("fig3b_medium_spike", Box::new(|| scenario::fig3b(7)), scenario::T_FIG3B),
-        ("fig3c_overload_thrashing", Box::new(|| scenario::fig3c(7)), scenario::T_FIG3C),
+        (
+            "fig3a_healthy",
+            Box::new(|| scenario::fig3a(7)),
+            scenario::T_FIG3A,
+        ),
+        (
+            "fig3b_medium_spike",
+            Box::new(|| scenario::fig3b(7)),
+            scenario::T_FIG3B,
+        ),
+        (
+            "fig3c_overload_thrashing",
+            Box::new(|| scenario::fig3c(7)),
+            scenario::T_FIG3C,
+        ),
     ];
 
     for (name, build, at) in cases {
@@ -37,11 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let art = pipe.artifacts_at(at, 900.0, 620.0)?;
         let path = out_dir.join(format!("{name}_dashboard.svg"));
         std::fs::write(&path, &art.dashboard_svg)?;
-        println!("wrote {} ({} bytes)", path.display(), art.dashboard_svg.len());
+        println!(
+            "wrote {} ({} bytes)",
+            path.display(),
+            art.dashboard_svg.len()
+        );
     }
 
     // The mass shutdown: show the cluster before and after timestamp 44100.
-    println!("\n################ mass shutdown @ {} ################", scenario::T_SHUTDOWN);
+    println!(
+        "\n################ mass shutdown @ {} ################",
+        scenario::T_SHUTDOWN
+    );
     let ds = scenario::fig3c(7).run()?;
     let before = ds.jobs_running_at(Timestamp::new(scenario::T_SHUTDOWN.seconds() - 60));
     let after = ds.jobs_running_at(Timestamp::new(scenario::T_SHUTDOWN.seconds() + 60));

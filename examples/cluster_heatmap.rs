@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svg = to_svg(&scene);
     let out = std::env::temp_dir().join("batchlens_heatmap.svg");
     std::fs::write(&out, &svg)?;
-    println!("wrote {}×time CPU heatmap ({} KiB) to {}", ds.machine_count(), svg.len() / 1024, out.display());
+    println!(
+        "wrote {}×time CPU heatmap ({} KiB) to {}",
+        ds.machine_count(),
+        svg.len() / 1024,
+        out.display()
+    );
 
     // The mass shutdown at 44100 is the day's sharpest collapse.
     let diff = SnapshotDiff::between(&ds, scenario::T_FIG3C, scenario::T_SHUTDOWN);

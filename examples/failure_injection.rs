@@ -29,10 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f.machine,
             if f.hard { "CRASH" } else { "soft-error" },
             f.at,
-            f.recover_after.map(|d| format!(" (recovers after {d})")).unwrap_or_default()
+            f.recover_after
+                .map(|d| format!(" (recovers after {d})"))
+                .unwrap_or_default()
         );
     }
-    println!("\n{} machine-event records emitted", failure_events(&failures).len());
+    println!(
+        "\n{} machine-event records emitted",
+        failure_events(&failures).len()
+    );
 
     let mut cfg = SimConfig::small(7);
     cfg.machines = 40;

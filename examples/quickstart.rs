@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsnapshot at {}", app.now());
 
     let snapshot = app.snapshot();
-    println!("{} job bubble(s), {} node glyph(s)", snapshot.jobs.len(), snapshot.total_nodes());
+    println!(
+        "{} job bubble(s), {} node glyph(s)",
+        snapshot.jobs.len(),
+        snapshot.total_nodes()
+    );
 
     // 3. Select the first running job and switch the detail metric.
     if let Some(job) = snapshot.jobs.first() {
@@ -41,11 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svg = app.render_bubble(700.0, 700.0);
     let out = std::env::temp_dir().join("batchlens_quickstart.svg");
     std::fs::write(&out, &svg)?;
-    println!("\nwrote bubble chart ({} bytes) to {}", svg.len(), out.display());
+    println!(
+        "\nwrote bubble chart ({} bytes) to {}",
+        svg.len(),
+        out.display()
+    );
 
     // 5. Step the snapshot forward and show the regime banner.
     app.apply(Event::StepTimestamp(600));
-    println!("{}", batchlens::report::regime_banner(app.dataset(), app.now()));
+    println!(
+        "{}",
+        batchlens::report::regime_banner(app.dataset(), app.now())
+    );
 
     Ok(())
 }

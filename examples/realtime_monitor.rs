@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Spot-check one machine's current rolling CPU window.
     if let Some(series) = monitor.series(batchlens::trace::MachineId::new(0), Metric::Cpu) {
-        println!("machine_0 rolling CPU window holds {} samples", series.len());
+        println!(
+            "machine_0 rolling CPU window holds {} samples",
+            series.len()
+        );
     }
 
     Ok(())

@@ -13,7 +13,11 @@ use batchlens::trace::{TimeDelta, Timestamp};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("policy         | mean util | util spread (p90-p10) | max shared machines");
     println!("---------------|-----------|-----------------------|--------------------");
-    for sched in [SchedulerKind::LeastLoaded, SchedulerKind::RoundRobin, SchedulerKind::Packing] {
+    for sched in [
+        SchedulerKind::LeastLoaded,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Packing,
+    ] {
         let mut cfg = SimConfig::medium(7);
         cfg.scheduler = sched;
         let ds = Simulation::new(cfg).run()?;
@@ -44,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\nleast-loaded / round-robin spread every job across all machines, so"
-    );
+    println!("\nleast-loaded / round-robin spread every job across all machines, so");
     println!("many jobs share each node (dense co-allocation links, the Fig 3(b) case).");
     println!("packing dedicates a node to one job until full, so far fewer nodes are");
     println!("shared and the per-node load is the most even.");

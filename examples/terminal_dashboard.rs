@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n======== {label} ========");
         println!("{}", regime_banner(&ds, at));
         let snap = HierarchySnapshot::at(&ds, at);
-        println!("{} jobs, {} node glyphs", snap.jobs.len(), snap.total_nodes());
+        println!(
+            "{} jobs, {} node glyphs",
+            snap.jobs.len(),
+            snap.total_nodes()
+        );
         let scene = BubbleChart::new(600.0, 600.0).labels(false).render(&snap);
         let canvas = AsciiCanvas::render(&scene, 72, 32);
         print!("{}", canvas.to_text());

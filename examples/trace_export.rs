@@ -12,13 +12,17 @@ use batchlens::sim::{SimConfig, Simulation};
 use batchlens::trace::csv;
 use batchlens::trace::stats::DatasetStats;
 use batchlens::trace::{
-    BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ServerUsageRecord, TraceDatasetBuilder,
+    BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ServerUsageRecord,
+    TraceDatasetBuilder,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Simulation::new(SimConfig::small(99)).run()?;
     let before = DatasetStats::compute(&dataset);
-    println!("original: {} jobs, {} instances", before.jobs, before.instances);
+    println!(
+        "original: {} jobs, {} instances",
+        before.jobs, before.instances
+    );
 
     // Flatten the dataset back into the four v2017 tables.
     let tasks: Vec<BatchTaskRecord> = dataset.task_records().copied().collect();
@@ -29,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cpu = m.usage(batchlens::trace::Metric::Cpu);
             let times: Vec<_> = cpu.map(|s| s.times().to_vec()).unwrap_or_default();
             times.into_iter().filter_map(move |t| {
-                m.util_at(t).map(|util| ServerUsageRecord { time: t, machine: m.id(), util })
+                m.util_at(t).map(|util| ServerUsageRecord {
+                    time: t,
+                    machine: m.id(),
+                    util,
+                })
             })
         })
         .collect();
@@ -64,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rebuilt = builder.build()?;
     let after = DatasetStats::compute(&rebuilt);
 
-    println!("rebuilt : {} jobs, {} instances", after.jobs, after.instances);
+    println!(
+        "rebuilt : {} jobs, {} instances",
+        after.jobs, after.instances
+    );
     assert_eq!(before.jobs, after.jobs);
     assert_eq!(before.instances, after.instances);
     assert_eq!(before.tasks, after.tasks);

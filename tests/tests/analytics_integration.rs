@@ -18,15 +18,21 @@ fn guided_tour_surfaces_anomalies_and_changes() {
     let stops = GuidedTour::new().discover(&ds);
     assert!(!stops.is_empty());
 
-    let has_thrashing = stops.iter().any(|s| matches!(
-        &s.reason,
-        StopReason::AnomalyOnset { job, .. } if *job == scenario::JOB_11939
-    ));
+    let has_thrashing = stops.iter().any(|s| {
+        matches!(
+            &s.reason,
+            StopReason::AnomalyOnset { job, .. } if *job == scenario::JOB_11939
+        )
+    });
     assert!(has_thrashing, "tour should find the thrashing job");
 
     // Every stop's timestamp has at least one running job.
     for stop in &stops {
-        assert!(!ds.jobs_running_at(stop.at).is_empty(), "dead stop at {}", stop.at);
+        assert!(
+            !ds.jobs_running_at(stop.at).is_empty(),
+            "dead stop at {}",
+            stop.at
+        );
     }
 }
 
@@ -93,9 +99,11 @@ fn supplementary_views_render() {
     let ds = scenario::fig3c(4).run().unwrap();
     let window = ds.span().unwrap();
 
-    let heatmap = to_svg(&Heatmap::new(1000.0, 500.0)
-        .bucket(TimeDelta::minutes(15))
-        .render(&ds, Metric::Cpu, &window));
+    let heatmap = to_svg(
+        &Heatmap::new(1000.0, 500.0)
+            .bucket(TimeDelta::minutes(15))
+            .render(&ds, Metric::Cpu, &window),
+    );
     assert!(heatmap.starts_with("<?xml"));
     assert!(heatmap.matches("<rect").count() > 10);
 
@@ -107,7 +115,11 @@ fn supplementary_views_render() {
             let machines = j.machines();
             let (subset, cluster) =
                 batchlens::analytics::compare::subset_vs_cluster(&ds, &machines, scenario::T_FIG3C);
-            Spoke { label: j.id().to_string(), before: cluster, after: subset }
+            Spoke {
+                label: j.id().to_string(),
+                before: cluster,
+                after: subset,
+            }
         })
         .collect();
     let radial = to_svg(&RadialComparison::new(400.0, 400.0).render(&spokes));

@@ -22,22 +22,30 @@ fn task_strategy() -> impl Strategy<Value = BatchTaskRecord> {
 }
 
 fn instance_strategy() -> impl Strategy<Value = BatchInstanceRecord> {
-    (0i64..86400, 1i64..5000, 1u32..10000, 1u32..50, 0u32..100, 0u32..2000).prop_map(
-        |(start, dur, job, task, seq, machine)| BatchInstanceRecord {
-            start_time: Timestamp::new(start),
-            end_time: Timestamp::new(start + dur),
-            job: JobId::new(job),
-            task: TaskId::new(task),
-            seq,
-            total: seq + 1,
-            machine: MachineId::new(machine),
-            status: InstanceStatus::Terminated,
-            cpu_avg: 0.4,
-            cpu_max: 0.8,
-            mem_avg: 0.3,
-            mem_max: 0.5,
-        },
+    (
+        0i64..86400,
+        1i64..5000,
+        1u32..10000,
+        1u32..50,
+        0u32..100,
+        0u32..2000,
     )
+        .prop_map(
+            |(start, dur, job, task, seq, machine)| BatchInstanceRecord {
+                start_time: Timestamp::new(start),
+                end_time: Timestamp::new(start + dur),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq,
+                total: seq + 1,
+                machine: MachineId::new(machine),
+                status: InstanceStatus::Terminated,
+                cpu_avg: 0.4,
+                cpu_max: 0.8,
+                mem_avg: 0.3,
+                mem_max: 0.5,
+            },
+        )
 }
 
 proptest! {
@@ -103,10 +111,16 @@ fn simulated_dataset_round_trips() {
     let usage: Vec<ServerUsageRecord> = ds
         .machines()
         .flat_map(|m| {
-            let times =
-                m.usage(Metric::Cpu).map(|s| s.times().to_vec()).unwrap_or_default();
+            let times = m
+                .usage(Metric::Cpu)
+                .map(|s| s.times().to_vec())
+                .unwrap_or_default();
             times.into_iter().filter_map(move |t| {
-                m.util_at(t).map(|util| ServerUsageRecord { time: t, machine: m.id(), util })
+                m.util_at(t).map(|util| ServerUsageRecord {
+                    time: t,
+                    machine: m.id(),
+                    util,
+                })
             })
         })
         .collect();

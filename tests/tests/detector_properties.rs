@@ -9,7 +9,11 @@ use batchlens::trace::{TimeDelta, TimeSeries, Timestamp};
 use proptest::prelude::*;
 
 fn to_series(values: &[f64]) -> TimeSeries {
-    values.iter().enumerate().map(|(i, &v)| (Timestamp::new(i as i64 * 60), v)).collect()
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (Timestamp::new(i as i64 * 60), v))
+        .collect()
 }
 
 proptest! {
@@ -102,7 +106,8 @@ fn detectors() -> Vec<Box<dyn Detector>> {
 }
 
 fn count_flagged(d: &dyn Detector, s: &TimeSeries) -> usize {
-    d.detect(s).iter().map(|sp| {
-        s.times().iter().filter(|&&t| sp.range.contains(t)).count()
-    }).sum()
+    d.detect(s)
+        .iter()
+        .map(|sp| s.times().iter().filter(|&&t| sp.range.contains(t)).count())
+        .sum()
 }

@@ -9,7 +9,10 @@ use batchlens::BatchLens;
 #[test]
 fn every_regime_renders_end_to_end() {
     for (build, at) in [
-        (scenario::fig3a as fn(u64) -> batchlens::sim::Simulation, scenario::T_FIG3A),
+        (
+            scenario::fig3a as fn(u64) -> batchlens::sim::Simulation,
+            scenario::T_FIG3A,
+        ),
         (scenario::fig3b, scenario::T_FIG3B),
         (scenario::fig3c, scenario::T_FIG3C),
     ] {
@@ -42,7 +45,10 @@ fn brush_narrows_detail_across_layers() {
     let brushed = app.selected_job_lines().unwrap();
     let brushed_points: usize = brushed.lines.iter().map(|l| l.series.len()).sum();
 
-    assert!(brushed_points < full_points, "brush should reduce plotted points");
+    assert!(
+        brushed_points < full_points,
+        "brush should reduce plotted points"
+    );
     assert_eq!(app.view().effective_window().end(), Timestamp::new(2400));
 }
 

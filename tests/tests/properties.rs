@@ -170,6 +170,194 @@ proptest! {
         }
     }
 
+    /// The sweep-based aggregation kernels agree with the naive
+    /// union-grid/binary-search reference implementations on random
+    /// irregular grids.
+    #[test]
+    fn sweep_kernels_match_naive(
+        grids in prop::collection::vec(
+            prop::collection::vec((1i64..120, -2.0f64..2.0), 1..60),
+            0..12,
+        ),
+    ) {
+        // Cumulative-sum the gaps so each series gets its own irregular,
+        // strictly increasing grid.
+        let series: Vec<TimeSeries> = grids
+            .iter()
+            .map(|gaps| {
+                let mut t = 0i64;
+                gaps.iter()
+                    .map(|&(gap, v)| {
+                        t += gap;
+                        (Timestamp::new(t), v)
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&TimeSeries> = series.iter().collect();
+
+        let mean = TimeSeries::mean_of(refs.iter().copied());
+        let naive_mean = batchlens::trace::naive::mean_of(refs.iter().copied());
+        prop_assert_eq!(mean.times(), naive_mean.times());
+        for (a, b) in mean.values().iter().zip(naive_mean.values()) {
+            prop_assert!((a - b).abs() < 1e-9, "mean {a} vs {b}");
+        }
+
+        let sum = TimeSeries::sum_of(refs.iter().copied());
+        let naive_sum = batchlens::trace::naive::sum_of(refs.iter().copied());
+        prop_assert_eq!(sum.times(), naive_sum.times());
+        for (a, b) in sum.values().iter().zip(naive_sum.values()) {
+            prop_assert!((a - b).abs() < 1e-9, "sum {a} vs {b}");
+        }
+
+        let max = TimeSeries::max_of(refs.iter().copied());
+        let naive_max = batchlens::trace::naive::max_of(refs.iter().copied());
+        prop_assert_eq!(&max, &naive_max);
+
+        if series.len() >= 2 {
+            prop_assert_eq!(
+                series[0].sub_series(&series[1]),
+                batchlens::trace::naive::sub_series(&series[0], &series[1])
+            );
+        }
+    }
+
+    /// Selection-based quantiles agree with the sort-based definition.
+    #[test]
+    fn quantile_matches_sorted_definition(
+        values in prop::collection::vec(-10.0f64..10.0, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let series: TimeSeries = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Timestamp::new(i as i64), v))
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pos = q * (sorted.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        let expected = sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64);
+        let got = series.quantile(q).unwrap();
+        prop_assert!((got - expected).abs() < 1e-9, "q={q}: {got} vs {expected}");
+    }
+
+    /// The dataset's indexed snapshot queries agree with linear scans over
+    /// the instance table, for random interval layouts.
+    #[test]
+    fn indexed_dataset_queries_match_scans(
+        rows in prop::collection::vec(
+            (0i64..2000, 0i64..500, 1u32..6, 1u32..4, 0u32..8),
+            1..80,
+        ),
+        probes in prop::collection::vec(-50i64..2600, 1..20),
+    ) {
+        use batchlens::trace::{
+            BatchInstanceRecord, InstanceStatus, JobId, MachineId, TaskId,
+            TraceDatasetBuilder,
+        };
+        let mut b = TraceDatasetBuilder::new();
+        b.allow_dangling_instances();
+        for (seq, &(start, dur, job, task, machine)) in rows.iter().enumerate() {
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(start),
+                end_time: Timestamp::new(start + dur),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq: seq as u32,
+                total: rows.len() as u32,
+                machine: MachineId::new(machine),
+                status: InstanceStatus::Terminated,
+                cpu_avg: 0.1,
+                cpu_max: 0.2,
+                mem_avg: 0.1,
+                mem_max: 0.2,
+            });
+        }
+        let ds = b.build().unwrap();
+        for &t in &probes {
+            let t = Timestamp::new(t);
+            let mut scan_jobs: Vec<JobId> = ds
+                .instance_records()
+                .iter()
+                .filter(|r| r.running_at(t))
+                .map(|r| r.job)
+                .collect();
+            scan_jobs.sort_unstable();
+            scan_jobs.dedup();
+            let indexed: Vec<JobId> =
+                ds.jobs_running_at(t).iter().map(|j| j.id()).collect();
+            prop_assert_eq!(indexed, scan_jobs, "jobs_running_at {}", t);
+
+            let scan_count =
+                ds.instance_records().iter().filter(|r| r.running_at(t)).count();
+            prop_assert_eq!(ds.running_instance_count_at(t), scan_count);
+            prop_assert_eq!(ds.instances_running_at(t).len(), scan_count);
+
+            for m in ds.machines() {
+                let mut scan_m: Vec<JobId> = m
+                    .instances()
+                    .filter(|i| i.record.running_at(t))
+                    .map(|i| i.record.job)
+                    .collect();
+                scan_m.sort_unstable();
+                scan_m.dedup();
+                prop_assert_eq!(m.jobs_at(t), scan_m, "jobs_at {} m{}", t, m.id());
+                prop_assert_eq!(
+                    m.running_instances_at(t),
+                    m.instances().filter(|i| i.record.running_at(t)).count()
+                );
+            }
+        }
+    }
+
+    /// Machine liveness from the indexed checkpoints agrees with an event
+    /// scan, for random event sequences.
+    #[test]
+    fn alive_at_matches_event_scan(
+        events in prop::collection::vec((0i64..1000, 0u32..4, 0u32..5), 0..40),
+        probes in prop::collection::vec(-10i64..1100, 1..15),
+    ) {
+        use batchlens::trace::{
+            MachineEvent, MachineEventRecord, MachineId, TraceDatasetBuilder,
+        };
+        let kind = |k: u32| match k {
+            0 => MachineEvent::Add,
+            1 => MachineEvent::SoftError,
+            2 => MachineEvent::HardError,
+            _ => MachineEvent::Remove,
+        };
+        let mut b = TraceDatasetBuilder::new();
+        for &(t, k, m) in &events {
+            b.push_machine_event(MachineEventRecord {
+                time: Timestamp::new(t),
+                machine: MachineId::new(m),
+                event: kind(k),
+                capacity_cpu: 1.0,
+                capacity_mem: 1.0,
+                capacity_disk: 1.0,
+            });
+        }
+        let ds = b.build().unwrap();
+        for &t in &probes {
+            let t = Timestamp::new(t);
+            for m in ds.machines() {
+                // Reference: walk this machine's events in time order.
+                let mut alive = true;
+                for ev in ds.machine_events().iter().filter(|e| e.machine == m.id()) {
+                    if ev.time > t {
+                        break;
+                    }
+                    alive = !matches!(
+                        ev.event,
+                        MachineEvent::Remove | MachineEvent::HardError
+                    );
+                }
+                prop_assert_eq!(m.alive_at(t), alive, "machine {} at {}", m.id(), t);
+            }
+        }
+    }
+
     /// TimeRange intersection is commutative and contained in both operands.
     #[test]
     fn range_intersection_is_contained(

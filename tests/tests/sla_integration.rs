@@ -42,7 +42,13 @@ fn availability_high_in_healthy_regime() {
 fn policy_toggles_failure_penalty() {
     let ds = scenario::fig3c(4).run().unwrap();
     let strict = check(&ds, &SlaPolicy::default());
-    let lenient = check(&ds, &SlaPolicy { penalize_failures: false, ..SlaPolicy::default() });
+    let lenient = check(
+        &ds,
+        &SlaPolicy {
+            penalize_failures: false,
+            ..SlaPolicy::default()
+        },
+    );
     assert!(strict.job_failures() > 0);
     assert_eq!(lenient.job_failures(), 0);
 }

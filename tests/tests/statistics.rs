@@ -16,9 +16,11 @@ fn section_ii_fractions_hold_across_seeds() {
         // Use a longer window so the sample size per run is large.
         let mut cfg = SimConfig::small(seed);
         cfg.machines = 60;
-        cfg.window =
-            batchlens::trace::TimeRange::new(batchlens::trace::Timestamp::ZERO, batchlens::trace::Timestamp::new(6 * 3600))
-                .unwrap();
+        cfg.window = batchlens::trace::TimeRange::new(
+            batchlens::trace::Timestamp::ZERO,
+            batchlens::trace::Timestamp::new(6 * 3600),
+        )
+        .unwrap();
         let ds = Simulation::new(cfg).run().unwrap();
         let st = DatasetStats::compute(&ds);
         if st.jobs > 50 {
@@ -31,8 +33,14 @@ fn section_ii_fractions_hold_across_seeds() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let st_mean = mean(&single_task);
     let mi_mean = mean(&multi_instance);
-    assert!((st_mean - 0.75).abs() < 0.06, "single-task fraction {st_mean}");
-    assert!((mi_mean - 0.94).abs() < 0.06, "multi-instance fraction {mi_mean}");
+    assert!(
+        (st_mean - 0.75).abs() < 0.06,
+        "single-task fraction {st_mean}"
+    );
+    assert!(
+        (mi_mean - 0.94).abs() < 0.06,
+        "multi-instance fraction {mi_mean}"
+    );
 }
 
 /// Machines run multiple instances concurrently (the paper's explicit note).
@@ -55,7 +63,10 @@ fn each_instance_on_exactly_one_machine() {
     let mut ids = BTreeSet::new();
     for rec in ds.instance_records() {
         // (job, task, seq) unique; single machine field.
-        assert!(ids.insert((rec.job, rec.task, rec.seq)), "duplicate instance id");
+        assert!(
+            ids.insert((rec.job, rec.task, rec.seq)),
+            "duplicate instance id"
+        );
     }
 }
 
@@ -65,7 +76,10 @@ fn histograms_are_consistent() {
     let ds = Simulation::new(SimConfig::small(3)).run().unwrap();
     let st = DatasetStats::compute(&ds);
     let tj: usize = tasks_per_job_histogram(&ds).iter().map(|(_, c)| c).sum();
-    let it: usize = instances_per_task_histogram(&ds).iter().map(|(_, c)| c).sum();
+    let it: usize = instances_per_task_histogram(&ds)
+        .iter()
+        .map(|(_, c)| c)
+        .sum();
     assert_eq!(tj, st.jobs);
     assert_eq!(it, st.tasks);
 }
@@ -75,12 +89,11 @@ fn histograms_are_consistent() {
 fn max_concurrency_matches_brute_force() {
     let ds = Simulation::new(SimConfig::small(4)).run().unwrap();
     // Pick the busiest machine.
-    let busiest = ds
-        .machines()
-        .max_by_key(|m| m.instances().count())
-        .unwrap();
-    let intervals: Vec<_> =
-        busiest.instances().map(|i| (i.record.start_time, i.record.end_time)).collect();
+    let busiest = ds.machines().max_by_key(|m| m.instances().count()).unwrap();
+    let intervals: Vec<_> = busiest
+        .instances()
+        .map(|i| (i.record.start_time, i.record.end_time))
+        .collect();
     let by_formula = max_concurrency(intervals.iter().copied());
 
     // Brute-force: sample every instance start and count overlaps.

@@ -1,0 +1,306 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Implements the subset of the API the benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_with_input`, `BenchmarkId`,
+//! `Throughput` — with a simple adaptive timer: each benchmark is warmed up
+//! once, then iterated until a per-benchmark wall-clock budget is spent, and
+//! the mean ns/iter is printed. Pass `--test` (as `cargo test` does for
+//! harness-less targets) to run every benchmark exactly once.
+//!
+//! Results are also collected in-process and can be drained via
+//! [`Criterion::take_results`] — the BENCH_trace.json emitter uses this.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One timed result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(200),
+            sample_size: 100,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` ⇒ single-iteration mode).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Sets the nominal sample count (scales the measurement budget).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time (accepted for API compatibility; warm-up is one run).
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.to_string();
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Drains the results collected so far.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Prints a final summary (no-op; results print as they complete).
+    pub fn final_summary(&self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, f: &mut F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            budget: self
+                .measurement
+                .mul_f64((self.sample_size as f64 / 100.0).clamp(0.1, 1.0)),
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        };
+        println!(
+            "bench: {id:<50} {:>14.1} ns/iter ({} iters)",
+            ns, bencher.iterations
+        );
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+            iterations: bencher.iterations,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the group's throughput (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(full, &mut f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Benchmarks a function with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declared throughput of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up run, then iterations until the budget is spent
+    /// (or exactly one iteration in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also sizes the first batch).
+        let warm_start = Instant::now();
+        black_box(f());
+        let warm = warm_start.elapsed();
+        if self.test_mode {
+            self.total = warm;
+            self.iterations = 1;
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iterations += 1;
+            if Instant::now() >= deadline || iterations >= 1_000_000 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+/// Declares a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_results() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].iterations >= 1);
+        assert_eq!(results[0].id, "g/noop");
+        assert_eq!(results[1].id, "g/sum/4");
+    }
+}

@@ -1,0 +1,469 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! serde subset (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — everything the BatchLens workspace derives on:
+//!
+//! * structs with named fields (serialized as a string-keyed map),
+//! * tuple structs (single field → the inner value, matching serde_json's
+//!   newtype behaviour, so `#[serde(transparent)]` is honoured implicitly;
+//!   several fields → a sequence),
+//! * unit structs (serialized as `null`),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation),
+//! * generic type parameters (each parameter gets a `Serialize` /
+//!   `Deserialize` bound).
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent`, whose behaviour falls out of the newtype
+//! rule above.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type parameter identifiers (lifetimes and const params excluded).
+    type_params: Vec<String>,
+    /// All generic parameter identifiers in order, rendered for the type
+    /// position (e.g. `["'a", "T"]`).
+    all_params: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let item_kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let (type_params, all_params) = parse_generics(&tokens, &mut i);
+
+    // Skip a where-clause if present (none in this workspace, but cheap).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "where" => i += 1,
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = if item_kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        }
+    } else if item_kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("derive target must be a struct or enum, found `{item_kind}`");
+    };
+
+    Input {
+        name,
+        type_params,
+        all_params,
+        kind,
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` after the type name; returns (type params, all params).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut type_params = Vec::new();
+    let mut all_params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (type_params, all_params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut pending_lifetime = false;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expecting_param => {
+                pending_lifetime = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                let s = id.to_string();
+                if pending_lifetime {
+                    all_params.push(format!("'{s}"));
+                    pending_lifetime = false;
+                } else if s == "const" {
+                    // const generic: the next ident is the param name.
+                } else {
+                    type_params.push(s.clone());
+                    all_params.push(s);
+                }
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    (type_params, all_params)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then skip the type up to a top-level ','.
+        debug_assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skips a type expression, stopping at a top-level `,` (or end of stream).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0isize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) up to the next top-level ','.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let bounds: Vec<String> = input
+        .type_params
+        .iter()
+        .map(|p| format!("{p}: ::serde::{trait_name}"))
+        .collect();
+    let generics = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", bounds.join(", "))
+    };
+    let ty_args = if input.all_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.all_params.join(", "))
+    };
+    format!(
+        "impl{generics} ::serde::{trait_name} for {name}{ty_args}",
+        name = input.name
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut __m: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((::serde::Value::Str(String::from(\"{f}\")), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &input.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __f: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.push((::serde::Value::Str(String::from(\"{f}\")), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {pat} }} => {{ {inner} ::serde::Value::Map(vec![(::serde::Value::Str(String::from(\"{vn}\")), ::serde::Value::Map(__f))]) }},\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let pat = binders.join(", ");
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({pat}) => ::serde::Value::Map(vec![(::serde::Value::Str(String::from(\"{vn}\")), {payload})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}",
+        header = impl_header(input, "Serialize")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}\"))?;\n"
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: match ::serde::map_get(__m, \"{f}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => return Err(::serde::DeError::missing_field(\"{f}\")) }},\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n"
+            );
+            s.push_str(&format!(
+                "if __s.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple length\")); }}\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", items.join(", ")));
+            s
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings; payload variants as single-entry
+            // maps keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        keyed_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner = format!(
+                            "let __f = __payload.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map payload for {name}::{vn}\"))?;\n"
+                        );
+                        inner.push_str(&format!("return Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: match ::serde::map_get(__f, \"{f}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => return Err(::serde::DeError::missing_field(\"{f}\")) }},\n"
+                            ));
+                        }
+                        inner.push_str("});");
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+                    }
+                    Shape::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "return Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?));"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "let __s = __payload.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence payload\"))?;\nif __s.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong payload length\")); }}\nreturn Ok({name}::{vn}({}));",
+                                items.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n match __s {{\n{unit_arms} _ => {{}}\n }}\n}}\n\
+                 if let Some(__m) = __v.as_map() {{\n if __m.len() == 1 {{\n if let Some(__k) = __m[0].0.as_str() {{\n let __payload = &__m[0].1;\n match __k {{\n{keyed_arms} _ => {{}}\n }}\n }}\n }}\n}}\n\
+                 Err(::serde::DeError::custom(\"unknown variant for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}",
+        header = impl_header(input, "Deserialize")
+    )
+}

@@ -1,0 +1,457 @@
+//! Minimal, offline stand-in for `serde_json` over the vendored serde
+//! [`Value`] model.
+//!
+//! String-keyed maps render as JSON objects; maps with structured keys
+//! (tuples, typed ids) render as arrays of `[key, value]` pairs so the
+//! round-trip stays lossless. Floats use Rust's shortest-round-trip
+//! formatting, and non-finite floats serialize as `null` (matching real
+//! serde_json).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------- writing --
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Shortest representation that round-trips through parse.
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_items(
+                out,
+                items.iter(),
+                indent,
+                depth,
+                ('[', ']'),
+                |out, item, d| write_value(out, item, indent, d),
+            );
+        }
+        Value::Map(entries) => {
+            let all_string_keys = entries.iter().all(|(k, _)| matches!(k, Value::Str(_)));
+            if all_string_keys {
+                write_items(
+                    out,
+                    entries.iter(),
+                    indent,
+                    depth,
+                    ('{', '}'),
+                    |out, (k, v), d| {
+                        write_value(out, k, indent, d);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        write_value(out, v, indent, d);
+                    },
+                );
+            } else {
+                // Structured keys: array of [key, value] pairs.
+                write_items(
+                    out,
+                    entries.iter(),
+                    indent,
+                    depth,
+                    ('[', ']'),
+                    |out, (k, v), d| {
+                        out.push('[');
+                        write_value(out, k, indent, d);
+                        out.push(',');
+                        write_value(out, v, indent, d);
+                        out.push(']');
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_items<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    let len = items.len();
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing --
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((Value::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(from_str::<i64>(&to_string(&-42i64).unwrap()).unwrap(), -42);
+        assert_eq!(
+            from_str::<f64>(&to_string(&1.25f64).unwrap()).unwrap(),
+            1.25
+        );
+        assert_eq!(from_str::<f64>(&to_string(&1.0f64).unwrap()).unwrap(), 1.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.5f64, 2.0, -3.25];
+        assert_eq!(from_str::<Vec<f64>>(&to_string(&v).unwrap()).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2]);
+        m.insert("b".to_string(), vec![3]);
+        let text = to_string(&m).unwrap();
+        assert!(
+            text.starts_with('{'),
+            "string keys render as an object: {text}"
+        );
+        assert_eq!(from_str::<BTreeMap<String, Vec<u32>>>(&text).unwrap(), m);
+
+        // Structured keys fall back to [key, value] pair arrays.
+        let mut m2 = BTreeMap::new();
+        m2.insert((1u32, 2u32), 3u32);
+        let text2 = to_string(&m2).unwrap();
+        assert!(
+            text2.starts_with('['),
+            "tuple keys render as pairs: {text2}"
+        );
+        assert_eq!(from_str::<BTreeMap<(u32, u32), u32>>(&text2).unwrap(), m2);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = vec![Some(1u32), None, Some(3)];
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        assert_eq!(from_str::<Vec<Option<u32>>>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for &f in &[0.1f64, 1e-300, 12345.678901234567, f64::MAX] {
+            let rt = from_str::<f64>(&to_string(&f).unwrap()).unwrap();
+            assert_eq!(rt, f);
+        }
+    }
+}
