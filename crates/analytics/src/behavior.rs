@@ -10,6 +10,11 @@
 use batchlens_trace::{MachineId, Metric, TimeRange, TraceDataset};
 use serde::{Deserialize, Serialize};
 
+use crate::detect::{Detector, Ensemble};
+
+/// Dimensionality of the behavioral feature vector.
+pub const FEATURES: usize = 6;
+
 /// A compact behavioral signature of one machine over a window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BehaviorVector {
@@ -25,6 +30,12 @@ pub struct BehaviorVector {
     pub disk_mean: f64,
     /// Peak of the hottest metric.
     pub peak: f64,
+    /// Fraction of the window's CPU samples flagged by
+    /// [`Ensemble::standard`]'s per-sample quorum vote (raw flags, not span
+    /// membership — the span min-run filter is irrelevant to a rate) —
+    /// machines that *behave* anomalously cluster together even when their
+    /// means look ordinary.
+    pub anomaly_rate: f64,
 }
 
 impl BehaviorVector {
@@ -32,7 +43,8 @@ impl BehaviorVector {
     /// no usage data there.
     pub fn of(ds: &TraceDataset, machine: MachineId, window: &TimeRange) -> Option<BehaviorVector> {
         let mv = ds.machine(machine)?;
-        let cpu = mv.usage(Metric::Cpu)?.stats_in(window)?;
+        let cpu_series = mv.usage(Metric::Cpu)?;
+        let cpu = cpu_series.stats_in(window)?;
         let mem = mv.usage(Metric::Memory)?.stats_in(window)?;
         let disk = mv.usage(Metric::Disk)?.stats_in(window)?;
         Some(BehaviorVector {
@@ -42,17 +54,19 @@ impl BehaviorVector {
             mem_mean: mem.mean,
             disk_mean: disk.mean,
             peak: cpu.max.max(mem.max).max(disk.max),
+            anomaly_rate: anomaly_sample_fraction(cpu_series, window),
         })
     }
 
-    /// The 5-D feature vector for clustering.
-    fn features(&self) -> [f64; 5] {
+    /// The feature vector for clustering.
+    fn features(&self) -> [f64; FEATURES] {
         [
             self.cpu_mean,
             self.cpu_std,
             self.mem_mean,
             self.disk_mean,
             self.peak,
+            self.anomaly_rate,
         ]
     }
 
@@ -69,8 +83,8 @@ impl BehaviorVector {
 /// The result of clustering machine behaviors.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BehaviorClusters {
-    /// Cluster centroids (5-D feature means).
-    pub centroids: Vec<[f64; 5]>,
+    /// Cluster centroids ([`FEATURES`]-dimensional feature means).
+    pub centroids: Vec<[f64; FEATURES]>,
     /// Per-machine cluster assignment, parallel to the input vectors.
     pub assignments: Vec<(MachineId, usize)>,
 }
@@ -96,6 +110,26 @@ impl BehaviorClusters {
     }
 }
 
+/// Fraction of `series`' samples inside `window` that fall within an
+/// [`Ensemble::standard`] anomaly span.
+fn anomaly_sample_fraction(series: &batchlens_trace::TimeSeries, window: &TimeRange) -> f64 {
+    let view = series.slice_view(window);
+    if view.is_empty() {
+        return 0.0;
+    }
+    let times = view.times();
+    let mut state = Ensemble::standard().state();
+    let mut flagged = 0usize;
+    for (&t, &v) in times.iter().zip(view.values()) {
+        // Anomalous *samples* are what the rate counts; span grouping (and
+        // its min-run filter) is irrelevant here, so tally raw flags.
+        if state.push(t, v).flagged {
+            flagged += 1;
+        }
+    }
+    flagged as f64 / times.len() as f64
+}
+
 /// Collects behavior vectors for every machine over `window`.
 pub fn behavior_vectors(ds: &TraceDataset, window: &TimeRange) -> Vec<BehaviorVector> {
     ds.machines()
@@ -116,11 +150,11 @@ pub fn cluster_behaviors(
     if k == 0 || vectors.len() < k {
         return None;
     }
-    let feats: Vec<[f64; 5]> = vectors.iter().map(|v| v.features()).collect();
+    let feats: Vec<[f64; FEATURES]> = vectors.iter().map(|v| v.features()).collect();
 
     // Farthest-first seeding: start at index 0, repeatedly add the point
     // farthest from the current centroid set.
-    let mut centroids: Vec<[f64; 5]> = vec![feats[0]];
+    let mut centroids: Vec<[f64; FEATURES]> = vec![feats[0]];
     while centroids.len() < k {
         let mut best = 0usize;
         let mut best_d = -1.0f64;
@@ -157,18 +191,18 @@ pub fn cluster_behaviors(
             }
         }
         // Update step.
-        let mut sums = vec![[0.0f64; 5]; k];
+        let mut sums = vec![[0.0f64; FEATURES]; k];
         let mut counts = vec![0usize; k];
         for (i, f) in feats.iter().enumerate() {
             let c = assign[i];
-            for d in 0..5 {
+            for d in 0..FEATURES {
                 sums[c][d] += f[d];
             }
             counts[c] += 1;
         }
         for c in 0..k {
             if counts[c] > 0 {
-                for d in 0..5 {
+                for d in 0..FEATURES {
                     centroids[c][d] = sums[c][d] / counts[c] as f64;
                 }
             }
@@ -184,7 +218,7 @@ pub fn cluster_behaviors(
     })
 }
 
-fn dist_sq(a: &[f64; 5], b: &[f64; 5]) -> f64 {
+fn dist_sq(a: &[f64; FEATURES], b: &[f64; FEATURES]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
@@ -240,6 +274,7 @@ mod tests {
             mem_mean: 0.1,
             disk_mean: 0.1,
             peak: 0.2,
+            anomaly_rate: 0.0,
         }];
         assert!(cluster_behaviors(&vecs, 3, 10).is_none());
         assert!(cluster_behaviors(&vecs, 0, 10).is_none());

@@ -1,7 +1,7 @@
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
 /// Tabular CUSUM change detector: accumulates deviations from a running
 /// target and flags samples once the cumulative sum crosses a decision
@@ -47,48 +47,78 @@ impl Default for CusumDetector {
     }
 }
 
+/// Incremental tabular-CUSUM state: two accumulators plus an EWMA target.
+///
+/// O(1) per sample, O(1) memory. While flagged, the accumulator holds (no
+/// reset) so a sustained shift stays flagged, and the target stops tracking
+/// into the anomaly.
+#[derive(Debug, Clone)]
+pub struct CusumState {
+    slack: f64,
+    threshold: f64,
+    alpha: f64,
+    positive_only: bool,
+    started: bool,
+    target: f64,
+    hi: f64,
+    lo: f64,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for CusumState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        if !self.started {
+            self.target = value;
+            self.started = true;
+        }
+        self.hi = (self.hi + value - self.target - self.slack).max(0.0);
+        self.lo = (self.lo - (value - self.target) - self.slack).max(0.0);
+        let score = if self.positive_only {
+            self.hi
+        } else {
+            self.hi.max(self.lo)
+        };
+        let flagged = score > self.threshold;
+        if !flagged {
+            self.target += self.alpha * (value - self.target);
+        }
+        let closed = self.builder.observe(t, value, flagged, score);
+        Step::new(flagged, score, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
+}
+
 impl Detector for CusumDetector {
     fn name(&self) -> &'static str {
         "cusum"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        let values = series.values();
-        if values.is_empty() {
-            return Vec::new();
-        }
-        let mut target = values[0];
-        let mut hi = 0.0f64;
-        let mut lo = 0.0f64;
-        let mut flags = vec![false; values.len()];
-        let mut scores = vec![0.0f64; values.len()];
-        for (i, &v) in values.iter().enumerate() {
-            hi = (hi + v - target - self.slack).max(0.0);
-            lo = (lo - (v - target) - self.slack).max(0.0);
-            let score = if self.positive_only { hi } else { hi.max(lo) };
-            scores[i] = score;
-            if score > self.threshold {
-                flags[i] = true;
-                // Hold the accumulator (don't reset) so a sustained shift
-                // stays flagged, but stop tracking the target into it.
-            } else {
-                target += self.alpha * (v - target);
-            }
-        }
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Deviation,
-            |i| scores[i],
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Deviation
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(CusumState {
+            slack: self.slack,
+            threshold: self.threshold,
+            alpha: self.alpha,
+            positive_only: self.positive_only,
+            started: false,
+            target: 0.0,
+            hi: 0.0,
+            lo: 0.0,
+            builder: SpanBuilder::new(AnomalyKind::Deviation, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values

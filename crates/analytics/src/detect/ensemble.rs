@@ -3,13 +3,20 @@
 //! The paper argues visual inspection beats any single statistic because
 //! each metric-based method has blind spots. An ensemble approximates that
 //! robustness programmatically: a sample is anomalous when at least `quorum`
-//! member detectors flag it. This reduces the false positives of any one
+//! member kernels flag it. This reduces the false positives of any one
 //! detector (the paper's complaint about inflexible metric monitors) while
 //! keeping recall.
+//!
+//! The ensemble is itself an incremental kernel: its state holds one live
+//! member state per detector and votes on each sample as it arrives, so it
+//! streams at the cost of the sum of its members.
 
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{
+    AnomalyKind, AnomalySpan, Detector, DetectorState, MadDetector, SpanBuilder, Step,
+    ThresholdDetector, ZScoreDetector,
+};
 
 /// Combines several detectors by per-sample majority vote.
 pub struct Ensemble {
@@ -43,27 +50,59 @@ impl Ensemble {
         }
     }
 
+    /// The shared default trio — threshold (0.9), running z-score (3.0) and
+    /// running MAD (3.5) at quorum 2 — used by the behavioral features and
+    /// the app's anomaly overlay.
+    pub fn standard() -> Self {
+        Ensemble::new(
+            vec![
+                Box::new(ThresholdDetector::new(0.9)),
+                Box::new(ZScoreDetector::new(3.0)),
+                Box::new(MadDetector::new(3.5)),
+            ],
+            2,
+        )
+    }
+
     /// Member detector names (for reports).
     pub fn members(&self) -> Vec<&'static str> {
         self.detectors.iter().map(|d| d.name()).collect()
     }
+}
 
-    /// Per-member vote counts over a series, indexed by sample.
-    fn vote_counts(&self, series: &TimeSeries) -> Vec<u32> {
-        let mut votes = vec![0u32; series.len()];
-        let times = series.times();
-        for d in &self.detectors {
-            for span in d.detect(series) {
-                // Times are sorted; a half-open span maps to a contiguous
-                // sample range found by binary search.
-                let lo = times.partition_point(|&t| t < span.range.start());
-                let hi = times.partition_point(|&t| t < span.range.end());
-                for v in &mut votes[lo..hi] {
-                    *v += 1;
-                }
-            }
+/// Incremental ensemble state: one live member state per detector, votes
+/// tallied per sample.
+///
+/// Per-sample cost and memory are the sum of the members'.
+#[derive(Debug)]
+pub struct EnsembleState {
+    members: Vec<Box<dyn DetectorState>>,
+    quorum: usize,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for EnsembleState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        let votes = self
+            .members
+            .iter_mut()
+            .map(|m| m.push(t, value).flagged)
+            .filter(|&f| f)
+            .count();
+        let flagged = votes >= self.quorum;
+        let severity = votes as f64;
+        let closed = self.builder.observe(t, value, flagged, severity);
+        Step::new(flagged, severity, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        for m in &mut self.members {
+            // Members may hold open runs; their spans are not surfaced (the
+            // ensemble votes on instantaneous flags), but finishing keeps
+            // their contract honest.
+            let _ = m.finish();
         }
-        votes
+        self.builder.finish()
     }
 }
 
@@ -72,27 +111,23 @@ impl Detector for Ensemble {
         "ensemble"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        if series.is_empty() {
-            return Vec::new();
-        }
-        let votes = self.vote_counts(series);
-        let flags: Vec<bool> = votes.iter().map(|&v| v as usize >= self.quorum).collect();
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Outlier,
-            |i| votes[i] as f64,
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Outlier
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(EnsembleState {
+            members: self.detectors.iter().map(|d| d.state()).collect(),
+            quorum: self.quorum,
+            builder: SpanBuilder::new(AnomalyKind::Outlier, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detect::{MadDetector, ThresholdDetector, ZScoreDetector};
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values
@@ -148,6 +183,18 @@ mod tests {
     #[test]
     fn empty_series() {
         assert!(ensemble(2).detect(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn severity_counts_votes() {
+        let mut vals: Vec<f64> = (0..60).map(|i| 0.3 + 0.01 * (i % 5) as f64).collect();
+        for v in vals.iter_mut().skip(40).take(4) {
+            *v = 0.98;
+        }
+        let spans = ensemble(1).detect(&series(&vals));
+        assert!(!spans.is_empty());
+        // All three members flag the burst, so the vote severity is 3.
+        assert_eq!(spans[0].severity, 3.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
 /// Flags samples deviating from an exponentially-weighted moving average by
 /// more than `k` running standard deviations.
@@ -39,48 +39,76 @@ impl Default for EwmaDetector {
     }
 }
 
+/// Incremental EWMA state: running mean/variance updated per sample.
+///
+/// O(1) per sample, O(1) memory. Flagged samples are *not* absorbed into
+/// the baseline, so a sustained excursion stays flagged.
+#[derive(Debug, Clone)]
+pub struct EwmaState {
+    alpha: f64,
+    k: f64,
+    warmup: usize,
+    /// Index of the next sample (0 = nothing seen yet).
+    i: usize,
+    mean: f64,
+    var: f64,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for EwmaState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        if self.i == 0 {
+            // The first sample seeds the baseline and is never flagged.
+            self.mean = value;
+            self.var = 0.0;
+            self.i = 1;
+            let closed = self.builder.observe(t, value, false, 0.0);
+            return Step::new(false, 0.0, closed);
+        }
+        let sd = self.var.sqrt().max(1e-3);
+        let score = (value - self.mean).abs() / sd;
+        let flagged = self.i >= self.warmup && score > self.k;
+        if !flagged {
+            self.mean += self.alpha * (value - self.mean);
+            self.var = (1.0 - self.alpha)
+                * (self.var + self.alpha * (value - self.mean) * (value - self.mean));
+        }
+        self.i += 1;
+        let closed = self.builder.observe(t, value, flagged, score);
+        Step::new(flagged, score, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
+}
+
 impl Detector for EwmaDetector {
     fn name(&self) -> &'static str {
         "ewma"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        let values = series.values();
-        if values.len() <= self.warmup {
-            return Vec::new();
-        }
-        let mut mean = values[0];
-        let mut var = 0.0f64;
-        let mut flags = vec![false; values.len()];
-        let mut scores = vec![0.0f64; values.len()];
-        for (i, &v) in values.iter().enumerate().skip(1) {
-            let sd = var.sqrt().max(1e-3);
-            let residual = (v - mean).abs();
-            let score = residual / sd;
-            if i >= self.warmup && score > self.k {
-                flags[i] = true;
-                scores[i] = score;
-                // Do not absorb the anomaly into the baseline: skip update so
-                // a sustained excursion stays flagged.
-                continue;
-            }
-            mean += self.alpha * (v - mean);
-            var = (1.0 - self.alpha) * (var + self.alpha * (v - mean) * (v - mean));
-        }
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Deviation,
-            |i| scores[i],
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Deviation
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(EwmaState {
+            alpha: self.alpha,
+            k: self.k,
+            warmup: self.warmup,
+            i: 0,
+            mean: 0.0,
+            var: 0.0,
+            builder: SpanBuilder::new(AnomalyKind::Deviation, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values

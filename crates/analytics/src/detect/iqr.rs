@@ -1,24 +1,36 @@
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
 /// Tukey interquartile-range outlier detector: flags samples outside
 /// `[Q1 - k·IQR, Q3 + k·IQR]`. Distribution-free and robust; a good
 /// complement to the parametric z-score when the utilization histogram is
 /// skewed (as batch load usually is).
+///
+/// The incremental kernel estimates Q1 and Q3 with the P² algorithm (Jain &
+/// Chlamtac, 1985): five markers per quantile, O(1) per sample, no sample
+/// retention. Estimates are exact for the first five samples and
+/// asymptotically exact after.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IqrDetector {
     /// Whisker multiplier (1.5 = Tukey's "outlier", 3.0 = "far out").
     pub k: f64,
     /// Minimum consecutive flagged samples for a span.
     pub min_samples: usize,
+    /// Samples observed before flagging starts (quartile estimates from a
+    /// handful of samples are noise).
+    pub warmup: usize,
 }
 
 impl IqrDetector {
-    /// A detector with Tukey's 1.5 whisker.
+    /// A detector with Tukey's 1.5 whisker and a 10-sample warm-up.
     pub fn new(k: f64) -> Self {
-        IqrDetector { k, min_samples: 2 }
+        IqrDetector {
+            k,
+            min_samples: 2,
+            warmup: 10,
+        }
     }
 }
 
@@ -28,41 +40,177 @@ impl Default for IqrDetector {
     }
 }
 
+/// A P² streaming quantile estimator: five markers whose heights converge on
+/// the `q`-quantile without retaining samples. O(1) per observation.
+#[derive(Debug, Clone)]
+struct P2Quantile {
+    q: f64,
+    /// Marker heights; exact sorted samples until five are seen.
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Samples seen so far.
+    n: usize,
+}
+
+impl P2Quantile {
+    fn new(q: f64) -> Self {
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            n: 0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        if self.n < 5 {
+            // Initialization phase: keep the first five samples sorted.
+            let mut i = self.n;
+            self.heights[i] = x;
+            while i > 0 && self.heights[i - 1] > self.heights[i] {
+                self.heights.swap(i - 1, i);
+                i -= 1;
+            }
+            self.n += 1;
+            return;
+        }
+        // Find the cell containing x, stretching the extremes if needed.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k + 1]
+            (1..4).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let gap_next = self.positions[i + 1] - self.positions[i];
+            let gap_prev = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && gap_next > 1.0) || (d <= -1.0 && gap_prev < -1.0) {
+                let d = d.signum();
+                let parabolic = self.heights[i]
+                    + d / (self.positions[i + 1] - self.positions[i - 1])
+                        * ((self.positions[i] - self.positions[i - 1] + d)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / gap_next
+                            + (self.positions[i + 1] - self.positions[i] - d)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / -gap_prev);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        // Linear fallback toward the neighbour in direction d.
+                        let j = if d > 0.0 { i + 1 } else { i - 1 };
+                        self.heights[i]
+                            + d * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i])
+                    };
+                self.positions[i] += d;
+            }
+        }
+        self.n += 1;
+    }
+
+    /// The current quantile estimate, or `None` before any sample.
+    fn estimate(&self) -> Option<f64> {
+        match self.n {
+            0 => None,
+            n @ 1..=5 => {
+                // Exact interpolated order statistic over the sorted buffer.
+                let pos = self.q * (n - 1) as f64;
+                let lo = pos.floor() as usize;
+                let frac = pos - lo as f64;
+                let lo_v = self.heights[lo];
+                if frac == 0.0 {
+                    Some(lo_v)
+                } else {
+                    Some(lo_v + (self.heights[lo + 1] - lo_v) * frac)
+                }
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Incremental IQR state: two P² estimators (Q1, Q3).
+///
+/// O(1) per sample, O(1) memory.
+#[derive(Debug, Clone)]
+pub struct IqrState {
+    k: f64,
+    warmup: usize,
+    q1: P2Quantile,
+    q3: P2Quantile,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for IqrState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        self.q1.push(value);
+        self.q3.push(value);
+        let q1 = self.q1.estimate().expect("just pushed");
+        let q3 = self.q3.estimate().expect("just pushed");
+        let iqr = q3 - q1;
+        let (flagged, severity) = if iqr < 1e-12 {
+            (false, 0.0)
+        } else {
+            let lo = q1 - self.k * iqr;
+            let hi = q3 + self.k * iqr;
+            let severity = ((value - hi).max(lo - value)).max(0.0) / iqr;
+            let fire = self.q1.n > self.warmup && (value < lo || value > hi);
+            (fire, severity)
+        };
+        let closed = self.builder.observe(t, value, flagged, severity);
+        Step::new(flagged, severity, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
+}
+
 impl Detector for IqrDetector {
     fn name(&self) -> &'static str {
         "iqr"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        let q1 = match series.quantile(0.25) {
-            Some(v) => v,
-            None => return Vec::new(),
-        };
-        let q3 = series.quantile(0.75).expect("non-empty if q1 exists");
-        let iqr = q3 - q1;
-        if iqr < 1e-12 {
-            return Vec::new();
-        }
-        let lo = q1 - self.k * iqr;
-        let hi = q3 + self.k * iqr;
-        let flags: Vec<bool> = series.values().iter().map(|&v| v < lo || v > hi).collect();
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Outlier,
-            |i| {
-                let v = series.values()[i];
-                ((v - hi).max(lo - v)).max(0.0) / iqr
-            },
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Outlier
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(IqrState {
+            k: self.k,
+            warmup: self.warmup,
+            q1: P2Quantile::new(0.25),
+            q3: P2Quantile::new(0.75),
+            builder: SpanBuilder::new(AnomalyKind::Outlier, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values
@@ -79,7 +227,7 @@ mod tests {
             *v = 0.95;
         }
         let spans = IqrDetector::new(1.5).detect(&series(&vals));
-        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.len(), 1, "{spans:?}");
         assert!(spans[0].severity > 0.0);
     }
 
@@ -98,5 +246,20 @@ mod tests {
         let tight = IqrDetector::new(1.5).detect(&series(&vals)).len();
         let loose = IqrDetector::new(3.0).detect(&series(&vals)).len();
         assert!(tight >= loose);
+    }
+
+    #[test]
+    fn p2_estimates_converge_on_true_quartiles() {
+        // A deterministic uniform-ish stream over [0, 1).
+        let mut q1 = P2Quantile::new(0.25);
+        let mut q3 = P2Quantile::new(0.75);
+        for i in 0..10_000u64 {
+            // Weyl sequence: equidistributed in [0, 1).
+            let x = (i as f64 * 0.754_877_666).fract();
+            q1.push(x);
+            q3.push(x);
+        }
+        assert!((q1.estimate().unwrap() - 0.25).abs() < 0.02);
+        assert!((q3.estimate().unwrap() - 0.75).abs() < 0.02);
     }
 }

@@ -1,17 +1,26 @@
-use batchlens_trace::TimeSeries;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
 /// Flags samples whose robust z-score (median absolute deviation) exceeds
 /// `z`. Outlier-resistant: a few extreme values cannot inflate the scale
 /// estimate the way they inflate a standard deviation.
+///
+/// The incremental kernel tracks the running median of the values seen so
+/// far and the running median of each sample's absolute deviation from the
+/// median current at its arrival — both exactly, with two-heap medians.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MadDetector {
     /// Robust z-score magnitude above which a sample is anomalous.
     pub z: f64,
     /// Minimum consecutive samples for a span to be reported.
     pub min_samples: usize,
+    /// Samples observed before flagging starts (the early median is noisy).
+    pub warmup: usize,
 }
 
 /// Consistency constant making MAD comparable to a standard deviation for
@@ -19,9 +28,13 @@ pub struct MadDetector {
 const MAD_SCALE: f64 = 1.4826;
 
 impl MadDetector {
-    /// A robust 3.5-sigma-equivalent detector.
+    /// A robust 3.5-sigma-equivalent detector with a 5-sample warm-up.
     pub fn new(z: f64) -> Self {
-        MadDetector { z, min_samples: 2 }
+        MadDetector {
+            z,
+            min_samples: 2,
+            warmup: 5,
+        }
     }
 }
 
@@ -31,9 +44,100 @@ impl Default for MadDetector {
     }
 }
 
-/// In-place median by selection — O(n) expected, no full sort.
-fn median(values: &mut [f64]) -> f64 {
-    batchlens_trace::quantile_select(values, 0.5)
+/// Total-order f64 wrapper for heap storage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Exact running median over an insert-only stream: a max-heap of the lower
+/// half and a min-heap of the upper half, rebalanced so
+/// `lo.len() ∈ {hi.len(), hi.len() + 1}`.
+///
+/// O(log n) per insert, O(1) median lookup, O(n) memory.
+#[derive(Debug, Clone, Default)]
+struct RunningMedian {
+    lo: BinaryHeap<OrdF64>,
+    hi: BinaryHeap<Reverse<OrdF64>>,
+}
+
+impl RunningMedian {
+    fn insert(&mut self, v: f64) {
+        if self.lo.peek().is_none_or(|&OrdF64(m)| v <= m) {
+            self.lo.push(OrdF64(v));
+        } else {
+            self.hi.push(Reverse(OrdF64(v)));
+        }
+        if self.lo.len() > self.hi.len() + 1 {
+            let OrdF64(v) = self.lo.pop().expect("lo non-empty");
+            self.hi.push(Reverse(OrdF64(v)));
+        } else if self.hi.len() > self.lo.len() {
+            let Reverse(OrdF64(v)) = self.hi.pop().expect("hi non-empty");
+            self.lo.push(OrdF64(v));
+        }
+    }
+
+    /// The interpolated median (mean of the two middle order statistics for
+    /// even counts), or `None` when empty.
+    fn median(&self) -> Option<f64> {
+        let &OrdF64(lo_top) = self.lo.peek()?;
+        if self.lo.len() > self.hi.len() {
+            Some(lo_top)
+        } else {
+            let &Reverse(OrdF64(hi_top)) = self.hi.peek().expect("balanced halves");
+            Some((lo_top + hi_top) / 2.0)
+        }
+    }
+}
+
+/// Incremental MAD state.
+///
+/// O(log n) per sample (heap inserts), O(n) memory — the one detector in the
+/// family that is not O(1), spelled out in the [`super::state`] table.
+#[derive(Debug, Clone)]
+pub struct MadState {
+    z: f64,
+    warmup: usize,
+    seen: usize,
+    values: RunningMedian,
+    deviations: RunningMedian,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for MadState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        self.values.insert(value);
+        let med = self.values.median().expect("just inserted");
+        let deviation = (value - med).abs();
+        self.deviations.insert(deviation);
+        let mad = self.deviations.median().expect("just inserted");
+        self.seen += 1;
+        let scale = MAD_SCALE * mad;
+        let (flagged, severity) = if scale < 1e-12 {
+            (false, 0.0)
+        } else {
+            let score = deviation / scale;
+            (self.seen > self.warmup && score > self.z, score)
+        };
+        let closed = self.builder.observe(t, value, flagged, severity);
+        Step::new(flagged, severity, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
 }
 
 impl Detector for MadDetector {
@@ -41,36 +145,26 @@ impl Detector for MadDetector {
         "mad"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        if series.is_empty() {
-            return Vec::new();
-        }
-        let mut scratch = series.values().to_vec();
-        let med = median(&mut scratch);
-        // Reuse the scratch buffer for the absolute deviations.
-        for (dst, &v) in scratch.iter_mut().zip(series.values()) {
-            *dst = (v - med).abs();
-        }
-        let mad = median(&mut scratch);
-        if mad < 1e-12 {
-            return Vec::new();
-        }
-        let score = |v: f64| (v - med).abs() / (MAD_SCALE * mad);
-        let flags: Vec<bool> = series.values().iter().map(|&v| score(v) > self.z).collect();
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Outlier,
-            |i| score(series.values()[i]),
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Outlier
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(MadState {
+            z: self.z,
+            warmup: self.warmup,
+            seen: 0,
+            values: RunningMedian::default(),
+            deviations: RunningMedian::default(),
+            builder: SpanBuilder::new(AnomalyKind::Outlier, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values
@@ -94,7 +188,7 @@ mod tests {
             *v = 1.0;
         }
         let spans = MadDetector::default().detect(&series(&vals));
-        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.len(), 1, "{spans:?}");
         assert_eq!(spans[0].range.start(), Timestamp::new(60 * 60));
         assert!(spans[0].severity > 3.5);
     }
@@ -108,8 +202,20 @@ mod tests {
     }
 
     #[test]
-    fn median_helper() {
-        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    fn running_median_matches_sorted_definition() {
+        let mut rm = RunningMedian::default();
+        assert_eq!(rm.median(), None);
+        for (i, v) in [3.0, 1.0, 2.0, 4.0].iter().enumerate() {
+            rm.insert(*v);
+            let mut sorted = [3.0, 1.0, 2.0, 4.0][..=i].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let mid = sorted.len() / 2;
+            let expect = if sorted.len() % 2 == 1 {
+                sorted[mid]
+            } else {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            };
+            assert_eq!(rm.median(), Some(expect));
+        }
     }
 }

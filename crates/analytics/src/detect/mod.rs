@@ -1,22 +1,35 @@
-//! Anomaly detection over utilization series.
+//! Anomaly detection over utilization series — one incremental engine.
+//!
+//! Every detector is an **online kernel**: [`Detector::state`] yields a
+//! [`DetectorState`] that consumes one `(Timestamp, f64)` sample at a time
+//! in O(1) amortized per sample (see the complexity table in [`state`]), and
+//! batch detection ([`Detector::detect`]) is a provided method that feeds the
+//! whole series through that state. The batch and streaming paths therefore
+//! share one implementation and can never disagree.
 //!
 //! Two families:
 //!
 //! * **Generic metric detectors** implementing [`Detector`] — threshold,
-//!   z-score, EWMA and MAD. These are the "metric-based approaches" the
-//!   paper cites as prior art and that BatchLens complements visually.
+//!   z-score, EWMA, MAD, CUSUM, IQR and the voting [`Ensemble`]. These are
+//!   the "metric-based approaches" the paper cites as prior art and that
+//!   BatchLens complements visually.
 //! * **Signature detectors** for the two case-study behaviours:
-//!   [`spike::SpikeDetector`] (utilization peaking at job end, Fig 3(b)) and
+//!   [`spike::SpikeDetector`] (utilization peaking at job end, Fig 3(b)),
+//!   whose state is scoped to one job window, and
 //!   [`thrashing::ThrashingDetector`] (memory pinned while CPU collapses,
-//!   Fig 3(c)). Signature detectors need more context than a single series,
-//!   so they expose their own inherent methods instead of the trait.
+//!   Fig 3(c)), a [`PairedDetectorState`] over aligned CPU/memory samples.
+//!
+//! The retained scan implementations live in [`reference`] for differential
+//! testing and benchmarking.
 
 mod cusum;
 mod ensemble;
 mod ewma;
 mod iqr;
 mod mad;
+pub mod reference;
 pub mod spike;
+mod state;
 pub mod thrashing;
 mod threshold;
 mod zscore;
@@ -27,7 +40,8 @@ pub use ewma::EwmaDetector;
 pub use iqr::IqrDetector;
 pub use mad::MadDetector;
 pub use spike::SpikeDetector;
-pub use thrashing::ThrashingDetector;
+pub use state::{DetectorState, PairedDetectorState, SpanBuilder, Step};
+pub use thrashing::{ThrashingDetector, ThrashingState};
 pub use threshold::ThresholdDetector;
 pub use zscore::ZScoreDetector;
 
@@ -66,15 +80,40 @@ pub struct AnomalySpan {
     pub severity: f64,
 }
 
-/// A detector that scans a single metric series.
+/// A detector over a single metric series.
 ///
-/// Implementations are pure: the same series yields the same spans.
-pub trait Detector {
+/// Implementations provide an incremental [`DetectorState`]; batch detection
+/// is the provided [`Detector::detect`], which feeds the whole series through
+/// a fresh state — so a detector is pure by construction: the same series
+/// yields the same spans, whether pushed sample-by-sample or scanned.
+///
+/// The `Send + Sync` supertraits let detector configurations be shared
+/// across ingest threads (the online `StreamMonitor` spawns one state per
+/// machine from a shared detector set).
+pub trait Detector: Send + Sync {
     /// Short name for reports and benches (e.g. `"zscore"`).
     fn name(&self) -> &'static str;
 
-    /// Scans `series` and returns anomalous spans in time order.
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan>;
+    /// The anomaly classification this detector's spans and flags carry
+    /// (e.g. online alert routing labels a flagged sample with this kind).
+    fn kind(&self) -> AnomalyKind;
+
+    /// A fresh incremental state for one stream.
+    fn state(&self) -> Box<dyn DetectorState>;
+
+    /// Scans `series` by streaming it through [`Detector::state`] and
+    /// returns anomalous spans in time order.
+    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        let mut state = self.state();
+        let mut out = Vec::new();
+        for (t, v) in series.iter() {
+            if let Some(span) = state.push(t, v).closed {
+                out.push(span);
+            }
+        }
+        out.extend(state.finish());
+        out
+    }
 }
 
 /// Groups consecutive flagged sample indices into [`AnomalySpan`]s.

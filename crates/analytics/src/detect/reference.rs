@@ -1,0 +1,221 @@
+//! Reference scan implementations of the causal detectors, kept for
+//! differential testing and as benchmark baselines.
+//!
+//! These are the pre-incremental whole-series algorithms. For the detectors
+//! whose semantics are purely causal — threshold, EWMA, CUSUM, the spike
+//! matcher and (window-max) thrashing — a scan must produce *bit-identical*
+//! spans to feeding the series through the corresponding
+//! [`super::DetectorState`]; the workspace's `incremental_detectors`
+//! property suite asserts exactly that. Do not call these on hot paths.
+
+use batchlens_trace::{TimeRange, TimeSeries};
+
+use super::spike::SpikeMatch;
+use super::{
+    spans_from_flags, AnomalyKind, AnomalySpan, CusumDetector, EwmaDetector, SpikeDetector,
+    ThrashingDetector, ThresholdDetector,
+};
+
+/// Reference [`ThresholdDetector`] scan.
+pub fn threshold(det: &ThresholdDetector, series: &TimeSeries) -> Vec<AnomalySpan> {
+    let flags: Vec<bool> = series.values().iter().map(|&v| v > det.high).collect();
+    spans_from_flags(
+        series,
+        &flags,
+        det.min_samples,
+        AnomalyKind::HighUtilization,
+        |i| series.values()[i] - det.high,
+    )
+}
+
+/// Reference [`EwmaDetector`] scan.
+pub fn ewma(det: &EwmaDetector, series: &TimeSeries) -> Vec<AnomalySpan> {
+    let values = series.values();
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut mean = values[0];
+    let mut var = 0.0f64;
+    let mut flags = vec![false; values.len()];
+    let mut scores = vec![0.0f64; values.len()];
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        let sd = var.sqrt().max(1e-3);
+        let score = (v - mean).abs() / sd;
+        if i >= det.warmup && score > det.k {
+            flags[i] = true;
+            scores[i] = score;
+            // Do not absorb the anomaly into the baseline.
+            continue;
+        }
+        mean += det.alpha * (v - mean);
+        var = (1.0 - det.alpha) * (var + det.alpha * (v - mean) * (v - mean));
+    }
+    spans_from_flags(
+        series,
+        &flags,
+        det.min_samples,
+        AnomalyKind::Deviation,
+        |i| scores[i],
+    )
+}
+
+/// Reference [`CusumDetector`] scan.
+pub fn cusum(det: &CusumDetector, series: &TimeSeries) -> Vec<AnomalySpan> {
+    let values = series.values();
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut target = values[0];
+    let mut hi = 0.0f64;
+    let mut lo = 0.0f64;
+    let mut flags = vec![false; values.len()];
+    let mut scores = vec![0.0f64; values.len()];
+    for (i, &v) in values.iter().enumerate() {
+        hi = (hi + v - target - det.slack).max(0.0);
+        lo = (lo - (v - target) - det.slack).max(0.0);
+        let score = if det.positive_only { hi } else { hi.max(lo) };
+        scores[i] = score;
+        if score > det.threshold {
+            flags[i] = true;
+        } else {
+            target += det.alpha * (v - target);
+        }
+    }
+    spans_from_flags(
+        series,
+        &flags,
+        det.min_samples,
+        AnomalyKind::Deviation,
+        |i| scores[i],
+    )
+}
+
+/// Reference [`SpikeDetector::match_spike`] scan — the original two-pass
+/// whole-series implementation.
+pub fn match_spike(
+    det: &SpikeDetector,
+    series: &TimeSeries,
+    job_window: &TimeRange,
+) -> Option<SpikeMatch> {
+    if series.is_empty() || job_window.is_empty() {
+        return None;
+    }
+    let dur = job_window.duration().as_seconds();
+    let slack = (dur as f64 * det.end_slack) as i64;
+
+    // Pre-job baseline: mean over a window of the same length before start
+    // (falling back to the first observed value).
+    let pre_start = job_window.start() - job_window.duration();
+    let pre = TimeRange::new(pre_start, job_window.start()).ok()?;
+    let baseline = series
+        .stats_in(&pre)
+        .map(|s| s.mean)
+        .or_else(|| series.first().map(|(_, v)| v))?;
+
+    // Peak within [start, end + slack).
+    let search = TimeRange::new(
+        job_window.start(),
+        job_window.end() + batchlens_trace::TimeDelta::seconds(slack),
+    )
+    .ok()?;
+    let windowed = series.slice(&search);
+    let (peak_time, peak) = windowed
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+
+    let rise = peak - baseline;
+    if rise < det.min_rise {
+        return None;
+    }
+
+    // The peak must be near the job end: in the last third of the run or
+    // within the slack after it.
+    let last_third =
+        job_window.start() + batchlens_trace::TimeDelta::seconds((dur as f64 * 0.66) as i64);
+    if peak_time < last_third {
+        return None;
+    }
+
+    // Post-peak decay: some later sample must fall below
+    // peak - decay_fraction * rise.
+    let decay_level = peak - det.decay_fraction * rise;
+    let decayed = series
+        .iter()
+        .filter(|(t, _)| *t > peak_time)
+        .any(|(_, v)| v < decay_level);
+    if !decayed {
+        return None;
+    }
+
+    Some(SpikeMatch {
+        peak_time,
+        peak,
+        baseline,
+        rise,
+    })
+}
+
+/// Reference [`ThrashingDetector`] scan: aligns memory with binary-search
+/// sample-and-hold and recomputes the trailing-window CPU maximum from
+/// scratch per sample — O(n·w) where the state is O(n).
+pub fn thrashing(det: &ThrashingDetector, cpu: &TimeSeries, mem: &TimeSeries) -> Vec<AnomalySpan> {
+    if cpu.is_empty() || mem.is_empty() {
+        return Vec::new();
+    }
+    // Aligned sub-grid: CPU samples at which memory has started reporting.
+    let mut times = Vec::new();
+    let mut cpus = Vec::new();
+    let mut mems = Vec::new();
+    for (t, c) in cpu.iter() {
+        if let Some(m) = mem.value_at_or_before(t) {
+            times.push(t);
+            cpus.push(c);
+            mems.push(m);
+        }
+    }
+    let aligned: TimeSeries = times.iter().copied().zip(mems.iter().copied()).collect();
+    let mut flags = vec![false; times.len()];
+    let mut gaps = vec![0.0f64; times.len()];
+    for i in 0..times.len() {
+        let cutoff = times[i] - det.horizon;
+        let window_max = (0..=i)
+            .filter(|&j| times[j] >= cutoff)
+            .map(|j| cpus[j])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let decline = window_max - cpus[i];
+        gaps[i] = mems[i] - cpus[i];
+        flags[i] =
+            mems[i] > det.mem_high && gaps[i] > det.min_gap && decline >= det.min_cpu_decline;
+    }
+    spans_from_flags(
+        &aligned,
+        &flags,
+        det.min_samples,
+        AnomalyKind::Thrashing,
+        |i| gaps[i],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Detector;
+    use batchlens_trace::Timestamp;
+
+    #[test]
+    fn references_agree_with_states_on_a_smoke_series() {
+        let series: TimeSeries = (0..200)
+            .map(|i| {
+                let base = 0.3 + 0.02 * ((i % 7) as f64 - 3.0) / 3.0;
+                let v = if (80..95).contains(&i) { 0.97 } else { base };
+                (Timestamp::new(i * 60), v)
+            })
+            .collect();
+        let t = ThresholdDetector::new(0.9);
+        assert_eq!(t.detect(&series), threshold(&t, &series));
+        let e = EwmaDetector::default();
+        assert_eq!(e.detect(&series), ewma(&e, &series));
+        let c = CusumDetector::default();
+        assert_eq!(c.detect(&series), cusum(&c, &series));
+    }
+}

@@ -5,10 +5,10 @@
 //! when the job execution is over, followed by a slow drop to the normal
 //! level.")
 
-use batchlens_trace::{TimeRange, TimeSeries, Timestamp};
+use batchlens_trace::{TimeDelta, TimeRange, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use super::{AnomalyKind, AnomalySpan};
+use super::{AnomalyKind, AnomalySpan, DetectorState, Step};
 
 /// Detects the end-of-job spike signature on one machine series given the
 /// job's execution window on that machine.
@@ -51,8 +51,16 @@ impl SpikeDetector {
         }
     }
 
+    /// A fresh incremental matcher scoped to one job window: push the
+    /// machine's metric samples in time order and the state emits the spike
+    /// span as soon as the signature is confirmed.
+    pub fn state_for(&self, job_window: TimeRange) -> SpikeState {
+        SpikeState::new(*self, job_window)
+    }
+
     /// Scans one machine's metric series for the spike signature relative to
-    /// a job executed on that machine during `job_window`.
+    /// a job executed on that machine during `job_window` — a thin wrapper
+    /// feeding the series through [`SpikeDetector::state_for`].
     ///
     /// Returns `None` when any part of the signature is missing: no
     /// sufficient rise, peak not aligned with the job end, or no post-peak
@@ -61,59 +69,12 @@ impl SpikeDetector {
         if series.is_empty() || job_window.is_empty() {
             return None;
         }
-        let dur = job_window.duration().as_seconds();
-        let slack = (dur as f64 * self.end_slack) as i64;
-
-        // Pre-job baseline: mean over a window of the same length before start
-        // (falling back to the first observed value).
-        let pre_start = job_window.start() - job_window.duration();
-        let pre = TimeRange::new(pre_start, job_window.start()).ok()?;
-        let baseline = series
-            .stats_in(&pre)
-            .map(|s| s.mean)
-            .or_else(|| series.first().map(|(_, v)| v))?;
-
-        // Peak within [start, end + slack).
-        let search = TimeRange::new(
-            job_window.start(),
-            job_window.end() + batchlens_trace::TimeDelta::seconds(slack),
-        )
-        .ok()?;
-        let windowed = series.slice(&search);
-        let (peak_time, peak) = windowed
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
-
-        let rise = peak - baseline;
-        if rise < self.min_rise {
-            return None;
+        let mut state = self.state_for(*job_window);
+        for (t, v) in series.iter() {
+            state.push(t, v);
         }
-
-        // The peak must be near the job end: in the last third of the run or
-        // within the slack after it.
-        let last_third =
-            job_window.start() + batchlens_trace::TimeDelta::seconds((dur as f64 * 0.66) as i64);
-        if peak_time < last_third {
-            return None;
-        }
-
-        // Post-peak decay: some later sample must fall below
-        // peak - decay_fraction * rise.
-        let decay_level = peak - self.decay_fraction * rise;
-        let decayed = series
-            .iter()
-            .filter(|(t, _)| *t > peak_time)
-            .any(|(_, v)| v < decay_level);
-        if !decayed {
-            return None;
-        }
-
-        Some(SpikeMatch {
-            peak_time,
-            peak,
-            baseline,
-            rise,
-        })
+        state.finish();
+        state.matched()
     }
 
     /// Converts a match into a generic [`AnomalySpan`] covering the job
@@ -137,6 +98,150 @@ impl SpikeDetector {
 impl Default for SpikeDetector {
     fn default() -> Self {
         SpikeDetector::new()
+    }
+}
+
+/// Incremental spike matcher for one job window.
+///
+/// O(1) per sample, O(1) memory: a rolling pre-window baseline sum, the
+/// running peak inside the stretched search window, and the running minimum
+/// after the current peak (for decay confirmation). The span is emitted at
+/// the first sample at which the signature is fully confirmed *and* the
+/// search window is behind us (so the peak is final) — the emitted match is
+/// identical to what a whole-series scan would report.
+///
+/// Unlike the per-sample kernels, the spike signature is only decidable in
+/// retrospect (the confirming sample lies *after* the anomaly), so this
+/// state never sets [`Step::flagged`]: consumers act on [`Step::closed`]
+/// (and [`SpikeState::matched`]), not on instantaneous flags.
+#[derive(Debug, Clone)]
+pub struct SpikeState {
+    det: SpikeDetector,
+    window: TimeRange,
+    pre_start: Timestamp,
+    search_end: Timestamp,
+    last_third: Timestamp,
+    pre_sum: f64,
+    pre_count: usize,
+    first: Option<f64>,
+    peak: Option<(Timestamp, f64)>,
+    min_after_peak: f64,
+    found: Option<SpikeMatch>,
+    emitted: bool,
+}
+
+impl SpikeState {
+    /// A matcher for `det` scoped to `job_window`.
+    pub fn new(det: SpikeDetector, job_window: TimeRange) -> Self {
+        let dur = job_window.duration().as_seconds();
+        let slack = (dur as f64 * det.end_slack) as i64;
+        SpikeState {
+            det,
+            window: job_window,
+            pre_start: job_window.start() - job_window.duration(),
+            search_end: job_window.end() + TimeDelta::seconds(slack),
+            last_third: job_window.start() + TimeDelta::seconds((dur as f64 * 0.66) as i64),
+            pre_sum: 0.0,
+            pre_count: 0,
+            first: None,
+            peak: None,
+            min_after_peak: f64::INFINITY,
+            found: None,
+            emitted: false,
+        }
+    }
+
+    /// The confirmed match, if the signature has been observed.
+    pub fn matched(&self) -> Option<SpikeMatch> {
+        self.found
+    }
+
+    /// Evaluates the signature against the state so far.
+    fn evaluate(&self) -> Option<SpikeMatch> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let (peak_time, peak) = self.peak?;
+        let baseline = if self.pre_count > 0 {
+            self.pre_sum / self.pre_count as f64
+        } else {
+            self.first?
+        };
+        let rise = peak - baseline;
+        if rise < self.det.min_rise {
+            return None;
+        }
+        // The peak must be near the job end: in the last third of the run or
+        // within the slack after it.
+        if peak_time < self.last_third {
+            return None;
+        }
+        // Post-peak decay: some later sample fell below
+        // peak - decay_fraction * rise.
+        let decay_level = peak - self.det.decay_fraction * rise;
+        if self.min_after_peak >= decay_level {
+            return None;
+        }
+        Some(SpikeMatch {
+            peak_time,
+            peak,
+            baseline,
+            rise,
+        })
+    }
+
+    fn confirm(&mut self) -> Option<AnomalySpan> {
+        if self.emitted {
+            return None;
+        }
+        let m = self.evaluate()?;
+        self.found = Some(m);
+        self.emitted = true;
+        Some(self.det.span_for(&m, &self.window))
+    }
+}
+
+impl DetectorState for SpikeState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        if self.first.is_none() {
+            self.first = Some(value);
+        }
+        // Pre-job baseline: mean over a window of the same length before
+        // the job start.
+        if t >= self.pre_start && t < self.window.start() {
+            self.pre_sum += value;
+            self.pre_count += 1;
+        }
+        // Running peak within [start, end + slack). `>=` keeps the *last*
+        // maximal sample, matching the batch scan's tie-breaking.
+        if t >= self.window.start() && t < self.search_end {
+            match self.peak {
+                Some((_, p)) if value < p => {}
+                _ => {
+                    self.peak = Some((t, value));
+                    self.min_after_peak = f64::INFINITY;
+                }
+            }
+        }
+        if let Some((pt, _)) = self.peak {
+            if t > pt {
+                self.min_after_peak = self.min_after_peak.min(value);
+            }
+        }
+        // Emit only once the search window is behind us: the peak (and
+        // hence the rise) is final, and the decay condition is monotone.
+        let closed = if t >= self.search_end {
+            self.confirm()
+        } else {
+            None
+        };
+        // The confirming sample itself is quiet — it sits after the spike —
+        // so per-sample flags stay false; the verdict travels in `closed`.
+        Step::new(false, 0.0, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.confirm()
     }
 }
 

@@ -6,12 +6,21 @@
 //! CPU utilization to decrease and the whole system is not making any
 //! progresses.")
 
-use batchlens_trace::{TimeRange, TimeSeries};
+use std::collections::VecDeque;
+
+use batchlens_trace::{TimeDelta, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use super::{AnomalyKind, AnomalySpan};
+use super::{AnomalyKind, AnomalySpan, PairedDetectorState, SpanBuilder, Step};
 
 /// Detects the thrashing signature across a machine's CPU and memory series.
+///
+/// A sample looks thrashing when memory is pinned above `mem_high`, the
+/// `mem - cpu` gap exceeds `min_gap`, **and** the CPU has declined by at
+/// least `min_cpu_decline` from its maximum over the trailing `horizon` —
+/// the window-max-to-current rule. (An earlier revision compared the first
+/// and last samples of the window, which missed a mid-window collapse after
+/// a flat start.)
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThrashingDetector {
     /// Memory utilization considered "pinned".
@@ -20,9 +29,10 @@ pub struct ThrashingDetector {
     pub min_gap: f64,
     /// Minimum consecutive samples for a span to be reported.
     pub min_samples: usize,
-    /// The CPU must have *declined*: mean CPU inside the span must sit at
-    /// least this far below the mean CPU over an equal window before it.
+    /// The CPU must sit at least this far below its trailing-window maximum.
     pub min_cpu_decline: f64,
+    /// How far back the CPU reference maximum looks.
+    pub horizon: TimeDelta,
 }
 
 impl ThrashingDetector {
@@ -33,86 +43,92 @@ impl ThrashingDetector {
             min_gap: 0.25,
             min_samples: 3,
             min_cpu_decline: 0.05,
+            horizon: TimeDelta::minutes(30),
         }
     }
 
-    /// Scans paired CPU/memory series (same machine) for thrashing spans.
-    ///
-    /// The two series may have different grids; memory is looked up with
-    /// sample-and-hold at each CPU timestamp.
+    /// A fresh incremental state: push aligned `(t, cpu, mem)` samples in
+    /// time order.
+    pub fn state(&self) -> ThrashingState {
+        ThrashingState {
+            det: *self,
+            maxima: VecDeque::new(),
+            builder: SpanBuilder::new(AnomalyKind::Thrashing, self.min_samples),
+        }
+    }
+
+    /// Scans paired CPU/memory series (same machine) for thrashing spans —
+    /// a thin wrapper that aligns memory onto the CPU grid with
+    /// sample-and-hold (two-cursor merge, O(n + m)) and feeds the pairs
+    /// through [`ThrashingDetector::state`].
     pub fn detect(&self, cpu: &TimeSeries, mem: &TimeSeries) -> Vec<AnomalySpan> {
         if cpu.is_empty() || mem.is_empty() {
             return Vec::new();
         }
-        let times = cpu.times();
-        let cpu_vals = cpu.values();
-        // Candidate flags: memory pinned AND a wide mem-cpu gap.
-        let mut flags = vec![false; times.len()];
-        let mut gaps = vec![0.0f64; times.len()];
-        for (i, (&t, &c)) in times.iter().zip(cpu_vals).enumerate() {
-            if let Some(m) = mem.value_at_or_before(t) {
-                let gap = m - c;
-                gaps[i] = gap;
-                flags[i] = m > self.mem_high && gap > self.min_gap;
+        let mut state = self.state();
+        let mut out = Vec::new();
+        let mut j = 0usize; // first index of `mem` with time > t
+        for (t, c) in cpu.iter() {
+            while j < mem.len() && mem.times()[j] <= t {
+                j += 1;
+            }
+            if j == 0 {
+                // Memory has not started reporting yet: nothing to pair.
+                continue;
+            }
+            if let Some(span) = state.push(t, c, mem.values()[j - 1]).closed {
+                out.push(span);
             }
         }
-        let raw =
-            super::spans_from_flags(cpu, &flags, self.min_samples, AnomalyKind::Thrashing, |i| {
-                gaps[i]
-            });
-        // Confirm the CPU actually declined into each span.
-        raw.into_iter()
-            .filter(|span| self.cpu_declined(cpu, span.range))
-            .map(|mut span| {
-                // Report the *memory* peak as the span peak: that is the
-                // overuse driving the collapse.
-                if let Some(m) = mem.value_at_or_before(span.peak_time) {
-                    span.peak = m;
-                }
-                span
-            })
-            .collect()
-    }
-
-    /// True when CPU is *falling* through the span: the collapse signature.
-    ///
-    /// Thrashing often begins with a clamped burst (the job's initial CPU
-    /// demand), so comparing against pre-span history misclassifies; the
-    /// discriminating feature is the declining trend inside the span itself.
-    /// Short spans (< 4 samples) fall back to the history comparison.
-    fn cpu_declined(&self, cpu: &TimeSeries, span: TimeRange) -> bool {
-        let inside = cpu.slice(&span);
-        if inside.is_empty() {
-            return false;
-        }
-        // Gradual collapse: declining trend within the span (thrashing often
-        // begins with a clamped CPU burst, so history alone misclassifies).
-        if inside.len() >= 4 {
-            let vals = inside.values();
-            let mid = vals.len() / 2;
-            let first: f64 = vals[..mid].iter().sum::<f64>() / mid as f64;
-            let last: f64 = vals[mid..].iter().sum::<f64>() / (vals.len() - mid) as f64;
-            if first - last >= self.min_cpu_decline {
-                return true;
-            }
-        }
-        // Step collapse: CPU already fell before the flagged span opened.
-        let len = span.duration();
-        let Ok(before) = TimeRange::new(span.start() - len, span.start()) else {
-            return false;
-        };
-        match (cpu.stats_in(&before), inside.stats()) {
-            (Some(prior), Some(now)) => prior.mean - now.mean >= self.min_cpu_decline,
-            // No history and no trend: indistinguishable from an idle box
-            // with committed memory — stay conservative.
-            _ => false,
-        }
+        out.extend(state.finish());
+        out
     }
 }
 
 impl Default for ThrashingDetector {
     fn default() -> Self {
         ThrashingDetector::new()
+    }
+}
+
+/// Incremental thrashing state over aligned `(cpu, mem)` pairs.
+///
+/// O(1) amortized per sample (each sample enters and leaves the monotonic
+/// deque at most once), O(w) memory for `w` samples inside the horizon.
+/// Span peaks report the *memory* level at the widest-gap sample — the
+/// overuse driving the collapse — and span severity is that gap.
+#[derive(Debug, Clone)]
+pub struct ThrashingState {
+    det: ThrashingDetector,
+    /// Monotonically decreasing `(time, cpu)` maxima inside the horizon;
+    /// the front is the trailing-window CPU maximum.
+    maxima: VecDeque<(Timestamp, f64)>,
+    builder: SpanBuilder,
+}
+
+impl PairedDetectorState for ThrashingState {
+    fn push(&mut self, t: Timestamp, cpu: f64, mem: f64) -> Step {
+        let cutoff = t - self.det.horizon;
+        while self.maxima.front().is_some_and(|&(ft, _)| ft < cutoff) {
+            self.maxima.pop_front();
+        }
+        let window_max = self.maxima.front().map_or(cpu, |&(_, m)| m.max(cpu));
+        let decline = window_max - cpu;
+        while self.maxima.back().is_some_and(|&(_, bv)| bv <= cpu) {
+            self.maxima.pop_back();
+        }
+        self.maxima.push_back((t, cpu));
+
+        let gap = mem - cpu;
+        let flagged = mem > self.det.mem_high
+            && gap > self.det.min_gap
+            && decline >= self.det.min_cpu_decline;
+        let closed = self.builder.observe(t, mem, flagged, gap);
+        Step::new(flagged, gap, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
     }
 }
 
@@ -140,7 +156,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
 
     /// CPU healthy then collapsing at `collapse_at`; memory pinned from
     /// `collapse_at` on.
@@ -176,6 +191,29 @@ mod tests {
             s.peak
         );
         assert!(s.severity > 0.25);
+    }
+
+    #[test]
+    fn mid_window_collapse_after_flat_start_is_caught() {
+        // CPU flat at the window start, then collapsing mid-window while
+        // memory pins: the window-max-to-current rule catches this; the old
+        // first-to-last comparison on a window opening mid-collapse did not
+        // reliably.
+        let mut cpu = TimeSeries::new();
+        let mut mem = TimeSeries::new();
+        for i in 0..60 {
+            let t = i * 60;
+            let c = if t < 1200 {
+                0.5
+            } else {
+                (0.5 - (t - 1200) as f64 / 1500.0).max(0.05)
+            };
+            cpu.push(Timestamp::new(t), c).unwrap();
+            mem.push(Timestamp::new(t), if t < 1200 { 0.4 } else { 0.9 })
+                .unwrap();
+        }
+        let spans = ThrashingDetector::new().detect(&cpu, &mem);
+        assert!(!spans.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
 /// Flags sustained runs above a fixed utilization threshold — the simplest
 /// "metric-based" monitor and the mental model behind the paper's color
@@ -30,27 +30,49 @@ impl Default for ThresholdDetector {
     }
 }
 
+/// Incremental threshold state: a pure comparison per sample.
+///
+/// O(1) per sample, O(1) memory.
+#[derive(Debug, Clone)]
+pub struct ThresholdState {
+    high: f64,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for ThresholdState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        let flagged = value > self.high;
+        let severity = value - self.high;
+        let closed = self.builder.observe(t, value, flagged, severity);
+        Step::new(flagged, severity, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
+}
+
 impl Detector for ThresholdDetector {
     fn name(&self) -> &'static str {
         "threshold"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        let flags: Vec<bool> = series.values().iter().map(|&v| v > self.high).collect();
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::HighUtilization,
-            |i| series.values()[i] - self.high,
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::HighUtilization
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(ThresholdState {
+            high: self.high,
+            builder: SpanBuilder::new(AnomalyKind::HighUtilization, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values

@@ -1,12 +1,18 @@
-use batchlens_trace::TimeSeries;
+use batchlens_trace::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use super::{spans_from_flags, AnomalyKind, AnomalySpan, Detector};
+use super::{AnomalyKind, AnomalySpan, Detector, DetectorState, SpanBuilder, Step};
 
-/// Flags samples whose z-score against the whole series exceeds `z`.
+/// Flags samples whose z-score against the *running* distribution exceeds
+/// `z`.
 ///
-/// Robust for stationary series; fooled by regime changes (which is exactly
-/// why the paper argues for visual inspection alongside statistics).
+/// The baseline mean and standard deviation are maintained online (Welford's
+/// algorithm) over the samples accepted so far; flagged samples are not
+/// absorbed into the baseline, so a sustained excursion stays flagged
+/// instead of normalizing itself away. This is the causal counterpart of
+/// the classic whole-series z-score (fooled by regime changes — which is
+/// exactly why the paper argues for visual inspection alongside statistics),
+/// and it is what lets batch and streaming detection share one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ZScoreDetector {
     /// Z-score magnitude above which a sample is anomalous.
@@ -17,15 +23,22 @@ pub struct ZScoreDetector {
     /// deviations (drops, e.g. the thrashing CPU collapse) otherwise count
     /// too.
     pub positive_only: bool,
+    /// Baseline samples accepted before flagging starts.
+    pub warmup: usize,
 }
 
+/// Floor on the running standard deviation, so a perfectly flat baseline
+/// still yields finite scores (a constant series scores exactly 0).
+const MIN_SIGMA: f64 = 1e-3;
+
 impl ZScoreDetector {
-    /// A symmetric 3-sigma detector.
+    /// A symmetric 3-sigma detector with a 10-sample warm-up.
     pub fn new(z: f64) -> Self {
         ZScoreDetector {
             z,
             min_samples: 2,
             positive_only: false,
+            warmup: 10,
         }
     }
 
@@ -43,45 +56,79 @@ impl Default for ZScoreDetector {
     }
 }
 
+/// Incremental z-score state: Welford running moments over accepted
+/// (unflagged) samples.
+///
+/// O(1) per sample, O(1) memory.
+#[derive(Debug, Clone)]
+pub struct ZScoreState {
+    z: f64,
+    positive_only: bool,
+    warmup: usize,
+    /// Accepted (baseline) sample count.
+    count: usize,
+    mean: f64,
+    /// Sum of squared deviations of accepted samples (Welford's M2).
+    m2: f64,
+    builder: SpanBuilder,
+}
+
+impl DetectorState for ZScoreState {
+    fn push(&mut self, t: Timestamp, value: f64) -> Step {
+        let (flagged, severity) = if self.count == 0 {
+            (false, 0.0)
+        } else {
+            let sd = (self.m2 / self.count as f64).sqrt().max(MIN_SIGMA);
+            let score = (value - self.mean) / sd;
+            let fire = self.count >= self.warmup
+                && if self.positive_only {
+                    score > self.z
+                } else {
+                    score.abs() > self.z
+                };
+            (fire, score.abs())
+        };
+        if !flagged {
+            self.count += 1;
+            let delta = value - self.mean;
+            self.mean += delta / self.count as f64;
+            self.m2 += delta * (value - self.mean);
+        }
+        let closed = self.builder.observe(t, value, flagged, severity);
+        Step::new(flagged, severity, closed)
+    }
+
+    fn finish(&mut self) -> Option<AnomalySpan> {
+        self.builder.finish()
+    }
+}
+
 impl Detector for ZScoreDetector {
     fn name(&self) -> &'static str {
         "zscore"
     }
 
-    fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
-        let Some(stats) = series.stats() else {
-            return Vec::new();
-        };
-        if stats.std_dev < 1e-12 {
-            return Vec::new();
-        }
-        let score = |v: f64| (v - stats.mean) / stats.std_dev;
-        let flags: Vec<bool> = series
-            .values()
-            .iter()
-            .map(|&v| {
-                let s = score(v);
-                if self.positive_only {
-                    s > self.z
-                } else {
-                    s.abs() > self.z
-                }
-            })
-            .collect();
-        spans_from_flags(
-            series,
-            &flags,
-            self.min_samples,
-            AnomalyKind::Outlier,
-            |i| score(series.values()[i]).abs(),
-        )
+    fn kind(&self) -> AnomalyKind {
+        AnomalyKind::Outlier
+    }
+
+    fn state(&self) -> Box<dyn DetectorState> {
+        Box::new(ZScoreState {
+            z: self.z,
+            positive_only: self.positive_only,
+            warmup: self.warmup.max(1),
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            builder: SpanBuilder::new(AnomalyKind::Outlier, self.min_samples),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::Timestamp;
+    use batchlens_trace::TimeSeries;
 
     fn series(values: &[f64]) -> TimeSeries {
         values
@@ -100,6 +147,7 @@ mod tests {
         let spans = ZScoreDetector::new(3.0).detect(&series(&vals));
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].kind, AnomalyKind::Outlier);
+        assert_eq!(spans[0].range.start(), Timestamp::new(50 * 60));
         assert!(spans[0].severity > 3.0);
     }
 
@@ -115,6 +163,31 @@ mod tests {
             .positive_only()
             .detect(&series(&vals));
         assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn burst_is_not_absorbed_into_the_baseline() {
+        // A long excursion: every sample of it stays flagged because the
+        // baseline refuses to learn from flagged samples.
+        let mut vals = vec![0.3; 120];
+        for v in vals.iter_mut().skip(60).take(30) {
+            *v = 0.9;
+        }
+        let spans = ZScoreDetector::new(3.0).detect(&series(&vals));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].range.start(), Timestamp::new(60 * 60));
+        assert_eq!(spans[0].range.end(), Timestamp::new(90 * 60));
+    }
+
+    #[test]
+    fn warmup_suppresses_early_flags() {
+        let mut vals = vec![0.3; 40];
+        vals[3] = 0.99; // inside warm-up: absorbed, not flagged
+        vals[4] = 0.99;
+        let spans = ZScoreDetector::new(3.0).detect(&series(&vals));
+        assert!(spans
+            .iter()
+            .all(|s| s.range.start() > Timestamp::new(4 * 60)));
     }
 
     #[test]

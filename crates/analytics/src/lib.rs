@@ -12,9 +12,12 @@
 //! * [`aggregate`] — per-job node series grouped by task and the
 //!   cluster-wide aggregated timeline (the data behind the line-chart views
 //!   and the brushable timeline).
-//! * [`detect`] — anomaly detectors: generic metric detectors (threshold,
-//!   z-score, EWMA, MAD) plus signature detectors for the paper's two
-//!   case-study behaviours (end-of-job **spike**, **thrashing**).
+//! * [`detect`] — the incremental anomaly-detection engine: every detector
+//!   is an online kernel ([`detect::DetectorState`], O(1) amortized per
+//!   sample) and batch detection is a provided method over it. Generic
+//!   metric detectors (threshold, z-score, EWMA, MAD, CUSUM, IQR, voting
+//!   ensemble) plus signature detectors for the paper's two case-study
+//!   behaviours (end-of-job **spike**, **thrashing**).
 //! * [`rootcause`] — turns detector output plus hierarchy/co-allocation
 //!   context into per-job diagnoses, reproducing the case study's narrative
 //!   conclusions programmatically.
@@ -51,6 +54,6 @@ pub mod sla;
 pub mod temporal;
 
 pub use coalloc::CoallocationIndex;
-pub use detect::{AnomalyKind, AnomalySpan, Detector};
+pub use detect::{AnomalyKind, AnomalySpan, Detector, DetectorState, PairedDetectorState};
 pub use hierarchy::HierarchySnapshot;
 pub use rootcause::{Diagnosis, RootCauseAnalyzer};

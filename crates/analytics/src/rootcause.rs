@@ -6,6 +6,10 @@
 //! "the machines running Job job_7901 experience intensive workload during
 //! the execution time" or "the compute node is suffering thrashing while
 //! the virtual memory is overused".
+//!
+//! All three member detectors (spike, thrashing, saturation) run on the
+//! incremental kernels from [`crate::detect`], so a diagnosis here agrees
+//! sample-for-sample with what the online `StreamMonitor` alerts on.
 
 use batchlens_trace::{JobId, MachineId, Metric, TimeRange, Timestamp, TraceDataset};
 use serde::{Deserialize, Serialize};

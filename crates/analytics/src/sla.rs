@@ -165,37 +165,24 @@ pub fn check(ds: &TraceDataset, policy: &SlaPolicy) -> SlaReport {
 }
 
 /// Maximal intervals where the series stays strictly above `level` for at
-/// least `min_duration`.
+/// least `min_duration` — the shared threshold kernel with a duration
+/// filter, so SLA saturation checking and threshold anomaly detection can
+/// never disagree about what "over threshold" means.
 fn over_threshold_runs(
     series: &batchlens_trace::TimeSeries,
     level: f64,
     min_duration: TimeDelta,
 ) -> Vec<TimeRange> {
-    let times = series.times();
-    let values = series.values();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    let period = if times.len() >= 2 {
-        (times[1] - times[0]).as_seconds().max(1)
-    } else {
-        1
-    };
-    while i < values.len() {
-        if values[i] <= level {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        while i < values.len() && values[i] > level {
-            i += 1;
-        }
-        let range = TimeRange::new(times[start], times[i - 1] + TimeDelta::seconds(period))
-            .expect("monotone times");
-        if range.duration() >= min_duration {
-            out.push(range);
-        }
+    use crate::detect::{Detector, ThresholdDetector};
+    ThresholdDetector {
+        high: level,
+        min_samples: 1,
     }
-    out
+    .detect(series)
+    .into_iter()
+    .map(|span| span.range)
+    .filter(|range| range.duration() >= min_duration)
+    .collect()
 }
 
 /// Cluster-wide availability over a window: the fraction of `[start, end)`

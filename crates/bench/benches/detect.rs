@@ -1,9 +1,11 @@
 //! Ablation: anomaly-detector throughput — threshold vs z-score vs EWMA vs
-//! MAD on one series, plus the signature detectors.
+//! MAD on one series, plus the signature detectors, plus the incremental
+//! push path (one live state pushed sample-by-sample) against the batch
+//! provided method it backs.
 
 use batchlens_analytics::detect::{
-    CusumDetector, Detector, Ensemble, EwmaDetector, IqrDetector, MadDetector, SpikeDetector,
-    ThrashingDetector, ThresholdDetector, ZScoreDetector,
+    reference, CusumDetector, Detector, Ensemble, EwmaDetector, IqrDetector, MadDetector,
+    SpikeDetector, ThrashingDetector, ThresholdDetector, ZScoreDetector,
 };
 use batchlens_trace::{Metric, TimeRange, Timestamp, TraceDataset};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -62,6 +64,22 @@ fn bench(c: &mut Criterion) {
     group.bench_function("thrashing_signature", |b| {
         let d = ThrashingDetector::new();
         b.iter(|| black_box(d.detect(&cpu, &mem)))
+    });
+    // The incremental path, fed sample-by-sample, vs the retained scan
+    // reference of the same kernel.
+    group.bench_function("threshold_state_fed", |b| {
+        b.iter(|| {
+            let mut state = threshold.state();
+            let mut spans = 0usize;
+            for (t, v) in cpu.iter() {
+                spans += usize::from(state.push(t, v).closed.is_some());
+            }
+            spans += usize::from(state.finish().is_some());
+            black_box(spans)
+        })
+    });
+    group.bench_function("threshold_reference_scan", |b| {
+        b.iter(|| black_box(reference::threshold(&threshold, &cpu)))
     });
     group.finish();
     let _ = Timestamp::ZERO;

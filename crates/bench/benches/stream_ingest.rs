@@ -1,0 +1,74 @@
+//! Ablation: per-sample online ingest cost as the rolling window grows.
+//!
+//! The incremental detector banks make one `StreamMonitor::ingest` O(1) in
+//! the window length: the `ingest` rows must stay flat as the horizon grows
+//! from 30 minutes to 24 hours. The `rescan` rows time what the
+//! pre-incremental monitor did on every record — materialize the rolling
+//! window into a `TimeSeries` and inspect it — which scales linearly with
+//! the window and is kept here as the regression foil.
+
+use batchlens::stream::{StreamConfig, StreamMonitor};
+use batchlens::trace::{
+    MachineId, Metric, ServerUsageRecord, TimeDelta, Timestamp, UtilizationTriple,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn rec(t: i64) -> ServerUsageRecord {
+    // A wobbling, occasionally-hot pattern so detector branches are
+    // exercised.
+    let phase = (t / 60) % 97;
+    let cpu = 0.3 + 0.3 * (phase as f64 / 97.0);
+    ServerUsageRecord {
+        time: Timestamp::new(t),
+        machine: MachineId::new(1),
+        util: UtilizationTriple::clamped(cpu, 0.4, 0.2),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest");
+    for horizon_min in [30i64, 240, 1440] {
+        let cfg = StreamConfig {
+            horizon: TimeDelta::minutes(horizon_min),
+            ..StreamConfig::default()
+        };
+
+        // Pre-fill one machine until its window is at capacity, then time
+        // steady-state ingest of fresh records.
+        let monitor = StreamMonitor::new(cfg);
+        let mut t = 0i64;
+        while t < horizon_min * 60 + 600 {
+            monitor.ingest(rec(t));
+            t += 60;
+        }
+        group.bench_function(BenchmarkId::new("ingest", horizon_min), |b| {
+            b.iter(|| {
+                t += 60;
+                black_box(monitor.ingest(rec(t)).len())
+            })
+        });
+
+        // The pre-incremental cost model: rebuild the window series and scan
+        // it per record (what `StreamMonitor` used to do on every ingest).
+        group.bench_function(BenchmarkId::new("rescan", horizon_min), |b| {
+            b.iter(|| {
+                t += 60;
+                monitor.ingest(rec(t));
+                let series = monitor
+                    .series(MachineId::new(1), Metric::Cpu)
+                    .expect("machine tracked");
+                let decline = series
+                    .first()
+                    .zip(series.last())
+                    .map(|((_, first), (_, last))| first - last)
+                    .unwrap_or(0.0);
+                black_box(decline)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,47 +1,92 @@
-//! Perf guardrail for the trace-layer hot paths.
+//! Perf guardrail for the trace-layer and streaming hot paths.
 //!
-//! Run with: `cargo run --release -p batchlens-bench --bin bench_trace`
+//! Run with: `cargo run --release -p batchlens-bench --bin bench_trace [-- OPTIONS]`
 //!
-//! Times the sweep/index kernels against the naive implementations they
-//! replaced and writes `BENCH_trace.json` (working directory) so future PRs
-//! can track the trajectory. The relevant acceptance bar for the sweep-line
-//! PR: `mean_of` at 1000 series and `jobs_running_at` on the medium
-//! dataset must hold a ≥10× speedup over naive.
+//! Times the sweep/index/incremental kernels against the naive
+//! implementations they replaced and writes `BENCH_trace.json` (working
+//! directory) so future PRs can track the trajectory. Each op is timed over
+//! several runs and reported with min/mean/max so the trajectory carries
+//! variance, not just a best-of point.
+//!
+//! Options:
+//!
+//! * `--tier small|medium|paper` — which simulated dataset the
+//!   dataset-bound rows use. `paper` is the full production-scale shape
+//!   (`SimConfig::paper_scale`: 1300 machines / 24 h, Alibaba v2017); its
+//!   rows are suffixed `_paper` and merged into the committed file next to
+//!   the default `_medium` rows.
+//! * `--check` — after running, compare against the committed
+//!   `BENCH_trace.json` and exit non-zero if any tracked op's optimized
+//!   time regressed more than 2× (the CI guardrail).
+//!
+//! Rows present in the committed file but not produced by the selected tier
+//! (e.g. `_paper` rows during a `--tier medium` CI run) are preserved on
+//! write and skipped by `--check`.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use batchlens::trace::{naive, JobId, TimeDelta, TimeSeries, Timestamp};
+use batchlens::stream::{StreamConfig, StreamMonitor};
+use batchlens::trace::{
+    naive, JobId, MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries, Timestamp,
+    TraceDataset, UtilizationTriple,
+};
 use batchlens_bench::medium_dataset;
-use serde::Serialize;
+use batchlens_sim::{SimConfig, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock distribution of one op over several runs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Stats {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
 
 /// One timed comparison.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Entry {
     name: String,
-    naive_ns: f64,
-    optimized_ns: f64,
+    naive: Stats,
+    optimized: Stats,
+    /// `naive.min_ns / optimized.min_ns`.
     speedup: f64,
 }
 
 /// The emitted report.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Report {
     description: String,
     entries: Vec<Entry>,
 }
 
-/// Best-of-N wall-clock nanoseconds for one closure.
-fn time_ns(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
-    let mut best = f64::INFINITY;
+/// Times `f` once per run, `runs` times.
+fn measure(runs: usize, mut f: impl FnMut() -> usize) -> Stats {
     let mut sink = 0usize;
-    for _ in 0..reps {
+    let mut samples = Vec::with_capacity(runs.max(1));
+    for _ in 0..runs.max(1) {
         let start = Instant::now();
         sink = sink.wrapping_add(std::hint::black_box(f()));
-        best = best.min(start.elapsed().as_nanos() as f64);
+        samples.push(start.elapsed().as_nanos() as f64);
     }
     std::hint::black_box(sink);
-    best
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Stats {
+        min_ns: min,
+        mean_ns: mean,
+        max_ns: max,
+    }
+}
+
+fn entry(name: impl Into<String>, naive: Stats, optimized: Stats) -> Entry {
+    Entry {
+        name: name.into(),
+        naive,
+        optimized,
+        speedup: naive.min_ns / optimized.min_ns,
+    }
 }
 
 /// A day of 300 s samples, staggered per machine as in the real trace
@@ -58,44 +103,137 @@ fn machine_series(machine: usize) -> TimeSeries {
         .collect()
 }
 
-fn main() {
-    let mut entries = Vec::new();
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Small,
+    Medium,
+    Paper,
+}
 
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Small => "small",
+            Tier::Medium => "medium",
+            Tier::Paper => "paper",
+        }
+    }
+
+    fn dataset(self) -> TraceDataset {
+        match self {
+            Tier::Small => Simulation::new(SimConfig::small(7))
+                .run()
+                .expect("small sim"),
+            Tier::Medium => medium_dataset(7),
+            Tier::Paper => Simulation::new(SimConfig::paper_scale(7))
+                .run()
+                .expect("paper-scale sim"),
+        }
+    }
+}
+
+/// Synthetic rows: dataset-independent kernels (run on the default tier
+/// only, so the committed values stay comparable run to run).
+fn synthetic_entries(entries: &mut Vec<Entry>) {
     // --- mean_of: sweep vs union-grid binary searches ---
     for machines in [100usize, 1000] {
         let series: Vec<TimeSeries> = (0..machines).map(machine_series).collect();
-        let reps = if machines >= 1000 { 3 } else { 10 };
-        let optimized = time_ns(reps, || TimeSeries::mean_of(series.iter()).len());
-        let naive_ns = time_ns(2, || naive::mean_of(series.iter()).len());
-        entries.push(Entry {
-            name: format!("mean_of_{machines}x288"),
-            naive_ns,
-            optimized_ns: optimized,
-            speedup: naive_ns / optimized,
-        });
+        let reps = if machines >= 1000 { 3 } else { 8 };
+        let optimized = measure(reps, || TimeSeries::mean_of(series.iter()).len());
+        let naive_s = measure(2, || naive::mean_of(series.iter()).len());
+        entries.push(entry(format!("mean_of_{machines}x288"), naive_s, optimized));
     }
 
-    // --- jobs_running_at: interval index vs full-table scan ---
-    let ds = medium_dataset(7);
-    let span = ds.span().expect("medium dataset has a span");
+    // --- quantile: selection vs clone + sort ---
+    let big: TimeSeries = (0..86_400i64)
+        .map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin()))
+        .collect();
+    let optimized = measure(8, || {
+        big.quantile(0.95)
+            .map(|v| v.to_bits() as usize)
+            .unwrap_or(0)
+    });
+    let naive_s = measure(4, || {
+        let mut sorted = big.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = 0.95 * (sorted.len() - 1) as f64;
+        sorted[pos.floor() as usize].to_bits() as usize
+    });
+    entries.push(entry("quantile_86400", naive_s, optimized));
+
+    // --- stream ingest: incremental detector banks vs per-record window
+    //     rescan, at a 24 h rolling horizon ---
+    let rec = |t: i64| ServerUsageRecord {
+        time: Timestamp::new(t),
+        machine: MachineId::new(1),
+        util: UtilizationTriple::clamped(0.3 + 0.3 * ((t / 60 % 97) as f64 / 97.0), 0.4, 0.2),
+    };
+    let cfg = StreamConfig {
+        horizon: TimeDelta::DAY,
+        ..StreamConfig::default()
+    };
+    let monitor = StreamMonitor::new(cfg);
+    let mut t = 0i64;
+    while t < 86_400 + 600 {
+        monitor.ingest(rec(t));
+        t += 60;
+    }
+    const BATCH: usize = 2_000;
+    let optimized = measure(5, || {
+        let mut alerts = 0usize;
+        for _ in 0..BATCH {
+            t += 60;
+            alerts += monitor.ingest(rec(t)).len();
+        }
+        alerts
+    });
+    let naive_s = measure(3, || {
+        let mut sink = 0usize;
+        for _ in 0..BATCH {
+            t += 60;
+            monitor.ingest(rec(t));
+            // What the pre-incremental monitor did per record: materialize
+            // the rolling window and inspect it.
+            let series = monitor
+                .series(MachineId::new(1), Metric::Cpu)
+                .expect("machine tracked");
+            sink += series.len();
+        }
+        sink
+    });
+    entries.push(entry(
+        format!("stream_ingest_24h_x{BATCH}"),
+        naive_s,
+        optimized,
+    ));
+}
+
+/// Dataset-bound rows, suffixed with the tier name.
+fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
+    let ds = tier.dataset();
+    let span = ds.span().expect("dataset has a span");
     let probes: Vec<Timestamp> = span
         .steps(TimeDelta::seconds(
             (span.duration().as_seconds() / 64).max(1),
         ))
         .collect();
     println!(
-        "medium dataset: {} instances, {} machines, {} probes",
+        "{} dataset: {} instances, {} machines, {} probes",
+        tier.name(),
         ds.instance_count(),
         ds.machine_count(),
         probes.len()
     );
-    let optimized = time_ns(10, || {
+    let suffix = tier.name();
+
+    // --- jobs_running_at: interval index vs full-table scan ---
+    let optimized = measure(8, || {
         probes
             .iter()
             .map(|&t| ds.jobs_running_at(t).len())
             .sum::<usize>()
     });
-    let naive_ns = time_ns(5, || {
+    let naive_s = measure(3, || {
         probes
             .iter()
             .map(|&t| {
@@ -108,22 +246,21 @@ fn main() {
             })
             .sum::<usize>()
     });
-    entries.push(Entry {
-        name: "jobs_running_at_medium".into(),
-        naive_ns,
-        optimized_ns: optimized,
-        speedup: naive_ns / optimized,
-    });
+    entries.push(entry(
+        format!("jobs_running_at_{suffix}"),
+        naive_s,
+        optimized,
+    ));
 
     // --- alive_at: liveness checkpoints vs event-table scan ---
     let machines: Vec<_> = ds.machines().collect();
-    let optimized = time_ns(10, || {
+    let optimized = measure(8, || {
         probes
             .iter()
             .map(|&t| machines.iter().filter(|m| m.alive_at(t)).count())
             .sum::<usize>()
     });
-    let naive_ns = time_ns(5, || {
+    let naive_s = measure(3, || {
         probes
             .iter()
             .map(|&t| {
@@ -147,43 +284,114 @@ fn main() {
             })
             .sum::<usize>()
     });
-    entries.push(Entry {
-        name: "alive_at_medium".into(),
-        naive_ns,
-        optimized_ns: optimized,
-        speedup: naive_ns / optimized,
-    });
+    entries.push(entry(format!("alive_at_{suffix}"), naive_s, optimized));
 
-    // --- quantile: selection vs clone + sort ---
-    let big: TimeSeries = (0..86_400i64)
-        .map(|i| (Timestamp::new(i), (i as f64 * 0.01).sin()))
+    // --- timeline aggregation over the real per-machine CPU series ---
+    let cpu_series: Vec<&TimeSeries> = machines
+        .iter()
+        .filter_map(|m| m.usage(Metric::Cpu))
         .collect();
-    let optimized = time_ns(10, || {
-        big.quantile(0.95)
-            .map(|v| v.to_bits() as usize)
-            .unwrap_or(0)
+    let reps = if tier == Tier::Paper { 2 } else { 5 };
+    let optimized = measure(reps, || {
+        TimeSeries::mean_of(cpu_series.iter().copied()).len()
     });
-    let naive_ns = time_ns(5, || {
-        let mut sorted = big.values().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pos = 0.95 * (sorted.len() - 1) as f64;
-        sorted[pos.floor() as usize].to_bits() as usize
-    });
-    entries.push(Entry {
-        name: "quantile_86400".into(),
-        naive_ns,
-        optimized_ns: optimized,
-        speedup: naive_ns / optimized,
-    });
+    let naive_s = measure(2, || naive::mean_of(cpu_series.iter().copied()).len());
+    entries.push(entry(
+        format!("timeline_mean_of_{suffix}"),
+        naive_s,
+        optimized,
+    ));
+}
 
+/// Factor by which a tracked op's optimized time may grow before `--check`
+/// fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let mut tier = Tier::Medium;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier" => {
+                let v = args.next().unwrap_or_default();
+                tier = match v.as_str() {
+                    "small" => Tier::Small,
+                    "medium" => Tier::Medium,
+                    "paper" => Tier::Paper,
+                    other => {
+                        eprintln!("unknown tier {other:?}; use small|medium|paper");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown option {other:?}; use [--tier small|medium|paper] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let committed: Option<Report> = std::fs::read_to_string("BENCH_trace.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+
+    let mut entries = Vec::new();
+    if tier == Tier::Medium {
+        synthetic_entries(&mut entries);
+    }
+    dataset_entries(tier, &mut entries);
+
+    // --check: compare fresh optimized times against the committed file.
+    let mut regressions = Vec::new();
+    if check {
+        if let Some(old) = &committed {
+            for fresh in &entries {
+                if let Some(prev) = old.entries.iter().find(|e| e.name == fresh.name) {
+                    let ratio = fresh.optimized.min_ns / prev.optimized.min_ns;
+                    if ratio > REGRESSION_FACTOR {
+                        regressions.push(format!(
+                            "{}: optimized {:.0} ns vs committed {:.0} ns ({ratio:.2}x)",
+                            fresh.name, fresh.optimized.min_ns, prev.optimized.min_ns
+                        ));
+                    }
+                }
+            }
+        } else {
+            println!("--check: no committed BENCH_trace.json; nothing to compare");
+        }
+    }
+
+    // Merge: refresh rows we produced, keep rows from other tiers.
+    let mut merged = committed.map(|r| r.entries).unwrap_or_default();
+    for fresh in entries {
+        if let Some(slot) = merged.iter_mut().find(|e| e.name == fresh.name) {
+            *slot = fresh;
+        } else {
+            merged.push(fresh);
+        }
+    }
     let report = Report {
-        description: "naive vs optimized wall-clock (best-of-N, release) for the \
-                      trace-layer hot paths; speedup = naive / optimized"
+        description: "naive vs optimized wall-clock (min/mean/max over N runs, release) for \
+                      the trace-layer and streaming hot paths; speedup = naive.min / \
+                      optimized.min; dataset-bound rows are suffixed by sim tier"
             .into(),
-        entries,
+        entries: merged,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
     println!("{json}");
     println!("wrote BENCH_trace.json");
+
+    if !regressions.is_empty() {
+        eprintln!("PERF REGRESSION (> {REGRESSION_FACTOR}x vs committed BENCH_trace.json):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    if check {
+        println!("perf guardrail: no tracked op regressed more than {REGRESSION_FACTOR}x");
+    }
 }

@@ -3,6 +3,7 @@
 
 use batchlens_analytics::aggregate::{ClusterTimeline, JobMetricLines};
 use batchlens_analytics::coalloc::CoallocationIndex;
+use batchlens_analytics::detect::{AnomalySpan, Detector, Ensemble};
 use batchlens_analytics::hierarchy::HierarchySnapshot;
 use batchlens_analytics::rootcause::{Diagnosis, RootCauseAnalyzer};
 use batchlens_layout::Brush;
@@ -88,6 +89,45 @@ impl BatchLens {
     pub fn diagnose(&self) -> Vec<Diagnosis> {
         self.analyzer
             .analyze(&self.dataset, self.view.selected_timestamp())
+    }
+
+    /// Detector anomaly spans for the hovered machine over the effective
+    /// window, when the anomaly overlay is enabled
+    /// ([`crate::interaction::Event::ToggleAnomalies`]): the standard
+    /// ensemble on each metric series plus the paired-series thrashing
+    /// kernel on CPU/memory. Empty when the overlay is off or nothing is
+    /// hovered.
+    pub fn machine_anomalies(&self) -> Vec<(batchlens_trace::Metric, AnomalySpan)> {
+        use batchlens_trace::Metric;
+        if !self.view.show_anomalies() {
+            return Vec::new();
+        }
+        let Some(machine) = self.view.hovered_machine() else {
+            return Vec::new();
+        };
+        let Some(mv) = self.dataset.machine(machine) else {
+            return Vec::new();
+        };
+        let window = self.view.effective_window();
+        let ensemble = Ensemble::standard();
+        let mut out = Vec::new();
+        for metric in Metric::ALL {
+            if let Some(series) = mv.usage(metric) {
+                for span in ensemble.detect(&series.slice(&window)) {
+                    out.push((metric, span));
+                }
+            }
+        }
+        if let (Some(cpu), Some(mem)) = (mv.usage(Metric::Cpu), mv.usage(Metric::Memory)) {
+            for span in self
+                .analyzer
+                .thrashing
+                .detect(&cpu.slice(&window), &mem.slice(&window))
+            {
+                out.push((Metric::Memory, span));
+            }
+        }
+        out
     }
 
     /// The line-chart data for the selected job (or `None` when no job is
@@ -302,6 +342,31 @@ mod tests {
         let _ = back;
         let restored = crate::session::SessionLog::from_json(&json).unwrap();
         assert_eq!(restored.replay(), *app.view());
+    }
+
+    #[test]
+    fn anomaly_overlay_surfaces_hovered_machine_spans() {
+        let ds = scenario::fig3c(9).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(scenario::T_FIG3C));
+        let thrashing_machine = app
+            .diagnose()
+            .into_iter()
+            .find(|d| d.job == scenario::JOB_11939)
+            .and_then(|d| d.affected_machines.first().copied())
+            .expect("fig3c has thrashing machines");
+        // Overlay off: nothing, even with a hover.
+        app.apply(Event::HoverMachine(thrashing_machine));
+        assert!(app.machine_anomalies().is_empty());
+        // Overlay on: the hovered thrashing machine surfaces typed spans.
+        app.apply(Event::ToggleAnomalies);
+        let spans = app.machine_anomalies();
+        assert!(
+            spans
+                .iter()
+                .any(|(_, s)| s.kind == batchlens_analytics::detect::AnomalyKind::Thrashing),
+            "spans: {spans:?}"
+        );
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub enum Event {
     TogglePin(JobId),
     /// Step the snapshot timestamp by a signed number of seconds.
     StepTimestamp(i64),
+    /// Toggle the detector anomaly-span overlay on the detail views.
+    ToggleAnomalies,
 }
 
 /// A recorded interaction with a monotonically increasing sequence number —
@@ -70,6 +72,7 @@ pub fn reduce(state: &mut ViewState, event: Event) -> bool {
             let t = state.selected_timestamp() + batchlens_trace::TimeDelta::seconds(delta);
             state.set_timestamp(t);
         }
+        Event::ToggleAnomalies => state.toggle_anomalies(),
     }
     *state != before
 }
@@ -142,6 +145,16 @@ mod tests {
         assert_eq!(v.selected_timestamp(), Timestamp::new(400));
         reduce(&mut v, Event::StepTimestamp(-100_000));
         assert_eq!(v.selected_timestamp(), Timestamp::new(0));
+    }
+
+    #[test]
+    fn anomaly_overlay_toggles() {
+        let mut v = ViewState::new(extent());
+        assert!(!v.show_anomalies());
+        assert!(reduce(&mut v, Event::ToggleAnomalies));
+        assert!(v.show_anomalies());
+        assert!(reduce(&mut v, Event::ToggleAnomalies));
+        assert!(!v.show_anomalies());
     }
 
     #[test]

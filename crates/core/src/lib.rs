@@ -17,7 +17,8 @@
 //!   analyze → render.
 //! * [`report`] renders the textual case-study report.
 //! * [`stream`] is the paper's future-work "real-time online system"
-//!   extension: a rolling-window ingestor with online detectors.
+//!   extension: per-machine banks of live incremental detector states (the
+//!   same kernels batch detection runs on), O(1) per ingested record.
 //!
 //! ## Example
 //!

@@ -1,19 +1,33 @@
 //! The real-time online extension (the paper's future work §VI: "extend
 //! BatchLens into a real-time online system").
 //!
-//! [`StreamMonitor`] ingests `server_usage` records as they arrive, keeps a
-//! bounded rolling window per machine, and runs online detectors so
-//! anomalies surface without a full re-scan. It is thread-safe
-//! (`parking_lot` mutex over the rolling state) and pairs with a
+//! [`StreamMonitor`] ingests `server_usage` records as they arrive and runs
+//! the **same incremental detector kernels** as batch detection: each
+//! machine gets a [`DetectorBank`] of live
+//! [`batchlens_analytics::detect::DetectorState`]s (one per detector per
+//! metric, plus the paired-series thrashing state), so every ingest is O(1)
+//! amortized per detector — the window is never re-scanned. Alerts are
+//! typed: they carry the [`AnomalyKind`] and severity computed by the shared
+//! kernels, so an online alert and a batch [`AnomalySpan`] can never
+//! disagree about what a sample means.
+//!
+//! The monitor is thread-safe — a single `parking_lot` mutex over all
+//! rolling state, taken exactly once per ingest — and pairs with a
 //! `crossbeam` channel for producer/consumer ingest.
 
 use std::collections::{BTreeMap, VecDeque};
 
+use batchlens_analytics::detect::{
+    AnomalyKind, Detector, DetectorState, PairedDetectorState, ThrashingDetector, ThrashingState,
+    ThresholdDetector,
+};
 use batchlens_trace::{MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries, Timestamp};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-/// A rolling per-machine window of recent utilization.
+/// A rolling per-machine window of recent utilization, kept for snapshot
+/// queries ([`StreamMonitor::series`], [`StreamMonitor::latest`]). Detection
+/// does **not** scan this window — the detector bank is incremental.
 #[derive(Debug, Clone, Default)]
 struct Window {
     samples: VecDeque<(Timestamp, [f64; 3])>,
@@ -33,10 +47,10 @@ impl Window {
     }
 
     fn series(&self, metric: Metric) -> TimeSeries {
-        let mut s = TimeSeries::new();
+        let mut s = TimeSeries::with_capacity(self.samples.len());
         for &(t, util) in &self.samples {
-            // Samples arrive time-ordered; ignore any out-of-order straggler.
-            let _ = s.push(t, util[metric.index()]);
+            s.push(t, util[metric.index()])
+                .expect("window samples are strictly time-ordered");
         }
         s
     }
@@ -46,32 +60,47 @@ impl Window {
     }
 }
 
-/// An online alert emitted by the monitor.
+/// An online alert emitted by the monitor, typed by the shared detector
+/// kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Alert {
     /// The machine the alert concerns.
     pub machine: MachineId,
     /// When it fired.
     pub at: Timestamp,
-    /// The metric that tripped (for threshold/spike alerts).
+    /// The metric that tripped. Thrashing alerts report [`Metric::Memory`]
+    /// (the pinned resource driving the collapse).
     pub metric: Metric,
-    /// The value that tripped the alert.
+    /// The value of that metric when the alert fired.
     pub value: f64,
-    /// Whether this looks like thrashing (memory high, CPU falling).
-    pub thrashing: bool,
+    /// What kind of anomaly the kernel saw.
+    pub kind: AnomalyKind,
+    /// The kernel's severity for this sample (threshold excess, mem-cpu
+    /// gap, …); comparable only within one kind.
+    pub severity: f64,
+}
+
+impl Alert {
+    /// Whether this is a thrashing alert.
+    pub fn is_thrashing(&self) -> bool {
+        self.kind == AnomalyKind::Thrashing
+    }
 }
 
 /// Configuration of the online monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamConfig {
-    /// How long the rolling window retains samples.
+    /// How long the rolling window retains samples; also the horizon of the
+    /// thrashing kernel's CPU reference maximum.
     pub horizon: TimeDelta,
     /// Utilization above which a high-utilization alert fires.
     pub high: f64,
     /// Memory level considered pinned for thrashing.
     pub mem_pinned: f64,
-    /// Minimum CPU decline across the window for thrashing.
+    /// Minimum CPU decline from the window maximum for thrashing.
     pub cpu_decline: f64,
+    /// Minimum `mem - cpu` gap for a sample to look thrashing.
+    pub min_gap: f64,
 }
 
 impl Default for StreamConfig {
@@ -81,73 +110,174 @@ impl Default for StreamConfig {
             high: 0.9,
             mem_pinned: 0.6,
             cpu_decline: 0.1,
+            min_gap: 0.25,
         }
     }
 }
 
-/// Thread-safe rolling-window monitor.
+impl StreamConfig {
+    /// The thrashing kernel this configuration implies.
+    fn thrashing_detector(&self) -> ThrashingDetector {
+        ThrashingDetector {
+            mem_high: self.mem_pinned,
+            min_gap: self.min_gap,
+            min_samples: 1,
+            min_cpu_decline: self.cpu_decline,
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// The live detector states of one machine: one single-series state per
+/// detector per metric, plus the paired-series thrashing state. Each state
+/// carries the [`AnomalyKind`] its detector reports, so alerts stay typed
+/// exactly as the batch spans would be.
 #[derive(Debug)]
+struct DetectorBank {
+    /// `per_metric[metric][detector]`, parallel to the monitor's detector
+    /// set.
+    per_metric: [Vec<(AnomalyKind, Box<dyn DetectorState>)>; 3],
+    thrashing: ThrashingState,
+}
+
+impl DetectorBank {
+    fn new(detectors: &[Box<dyn Detector>], thrashing: &ThrashingDetector) -> Self {
+        DetectorBank {
+            per_metric: std::array::from_fn(|_| {
+                detectors.iter().map(|d| (d.kind(), d.state())).collect()
+            }),
+            thrashing: thrashing.state(),
+        }
+    }
+
+    /// Pushes one record's utilization triple through every live state,
+    /// appending alerts for flagged samples. O(detectors) per record,
+    /// independent of window length.
+    fn ingest(&mut self, machine: MachineId, t: Timestamp, util: [f64; 3], out: &mut Vec<Alert>) {
+        let thrash =
+            self.thrashing
+                .push(t, util[Metric::Cpu.index()], util[Metric::Memory.index()]);
+        if thrash.flagged {
+            out.push(Alert {
+                machine,
+                at: t,
+                metric: Metric::Memory,
+                value: util[Metric::Memory.index()],
+                kind: AnomalyKind::Thrashing,
+                severity: thrash.severity,
+            });
+        }
+        for metric in Metric::ALL {
+            let v = util[metric.index()];
+            for (kind, state) in &mut self.per_metric[metric.index()] {
+                let step = state.push(t, v);
+                if step.flagged {
+                    out.push(Alert {
+                        machine,
+                        at: t,
+                        metric,
+                        value: v,
+                        kind: *kind,
+                        severity: step.severity,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Per-machine rolling state: snapshot window + live detector bank.
+#[derive(Debug)]
+struct MachineState {
+    window: Window,
+    bank: DetectorBank,
+    last_seen: Option<Timestamp>,
+}
+
+/// Everything the monitor mutates, behind one lock.
+#[derive(Debug, Default)]
+struct Inner {
+    machines: BTreeMap<MachineId, MachineState>,
+    ingested: u64,
+    stale_dropped: u64,
+}
+
+/// Thread-safe online monitor over live detector banks.
 pub struct StreamMonitor {
     cfg: StreamConfig,
-    windows: Mutex<BTreeMap<MachineId, Window>>,
-    ingested: Mutex<u64>,
+    detectors: Vec<Box<dyn Detector>>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for StreamMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamMonitor")
+            .field("cfg", &self.cfg)
+            .field(
+                "detectors",
+                &self.detectors.iter().map(|d| d.name()).collect::<Vec<_>>(),
+            )
+            .field("tracked_machines", &self.inner.lock().machines.len())
+            .finish()
+    }
 }
 
 impl StreamMonitor {
-    /// Creates a monitor.
+    /// Creates a monitor with the default single-series detector set: a
+    /// threshold kernel at `cfg.high` per metric (plus the implied paired
+    /// thrashing kernel).
     pub fn new(cfg: StreamConfig) -> Self {
+        let threshold = ThresholdDetector {
+            high: cfg.high,
+            min_samples: 1,
+        };
+        StreamMonitor::with_detectors(cfg, vec![Box::new(threshold)])
+    }
+
+    /// Creates a monitor running `detectors` on every metric of every
+    /// machine — any batch [`Detector`] streams unchanged, because batch
+    /// detection *is* the streaming kernel.
+    pub fn with_detectors(cfg: StreamConfig, detectors: Vec<Box<dyn Detector>>) -> Self {
         StreamMonitor {
             cfg,
-            windows: Mutex::new(BTreeMap::new()),
-            ingested: Mutex::new(0),
+            detectors,
+            inner: Mutex::new(Inner::default()),
         }
     }
 
-    /// Ingests one usage record, returning any alert it triggers.
-    pub fn ingest(&self, rec: ServerUsageRecord) -> Option<Alert> {
+    /// Ingests one usage record, returning the alerts it triggers (empty
+    /// for a quiet sample — no allocation in that case).
+    ///
+    /// Out-of-order stragglers (a record at or before the machine's latest
+    /// sample) are dropped and counted in [`StreamMonitor::stale_dropped`]
+    /// rather than silently ignored: the incremental kernels consume
+    /// strictly time-ordered samples.
+    pub fn ingest(&self, rec: ServerUsageRecord) -> Vec<Alert> {
         let util = [
             rec.util.cpu.fraction(),
             rec.util.mem.fraction(),
             rec.util.disk.fraction(),
         ];
-        let (cpu_decline, mem_now, cpu_now) = {
-            let mut windows = self.windows.lock();
-            let w = windows.entry(rec.machine).or_default();
-            w.push(rec.time, util, self.cfg.horizon);
-            let cpu = w.series(Metric::Cpu);
-            let decline = cpu
-                .first()
-                .zip(cpu.last())
-                .map(|((_, first), (_, last))| first - last)
-                .unwrap_or(0.0);
-            (decline, util[1], util[0])
-        };
-        *self.ingested.lock() += 1;
-
-        let thrashing = mem_now > self.cfg.mem_pinned
-            && cpu_decline >= self.cfg.cpu_decline
-            && mem_now - cpu_now > 0.25;
-        if thrashing {
-            return Some(Alert {
-                machine: rec.machine,
-                at: rec.time,
-                metric: Metric::Memory,
-                value: mem_now,
-                thrashing: true,
+        let mut alerts = Vec::new();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let state = inner
+            .machines
+            .entry(rec.machine)
+            .or_insert_with(|| MachineState {
+                window: Window::default(),
+                bank: DetectorBank::new(&self.detectors, &self.cfg.thrashing_detector()),
+                last_seen: None,
             });
+        if state.last_seen.is_some_and(|last| rec.time <= last) {
+            inner.stale_dropped += 1;
+            return alerts;
         }
-        for metric in Metric::ALL {
-            if util[metric.index()] > self.cfg.high {
-                return Some(Alert {
-                    machine: rec.machine,
-                    at: rec.time,
-                    metric,
-                    value: util[metric.index()],
-                    thrashing: false,
-                });
-            }
-        }
-        None
+        state.last_seen = Some(rec.time);
+        state.window.push(rec.time, util, self.cfg.horizon);
+        state.bank.ingest(rec.machine, rec.time, util, &mut alerts);
+        inner.ingested += 1;
+        alerts
     }
 
     /// Ingests many records, collecting every alert.
@@ -155,31 +285,41 @@ impl StreamMonitor {
     where
         I: IntoIterator<Item = ServerUsageRecord>,
     {
-        records.into_iter().filter_map(|r| self.ingest(r)).collect()
+        records.into_iter().flat_map(|r| self.ingest(r)).collect()
     }
 
-    /// Number of records ingested so far.
+    /// Number of records ingested so far (stragglers excluded).
     pub fn ingested(&self) -> u64 {
-        *self.ingested.lock()
+        self.inner.lock().ingested
+    }
+
+    /// Number of out-of-order records dropped so far.
+    pub fn stale_dropped(&self) -> u64 {
+        self.inner.lock().stale_dropped
     }
 
     /// The latest utilization known for a machine, if any.
     pub fn latest(&self, machine: MachineId) -> Option<[f64; 3]> {
-        self.windows
+        self.inner
             .lock()
+            .machines
             .get(&machine)
-            .and_then(|w| w.latest())
+            .and_then(|m| m.window.latest())
             .map(|(_, u)| u)
     }
 
     /// The current rolling series for a machine/metric (a snapshot copy).
     pub fn series(&self, machine: MachineId, metric: Metric) -> Option<TimeSeries> {
-        self.windows.lock().get(&machine).map(|w| w.series(metric))
+        self.inner
+            .lock()
+            .machines
+            .get(&machine)
+            .map(|m| m.window.series(metric))
     }
 
     /// Number of machines currently tracked.
     pub fn tracked_machines(&self) -> usize {
-        self.windows.lock().len()
+        self.inner.lock().machines.len()
     }
 }
 
@@ -199,10 +339,14 @@ mod tests {
     #[test]
     fn high_utilization_alerts() {
         let m = StreamMonitor::new(StreamConfig::default());
-        assert!(m.ingest(rec(1, 0, 0.3, 0.3, 0.3)).is_none());
-        let alert = m.ingest(rec(1, 60, 0.95, 0.3, 0.3)).unwrap();
-        assert_eq!(alert.metric, Metric::Cpu);
-        assert!(!alert.thrashing);
+        assert!(m.ingest(rec(1, 0, 0.3, 0.3, 0.3)).is_empty());
+        let alerts = m.ingest(rec(1, 60, 0.95, 0.3, 0.3));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].metric, Metric::Cpu);
+        assert_eq!(alerts[0].kind, AnomalyKind::HighUtilization);
+        assert!(!alerts[0].is_thrashing());
+        // Severity comes from the shared threshold kernel: value - high.
+        assert!((alerts[0].severity - 0.05).abs() < 1e-9);
         assert_eq!(m.ingested(), 2);
     }
 
@@ -233,12 +377,79 @@ mod tests {
             } else {
                 0.6 - (t - 600) as f64 / 2000.0
             };
-            let r = rec(1, t, cpu.max(0.05), 0.9, 0.4);
-            last = m.ingest(r).or(last);
+            let alerts = m.ingest(rec(1, t, cpu.max(0.05), 0.9, 0.4));
+            last = alerts.first().copied().or(last);
         }
         let alert = last.expect("thrashing should alert");
-        assert!(alert.thrashing);
+        assert!(alert.is_thrashing());
         assert_eq!(alert.metric, Metric::Memory);
+        assert_eq!(alert.kind, AnomalyKind::Thrashing);
+        // Severity is the mem-cpu gap from the shared kernel.
+        assert!(alert.severity > 0.25);
+    }
+
+    #[test]
+    fn mid_window_collapse_after_flat_start_alerts() {
+        // A machine that idles flat, then collapses mid-stream while memory
+        // pins: the window-max-to-current rule fires (the old
+        // first-to-last-sample comparison could miss this shape once the
+        // flat head rolled out of the window).
+        let m = StreamMonitor::new(StreamConfig::default());
+        let mut thrash = 0usize;
+        for i in 0..40 {
+            let t = i * 60;
+            let (cpu, mem) = if t < 1200 {
+                (0.5, 0.4)
+            } else {
+                ((0.5 - (t - 1200) as f64 / 1000.0).max(0.05), 0.9)
+            };
+            thrash += m
+                .ingest(rec(1, t, cpu, mem, 0.3))
+                .iter()
+                .filter(|a| a.is_thrashing())
+                .count();
+        }
+        assert!(thrash > 0, "collapse after flat start should alert");
+    }
+
+    #[test]
+    fn stragglers_are_counted_not_silently_dropped() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
+        // Late and duplicate-timestamp records are stragglers.
+        assert!(m.ingest(rec(1, 540, 0.99, 0.3, 0.3)).is_empty());
+        assert!(m.ingest(rec(1, 600, 0.99, 0.3, 0.3)).is_empty());
+        assert_eq!(m.stale_dropped(), 2);
+        assert_eq!(m.ingested(), 1);
+        // A fresh sample still flows.
+        assert_eq!(m.ingest(rec(1, 660, 0.99, 0.3, 0.3)).len(), 1);
+    }
+
+    #[test]
+    fn custom_detector_banks_stream_batch_detectors() {
+        use batchlens_analytics::detect::EwmaDetector;
+        let m = StreamMonitor::with_detectors(
+            StreamConfig::default(),
+            vec![
+                Box::new(ThresholdDetector {
+                    high: 0.9,
+                    min_samples: 1,
+                }),
+                Box::new(EwmaDetector::default()),
+            ],
+        );
+        // A flat baseline then a step: EWMA flags the deviation even though
+        // it never crosses the 0.9 threshold.
+        let mut alerts = Vec::new();
+        for i in 0..40 {
+            let v = if i < 30 { 0.3 } else { 0.7 };
+            alerts.extend(m.ingest(rec(1, i * 60, v, 0.2, 0.2)));
+        }
+        assert!(!alerts.is_empty());
+        // The alert carries EWMA's own kind, not a generic label.
+        assert!(alerts
+            .iter()
+            .all(|a| a.kind == AnomalyKind::Deviation && a.metric == Metric::Cpu));
     }
 
     #[test]
@@ -283,5 +494,6 @@ mod tests {
         }
         assert_eq!(m.ingested(), 400);
         assert_eq!(m.tracked_machines(), 4);
+        assert_eq!(m.stale_dropped(), 0);
     }
 }

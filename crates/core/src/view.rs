@@ -28,6 +28,8 @@ pub struct ViewState {
     detail_metric: DetailMetric,
     /// Jobs explicitly pinned into the detail sidebar.
     pinned_jobs: Vec<JobId>,
+    /// Whether the detail views overlay detector anomaly spans.
+    show_anomalies: bool,
 }
 
 impl ViewState {
@@ -41,6 +43,7 @@ impl ViewState {
             hovered_machine: None,
             detail_metric: Metric::Cpu,
             pinned_jobs: Vec::new(),
+            show_anomalies: false,
         }
     }
 
@@ -85,6 +88,11 @@ impl ViewState {
         &self.pinned_jobs
     }
 
+    /// Whether detector anomaly spans are overlaid on the detail views.
+    pub fn show_anomalies(&self) -> bool {
+        self.show_anomalies
+    }
+
     // --- mutators used by the reducer ---
 
     pub(crate) fn set_timestamp(&mut self, t: Timestamp) {
@@ -107,6 +115,10 @@ impl ViewState {
 
     pub(crate) fn set_metric(&mut self, metric: DetailMetric) {
         self.detail_metric = metric;
+    }
+
+    pub(crate) fn toggle_anomalies(&mut self) {
+        self.show_anomalies = !self.show_anomalies;
     }
 
     pub(crate) fn toggle_pin(&mut self, job: JobId) {

@@ -17,16 +17,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let k = 4;
     let clusters = cluster_behaviors(&vectors, k, 50).expect("enough machines");
-    println!("\nk={k} behavior clusters (cpu_mean, cpu_std, mem_mean, disk_mean, peak):");
+    println!(
+        "\nk={k} behavior clusters (cpu_mean, cpu_std, mem_mean, disk_mean, peak, anomaly_rate):"
+    );
     for (i, centroid) in clusters.centroids.iter().enumerate() {
         println!(
-            "  cluster {i}: size {:>3} | [{:.2} {:.2} {:.2} {:.2} {:.2}]",
+            "  cluster {i}: size {:>3} | [{:.2} {:.2} {:.2} {:.2} {:.2} {:.2}]",
             clusters.members(i).len(),
             centroid[0],
             centroid[1],
             centroid[2],
             centroid[3],
             centroid[4],
+            centroid[5],
         );
     }
 

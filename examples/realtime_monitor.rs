@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut thrash_alerts = 0usize;
     let mut first_thrash = None;
     for rec in rx {
-        if let Some(alert) = monitor.ingest(rec) {
-            if alert.thrashing {
+        for alert in monitor.ingest(rec) {
+            if alert.is_thrashing() {
                 thrash_alerts += 1;
                 if first_thrash.is_none() {
                     first_thrash = Some(alert);
@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     producer.join().ok();
 
-    println!("ingested {} records", monitor.ingested());
+    println!(
+        "ingested {} records ({} stragglers dropped)",
+        monitor.ingested(),
+        monitor.stale_dropped()
+    );
     println!("tracking {} machines", monitor.tracked_machines());
     println!("high-utilization alerts: {high_alerts}");
     println!("thrashing alerts: {thrash_alerts}");
