@@ -122,17 +122,37 @@ pub struct ClusterTimeline {
 }
 
 impl ClusterTimeline {
-    /// Aggregates `ds` over its full span.
+    /// Aggregates `ds` over its full span with the process-default worker
+    /// count ([`batchlens_exec::default_threads`]).
     pub fn build(ds: &TraceDataset) -> ClusterTimeline {
-        let collect = |metric: Metric| {
-            let series: Vec<&TimeSeries> = ds.machines().filter_map(|m| m.usage(metric)).collect();
-            TimeSeries::mean_of(series.iter().copied())
-        };
-        ClusterTimeline {
-            cpu: collect(Metric::Cpu),
-            mem: collect(Metric::Memory),
-            disk: collect(Metric::Disk),
-        }
+        ClusterTimeline::build_with_threads(ds, 0)
+    }
+
+    /// Aggregates `ds` across `threads` workers (`0` = process default,
+    /// `1` = serial fallback).
+    ///
+    /// The three per-metric sweeps run concurrently, and each sweep
+    /// additionally splits its k-way merge by machine chunk with a final
+    /// pairwise combine ([`TimeSeries::mean_of_par`]). The chunk/combine
+    /// graph is a fixed function of the dataset, so the timeline is
+    /// **bit-identical at every thread count**, including `threads = 1`.
+    pub fn build_with_threads(ds: &TraceDataset, threads: usize) -> ClusterTimeline {
+        let threads = batchlens_exec::resolve_threads(threads);
+        let per_metric: Vec<Vec<&TimeSeries>> = Metric::ALL
+            .iter()
+            .map(|&metric| ds.machines().filter_map(|m| m.usage(metric)).collect())
+            .collect();
+        // Outer fan-out: one task per metric; the per-sweep budget is the
+        // floor share of the knob so outer × inner never exceeds the
+        // requested thread count.
+        let inner = (threads / Metric::ALL.len()).max(1);
+        let mut sweeps = batchlens_exec::run_indexed(threads.min(Metric::ALL.len()), 3, |k| {
+            TimeSeries::mean_of_par(per_metric[k].iter().copied(), inner)
+        });
+        let disk = sweeps.pop().expect("three metrics");
+        let mem = sweeps.pop().expect("three metrics");
+        let cpu = sweeps.pop().expect("three metrics");
+        ClusterTimeline { cpu, mem, disk }
     }
 
     /// The series for one metric.

@@ -130,10 +130,27 @@ fn anomaly_sample_fraction(series: &batchlens_trace::TimeSeries, window: &TimeRa
     flagged as f64 / times.len() as f64
 }
 
-/// Collects behavior vectors for every machine over `window`.
+/// Collects behavior vectors for every machine over `window`, fanned out
+/// across the process-default worker count.
 pub fn behavior_vectors(ds: &TraceDataset, window: &TimeRange) -> Vec<BehaviorVector> {
-    ds.machines()
-        .filter_map(|m| BehaviorVector::of(ds, m.id(), window))
+    behavior_vectors_with_threads(ds, window, 0)
+}
+
+/// [`behavior_vectors`] across an explicit worker count (`0` = process
+/// default, `1` = serial).
+///
+/// One work item per machine — the ensemble anomaly-rate pass dominates —
+/// with results in machine-id order. Per-machine summaries are independent,
+/// so the output is bit-identical to the serial loop at every thread count.
+pub fn behavior_vectors_with_threads(
+    ds: &TraceDataset,
+    window: &TimeRange,
+    threads: usize,
+) -> Vec<BehaviorVector> {
+    let machines: Vec<MachineId> = ds.machines().map(|m| m.id()).collect();
+    batchlens_exec::par_map(threads, &machines, |&m| BehaviorVector::of(ds, m, window))
+        .into_iter()
+        .flatten()
         .collect()
 }
 

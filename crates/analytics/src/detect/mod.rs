@@ -27,6 +27,7 @@ mod ensemble;
 mod ewma;
 mod iqr;
 mod mad;
+pub mod parallel;
 pub mod reference;
 pub mod spike;
 mod state;
@@ -39,6 +40,7 @@ pub use ensemble::Ensemble;
 pub use ewma::EwmaDetector;
 pub use iqr::IqrDetector;
 pub use mad::MadDetector;
+pub use parallel::{detect_all_machines, detect_metric_all_machines, MachineDetection};
 pub use spike::SpikeDetector;
 pub use state::{DetectorState, PairedDetectorState, SpanBuilder, Step};
 pub use thrashing::{ThrashingDetector, ThrashingState};
@@ -104,9 +106,16 @@ pub trait Detector: Send + Sync {
     /// Scans `series` by streaming it through [`Detector::state`] and
     /// returns anomalous spans in time order.
     fn detect(&self, series: &TimeSeries) -> Vec<AnomalySpan> {
+        self.detect_view(series.view())
+    }
+
+    /// [`Detector::detect`] over a borrowed window — the zero-copy entry
+    /// point windowed fan-outs use ([`parallel::detect_all_machines`]), so
+    /// restricting detection to a brushed range never clones the samples.
+    fn detect_view(&self, view: batchlens_trace::SeriesView<'_>) -> Vec<AnomalySpan> {
         let mut state = self.state();
         let mut out = Vec::new();
-        for (t, v) in series.iter() {
+        for (t, v) in view.iter() {
             if let Some(span) = state.push(t, v).closed {
                 out.push(span);
             }

@@ -107,32 +107,47 @@ impl SlaReport {
     }
 }
 
-/// Checks `ds` against `policy`.
+/// Checks `ds` against `policy` with the process-default worker count.
 pub fn check(ds: &TraceDataset, policy: &SlaPolicy) -> SlaReport {
-    let mut violations = Vec::new();
-    let mut machines_checked = 0usize;
+    check_with_threads(ds, policy, 0)
+}
 
-    for machine in ds.machines() {
-        machines_checked += 1;
+/// [`check`] across an explicit worker count (`0` = process default,
+/// `1` = serial).
+///
+/// Machines (saturation runs over three metrics each) and jobs (terminal
+/// status scans) are independent work items; per-item violation lists are
+/// concatenated in machine/job order, so the report is identical to the
+/// serial scan at every thread count.
+pub fn check_with_threads(ds: &TraceDataset, policy: &SlaPolicy, threads: usize) -> SlaReport {
+    let machines: Vec<MachineId> = ds.machines().map(|m| m.id()).collect();
+    let machines_checked = machines.len();
+    let per_machine = batchlens_exec::par_map(threads, &machines, |&id| {
+        let machine = ds.machine(id).expect("machine listed by dataset");
+        let mut out = Vec::new();
         for metric in Metric::ALL {
             let Some(series) = machine.usage(metric) else {
                 continue;
             };
             for range in over_threshold_runs(series, policy.saturation_level, policy.max_saturation)
             {
-                violations.push(Violation::Saturation {
-                    machine: machine.id(),
+                out.push(Violation::Saturation {
+                    machine: id,
                     metric,
                     range,
                 });
             }
         }
-    }
+        out
+    });
+    let mut violations: Vec<Violation> = per_machine.into_iter().flatten().collect();
 
-    let mut jobs_checked = 0usize;
+    let jobs_checked;
     if policy.penalize_failures {
-        for job in ds.jobs() {
-            jobs_checked += 1;
+        let jobs: Vec<JobId> = ds.jobs().map(|j| j.id()).collect();
+        jobs_checked = jobs.len();
+        let per_job = batchlens_exec::par_map(threads, &jobs, |&id| {
+            let job = ds.job(id).expect("job listed by dataset");
             let mut worst: Option<TaskStatus> = None;
             for task in job.tasks() {
                 let s = task.record().status;
@@ -146,13 +161,9 @@ pub fn check(ds: &TraceDataset, policy: &SlaPolicy) -> SlaReport {
                     });
                 }
             }
-            if let Some(status) = worst {
-                violations.push(Violation::JobFailure {
-                    job: job.id(),
-                    status,
-                });
-            }
-        }
+            worst.map(|status| Violation::JobFailure { job: id, status })
+        });
+        violations.extend(per_job.into_iter().flatten());
     } else {
         jobs_checked = ds.job_count();
     }

@@ -14,12 +14,34 @@ use batchlens_render::svg::to_svg;
 use batchlens_render::timeline::TimelineView;
 use batchlens_trace::{JobId, TimeRange, Timestamp, TraceDataset};
 
+use parking_lot::Mutex;
+
 use crate::interaction::{reduce, Event};
 use crate::session::SessionLog;
 use crate::view::ViewState;
 
+/// Memoized per-timestamp analytics: timeline scrubbing revisits the same
+/// instant constantly (drag back and forth, re-render after an unrelated
+/// event), and both the hierarchy snapshot and the co-allocation index are
+/// pure functions of `(dataset, timestamp)` — so the last result of each is
+/// kept and replayed while the timestamp is unchanged.
+#[derive(Debug, Default, Clone)]
+struct SnapshotCache {
+    hierarchy: Option<(Timestamp, HierarchySnapshot)>,
+    coalloc: Option<(Timestamp, CoallocationIndex)>,
+    /// Cluster-wide overlay keyed by the window it was detected over — the
+    /// most expensive of the memoized products (full-cluster ensemble
+    /// fan-out), and like the others a pure function of its key.
+    overlay: Option<(
+        TimeRange,
+        Vec<batchlens_analytics::detect::MachineDetection>,
+    )>,
+    hits: u64,
+    misses: u64,
+}
+
 /// A BatchLens session over one dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BatchLens {
     dataset: TraceDataset,
     view: ViewState,
@@ -28,6 +50,22 @@ pub struct BatchLens {
     /// The aggregated cluster timeline, built once per dataset: the dataset
     /// is immutable, so every timeline/dashboard render reuses it.
     timeline: ClusterTimeline,
+    /// Last snapshot/co-allocation result keyed by timestamp (interior
+    /// mutability so the read-only accessors stay `&self`).
+    cache: Mutex<SnapshotCache>,
+}
+
+impl Clone for BatchLens {
+    fn clone(&self) -> Self {
+        BatchLens {
+            dataset: self.dataset.clone(),
+            view: self.view.clone(),
+            analyzer: self.analyzer,
+            log: self.log.clone(),
+            timeline: self.timeline.clone(),
+            cache: Mutex::new(self.cache.lock().clone()),
+        }
+    }
 }
 
 impl BatchLens {
@@ -42,6 +80,7 @@ impl BatchLens {
             analyzer: RootCauseAnalyzer::new(),
             log: SessionLog::new(extent),
             timeline,
+            cache: Mutex::new(SnapshotCache::default()),
         }
     }
 
@@ -71,13 +110,45 @@ impl BatchLens {
     }
 
     /// The hierarchy snapshot at the selected timestamp.
+    ///
+    /// Memoized on the timestamp: scrubbing back onto the same instant (or
+    /// re-rendering after a non-time event) replays the cached snapshot
+    /// instead of re-stabbing the interval index.
     pub fn snapshot(&self) -> HierarchySnapshot {
-        HierarchySnapshot::at(&self.dataset, self.view.selected_timestamp())
+        let at = self.view.selected_timestamp();
+        let mut cache = self.cache.lock();
+        if let Some((_, snap)) = cache.hierarchy.as_ref().filter(|(t, _)| *t == at) {
+            let snap = snap.clone();
+            cache.hits += 1;
+            return snap;
+        }
+        cache.misses += 1;
+        let snap = HierarchySnapshot::at(&self.dataset, at);
+        cache.hierarchy = Some((at, snap.clone()));
+        snap
     }
 
-    /// The co-allocation index at the selected timestamp.
+    /// The co-allocation index at the selected timestamp, memoized exactly
+    /// like [`BatchLens::snapshot`].
     pub fn coallocation(&self) -> CoallocationIndex {
-        CoallocationIndex::at(&self.dataset, self.view.selected_timestamp())
+        let at = self.view.selected_timestamp();
+        let mut cache = self.cache.lock();
+        if let Some((_, idx)) = cache.coalloc.as_ref().filter(|(t, _)| *t == at) {
+            let idx = idx.clone();
+            cache.hits += 1;
+            return idx;
+        }
+        cache.misses += 1;
+        let idx = CoallocationIndex::at(&self.dataset, at);
+        cache.coalloc = Some((at, idx.clone()));
+        idx
+    }
+
+    ///`(hits, misses)` of the per-timestamp snapshot/co-allocation cache —
+    /// observability for the scrubbing path (and its tests).
+    pub fn snapshot_cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock();
+        (cache.hits, cache.misses)
     }
 
     /// The aggregated cluster timeline (cached: built once per dataset).
@@ -128,6 +199,41 @@ impl BatchLens {
             }
         }
         out
+    }
+
+    /// The cluster-wide anomaly overlay: [`Ensemble::standard`] spans for
+    /// **every** machine over the effective window, computed by the parallel
+    /// [`batchlens_analytics::detect::detect_all_machines`] fan-out
+    /// (process-default worker count; results in machine-id order,
+    /// bit-identical at any thread count). Empty when the overlay is off
+    /// ([`crate::interaction::Event::ToggleAnomalies`]).
+    pub fn cluster_anomalies(&self) -> Vec<batchlens_analytics::detect::MachineDetection> {
+        if !self.view.show_anomalies() {
+            return Vec::new();
+        }
+        let window = self.view.effective_window();
+        // Probe-and-release: the fan-out below is the expensive product, so
+        // it runs with the cache unlocked — a concurrent snapshot() or
+        // coallocation() never waits behind full-cluster detection. Two
+        // threads missing the same window may both compute (same pure
+        // result; last insert wins), which is the cheaper failure mode.
+        {
+            let mut cache = self.cache.lock();
+            if let Some((_, overlay)) = cache.overlay.as_ref().filter(|(w, _)| *w == window) {
+                let overlay = overlay.clone();
+                cache.hits += 1;
+                return overlay;
+            }
+            cache.misses += 1;
+        }
+        let overlay = batchlens_analytics::detect::detect_all_machines(
+            &self.dataset,
+            &Ensemble::standard(),
+            Some(&window),
+            0,
+        );
+        self.cache.lock().overlay = Some((window, overlay.clone()));
+        overlay
     }
 
     /// The line-chart data for the selected job (or `None` when no job is
@@ -367,6 +473,50 @@ mod tests {
                 .any(|(_, s)| s.kind == batchlens_analytics::detect::AnomalyKind::Thrashing),
             "spans: {spans:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_scrubbing_is_memoized() {
+        let ds = scenario::fig3b(10).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        let t0 = scenario::T_FIG3B;
+        let t1 = t0 + batchlens_trace::TimeDelta::minutes(10);
+        app.apply(Event::SelectTimestamp(t0));
+        let a = app.snapshot();
+        let _ = app.coallocation();
+        // Same instant again: replayed from cache, equal value.
+        let b = app.snapshot();
+        assert_eq!(a, b);
+        let (hits, misses) = app.snapshot_cache_stats();
+        assert_eq!((hits, misses), (1, 2));
+        // Scrub away and back: the move invalidates, the return rebuilds.
+        app.apply(Event::SelectTimestamp(t1));
+        let c = app.snapshot();
+        app.apply(Event::SelectTimestamp(t0));
+        let d = app.snapshot();
+        assert_eq!(a, d);
+        assert_ne!(c.at, d.at);
+        let (_, misses) = app.snapshot_cache_stats();
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn cluster_overlay_covers_every_machine() {
+        let ds = scenario::fig3c(12).run().unwrap();
+        let machine_count = ds.machine_count();
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(scenario::T_FIG3C));
+        assert!(app.cluster_anomalies().is_empty(), "overlay off");
+        app.apply(Event::ToggleAnomalies);
+        let overlay = app.cluster_anomalies();
+        assert_eq!(overlay.len(), machine_count);
+        assert!(overlay.iter().any(|m| m.span_count() > 0));
+        // Repeat renders over the same window replay the memoized overlay.
+        let (hits_before, misses) = app.snapshot_cache_stats();
+        assert_eq!(app.cluster_anomalies(), overlay);
+        let (hits_after, misses_after) = app.snapshot_cache_stats();
+        assert_eq!(hits_after, hits_before + 1);
+        assert_eq!(misses_after, misses);
     }
 
     #[test]

@@ -101,6 +101,10 @@ pub struct StreamConfig {
     pub cpu_decline: f64,
     /// Minimum `mem - cpu` gap for a sample to look thrashing.
     pub min_gap: f64,
+    /// How many fired alerts the monitor retains for
+    /// [`StreamMonitor::drain_alerts`]; beyond it the oldest are dropped
+    /// (and counted in [`StreamMonitor::alerts_overflowed`]).
+    pub alert_capacity: usize,
 }
 
 impl Default for StreamConfig {
@@ -111,6 +115,7 @@ impl Default for StreamConfig {
             mem_pinned: 0.6,
             cpu_decline: 0.1,
             min_gap: 0.25,
+            alert_capacity: 4096,
         }
     }
 }
@@ -200,6 +205,11 @@ struct Inner {
     machines: BTreeMap<MachineId, MachineState>,
     ingested: u64,
     stale_dropped: u64,
+    /// Fired alerts retained for [`StreamMonitor::drain_alerts`], capped at
+    /// [`StreamConfig::alert_capacity`] (oldest dropped first).
+    alerts: VecDeque<Alert>,
+    total_alerts: u64,
+    alerts_overflowed: u64,
 }
 
 /// Thread-safe online monitor over live detector banks.
@@ -277,6 +287,21 @@ impl StreamMonitor {
         state.window.push(rec.time, util, self.cfg.horizon);
         state.bank.ingest(rec.machine, rec.time, util, &mut alerts);
         inner.ingested += 1;
+        // Retain fired alerts for consumers that poll (UI overlays) rather
+        // than inspect each ingest's return value.
+        inner.total_alerts += alerts.len() as u64;
+        for &alert in &alerts {
+            if self.cfg.alert_capacity == 0 {
+                // Retention disabled: every fired alert counts as dropped.
+                inner.alerts_overflowed += 1;
+                continue;
+            }
+            if inner.alerts.len() == self.cfg.alert_capacity {
+                inner.alerts.pop_front();
+                inner.alerts_overflowed += 1;
+            }
+            inner.alerts.push_back(alert);
+        }
         alerts
     }
 
@@ -296,6 +321,32 @@ impl StreamMonitor {
     /// Number of out-of-order records dropped so far.
     pub fn stale_dropped(&self) -> u64 {
         self.inner.lock().stale_dropped
+    }
+
+    /// Number of alerts currently retained in the buffer — O(1), no clone;
+    /// the cheap per-frame probe an overlay should use to decide whether
+    /// anything new fired before asking for the alerts themselves.
+    pub fn alerts_len(&self) -> usize {
+        self.inner.lock().alerts.len()
+    }
+
+    /// Takes every retained alert out of the buffer (oldest first),
+    /// leaving it empty. Each alert is handed out exactly once, so a
+    /// per-frame consumer pays for new alerts only — never for a clone of
+    /// the full history.
+    pub fn drain_alerts(&self) -> Vec<Alert> {
+        self.inner.lock().alerts.drain(..).collect()
+    }
+
+    /// Total alerts fired since construction (drained or not).
+    pub fn total_alerts(&self) -> u64 {
+        self.inner.lock().total_alerts
+    }
+
+    /// Alerts evicted because the buffer was full before a drain (see
+    /// [`StreamConfig::alert_capacity`]).
+    pub fn alerts_overflowed(&self) -> u64 {
+        self.inner.lock().alerts_overflowed
     }
 
     /// The latest utilization known for a machine, if any.
@@ -473,6 +524,55 @@ mod tests {
         ];
         let alerts = m.ingest_all(recs);
         assert_eq!(alerts.len(), 2);
+    }
+
+    #[test]
+    fn alert_buffer_drains_once() {
+        let m = StreamMonitor::new(StreamConfig::default());
+        m.ingest(rec(1, 0, 0.95, 0.3, 0.3));
+        m.ingest(rec(1, 60, 0.97, 0.3, 0.3));
+        assert_eq!(m.alerts_len(), 2);
+        assert_eq!(m.total_alerts(), 2);
+        let drained = m.drain_alerts();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].at < drained[1].at, "oldest first");
+        // Second drain hands out nothing: each alert is delivered once.
+        assert_eq!(m.alerts_len(), 0);
+        assert!(m.drain_alerts().is_empty());
+        assert_eq!(m.total_alerts(), 2);
+        // New alerts keep flowing into the emptied buffer.
+        m.ingest(rec(1, 120, 0.99, 0.3, 0.3));
+        assert_eq!(m.alerts_len(), 1);
+    }
+
+    #[test]
+    fn alert_buffer_caps_and_counts_overflow() {
+        let cfg = StreamConfig {
+            alert_capacity: 3,
+            ..Default::default()
+        };
+        let m = StreamMonitor::new(cfg);
+        for i in 0..10 {
+            m.ingest(rec(1, i * 60, 0.95, 0.3, 0.3));
+        }
+        assert_eq!(m.alerts_len(), 3);
+        assert_eq!(m.total_alerts(), 10);
+        assert_eq!(m.alerts_overflowed(), 7);
+        // The retained alerts are the most recent three.
+        let drained = m.drain_alerts();
+        assert_eq!(drained[0].at, Timestamp::new(7 * 60));
+
+        // Capacity 0 disables retention but still accounts for every drop.
+        let m = StreamMonitor::new(StreamConfig {
+            alert_capacity: 0,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            m.ingest(rec(1, i * 60, 0.95, 0.3, 0.3));
+        }
+        assert_eq!(m.alerts_len(), 0);
+        assert_eq!(m.total_alerts(), 5);
+        assert_eq!(m.alerts_overflowed(), 5);
     }
 
     #[test]

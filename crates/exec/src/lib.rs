@@ -1,0 +1,352 @@
+//! # batchlens-exec
+//!
+//! The parallel execution layer behind BatchLens' cluster-wide hot paths
+//! (dataset build, timeline aggregation, detector fan-out).
+//!
+//! The model is a **scoped work-stealing pool**: every parallel call spawns
+//! its workers inside [`std::thread::scope`] (so borrowed data flows in
+//! without `'static` bounds or `Arc`s), distributes work items through the
+//! `crossbeam` injector/deque surface, and joins before returning — no
+//! global pool, no detached threads, no shutdown protocol.
+//!
+//! ## Determinism contract
+//!
+//! Every function here returns results **in input order**, regardless of
+//! which worker computed what or in what order items finished. Callers that
+//! keep their per-item closures free of shared mutable state therefore get
+//! results bit-identical to a serial loop at any thread count — the
+//! guarantee the `parallel == serial` differential proptests in
+//! `tests/tests/parallel_differential.rs` enforce for the dataset builder,
+//! the timeline sweeps and batch detection.
+//!
+//! ## Thread-count policy
+//!
+//! `threads <= 1` (or fewer than two items) is the **serial fallback**: the
+//! closure runs on the calling thread, no worker is spawned, no lock is
+//! touched. [`default_threads`] resolves the process-wide default: the
+//! `BATCHLENS_THREADS` environment variable when set, otherwise
+//! [`std::thread::available_parallelism`].
+//!
+//! ## Complexity / thread-safety
+//!
+//! * [`par_map`] / [`run_indexed`]: O(n) work items claimed in batches from
+//!   a [`crossbeam::deque::Injector`]; per-item overhead is one queue pop
+//!   plus one channel send. Worth it for items costing ≳ a few µs.
+//! * [`try_par_map`] / [`try_run_indexed`]: same, with fail-fast
+//!   cancellation; the returned error is the one with the **lowest item
+//!   index** (not the first observed), so error reporting is deterministic
+//!   too.
+//! * All functions require `F: Sync` (shared by workers) and item results
+//!   `Send`. Worker panics propagate to the caller when the scope joins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// One claim attempt: the worker's own queue first, then a batch from the
+/// global injector, then a steal from a sibling's queue. Returning `None`
+/// means every queue was observed empty — and since work items never spawn
+/// new items, whatever remains is already being executed, so the worker can
+/// exit. Peer stealing is what keeps the pool balanced when one worker
+/// batch-claims more than its share of a small fan-out.
+fn claim_task(
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    my_idx: usize,
+    stealers: &[Stealer<usize>],
+) -> Option<usize> {
+    if let Some(i) = local.pop() {
+        return Some(i);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(i) => return Some(i),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    stealers
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| *k != my_idx)
+        .find_map(|(_, s)| s.steal().success())
+}
+
+/// Environment variable overriding [`default_threads`].
+pub const THREADS_ENV: &str = "BATCHLENS_THREADS";
+
+/// The process-wide default worker count: `BATCHLENS_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1). Resolved once and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves a caller-supplied thread knob: `0` means "use the process
+/// default", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+/// Runs `f(0..n)` across `threads` scoped workers and returns the results
+/// **in index order**.
+///
+/// The serial fallback (`threads <= 1` or `n <= 1`) runs `f` on the calling
+/// thread. Work items are claimed in batches from a work-stealing injector,
+/// so uneven per-item cost balances automatically.
+///
+/// # Panics
+///
+/// A panic inside `f` on any worker propagates to the caller.
+pub fn run_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..n {
+        injector.push(i);
+    }
+    let (tx, rx) = channel::bounded::<(usize, R)>(n);
+    let workers = threads.min(n);
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+    std::thread::scope(|scope| {
+        for (my_idx, local) in locals.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let f = &f;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                while let Some(i) = claim_task(&local, injector, my_idx, stealers) {
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx.iter() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly one result"))
+            .collect()
+    })
+}
+
+/// Fallible [`run_indexed`]: runs `f(0..n)` across `threads` workers,
+/// returning all results in index order or the error of the **lowest
+/// failing index**.
+///
+/// Workers observe a shared cancellation flag and stop claiming new items
+/// once any item has failed, so a failing build doesn't finish the whole
+/// fan-out first. Errors are surfaced as `Err` — never as a worker panic —
+/// which is what lets `TraceDatasetBuilder::build` report validation
+/// failures identically at every thread count.
+pub fn try_run_indexed<R, E, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..n {
+        injector.push(i);
+    }
+    let failed = AtomicBool::new(false);
+    let (tx, rx) = channel::bounded::<(usize, Result<R, E>)>(n);
+    let workers = threads.min(n);
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+    std::thread::scope(|scope| {
+        for (my_idx, local) in locals.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let f = &f;
+            let failed = &failed;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                while !failed.load(Ordering::Relaxed) {
+                    let Some(i) = claim_task(&local, injector, my_idx, stealers) else {
+                        break;
+                    };
+                    let r = f(i);
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<(usize, E)> = None;
+        for (i, r) in rx.iter() {
+            match r {
+                Ok(v) => slots[i] = Some(v),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        let Some((err_idx, err)) = first_err else {
+            return Ok(slots
+                .into_iter()
+                .map(|s| s.expect("every index produced exactly one result"))
+                .collect());
+        };
+        // Deterministic error selection: cancellation may have skipped items
+        // below the lowest observed failure, so check them serially — the
+        // returned error is always the first one in index order, exactly as
+        // the serial fallback reports it.
+        for (i, slot) in slots.iter().enumerate().take(err_idx) {
+            if slot.is_none() {
+                f(i)?;
+            }
+        }
+        Err(err)
+    })
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Fallible [`par_map`]: first error (by input index) wins.
+///
+/// # Errors
+///
+/// Returns the error produced by the lowest-index failing item.
+pub fn try_par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    try_run_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Splits `n` items into fixed-size chunks of `chunk` and returns the
+/// `(start, end)` ranges. The chunk graph depends only on `n` and `chunk` —
+/// never on the thread count — which is what keeps chunk-merged reductions
+/// bit-identical at every pool size.
+pub fn fixed_chunks(n: usize, chunk: usize) -> Vec<(usize, usize)> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        for threads in [1usize, 2, 7] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<i64> = (0..57).collect();
+        let serial: Vec<i64> = items.iter().map(|&x| x * 3 - 1).collect();
+        for threads in [1usize, 2, 7] {
+            assert_eq!(par_map(threads, &items, |&x| x * 3 - 1), serial);
+        }
+    }
+
+    #[test]
+    fn try_run_reports_lowest_index_error() {
+        for threads in [1usize, 2, 7] {
+            let r: Result<Vec<usize>, usize> =
+                try_run_indexed(threads, 50, |i| if i % 13 == 4 { Err(i) } else { Ok(i) });
+            assert_eq!(r.unwrap_err(), 4, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_run_ok_when_all_succeed() {
+        let r: Result<Vec<usize>, ()> = try_run_indexed(3, 20, Ok);
+        assert_eq!(r.unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 1), vec![1]);
+        let r: Result<Vec<usize>, ()> = try_run_indexed(4, 0, Ok);
+        assert!(r.unwrap().is_empty());
+    }
+
+    #[test]
+    fn fixed_chunks_cover_exactly() {
+        assert_eq!(fixed_chunks(0, 8), Vec::<(usize, usize)>::new());
+        assert_eq!(fixed_chunks(5, 8), vec![(0, 5)]);
+        assert_eq!(fixed_chunks(17, 8), vec![(0, 8), (8, 16), (16, 17)]);
+        // Chunk graph is independent of thread count by construction: the
+        // function doesn't take one.
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_default() {
+        assert_eq!(resolve_threads(0), default_threads());
+        assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn borrowed_data_flows_into_workers() {
+        // The scoped pool accepts non-'static borrows.
+        let data: Vec<String> = (0..40).map(|i| format!("s{i}")).collect();
+        let lens = par_map(4, &data, |s| s.len());
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            data.iter().map(|s| s.len()).sum()
+        );
+    }
+}

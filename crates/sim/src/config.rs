@@ -37,6 +37,14 @@ pub struct SimConfig {
     pub walk_sigma: f64,
     /// Scheduler selection.
     pub scheduler: SchedulerKind,
+    /// Stagger each machine's usage-reporting grid by a deterministic
+    /// per-machine offset inside one `usage_resolution` period, as in the
+    /// real trace — machines do **not** report on a globally aligned grid.
+    /// On: the cluster-wide union grid has ~`usage_resolution` distinct
+    /// timestamps per period instead of one, which is what timeline
+    /// aggregation must actually sweep in production. Off: the pre-PR-3
+    /// aligned grid (artificially easy for per-grid-point algorithms).
+    pub stagger_reporting: bool,
 }
 
 /// Which placement policy the engine uses for background jobs.
@@ -65,6 +73,7 @@ impl SimConfig {
             personality_spread: 0.03,
             walk_sigma: 0.008,
             scheduler: SchedulerKind::LeastLoaded,
+            stagger_reporting: true,
         }
     }
 

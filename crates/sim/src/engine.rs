@@ -487,21 +487,19 @@ impl Simulation {
             }
         }
 
-        // Pre-compute the additive phase value per grid point per metric.
-        let mut phase = vec![[0.0f64; 3]; n_points];
-        for (window, add) in &self.load_phases {
-            for (i, row) in phase.iter_mut().enumerate() {
-                let t = Timestamp::new(start_s + i as i64 * res);
-                if window.contains(t) {
-                    for k in 0..3 {
-                        row[k] += add[k];
-                    }
-                }
-            }
-        }
-
         let mut values = [0.0f64; 3]; // scratch
         for (m, instances) in by_machine.iter().enumerate() {
+            // Per-machine reporting offset inside one sampling period, as
+            // in the real trace (machines are not globally grid-aligned).
+            // 131 is coprime with the common 60/300 s resolutions, so
+            // offsets spread over the whole period as `m` grows.
+            let off = if self.cfg.stagger_reporting {
+                (m as i64 * 131) % res
+            } else {
+                0
+            };
+            let grid_start = start_s + off;
+
             // Per-machine personality: slight offset so machines differ.
             let spread = self.cfg.personality_spread;
             let personality: [f64; 3] = [
@@ -511,7 +509,7 @@ impl Simulation {
             ];
             let mut walk = [0.0f64; 3];
 
-            // Accumulate footprint contributions over the grid once.
+            // Accumulate footprint contributions over the machine's grid.
             let mut contrib = vec![[0.0f64; 3]; n_points];
             for p in instances {
                 let dur = (p.end - p.start).as_secs_f64().max(1.0);
@@ -521,11 +519,11 @@ impl Simulation {
                 } else {
                     0
                 };
-                let i0 = (((p.start.seconds() - start_s).max(0)) / res) as usize;
+                let i0 = (((p.start.seconds() - grid_start).max(0)) / res) as usize;
                 let last = p.end.seconds() + tail_s;
-                let i1 = ((((last - start_s) / res) + 1).max(0) as usize).min(n_points);
+                let i1 = ((((last - grid_start) / res) + 1).max(0) as usize).min(n_points);
                 for (i, c) in contrib.iter_mut().enumerate().take(i1).skip(i0) {
-                    let t = start_s + i as i64 * res;
+                    let t = grid_start + i as i64 * res;
                     let prog = (t - p.start.seconds()) as f64 / dur;
                     for k in 0..3 {
                         c[k] += p.footprint.by_index(k).eval(prog);
@@ -534,17 +532,23 @@ impl Simulation {
             }
 
             for (i, c) in contrib.iter().enumerate() {
-                let t = Timestamp::new(start_s + i as i64 * res);
+                let t = Timestamp::new(grid_start + i as i64 * res);
+                // Additive load phases, evaluated at the machine's actual
+                // (staggered) sample time.
+                let mut phase = [0.0f64; 3];
+                for (window, add) in &self.load_phases {
+                    if window.contains(t) {
+                        for k in 0..3 {
+                            phase[k] += add[k];
+                        }
+                    }
+                }
                 for k in 0..3 {
                     // AR(1) baseline wander, pulled back toward zero.
                     walk[k] = 0.97 * walk[k] + dist::normal(rng, 0.0, self.cfg.walk_sigma);
                     let noise = dist::normal(rng, 0.0, self.cfg.noise_sigma);
-                    values[k] = self.cfg.baseline[k]
-                        + personality[k]
-                        + phase[i][k]
-                        + walk[k]
-                        + c[k]
-                        + noise;
+                    values[k] =
+                        self.cfg.baseline[k] + personality[k] + phase[k] + walk[k] + c[k] + noise;
                 }
                 builder.push_usage(ServerUsageRecord {
                     time: t,
@@ -598,6 +602,31 @@ mod tests {
         let st = DatasetStats::compute(&ds);
         assert!(st.instances >= st.tasks);
         assert!(st.tasks >= st.jobs);
+    }
+
+    #[test]
+    fn reporting_grids_are_staggered_per_machine() {
+        let ds = Simulation::new(SimConfig::small(1)).run().unwrap();
+        let res = SimConfig::small(1).usage_resolution.as_seconds();
+        // Machines report at distinct sub-period offsets…
+        let offsets: BTreeSet<i64> = ds
+            .machines()
+            .map(|m| m.usage(Metric::Cpu).unwrap().times()[0].seconds() % res)
+            .collect();
+        assert!(offsets.len() > 1, "grids still globally aligned");
+        // …each on its own regular grid.
+        for m in ds.machines() {
+            let times = m.usage(Metric::Cpu).unwrap().times().to_vec();
+            let off = times[0].seconds() % res;
+            assert!(times.iter().all(|t| t.seconds() % res == off));
+        }
+        // Opting out restores the aligned grid.
+        let mut cfg = SimConfig::small(1);
+        cfg.stagger_reporting = false;
+        let aligned = Simulation::new(cfg).run().unwrap();
+        for m in aligned.machines() {
+            assert_eq!(m.usage(Metric::Cpu).unwrap().times()[0].seconds() % res, 0);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::{
 ///
 /// All accessors are `O(log n)` or better thanks to the indexes built at
 /// construction time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceDataset {
     tasks: BTreeMap<(JobId, TaskId), BatchTaskRecord>,
     instances: Vec<BatchInstanceRecord>,
@@ -87,6 +87,9 @@ pub struct TraceDatasetBuilder {
     declared_machines: BTreeMap<MachineId, MachineInfo>,
     /// When true, instances referencing undeclared tasks are errors.
     strict_hierarchy: bool,
+    /// Worker threads for [`TraceDatasetBuilder::build`]; `0` = process
+    /// default ([`batchlens_exec::default_threads`]), `1` = serial.
+    par_threads: usize,
 }
 
 impl TraceDatasetBuilder {
@@ -102,6 +105,21 @@ impl TraceDatasetBuilder {
     /// are task-incomplete).
     pub fn allow_dangling_instances(&mut self) -> &mut Self {
         self.strict_hierarchy = false;
+        self
+    }
+
+    /// Sets how many worker threads [`TraceDatasetBuilder::build`] shards
+    /// record ingestion and index construction across. `0` (the default)
+    /// resolves to the process-wide default, `1` forces the serial path.
+    ///
+    /// The built dataset is **bit-identical at every thread count**: every
+    /// shard boundary is a fixed function of the input, per-machine work
+    /// never crosses shards, and merges fold in machine/chunk order.
+    /// Validation errors are reported identically too (first failing record
+    /// in deterministic order), surfaced as [`TraceError`]s — never as
+    /// worker panics.
+    pub fn par_threads(&mut self, threads: usize) -> &mut Self {
+        self.par_threads = threads;
         self
     }
 
@@ -162,6 +180,7 @@ impl TraceDatasetBuilder {
     /// * [`TraceError::UnorderedSamples`] for duplicate usage timestamps on
     ///   one machine.
     pub fn build(&self) -> Result<TraceDataset, TraceError> {
+        let threads = batchlens_exec::resolve_threads(self.par_threads);
         let mut ds = TraceDataset::default();
 
         for rec in &self.tasks {
@@ -174,31 +193,60 @@ impl TraceDatasetBuilder {
             }
         }
 
-        let mut seen_instances = BTreeSet::new();
-        let mut instances = self.instances.clone();
-        instances.sort_by_key(|r| (r.job, r.task, r.seq));
-        for rec in &instances {
-            rec.window()?;
-            let id = InstanceId::new(rec.job, rec.task, rec.seq);
-            if !seen_instances.insert(id) {
-                return Err(TraceError::DuplicateInstance { instance: id });
+        let instances = par_sorted_instances(&self.instances, threads);
+
+        // Validate sharded: each worker checks a chunk of the sorted table
+        // (window sanity, adjacent-duplicate, hierarchy reference). The
+        // chunk boundaries are a fixed function of the input and errors are
+        // reported for the first failing record in sorted order, so the
+        // outcome is identical to the serial scan at every thread count.
+        let chunks = batchlens_exec::fixed_chunks(instances.len(), VALIDATE_CHUNK);
+        batchlens_exec::try_run_indexed(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            for (idx, rec) in instances[lo..hi].iter().enumerate() {
+                rec.window()?;
+                let i = lo + idx;
+                if i > 0 {
+                    let prev = &instances[i - 1];
+                    if (prev.job, prev.task, prev.seq) == (rec.job, rec.task, rec.seq) {
+                        return Err(TraceError::DuplicateInstance {
+                            instance: InstanceId::new(rec.job, rec.task, rec.seq),
+                        });
+                    }
+                }
+                if self.strict_hierarchy && !ds.tasks.contains_key(&(rec.job, rec.task)) {
+                    return Err(TraceError::UnknownTask {
+                        job: rec.job,
+                        task: rec.task,
+                    });
+                }
             }
-            if self.strict_hierarchy && !ds.tasks.contains_key(&(rec.job, rec.task)) {
-                return Err(TraceError::UnknownTask {
-                    job: rec.job,
-                    task: rec.task,
-                });
+            Ok(())
+        })?;
+
+        // Group instance indices per (job, task) and per machine: chunked
+        // grouping maps merged in chunk order keep each key's index list in
+        // ascending order, exactly as the serial single pass builds it.
+        let grouped = batchlens_exec::run_indexed(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut by_task: BTreeMap<(JobId, TaskId), Vec<usize>> = BTreeMap::new();
+            let mut by_machine: BTreeMap<MachineId, Vec<usize>> = BTreeMap::new();
+            for (off, rec) in instances[lo..hi].iter().enumerate() {
+                by_task
+                    .entry((rec.job, rec.task))
+                    .or_default()
+                    .push(lo + off);
+                by_machine.entry(rec.machine).or_default().push(lo + off);
             }
-        }
-        for (idx, rec) in instances.iter().enumerate() {
-            ds.task_instances
-                .entry((rec.job, rec.task))
-                .or_default()
-                .push(idx);
-            ds.machine_instances
-                .entry(rec.machine)
-                .or_default()
-                .push(idx);
+            (by_task, by_machine)
+        });
+        for (by_task, by_machine) in grouped {
+            for (key, idxs) in by_task {
+                ds.task_instances.entry(key).or_default().extend(idxs);
+            }
+            for (key, idxs) in by_machine {
+                ds.machine_instances.entry(key).or_default().extend(idxs);
+            }
         }
         ds.instances = instances;
 
@@ -227,44 +275,192 @@ impl TraceDatasetBuilder {
         events.sort_by_key(|e| (e.time, e.machine));
         ds.machine_events = events;
 
-        // Usage: group by machine, sort by time, reject duplicates.
+        // Usage: group by machine (sharded over input chunks, merged in
+        // chunk order so each machine keeps its input order), then one
+        // worker task per machine sorts and builds its three series. A
+        // machine's samples never cross workers, so no float is ever
+        // accumulated in a different order than the serial path.
+        let usage_chunks = batchlens_exec::fixed_chunks(self.usage.len(), VALIDATE_CHUNK);
+        let usage_groups = batchlens_exec::run_indexed(threads, usage_chunks.len(), |c| {
+            let (lo, hi) = usage_chunks[c];
+            let mut by_machine: BTreeMap<MachineId, Vec<(Timestamp, UtilizationTriple)>> =
+                BTreeMap::new();
+            for rec in &self.usage[lo..hi] {
+                by_machine
+                    .entry(rec.machine)
+                    .or_default()
+                    .push((rec.time, rec.util));
+            }
+            by_machine
+        });
         let mut by_machine: BTreeMap<MachineId, Vec<(Timestamp, UtilizationTriple)>> =
             BTreeMap::new();
-        for rec in &self.usage {
-            by_machine
-                .entry(rec.machine)
-                .or_default()
-                .push((rec.time, rec.util));
+        for group in usage_groups {
+            for (machine, samples) in group {
+                by_machine.entry(machine).or_default().extend(samples);
+            }
         }
-        for (machine, mut samples) in by_machine {
-            samples.sort_by_key(|(t, _)| *t);
+        let machine_samples: Vec<(MachineId, Vec<(Timestamp, UtilizationTriple)>)> =
+            by_machine.into_iter().collect();
+        let built = batchlens_exec::try_run_indexed(threads, machine_samples.len(), |i| {
+            let (machine, samples) = &machine_samples[i];
+            // `from_samples` stable-sorts its pairs itself, so the borrowed
+            // sample list needs no pre-sort (and no clone): the three metric
+            // series and the duplicate-timestamp error come out exactly as
+            // the old sort-then-build path produced them.
             let cpu =
                 TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.cpu.fraction())))?;
             let mem =
                 TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.mem.fraction())))?;
             let disk =
                 TimeSeries::from_samples(samples.iter().map(|(t, u)| (*t, u.disk.fraction())))?;
-            ds.usage.insert(machine, [cpu, mem, disk]);
-        }
+            Ok((*machine, [cpu, mem, disk]))
+        })?;
+        ds.usage = built.into_iter().collect();
 
-        ds.build_indexes();
+        ds.build_indexes(threads);
         Ok(ds)
     }
+}
+
+/// Records per validation/grouping shard. Fixed (independent of the thread
+/// count) so shard boundaries — and therefore error reporting and merge
+/// order — are a pure function of the input.
+const VALIDATE_CHUNK: usize = 8192;
+
+/// Sorts the instance table by `(job, task, seq)` with a parallel
+/// chunk-sort + k-way stable merge: each fixed-size chunk sorts on its own
+/// worker, and the merge breaks ties by chunk index, which reproduces the
+/// serial stable sort bit for bit.
+fn par_sorted_instances(input: &[BatchInstanceRecord], threads: usize) -> Vec<BatchInstanceRecord> {
+    let chunks = batchlens_exec::fixed_chunks(input.len(), VALIDATE_CHUNK);
+    if chunks.len() <= 1 {
+        let mut out = input.to_vec();
+        out.sort_by_key(|r| (r.job, r.task, r.seq));
+        return out;
+    }
+    let sorted: Vec<Vec<BatchInstanceRecord>> =
+        batchlens_exec::run_indexed(threads, chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut part = input[lo..hi].to_vec();
+            part.sort_by_key(|r| (r.job, r.task, r.seq));
+            part
+        });
+    // K-way merge via a min-heap keyed by (sort key, chunk index): the
+    // chunk-index tie-break keeps equal keys in input-chunk order (= input
+    // order), matching the stability of the serial sort.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    type SortKey = (JobId, TaskId, u32);
+    let mut heap: BinaryHeap<Reverse<(SortKey, usize)>> = sorted
+        .iter()
+        .enumerate()
+        .filter(|(_, part)| !part.is_empty())
+        .map(|(c, part)| Reverse(((part[0].job, part[0].task, part[0].seq), c)))
+        .collect();
+    let mut cursor = vec![0usize; sorted.len()];
+    let mut out = Vec::with_capacity(input.len());
+    while let Some(Reverse((_, c))) = heap.pop() {
+        let rec = sorted[c][cursor[c]];
+        out.push(rec);
+        cursor[c] += 1;
+        if cursor[c] < sorted[c].len() {
+            let n = &sorted[c][cursor[c]];
+            heap.push(Reverse(((n.job, n.task, n.seq), c)));
+        }
+    }
+    out
+}
+
+/// One independent index-construction task of
+/// [`TraceDataset::build_indexes`], fanned out across the build pool.
+enum IndexPart {
+    Instances(IntervalIndex),
+    Jobs(IntervalIndex),
+    Liveness(BTreeMap<MachineId, Vec<(Timestamp, bool)>>),
+    Span(Option<TimeRange>),
 }
 
 impl TraceDataset {
     /// Builds the query indexes (interval stabbing, liveness, span) from the
     /// validated tables. Called as the last step of
     /// [`TraceDatasetBuilder::build`].
-    fn build_indexes(&mut self) {
-        self.instance_index = IntervalIndex::build(
-            self.instances
-                .iter()
-                .enumerate()
-                .map(|(idx, rec)| (rec.start_time, rec.end_time, idx as u32)),
-        );
-        // Merge each job's instance windows into disjoint intervals so a
-        // stab yields each running job once.
+    ///
+    /// The four global index families are independent tasks, and the
+    /// per-machine interval indexes additionally fan out one task per
+    /// machine; every task reads the immutable tables and writes only its
+    /// own result, so the indexes are identical at any thread count.
+    fn build_indexes(&mut self, threads: usize) {
+        let parts = batchlens_exec::run_indexed(threads, 4, |part| match part {
+            0 => IndexPart::Instances(IntervalIndex::build(
+                self.instances
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, rec)| (rec.start_time, rec.end_time, idx as u32)),
+            )),
+            1 => IndexPart::Jobs(self.build_job_intervals()),
+            2 => {
+                // Liveness checkpoints: events are already time-sorted; a
+                // machine is alive after an event unless it was a
+                // Remove/HardError.
+                let mut liveness: BTreeMap<MachineId, Vec<(Timestamp, bool)>> = BTreeMap::new();
+                for ev in &self.machine_events {
+                    let alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
+                    liveness
+                        .entry(ev.machine)
+                        .or_default()
+                        .push((ev.time, alive));
+                }
+                IndexPart::Liveness(liveness)
+            }
+            _ => {
+                // Union span of instance windows and usage series.
+                let mut span: Option<TimeRange> = None;
+                let mut merge = |r: TimeRange| {
+                    span = Some(match span {
+                        Some(s) => s.union(&r),
+                        None => r,
+                    });
+                };
+                for rec in &self.instances {
+                    if let Ok(w) = rec.window() {
+                        merge(w);
+                    }
+                }
+                for series in self.usage.values() {
+                    if let Some(s) = series[0].span() {
+                        merge(s);
+                    }
+                }
+                IndexPart::Span(span)
+            }
+        });
+        for part in parts {
+            match part {
+                IndexPart::Instances(ix) => self.instance_index = ix,
+                IndexPart::Jobs(ix) => self.job_intervals = ix,
+                IndexPart::Liveness(l) => self.liveness = l,
+                IndexPart::Span(s) => self.cached_span = s,
+            }
+        }
+
+        // Per-machine interval trees: one task per machine.
+        let machine_rows: Vec<(&MachineId, &Vec<usize>)> = self.machine_instances.iter().collect();
+        self.machine_intervals = batchlens_exec::run_indexed(threads, machine_rows.len(), |i| {
+            let (&machine, idxs) = machine_rows[i];
+            let index = IntervalIndex::build(idxs.iter().map(|&idx| {
+                let rec = &self.instances[idx];
+                (rec.start_time, rec.end_time, idx as u32)
+            }));
+            (machine, index)
+        })
+        .into_iter()
+        .collect();
+    }
+
+    /// Merges each job's instance windows into disjoint intervals so a stab
+    /// yields each running job once.
+    fn build_job_intervals(&self) -> IntervalIndex {
         let mut per_job: BTreeMap<JobId, Vec<(Timestamp, Timestamp)>> = BTreeMap::new();
         for rec in &self.instances {
             if rec.start_time < rec.end_time {
@@ -293,50 +489,7 @@ impl TraceDataset {
                 job_rows.push((cs, ce, u32::from(job)));
             }
         }
-        self.job_intervals = IntervalIndex::build(job_rows);
-
-        self.machine_intervals = self
-            .machine_instances
-            .iter()
-            .map(|(&machine, idxs)| {
-                let index = IntervalIndex::build(idxs.iter().map(|&idx| {
-                    let rec = &self.instances[idx];
-                    (rec.start_time, rec.end_time, idx as u32)
-                }));
-                (machine, index)
-            })
-            .collect();
-
-        // Liveness checkpoints: events are already time-sorted; a machine is
-        // alive after an event unless it was a Remove/HardError.
-        self.liveness.clear();
-        for ev in &self.machine_events {
-            let alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
-            self.liveness
-                .entry(ev.machine)
-                .or_default()
-                .push((ev.time, alive));
-        }
-
-        // Union span of instance windows and usage series.
-        let mut span: Option<TimeRange> = None;
-        let mut merge = |r: TimeRange| {
-            span = Some(match span {
-                Some(s) => s.union(&r),
-                None => r,
-            });
-        };
-        for rec in &self.instances {
-            if let Ok(w) = rec.window() {
-                merge(w);
-            }
-        }
-        for series in self.usage.values() {
-            if let Some(s) = series[0].span() {
-                merge(s);
-            }
-        }
-        self.cached_span = span;
+        IntervalIndex::build(job_rows)
     }
 }
 

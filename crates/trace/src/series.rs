@@ -513,25 +513,25 @@ impl SweepAccum for MaxAccum {
     }
 }
 
-/// The shared sweep: one cursor per series, a min-heap of `(next time,
-/// series)`, and a running accumulator over the started series' current
-/// values. Emits one sample per distinct timestamp in the union grid.
-fn sweep_aggregate<'a, I, A>(series: I, mut acc: A) -> TimeSeries
-where
-    I: IntoIterator<Item = &'a TimeSeries>,
-    A: SweepAccum,
-{
-    let series: Vec<&TimeSeries> = series.into_iter().filter(|s| !s.is_empty()).collect();
-    let total: usize = series.iter().map(|s| s.len()).sum();
+/// The shared k-way merge loop behind both the serial sweeps and the
+/// parallel chunk partials: one cursor per series, a min-heap of `(next
+/// time, series)`, and a running accumulator over the started series'
+/// current values. Calls `emit(t, &acc)` once per distinct timestamp in the
+/// union grid, after every sample stamped exactly `t` has been consumed.
+fn kway_sweep<A: SweepAccum>(
+    series: &[&TimeSeries],
+    acc: &mut A,
+    mut emit: impl FnMut(Timestamp, &A),
+) {
     let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = series
         .iter()
         .enumerate()
+        .filter(|(_, s)| !s.is_empty())
         .map(|(i, s)| Reverse((s.times[0], i)))
         .collect();
     // cursor[i] = index of the *next* unconsumed sample of series i.
     let mut cursor = vec![0usize; series.len()];
     let mut current = vec![0.0f64; series.len()];
-    let mut out = TimeSeries::with_capacity(total.min(1 << 20));
     while let Some(&Reverse((t, _))) = heap.peek() {
         // Consume every series sample stamped exactly `t`.
         while let Some(mut top) = heap.peek_mut() {
@@ -555,11 +555,252 @@ where
                 std::collections::binary_heap::PeekMut::pop(top);
             }
         }
+        emit(t, acc);
+    }
+}
+
+/// [`kway_sweep`] finalized per grid point into a series — the serial
+/// `mean_of`/`sum_of`/`max_of` driver.
+fn sweep_aggregate<'a, I, A>(series: I, mut acc: A) -> TimeSeries
+where
+    I: IntoIterator<Item = &'a TimeSeries>,
+    A: SweepAccum,
+{
+    let series: Vec<&TimeSeries> = series.into_iter().filter(|s| !s.is_empty()).collect();
+    let total: usize = series.iter().map(|s| s.len()).sum();
+    let mut out = TimeSeries::with_capacity(total.min(1 << 20));
+    kway_sweep(&series, &mut acc, |t, acc| {
         // Union grid timestamps strictly increase across iterations.
         out.push(t, acc.emit())
             .expect("sweep emits strictly increasing grid");
+    });
+    out
+}
+
+// ---------------------------------------------- parallel chunk-merge sweep --
+
+/// Series per leaf chunk of the parallel aggregation tree. Fixed (never a
+/// function of the thread count) so the reduction graph — and therefore
+/// every floating-point result — is identical at any pool size.
+const PAR_SERIES_CHUNK: usize = 64;
+
+/// Which reduction a partial sweep carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParOp {
+    Mean,
+    Sum,
+    Max,
+}
+
+/// A chunk's sweep state sampled at each of its union-grid points: the
+/// running `(value, started-count)` pair that two chunks can combine
+/// pointwise with sample-and-hold semantics.
+#[derive(Debug, Clone, Default)]
+struct PartialSweep {
+    times: Vec<Timestamp>,
+    values: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+/// The chunk accumulator: the same enter/update/emit algebra as the serial
+/// accumulators (it delegates to [`MaxAccum`] for max and mirrors
+/// `MeanAccum`/`SumAccum`'s running sum for the additive ops), plus the
+/// started-series count the combine step needs.
+struct PartAccum {
+    op: ParOp,
+    sum: f64,
+    count: u32,
+    max: MaxAccum,
+}
+
+impl SweepAccum for PartAccum {
+    fn enter(&mut self, new: f64) {
+        self.count += 1;
+        match self.op {
+            ParOp::Mean | ParOp::Sum => self.sum += new,
+            ParOp::Max => self.max.enter(new),
+        }
+    }
+    fn update(&mut self, old: f64, new: f64) {
+        match self.op {
+            ParOp::Mean | ParOp::Sum => self.sum += new - old,
+            ParOp::Max => self.max.update(old, new),
+        }
+    }
+    fn emit(&self) -> f64 {
+        match self.op {
+            ParOp::Mean | ParOp::Sum => self.sum,
+            ParOp::Max => self.max.emit(),
+        }
+    }
+}
+
+/// Runs the [`kway_sweep`] over one chunk, emitting the partial accumulator
+/// state instead of the finalized aggregate.
+fn partial_sweep(series: &[&TimeSeries], op: ParOp) -> PartialSweep {
+    let mut acc = PartAccum {
+        op,
+        sum: 0.0,
+        count: 0,
+        max: MaxAccum::default(),
+    };
+    let mut out = PartialSweep::default();
+    kway_sweep(series, &mut acc, |t, acc| {
+        out.times.push(t);
+        out.values.push(acc.emit());
+        out.counts.push(acc.count);
+    });
+    out
+}
+
+/// Combines two partial sweeps on the union of their grids with
+/// sample-and-hold semantics: a side that has not started yet at a grid
+/// point contributes nothing there. The left operand always folds first
+/// (`left + right` for sums), so the combine tree fixes the floating-point
+/// order.
+fn combine_partials(a: &PartialSweep, b: &PartialSweep, op: ParOp) -> PartialSweep {
+    let mut out = PartialSweep {
+        times: Vec::with_capacity(a.times.len() + b.times.len()),
+        values: Vec::with_capacity(a.times.len() + b.times.len()),
+        counts: Vec::with_capacity(a.times.len() + b.times.len()),
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut a_cur: Option<(f64, u32)> = None;
+    let mut b_cur: Option<(f64, u32)> = None;
+    while i < a.times.len() || j < b.times.len() {
+        let ta = a.times.get(i).copied();
+        let tb = b.times.get(j).copied();
+        let t = match (ta, tb) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        if ta == Some(t) {
+            a_cur = Some((a.values[i], a.counts[i]));
+            i += 1;
+        }
+        if tb == Some(t) {
+            b_cur = Some((b.values[j], b.counts[j]));
+            j += 1;
+        }
+        let (v, n) = match (a_cur, b_cur) {
+            (Some((va, na)), Some((vb, nb))) => {
+                let v = match op {
+                    ParOp::Mean | ParOp::Sum => va + vb,
+                    // Match MaxAccum's total_cmp ordering exactly.
+                    ParOp::Max => {
+                        if va.total_cmp(&vb) == std::cmp::Ordering::Less {
+                            vb
+                        } else {
+                            va
+                        }
+                    }
+                };
+                (v, na + nb)
+            }
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => unreachable!("t came from one of the sides"),
+        };
+        out.times.push(t);
+        out.values.push(v);
+        out.counts.push(n);
     }
     out
+}
+
+/// Finalizes a fully combined partial sweep into the aggregate series.
+fn finalize_partial(p: PartialSweep, op: ParOp) -> TimeSeries {
+    let values = match op {
+        ParOp::Mean => p
+            .values
+            .iter()
+            .zip(&p.counts)
+            .map(|(&s, &n)| s / n as f64)
+            .collect(),
+        ParOp::Sum | ParOp::Max => p.values,
+    };
+    TimeSeries {
+        times: p.times,
+        values,
+    }
+}
+
+/// The shared chunk-merge driver behind the `*_of_par` aggregations.
+///
+/// The series list is split into fixed [`PAR_SERIES_CHUNK`]-sized chunks;
+/// each chunk runs the k-way merge sweep to a partial state series, and the
+/// partials fold in a fixed pairwise tree (`(c0+c1) + (c2+c3) + …`). Both
+/// levels fan out across `threads` workers, but the reduction graph depends
+/// only on the input, so the output is **bit-identical at every thread
+/// count** — including the `threads = 1` serial fallback, which runs the
+/// same graph inline. With a single chunk (≤ 64 series) the result is also
+/// bit-identical to the serial [`TimeSeries::mean_of`]-family sweep; above
+/// that, per-point sums associate differently (same values up to float
+/// rounding), which is why the timeline paths use the `_par` kernels for
+/// *both* their serial and parallel modes.
+fn sweep_aggregate_par(series: &[&TimeSeries], op: ParOp, threads: usize) -> TimeSeries {
+    let chunks = batchlens_exec::fixed_chunks(series.len(), PAR_SERIES_CHUNK);
+    if chunks.is_empty() {
+        return TimeSeries::new();
+    }
+    let mut partials: Vec<PartialSweep> = batchlens_exec::run_indexed(threads, chunks.len(), |c| {
+        let (lo, hi) = chunks[c];
+        partial_sweep(&series[lo..hi], op)
+    });
+    while partials.len() > 1 {
+        let pairs = partials.len() / 2;
+        let mut next = batchlens_exec::run_indexed(threads, pairs, |p| {
+            combine_partials(&partials[2 * p], &partials[2 * p + 1], op)
+        });
+        if partials.len() % 2 == 1 {
+            next.push(partials.pop().expect("odd leftover"));
+        }
+        partials = next;
+    }
+    finalize_partial(partials.pop().expect("at least one chunk"), op)
+}
+
+impl TimeSeries {
+    /// Parallel [`TimeSeries::mean_of`]: the union-grid sample-and-hold mean
+    /// computed by the fixed chunk-merge tree described in the module's
+    /// parallel section, fanned out across `threads` workers
+    /// (`threads = 0` uses [`batchlens_exec::default_threads`]).
+    ///
+    /// O(total samples · log chunk-size) sweep work split across workers
+    /// plus O(union-grid · log chunks) combine work; deterministic and
+    /// bit-identical at every thread count.
+    pub fn mean_of_par<'a, I>(series: I, threads: usize) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        let series: Vec<&TimeSeries> = series.into_iter().collect();
+        sweep_aggregate_par(&series, ParOp::Mean, threads)
+    }
+
+    /// Parallel [`TimeSeries::sum_of`] by the same chunk-merge tree as
+    /// [`TimeSeries::mean_of_par`]; deterministic and bit-identical at every
+    /// thread count.
+    pub fn sum_of_par<'a, I>(series: I, threads: usize) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        let series: Vec<&TimeSeries> = series.into_iter().collect();
+        sweep_aggregate_par(&series, ParOp::Sum, threads)
+    }
+
+    /// Parallel [`TimeSeries::max_of`] by the same chunk-merge tree as
+    /// [`TimeSeries::mean_of_par`]. The chunk maxima combine with
+    /// `total_cmp`, exactly like the serial ordered-multiset accumulator, so
+    /// this one is bit-identical to the serial sweep at *any* chunk count —
+    /// max is associative.
+    pub fn max_of_par<'a, I>(series: I, threads: usize) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        let series: Vec<&TimeSeries> = series.into_iter().collect();
+        sweep_aggregate_par(&series, ParOp::Max, threads)
+    }
 }
 
 /// A borrowed, zero-copy window over a [`TimeSeries`].

@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut high_alerts = 0usize;
     let mut thrash_alerts = 0usize;
     let mut first_thrash = None;
-    for rec in rx {
-        for alert in monitor.ingest(rec) {
+    let mut consume = |monitor: &StreamMonitor| {
+        // "Frame" boundary: the cheap length probe costs nothing when no
+        // alert fired, and the drain hands each alert out exactly once —
+        // no per-frame clone of the full alert history.
+        if monitor.alerts_len() == 0 {
+            return;
+        }
+        for alert in monitor.drain_alerts() {
             if alert.is_thrashing() {
                 thrash_alerts += 1;
                 if first_thrash.is_none() {
@@ -46,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 high_alerts += 1;
             }
         }
+    };
+    for (i, rec) in rx.into_iter().enumerate() {
+        monitor.ingest(rec);
+        if i % 256 == 0 {
+            consume(&monitor);
+        }
     }
+    consume(&monitor);
     producer.join().ok();
 
     println!(

@@ -1,5 +1,8 @@
 //! Minimal, offline stand-in for `crossbeam`: the `channel::bounded` MPSC
-//! surface the examples use, delegating to `std::sync::mpsc`.
+//! surface the examples use (delegating to `std::sync::mpsc`) and the
+//! `deque::{Injector, Worker, Stealer}` work-stealing surface the
+//! `batchlens-exec` pool is built on (mutex-backed, same API and the same
+//! LIFO-owner / FIFO-thief semantics, without the lock-free internals).
 
 /// Multi-producer channels (subset of `crossbeam::channel`).
 pub mod channel {
@@ -90,6 +93,208 @@ pub mod channel {
             let got: Vec<u32> = rx.iter().collect();
             t.join().unwrap();
             assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Work-stealing deques (subset of `crossbeam::deque`).
+///
+/// The real crate's types are lock-free; these stand-ins guard a `VecDeque`
+/// with a mutex but preserve the observable contract the pool relies on:
+///
+/// * [`Worker::pop`] takes from the owner's end (LIFO for a `new_lifo`
+///   worker),
+/// * [`Stealer::steal`] and [`Injector::steal`] take from the opposite
+///   (FIFO) end, so thieves drain the oldest work first,
+/// * [`Injector::steal_batch_and_pop`] moves a batch into the worker's
+///   local queue and immediately pops one task for the caller.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO injector queue shared by every worker.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the global queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local queue and pops one of
+        /// them for the caller (the hot path of a work-stealing loop: one
+        /// lock acquisition amortizes several tasks).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let n = queue.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // Same batch sizing idea as the real crate: half the queue,
+            // capped so one thief cannot hoard everything.
+            let batch = (n / 2 + 1).min(32);
+            let mut local = dest.queue.lock().expect("worker poisoned");
+            for _ in 0..batch.saturating_sub(1) {
+                match queue.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+            let task = queue
+                .pop_front()
+                .expect("n > 0 and at most batch - 1 <= n - 1 items were moved");
+            Steal::Success(task)
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// A worker's local deque; the owner pops LIFO, thieves steal FIFO.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker queue (the only flavour the pool uses).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Pops a task from the owner's end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker poisoned").pop_back()
+        }
+
+        /// True when the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// A handle other threads use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A thief-side handle onto one worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo_worker_lifo() {
+            let inj: Injector<u32> = Injector::new();
+            for i in 0..4 {
+                inj.push(i);
+            }
+            assert_eq!(inj.steal(), Steal::Success(0));
+            let w = Worker::new_lifo();
+            w.push(10);
+            w.push(11);
+            assert_eq!(w.pop(), Some(11));
+            assert_eq!(w.stealer().steal(), Steal::Success(10));
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn batch_steal_fills_local_queue() {
+            let inj: Injector<u32> = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            let got = inj.steal_batch_and_pop(&w);
+            assert!(matches!(got, Steal::Success(_)));
+            assert!(!w.is_empty());
+            assert!(inj.len() < 10);
         }
     }
 }
