@@ -7,7 +7,7 @@
 //! and purple) … to help trace down the machines [that] execute multiple
 //! tasks simultaneously"). This module computes the underlying index.
 
-use batchlens_trace::{JobId, MachineId, Timestamp, TraceDataset};
+use batchlens_trace::{DatasetQuery, JobId, MachineId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// A machine rendered under more than one job bubble at the snapshot time.
@@ -37,21 +37,19 @@ pub struct CoallocationIndex {
 }
 
 impl CoallocationIndex {
-    /// Builds the index of `ds` at time `at`.
+    /// Builds the index of `src` at time `at`.
     ///
     /// One interval-index stab over the running instances, grouped by
     /// machine — O(log n + k log k) instead of a per-machine instance scan
-    /// across the whole cluster.
-    pub fn at(ds: &TraceDataset, at: Timestamp) -> CoallocationIndex {
+    /// across the whole cluster. Generic over [`DatasetQuery`], so the same
+    /// code indexes a batch dataset or a live monitor window.
+    pub fn at<Q: DatasetQuery + ?Sized>(src: &Q, at: Timestamp) -> CoallocationIndex {
         let mut by_machine: std::collections::BTreeMap<
             MachineId,
             std::collections::BTreeSet<JobId>,
         > = std::collections::BTreeMap::new();
-        for inst in ds.instances_running_at(at) {
-            by_machine
-                .entry(inst.record.machine)
-                .or_default()
-                .insert(inst.record.job);
+        for (job, _, machine) in src.running_triples_at(at) {
+            by_machine.entry(machine).or_default().insert(job);
         }
         let shared = by_machine
             .into_iter()
@@ -119,7 +117,7 @@ impl CoallocationIndex {
 mod tests {
     use super::*;
     use batchlens_trace::{
-        BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, TraceDatasetBuilder,
+        BatchInstanceRecord, BatchTaskRecord, TaskId, TaskStatus, TraceDataset, TraceDatasetBuilder,
     };
 
     /// Three jobs; machine 0 shared by jobs 1+2, machine 1 shared by all

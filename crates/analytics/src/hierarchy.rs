@@ -6,7 +6,7 @@
 //! bubbles) contain **compute nodes** (three-annuli glyphs colored by CPU /
 //! memory / disk utilization).
 
-use batchlens_trace::{JobId, MachineId, TaskId, Timestamp, TraceDataset, UtilizationTriple};
+use batchlens_trace::{DatasetQuery, JobId, MachineId, TaskId, Timestamp, UtilizationTriple};
 use serde::{Deserialize, Serialize};
 
 /// One compute node inside a task bubble.
@@ -87,12 +87,16 @@ pub struct HierarchySnapshot {
 }
 
 impl HierarchySnapshot {
-    /// Builds the snapshot of `ds` at time `at`.
+    /// Builds the snapshot of `src` at time `at`.
     ///
     /// A job/task/node appears iff an instance of it is *running* at `at`
     /// (half-open execution windows). Node utilization is the machine's
     /// sample-and-hold value at `at`.
-    pub fn at(ds: &TraceDataset, at: Timestamp) -> HierarchySnapshot {
+    ///
+    /// Generic over [`DatasetQuery`], so the same code snapshots a batch
+    /// [`batchlens_trace::TraceDataset`] or a live monitor window — the two
+    /// sources answer the underlying queries bit-identically.
+    pub fn at<Q: DatasetQuery + ?Sized>(src: &Q, at: Timestamp) -> HierarchySnapshot {
         // One interval-index stab gives every running instance; grouping by
         // (job, task, machine) in a BTreeMap reproduces the job → task →
         // machine ordering of the per-job walk it replaces, in
@@ -100,10 +104,8 @@ impl HierarchySnapshot {
         // instance of every running job.
         let mut grouped: std::collections::BTreeMap<(JobId, TaskId, MachineId), u32> =
             std::collections::BTreeMap::new();
-        for inst in ds.instances_running_at(at) {
-            *grouped
-                .entry((inst.record.job, inst.record.task, inst.record.machine))
-                .or_default() += 1;
+        for (job, task, machine) in src.running_triples_at(at) {
+            *grouped.entry((job, task, machine)).or_default() += 1;
         }
         // Machines repeat across tasks/jobs; look their utilization up once.
         let mut util_cache: std::collections::BTreeMap<MachineId, Option<UtilizationTriple>> =
@@ -112,7 +114,7 @@ impl HierarchySnapshot {
         for ((job, task, machine), instances) in grouped {
             let util = *util_cache
                 .entry(machine)
-                .or_insert_with(|| ds.machine(machine).and_then(|m| m.util_at(at)));
+                .or_insert_with(|| src.util_at(machine, at));
             let node = NodeEntry {
                 machine,
                 instances,
@@ -171,7 +173,8 @@ impl HierarchySnapshot {
 mod tests {
     use super::*;
     use batchlens_trace::{
-        BatchInstanceRecord, BatchTaskRecord, ServerUsageRecord, TaskStatus, TraceDatasetBuilder,
+        BatchInstanceRecord, BatchTaskRecord, ServerUsageRecord, TaskStatus, TraceDataset,
+        TraceDatasetBuilder,
     };
 
     fn build() -> TraceDataset {

@@ -28,8 +28,8 @@ use std::time::Instant;
 
 use batchlens::stream::{StreamConfig, StreamMonitor};
 use batchlens::trace::{
-    naive, JobId, MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries, Timestamp,
-    TraceDataset, UtilizationTriple,
+    naive, DatasetQuery, JobId, MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries,
+    Timestamp, TraceDataset, UtilizationTriple,
 };
 use batchlens_bench::medium_dataset;
 use batchlens_sim::{SimConfig, Simulation};
@@ -285,6 +285,71 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
             .sum::<usize>()
     });
     entries.push(entry(format!("alive_at_{suffix}"), naive_s, optimized));
+
+    // --- live-window queries: the rolling interval/liveness indexes vs a
+    //     scan of the live window (what a no-index monitor would do per
+    //     query). The monitor ingests the dataset's structural records as a
+    //     stream; with the horizon covering the whole trace, its window
+    //     holds exactly the dataset's records, so the scan baseline can
+    //     read them off the dataset tables verbatim. ---
+    let monitor = StreamMonitor::new(StreamConfig {
+        horizon: TimeDelta::hours(100),
+        ..Default::default()
+    });
+    monitor.ingest_instances(ds.instance_records().iter().copied());
+    for ev in ds.machine_events() {
+        monitor.ingest_machine_event(*ev);
+    }
+    let view = monitor.live_view();
+    let machine_ids: Vec<MachineId> = machines.iter().map(|m| m.id()).collect();
+    let optimized = measure(8, || {
+        probes
+            .iter()
+            .map(|&t| {
+                let running = DatasetQuery::jobs_running_at(&view, t).len();
+                let alive = machine_ids
+                    .iter()
+                    .filter(|&&m| DatasetQuery::alive_at(&view, m, t))
+                    .count();
+                running + alive
+            })
+            .sum::<usize>()
+    });
+    let naive_s = measure(3, || {
+        probes
+            .iter()
+            .map(|&t| {
+                // Window scan: every retained instance record per query...
+                let running = ds
+                    .instance_records()
+                    .iter()
+                    .filter(|r| r.running_at(t))
+                    .map(|r| r.job)
+                    .collect::<BTreeSet<JobId>>()
+                    .len();
+                // ...and every retained lifecycle event per machine.
+                let alive = machine_ids
+                    .iter()
+                    .filter(|&&m| {
+                        let mut alive = true;
+                        for ev in ds.machine_events().iter().filter(|e| e.machine == m) {
+                            if ev.time > t {
+                                break;
+                            }
+                            alive = !matches!(
+                                ev.event,
+                                batchlens::trace::MachineEvent::Remove
+                                    | batchlens::trace::MachineEvent::HardError
+                            );
+                        }
+                        alive
+                    })
+                    .count();
+                running + alive
+            })
+            .sum::<usize>()
+    });
+    entries.push(entry(format!("stream_query_{suffix}"), naive_s, optimized));
 
     // --- timeline aggregation over the real per-machine CPU series ---
     let cpu_series: Vec<&TimeSeries> = machines

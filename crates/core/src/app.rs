@@ -14,10 +14,13 @@ use batchlens_render::svg::to_svg;
 use batchlens_render::timeline::TimelineView;
 use batchlens_trace::{JobId, TimeRange, Timestamp, TraceDataset};
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
 use crate::interaction::{reduce, Event};
 use crate::session::SessionLog;
+use crate::stream::StreamMonitor;
 use crate::view::ViewState;
 
 /// Memoized per-timestamp analytics: timeline scrubbing revisits the same
@@ -53,6 +56,10 @@ pub struct BatchLens {
     /// Last snapshot/co-allocation result keyed by timestamp (interior
     /// mutability so the read-only accessors stay `&self`).
     cache: Mutex<SnapshotCache>,
+    /// When attached, the lens is **live-backed**: snapshots and
+    /// co-allocation are computed from this monitor's rolling window
+    /// instead of the batch dataset.
+    live: Option<Arc<StreamMonitor>>,
 }
 
 impl Clone for BatchLens {
@@ -64,6 +71,7 @@ impl Clone for BatchLens {
             log: self.log.clone(),
             timeline: self.timeline.clone(),
             cache: Mutex::new(self.cache.lock().clone()),
+            live: self.live.clone(),
         }
     }
 }
@@ -81,7 +89,36 @@ impl BatchLens {
             log: SessionLog::new(extent),
             timeline,
             cache: Mutex::new(SnapshotCache::default()),
+            live: None,
         }
+    }
+
+    /// Switches the lens into **live mode**: the hierarchy snapshot and
+    /// co-allocation index are computed from `monitor`'s rolling window
+    /// (via [`StreamMonitor::live_view`], the same [`batchlens_trace::DatasetQuery`]
+    /// surface the batch dataset implements) instead of the batch dataset.
+    /// Timeline, line charts and the other dataset-bound views keep serving
+    /// the batch data, so a live overlay composes with historical context.
+    ///
+    /// Live results bypass the per-timestamp memo cache: the monitor keeps
+    /// ingesting, so the same timestamp can legitimately answer differently
+    /// between calls. For the same reason, products built from several
+    /// queries (a snapshot and the co-allocation index rendered in one
+    /// frame) each see the window as of their own lock acquisitions — under
+    /// concurrent ingest they are individually consistent, not mutually.
+    pub fn attach_live_monitor(&mut self, monitor: Arc<StreamMonitor>) {
+        self.live = Some(monitor);
+    }
+
+    /// Leaves live mode, returning to batch-backed snapshots. The monitor
+    /// (if any) is returned to the caller.
+    pub fn detach_live_monitor(&mut self) -> Option<Arc<StreamMonitor>> {
+        self.live.take()
+    }
+
+    /// The attached live monitor, when the lens is in live mode.
+    pub fn live_monitor(&self) -> Option<&Arc<StreamMonitor>> {
+        self.live.as_ref()
     }
 
     /// The underlying dataset.
@@ -114,8 +151,15 @@ impl BatchLens {
     /// Memoized on the timestamp: scrubbing back onto the same instant (or
     /// re-rendering after a non-time event) replays the cached snapshot
     /// instead of re-stabbing the interval index.
+    ///
+    /// In live mode ([`BatchLens::attach_live_monitor`]) the snapshot comes
+    /// from the monitor's rolling window instead, uncached — live data
+    /// changes under an unchanged timestamp.
     pub fn snapshot(&self) -> HierarchySnapshot {
         let at = self.view.selected_timestamp();
+        if let Some(monitor) = &self.live {
+            return HierarchySnapshot::at(&monitor.live_view(), at);
+        }
         let mut cache = self.cache.lock();
         if let Some((_, snap)) = cache.hierarchy.as_ref().filter(|(t, _)| *t == at) {
             let snap = snap.clone();
@@ -129,9 +173,13 @@ impl BatchLens {
     }
 
     /// The co-allocation index at the selected timestamp, memoized exactly
-    /// like [`BatchLens::snapshot`].
+    /// like [`BatchLens::snapshot`] (and, like it, computed live and
+    /// uncached when a monitor is attached).
     pub fn coallocation(&self) -> CoallocationIndex {
         let at = self.view.selected_timestamp();
+        if let Some(monitor) = &self.live {
+            return CoallocationIndex::at(&monitor.live_view(), at);
+        }
         let mut cache = self.cache.lock();
         if let Some((_, idx)) = cache.coalloc.as_ref().filter(|(t, _)| *t == at) {
             let idx = idx.clone();
@@ -234,6 +282,22 @@ impl BatchLens {
         );
         self.cache.lock().overlay = Some((window, overlay.clone()));
         overlay
+    }
+
+    /// The live anomaly overlay: the attached monitor's currently retained
+    /// typed [`crate::stream::Alert`]s (oldest first), without draining
+    /// them — polling renders can coexist with a draining consumer. Empty
+    /// when the overlay is off ([`crate::interaction::Event::ToggleAnomalies`])
+    /// or no monitor is attached. The streaming counterpart of
+    /// [`BatchLens::cluster_anomalies`], fed by the same detector kernels.
+    pub fn live_alerts(&self) -> Vec<crate::stream::Alert> {
+        if !self.view.show_anomalies() {
+            return Vec::new();
+        }
+        self.live
+            .as_ref()
+            .map(|m| m.peek_alerts())
+            .unwrap_or_default()
     }
 
     /// The line-chart data for the selected job (or `None` when no job is
@@ -517,6 +581,57 @@ mod tests {
         let (hits_after, misses_after) = app.snapshot_cache_stats();
         assert_eq!(hits_after, hits_before + 1);
         assert_eq!(misses_after, misses);
+    }
+
+    #[test]
+    fn live_mode_drives_snapshots_from_the_monitor() {
+        use crate::stream::{StreamConfig, StreamMonitor};
+        use batchlens_trace::{DatasetQuery, TimeDelta};
+        use std::sync::Arc;
+
+        let ds = scenario::fig3b(11).run().unwrap();
+        let at = scenario::T_FIG3B;
+        let monitor = Arc::new(StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::hours(72),
+            ..Default::default()
+        }));
+        // Replay the batch tables into the monitor as a live stream.
+        monitor.ingest_instances(ds.instance_records().iter().copied());
+        for ev in ds.machine_events() {
+            monitor.ingest_machine_event(*ev);
+        }
+        for rec in batchlens_analytics::baseline::export_usage_records(&ds) {
+            monitor.ingest(rec);
+        }
+        let batch_snapshot = HierarchySnapshot::at(&ds, at);
+        let batch_coalloc = CoallocationIndex::at(&ds, at);
+
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(at));
+        assert!(app.live_monitor().is_none());
+        app.attach_live_monitor(Arc::clone(&monitor));
+        assert!(app.live_monitor().is_some());
+        // The live-backed snapshot/coalloc equal the batch ones: the two
+        // DatasetQuery sources answer identically over the same records.
+        assert_eq!(app.snapshot(), batch_snapshot);
+        assert_eq!(app.coallocation(), batch_coalloc);
+        assert!(!batch_snapshot.jobs.is_empty(), "scenario has running work");
+        // The bubble chart renders straight off the live window.
+        assert!(app.render_bubble(600.0, 600.0).contains("<circle"));
+        // Live alerts surface behind the anomaly toggle, undrained.
+        assert!(app.live_alerts().is_empty(), "overlay off");
+        app.apply(Event::ToggleAnomalies);
+        let alerts = app.live_alerts();
+        assert_eq!(alerts, monitor.peek_alerts());
+        // Detaching returns to batch-backed (and memoized) snapshots.
+        let back = app.detach_live_monitor().expect("monitor attached");
+        assert_eq!(
+            DatasetQuery::jobs_running_at(&back.live_view(), at),
+            DatasetQuery::jobs_running_at(app.dataset(), at)
+        );
+        assert_eq!(app.snapshot(), batch_snapshot);
+        let (_, misses) = app.snapshot_cache_stats();
+        assert!(misses > 0, "batch path uses the cache again");
     }
 
     #[test]

@@ -11,17 +11,34 @@
 //! kernels, so an online alert and a batch [`AnomalySpan`] can never
 //! disagree about what a sample means.
 //!
+//! The monitor also maintains the **online rolling index layer**: a
+//! [`batchlens_trace::RollingIntervalIndex`] over live instance execution
+//! windows (insert on completed records, open/close on start/finish events,
+//! windowed eviction behind the event-time frontier) plus rolling per-machine
+//! liveness checkpoints — all under the same single lock as detector ingest.
+//! [`StreamMonitor::live_view`] exposes that state through
+//! [`batchlens_trace::DatasetQuery`], the exact query surface of a batch
+//! [`batchlens_trace::TraceDataset`]: `jobs_running_at`, `alive_at`,
+//! `machines_active_at`, sample-and-hold utilization and windowed series —
+//! each O(log n + k) over the live window, never a window re-scan. The
+//! workspace `stream_batch_differential` proptest suite proves every shared
+//! query bit-identical between the two sources.
+//!
 //! The monitor is thread-safe — a single `parking_lot` mutex over all
 //! rolling state, taken exactly once per ingest — and pairs with a
 //! `crossbeam` channel for producer/consumer ingest.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use batchlens_analytics::detect::{
     AnomalyKind, Detector, DetectorState, PairedDetectorState, ThrashingDetector, ThrashingState,
     ThresholdDetector,
 };
-use batchlens_trace::{MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries, Timestamp};
+use batchlens_trace::{
+    BatchInstanceRecord, DatasetQuery, JobId, MachineEventRecord, MachineId, Metric,
+    RollingIntervalIndex, ServerUsageRecord, TaskId, TimeDelta, TimeRange, TimeSeries, Timestamp,
+    UtilizationTriple,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -34,9 +51,17 @@ struct Window {
 }
 
 impl Window {
-    fn push(&mut self, t: Timestamp, util: [f64; 3], horizon: TimeDelta) {
-        self.samples.push_back((t, util));
-        let cutoff = t - horizon;
+    /// Inserts a sample at its time-sorted position (the common in-order
+    /// arrival appends; a bounded out-of-order arrival shifts at most the
+    /// few samples that beat it). Returns `false` — without inserting — when
+    /// a sample at `t` already exists. Eviction trails the newest sample.
+    fn insert(&mut self, t: Timestamp, util: [f64; 3], horizon: TimeDelta) -> bool {
+        let pos = self.samples.partition_point(|&(st, _)| st < t);
+        if self.samples.get(pos).is_some_and(|&(st, _)| st == t) {
+            return false;
+        }
+        self.samples.insert(pos, (t, util));
+        let cutoff = self.samples.back().expect("just inserted").0 - horizon;
         while let Some(&(ft, _)) = self.samples.front() {
             if ft < cutoff {
                 self.samples.pop_front();
@@ -44,6 +69,7 @@ impl Window {
                 break;
             }
         }
+        true
     }
 
     fn series(&self, metric: Metric) -> TimeSeries {
@@ -53,6 +79,26 @@ impl Window {
                 .expect("window samples are strictly time-ordered");
         }
         s
+    }
+
+    /// Samples inside the half-open `window`, as a series — the live
+    /// counterpart of slicing a batch usage series.
+    fn series_in(&self, metric: Metric, window: &TimeRange) -> TimeSeries {
+        let lo = self.samples.partition_point(|&(st, _)| st < window.start());
+        let hi = self.samples.partition_point(|&(st, _)| st < window.end());
+        let mut s = TimeSeries::with_capacity(hi - lo);
+        for &(t, util) in self.samples.iter().skip(lo).take(hi - lo) {
+            s.push(t, util[metric.index()])
+                .expect("window samples are strictly time-ordered");
+        }
+        s
+    }
+
+    /// The sample-and-hold triple at `t`: last retained sample at or before
+    /// it — O(log n).
+    fn at_or_before(&self, t: Timestamp) -> Option<[f64; 3]> {
+        let n = self.samples.partition_point(|&(st, _)| st <= t);
+        (n > 0).then(|| self.samples[n - 1].1)
     }
 
     fn latest(&self) -> Option<(Timestamp, [f64; 3])> {
@@ -105,6 +151,13 @@ pub struct StreamConfig {
     /// [`StreamMonitor::drain_alerts`]; beyond it the oldest are dropped
     /// (and counted in [`StreamMonitor::alerts_overflowed`]).
     pub alert_capacity: usize,
+    /// How far behind a machine's newest sample an out-of-order usage
+    /// record may arrive and still be accepted into the rolling window and
+    /// indexes (it skips the causal detector kernels, which cannot rewind).
+    /// Records later than this — or duplicating a retained timestamp — are
+    /// dropped and counted in [`StreamMonitor::stale_dropped`]. Defaults to
+    /// one v2017 reporting period (300 s).
+    pub ooo_tolerance: TimeDelta,
 }
 
 impl Default for StreamConfig {
@@ -116,6 +169,7 @@ impl Default for StreamConfig {
             cpu_decline: 0.1,
             min_gap: 0.25,
             alert_capacity: 4096,
+            ooo_tolerance: TimeDelta::minutes(5),
         }
     }
 }
@@ -199,12 +253,65 @@ struct MachineState {
     last_seen: Option<Timestamp>,
 }
 
+/// The rolling structural indexes of the live window: instance execution
+/// intervals and machine liveness, maintained incrementally on every ingest
+/// and queried through [`LiveWindowView`].
+#[derive(Debug, Default)]
+struct LiveIndexes {
+    /// Instance execution windows over the live window; payload ids index
+    /// `keys`.
+    intervals: RollingIntervalIndex,
+    /// Rolling id → `(job, task, machine)` of the indexed instance.
+    keys: Vec<(JobId, TaskId, MachineId)>,
+    /// Ids freed by eviction, reused by the next insert so `keys` stays
+    /// bounded by the window's live interval count.
+    free_ids: Vec<u32>,
+    /// Started-but-unfinished instances: `(job, task, seq)` → rolling id.
+    open_instances: BTreeMap<(JobId, TaskId, u32), u32>,
+    /// Per-machine `(event time, alive afterwards)` checkpoints, kept
+    /// time-sorted under bounded out-of-order event arrival — the rolling
+    /// twin of the batch dataset's liveness index.
+    liveness: BTreeMap<MachineId, Vec<(Timestamp, bool)>>,
+    /// Machines known from instance placements or lifecycle events (usage
+    /// reporters live in `Inner::machines`).
+    known_machines: BTreeSet<MachineId>,
+    /// Event-time high-water mark across structural ingests; eviction
+    /// trails it by the horizon.
+    frontier: Option<Timestamp>,
+}
+
+impl LiveIndexes {
+    fn alloc_id(&mut self, key: (JobId, TaskId, MachineId)) -> u32 {
+        if let Some(id) = self.free_ids.pop() {
+            self.keys[id as usize] = key;
+            id
+        } else {
+            self.keys.push(key);
+            (self.keys.len() - 1) as u32
+        }
+    }
+
+    /// Advances the frontier to `t` and evicts intervals that ended at or
+    /// before `frontier - horizon` — they can never match a query inside
+    /// the live window again.
+    fn advance(&mut self, t: Timestamp, horizon: TimeDelta) {
+        let frontier = self.frontier.map_or(t, |f| f.max(t));
+        self.frontier = Some(frontier);
+        let evicted = self.intervals.evict_before(frontier - horizon);
+        self.free_ids.extend(evicted);
+    }
+}
+
 /// Everything the monitor mutates, behind one lock.
 #[derive(Debug, Default)]
 struct Inner {
     machines: BTreeMap<MachineId, MachineState>,
+    live: LiveIndexes,
     ingested: u64,
     stale_dropped: u64,
+    late_accepted: u64,
+    ingested_instances: u64,
+    ingested_events: u64,
     /// Fired alerts retained for [`StreamMonitor::drain_alerts`], capped at
     /// [`StreamConfig::alert_capacity`] (oldest dropped first).
     alerts: VecDeque<Alert>,
@@ -258,10 +365,14 @@ impl StreamMonitor {
     /// Ingests one usage record, returning the alerts it triggers (empty
     /// for a quiet sample — no allocation in that case).
     ///
-    /// Out-of-order stragglers (a record at or before the machine's latest
-    /// sample) are dropped and counted in [`StreamMonitor::stale_dropped`]
-    /// rather than silently ignored: the incremental kernels consume
-    /// strictly time-ordered samples.
+    /// Arrival-order tolerance: a record at or before the machine's newest
+    /// sample is **accepted into the rolling window** (and the snapshot
+    /// queries it serves) when it is at most [`StreamConfig::ooo_tolerance`]
+    /// late — counted in [`StreamMonitor::late_accepted`] — but skips the
+    /// causal detector kernels, which consume strictly time-ordered samples
+    /// and cannot rewind. Later stragglers, and duplicates of a retained
+    /// timestamp, are dropped and counted in
+    /// [`StreamMonitor::stale_dropped`] — never silently ignored.
     pub fn ingest(&self, rec: ServerUsageRecord) -> Vec<Alert> {
         let util = [
             rec.util.cpu.fraction(),
@@ -279,12 +390,19 @@ impl StreamMonitor {
                 bank: DetectorBank::new(&self.detectors, &self.cfg.thrashing_detector()),
                 last_seen: None,
             });
-        if state.last_seen.is_some_and(|last| rec.time <= last) {
-            inner.stale_dropped += 1;
+        if let Some(last) = state.last_seen.filter(|&last| rec.time <= last) {
+            if last - rec.time <= self.cfg.ooo_tolerance
+                && state.window.insert(rec.time, util, self.cfg.horizon)
+            {
+                inner.late_accepted += 1;
+                inner.ingested += 1;
+            } else {
+                inner.stale_dropped += 1;
+            }
             return alerts;
         }
         state.last_seen = Some(rec.time);
-        state.window.push(rec.time, util, self.cfg.horizon);
+        state.window.insert(rec.time, util, self.cfg.horizon);
         state.bank.ingest(rec.machine, rec.time, util, &mut alerts);
         inner.ingested += 1;
         // Retain fired alerts for consumers that poll (UI overlays) rather
@@ -318,9 +436,171 @@ impl StreamMonitor {
         self.inner.lock().ingested
     }
 
-    /// Number of out-of-order records dropped so far.
+    /// Number of out-of-order records dropped so far (beyond
+    /// [`StreamConfig::ooo_tolerance`], or duplicating a retained sample).
     pub fn stale_dropped(&self) -> u64 {
         self.inner.lock().stale_dropped
+    }
+
+    /// Number of out-of-order records accepted into the rolling window
+    /// within [`StreamConfig::ooo_tolerance`].
+    pub fn late_accepted(&self) -> u64 {
+        self.inner.lock().late_accepted
+    }
+
+    /// Ingests one completed `batch_instance` record into the rolling
+    /// interval index — O(log n), under the same single lock as usage
+    /// ingest. Empty windows (`end <= start`) are accepted and never match
+    /// a query, exactly as in the batch dataset. Re-ingesting an instance
+    /// key that is currently open replaces the open interval.
+    pub fn ingest_instance(&self, rec: BatchInstanceRecord) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let live = &mut inner.live;
+        live.known_machines.insert(rec.machine);
+        if let Some(id) = live.open_instances.remove(&(rec.job, rec.task, rec.seq)) {
+            live.intervals.remove(id);
+            live.free_ids.push(id);
+        }
+        if rec.start_time < rec.end_time {
+            let id = live.alloc_id((rec.job, rec.task, rec.machine));
+            live.intervals.insert(rec.start_time, rec.end_time, id);
+        }
+        inner.ingested_instances += 1;
+        live.advance(rec.end_time.max(rec.start_time), self.cfg.horizon);
+    }
+
+    /// Bulk-ingests completed instance records.
+    pub fn ingest_instances<I>(&self, records: I)
+    where
+        I: IntoIterator<Item = BatchInstanceRecord>,
+    {
+        for rec in records {
+            self.ingest_instance(rec);
+        }
+    }
+
+    /// Records that instance `(job, task, seq)` started executing on
+    /// `machine` at `at`: the live window treats it as running from `at`
+    /// onwards until [`StreamMonitor::instance_finished`] closes it —
+    /// O(log n). A repeated start for the same key replaces the open
+    /// interval (an instance restart).
+    pub fn instance_started(
+        &self,
+        job: JobId,
+        task: TaskId,
+        seq: u32,
+        machine: MachineId,
+        at: Timestamp,
+    ) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let live = &mut inner.live;
+        live.known_machines.insert(machine);
+        if let Some(&id) = live.open_instances.get(&(job, task, seq)) {
+            live.intervals.remove(id);
+            live.free_ids.push(id);
+        }
+        let id = live.alloc_id((job, task, machine));
+        live.intervals.open(at, id);
+        live.open_instances.insert((job, task, seq), id);
+        inner.ingested_instances += 1;
+        live.advance(at, self.cfg.horizon);
+    }
+
+    /// Closes the open interval of instance `(job, task, seq)` at `at` —
+    /// O(log n). Returns `false` (and changes nothing) when no matching
+    /// start was seen; an end at or before the recorded start drops the
+    /// interval as empty, matching batch semantics.
+    pub fn instance_finished(&self, job: JobId, task: TaskId, seq: u32, at: Timestamp) -> bool {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let live = &mut inner.live;
+        let Some(id) = live.open_instances.remove(&(job, task, seq)) else {
+            return false;
+        };
+        match live.intervals.close(id, at) {
+            Some(start) if start < at => {}
+            // Closed empty (or the id was unexpectedly gone): the id is free
+            // immediately rather than via eviction.
+            _ => live.free_ids.push(id),
+        }
+        live.advance(at, self.cfg.horizon);
+        true
+    }
+
+    /// Ingests one machine lifecycle event as a rolling liveness checkpoint
+    /// — O(log e + e') in the machine's own event count (time-sorted
+    /// insertion tolerates out-of-order event arrival). The liveness rule is
+    /// the batch dataset's: a machine is alive after an event unless it was
+    /// `Remove`/`HardError`; machines without events count alive.
+    pub fn ingest_machine_event(&self, rec: MachineEventRecord) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let live = &mut inner.live;
+        live.known_machines.insert(rec.machine);
+        let alive = rec.event.keeps_alive();
+        let checkpoints = live.liveness.entry(rec.machine).or_default();
+        // Events sharing a timestamp merge dead-wins — the same
+        // arrival-order-independent tie-break the batch index applies, so
+        // out-of-order delivery of equal-time events cannot diverge from it.
+        let pos = checkpoints.partition_point(|&(t, _)| t < rec.time);
+        match checkpoints.get_mut(pos) {
+            Some((t, a)) if *t == rec.time => *a = *a && alive,
+            _ => checkpoints.insert(pos, (rec.time, alive)),
+        }
+        // Bound the rolling list: checkpoints wholly behind the window are
+        // compressed sample-and-hold — drop everything before the last one
+        // at or behind the cutoff, which alone decides liveness there. Done
+        // per machine on its own (rare) event arrivals, so advance() stays
+        // O(evicted) on the hot ingest paths.
+        if let Some(frontier) = live.frontier {
+            let cutoff = frontier - self.cfg.horizon;
+            let keep_from = checkpoints
+                .partition_point(|&(t, _)| t <= cutoff)
+                .saturating_sub(1);
+            checkpoints.drain(..keep_from);
+        }
+        inner.ingested_events += 1;
+    }
+
+    /// Number of instance records/start events ingested into the rolling
+    /// index so far.
+    pub fn ingested_instances(&self) -> u64 {
+        self.inner.lock().ingested_instances
+    }
+
+    /// Number of machine lifecycle events ingested so far.
+    pub fn ingested_events(&self) -> u64 {
+        self.inner.lock().ingested_events
+    }
+
+    /// Number of liveness checkpoints currently retained for `machine` —
+    /// observability for the rolling compression (checkpoints wholly behind
+    /// the window collapse to the single deciding one).
+    pub fn liveness_checkpoint_count(&self, machine: MachineId) -> usize {
+        self.inner
+            .lock()
+            .live
+            .liveness
+            .get(&machine)
+            .map_or(0, Vec::len)
+    }
+
+    /// Number of instance intervals currently indexed in the live window
+    /// (open + closed, evicted excluded).
+    pub fn live_instances(&self) -> usize {
+        self.inner.lock().live.intervals.len()
+    }
+
+    /// A [`DatasetQuery`] view over the live rolling window: the same
+    /// snapshot-query surface as a batch `TraceDataset`, served by the
+    /// rolling indexes (each call takes the monitor lock briefly; results
+    /// are point-in-time snapshots). Drive `HierarchySnapshot::at`,
+    /// `CoallocationIndex::at` or any other generic consumer directly from
+    /// a live monitor with it.
+    pub fn live_view(&self) -> LiveWindowView<'_> {
+        LiveWindowView { monitor: self }
     }
 
     /// Number of alerts currently retained in the buffer — O(1), no clone;
@@ -336,6 +616,15 @@ impl StreamMonitor {
     /// the full history.
     pub fn drain_alerts(&self) -> Vec<Alert> {
         self.inner.lock().alerts.drain(..).collect()
+    }
+
+    /// A copy of the currently retained alerts (oldest first) **without**
+    /// draining them — O(len) clone. Overlays that must keep the buffer
+    /// intact for another consumer use this; a single consumer should
+    /// prefer [`StreamMonitor::drain_alerts`], which hands each alert out
+    /// exactly once.
+    pub fn peek_alerts(&self) -> Vec<Alert> {
+        self.inner.lock().alerts.iter().copied().collect()
     }
 
     /// Total alerts fired since construction (drained or not).
@@ -374,10 +663,92 @@ impl StreamMonitor {
     }
 }
 
+/// A [`DatasetQuery`] view over a [`StreamMonitor`]'s live rolling window.
+///
+/// Each query takes the monitor's single lock for its duration and answers
+/// from the rolling indexes — the structural queries are O(log n + k) in the
+/// live window's interval/checkpoint counts, mirroring the batch dataset's
+/// indexed bounds; **no query scans the window**. Because the monitor keeps
+/// ingesting, two calls can see different states; within one call the result
+/// is a consistent snapshot.
+///
+/// The `stream_batch_differential` workspace suite proves each query
+/// bit-identical to the batch [`batchlens_trace::TraceDataset`]
+/// implementation over the same records.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveWindowView<'a> {
+    monitor: &'a StreamMonitor,
+}
+
+impl DatasetQuery for LiveWindowView<'_> {
+    fn machine_ids(&self) -> Vec<MachineId> {
+        let inner = self.monitor.inner.lock();
+        let mut out = inner.live.known_machines.clone();
+        out.extend(inner.machines.keys().copied());
+        out.into_iter().collect()
+    }
+
+    fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId> {
+        let inner = self.monitor.inner.lock();
+        let live = &inner.live;
+        let mut ids: Vec<JobId> = Vec::new();
+        live.intervals
+            .stab_with(t, |id| ids.push(live.keys[id as usize].0));
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)> {
+        let inner = self.monitor.inner.lock();
+        let live = &inner.live;
+        let mut out: Vec<(JobId, TaskId, MachineId)> = Vec::new();
+        live.intervals
+            .stab_with(t, |id| out.push(live.keys[id as usize]));
+        out.sort_unstable();
+        out
+    }
+
+    fn running_instance_count_at(&self, t: Timestamp) -> usize {
+        self.monitor.inner.lock().live.intervals.count_at(t)
+    }
+
+    fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool {
+        let inner = self.monitor.inner.lock();
+        inner
+            .live
+            .liveness
+            .get(&machine)
+            .is_none_or(|checkpoints| batchlens_trace::alive_at_checkpoints(checkpoints, t))
+    }
+
+    fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple> {
+        let inner = self.monitor.inner.lock();
+        let [cpu, mem, disk] = inner.machines.get(&machine)?.window.at_or_before(t)?;
+        Some(UtilizationTriple::clamped(cpu, mem, disk))
+    }
+
+    fn series_window(
+        &self,
+        machine: MachineId,
+        metric: Metric,
+        window: &TimeRange,
+    ) -> Option<TimeSeries> {
+        let inner = self.monitor.inner.lock();
+        Some(
+            inner
+                .machines
+                .get(&machine)?
+                .window
+                .series_in(metric, window),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchlens_trace::UtilizationTriple;
+    use batchlens_trace::{MachineEvent, UtilizationTriple};
 
     fn rec(machine: u32, t: i64, cpu: f64, mem: f64, disk: f64) -> ServerUsageRecord {
         ServerUsageRecord {
@@ -467,13 +838,54 @@ mod tests {
     fn stragglers_are_counted_not_silently_dropped() {
         let m = StreamMonitor::new(StreamConfig::default());
         m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
-        // Late and duplicate-timestamp records are stragglers.
-        assert!(m.ingest(rec(1, 540, 0.99, 0.3, 0.3)).is_empty());
+        // Beyond the tolerance (default 300 s) and duplicate-timestamp
+        // records are stragglers.
+        assert!(m.ingest(rec(1, 240, 0.99, 0.3, 0.3)).is_empty());
         assert!(m.ingest(rec(1, 600, 0.99, 0.3, 0.3)).is_empty());
         assert_eq!(m.stale_dropped(), 2);
+        assert_eq!(m.late_accepted(), 0);
         assert_eq!(m.ingested(), 1);
         // A fresh sample still flows.
         assert_eq!(m.ingest(rec(1, 660, 0.99, 0.3, 0.3)).len(), 1);
+    }
+
+    #[test]
+    fn late_records_within_tolerance_enter_the_window() {
+        // Regression: any out-of-order record used to be dropped as stale —
+        // a 60 s-late sample (well within one reporting period) vanished
+        // from every live-window query. It must land in the window now.
+        let m = StreamMonitor::new(StreamConfig::default());
+        m.ingest(rec(1, 300, 0.3, 0.3, 0.3));
+        m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
+        let late = m.ingest(rec(1, 540, 0.95, 0.3, 0.3));
+        // Accepted into the window (counted), but no alert: the causal
+        // detector kernels cannot rewind behind t=600.
+        assert!(late.is_empty());
+        assert_eq!(m.late_accepted(), 1);
+        assert_eq!(m.stale_dropped(), 0);
+        assert_eq!(m.ingested(), 3);
+        let s = m.series(MachineId::new(1), Metric::Cpu).unwrap();
+        assert_eq!(s.len(), 3, "late sample retained");
+        assert_eq!(s.times()[1], Timestamp::new(540), "time-sorted window");
+        assert!((s.values()[1] - 0.95).abs() < 1e-9);
+        // Sample-and-hold queries see it too.
+        let u = m
+            .live_view()
+            .util_at(MachineId::new(1), Timestamp::new(550))
+            .unwrap();
+        assert!((u.cpu.fraction() - 0.95).abs() < 1e-9);
+        // A duplicate of the late timestamp is still a straggler.
+        assert!(m.ingest(rec(1, 540, 0.5, 0.3, 0.3)).is_empty());
+        assert_eq!(m.stale_dropped(), 1);
+        // Tolerance is configurable: zero restores the strict behavior.
+        let strict = StreamMonitor::new(StreamConfig {
+            ooo_tolerance: TimeDelta::seconds(0),
+            ..Default::default()
+        });
+        strict.ingest(rec(1, 600, 0.3, 0.3, 0.3));
+        strict.ingest(rec(1, 540, 0.3, 0.3, 0.3));
+        assert_eq!(strict.stale_dropped(), 1);
+        assert_eq!(strict.late_accepted(), 0);
     }
 
     #[test]
@@ -573,6 +985,265 @@ mod tests {
         assert_eq!(m.alerts_len(), 0);
         assert_eq!(m.total_alerts(), 5);
         assert_eq!(m.alerts_overflowed(), 5);
+    }
+
+    /// PR 3's alert buffer accounting, under interleaved drains and
+    /// overflow: every fired alert is exactly one of delivered (drained),
+    /// retained, or overflowed — at every step.
+    #[test]
+    fn alert_buffer_invariants_under_interleaved_drains() {
+        let m = StreamMonitor::new(StreamConfig {
+            alert_capacity: 2,
+            ..Default::default()
+        });
+        let mut delivered = 0u64;
+        let mut t = 0i64;
+        let mut fire = |m: &StreamMonitor, n: usize| {
+            for _ in 0..n {
+                assert_eq!(m.ingest(rec(1, t, 0.95, 0.3, 0.3)).len(), 1);
+                t += 60;
+            }
+        };
+        let check = |m: &StreamMonitor, delivered: u64| {
+            assert_eq!(
+                m.total_alerts(),
+                delivered + m.alerts_len() as u64 + m.alerts_overflowed(),
+                "delivered + retained + overflowed must account for every alert"
+            );
+        };
+        fire(&m, 3); // one overflows
+        assert_eq!((m.alerts_len(), m.alerts_overflowed()), (2, 1));
+        check(&m, delivered);
+        let d = m.drain_alerts();
+        assert_eq!(d.len(), 2);
+        // The retained two are the *newest* two (oldest evicted first).
+        assert_eq!(d[0].at, Timestamp::new(60));
+        delivered += d.len() as u64;
+        check(&m, delivered);
+        // Drain on empty delivers nothing and changes no counter.
+        assert!(m.drain_alerts().is_empty());
+        check(&m, delivered);
+        fire(&m, 1); // refills without overflow
+        assert_eq!((m.alerts_len(), m.alerts_overflowed()), (1, 1));
+        check(&m, delivered);
+        fire(&m, 4); // three more overflow
+        assert_eq!((m.alerts_len(), m.alerts_overflowed()), (2, 4));
+        check(&m, delivered);
+        delivered += m.drain_alerts().len() as u64;
+        check(&m, delivered);
+        assert_eq!(m.total_alerts(), 8);
+        assert_eq!(delivered, 4);
+        // peek never consumes: two peeks and a drain agree.
+        fire(&m, 2);
+        let peeked = m.peek_alerts();
+        assert_eq!(peeked, m.peek_alerts());
+        assert_eq!(peeked, m.drain_alerts());
+        check(&m, delivered + 2);
+    }
+
+    #[test]
+    fn live_view_answers_structural_queries() {
+        use batchlens_trace::{JobId, TaskId};
+        let m = StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::DAY,
+            ..Default::default()
+        });
+        let inst =
+            |job: u32, task: u32, seq: u32, machine: u32, s: i64, e: i64| BatchInstanceRecord {
+                start_time: Timestamp::new(s),
+                end_time: Timestamp::new(e),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq,
+                total: 2,
+                machine: MachineId::new(machine),
+                status: batchlens_trace::TaskStatus::Terminated,
+                cpu_avg: 0.2,
+                cpu_max: 0.4,
+                mem_avg: 0.2,
+                mem_max: 0.4,
+            };
+        m.ingest_instance(inst(1, 1, 0, 5, 0, 600));
+        m.ingest_instance(inst(1, 1, 1, 3, 0, 500));
+        m.ingest_instance(inst(2, 1, 0, 3, 300, 900));
+        m.ingest_instance(inst(3, 1, 0, 7, 100, 100)); // empty: never runs
+        assert_eq!(m.ingested_instances(), 4);
+        assert_eq!(m.live_instances(), 3);
+        let view = m.live_view();
+        assert_eq!(
+            view.jobs_running_at(Timestamp::new(400)),
+            vec![JobId::new(1), JobId::new(2)]
+        );
+        assert_eq!(view.running_instance_count_at(Timestamp::new(400)), 3);
+        assert_eq!(
+            view.running_triples_at(Timestamp::new(550)),
+            vec![
+                (JobId::new(1), TaskId::new(1), MachineId::new(5)),
+                (JobId::new(2), TaskId::new(1), MachineId::new(3)),
+            ]
+        );
+        // Machines known from placements and events, plus usage reporters.
+        m.ingest(rec(9, 0, 0.3, 0.3, 0.3));
+        assert_eq!(
+            view.machine_ids(),
+            [3u32, 5, 7, 9].map(MachineId::new).to_vec()
+        );
+        // Liveness checkpoints drive alive_at / machines_active_at.
+        m.ingest_machine_event(MachineEventRecord {
+            time: Timestamp::new(450),
+            machine: MachineId::new(3),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        assert!(view.alive_at(MachineId::new(3), Timestamp::new(400)));
+        assert!(!view.alive_at(MachineId::new(3), Timestamp::new(450)));
+        assert!(
+            view.alive_at(MachineId::new(99), Timestamp::new(0)),
+            "unknown: alive"
+        );
+        assert_eq!(
+            view.machines_active_at(Timestamp::new(500)),
+            [5u32, 7, 9].map(MachineId::new).to_vec()
+        );
+        assert_eq!(m.ingested_events(), 1);
+    }
+
+    #[test]
+    fn live_view_tracks_open_instances_until_finished() {
+        use batchlens_trace::{JobId, TaskId};
+        let m = StreamMonitor::new(StreamConfig::default());
+        let (job, task) = (JobId::new(4), TaskId::new(1));
+        m.instance_started(job, task, 0, MachineId::new(2), Timestamp::new(100));
+        let view = m.live_view();
+        // Open: running from its start onwards, indefinitely.
+        assert!(view.jobs_running_at(Timestamp::new(99)).is_empty());
+        assert_eq!(view.jobs_running_at(Timestamp::new(100)), vec![job]);
+        assert_eq!(view.jobs_running_at(Timestamp::new(1_000_000)), vec![job]);
+        // Finishing bounds it half-open.
+        assert!(m.instance_finished(job, task, 0, Timestamp::new(400)));
+        assert_eq!(view.jobs_running_at(Timestamp::new(399)), vec![job]);
+        assert!(view.jobs_running_at(Timestamp::new(400)).is_empty());
+        // Unmatched finish is a no-op.
+        assert!(!m.instance_finished(job, task, 9, Timestamp::new(500)));
+        // A zero-length run drops out entirely.
+        m.instance_started(job, task, 1, MachineId::new(2), Timestamp::new(500));
+        assert!(m.instance_finished(job, task, 1, Timestamp::new(500)));
+        assert!(view.jobs_running_at(Timestamp::new(500)).is_empty());
+        assert_eq!(m.live_instances(), 1);
+    }
+
+    #[test]
+    fn equal_time_events_merge_dead_wins_in_any_order() {
+        let ev = |t: i64, event: MachineEvent| MachineEventRecord {
+            time: Timestamp::new(t),
+            machine: MachineId::new(1),
+            event,
+            capacity_cpu: 1.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        };
+        // Add and Remove at the same instant, delivered in both orders —
+        // and a batch dataset fed the same pair: all three agree (dead
+        // wins).
+        let add_first = StreamMonitor::new(StreamConfig::default());
+        add_first.ingest_machine_event(ev(100, MachineEvent::Add));
+        add_first.ingest_machine_event(ev(100, MachineEvent::Remove));
+        let remove_first = StreamMonitor::new(StreamConfig::default());
+        remove_first.ingest_machine_event(ev(100, MachineEvent::Remove));
+        remove_first.ingest_machine_event(ev(100, MachineEvent::Add));
+        let mut b = batchlens_trace::TraceDatasetBuilder::new();
+        b.push_machine_event(ev(100, MachineEvent::Add));
+        b.push_machine_event(ev(100, MachineEvent::Remove));
+        let ds = b.build().unwrap();
+        for t in [100i64, 500] {
+            let t = Timestamp::new(t);
+            assert!(!DatasetQuery::alive_at(&ds, MachineId::new(1), t));
+            assert!(!add_first.live_view().alive_at(MachineId::new(1), t));
+            assert!(!remove_first.live_view().alive_at(MachineId::new(1), t));
+        }
+        assert!(ds.machine_ids().contains(&MachineId::new(1)));
+    }
+
+    #[test]
+    fn rolling_liveness_compresses_behind_the_window() {
+        use batchlens_trace::{JobId, TaskId};
+        let m = StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::seconds(600),
+            ..Default::default()
+        });
+        let ev = |t: i64, event: MachineEvent| MachineEventRecord {
+            time: Timestamp::new(t),
+            machine: MachineId::new(1),
+            event,
+            capacity_cpu: 1.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        };
+        m.ingest_machine_event(ev(0, MachineEvent::Add));
+        m.ingest_machine_event(ev(100, MachineEvent::SoftError));
+        m.ingest_machine_event(ev(200, MachineEvent::Remove));
+        // Push the frontier far ahead via a structural ingest, then deliver
+        // one more event: the pre-window checkpoints compress to the single
+        // deciding one.
+        m.instance_started(
+            JobId::new(1),
+            TaskId::new(1),
+            0,
+            MachineId::new(2),
+            Timestamp::new(5000),
+        );
+        m.ingest_machine_event(ev(5000, MachineEvent::Add));
+        let view = m.live_view();
+        // In-window liveness is unchanged by compression: the last
+        // pre-cutoff checkpoint (Remove@200) still holds until the Add.
+        assert!(!view.alive_at(MachineId::new(1), Timestamp::new(4500)));
+        assert!(view.alive_at(MachineId::new(1), Timestamp::new(5000)));
+        assert_eq!(m.ingested_events(), 4);
+        // Only the deciding pre-window checkpoint plus the fresh one remain.
+        assert_eq!(m.liveness_checkpoint_count(MachineId::new(1)), 2);
+    }
+
+    #[test]
+    fn live_intervals_evict_behind_the_frontier() {
+        let m = StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::seconds(600),
+            ..Default::default()
+        });
+        use batchlens_trace::{JobId, TaskId};
+        let inst = |job: u32, s: i64, e: i64| BatchInstanceRecord {
+            start_time: Timestamp::new(s),
+            end_time: Timestamp::new(e),
+            job: JobId::new(job),
+            task: TaskId::new(1),
+            seq: 0,
+            total: 1,
+            machine: MachineId::new(1),
+            status: batchlens_trace::TaskStatus::Terminated,
+            cpu_avg: 0.1,
+            cpu_max: 0.2,
+            mem_avg: 0.1,
+            mem_max: 0.2,
+        };
+        m.ingest_instance(inst(1, 0, 100));
+        m.ingest_instance(inst(2, 0, 650));
+        assert_eq!(m.live_instances(), 2, "both inside the window");
+        // Frontier moves to 1200: job 1 (ended 100 <= 1200-600) is evicted,
+        // job 2 (ended 650, still inside the window) survives.
+        m.ingest_instance(inst(3, 1100, 1200));
+        assert_eq!(m.live_instances(), 2);
+        let view = m.live_view();
+        assert_eq!(
+            view.jobs_running_at(Timestamp::new(500)),
+            vec![JobId::new(2)]
+        );
+        // Job 1 ran at t=50 but its interval left the window: only job 2
+        // remains visible there.
+        assert_eq!(
+            view.jobs_running_at(Timestamp::new(50)),
+            vec![JobId::new(2)]
+        );
     }
 
     #[test]

@@ -250,8 +250,13 @@ impl TraceDatasetBuilder {
         }
         ds.instances = instances;
 
-        // Machine table: explicit declarations take precedence, then Add events,
-        // then machines implied by placements/usage with default capacities.
+        // Machine table: explicit declarations take precedence, then Add
+        // events (which carry capacities), then machines implied by any
+        // other lifecycle event, placement or usage row with default
+        // capacities. A machine that only ever emitted a Remove/error event
+        // is still a machine the trace knows about — its liveness
+        // checkpoints must be reachable through the machine table, and the
+        // live-window view counts it identically.
         for (m, info) in &self.declared_machines {
             ds.machines.insert(*m, *info);
         }
@@ -263,6 +268,9 @@ impl TraceDatasetBuilder {
                     capacity_disk: ev.capacity_disk,
                 });
             }
+        }
+        for ev in &self.machine_events {
+            ds.machines.entry(ev.machine).or_default();
         }
         for rec in &ds.instances {
             ds.machines.entry(rec.machine).or_default();
@@ -400,16 +408,20 @@ impl TraceDataset {
             )),
             1 => IndexPart::Jobs(self.build_job_intervals()),
             2 => {
-                // Liveness checkpoints: events are already time-sorted; a
-                // machine is alive after an event unless it was a
-                // Remove/HardError.
+                // Liveness checkpoints: events are already time-sorted; the
+                // alive rule is `MachineEvent::keeps_alive`. Several events
+                // at one instant merge **dead-wins** (alive iff every one
+                // keeps the machine alive) — an arrival-order-independent
+                // tie-break the online rolling checkpoints apply
+                // identically.
                 let mut liveness: BTreeMap<MachineId, Vec<(Timestamp, bool)>> = BTreeMap::new();
                 for ev in &self.machine_events {
-                    let alive = !matches!(ev.event, MachineEvent::Remove | MachineEvent::HardError);
-                    liveness
-                        .entry(ev.machine)
-                        .or_default()
-                        .push((ev.time, alive));
+                    let alive = ev.event.keeps_alive();
+                    let checkpoints = liveness.entry(ev.machine).or_default();
+                    match checkpoints.last_mut() {
+                        Some((t, a)) if *t == ev.time => *a = *a && alive,
+                        _ => checkpoints.push((ev.time, alive)),
+                    }
                 }
                 IndexPart::Liveness(liveness)
             }
@@ -835,20 +847,17 @@ impl<'a> MachineView<'a> {
     }
 
     /// Whether the machine is alive at `t` according to machine events.
-    /// Machines with no events are considered always alive.
+    /// Machines with no events are considered always alive; events sharing
+    /// one timestamp merge dead-wins.
     ///
-    /// A binary search over the machine's liveness checkpoints — O(log e) in
-    /// the machine's own event count, not a scan of the global event table.
+    /// A binary search over the machine's liveness checkpoints
+    /// ([`crate::alive_at_checkpoints`]) — O(log e) in the machine's own
+    /// event count, not a scan of the global event table.
     pub fn alive_at(&self, t: Timestamp) -> bool {
-        let Some(checkpoints) = self.ds.liveness.get(&self.id) else {
-            return true;
-        };
-        // Last checkpoint at or before `t` decides; before the first event
-        // the machine counts as alive (matching the event-less default).
-        match checkpoints.partition_point(|&(time, _)| time <= t) {
-            0 => true,
-            n => checkpoints[n - 1].1,
-        }
+        self.ds
+            .liveness
+            .get(&self.id)
+            .is_none_or(|checkpoints| crate::alive_at_checkpoints(checkpoints, t))
     }
 }
 

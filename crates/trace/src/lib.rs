@@ -81,6 +81,7 @@ mod ids;
 mod interval;
 mod metric;
 pub mod query;
+mod queryable;
 mod record;
 mod series;
 pub mod stats;
@@ -91,8 +92,9 @@ pub use dataset::{
 };
 pub use error::TraceError;
 pub use ids::{InstanceId, JobId, MachineId, TaskId};
-pub use interval::IntervalIndex;
+pub use interval::{IntervalIndex, RollingIntervalIndex};
 pub use metric::{Metric, Utilization, UtilizationTriple};
+pub use queryable::{alive_at_checkpoints, DatasetQuery};
 pub use record::{
     BatchInstanceRecord, BatchTaskRecord, InstanceStatus, MachineEvent, MachineEventRecord,
     ServerUsageRecord, TaskStatus,
@@ -103,9 +105,9 @@ pub use time::{TimeDelta, TimeRange, Timestamp};
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        BatchInstanceRecord, BatchTaskRecord, InstanceId, InstanceStatus, JobId, MachineEvent,
-        MachineEventRecord, MachineId, Metric, ServerUsageRecord, TaskId, TaskStatus, TimeDelta,
-        TimeRange, TimeSeries, Timestamp, TraceDataset, TraceDatasetBuilder, TraceError,
+        BatchInstanceRecord, BatchTaskRecord, DatasetQuery, InstanceId, InstanceStatus, JobId,
+        MachineEvent, MachineEventRecord, MachineId, Metric, ServerUsageRecord, TaskId, TaskStatus,
+        TimeDelta, TimeRange, TimeSeries, Timestamp, TraceDataset, TraceDatasetBuilder, TraceError,
         Utilization, UtilizationTriple,
     };
 }

@@ -1,0 +1,265 @@
+//! [`DatasetQuery`]: the shared snapshot-query surface of batch datasets
+//! and live windows.
+//!
+//! PR 1 gave [`crate::TraceDataset`] indexed structural queries; the online
+//! path answers the same questions over a rolling window. This trait is the
+//! one definition both implement, so every consumer — hierarchy snapshots,
+//! co-allocation, liveness overlays — is written once and runs bit-identically
+//! against either source. The `stream_batch_differential` workspace suite
+//! enforces that equality on random record streams.
+//!
+//! Implementations:
+//!
+//! * [`crate::TraceDataset`] (here) — served by the build-time interval /
+//!   liveness indexes, O(log n + k) per query.
+//! * `batchlens::stream::LiveWindowView` (crate `batchlens`) — served by the
+//!   monitor's [`crate::RollingIntervalIndex`] and rolling liveness
+//!   checkpoints over the live window, same bounds, no window re-scan.
+
+use crate::{JobId, MachineId, Metric, TimeRange, TimeSeries, Timestamp, UtilizationTriple};
+
+/// Resolves machine liveness from time-sorted `(checkpoint time, alive
+/// afterwards)` pairs: the last checkpoint at or before `t` decides, and a
+/// machine is alive before its first checkpoint (matching the event-less
+/// default). O(log e) — the **single definition** of the lookup, shared by
+/// the batch index and the online rolling checkpoints. Checkpoint lists
+/// must hold at most one entry per timestamp (duplicate-time events are
+/// merged dead-wins at construction on both sides).
+pub fn alive_at_checkpoints(checkpoints: &[(Timestamp, bool)], t: Timestamp) -> bool {
+    match checkpoints.partition_point(|&(time, _)| time <= t) {
+        0 => true,
+        n => checkpoints[n - 1].1,
+    }
+}
+
+/// The structural query surface shared by [`crate::TraceDataset`] and live
+/// window views.
+///
+/// Contracts every implementation must honor (the differential suite checks
+/// them pairwise):
+///
+/// * Results are **deterministic and sorted**: ids ascend, and
+///   [`DatasetQuery::running_triples_at`] ascends by `(job, task, machine)`.
+/// * Instance windows are half-open `[start, end)`; empty windows never
+///   match.
+/// * Machines without recorded lifecycle events count as alive.
+/// * Utilization is sample-and-hold: the last sample at or before `t`, or
+///   `None` before the first (known) sample.
+pub trait DatasetQuery {
+    /// Every machine known to the source (declared, referenced by an
+    /// instance or event, or reporting usage), ascending.
+    fn machine_ids(&self) -> Vec<MachineId>;
+
+    /// Jobs with at least one instance running at `t`, ascending, each
+    /// exactly once.
+    fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId>;
+
+    /// One `(job, task, machine)` triple per instance running at `t`
+    /// (multiple instances of one task on one machine repeat the triple),
+    /// ascending.
+    fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)>;
+
+    /// How many instances are running at `t`.
+    fn running_instance_count_at(&self, t: Timestamp) -> usize;
+
+    /// Whether `machine` is alive at `t` according to its lifecycle events;
+    /// machines with no events (or unknown to the source) count alive.
+    fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool;
+
+    /// The machine's sample-and-hold utilization triple at `t`.
+    fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple>;
+
+    /// The machine's usage samples for `metric` inside the half-open
+    /// `window`, or `None` when the source has no usage for it.
+    fn series_window(
+        &self,
+        machine: MachineId,
+        metric: Metric,
+        window: &TimeRange,
+    ) -> Option<TimeSeries>;
+
+    /// The machines alive at `t`, ascending — the default walks
+    /// [`DatasetQuery::machine_ids`] through [`DatasetQuery::alive_at`].
+    fn machines_active_at(&self, t: Timestamp) -> Vec<MachineId> {
+        self.machine_ids()
+            .into_iter()
+            .filter(|&m| self.alive_at(m, t))
+            .collect()
+    }
+}
+
+use crate::TaskId;
+
+impl DatasetQuery for crate::TraceDataset {
+    fn machine_ids(&self) -> Vec<MachineId> {
+        self.machines().map(|m| m.id()).collect()
+    }
+
+    fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId> {
+        // The inherent method (which this resolves to) serves the merged
+        // per-job interval index: ascending, deduplicated.
+        self.jobs_running_at(t).iter().map(|j| j.id()).collect()
+    }
+
+    fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)> {
+        let mut out: Vec<(JobId, TaskId, MachineId)> = self
+            .instances_running_at(t)
+            .iter()
+            .map(|i| (i.record.job, i.record.task, i.record.machine))
+            .collect();
+        // instances_running_at ascends by (job, task, seq); the trait orders
+        // by (job, task, machine), so re-sort the machine tie-break.
+        out.sort_unstable();
+        out
+    }
+
+    fn running_instance_count_at(&self, t: Timestamp) -> usize {
+        self.running_instance_count_at(t)
+    }
+
+    fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool {
+        self.machine(machine).is_none_or(|m| m.alive_at(t))
+    }
+
+    fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple> {
+        self.machine(machine)?.util_at(t)
+    }
+
+    fn series_window(
+        &self,
+        machine: MachineId,
+        metric: Metric,
+        window: &TimeRange,
+    ) -> Option<TimeSeries> {
+        Some(self.machine(machine)?.usage(metric)?.slice(window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BatchInstanceRecord, BatchTaskRecord, MachineEvent, MachineEventRecord, ServerUsageRecord,
+        TaskStatus, TraceDataset, TraceDatasetBuilder,
+    };
+
+    fn dataset() -> TraceDataset {
+        let mut b = TraceDatasetBuilder::new();
+        for (job, task) in [(1u32, 1u32), (1, 2), (2, 1)] {
+            b.push_task(BatchTaskRecord {
+                create_time: Timestamp::new(0),
+                modify_time: Timestamp::new(1000),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                instance_count: 2,
+                status: TaskStatus::Terminated,
+                plan_cpu: 1.0,
+                plan_mem: 0.5,
+            });
+        }
+        // Task (1,1) places seq 0 on machine 5 and seq 1 on machine 3: the
+        // trait's (job, task, machine) order differs from seq order here.
+        for (job, task, seq, machine, s, e) in [
+            (1u32, 1u32, 0u32, 5u32, 0i64, 600i64),
+            (1, 1, 1, 3, 0, 500),
+            (1, 2, 0, 3, 100, 900),
+            (2, 1, 0, 7, 300, 1200),
+        ] {
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(s),
+                end_time: Timestamp::new(e),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq,
+                total: 2,
+                machine: MachineId::new(machine),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.2,
+                cpu_max: 0.4,
+                mem_avg: 0.2,
+                mem_max: 0.4,
+            });
+        }
+        for t in (0..1200).step_by(300) {
+            b.push_usage(ServerUsageRecord {
+                time: Timestamp::new(t),
+                machine: MachineId::new(3),
+                util: UtilizationTriple::clamped(0.4, 0.3, 0.2),
+            });
+        }
+        b.push_machine_event(MachineEventRecord {
+            time: Timestamp::new(700),
+            machine: MachineId::new(7),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trait_queries_match_inherent_ones() {
+        let ds = dataset();
+        let t = Timestamp::new(350);
+        let jobs = DatasetQuery::jobs_running_at(&ds, t);
+        assert_eq!(jobs, vec![JobId::new(1), JobId::new(2)]);
+        let triples = ds.running_triples_at(t);
+        assert_eq!(
+            triples,
+            vec![
+                (JobId::new(1), TaskId::new(1), MachineId::new(3)),
+                (JobId::new(1), TaskId::new(1), MachineId::new(5)),
+                (JobId::new(1), TaskId::new(2), MachineId::new(3)),
+                (JobId::new(2), TaskId::new(1), MachineId::new(7)),
+            ]
+        );
+        assert_eq!(
+            DatasetQuery::running_instance_count_at(&ds, t),
+            triples.len()
+        );
+    }
+
+    #[test]
+    fn liveness_and_unknown_machines() {
+        let ds = dataset();
+        assert!(DatasetQuery::alive_at(
+            &ds,
+            MachineId::new(7),
+            Timestamp::new(600)
+        ));
+        assert!(!DatasetQuery::alive_at(
+            &ds,
+            MachineId::new(7),
+            Timestamp::new(700)
+        ));
+        // Unknown machines default alive, like event-less ones.
+        assert!(DatasetQuery::alive_at(
+            &ds,
+            MachineId::new(99),
+            Timestamp::new(0)
+        ));
+        let active = ds.machines_active_at(Timestamp::new(800));
+        assert_eq!(
+            active,
+            vec![MachineId::new(3), MachineId::new(5)],
+            "machine 7 removed at 700"
+        );
+    }
+
+    #[test]
+    fn util_and_series_windows() {
+        let ds = dataset();
+        let u = DatasetQuery::util_at(&ds, MachineId::new(3), Timestamp::new(450)).unwrap();
+        assert!((u.cpu.fraction() - 0.4).abs() < 1e-12);
+        assert!(DatasetQuery::util_at(&ds, MachineId::new(5), Timestamp::new(450)).is_none());
+        let w = TimeRange::new(Timestamp::new(300), Timestamp::new(900)).unwrap();
+        let s = ds
+            .series_window(MachineId::new(3), Metric::Cpu, &w)
+            .unwrap();
+        assert_eq!(s.len(), 2); // samples at 300 and 600; 900 excluded
+        assert!(ds
+            .series_window(MachineId::new(5), Metric::Cpu, &w)
+            .is_none());
+    }
+}

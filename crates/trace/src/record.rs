@@ -176,6 +176,15 @@ pub enum MachineEvent {
 }
 
 impl MachineEvent {
+    /// Whether the machine counts as alive after this event — the **single
+    /// definition** of the liveness rule, shared by the batch dataset's
+    /// checkpoint index and the online monitor's rolling checkpoints (so the
+    /// two can never disagree): everything but `Remove`/`HardError` leaves
+    /// the machine alive.
+    pub const fn keeps_alive(self) -> bool {
+        !matches!(self, MachineEvent::Remove | MachineEvent::HardError)
+    }
+
     /// The event code used in the CSV dumps.
     pub const fn code(self) -> &'static str {
         match self {

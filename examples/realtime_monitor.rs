@@ -4,7 +4,10 @@
 //!
 //! A producer thread replays `server_usage` records in time order; the main
 //! thread ingests them and surfaces high-utilization and thrashing alerts
-//! online, without ever holding the whole trace in an index.
+//! online, without ever holding the whole trace in an index. Structural
+//! records (`batch_instance`, `machine_events`) stream in too, maintaining
+//! the rolling interval/liveness indexes — so the same snapshot queries the
+//! batch dataset answers run against the live window at the end.
 //!
 //! Run with: `cargo run -p batchlens --example realtime_monitor`
 
@@ -31,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
 
-    let monitor = StreamMonitor::new(StreamConfig::default());
+    // A day-long rolling window: the live snapshot queries at the end ask
+    // about an instant mid-trace, which must still be inside the window —
+    // intervals wholly behind `frontier - horizon` are evicted.
+    let monitor = StreamMonitor::new(StreamConfig {
+        horizon: batchlens::trace::TimeDelta::DAY,
+        ..Default::default()
+    });
     let mut high_alerts = 0usize;
     let mut thrash_alerts = 0usize;
     let mut first_thrash = None;
@@ -86,6 +95,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             series.len()
         );
     }
+
+    // Live window queries: stream the structural tables in as well, then
+    // ask the rolling indexes the same questions the batch dataset answers
+    // — and check they agree (the differential suite proves this in depth).
+    use batchlens::trace::DatasetQuery;
+    monitor.ingest_instances(dataset.instance_records().iter().copied());
+    for ev in dataset.machine_events() {
+        monitor.ingest_machine_event(*ev);
+    }
+    let view = monitor.live_view();
+    let at = scenario::T_FIG3C;
+    let live_jobs = view.jobs_running_at(at);
+    let batch_jobs = DatasetQuery::jobs_running_at(&dataset, at);
+    println!(
+        "live window @ {at}: {} jobs running on {} active machines (batch agrees: {})",
+        live_jobs.len(),
+        view.machines_active_at(at).len(),
+        live_jobs == batch_jobs,
+    );
+    let snapshot = batchlens::analytics::hierarchy::HierarchySnapshot::at(&view, at);
+    println!(
+        "live hierarchy snapshot: {} job bubbles, {} node glyphs",
+        snapshot.jobs.len(),
+        snapshot.total_nodes()
+    );
 
     Ok(())
 }

@@ -342,16 +342,21 @@ proptest! {
         for &t in &probes {
             let t = Timestamp::new(t);
             for m in ds.machines() {
-                // Reference: walk this machine's events in time order.
+                // Reference: walk this machine's events in time order;
+                // events sharing one timestamp merge dead-wins (alive iff
+                // every one keeps the machine alive), order-independently.
                 let mut alive = true;
+                let mut merged_at = None;
                 for ev in ds.machine_events().iter().filter(|e| e.machine == m.id()) {
                     if ev.time > t {
                         break;
                     }
-                    alive = !matches!(
-                        ev.event,
-                        MachineEvent::Remove | MachineEvent::HardError
-                    );
+                    if merged_at == Some(ev.time) {
+                        alive = alive && ev.event.keeps_alive();
+                    } else {
+                        alive = ev.event.keeps_alive();
+                        merged_at = Some(ev.time);
+                    }
                 }
                 prop_assert_eq!(m.alive_at(t), alive, "machine {} at {}", m.id(), t);
             }

@@ -8,6 +8,12 @@
 //! Cases are generated from a deterministic per-test seed (hash of the test
 //! name and the case index), so failures are reproducible. There is no
 //! shrinking: the failing case's index is reported instead.
+//!
+//! Like the real crate, the `PROPTEST_CASES` environment variable overrides
+//! the case count; unlike the real crate it also overrides explicit
+//! [`ProptestConfig::with_cases`] values — that is the hook CI's
+//! deep-property job uses to run the same suites at 512 cases without
+//! touching the sources.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,16 +27,26 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// The `PROPTEST_CASES` override, when set to a parsable count.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` random cases.
+    /// A config running `cases` random cases (`PROPTEST_CASES` in the
+    /// environment takes precedence — the deep-run hook).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
