@@ -7,7 +7,7 @@
 //! and purple) … to help trace down the machines [that] execute multiple
 //! tasks simultaneously"). This module computes the underlying index.
 
-use batchlens_trace::{DatasetQuery, JobId, MachineId, Timestamp};
+use batchlens_trace::{DatasetQuery, JobId, MachineId, TaskId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// A machine rendered under more than one job bubble at the snapshot time.
@@ -30,10 +30,34 @@ pub struct MachineLink {
     pub job_b: JobId,
 }
 
+/// The pairwise link expansion of a shared-machine table, ascending by
+/// `(machine, job_a, job_b)` — the one derivation every construction and
+/// patch path shares.
+fn links_of(shared: &[SharedMachine]) -> Vec<MachineLink> {
+    let mut links = Vec::new();
+    for s in shared {
+        for (i, &a) in s.jobs.iter().enumerate() {
+            for &b in &s.jobs[i + 1..] {
+                links.push(MachineLink {
+                    machine: s.machine,
+                    job_a: a,
+                    job_b: b,
+                });
+            }
+        }
+    }
+    links
+}
+
 /// Co-allocation index at one timestamp.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CoallocationIndex {
     shared: Vec<SharedMachine>,
+    /// All pairwise links, ascending by `(machine, job_a, job_b)` —
+    /// precomputed at construction so [`CoallocationIndex::links`] and
+    /// [`CoallocationIndex::links_for`] are borrows, not per-call pair
+    /// expansions.
+    links: Vec<MachineLink>,
 }
 
 impl CoallocationIndex {
@@ -44,14 +68,30 @@ impl CoallocationIndex {
     /// across the whole cluster. Generic over [`DatasetQuery`], so the same
     /// code indexes a batch dataset or a live monitor window.
     pub fn at<Q: DatasetQuery + ?Sized>(src: &Q, at: Timestamp) -> CoallocationIndex {
+        Self::from_triples(&src.running_triples_at(at))
+    }
+
+    /// Builds the index from a [`batchlens_trace::QueryFrame`]'s captured
+    /// running set — transactionally consistent with every other product of
+    /// the same frame, and bit-identical to [`CoallocationIndex::at`] over
+    /// the state the frame captured.
+    pub fn from_frame(frame: &batchlens_trace::QueryFrame) -> CoallocationIndex {
+        Self::from_triples(frame.running_triples())
+    }
+
+    /// The shared grouping path: ascending running triples → machine → job
+    /// sets → shared machines + precomputed pairwise links. Every
+    /// construction route ([`CoallocationIndex::at`],
+    /// [`CoallocationIndex::from_frame`], the delta engine) lands here.
+    pub(crate) fn from_triples(triples: &[(JobId, TaskId, MachineId)]) -> CoallocationIndex {
         let mut by_machine: std::collections::BTreeMap<
             MachineId,
             std::collections::BTreeSet<JobId>,
         > = std::collections::BTreeMap::new();
-        for (job, _, machine) in src.running_triples_at(at) {
+        for &(job, _, machine) in triples {
             by_machine.entry(machine).or_default().insert(job);
         }
-        let shared = by_machine
+        let shared: Vec<SharedMachine> = by_machine
             .into_iter()
             .filter(|(_, jobs)| jobs.len() >= 2)
             .map(|(machine, jobs)| SharedMachine {
@@ -59,7 +99,33 @@ impl CoallocationIndex {
                 jobs: jobs.into_iter().collect(),
             })
             .collect();
-        CoallocationIndex { shared }
+        let links = links_of(&shared);
+        CoallocationIndex { shared, links }
+    }
+
+    /// Replaces, inserts or removes one machine's shared entry (machine
+    /// order preserved) and rebuilds the link expansion — the delta
+    /// engine's patch primitive. Pass the machine's full current job set;
+    /// fewer than two jobs removes the entry. `rebuild_links` must be true
+    /// on the last patch of a batch (links are derived state).
+    pub(crate) fn put_machine(
+        &mut self,
+        machine: MachineId,
+        jobs: Vec<JobId>,
+        rebuild_links: bool,
+    ) {
+        let pos = self.shared.binary_search_by_key(&machine, |s| s.machine);
+        match (pos, jobs.len() >= 2) {
+            (Ok(i), true) => self.shared[i].jobs = jobs,
+            (Ok(i), false) => {
+                self.shared.remove(i);
+            }
+            (Err(i), true) => self.shared.insert(i, SharedMachine { machine, jobs }),
+            (Err(_), false) => {}
+        }
+        if rebuild_links {
+            self.links = links_of(&self.shared);
+        }
     }
 
     /// Machines shared by at least two jobs, in machine order.
@@ -79,29 +145,18 @@ impl CoallocationIndex {
 
     /// All pairwise links, one per `(machine, job_a, job_b)` with
     /// `job_a < job_b` — each becomes one dotted line in the view.
-    pub fn links(&self) -> Vec<MachineLink> {
-        let mut out = Vec::new();
-        for s in &self.shared {
-            for (i, &a) in s.jobs.iter().enumerate() {
-                for &b in &s.jobs[i + 1..] {
-                    out.push(MachineLink {
-                        machine: s.machine,
-                        job_a: a,
-                        job_b: b,
-                    });
-                }
-            }
-        }
-        out
+    /// Precomputed at construction: a borrow, not a pair expansion.
+    pub fn links(&self) -> &[MachineLink] {
+        &self.links
     }
 
     /// The links involving one specific machine — what a mouse-over on that
-    /// node highlights.
-    pub fn links_for(&self, machine: MachineId) -> Vec<MachineLink> {
-        self.links()
-            .into_iter()
-            .filter(|l| l.machine == machine)
-            .collect()
+    /// node highlights. A binary-searched sub-slice of the precomputed
+    /// links (they ascend by machine), O(log L) per call, no allocation.
+    pub fn links_for(&self, machine: MachineId) -> &[MachineLink] {
+        let lo = self.links.partition_point(|l| l.machine < machine);
+        let hi = self.links.partition_point(|l| l.machine <= machine);
+        &self.links[lo..hi]
     }
 
     /// The jobs sharing a given machine, if it is shared.
@@ -176,9 +231,15 @@ mod tests {
         assert_eq!(links.len(), 4);
         let m1_links = idx.links_for(MachineId::new(1));
         assert_eq!(m1_links.len(), 3);
-        for l in &m1_links {
+        for l in m1_links {
             assert!(l.job_a < l.job_b);
         }
+        assert!(m1_links.iter().all(|l| l.machine == MachineId::new(1)));
+        assert!(idx.links_for(MachineId::new(2)).is_empty());
+        // links ascend by (machine, job_a, job_b): the sub-slice contract.
+        assert!(links.windows(2).all(
+            |w| (w[0].machine, w[0].job_a, w[0].job_b) < (w[1].machine, w[1].job_a, w[1].job_b)
+        ));
     }
 
     #[test]

@@ -9,6 +9,27 @@
 use batchlens_trace::{DatasetQuery, JobId, MachineId, TaskId, Timestamp, UtilizationTriple};
 use serde::{Deserialize, Serialize};
 
+/// Run-length encodes an **ascending** triple slice into
+/// `((job, task, machine), count)` pairs — the grouped form the shared
+/// materialization paths consume, without a map allocation.
+pub(crate) fn count_runs(
+    triples: &[(JobId, TaskId, MachineId)],
+) -> impl Iterator<Item = ((JobId, TaskId, MachineId), u32)> + '_ {
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        if i >= triples.len() {
+            return None;
+        }
+        let key = triples[i];
+        let mut n = 0u32;
+        while i < triples.len() && triples[i] == key {
+            i += 1;
+            n += 1;
+        }
+        Some((key, n))
+    })
+}
+
 /// One compute node inside a task bubble.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeEntry {
@@ -45,19 +66,44 @@ pub struct JobEntry {
     pub job: JobId,
     /// The job's tasks that have at least one running instance, task order.
     pub tasks: Vec<TaskEntry>,
+    /// Distinct machines under the job, ascending — computed once at
+    /// snapshot build/delta-apply time (see [`JobEntry::machines`]).
+    machines: Vec<MachineId>,
 }
 
 impl JobEntry {
-    /// All distinct machines under this job at the snapshot time.
-    pub fn machines(&self) -> Vec<MachineId> {
-        let mut out: Vec<MachineId> = self
-            .tasks
-            .iter()
-            .flat_map(|t| t.nodes.iter().map(|n| n.machine))
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// All distinct machines under this job at the snapshot time,
+    /// ascending. Precomputed at construction — a borrow, not a per-call
+    /// re-derivation.
+    pub fn machines(&self) -> &[MachineId] {
+        &self.machines
+    }
+
+    /// An entry with no running work yet — the delta engine's insertion
+    /// point for a job entering the running set.
+    pub(crate) fn empty(job: JobId) -> JobEntry {
+        JobEntry {
+            job,
+            tasks: Vec::new(),
+            machines: Vec::new(),
+        }
+    }
+
+    /// Records `machine` in the precomputed distinct-machine list (sorted
+    /// insert, no-op when present) — the delta engine's counterpart of the
+    /// build-time derivation.
+    pub(crate) fn insert_machine(&mut self, machine: MachineId) {
+        if let Err(i) = self.machines.binary_search(&machine) {
+            self.machines.insert(i, machine);
+        }
+    }
+
+    /// Drops `machine` from the distinct-machine list (no-op when absent).
+    /// The caller asserts no node under this job references it anymore.
+    pub(crate) fn remove_machine(&mut self, machine: MachineId) {
+        if let Ok(i) = self.machines.binary_search(&machine) {
+            self.machines.remove(i);
+        }
     }
 
     /// Mean utilization over all nodes of all tasks.
@@ -110,34 +156,94 @@ impl HierarchySnapshot {
         // Machines repeat across tasks/jobs; look their utilization up once.
         let mut util_cache: std::collections::BTreeMap<MachineId, Option<UtilizationTriple>> =
             std::collections::BTreeMap::new();
-        let mut jobs: Vec<JobEntry> = Vec::new();
-        for ((job, task, machine), instances) in grouped {
-            let util = *util_cache
+        Self::from_grouped(at, grouped.iter().map(|(&k, &n)| (k, n)), |machine| {
+            *util_cache
                 .entry(machine)
-                .or_insert_with(|| src.util_at(machine, at));
+                .or_insert_with(|| src.util_at(machine, at))
+        })
+    }
+
+    /// Builds the snapshot from a [`batchlens_trace::QueryFrame`] — every
+    /// structural and utilization answer comes from the frame's single
+    /// captured state, so the result is transactionally consistent with any
+    /// other product derived from the same frame. Bit-identical to
+    /// [`HierarchySnapshot::at`] over the state the frame captured.
+    pub fn from_frame(frame: &batchlens_trace::QueryFrame) -> HierarchySnapshot {
+        Self::from_grouped(frame.at(), count_runs(frame.running_triples()), |machine| {
+            frame.util_of(machine)
+        })
+    }
+
+    /// The one materialization path every construction route shares —
+    /// [`HierarchySnapshot::at`], [`HierarchySnapshot::from_frame`] and the
+    /// delta engine ([`crate::scrub::SnapshotScrubber`]) all feed it, which
+    /// is what makes "scrubbed == from-scratch" a structural identity
+    /// rather than a coincidence. `grouped` must yield
+    /// `((job, task, machine), instance count)` entries in ascending key
+    /// order with positive counts.
+    pub(crate) fn from_grouped(
+        at: Timestamp,
+        grouped: impl IntoIterator<Item = ((JobId, TaskId, MachineId), u32)>,
+        mut util_of: impl FnMut(MachineId) -> Option<UtilizationTriple>,
+    ) -> HierarchySnapshot {
+        let mut jobs: Vec<JobEntry> = Vec::new();
+        let mut iter = grouped.into_iter().peekable();
+        while let Some(&((job, _, _), _)) = iter.peek() {
+            let entry = Self::job_entry(
+                job,
+                std::iter::from_fn(|| {
+                    iter.next_if(|&((j, _, _), _)| j == job)
+                        .map(|((_, task, machine), n)| ((task, machine), n))
+                }),
+                &mut util_of,
+            );
+            jobs.extend(entry);
+        }
+        HierarchySnapshot { at, jobs }
+    }
+
+    /// Builds one job's entry from its ascending `((task, machine), count)`
+    /// rows — the per-job unit [`HierarchySnapshot::from_grouped`] chunks
+    /// into and the delta engine's patch path rebuilds per dirty job, so
+    /// both produce identical entries by construction. `None` when the job
+    /// has no rows (it left the running set).
+    pub(crate) fn job_entry(
+        job: JobId,
+        rows: impl IntoIterator<Item = ((TaskId, MachineId), u32)>,
+        mut util_of: impl FnMut(MachineId) -> Option<UtilizationTriple>,
+    ) -> Option<JobEntry> {
+        let mut tasks: Vec<TaskEntry> = Vec::new();
+        for ((task, machine), instances) in rows {
+            debug_assert!(instances > 0);
             let node = NodeEntry {
                 machine,
                 instances,
-                util,
+                util: util_of(machine),
             };
-            match jobs.last_mut() {
-                Some(entry) if entry.job == job => match entry.tasks.last_mut() {
-                    Some(te) if te.task == task => te.nodes.push(node),
-                    _ => entry.tasks.push(TaskEntry {
-                        task,
-                        nodes: vec![node],
-                    }),
-                },
-                _ => jobs.push(JobEntry {
-                    job,
-                    tasks: vec![TaskEntry {
-                        task,
-                        nodes: vec![node],
-                    }],
+            match tasks.last_mut() {
+                Some(te) if te.task == task => te.nodes.push(node),
+                _ => tasks.push(TaskEntry {
+                    task,
+                    nodes: vec![node],
                 }),
             }
         }
-        HierarchySnapshot { at, jobs }
+        if tasks.is_empty() {
+            return None;
+        }
+        // Distinct machines, computed once here rather than per
+        // `JobEntry::machines` call.
+        let mut machines: Vec<MachineId> = tasks
+            .iter()
+            .flat_map(|t| t.nodes.iter().map(|n| n.machine))
+            .collect();
+        machines.sort_unstable();
+        machines.dedup();
+        Some(JobEntry {
+            job,
+            tasks,
+            machines,
+        })
     }
 
     /// Looks up one job entry.

@@ -1,0 +1,810 @@
+//! The delta snapshot engine: scrub [`HierarchySnapshot`] and
+//! [`CoallocationIndex`] across timestamps by applying **structural deltas**
+//! instead of rebuilding from scratch at every instant.
+//!
+//! Timeline scrubbing, dashboard renders and the live lens all revisit
+//! consecutive timestamps whose running sets differ by a handful of
+//! interval entries/exits. [`SnapshotScrubber`] holds the current grouped
+//! running multiset *and the materialized products themselves*, and
+//! advances everything by [`DatasetQuery::running_delta`]:
+//!
+//! * the grouped multiset and the per-machine job table update in
+//!   O(Δ log k) for Δ changes against k running instances;
+//! * the retained [`HierarchySnapshot`] is **patched**, not rebuilt — each
+//!   delta triple becomes one ±1 node operation at its sorted position
+//!   (the exact orderings the from-scratch builder produces), and only the
+//!   machines whose sample-and-hold utilization window
+//!   ([`DatasetQuery::util_hold`]) actually expired are re-resolved, driven
+//!   by an expiry queue and written onto exactly their nodes;
+//! * the retained [`CoallocationIndex`] is patched per delta-touched
+//!   machine, links re-expanded once per batch.
+//!
+//! Per-step cost is therefore **O(Δ log k + E log s)** for E expired
+//! utilization holds — versus the O(k log k + M log s)
+//! stab-sort-group-resolve rebuild of [`HierarchySnapshot::at`] — while the
+//! products stay **bit-identical** to the from-scratch builders at every
+//! step: every construction route funnels through the same per-job /
+//! per-machine derivation code, and the workspace
+//! `snapshot_delta_differential` proptest suite enforces the identity on
+//! both batch datasets and live windows.
+//!
+//! Consistency with mutable sources: every seek reads
+//! [`DatasetQuery::state_version`] before *and after* computing the delta.
+//! A changed version — a live monitor ingested or evicted in between —
+//! makes the delta meaningless, so the scrubber **rebases**: it recaptures
+//! the full state through one transactionally consistent
+//! [`DatasetQuery::frame`] (a single lock acquisition on a live source) and
+//! rebuilds the products from that frame. An idle monitor therefore serves
+//! every subsequent frame by pure delta, for free.
+//!
+//! Rebase policy: besides version changes, the scrubber rebases every
+//! [`SnapshotScrubber::rebase_every`] delta steps. The maintained
+//! structural state is integer-counted (instance multiplicities), so it
+//! accumulates no float drift by construction — utilization values are
+//! always whole re-reads of sample-and-hold answers, never accumulated
+//! across steps — and the periodic rebase bounds how long any hypothetical
+//! divergence (or memo growth over departed machines) could survive.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+use batchlens_trace::{
+    DatasetQuery, JobId, MachineId, TaskId, Timestamp, UtilHold, UtilizationTriple,
+};
+
+use crate::coalloc::CoallocationIndex;
+use crate::hierarchy::HierarchySnapshot;
+
+/// Default [`SnapshotScrubber::rebase_every`]: frequent enough that a
+/// defect could not persist across a scrubbing session, rare enough to be
+/// invisible next to the per-step delta cost.
+pub const DEFAULT_REBASE_EVERY: u32 = 1024;
+
+/// Counters describing how the scrubber has been advancing — observability
+/// for the delta engine (and its tests/benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Seeks answered by applying a delta.
+    pub delta_steps: u64,
+    /// Full recaptures ([`DatasetQuery::frame`]): first seek, version
+    /// changes, the periodic policy, or defensive repair.
+    pub rebases: u64,
+    /// Triples applied on the enter side across all delta steps.
+    pub entered: u64,
+    /// Triples applied on the exit side across all delta steps.
+    pub exited: u64,
+    /// Node-level ±1 operations applied by the snapshot patch path.
+    pub nodes_patched: u64,
+    /// Utilization holds that expired and were re-resolved against the
+    /// source.
+    pub util_refreshes: u64,
+}
+
+/// The expiry queue: `(until, machine)` min-heap with **lazy deletion** —
+/// an entry is live only while the memo still records that exact `until`
+/// for the machine; superseded and dropped entries are skipped on pop.
+/// Keeps hold replacement O(log) pushes with no tree removals on the
+/// per-refresh hot path.
+type ExpiryHeap = BinaryHeap<Reverse<(Timestamp, MachineId)>>;
+
+/// Replaces machine `m`'s utilization hold, queuing its expiry; returns
+/// the previous hold, if any.
+fn put_hold(
+    memo: &mut HashMap<MachineId, UtilHold>,
+    expiry: &mut ExpiryHeap,
+    machine: MachineId,
+    hold: UtilHold,
+) -> Option<UtilHold> {
+    if let Some(until) = hold.until {
+        expiry.push(Reverse((until, machine)));
+    }
+    memo.insert(machine, hold)
+}
+
+/// Re-resolves every hold no longer valid at `at` and returns the machines
+/// whose *value* changed (the only nodes worth patching). Forward
+/// materializations drain the expiry queue — O(E log M) for E expirations;
+/// backward ones scan the memo (backward hops re-enter past sample cells,
+/// which the queue does not index). Holds for machines with no running
+/// instance are dropped instead of refreshed — no node references them, and
+/// the memo stays bounded by the machines the snapshot actually shows.
+fn refresh_holds<Q: DatasetQuery + ?Sized>(
+    src: &Q,
+    at: Timestamp,
+    prev: Timestamp,
+    memo: &mut HashMap<MachineId, UtilHold>,
+    expiry: &mut ExpiryHeap,
+    running_machines: &HashMap<MachineId, u32>,
+    stats: &mut ScrubStats,
+) -> HashMap<MachineId, Option<UtilizationTriple>> {
+    let mut changed = HashMap::new();
+    let mut refresh =
+        |machine: MachineId, memo: &mut HashMap<MachineId, UtilHold>, expiry: &mut ExpiryHeap| {
+            if !running_machines.contains_key(&machine) {
+                memo.remove(&machine); // stale heap entries skip lazily
+                return;
+            }
+            let hold = src.util_hold(machine, at);
+            stats.util_refreshes += 1;
+            let old = put_hold(memo, expiry, machine, hold);
+            if old.map(|h| h.util) != Some(hold.util) {
+                changed.insert(machine, hold.util);
+            }
+        };
+    if at >= prev {
+        while let Some(&Reverse((until, machine))) = expiry.peek() {
+            if until > at {
+                break;
+            }
+            expiry.pop();
+            // Lazy deletion: only the entry matching the memo's current
+            // window is live; superseded/dropped ones are skipped.
+            if memo.get(&machine).is_some_and(|h| h.until == Some(until)) {
+                refresh(machine, memo, expiry);
+            }
+        }
+    } else {
+        let stale: Vec<MachineId> = memo
+            .iter()
+            .filter(|(_, hold)| !hold.holds_at(at))
+            .map(|(&m, _)| m)
+            .collect();
+        for machine in stale {
+            refresh(machine, memo, expiry);
+        }
+    }
+    changed
+}
+
+/// Applies one *entered* triple to the materialized snapshot: +1 on its
+/// node, inserting job/task/node entries at their sorted positions (the
+/// exact orderings the from-scratch builder produces). New nodes read their
+/// utilization through `util_of`.
+fn apply_enter(
+    snap: &mut HierarchySnapshot,
+    job: JobId,
+    task: TaskId,
+    machine: MachineId,
+    util_of: impl FnOnce() -> Option<UtilizationTriple>,
+) {
+    use crate::hierarchy::{JobEntry, NodeEntry, TaskEntry};
+    let j = match snap.jobs.binary_search_by_key(&job, |e| e.job) {
+        Ok(j) => j,
+        Err(j) => {
+            snap.jobs.insert(j, JobEntry::empty(job));
+            j
+        }
+    };
+    let entry = &mut snap.jobs[j];
+    let t = match entry.tasks.binary_search_by_key(&task, |e| e.task) {
+        Ok(t) => t,
+        Err(t) => {
+            entry.tasks.insert(
+                t,
+                TaskEntry {
+                    task,
+                    nodes: Vec::new(),
+                },
+            );
+            t
+        }
+    };
+    let nodes = &mut entry.tasks[t].nodes;
+    match nodes.binary_search_by_key(&machine, |n| n.machine) {
+        Ok(n) => nodes[n].instances += 1,
+        Err(n) => nodes.insert(
+            n,
+            NodeEntry {
+                machine,
+                instances: 1,
+                util: util_of(),
+            },
+        ),
+    }
+    entry.insert_machine(machine);
+}
+
+/// Applies one *exited* triple: −1 on its node, removing emptied node/task/
+/// job entries. `still_on_job` is whether the job still runs anything on
+/// the machine **after the whole pending batch** (the maintained
+/// machine→jobs table), deciding the precomputed machine list. Returns
+/// `false` when the node was never there (divergence; caller rebases).
+fn apply_exit(
+    snap: &mut HierarchySnapshot,
+    job: JobId,
+    task: TaskId,
+    machine: MachineId,
+    still_on_job: bool,
+) -> bool {
+    let Ok(j) = snap.jobs.binary_search_by_key(&job, |e| e.job) else {
+        return false;
+    };
+    let entry = &mut snap.jobs[j];
+    let Ok(t) = entry.tasks.binary_search_by_key(&task, |e| e.task) else {
+        return false;
+    };
+    let nodes = &mut entry.tasks[t].nodes;
+    let Ok(n) = nodes.binary_search_by_key(&machine, |n| n.machine) else {
+        return false;
+    };
+    if nodes[n].instances > 1 {
+        nodes[n].instances -= 1;
+    } else {
+        nodes.remove(n);
+        if nodes.is_empty() {
+            entry.tasks.remove(t);
+        }
+    }
+    if !still_on_job {
+        entry.remove_machine(machine);
+    }
+    if entry.tasks.is_empty() {
+        snap.jobs.remove(j);
+    }
+    true
+}
+
+/// Delta-maintained scrubbing cursor over a [`DatasetQuery`] source.
+///
+/// The scrubber owns no source reference — every call takes `src` — but its
+/// state is only meaningful against **one logical source**: seeking it
+/// against a different dataset/monitor without an intervening
+/// [`SnapshotScrubber::reset`] mixes states (version tracking catches
+/// mutable sources, not source swaps).
+///
+/// ```
+/// use batchlens_analytics::hierarchy::HierarchySnapshot;
+/// use batchlens_analytics::scrub::SnapshotScrubber;
+/// use batchlens_sim::scenario;
+/// use batchlens_trace::{TimeDelta, Timestamp};
+///
+/// let ds = scenario::fig3b(7).run().unwrap();
+/// let mut scrub = SnapshotScrubber::new();
+/// let mut t = ds.span().unwrap().start();
+/// for _ in 0..16 {
+///     scrub.seek(&ds, t);
+///     assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, t));
+///     t += TimeDelta::minutes(5);
+/// }
+/// assert!(scrub.stats().delta_steps >= 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotScrubber {
+    /// Cursor position; `None` until the first seek.
+    at: Option<Timestamp>,
+    /// Source state version the maintained state reflects.
+    version: u64,
+    /// Running `(job, task, machine)` → instance count at `at` — the
+    /// delta-maintained core, integer-counted (no float accumulation).
+    grouped: BTreeMap<(JobId, TaskId, MachineId), u32>,
+    /// `(machine, job)` → instance count — the co-allocation side of the
+    /// same multiset, maintained by the same deltas.
+    machine_jobs: BTreeMap<(MachineId, JobId), u32>,
+    /// machine → running instance count — O(1) membership for the hold
+    /// refresh scope, maintained by the same deltas.
+    running_machines: HashMap<MachineId, u32>,
+    /// Sample-and-hold utilization holds (see [`DatasetQuery::util_hold`]),
+    /// scoped to the machines the snapshot currently shows.
+    util_memo: HashMap<MachineId, UtilHold>,
+    /// `(until, machine)` lazy-deletion min-heap over the finite hold
+    /// windows, so a forward materialization touches only the holds that
+    /// actually expired.
+    expiry: ExpiryHeap,
+    /// Delta ops not yet applied to the materialized snapshot: `(entered,
+    /// triple)`, in application order.
+    pending: Vec<(bool, (JobId, TaskId, MachineId))>,
+    /// Machines whose job sets changed since the coalloc was last patched.
+    dirty_machines: BTreeSet<MachineId>,
+    /// Delta steps since the last rebase, against `rebase_every`.
+    steps_since_rebase: u32,
+    /// Periodic-rebase period; `0` disables the periodic policy (version
+    /// changes still rebase).
+    rebase_every: u32,
+    /// The patch-maintained products (always `Some` once sought).
+    snapshot: Option<HierarchySnapshot>,
+    coalloc: Option<CoallocationIndex>,
+    stats: ScrubStats,
+}
+
+/// `Default` is [`SnapshotScrubber::new`]: hand-written (not derived) so a
+/// default-constructed scrubber — e.g. one living inside a larger derived-
+/// `Default` cache — carries the real [`DEFAULT_REBASE_EVERY`] policy, not
+/// a zeroed "never rebase periodically".
+impl Default for SnapshotScrubber {
+    fn default() -> Self {
+        SnapshotScrubber::new()
+    }
+}
+
+impl SnapshotScrubber {
+    /// A scrubber with the default rebase period
+    /// ([`DEFAULT_REBASE_EVERY`]).
+    pub fn new() -> SnapshotScrubber {
+        SnapshotScrubber::with_rebase_every(DEFAULT_REBASE_EVERY)
+    }
+
+    /// A scrubber rebasing every `rebase_every` delta steps (`0` = only on
+    /// version changes).
+    pub fn with_rebase_every(rebase_every: u32) -> SnapshotScrubber {
+        SnapshotScrubber {
+            at: None,
+            version: 0,
+            grouped: BTreeMap::new(),
+            machine_jobs: BTreeMap::new(),
+            running_machines: HashMap::new(),
+            util_memo: HashMap::new(),
+            expiry: ExpiryHeap::new(),
+            pending: Vec::new(),
+            dirty_machines: BTreeSet::new(),
+            steps_since_rebase: 0,
+            rebase_every,
+            snapshot: None,
+            coalloc: None,
+            stats: ScrubStats::default(),
+        }
+    }
+
+    /// The cursor position, once something has been sought.
+    pub fn at(&self) -> Option<Timestamp> {
+        self.at
+    }
+
+    /// The source state version the maintained state reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The configured periodic-rebase period.
+    pub fn rebase_every(&self) -> u32 {
+        self.rebase_every
+    }
+
+    /// How many instances the maintained running multiset currently holds.
+    pub fn running_instance_count(&self) -> usize {
+        self.grouped.values().map(|&n| n as usize).sum()
+    }
+
+    /// The advancement counters.
+    pub fn stats(&self) -> ScrubStats {
+        self.stats
+    }
+
+    /// Forgets everything: the next seek rebases. Call when retargeting the
+    /// scrubber at a different logical source.
+    pub fn reset(&mut self) {
+        *self = SnapshotScrubber::with_rebase_every(self.rebase_every);
+    }
+
+    /// Moves the cursor to `to` — **O(Δ log k)** state maintenance when the
+    /// source is unchanged (Δ = triples entering/exiting across the hop,
+    /// k = running instances), a full O(k log k + M log s) frame recapture
+    /// when it must rebase (first seek, source version change, every
+    /// [`SnapshotScrubber::rebase_every`] steps). Forward hops, backward
+    /// hops and repeats are all fine; a repeat of the current instant under
+    /// an unchanged version is a no-op.
+    pub fn seek<Q: DatasetQuery + ?Sized>(&mut self, src: &Q, to: Timestamp) {
+        let Some(from) = self.at else {
+            self.rebase(src, to);
+            return;
+        };
+        let version_before = src.state_version();
+        if version_before != self.version {
+            self.rebase(src, to);
+            return;
+        }
+        if to == from {
+            return; // same state, same instant: everything stays valid
+        }
+        if self.rebase_every > 0 && self.steps_since_rebase >= self.rebase_every {
+            self.rebase(src, to);
+            return;
+        }
+        let delta = src.running_delta(from, to);
+        if src.state_version() != version_before {
+            // The source mutated mid-computation: the delta mixes two
+            // states, so recapture atomically instead.
+            self.rebase(src, to);
+            return;
+        }
+        for &(job, task, machine) in &delta.entered {
+            *self.grouped.entry((job, task, machine)).or_default() += 1;
+            *self.machine_jobs.entry((machine, job)).or_default() += 1;
+            *self.running_machines.entry(machine).or_default() += 1;
+            self.pending.push((true, (job, task, machine)));
+            self.dirty_machines.insert(machine);
+        }
+        for &(job, task, machine) in &delta.exited {
+            let consistent = decrement(&mut self.grouped, (job, task, machine))
+                && decrement(&mut self.machine_jobs, (machine, job))
+                && decrement_hash(&mut self.running_machines, machine);
+            if !consistent {
+                // An exit the multiset never saw: states diverged (cannot
+                // happen through the version guard; defensive).
+                self.rebase(src, to);
+                return;
+            }
+            self.pending.push((false, (job, task, machine)));
+            self.dirty_machines.insert(machine);
+        }
+        self.stats.delta_steps += 1;
+        self.stats.entered += delta.entered.len() as u64;
+        self.stats.exited += delta.exited.len() as u64;
+        self.steps_since_rebase += 1;
+        self.at = Some(to);
+        // A consumer that only ever reads coalloc() defers snapshot patches
+        // indefinitely; once replaying the queue would cost more than a
+        // recapture, drop the retained snapshot (the next snapshot() call
+        // rebases) instead of letting the queue grow without bound.
+        if self.pending.len() > (4 * self.grouped.len()).max(1024) {
+            self.snapshot = None;
+            self.pending.clear();
+        }
+    }
+
+    /// Recaptures the full state at `to` through one transactionally
+    /// consistent [`DatasetQuery::frame`] (a single lock acquisition on a
+    /// live source) and rebuilds both products from it. Utilization holds
+    /// are re-queued as point-valid at `to`; the first forward
+    /// materialization past it re-resolves them through their real
+    /// inter-sample windows.
+    fn rebase<Q: DatasetQuery + ?Sized>(&mut self, src: &Q, to: Timestamp) {
+        let frame = src.frame(to);
+        self.grouped.clear();
+        self.machine_jobs.clear();
+        self.running_machines.clear();
+        for (key, n) in crate::hierarchy::count_runs(frame.running_triples()) {
+            let (job, _, machine) = key;
+            self.grouped.insert(key, n);
+            *self.machine_jobs.entry((machine, job)).or_default() += n;
+            *self.running_machines.entry(machine).or_default() += n;
+        }
+        self.util_memo.clear();
+        self.expiry.clear();
+        // Seed holds only for the machines the snapshot shows (the memo's
+        // scope); they are point-valid at `to` — the first materialization
+        // past it re-resolves them into real inter-sample windows.
+        let mut last = None;
+        for &(machine, _) in self.machine_jobs.keys() {
+            if last == Some(machine) {
+                continue;
+            }
+            last = Some(machine);
+            put_hold(
+                &mut self.util_memo,
+                &mut self.expiry,
+                machine,
+                UtilHold {
+                    util: frame.util_of(machine),
+                    since: Some(to),
+                    until: Some(Timestamp::new(to.seconds().saturating_add(1))),
+                },
+            );
+        }
+        self.version = frame.version();
+        self.at = Some(to);
+        self.steps_since_rebase = 0;
+        self.pending.clear();
+        self.dirty_machines.clear();
+        self.stats.rebases += 1;
+        self.snapshot = Some(HierarchySnapshot::from_frame(&frame));
+        self.coalloc = Some(CoallocationIndex::from_frame(&frame));
+    }
+
+    /// The hierarchy snapshot at the cursor — **patched**, not rebuilt:
+    /// expired utilization holds are re-resolved (expiry-queue driven) and
+    /// written onto exactly the nodes of the affected machines, and the
+    /// pending delta is applied as ±1 node operations (insert/remove/count
+    /// in sorted position, through the same orderings the from-scratch
+    /// builder produces). Everything untouched stays untouched.
+    /// Bit-identical to [`HierarchySnapshot::at`] at every step.
+    ///
+    /// # Panics
+    ///
+    /// If nothing has been sought yet.
+    pub fn snapshot<Q: DatasetQuery + ?Sized>(&mut self, src: &Q) -> &HierarchySnapshot {
+        let at = self.at.expect("seek the scrubber before reading it");
+        if self.snapshot.is_none() {
+            // Dropped by the pending-queue cap: recapture instead of
+            // replaying a queue that outgrew the state it patches.
+            self.rebase(src, at);
+        }
+        {
+            let memo = &mut self.util_memo;
+            let expiry = &mut self.expiry;
+            let stats = &mut self.stats;
+            let machine_jobs = &self.machine_jobs;
+            let running_machines = &self.running_machines;
+            let snap = self
+                .snapshot
+                .as_mut()
+                .expect("every seek path materializes a snapshot");
+            let changed = refresh_holds(src, at, snap.at, memo, expiry, running_machines, stats);
+            // Structural patch: each pending op is one node's ±1. New nodes
+            // read their utilization from the (just refreshed) holds.
+            let mut consistent = true;
+            for &(entered, (job, task, machine)) in &self.pending {
+                if entered {
+                    apply_enter(snap, job, task, machine, || match memo.get(&machine) {
+                        Some(hold) if hold.holds_at(at) => hold.util,
+                        _ => {
+                            let hold = src.util_hold(machine, at);
+                            stats.util_refreshes += 1;
+                            put_hold(memo, expiry, machine, hold);
+                            hold.util
+                        }
+                    });
+                } else {
+                    let still_on_job = machine_jobs.contains_key(&(machine, job));
+                    if !apply_exit(snap, job, task, machine, still_on_job) {
+                        consistent = false;
+                        break;
+                    }
+                }
+                stats.nodes_patched += 1;
+            }
+            if !consistent {
+                // A patch targeting a node the snapshot never had: states
+                // diverged (cannot happen through the version guard;
+                // defensive). Recapture below.
+                self.pending.clear();
+                self.snapshot = None;
+            } else {
+                self.pending.clear();
+                // Utilization patch: only the nodes of machines whose hold
+                // value actually changed, located through the machine→jobs
+                // table instead of a full node scan.
+                for (&machine, &util) in &changed {
+                    for (&(_, job), _) in self
+                        .machine_jobs
+                        .range((machine, JobId::new(0))..=(machine, JobId::new(u32::MAX)))
+                    {
+                        if let Ok(j) = snap.jobs.binary_search_by_key(&job, |e| e.job) {
+                            for task in &mut snap.jobs[j].tasks {
+                                if let Ok(n) =
+                                    task.nodes.binary_search_by_key(&machine, |n| n.machine)
+                                {
+                                    task.nodes[n].util = util;
+                                }
+                            }
+                        }
+                    }
+                }
+                snap.at = at;
+            }
+        }
+        // The hold re-resolutions above read the source outside the seek's
+        // version guard: a live monitor that ingested mid-materialization
+        // would leave structure at the sought version but utilization at a
+        // newer one. Re-checking here and recapturing atomically keeps
+        // every returned snapshot a single-version product, as the cache
+        // keys downstream assume.
+        if self.snapshot.is_none() || src.state_version() != self.version {
+            self.rebase(src, at);
+        }
+        self.snapshot.as_ref().expect("rebase materializes")
+    }
+
+    /// The co-allocation index at the cursor — patched per delta-touched
+    /// machine (links re-expanded once per batch), same derivation as
+    /// [`CoallocationIndex::at`], purely structural.
+    ///
+    /// # Panics
+    ///
+    /// If nothing has been sought yet.
+    pub fn coalloc(&mut self) -> &CoallocationIndex {
+        assert!(self.at.is_some(), "seek the scrubber before reading it");
+        let coalloc = self
+            .coalloc
+            .as_mut()
+            .expect("every seek path materializes a coalloc index");
+        let dirty = std::mem::take(&mut self.dirty_machines);
+        let last = dirty.len();
+        for (i, machine) in dirty.into_iter().enumerate() {
+            let jobs: Vec<JobId> = self
+                .machine_jobs
+                .range((machine, JobId::new(0))..=(machine, JobId::new(u32::MAX)))
+                .map(|(&(_, job), _)| job)
+                .collect();
+            coalloc.put_machine(machine, jobs, i + 1 == last);
+        }
+        coalloc
+    }
+}
+
+/// Decrements `key`'s count in a counted hash multiset, removing it at
+/// zero; `false` when the key was absent.
+fn decrement_hash<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) -> bool {
+    match map.get_mut(&key) {
+        Some(n) if *n > 1 => {
+            *n -= 1;
+            true
+        }
+        Some(_) => {
+            map.remove(&key);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Decrements `key`'s count in a counted multiset, removing it at zero;
+/// `false` when the key was absent (caller treats as divergence).
+fn decrement<K: Ord>(map: &mut BTreeMap<K, u32>, key: K) -> bool {
+    match map.get_mut(&key) {
+        Some(n) if *n > 1 => {
+            *n -= 1;
+            true
+        }
+        Some(_) => {
+            map.remove(&key);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_trace::{
+        BatchInstanceRecord, BatchTaskRecord, ServerUsageRecord, TaskStatus, TimeDelta,
+        TraceDataset, TraceDatasetBuilder,
+    };
+
+    fn dataset() -> TraceDataset {
+        let mut b = TraceDatasetBuilder::new();
+        for (job, task) in [(1u32, 1u32), (1, 2), (2, 1), (3, 1)] {
+            b.push_task(BatchTaskRecord {
+                create_time: Timestamp::new(0),
+                modify_time: Timestamp::new(3000),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                instance_count: 3,
+                status: TaskStatus::Terminated,
+                plan_cpu: 1.0,
+                plan_mem: 0.5,
+            });
+        }
+        for (i, (job, task, machine, s, e)) in [
+            (1u32, 1u32, 0u32, 0i64, 900i64),
+            (1, 1, 1, 100, 500),
+            (1, 2, 0, 200, 1400),
+            (2, 1, 1, 300, 1200),
+            (2, 1, 2, 0, 2000),
+            (3, 1, 2, 700, 701), // unit blip
+            (3, 1, 3, 650, 650), // empty
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(s),
+                end_time: Timestamp::new(e),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq: i as u32,
+                total: 7,
+                machine: MachineId::new(machine),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.2,
+                cpu_max: 0.4,
+                mem_avg: 0.2,
+                mem_max: 0.4,
+            });
+        }
+        for t in (0..2000).step_by(300) {
+            for m in [0u32, 1, 2] {
+                b.push_usage(ServerUsageRecord {
+                    time: Timestamp::new(t),
+                    machine: MachineId::new(m),
+                    util: UtilizationTriple::clamped(
+                        0.2 + 0.1 * m as f64,
+                        0.3,
+                        (t as f64 / 4000.0).min(1.0),
+                    ),
+                });
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scrubbed_equals_from_scratch_on_a_walk() {
+        let ds = dataset();
+        let mut scrub = SnapshotScrubber::new();
+        // Forward, backward, repeats, far jumps.
+        let walk: Vec<i64> = vec![
+            0, 150, 300, 300, 450, 250, 900, 899, 901, 1400, 700, 700, 2500, -100, 650, 701,
+        ];
+        for &t in &walk {
+            let t = Timestamp::new(t);
+            scrub.seek(&ds, t);
+            assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, t), "{t}");
+            assert_eq!(*scrub.coalloc(), CoallocationIndex::at(&ds, t), "{t}");
+            assert_eq!(
+                scrub.running_instance_count(),
+                batchlens_trace::DatasetQuery::running_instance_count_at(&ds, t),
+                "{t}"
+            );
+        }
+        let stats = scrub.stats();
+        assert_eq!(stats.rebases, 1, "immutable source: only the first seek");
+        assert_eq!(
+            stats.delta_steps as usize,
+            walk.len() - 1 - 2,
+            "repeats are no-ops"
+        );
+        assert_eq!(
+            stats.nodes_patched,
+            stats.entered + stats.exited,
+            "every delta triple is exactly one node patch"
+        );
+    }
+
+    #[test]
+    fn periodic_rebase_policy_fires() {
+        let ds = dataset();
+        let mut scrub = SnapshotScrubber::with_rebase_every(4);
+        let mut t = Timestamp::new(0);
+        for _ in 0..14 {
+            scrub.seek(&ds, t);
+            assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, t));
+            t += TimeDelta::seconds(100);
+        }
+        // 1 initial rebase + one each time 4 delta steps have accumulated
+        // (seeks 6 and 11 of the 14).
+        assert_eq!(scrub.stats().rebases, 3);
+        assert!(scrub.rebase_every() == 4);
+    }
+
+    #[test]
+    fn quiet_steps_refresh_nothing() {
+        // Hops inside one sample cell with no structural change must not
+        // re-resolve any utilization holds (the expiry queue's point).
+        let ds = dataset();
+        let mut scrub = SnapshotScrubber::new();
+        // Warm up: the rebase seeds point-valid holds, so the first delta
+        // materialization re-resolves them into real inter-sample windows.
+        for t in [310i64, 320] {
+            scrub.seek(&ds, Timestamp::new(t));
+            let _ = scrub.snapshot(&ds);
+        }
+        let after_warmup = scrub.stats().util_refreshes;
+        for t in [330i64, 340, 350, 360] {
+            scrub.seek(&ds, Timestamp::new(t));
+            assert_eq!(
+                *scrub.snapshot(&ds),
+                HierarchySnapshot::at(&ds, Timestamp::new(t))
+            );
+        }
+        assert_eq!(
+            scrub.stats().util_refreshes,
+            after_warmup,
+            "no sample boundary crossed, no hold re-resolved"
+        );
+    }
+
+    #[test]
+    fn reset_forces_recapture() {
+        let ds = dataset();
+        let mut scrub = SnapshotScrubber::new();
+        scrub.seek(&ds, Timestamp::new(300));
+        assert!(scrub.at().is_some());
+        scrub.reset();
+        assert!(scrub.at().is_none());
+        scrub.seek(&ds, Timestamp::new(400));
+        assert_eq!(scrub.stats().rebases, 1, "stats reset too");
+        assert_eq!(
+            *scrub.snapshot(&ds),
+            HierarchySnapshot::at(&ds, Timestamp::new(400))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seek the scrubber")]
+    fn reading_before_seeking_panics() {
+        let ds = dataset();
+        let mut scrub = SnapshotScrubber::new();
+        let _ = scrub.snapshot(&ds);
+    }
+}

@@ -6,6 +6,7 @@ use batchlens_analytics::coalloc::CoallocationIndex;
 use batchlens_analytics::detect::{AnomalySpan, Detector, Ensemble};
 use batchlens_analytics::hierarchy::HierarchySnapshot;
 use batchlens_analytics::rootcause::{Diagnosis, RootCauseAnalyzer};
+use batchlens_analytics::scrub::SnapshotScrubber;
 use batchlens_layout::Brush;
 use batchlens_render::bubble::BubbleChart;
 use batchlens_render::dashboard::Dashboard;
@@ -23,15 +24,57 @@ use crate::session::SessionLog;
 use crate::stream::StreamMonitor;
 use crate::view::ViewState;
 
+/// How many `(version, timestamp)` snapshot/co-allocation results the lens
+/// retains: back-and-forth scrubbing between a handful of instants replays
+/// from cache instead of thrashing a single-entry memo.
+const SNAPSHOT_LRU_CAPACITY: usize = 8;
+
+/// A tiny most-recent-first LRU over `(state version, timestamp)` keys.
+/// Linear probing is deliberate: at 8 entries a scan beats any hashing.
+#[derive(Debug, Clone)]
+struct Lru<T> {
+    entries: Vec<((u64, Timestamp), T)>,
+}
+
+impl<T> Default for Lru<T> {
+    fn default() -> Self {
+        Lru {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> Lru<T> {
+    fn get(&mut self, key: (u64, Timestamp)) -> Option<&T> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].1)
+    }
+
+    fn insert(&mut self, key: (u64, Timestamp), value: T) {
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, value));
+        self.entries.truncate(SNAPSHOT_LRU_CAPACITY);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// Memoized per-timestamp analytics: timeline scrubbing revisits the same
-/// instant constantly (drag back and forth, re-render after an unrelated
+/// instants constantly (drag back and forth, re-render after an unrelated
 /// event), and both the hierarchy snapshot and the co-allocation index are
-/// pure functions of `(dataset, timestamp)` — so the last result of each is
-/// kept and replayed while the timestamp is unchanged.
+/// pure functions of `(source state version, timestamp)` — batch datasets
+/// are version 0 forever, live monitors bump on every ingest — so recent
+/// results are kept in small LRUs and replayed on key match. Misses are
+/// computed by the shared [`SnapshotScrubber`], which advances by interval
+/// entry/exit deltas instead of rebuilding, in batch and live mode alike.
 #[derive(Debug, Default, Clone)]
 struct SnapshotCache {
-    hierarchy: Option<(Timestamp, HierarchySnapshot)>,
-    coalloc: Option<(Timestamp, CoallocationIndex)>,
+    hierarchy: Lru<HierarchySnapshot>,
+    coalloc: Lru<CoallocationIndex>,
     /// Cluster-wide overlay keyed by the window it was detected over — the
     /// most expensive of the memoized products (full-cluster ensemble
     /// fan-out), and like the others a pure function of its key.
@@ -39,6 +82,8 @@ struct SnapshotCache {
         TimeRange,
         Vec<batchlens_analytics::detect::MachineDetection>,
     )>,
+    /// The delta engine feeding LRU misses.
+    scrub: SnapshotScrubber,
     hits: u64,
     misses: u64,
 }
@@ -100,20 +145,44 @@ impl BatchLens {
     /// Timeline, line charts and the other dataset-bound views keep serving
     /// the batch data, so a live overlay composes with historical context.
     ///
-    /// Live results bypass the per-timestamp memo cache: the monitor keeps
-    /// ingesting, so the same timestamp can legitimately answer differently
-    /// between calls. For the same reason, products built from several
-    /// queries (a snapshot and the co-allocation index rendered in one
-    /// frame) each see the window as of their own lock acquisitions — under
-    /// concurrent ingest they are individually consistent, not mutually.
+    /// Live results **are** memoized, keyed by
+    /// `(monitor state version, timestamp)`
+    /// ([`StreamMonitor::state_version`]): while the monitor idles its
+    /// version is frozen, so repeated renders of the same instant replay
+    /// from cache for free; any ingest bumps the version and the next
+    /// render recomputes. Misses advance the shared delta scrubber, which
+    /// rebases through one single-lock
+    /// [`batchlens_trace::DatasetQuery::frame`] whenever the version moved
+    /// — so each cached product is a transactionally consistent capture of
+    /// one window state.
     pub fn attach_live_monitor(&mut self, monitor: Arc<StreamMonitor>) {
         self.live = Some(monitor);
+        self.reset_snapshot_state();
     }
 
     /// Leaves live mode, returning to batch-backed snapshots. The monitor
     /// (if any) is returned to the caller.
     pub fn detach_live_monitor(&mut self) -> Option<Arc<StreamMonitor>> {
-        self.live.take()
+        let monitor = self.live.take();
+        self.reset_snapshot_state();
+        monitor
+    }
+
+    /// Drops the memoized snapshots and resets the scrubber: version
+    /// numbering is per-source, so nothing memoized against the old source
+    /// may survive a source switch.
+    fn reset_snapshot_state(&mut self) {
+        let mut cache = self.cache.lock();
+        cache.hierarchy.clear();
+        cache.coalloc.clear();
+        cache.scrub.reset();
+    }
+
+    /// The snapshot-source state version the memo keys carry: the attached
+    /// monitor's [`StreamMonitor::state_version`] in live mode, the
+    /// immutable dataset's constant 0 otherwise.
+    fn source_version(&self) -> u64 {
+        self.live.as_ref().map_or(0, |m| m.state_version())
     }
 
     /// The attached live monitor, when the lens is in live mode.
@@ -148,48 +217,87 @@ impl BatchLens {
 
     /// The hierarchy snapshot at the selected timestamp.
     ///
-    /// Memoized on the timestamp: scrubbing back onto the same instant (or
-    /// re-rendering after a non-time event) replays the cached snapshot
-    /// instead of re-stabbing the interval index.
-    ///
-    /// In live mode ([`BatchLens::attach_live_monitor`]) the snapshot comes
-    /// from the monitor's rolling window instead, uncached — live data
-    /// changes under an unchanged timestamp.
+    /// Memoized in an [`SNAPSHOT_LRU_CAPACITY`]-entry LRU keyed by
+    /// `(source state version, timestamp)`: scrubbing back and forth across
+    /// a few instants replays every revisit from cache (a single-entry memo
+    /// would thrash), and in live mode an idle monitor serves repeated
+    /// frames for free while any ingest invalidates by version. Misses are
+    /// computed by the shared delta scrubber
+    /// ([`batchlens_analytics::scrub::SnapshotScrubber`]) — O(Δ log k) per
+    /// scrub step off the previous instant instead of a from-scratch
+    /// rebuild, in batch and live mode alike, bit-identical to
+    /// [`HierarchySnapshot::at`].
     pub fn snapshot(&self) -> HierarchySnapshot {
         let at = self.view.selected_timestamp();
-        if let Some(monitor) = &self.live {
-            return HierarchySnapshot::at(&monitor.live_view(), at);
-        }
+        let version = self.source_version();
         let mut cache = self.cache.lock();
-        if let Some((_, snap)) = cache.hierarchy.as_ref().filter(|(t, _)| *t == at) {
+        if let Some(snap) = cache.hierarchy.get((version, at)) {
             let snap = snap.clone();
             cache.hits += 1;
             return snap;
         }
         cache.misses += 1;
-        let snap = HierarchySnapshot::at(&self.dataset, at);
-        cache.hierarchy = Some((at, snap.clone()));
+        let cache = &mut *cache;
+        let snap = match &self.live {
+            Some(monitor) => {
+                let view = monitor.live_view();
+                cache.scrub.seek(&view, at);
+                cache.scrub.snapshot(&view).clone()
+            }
+            None => {
+                cache.scrub.seek(&self.dataset, at);
+                cache.scrub.snapshot(&self.dataset).clone()
+            }
+        };
+        // Key by the version the scrubber actually captured: under
+        // concurrent live ingest it may be newer than the probe above.
+        cache
+            .hierarchy
+            .insert((cache.scrub.version(), at), snap.clone());
         snap
     }
 
-    /// The co-allocation index at the selected timestamp, memoized exactly
-    /// like [`BatchLens::snapshot`] (and, like it, computed live and
-    /// uncached when a monitor is attached).
+    /// The co-allocation index at the selected timestamp, memoized and
+    /// delta-maintained exactly like [`BatchLens::snapshot`] (same LRU
+    /// policy, same scrubber, bit-identical to [`CoallocationIndex::at`]).
     pub fn coallocation(&self) -> CoallocationIndex {
         let at = self.view.selected_timestamp();
-        if let Some(monitor) = &self.live {
-            return CoallocationIndex::at(&monitor.live_view(), at);
-        }
+        let version = self.source_version();
         let mut cache = self.cache.lock();
-        if let Some((_, idx)) = cache.coalloc.as_ref().filter(|(t, _)| *t == at) {
+        if let Some(idx) = cache.coalloc.get((version, at)) {
             let idx = idx.clone();
             cache.hits += 1;
             return idx;
         }
         cache.misses += 1;
-        let idx = CoallocationIndex::at(&self.dataset, at);
-        cache.coalloc = Some((at, idx.clone()));
+        let cache = &mut *cache;
+        match &self.live {
+            Some(monitor) => cache.scrub.seek(&monitor.live_view(), at),
+            None => cache.scrub.seek(&self.dataset, at),
+        }
+        let idx = cache.scrub.coalloc().clone();
+        cache
+            .coalloc
+            .insert((cache.scrub.version(), at), idx.clone());
         idx
+    }
+
+    /// Every structural query at the selected timestamp as one
+    /// transactionally consistent [`batchlens_trace::QueryFrame`]: in live
+    /// mode the monitor lock is taken **once** for the whole frame
+    /// (hierarchy + co-allocation + utilization + alive-set probes can
+    /// never disagree about the window state); in batch mode the immutable
+    /// dataset answers the same surface trivially consistently. Feed it to
+    /// [`HierarchySnapshot::from_frame`] /
+    /// [`CoallocationIndex::from_frame`] to render a whole dashboard frame
+    /// from one capture.
+    pub fn frame(&self) -> batchlens_trace::QueryFrame {
+        use batchlens_trace::DatasetQuery;
+        let at = self.view.selected_timestamp();
+        match &self.live {
+            Some(monitor) => monitor.live_view().frame(at),
+            None => self.dataset.frame(at),
+        }
     }
 
     ///`(hits, misses)` of the per-timestamp snapshot/co-allocation cache —
@@ -553,15 +661,105 @@ mod tests {
         assert_eq!(a, b);
         let (hits, misses) = app.snapshot_cache_stats();
         assert_eq!((hits, misses), (1, 2));
-        // Scrub away and back: the move invalidates, the return rebuilds.
+        // Scrub away and back: the revisit replays from the LRU — the
+        // single-entry memo this replaced would have thrashed here.
         app.apply(Event::SelectTimestamp(t1));
         let c = app.snapshot();
         app.apply(Event::SelectTimestamp(t0));
         let d = app.snapshot();
         assert_eq!(a, d);
         assert_ne!(c.at, d.at);
-        let (_, misses) = app.snapshot_cache_stats();
-        assert_eq!(misses, 4);
+        let (hits, misses) = app.snapshot_cache_stats();
+        assert_eq!((hits, misses), (2, 3), "t0 revisit is a hit");
+    }
+
+    #[test]
+    fn snapshot_lru_survives_back_and_forth_and_evicts_beyond_capacity() {
+        let ds = scenario::fig3b(13).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        let t = |i: i64| scenario::T_FIG3B + batchlens_trace::TimeDelta::minutes(i);
+        // First pass over 4 instants: all misses. Second + third passes
+        // (backward, then forward): all hits.
+        for i in 0..4 {
+            app.apply(Event::SelectTimestamp(t(i)));
+            let _ = app.snapshot();
+        }
+        for i in (0..4).rev().chain(0..4) {
+            app.apply(Event::SelectTimestamp(t(i)));
+            let _ = app.snapshot();
+        }
+        let (hits, misses) = app.snapshot_cache_stats();
+        assert_eq!((hits, misses), (8, 4));
+        // A sweep wider than the capacity evicts the oldest: revisiting the
+        // very first instant misses again (and recomputes correctly).
+        for i in 0..=(super::SNAPSHOT_LRU_CAPACITY as i64) {
+            app.apply(Event::SelectTimestamp(t(i)));
+            let _ = app.snapshot();
+        }
+        app.apply(Event::SelectTimestamp(t(0)));
+        let evicted = app.snapshot();
+        let (_, misses_after) = app.snapshot_cache_stats();
+        assert!(misses_after > misses, "t(0) was evicted");
+        assert_eq!(
+            evicted,
+            batchlens_analytics::hierarchy::HierarchySnapshot::at(app.dataset(), t(0))
+        );
+    }
+
+    #[test]
+    fn live_snapshots_memoize_on_version_and_invalidate_on_ingest() {
+        use crate::stream::{StreamConfig, StreamMonitor};
+        use batchlens_trace::{ServerUsageRecord, TimeDelta, UtilizationTriple};
+        use std::sync::Arc;
+
+        let ds = scenario::fig3b(14).run().unwrap();
+        let at = scenario::T_FIG3B;
+        let monitor = Arc::new(StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::hours(72),
+            ..Default::default()
+        }));
+        monitor.ingest_instances(ds.instance_records().iter().copied());
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(at));
+        app.attach_live_monitor(Arc::clone(&monitor));
+        let (h0, m0) = app.snapshot_cache_stats();
+        let first = app.snapshot();
+        let second = app.snapshot();
+        assert_eq!(first, second);
+        let (h1, m1) = app.snapshot_cache_stats();
+        assert_eq!(
+            (h1 - h0, m1 - m0),
+            (1, 1),
+            "idle monitor: second render replays from cache"
+        );
+        // Any ingest bumps the version: same timestamp, fresh computation.
+        monitor.ingest(ServerUsageRecord {
+            time: at,
+            machine: batchlens_trace::MachineId::new(0),
+            util: UtilizationTriple::clamped(0.5, 0.5, 0.5),
+        });
+        let third = app.snapshot();
+        let (_, m2) = app.snapshot_cache_stats();
+        assert_eq!(m2, m1 + 1, "version change invalidates");
+        // The recompute reflects the new state and matches from-scratch.
+        assert_eq!(
+            third,
+            batchlens_analytics::hierarchy::HierarchySnapshot::at(&monitor.live_view(), at)
+        );
+    }
+
+    #[test]
+    fn frame_products_match_individual_renders() {
+        use batchlens_analytics::coalloc::CoallocationIndex;
+        use batchlens_analytics::hierarchy::HierarchySnapshot;
+        let ds = scenario::fig3b(15).run().unwrap();
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(scenario::T_FIG3B));
+        let frame = app.frame();
+        assert_eq!(frame.at(), scenario::T_FIG3B);
+        assert_eq!(HierarchySnapshot::from_frame(&frame), app.snapshot());
+        assert_eq!(CoallocationIndex::from_frame(&frame), app.coallocation());
+        assert!(frame.mean_utilization().is_some());
     }
 
     #[test]

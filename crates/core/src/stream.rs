@@ -35,9 +35,9 @@ use batchlens_analytics::detect::{
     ThresholdDetector,
 };
 use batchlens_trace::{
-    BatchInstanceRecord, DatasetQuery, JobId, MachineEventRecord, MachineId, Metric,
-    RollingIntervalIndex, ServerUsageRecord, TaskId, TimeDelta, TimeRange, TimeSeries, Timestamp,
-    UtilizationTriple,
+    BatchInstanceRecord, DatasetQuery, JobId, MachineEventRecord, MachineId, Metric, QueryFrame,
+    RollingIntervalIndex, RunningDelta, ServerUsageRecord, TaskId, TimeDelta, TimeRange,
+    TimeSeries, Timestamp, UtilHold, UtilizationTriple,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -307,6 +307,12 @@ impl LiveIndexes {
 struct Inner {
     machines: BTreeMap<MachineId, MachineState>,
     live: LiveIndexes,
+    /// Bumped on **every** mutation that could change a query answer
+    /// (accepted usage, structural ingest, lifecycle events — not on
+    /// rejected stragglers or pure counter updates), so `(version,
+    /// timestamp)` keys are sound memoization keys for live snapshots and
+    /// deltas computed across an unchanged version are exact.
+    version: u64,
     ingested: u64,
     stale_dropped: u64,
     late_accepted: u64,
@@ -317,6 +323,111 @@ struct Inner {
     alerts: VecDeque<Alert>,
     total_alerts: u64,
     alerts_overflowed: u64,
+}
+
+/// The per-query logic of [`LiveWindowView`], implemented as a
+/// [`DatasetQuery`] **on the locked state itself**: the lock-per-query
+/// [`LiveWindowView`] impl and the single-lock [`DatasetQuery::frame`]
+/// (inherited as the provided trait method, evaluated entirely under one
+/// lock) share one definition of every answer.
+impl DatasetQuery for Inner {
+    fn machine_ids(&self) -> Vec<MachineId> {
+        let mut out = self.live.known_machines.clone();
+        out.extend(self.machines.keys().copied());
+        out.into_iter().collect()
+    }
+
+    fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId> {
+        let live = &self.live;
+        let mut ids: Vec<JobId> = Vec::new();
+        live.intervals
+            .stab_with(t, |id| ids.push(live.keys[id as usize].0));
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)> {
+        let live = &self.live;
+        let mut out: Vec<(JobId, TaskId, MachineId)> = Vec::new();
+        live.intervals
+            .stab_with(t, |id| out.push(live.keys[id as usize]));
+        out.sort_unstable();
+        out
+    }
+
+    fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool {
+        self.live
+            .liveness
+            .get(&machine)
+            .is_none_or(|checkpoints| batchlens_trace::alive_at_checkpoints(checkpoints, t))
+    }
+
+    fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple> {
+        let [cpu, mem, disk] = self.machines.get(&machine)?.window.at_or_before(t)?;
+        Some(UtilizationTriple::clamped(cpu, mem, disk))
+    }
+
+    fn running_instance_count_at(&self, t: Timestamp) -> usize {
+        self.live.intervals.count_at(t)
+    }
+
+    fn series_window(
+        &self,
+        machine: MachineId,
+        metric: Metric,
+        window: &TimeRange,
+    ) -> Option<TimeSeries> {
+        Some(
+            self.machines
+                .get(&machine)?
+                .window
+                .series_in(metric, window),
+        )
+    }
+
+    fn state_version(&self) -> u64 {
+        self.version
+    }
+
+    fn util_hold(&self, machine: MachineId, t: Timestamp) -> UtilHold {
+        let Some(state) = self.machines.get(&machine) else {
+            return UtilHold {
+                util: None,
+                since: None,
+                until: None,
+            };
+        };
+        let samples = &state.window.samples;
+        let pos = samples.partition_point(|&(st, _)| st <= t);
+        UtilHold {
+            util: (pos > 0).then(|| {
+                let [cpu, mem, disk] = samples[pos - 1].1;
+                UtilizationTriple::clamped(cpu, mem, disk)
+            }),
+            since: (pos > 0).then(|| samples[pos - 1].0),
+            until: (pos < samples.len()).then(|| samples[pos].0),
+        }
+    }
+
+    fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
+        let live = &self.live;
+        let mut entered = Vec::new();
+        let mut exited = Vec::new();
+        live.intervals.running_delta_with(
+            t0,
+            t1,
+            |id| entered.push(live.keys[id as usize]),
+            |id| exited.push(live.keys[id as usize]),
+        );
+        // Same-triple instance handoffs inside the hop cancel out, keeping
+        // this equal to the trait-default stab diff.
+        RunningDelta::from_events(entered, exited)
+    }
+
+    // `frame` is inherited as the provided trait method: evaluated on the
+    // locked `Inner`, its sub-queries all answer from one state — which is
+    // exactly the single-lock transactional frame.
 }
 
 /// Thread-safe online monitor over live detector banks.
@@ -396,7 +507,10 @@ impl StreamMonitor {
             {
                 inner.late_accepted += 1;
                 inner.ingested += 1;
+                inner.version += 1;
             } else {
+                // Rejected stragglers change no query answer: the version
+                // stays put so memoized frames survive them.
                 inner.stale_dropped += 1;
             }
             return alerts;
@@ -405,6 +519,7 @@ impl StreamMonitor {
         state.window.insert(rec.time, util, self.cfg.horizon);
         state.bank.ingest(rec.machine, rec.time, util, &mut alerts);
         inner.ingested += 1;
+        inner.version += 1;
         // Retain fired alerts for consumers that poll (UI overlays) rather
         // than inspect each ingest's return value.
         inner.total_alerts += alerts.len() as u64;
@@ -467,6 +582,7 @@ impl StreamMonitor {
             live.intervals.insert(rec.start_time, rec.end_time, id);
         }
         inner.ingested_instances += 1;
+        inner.version += 1;
         live.advance(rec.end_time.max(rec.start_time), self.cfg.horizon);
     }
 
@@ -505,6 +621,7 @@ impl StreamMonitor {
         live.intervals.open(at, id);
         live.open_instances.insert((job, task, seq), id);
         inner.ingested_instances += 1;
+        inner.version += 1;
         live.advance(at, self.cfg.horizon);
     }
 
@@ -525,6 +642,7 @@ impl StreamMonitor {
             // immediately rather than via eviction.
             _ => live.free_ids.push(id),
         }
+        inner.version += 1;
         live.advance(at, self.cfg.horizon);
         true
     }
@@ -562,6 +680,7 @@ impl StreamMonitor {
             checkpoints.drain(..keep_from);
         }
         inner.ingested_events += 1;
+        inner.version += 1;
     }
 
     /// Number of instance records/start events ingested into the rolling
@@ -601,6 +720,17 @@ impl StreamMonitor {
     /// a live monitor with it.
     pub fn live_view(&self) -> LiveWindowView<'_> {
         LiveWindowView { monitor: self }
+    }
+
+    /// The monitor's state version: bumped on every ingest/evict that could
+    /// change a live-window query answer (accepted usage — including late
+    /// acceptances — structural instance ingest, lifecycle events), and
+    /// **not** on rejected stragglers. An unchanged version guarantees every
+    /// live query answers exactly as it did before, which is what lets
+    /// consumers memoize snapshots on `(version, timestamp)` and advance
+    /// delta scrubbers without a rebase while the monitor idles.
+    pub fn state_version(&self) -> u64 {
+        self.inner.lock().version
     }
 
     /// Number of alerts currently retained in the buffer — O(1), no clone;
@@ -682,50 +812,27 @@ pub struct LiveWindowView<'a> {
 
 impl DatasetQuery for LiveWindowView<'_> {
     fn machine_ids(&self) -> Vec<MachineId> {
-        let inner = self.monitor.inner.lock();
-        let mut out = inner.live.known_machines.clone();
-        out.extend(inner.machines.keys().copied());
-        out.into_iter().collect()
+        self.monitor.inner.lock().machine_ids()
     }
 
     fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId> {
-        let inner = self.monitor.inner.lock();
-        let live = &inner.live;
-        let mut ids: Vec<JobId> = Vec::new();
-        live.intervals
-            .stab_with(t, |id| ids.push(live.keys[id as usize].0));
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+        self.monitor.inner.lock().jobs_running_at(t)
     }
 
     fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)> {
-        let inner = self.monitor.inner.lock();
-        let live = &inner.live;
-        let mut out: Vec<(JobId, TaskId, MachineId)> = Vec::new();
-        live.intervals
-            .stab_with(t, |id| out.push(live.keys[id as usize]));
-        out.sort_unstable();
-        out
+        self.monitor.inner.lock().running_triples_at(t)
     }
 
     fn running_instance_count_at(&self, t: Timestamp) -> usize {
-        self.monitor.inner.lock().live.intervals.count_at(t)
+        self.monitor.inner.lock().running_instance_count_at(t)
     }
 
     fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool {
-        let inner = self.monitor.inner.lock();
-        inner
-            .live
-            .liveness
-            .get(&machine)
-            .is_none_or(|checkpoints| batchlens_trace::alive_at_checkpoints(checkpoints, t))
+        self.monitor.inner.lock().alive_at(machine, t)
     }
 
     fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple> {
-        let inner = self.monitor.inner.lock();
-        let [cpu, mem, disk] = inner.machines.get(&machine)?.window.at_or_before(t)?;
-        Some(UtilizationTriple::clamped(cpu, mem, disk))
+        self.monitor.inner.lock().util_at(machine, t)
     }
 
     fn series_window(
@@ -734,14 +841,35 @@ impl DatasetQuery for LiveWindowView<'_> {
         metric: Metric,
         window: &TimeRange,
     ) -> Option<TimeSeries> {
-        let inner = self.monitor.inner.lock();
-        Some(
-            inner
-                .machines
-                .get(&machine)?
-                .window
-                .series_in(metric, window),
-        )
+        self.monitor
+            .inner
+            .lock()
+            .series_window(machine, metric, window)
+    }
+
+    fn state_version(&self) -> u64 {
+        self.monitor.inner.lock().state_version()
+    }
+
+    fn util_hold(&self, machine: MachineId, t: Timestamp) -> UtilHold {
+        self.monitor.inner.lock().util_hold(machine, t)
+    }
+
+    /// The rolling-index delta — O(log n + Δ log Δ) under one lock
+    /// acquisition. Only meaningful paired with an unchanged
+    /// [`DatasetQuery::state_version`]: the monitor may ingest between two
+    /// calls, and a delta across a version change mixes states.
+    fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
+        self.monitor.inner.lock().running_delta(t0, t1)
+    }
+
+    /// The **single-lock transactional frame**: every probe of the frame —
+    /// running triples, liveness, utilization, the version stamp — is
+    /// answered under one lock acquisition, so concurrent ingest can never
+    /// slide the window between the sub-answers the way it can when the
+    /// queries are issued individually.
+    fn frame(&self, at: Timestamp) -> QueryFrame {
+        self.monitor.inner.lock().frame(at)
     }
 }
 
@@ -1244,6 +1372,139 @@ mod tests {
             view.jobs_running_at(Timestamp::new(50)),
             vec![JobId::new(2)]
         );
+    }
+
+    #[test]
+    fn state_version_tracks_query_visible_mutations() {
+        use batchlens_trace::{JobId, TaskId};
+        let m = StreamMonitor::new(StreamConfig::default());
+        assert_eq!(m.state_version(), 0);
+        m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
+        let v1 = m.state_version();
+        assert!(v1 > 0, "accepted usage bumps");
+        // Beyond-tolerance straggler and duplicate: rejected, no bump.
+        m.ingest(rec(1, 100, 0.5, 0.3, 0.3));
+        m.ingest(rec(1, 600, 0.5, 0.3, 0.3));
+        assert_eq!(m.state_version(), v1, "rejected stragglers don't bump");
+        // Late-but-accepted usage bumps: it changes window queries.
+        m.ingest(rec(1, 540, 0.5, 0.3, 0.3));
+        let v2 = m.state_version();
+        assert!(v2 > v1);
+        // Structural ingests bump.
+        m.instance_started(
+            JobId::new(1),
+            TaskId::new(1),
+            0,
+            MachineId::new(2),
+            Timestamp::new(0),
+        );
+        let v3 = m.state_version();
+        assert!(v3 > v2);
+        // Unmatched finish is a no-op: no bump.
+        assert!(!m.instance_finished(JobId::new(1), TaskId::new(1), 9, Timestamp::new(50)));
+        assert_eq!(m.state_version(), v3);
+        assert!(m.instance_finished(JobId::new(1), TaskId::new(1), 0, Timestamp::new(50)));
+        let v4 = m.state_version();
+        assert!(v4 > v3);
+        m.ingest_machine_event(MachineEventRecord {
+            time: Timestamp::new(10),
+            machine: MachineId::new(1),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        assert!(m.state_version() > v4);
+        // Pure reads never bump.
+        let view = m.live_view();
+        let _ = view.frame(Timestamp::new(50));
+        let _ = view.running_delta(Timestamp::new(0), Timestamp::new(100));
+        assert_eq!(view.state_version(), m.state_version());
+    }
+
+    #[test]
+    fn frame_is_consistent_with_individual_queries_when_idle() {
+        use batchlens_trace::{DatasetQuery, JobId, TaskId};
+        let m = StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::DAY,
+            ..Default::default()
+        });
+        let inst =
+            |job: u32, task: u32, seq: u32, machine: u32, s: i64, e: i64| BatchInstanceRecord {
+                start_time: Timestamp::new(s),
+                end_time: Timestamp::new(e),
+                job: JobId::new(job),
+                task: TaskId::new(task),
+                seq,
+                total: 2,
+                machine: MachineId::new(machine),
+                status: batchlens_trace::TaskStatus::Terminated,
+                cpu_avg: 0.2,
+                cpu_max: 0.4,
+                mem_avg: 0.2,
+                mem_max: 0.4,
+            };
+        m.ingest_instance(inst(1, 1, 0, 5, 0, 600));
+        m.ingest_instance(inst(1, 2, 0, 3, 100, 900));
+        m.ingest_instance(inst(2, 1, 0, 3, 300, 900));
+        m.ingest(rec(3, 0, 0.4, 0.3, 0.2));
+        m.ingest(rec(3, 300, 0.6, 0.3, 0.2));
+        m.ingest_machine_event(MachineEventRecord {
+            time: Timestamp::new(450),
+            machine: MachineId::new(5),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        let view = m.live_view();
+        for t in [0i64, 299, 300, 450, 899, 2000] {
+            let t = Timestamp::new(t);
+            let frame = view.frame(t);
+            assert_eq!(frame.version(), m.state_version());
+            assert_eq!(frame.running_triples(), &view.running_triples_at(t)[..]);
+            assert_eq!(frame.jobs_running(), view.jobs_running_at(t));
+            assert_eq!(frame.machine_ids(), &view.machine_ids()[..]);
+            assert_eq!(frame.machines_active(), view.machines_active_at(t));
+            for machine in [3u32, 5, 99] {
+                let machine = MachineId::new(machine);
+                assert_eq!(frame.alive(machine), view.alive_at(machine, t));
+                assert_eq!(frame.util_of(machine), view.util_at(machine, t));
+            }
+        }
+        // util_hold agrees with util_at across its claimed window.
+        for t in (-50..1000).step_by(37) {
+            let t = Timestamp::new(t);
+            let hold = view.util_hold(MachineId::new(3), t);
+            assert!(hold.holds_at(t));
+            assert_eq!(hold.util, view.util_at(MachineId::new(3), t));
+            for probe in (-50..1000).step_by(53).map(Timestamp::new) {
+                if hold.holds_at(probe) {
+                    assert_eq!(hold.util, view.util_at(MachineId::new(3), probe));
+                }
+            }
+        }
+        // The live running_delta override equals a stab diff.
+        for (a, b) in [(0i64, 500i64), (500, 0), (250, 250), (-100, 5000)] {
+            let (t0, t1) = (Timestamp::new(a), Timestamp::new(b));
+            let delta = view.running_delta(t0, t1);
+            let from = view.running_triples_at(t0);
+            let to = view.running_triples_at(t1);
+            let mut expect_in = to.clone();
+            for x in &from {
+                if let Some(p) = expect_in.iter().position(|y| y == x) {
+                    expect_in.remove(p);
+                }
+            }
+            let mut expect_out = from.clone();
+            for x in &to {
+                if let Some(p) = expect_out.iter().position(|y| y == x) {
+                    expect_out.remove(p);
+                }
+            }
+            assert_eq!(delta.entered, expect_in, "{a} -> {b}");
+            assert_eq!(delta.exited, expect_out, "{a} -> {b}");
+        }
     }
 
     #[test]

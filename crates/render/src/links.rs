@@ -56,9 +56,16 @@ pub fn build_links(anchors: &[GlyphAnchor], index: &CoallocationIndex) -> Vec<No
 }
 
 /// Number of links that would be drawn given the available anchors — for
-/// tests and sizing.
+/// tests and sizing. Counts over the index's precomputed link slice without
+/// building any scene nodes.
 pub fn link_count(anchors: &[GlyphAnchor], index: &CoallocationIndex) -> usize {
-    build_links(anchors, index).len()
+    let known: std::collections::HashSet<(batchlens_trace::JobId, batchlens_trace::MachineId)> =
+        anchors.iter().map(|a| (a.job, a.machine)).collect();
+    index
+        .links()
+        .iter()
+        .filter(|l| known.contains(&(l.job_a, l.machine)) && known.contains(&(l.job_b, l.machine)))
+        .count()
 }
 
 #[cfg(test)]

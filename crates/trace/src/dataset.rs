@@ -46,8 +46,36 @@ pub struct TraceDataset {
     /// machine → sorted `(event time, alive afterwards)` checkpoints, for
     /// O(log n) liveness lookups.
     liveness: BTreeMap<MachineId, Vec<(Timestamp, bool)>>,
+    /// machine → combined sample-and-hold utilization samples (one sorted
+    /// time grid + parallel triples), for single-search `util_at` /
+    /// `util_hold` resolution.
+    util_index: BTreeMap<MachineId, UtilSamples>,
     /// The union time span, precomputed at build time.
     cached_span: Option<TimeRange>,
+}
+
+/// One machine's utilization samples in struct-of-arrays form: the three
+/// metric series are built from the same `server_usage` rows, so they share
+/// one sample grid — one sorted time array plus parallel triples answers
+/// sample-and-hold queries with a single binary search (and one cache-local
+/// read) where three per-series searches did before.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct UtilSamples {
+    times: Vec<Timestamp>,
+    triples: Vec<UtilizationTriple>,
+}
+
+impl UtilSamples {
+    /// Index of the cell containing `t`: samples `[idx-1]` holds at `t`
+    /// (0 = before the first sample).
+    fn cell(&self, t: Timestamp) -> usize {
+        self.times.partition_point(|&st| st <= t)
+    }
+
+    fn at_or_before(&self, t: Timestamp) -> Option<UtilizationTriple> {
+        let idx = self.cell(t);
+        (idx > 0).then(|| self.triples[idx - 1])
+    }
 }
 
 /// Static information about one machine.
@@ -386,6 +414,7 @@ enum IndexPart {
     Instances(IntervalIndex),
     Jobs(IntervalIndex),
     Liveness(BTreeMap<MachineId, Vec<(Timestamp, bool)>>),
+    Util(BTreeMap<MachineId, UtilSamples>),
     Span(Option<TimeRange>),
 }
 
@@ -399,7 +428,7 @@ impl TraceDataset {
     /// machine; every task reads the immutable tables and writes only its
     /// own result, so the indexes are identical at any thread count.
     fn build_indexes(&mut self, threads: usize) {
-        let parts = batchlens_exec::run_indexed(threads, 4, |part| match part {
+        let parts = batchlens_exec::run_indexed(threads, 5, |part| match part {
             0 => IndexPart::Instances(IntervalIndex::build(
                 self.instances
                     .iter()
@@ -424,6 +453,34 @@ impl TraceDataset {
                     }
                 }
                 IndexPart::Liveness(liveness)
+            }
+            3 => {
+                // Combined utilization samples: the three per-metric series
+                // of one machine share a grid (built from the same usage
+                // rows), so zipping them once here gives every
+                // sample-and-hold consumer a single-search answer.
+                IndexPart::Util(
+                    self.usage
+                        .iter()
+                        .map(|(&machine, series)| {
+                            let [cpu, mem, disk] = series;
+                            let triples = cpu
+                                .values()
+                                .iter()
+                                .zip(mem.values())
+                                .zip(disk.values())
+                                .map(|((&c, &m), &d)| UtilizationTriple::clamped(c, m, d))
+                                .collect();
+                            (
+                                machine,
+                                UtilSamples {
+                                    times: cpu.times().to_vec(),
+                                    triples,
+                                },
+                            )
+                        })
+                        .collect(),
+                )
             }
             _ => {
                 // Union span of instance windows and usage series.
@@ -452,6 +509,7 @@ impl TraceDataset {
                 IndexPart::Instances(ix) => self.instance_index = ix,
                 IndexPart::Jobs(ix) => self.job_intervals = ix,
                 IndexPart::Liveness(l) => self.liveness = l,
+                IndexPart::Util(u) => self.util_index = u,
                 IndexPart::Span(s) => self.cached_span = s,
             }
         }
@@ -631,6 +689,27 @@ impl TraceDataset {
     fn instance_by_idx(&self, idx: usize) -> InstanceRef<'_> {
         InstanceRef {
             record: &self.instances[idx],
+        }
+    }
+
+    /// The sample-and-hold utilization hold at `t` — the hot-path kernel
+    /// behind `DatasetQuery::util_hold`: one map lookup, one binary search
+    /// over the combined per-machine sample grid, value and validity window
+    /// read from the same cache lines.
+    pub(crate) fn util_hold_at(&self, machine: MachineId, t: Timestamp) -> crate::UtilHold {
+        let Some(samples) = self.util_index.get(&machine) else {
+            // Unknown or usage-silent machines answer `None` forever.
+            return crate::UtilHold {
+                util: None,
+                since: None,
+                until: None,
+            };
+        };
+        let idx = samples.cell(t);
+        crate::UtilHold {
+            util: (idx > 0).then(|| samples.triples[idx - 1]),
+            since: (idx > 0).then(|| samples.times[idx - 1]),
+            until: (idx < samples.times.len()).then(|| samples.times[idx]),
         }
     }
 }
@@ -837,13 +916,10 @@ impl<'a> MachineView<'a> {
     }
 
     /// The machine's utilization triple at `t` (sample-and-hold), or `None`
-    /// before its first sample.
+    /// before its first sample. One lookup + one binary search over the
+    /// combined utilization samples (the three metrics share a grid).
     pub fn util_at(&self, t: Timestamp) -> Option<UtilizationTriple> {
-        let series = self.ds.usage.get(&self.id)?;
-        let cpu = series[0].value_at_or_before(t)?;
-        let mem = series[1].value_at_or_before(t)?;
-        let disk = series[2].value_at_or_before(t)?;
-        Some(UtilizationTriple::clamped(cpu, mem, disk))
+        self.ds.util_index.get(&self.id)?.at_or_before(t)
     }
 
     /// Whether the machine is alive at `t` according to machine events.

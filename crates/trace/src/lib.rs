@@ -94,7 +94,7 @@ pub use error::TraceError;
 pub use ids::{InstanceId, JobId, MachineId, TaskId};
 pub use interval::{IntervalIndex, RollingIntervalIndex};
 pub use metric::{Metric, Utilization, UtilizationTriple};
-pub use queryable::{alive_at_checkpoints, DatasetQuery};
+pub use queryable::{alive_at_checkpoints, DatasetQuery, QueryFrame, RunningDelta, UtilHold};
 pub use record::{
     BatchInstanceRecord, BatchTaskRecord, InstanceStatus, MachineEvent, MachineEventRecord,
     ServerUsageRecord, TaskStatus,

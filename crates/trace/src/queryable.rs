@@ -32,6 +32,225 @@ pub fn alive_at_checkpoints(checkpoints: &[(Timestamp, bool)], t: Timestamp) -> 
     }
 }
 
+/// The multiset of running-instance triples that changed between two
+/// timestamps: the currency of the delta snapshot engine
+/// (`batchlens_analytics::scrub::SnapshotScrubber`).
+///
+/// `entered` holds one `(job, task, machine)` triple per instance running
+/// at `t1` but not at `t0`; `exited` the reverse. Both ascend, and repeated
+/// triples appear once **per instance** — applying a delta to a counted
+/// multiset of running triples at `t0` reproduces the multiset at `t1`
+/// exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunningDelta {
+    /// Triples running at `t1` but not at `t0`, ascending.
+    pub entered: Vec<(JobId, TaskId, MachineId)>,
+    /// Triples running at `t0` but not at `t1`, ascending.
+    pub exited: Vec<(JobId, TaskId, MachineId)>,
+}
+
+impl RunningDelta {
+    /// Builds a delta from raw per-instance endpoint events, canceling
+    /// matched enter/exit pairs: when one instance of a triple ends inside
+    /// the hop while another instance of the *same* triple starts inside it
+    /// and outlives it, the endpoint walk sees both events but the running
+    /// multiset is unchanged — the triple belongs on neither side. Sorting
+    /// plus one merge pass keeps the indexed implementations equal to the
+    /// stab-diff definition on such handoffs.
+    pub fn from_events(
+        mut entered: Vec<(JobId, TaskId, MachineId)>,
+        mut exited: Vec<(JobId, TaskId, MachineId)>,
+    ) -> RunningDelta {
+        entered.sort_unstable();
+        exited.sort_unstable();
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut keep_in, mut keep_out) = (Vec::new(), Vec::new());
+        while i < entered.len() && j < exited.len() {
+            match entered[i].cmp(&exited[j]) {
+                std::cmp::Ordering::Less => {
+                    keep_in.push(entered[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    keep_out.push(exited[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        keep_in.extend_from_slice(&entered[i..]);
+        keep_out.extend_from_slice(&exited[j..]);
+        RunningDelta {
+            entered: keep_in,
+            exited: keep_out,
+        }
+    }
+
+    /// True when nothing entered or exited.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.exited.is_empty()
+    }
+
+    /// Total structural changes (|entered| + |exited|) — the Δ a delta step
+    /// pays for.
+    pub fn change_count(&self) -> usize {
+        self.entered.len() + self.exited.len()
+    }
+}
+
+/// A machine's sample-and-hold utilization at a timestamp **plus the
+/// half-open validity window** over which that exact value holds:
+/// `util_at(t') == util` for every `t'` with
+/// `since <= t' < until` (`None` bounds are unbounded).
+///
+/// Lets a scrubbing consumer skip re-resolving utilization until the
+/// timestamp crosses a sample boundary. The conservative trait default
+/// claims validity only over `[t, t+1)` (always true on the whole-second
+/// [`Timestamp`] grid); the indexed implementations widen it to the real
+/// inter-sample window. Validity is relative to the source state it was
+/// read from — a mutating live source invalidates holds via its
+/// [`DatasetQuery::state_version`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilHold {
+    /// The sample-and-hold triple at the queried timestamp (`None` before
+    /// the first known sample), exactly [`DatasetQuery::util_at`]'s answer.
+    pub util: Option<UtilizationTriple>,
+    /// First timestamp of the validity window (`None` = unbounded below).
+    pub since: Option<Timestamp>,
+    /// First timestamp past the validity window (`None` = unbounded above).
+    pub until: Option<Timestamp>,
+}
+
+impl UtilHold {
+    /// Whether the held value is still the sample-and-hold answer at `t`.
+    pub fn holds_at(&self, t: Timestamp) -> bool {
+        self.since.is_none_or(|s| t >= s) && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// One timestamp's worth of structural queries, captured **transactionally
+/// consistently**: every answer in a frame reflects the same source state.
+///
+/// For an immutable batch dataset that is trivially true; for a live window
+/// the overriding implementation ([`DatasetQuery::frame`] on
+/// `batchlens::stream::LiveWindowView`) acquires the monitor lock **once**
+/// and answers every probe under it — where issuing the sub-queries
+/// individually would let concurrent ingest slide the window between them.
+/// The captured [`QueryFrame::version`] names that state, so downstream
+/// caches can key on `(version, at)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFrame {
+    at: Timestamp,
+    version: u64,
+    /// Running `(job, task, machine)` triples, ascending, one per instance.
+    triples: Vec<(JobId, TaskId, MachineId)>,
+    /// Every machine known to the source, ascending.
+    machines: Vec<MachineId>,
+    /// Liveness per machine, parallel to `machines`.
+    alive: Vec<bool>,
+    /// Sample-and-hold utilization per machine, parallel to `machines`.
+    utils: Vec<Option<UtilizationTriple>>,
+}
+
+impl QueryFrame {
+    /// Assembles a frame from pre-queried parts. `machines` must ascend and
+    /// `alive`/`utils` must align with it; `triples` must ascend.
+    pub fn new(
+        at: Timestamp,
+        version: u64,
+        triples: Vec<(JobId, TaskId, MachineId)>,
+        machines: Vec<MachineId>,
+        alive: Vec<bool>,
+        utils: Vec<Option<UtilizationTriple>>,
+    ) -> QueryFrame {
+        debug_assert!(machines.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(machines.len(), alive.len());
+        debug_assert_eq!(machines.len(), utils.len());
+        QueryFrame {
+            at,
+            version,
+            triples,
+            machines,
+            alive,
+            utils,
+        }
+    }
+
+    /// The frame's timestamp.
+    pub fn at(&self) -> Timestamp {
+        self.at
+    }
+
+    /// The source state version the frame was captured from
+    /// ([`DatasetQuery::state_version`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Running `(job, task, machine)` triples, ascending — exactly
+    /// [`DatasetQuery::running_triples_at`] at [`QueryFrame::at`].
+    pub fn running_triples(&self) -> &[(JobId, TaskId, MachineId)] {
+        &self.triples
+    }
+
+    /// How many instances were running.
+    pub fn running_instance_count(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Jobs with at least one running instance, ascending, each once.
+    pub fn jobs_running(&self) -> Vec<JobId> {
+        let mut out: Vec<JobId> = self.triples.iter().map(|t| t.0).collect();
+        out.dedup();
+        out
+    }
+
+    /// Every machine known to the source, ascending.
+    pub fn machine_ids(&self) -> &[MachineId] {
+        &self.machines
+    }
+
+    /// Whether `machine` was alive; machines unknown to the source count
+    /// alive, matching [`DatasetQuery::alive_at`].
+    pub fn alive(&self, machine: MachineId) -> bool {
+        match self.machines.binary_search(&machine) {
+            Ok(i) => self.alive[i],
+            Err(_) => true,
+        }
+    }
+
+    /// The machine's sample-and-hold utilization, or `None` when the source
+    /// had no sample for it yet (or doesn't know it).
+    pub fn util_of(&self, machine: MachineId) -> Option<UtilizationTriple> {
+        match self.machines.binary_search(&machine) {
+            Ok(i) => self.utils[i],
+            Err(_) => None,
+        }
+    }
+
+    /// The machines alive in this frame, ascending — the frame-consistent
+    /// [`DatasetQuery::machines_active_at`].
+    pub fn machines_active(&self) -> Vec<MachineId> {
+        self.machines
+            .iter()
+            .zip(&self.alive)
+            .filter(|&(_, &a)| a)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Mean utilization over the machines with a known sample — the
+    /// dashboard's cluster-utilization stat, recomputed fresh per frame (no
+    /// cross-frame float accumulation, hence no drift to rebase away).
+    pub fn mean_utilization(&self) -> Option<UtilizationTriple> {
+        UtilizationTriple::mean_of(self.utils.iter().filter_map(|u| u.as_ref()))
+    }
+}
+
 /// The structural query surface shared by [`crate::TraceDataset`] and live
 /// window views.
 ///
@@ -86,6 +305,92 @@ pub trait DatasetQuery {
             .filter(|&m| self.alive_at(m, t))
             .collect()
     }
+
+    /// A monotone counter naming the source state the queries answer from.
+    /// Immutable sources (a built [`crate::TraceDataset`]) return a
+    /// constant `0`; mutable sources bump it on **every** state change that
+    /// could alter a query answer, so `(state_version, timestamp)` is a
+    /// sound memoization key and deltas across a version change are known
+    /// stale.
+    fn state_version(&self) -> u64 {
+        0
+    }
+
+    /// The structural delta between two snapshot instants: the triples
+    /// entering and exiting the running set from `t0` to `t1` (both sides
+    /// ascending, one entry per instance; `t0 > t1` swaps the roles).
+    ///
+    /// The default diffs two full [`DatasetQuery::running_triples_at`]
+    /// stabs — O(k) in the larger running set. Indexed implementations
+    /// override it with an endpoint-array walk that is **O(log n + Δ log Δ)
+    /// in the changes alone**: [`crate::TraceDataset`] via the static
+    /// interval index's sorted start/end rows, the live window via the
+    /// rolling index's ordered endpoint sets. Scrubbing a cursor across the
+    /// whole span therefore costs each endpoint once in total, not once per
+    /// visited timestamp.
+    fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
+        let from = self.running_triples_at(t0);
+        let to = self.running_triples_at(t1);
+        let mut entered = Vec::new();
+        let mut exited = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < from.len() && j < to.len() {
+            match from[i].cmp(&to[j]) {
+                std::cmp::Ordering::Less => {
+                    exited.push(from[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    entered.push(to[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        exited.extend_from_slice(&from[i..]);
+        entered.extend_from_slice(&to[j..]);
+        RunningDelta { entered, exited }
+    }
+
+    /// [`DatasetQuery::util_at`] plus the validity window over which the
+    /// returned value keeps being the sample-and-hold answer (see
+    /// [`UtilHold`]). The default claims the minimal `[t, t+1)` window —
+    /// always correct on the whole-second grid; indexed implementations
+    /// widen it to the true inter-sample window so scrubbers can skip
+    /// re-resolution entirely between samples.
+    fn util_hold(&self, machine: MachineId, t: Timestamp) -> UtilHold {
+        UtilHold {
+            util: self.util_at(machine, t),
+            since: Some(t),
+            until: Some(Timestamp::new(t.seconds().saturating_add(1))),
+        }
+    }
+
+    /// Captures every structural query at `at` as one transactionally
+    /// consistent [`QueryFrame`].
+    ///
+    /// The default issues the sub-queries individually — fine for immutable
+    /// sources, where every query answers from the same state anyway.
+    /// Mutable live sources override it to take their lock **once** and
+    /// answer the whole frame under it (the frame consistency guarantee:
+    /// hierarchy, co-allocation, utilization and alive-set probes derived
+    /// from one frame can never disagree about the window state).
+    fn frame(&self, at: Timestamp) -> QueryFrame {
+        let machines = self.machine_ids();
+        let alive = machines.iter().map(|&m| self.alive_at(m, at)).collect();
+        let utils = machines.iter().map(|&m| self.util_at(m, at)).collect();
+        QueryFrame::new(
+            at,
+            self.state_version(),
+            self.running_triples_at(at),
+            machines,
+            alive,
+            utils,
+        )
+    }
 }
 
 use crate::TaskId;
@@ -132,6 +437,37 @@ impl DatasetQuery for crate::TraceDataset {
         window: &TimeRange,
     ) -> Option<TimeSeries> {
         Some(self.machine(machine)?.usage(metric)?.slice(window))
+    }
+
+    fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
+        // The static interval index walks its sorted endpoint rows between
+        // binary-searched bounds: O(log n + Δ log Δ), never a stab.
+        let records = self.instance_records();
+        let mut entered = Vec::new();
+        let mut exited = Vec::new();
+        self.instance_index().running_delta_with(
+            t0,
+            t1,
+            |id| {
+                let r = &records[id as usize];
+                entered.push((r.job, r.task, r.machine));
+            },
+            |id| {
+                let r = &records[id as usize];
+                exited.push((r.job, r.task, r.machine));
+            },
+        );
+        // Same-triple instance handoffs inside the hop cancel out.
+        RunningDelta::from_events(entered, exited)
+    }
+
+    fn util_hold(&self, machine: MachineId, t: Timestamp) -> UtilHold {
+        // The scrubber calls this once per machine per sample transition —
+        // it is the delta engine's per-step floor — so it resolves through
+        // the dataset's combined utilization samples: one lookup, one
+        // search, value and validity window off the same grid (the three
+        // metric series are built from the same usage rows).
+        self.util_hold_at(machine, t)
     }
 }
 
@@ -245,6 +581,168 @@ mod tests {
             vec![MachineId::new(3), MachineId::new(5)],
             "machine 7 removed at 700"
         );
+    }
+
+    /// The trait-default (full-stab diff) delta, as the reference model.
+    fn naive_delta<Q: DatasetQuery>(src: &Q, t0: Timestamp, t1: Timestamp) -> RunningDelta {
+        struct Probe<'a, Q: DatasetQuery>(&'a Q);
+        impl<Q: DatasetQuery> DatasetQuery for Probe<'_, Q> {
+            fn machine_ids(&self) -> Vec<MachineId> {
+                self.0.machine_ids()
+            }
+            fn jobs_running_at(&self, t: Timestamp) -> Vec<JobId> {
+                self.0.jobs_running_at(t)
+            }
+            fn running_triples_at(&self, t: Timestamp) -> Vec<(JobId, TaskId, MachineId)> {
+                self.0.running_triples_at(t)
+            }
+            fn running_instance_count_at(&self, t: Timestamp) -> usize {
+                self.0.running_instance_count_at(t)
+            }
+            fn alive_at(&self, machine: MachineId, t: Timestamp) -> bool {
+                self.0.alive_at(machine, t)
+            }
+            fn util_at(&self, machine: MachineId, t: Timestamp) -> Option<UtilizationTriple> {
+                self.0.util_at(machine, t)
+            }
+            fn series_window(
+                &self,
+                machine: MachineId,
+                metric: Metric,
+                window: &TimeRange,
+            ) -> Option<TimeSeries> {
+                self.0.series_window(machine, metric, window)
+            }
+            // No overrides: running_delta is the provided stab-diff default.
+        }
+        Probe(src).running_delta(t0, t1)
+    }
+
+    #[test]
+    fn indexed_running_delta_matches_stab_diff() {
+        let ds = dataset();
+        let probes: Vec<i64> = (-50..1400).step_by(83).chain([0, 500, 600, 900]).collect();
+        for &a in &probes {
+            for &b in &probes {
+                let (t0, t1) = (Timestamp::new(a), Timestamp::new(b));
+                let want = naive_delta(&ds, t0, t1);
+                let got = ds.running_delta(t0, t1);
+                assert_eq!(got, want, "delta {a} -> {b}");
+                if a == b {
+                    assert!(got.is_empty());
+                }
+                // Reversing the hop swaps the sides.
+                let rev = ds.running_delta(t1, t0);
+                assert_eq!(rev.entered, got.exited);
+                assert_eq!(rev.exited, got.entered);
+                assert_eq!(got.change_count(), got.entered.len() + got.exited.len());
+            }
+        }
+    }
+
+    #[test]
+    fn same_triple_handoffs_cancel_in_the_indexed_delta() {
+        // Two instances of one (job, task, machine) triple hand off inside
+        // the hop: seq 0 ends at 100, seq 1 starts at 50 and outlives the
+        // hop. The endpoint walk sees one exit and one enter, but the
+        // running multiset is unchanged — the indexed override must cancel
+        // the pair exactly like the stab-diff default does.
+        let mut b = TraceDatasetBuilder::new();
+        b.push_task(BatchTaskRecord {
+            create_time: Timestamp::new(0),
+            modify_time: Timestamp::new(1000),
+            job: JobId::new(1),
+            task: TaskId::new(1),
+            instance_count: 2,
+            status: TaskStatus::Terminated,
+            plan_cpu: 1.0,
+            plan_mem: 0.5,
+        });
+        for (seq, s, e) in [(0u32, 0i64, 100i64), (1, 50, 150)] {
+            b.push_instance(BatchInstanceRecord {
+                start_time: Timestamp::new(s),
+                end_time: Timestamp::new(e),
+                job: JobId::new(1),
+                task: TaskId::new(1),
+                seq,
+                total: 2,
+                machine: MachineId::new(3),
+                status: TaskStatus::Terminated,
+                cpu_avg: 0.2,
+                cpu_max: 0.4,
+                mem_avg: 0.2,
+                mem_max: 0.4,
+            });
+        }
+        let ds = b.build().unwrap();
+        let delta = ds.running_delta(Timestamp::new(25), Timestamp::new(125));
+        assert!(delta.is_empty(), "handoff must cancel: {delta:?}");
+        assert_eq!(
+            delta,
+            naive_delta(&ds, Timestamp::new(25), Timestamp::new(125))
+        );
+        // A hop that only crosses the overlap start still reports the
+        // second instance entering (count 1 → 2).
+        let grow = ds.running_delta(Timestamp::new(25), Timestamp::new(75));
+        assert_eq!(
+            grow.entered,
+            vec![(JobId::new(1), TaskId::new(1), MachineId::new(3))]
+        );
+        assert!(grow.exited.is_empty());
+    }
+
+    #[test]
+    fn util_hold_brackets_every_probe() {
+        let ds = dataset();
+        for m in [3u32, 5, 7, 99] {
+            let m = MachineId::new(m);
+            for t in (-100..1500).step_by(41) {
+                let t = Timestamp::new(t);
+                let hold = ds.util_hold(m, t);
+                assert_eq!(hold.util, DatasetQuery::util_at(&ds, m, t), "{m} at {t}");
+                assert!(hold.holds_at(t), "{m} window must contain {t}");
+                // Every instant the hold claims must answer identically.
+                for probe in (-100..1500).step_by(29).map(Timestamp::new) {
+                    if hold.holds_at(probe) {
+                        assert_eq!(
+                            DatasetQuery::util_at(&ds, m, probe),
+                            hold.util,
+                            "{m}: hold [{:?}, {:?}) lied at {probe}",
+                            hold.since,
+                            hold.until
+                        );
+                    }
+                }
+            }
+        }
+        // Machine 3 samples every 300 s: holds are full sample cells.
+        let hold = ds.util_hold(MachineId::new(3), Timestamp::new(450));
+        assert_eq!(hold.since, Some(Timestamp::new(300)));
+        assert_eq!(hold.until, Some(Timestamp::new(600)));
+    }
+
+    #[test]
+    fn frame_matches_individual_queries() {
+        let ds = dataset();
+        for t in [0i64, 350, 700, 1200, 5000] {
+            let t = Timestamp::new(t);
+            let frame = ds.frame(t);
+            assert_eq!(frame.at(), t);
+            assert_eq!(frame.version(), 0, "immutable source");
+            assert_eq!(frame.running_triples(), &ds.running_triples_at(t)[..]);
+            assert_eq!(
+                frame.running_instance_count(),
+                DatasetQuery::running_instance_count_at(&ds, t)
+            );
+            assert_eq!(frame.jobs_running(), DatasetQuery::jobs_running_at(&ds, t));
+            assert_eq!(frame.machine_ids(), &ds.machine_ids()[..]);
+            assert_eq!(frame.machines_active(), ds.machines_active_at(t));
+            for m in [3u32, 5, 7, 99] {
+                let m = MachineId::new(m);
+                assert_eq!(frame.alive(m), DatasetQuery::alive_at(&ds, m, t));
+                assert_eq!(frame.util_of(m), DatasetQuery::util_at(&ds, m, t));
+            }
+        }
     }
 
     #[test]
