@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
 
         // Pre-fill one machine until its window is at capacity, then time
         // steady-state ingest of fresh records.
-        let monitor = StreamMonitor::new(cfg);
+        let monitor = StreamMonitor::new(cfg).unwrap();
         let mut t = 0i64;
         while t < horizon_min * 60 + 600 {
             monitor.ingest(rec(t));

@@ -27,8 +27,9 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use batchlens::stream::{StreamConfig, StreamMonitor};
+use batchlens::trace::wal::{WalConfig, WalWriter};
 use batchlens::trace::{
-    naive, DatasetQuery, JobId, MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries,
+    csv, naive, DatasetQuery, JobId, MachineId, Metric, ServerUsageRecord, TimeDelta, TimeSeries,
     Timestamp, TraceDataset, UtilizationTriple,
 };
 use batchlens_bench::medium_dataset;
@@ -172,7 +173,7 @@ fn synthetic_entries(entries: &mut Vec<Entry>) {
         horizon: TimeDelta::DAY,
         ..StreamConfig::default()
     };
-    let monitor = StreamMonitor::new(cfg);
+    let monitor = StreamMonitor::new(cfg).unwrap();
     let mut t = 0i64;
     while t < 86_400 + 600 {
         monitor.ingest(rec(t));
@@ -206,6 +207,45 @@ fn synthetic_entries(entries: &mut Vec<Entry>) {
         naive_s,
         optimized,
     ));
+
+    // --- WAL append overhead on the hot ingest path. Column semantics are
+    //     inverted here: "naive" is the *unlogged* baseline and "optimized"
+    //     is the WAL-attached ingest the durability contract adds, so the
+    //     guardrail tracks the logged path and the speedup column reads as
+    //     the fraction of baseline throughput logging retains (< 1). ---
+    let wal_dir = std::env::temp_dir().join(format!("batchlens-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let plain = StreamMonitor::new(cfg).unwrap();
+    let logged = StreamMonitor::new(cfg).unwrap();
+    logged.attach_wal(WalWriter::open(&wal_dir, WalConfig::default()).expect("bench wal opens"));
+    let mut tp = 0i64;
+    let mut tl = 0i64;
+    while tp < 86_400 + 600 {
+        plain.ingest(rec(tp));
+        logged.ingest(rec(tl));
+        tp += 60;
+        tl += 60;
+    }
+    let baseline = measure(5, || {
+        let mut alerts = 0usize;
+        for _ in 0..BATCH {
+            tp += 60;
+            alerts += plain.ingest(rec(tp)).len();
+        }
+        alerts
+    });
+    let with_wal = measure(5, || {
+        let mut alerts = 0usize;
+        for _ in 0..BATCH {
+            tl += 60;
+            alerts += logged.ingest(rec(tl)).len();
+        }
+        alerts
+    });
+    assert_eq!(logged.wal_errors(), 0, "bench logging must not error");
+    drop(logged.detach_wal());
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    entries.push(entry("ingest_wal_overhead", baseline, with_wal));
 }
 
 /// Dataset-bound rows, suffixed with the tier name.
@@ -295,7 +335,8 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
     let monitor = StreamMonitor::new(StreamConfig {
         horizon: TimeDelta::hours(100),
         ..Default::default()
-    });
+    })
+    .unwrap();
     monitor.ingest_instances(ds.instance_records().iter().copied());
     for ev in ds.machine_events() {
         monitor.ingest_machine_event(*ev);
@@ -503,6 +544,58 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
     let serial_s = time_build(1);
     let parallel = time_build(PAR_THREADS);
     entries.push(entry(format!("dataset_build_{suffix}"), serial_s, parallel));
+
+    // --- crash restart: rebuilding monitor state by replaying the binary
+    //     WAL (`StreamMonitor::recover`) vs re-parsing the CSV archive and
+    //     re-ingesting it — the two ways a monitor can come back after a
+    //     crash. Both feed the identical delivery sequence, so the
+    //     recovered states match; the WAL wins on decode cost alone. ---
+    let mut feed = usage.clone();
+    feed.sort_by_key(|r| (r.time, r.machine));
+    let wal_dir = std::env::temp_dir().join(format!(
+        "batchlens-bench-replay-{}-{}",
+        std::process::id(),
+        suffix
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let stream_cfg = StreamConfig {
+        horizon: TimeDelta::hours(100),
+        ..Default::default()
+    };
+    let logged = StreamMonitor::new(stream_cfg).unwrap();
+    logged.attach_wal(WalWriter::open(&wal_dir, WalConfig::default()).expect("bench wal opens"));
+    logged.ingest_instances(instances.iter().copied());
+    for ev in &events {
+        logged.ingest_machine_event(*ev);
+    }
+    for rec in &feed {
+        logged.ingest(*rec);
+    }
+    assert_eq!(logged.wal_errors(), 0, "bench logging must not error");
+    drop(logged.detach_wal());
+    let inst_csv = csv::write_batch_instances(&instances);
+    let event_csv = csv::write_machine_events(&events);
+    let usage_csv = csv::write_server_usage(&feed);
+    let replay_reps = if tier == Tier::Paper { 2 } else { 3 };
+    let optimized = measure(replay_reps, || {
+        let (monitor, report) =
+            StreamMonitor::recover(&wal_dir, stream_cfg).expect("bench wal recovers");
+        assert!(report.reason.is_clean(), "bench log is intact");
+        monitor.state_version() as usize
+    });
+    let naive_s = measure(2, || {
+        let monitor = StreamMonitor::new(stream_cfg).unwrap();
+        monitor.ingest_instances(csv::parse_batch_instances(&inst_csv).expect("instances parse"));
+        for ev in csv::parse_machine_events(&event_csv).expect("events parse") {
+            monitor.ingest_machine_event(ev);
+        }
+        for rec in csv::parse_server_usage(&usage_csv).expect("usage parses") {
+            monitor.ingest(rec);
+        }
+        monitor.state_version() as usize
+    });
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    entries.push(entry(format!("wal_replay_{suffix}"), naive_s, optimized));
 }
 
 /// Worker count for the serial-vs-parallel rows (the ISSUE's reference

@@ -138,6 +138,23 @@ impl BatchLens {
         }
     }
 
+    /// Creates a session over `dataset` resuming a previously recorded
+    /// interaction log: the view state is `log.replay()`, and further events
+    /// append to the restored log — the restore half of
+    /// [`crate::durability`]'s dump/restore.
+    pub fn with_session(dataset: TraceDataset, log: SessionLog) -> Self {
+        let timeline = ClusterTimeline::build(&dataset);
+        BatchLens {
+            dataset,
+            view: log.replay(),
+            analyzer: RootCauseAnalyzer::new(),
+            log,
+            timeline,
+            cache: Mutex::new(SnapshotCache::default()),
+            live: None,
+        }
+    }
+
     /// Switches the lens into **live mode**: the hierarchy snapshot and
     /// co-allocation index are computed from `monitor`'s rolling window
     /// (via [`StreamMonitor::live_view`], the same [`batchlens_trace::DatasetQuery`]
@@ -714,10 +731,13 @@ mod tests {
 
         let ds = scenario::fig3b(14).run().unwrap();
         let at = scenario::T_FIG3B;
-        let monitor = Arc::new(StreamMonitor::new(StreamConfig {
-            horizon: TimeDelta::hours(72),
-            ..Default::default()
-        }));
+        let monitor = Arc::new(
+            StreamMonitor::new(StreamConfig {
+                horizon: TimeDelta::hours(72),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
         monitor.ingest_instances(ds.instance_records().iter().copied());
         let mut app = BatchLens::new(ds);
         app.apply(Event::SelectTimestamp(at));
@@ -789,10 +809,13 @@ mod tests {
 
         let ds = scenario::fig3b(11).run().unwrap();
         let at = scenario::T_FIG3B;
-        let monitor = Arc::new(StreamMonitor::new(StreamConfig {
-            horizon: TimeDelta::hours(72),
-            ..Default::default()
-        }));
+        let monitor = Arc::new(
+            StreamMonitor::new(StreamConfig {
+                horizon: TimeDelta::hours(72),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
         // Replay the batch tables into the monitor as a live stream.
         monitor.ingest_instances(ds.instance_records().iter().copied());
         for ev in ds.machine_events() {

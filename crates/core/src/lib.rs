@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod durability;
 pub mod interaction;
 pub mod pipeline;
 pub mod report;

@@ -29,11 +29,14 @@
 //! `crossbeam` channel for producer/consumer ingest.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::path::Path;
 
 use batchlens_analytics::detect::{
     AnomalyKind, Detector, DetectorState, PairedDetectorState, ThrashingDetector, ThrashingState,
     ThresholdDetector,
 };
+use batchlens_trace::wal::{RecoveryReport, WalError, WalReader, WalRecord, WalWriter};
 use batchlens_trace::{
     BatchInstanceRecord, DatasetQuery, JobId, MachineEventRecord, MachineId, Metric, QueryFrame,
     RollingIntervalIndex, RunningDelta, ServerUsageRecord, TaskId, TimeDelta, TimeRange,
@@ -174,7 +177,76 @@ impl Default for StreamConfig {
     }
 }
 
+/// A [`StreamConfig`] rejected at monitor construction — the typed answer
+/// to configurations that would silently misbehave downstream (a
+/// non-positive horizon evicts everything or nothing; a negative tolerance
+/// makes the straggler comparison vacuous; a zero alert capacity drops
+/// every alert on the floor while looking like a working buffer).
+///
+/// A **zero** `ooo_tolerance` stays legal: it is the documented strict
+/// mode ("any out-of-order record is a straggler") and changes no
+/// comparison semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamConfigError {
+    /// `horizon` was zero or negative: the rolling window would retain
+    /// nothing (or, negative, evict samples ahead of the frontier).
+    NonPositiveHorizon {
+        /// The offending horizon in seconds.
+        seconds: i64,
+    },
+    /// `ooo_tolerance` was negative: even in-order records would compare as
+    /// stragglers.
+    NegativeOooTolerance {
+        /// The offending tolerance in seconds.
+        seconds: i64,
+    },
+    /// `alert_capacity` was zero: every fired alert would be dropped
+    /// unseen. Poll-style consumers need at least capacity 1; callers that
+    /// truly want no retention should drain instead.
+    ZeroAlertCapacity,
+}
+
+impl fmt::Display for StreamConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamConfigError::NonPositiveHorizon { seconds } => {
+                write!(f, "stream horizon must be positive, got {seconds} s")
+            }
+            StreamConfigError::NegativeOooTolerance { seconds } => {
+                write!(f, "ooo_tolerance must be non-negative, got {seconds} s")
+            }
+            StreamConfigError::ZeroAlertCapacity => {
+                write!(f, "alert_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamConfigError {}
+
 impl StreamConfig {
+    /// Checks the configuration's invariants (see [`StreamConfigError`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), StreamConfigError> {
+        if self.horizon.as_seconds() <= 0 {
+            return Err(StreamConfigError::NonPositiveHorizon {
+                seconds: self.horizon.as_seconds(),
+            });
+        }
+        if self.ooo_tolerance.as_seconds() < 0 {
+            return Err(StreamConfigError::NegativeOooTolerance {
+                seconds: self.ooo_tolerance.as_seconds(),
+            });
+        }
+        if self.alert_capacity == 0 {
+            return Err(StreamConfigError::ZeroAlertCapacity);
+        }
+        Ok(())
+    }
+
     /// The thrashing kernel this configuration implies.
     fn thrashing_detector(&self) -> ThrashingDetector {
         ThrashingDetector {
@@ -323,6 +395,29 @@ struct Inner {
     alerts: VecDeque<Alert>,
     total_alerts: u64,
     alerts_overflowed: u64,
+    /// The write-ahead log, when attached: every delivery is appended here
+    /// **before** it is applied, under this same lock, so append order is
+    /// exactly apply order.
+    wal: Option<WalWriter>,
+    /// Appends that failed at the IO layer. Monitoring must keep running on
+    /// a full disk; the gap is surfaced here (and in `last_wal_error`)
+    /// instead of panicking or poisoning ingest.
+    wal_errors: u64,
+    last_wal_error: Option<String>,
+}
+
+impl Inner {
+    /// Appends one delivery to the attached WAL (no-op without one).
+    /// Called before the mutation is applied; IO failures are counted, not
+    /// propagated — see [`StreamMonitor::wal_errors`].
+    fn log_wal(&mut self, record: &WalRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.append(record) {
+                self.wal_errors += 1;
+                self.last_wal_error = Some(e.to_string());
+            }
+        }
+    }
 }
 
 /// The per-query logic of [`LiveWindowView`], implemented as a
@@ -450,11 +545,58 @@ impl std::fmt::Debug for StreamMonitor {
     }
 }
 
+/// Why [`StreamMonitor::recover`] failed outright. Corrupt log *contents*
+/// are never an error — they stop replay cleanly and are described by the
+/// returned [`RecoveryReport`]; this type covers only an invalid
+/// configuration or an OS-level IO failure opening the log.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The configuration failed [`StreamConfig::validate`].
+    Config(StreamConfigError),
+    /// The log directory or a segment could not be read.
+    Wal(WalError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Config(e) => write!(f, "invalid stream config: {e}"),
+            RecoverError::Wal(e) => write!(f, "cannot read wal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Config(e) => Some(e),
+            RecoverError::Wal(e) => Some(e),
+        }
+    }
+}
+
+impl From<StreamConfigError> for RecoverError {
+    fn from(e: StreamConfigError) -> RecoverError {
+        RecoverError::Config(e)
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> RecoverError {
+        RecoverError::Wal(e)
+    }
+}
+
 impl StreamMonitor {
     /// Creates a monitor with the default single-series detector set: a
     /// threshold kernel at `cfg.high` per metric (plus the implied paired
     /// thrashing kernel).
-    pub fn new(cfg: StreamConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamConfigError`] when `cfg` fails
+    /// [`StreamConfig::validate`].
+    pub fn new(cfg: StreamConfig) -> Result<Self, StreamConfigError> {
         let threshold = ThresholdDetector {
             high: cfg.high,
             min_samples: 1,
@@ -465,12 +607,164 @@ impl StreamMonitor {
     /// Creates a monitor running `detectors` on every metric of every
     /// machine — any batch [`Detector`] streams unchanged, because batch
     /// detection *is* the streaming kernel.
-    pub fn with_detectors(cfg: StreamConfig, detectors: Vec<Box<dyn Detector>>) -> Self {
-        StreamMonitor {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamConfigError`] when `cfg` fails
+    /// [`StreamConfig::validate`].
+    pub fn with_detectors(
+        cfg: StreamConfig,
+        detectors: Vec<Box<dyn Detector>>,
+    ) -> Result<Self, StreamConfigError> {
+        cfg.validate()?;
+        Ok(StreamMonitor {
             cfg,
             detectors,
             inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Rebuilds a monitor from the write-ahead log in `dir`, with the
+    /// default detector set of [`StreamMonitor::new`].
+    ///
+    /// Replay applies every intact logged delivery through the normal
+    /// ingest paths, so the recovered monitor reaches the **exact pre-crash
+    /// state**: `state_version`, every counter (including straggler
+    /// rejections), window contents and evictions, detector kernel states,
+    /// and the alert buffer are all bit-identical to the monitor that wrote
+    /// the log — the workspace `crash_recovery_differential` suite enforces
+    /// this for arbitrary kill points.
+    ///
+    /// Recovery **degrades gracefully, never panics**: a torn final record,
+    /// a truncated segment, or a corrupted body stops replay at the last
+    /// intact record, and the returned [`RecoveryReport`] says how many
+    /// records were replayed, how many bytes were discarded, and why
+    /// ([`batchlens_trace::wal::WalStopReason`]). `cfg` must equal the
+    /// pre-crash configuration; it is not stored in the log.
+    ///
+    /// The recovered monitor has **no WAL attached** — attach a resumed
+    /// writer (`WalWriter::open` on the same directory truncates the torn
+    /// tail) via [`StreamMonitor::attach_wal`] to continue logging.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Config`] for an invalid `cfg`, [`RecoverError::Wal`]
+    /// for OS-level IO failures reading the log. Corrupt log **contents**
+    /// are not an error.
+    pub fn recover(
+        dir: &Path,
+        cfg: StreamConfig,
+    ) -> Result<(StreamMonitor, RecoveryReport), RecoverError> {
+        let threshold = ThresholdDetector {
+            high: cfg.high,
+            min_samples: 1,
+        };
+        StreamMonitor::recover_with_detectors(dir, cfg, vec![Box::new(threshold)])
+    }
+
+    /// [`StreamMonitor::recover`] with a custom detector set (which must
+    /// equal the pre-crash one for bit-identical kernel states).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamMonitor::recover`].
+    pub fn recover_with_detectors(
+        dir: &Path,
+        cfg: StreamConfig,
+        detectors: Vec<Box<dyn Detector>>,
+    ) -> Result<(StreamMonitor, RecoveryReport), RecoverError> {
+        let monitor = StreamMonitor::with_detectors(cfg, detectors)?;
+        let mut reader = WalReader::open(dir)?;
+        for (_, record) in &mut reader {
+            monitor.apply_replayed(record);
         }
+        Ok((monitor, reader.report()))
+    }
+
+    /// Applies one WAL record exactly as the live delivery it logged —
+    /// the replay step of [`StreamMonitor::recover`], public so a
+    /// snapshot-plus-tail restore can feed the tail of a newer log into a
+    /// recovered monitor. If a WAL is attached, the applied record is
+    /// logged again (it is a fresh delivery from this monitor's view).
+    pub fn apply_replayed(&self, record: WalRecord) {
+        match record {
+            WalRecord::Usage(r) => {
+                self.ingest(r);
+            }
+            WalRecord::Instance(r) => self.ingest_instance(r),
+            WalRecord::InstanceStarted {
+                job,
+                task,
+                seq,
+                machine,
+                at,
+            } => self.instance_started(job, task, seq, machine, at),
+            WalRecord::InstanceFinished { job, task, seq, at } => {
+                self.instance_finished(job, task, seq, at);
+            }
+            WalRecord::MachineEvent(r) => self.ingest_machine_event(r),
+            WalRecord::AlertsDrained => {
+                self.drain_alerts();
+            }
+        }
+    }
+
+    /// Attaches a write-ahead log: from now on every delivery is appended
+    /// (under the monitor lock, **before** it is applied) so the monitor
+    /// can be rebuilt bit-identically by [`StreamMonitor::recover`].
+    /// Returns the previously attached writer, if any.
+    pub fn attach_wal(&self, writer: WalWriter) -> Option<WalWriter> {
+        self.inner.lock().wal.replace(writer)
+    }
+
+    /// Detaches and returns the write-ahead log writer, leaving the monitor
+    /// unlogged.
+    pub fn detach_wal(&self) -> Option<WalWriter> {
+        self.inner.lock().wal.take()
+    }
+
+    /// Whether a WAL is currently attached.
+    pub fn wal_attached(&self) -> bool {
+        self.inner.lock().wal.is_some()
+    }
+
+    /// The directory of the attached WAL, if one is attached.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .lock()
+            .wal
+            .as_ref()
+            .map(|w| w.dir().to_path_buf())
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Forces the attached WAL to stable storage (`fsync`); a no-op without
+    /// one. IO failures are counted like failed appends.
+    pub fn sync_wal(&self) {
+        let mut inner = self.inner.lock();
+        if let Some(wal) = inner.wal.as_mut() {
+            if let Err(e) = wal.sync() {
+                inner.wal_errors += 1;
+                inner.last_wal_error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// WAL appends/syncs that failed at the IO layer since construction.
+    /// Monitoring keeps running through log failures (a full disk must not
+    /// stop detection); a non-zero count means the log has gaps and a
+    /// recovery from it would be correspondingly behind.
+    pub fn wal_errors(&self) -> u64 {
+        self.inner.lock().wal_errors
+    }
+
+    /// The most recent WAL IO failure, rendered, if any.
+    pub fn last_wal_error(&self) -> Option<String> {
+        self.inner.lock().last_wal_error.clone()
     }
 
     /// Ingests one usage record, returning the alerts it triggers (empty
@@ -493,6 +787,12 @@ impl StreamMonitor {
         let mut alerts = Vec::new();
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        // Logged before applied — and logged even when the record will be
+        // rejected as a straggler, because replaying every *delivery*
+        // (acceptance decisions depend only on prior deliveries) is what
+        // makes recovery reproduce `stale_dropped` and `late_accepted`
+        // exactly.
+        inner.log_wal(&WalRecord::Usage(rec));
         let state = inner
             .machines
             .entry(rec.machine)
@@ -524,11 +824,6 @@ impl StreamMonitor {
         // than inspect each ingest's return value.
         inner.total_alerts += alerts.len() as u64;
         for &alert in &alerts {
-            if self.cfg.alert_capacity == 0 {
-                // Retention disabled: every fired alert counts as dropped.
-                inner.alerts_overflowed += 1;
-                continue;
-            }
             if inner.alerts.len() == self.cfg.alert_capacity {
                 inner.alerts.pop_front();
                 inner.alerts_overflowed += 1;
@@ -571,6 +866,7 @@ impl StreamMonitor {
     pub fn ingest_instance(&self, rec: BatchInstanceRecord) {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        inner.log_wal(&WalRecord::Instance(rec));
         let live = &mut inner.live;
         live.known_machines.insert(rec.machine);
         if let Some(id) = live.open_instances.remove(&(rec.job, rec.task, rec.seq)) {
@@ -611,6 +907,13 @@ impl StreamMonitor {
     ) {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        inner.log_wal(&WalRecord::InstanceStarted {
+            job,
+            task,
+            seq,
+            machine,
+            at,
+        });
         let live = &mut inner.live;
         live.known_machines.insert(machine);
         if let Some(&id) = live.open_instances.get(&(job, task, seq)) {
@@ -632,6 +935,9 @@ impl StreamMonitor {
     pub fn instance_finished(&self, job: JobId, task: TaskId, seq: u32, at: Timestamp) -> bool {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        // Logged even when no matching start exists: the no-op outcome is
+        // itself deterministic on replay.
+        inner.log_wal(&WalRecord::InstanceFinished { job, task, seq, at });
         let live = &mut inner.live;
         let Some(id) = live.open_instances.remove(&(job, task, seq)) else {
             return false;
@@ -655,6 +961,7 @@ impl StreamMonitor {
     pub fn ingest_machine_event(&self, rec: MachineEventRecord) {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        inner.log_wal(&WalRecord::MachineEvent(rec));
         let live = &mut inner.live;
         live.known_machines.insert(rec.machine);
         let alive = rec.event.keeps_alive();
@@ -745,7 +1052,12 @@ impl StreamMonitor {
     /// per-frame consumer pays for new alerts only — never for a clone of
     /// the full history.
     pub fn drain_alerts(&self) -> Vec<Alert> {
-        self.inner.lock().alerts.drain(..).collect()
+        let mut inner = self.inner.lock();
+        // Drains mutate recoverable state (the buffer empties), so they are
+        // logged too — otherwise a recovered monitor would re-surface alerts
+        // the pre-crash consumer already took.
+        inner.log_wal(&WalRecord::AlertsDrained);
+        inner.alerts.drain(..).collect()
     }
 
     /// A copy of the currently retained alerts (oldest first) **without**
@@ -888,7 +1200,7 @@ mod tests {
 
     #[test]
     fn high_utilization_alerts() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         assert!(m.ingest(rec(1, 0, 0.3, 0.3, 0.3)).is_empty());
         let alerts = m.ingest(rec(1, 60, 0.95, 0.3, 0.3));
         assert_eq!(alerts.len(), 1);
@@ -906,7 +1218,7 @@ mod tests {
             horizon: TimeDelta::seconds(120),
             ..Default::default()
         };
-        let m = StreamMonitor::new(cfg);
+        let m = StreamMonitor::new(cfg).unwrap();
         for i in 0..10 {
             m.ingest(rec(1, i * 60, 0.3, 0.3, 0.3));
         }
@@ -917,7 +1229,7 @@ mod tests {
 
     #[test]
     fn thrashing_is_detected_online() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         // CPU high then collapsing, memory pinned.
         let mut last = None;
         for i in 0..30 {
@@ -944,7 +1256,7 @@ mod tests {
         // pins: the window-max-to-current rule fires (the old
         // first-to-last-sample comparison could miss this shape once the
         // flat head rolled out of the window).
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         let mut thrash = 0usize;
         for i in 0..40 {
             let t = i * 60;
@@ -964,7 +1276,7 @@ mod tests {
 
     #[test]
     fn stragglers_are_counted_not_silently_dropped() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
         // Beyond the tolerance (default 300 s) and duplicate-timestamp
         // records are stragglers.
@@ -982,7 +1294,7 @@ mod tests {
         // Regression: any out-of-order record used to be dropped as stale —
         // a 60 s-late sample (well within one reporting period) vanished
         // from every live-window query. It must land in the window now.
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         m.ingest(rec(1, 300, 0.3, 0.3, 0.3));
         m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
         let late = m.ingest(rec(1, 540, 0.95, 0.3, 0.3));
@@ -1009,7 +1321,8 @@ mod tests {
         let strict = StreamMonitor::new(StreamConfig {
             ooo_tolerance: TimeDelta::seconds(0),
             ..Default::default()
-        });
+        })
+        .unwrap();
         strict.ingest(rec(1, 600, 0.3, 0.3, 0.3));
         strict.ingest(rec(1, 540, 0.3, 0.3, 0.3));
         assert_eq!(strict.stale_dropped(), 1);
@@ -1028,7 +1341,8 @@ mod tests {
                 }),
                 Box::new(EwmaDetector::default()),
             ],
-        );
+        )
+        .unwrap();
         // A flat baseline then a step: EWMA flags the deviation even though
         // it never crosses the 0.9 threshold.
         let mut alerts = Vec::new();
@@ -1045,7 +1359,7 @@ mod tests {
 
     #[test]
     fn latest_and_tracking() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         m.ingest(rec(1, 0, 0.2, 0.3, 0.4));
         m.ingest(rec(2, 0, 0.5, 0.6, 0.7));
         assert_eq!(m.tracked_machines(), 2);
@@ -1056,7 +1370,7 @@ mod tests {
 
     #[test]
     fn ingest_all_collects_alerts() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         let recs = vec![
             rec(1, 0, 0.2, 0.2, 0.2),
             rec(1, 60, 0.95, 0.2, 0.2),
@@ -1068,7 +1382,7 @@ mod tests {
 
     #[test]
     fn alert_buffer_drains_once() {
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         m.ingest(rec(1, 0, 0.95, 0.3, 0.3));
         m.ingest(rec(1, 60, 0.97, 0.3, 0.3));
         assert_eq!(m.alerts_len(), 2);
@@ -1091,7 +1405,7 @@ mod tests {
             alert_capacity: 3,
             ..Default::default()
         };
-        let m = StreamMonitor::new(cfg);
+        let m = StreamMonitor::new(cfg).unwrap();
         for i in 0..10 {
             m.ingest(rec(1, i * 60, 0.95, 0.3, 0.3));
         }
@@ -1102,17 +1416,14 @@ mod tests {
         let drained = m.drain_alerts();
         assert_eq!(drained[0].at, Timestamp::new(7 * 60));
 
-        // Capacity 0 disables retention but still accounts for every drop.
-        let m = StreamMonitor::new(StreamConfig {
+        // Capacity 0 is rejected at construction: a monitor that silently
+        // discards every alert is a misconfiguration, not a mode.
+        let err = StreamMonitor::new(StreamConfig {
             alert_capacity: 0,
             ..Default::default()
-        });
-        for i in 0..5 {
-            m.ingest(rec(1, i * 60, 0.95, 0.3, 0.3));
-        }
-        assert_eq!(m.alerts_len(), 0);
-        assert_eq!(m.total_alerts(), 5);
-        assert_eq!(m.alerts_overflowed(), 5);
+        })
+        .unwrap_err();
+        assert_eq!(err, StreamConfigError::ZeroAlertCapacity);
     }
 
     /// PR 3's alert buffer accounting, under interleaved drains and
@@ -1123,7 +1434,8 @@ mod tests {
         let m = StreamMonitor::new(StreamConfig {
             alert_capacity: 2,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let mut delivered = 0u64;
         let mut t = 0i64;
         let mut fire = |m: &StreamMonitor, n: usize| {
@@ -1175,7 +1487,8 @@ mod tests {
         let m = StreamMonitor::new(StreamConfig {
             horizon: TimeDelta::DAY,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let inst =
             |job: u32, task: u32, seq: u32, machine: u32, s: i64, e: i64| BatchInstanceRecord {
                 start_time: Timestamp::new(s),
@@ -1241,7 +1554,7 @@ mod tests {
     #[test]
     fn live_view_tracks_open_instances_until_finished() {
         use batchlens_trace::{JobId, TaskId};
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         let (job, task) = (JobId::new(4), TaskId::new(1));
         m.instance_started(job, task, 0, MachineId::new(2), Timestamp::new(100));
         let view = m.live_view();
@@ -1275,10 +1588,10 @@ mod tests {
         // Add and Remove at the same instant, delivered in both orders —
         // and a batch dataset fed the same pair: all three agree (dead
         // wins).
-        let add_first = StreamMonitor::new(StreamConfig::default());
+        let add_first = StreamMonitor::new(StreamConfig::default()).unwrap();
         add_first.ingest_machine_event(ev(100, MachineEvent::Add));
         add_first.ingest_machine_event(ev(100, MachineEvent::Remove));
-        let remove_first = StreamMonitor::new(StreamConfig::default());
+        let remove_first = StreamMonitor::new(StreamConfig::default()).unwrap();
         remove_first.ingest_machine_event(ev(100, MachineEvent::Remove));
         remove_first.ingest_machine_event(ev(100, MachineEvent::Add));
         let mut b = batchlens_trace::TraceDatasetBuilder::new();
@@ -1300,7 +1613,8 @@ mod tests {
         let m = StreamMonitor::new(StreamConfig {
             horizon: TimeDelta::seconds(600),
             ..Default::default()
-        });
+        })
+        .unwrap();
         let ev = |t: i64, event: MachineEvent| MachineEventRecord {
             time: Timestamp::new(t),
             machine: MachineId::new(1),
@@ -1338,7 +1652,8 @@ mod tests {
         let m = StreamMonitor::new(StreamConfig {
             horizon: TimeDelta::seconds(600),
             ..Default::default()
-        });
+        })
+        .unwrap();
         use batchlens_trace::{JobId, TaskId};
         let inst = |job: u32, s: i64, e: i64| BatchInstanceRecord {
             start_time: Timestamp::new(s),
@@ -1377,7 +1692,7 @@ mod tests {
     #[test]
     fn state_version_tracks_query_visible_mutations() {
         use batchlens_trace::{JobId, TaskId};
-        let m = StreamMonitor::new(StreamConfig::default());
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
         assert_eq!(m.state_version(), 0);
         m.ingest(rec(1, 600, 0.3, 0.3, 0.3));
         let v1 = m.state_version();
@@ -1428,7 +1743,8 @@ mod tests {
         let m = StreamMonitor::new(StreamConfig {
             horizon: TimeDelta::DAY,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let inst =
             |job: u32, task: u32, seq: u32, machine: u32, s: i64, e: i64| BatchInstanceRecord {
                 start_time: Timestamp::new(s),
@@ -1511,7 +1827,7 @@ mod tests {
     fn concurrent_ingest_is_safe() {
         use std::sync::Arc;
         use std::thread;
-        let m = Arc::new(StreamMonitor::new(StreamConfig::default()));
+        let m = Arc::new(StreamMonitor::new(StreamConfig::default()).unwrap());
         let mut handles = Vec::new();
         for machine in 0..4u32 {
             let m = Arc::clone(&m);
@@ -1527,5 +1843,224 @@ mod tests {
         assert_eq!(m.ingested(), 400);
         assert_eq!(m.tracked_machines(), 4);
         assert_eq!(m.stale_dropped(), 0);
+    }
+
+    fn temp_wal_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "batchlens-stream-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_settings() {
+        let err = StreamConfig {
+            horizon: TimeDelta::seconds(0),
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, StreamConfigError::NonPositiveHorizon { seconds: 0 });
+        assert!(err.to_string().contains("horizon"));
+
+        let err = StreamConfig {
+            horizon: TimeDelta::seconds(-60),
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, StreamConfigError::NonPositiveHorizon { seconds: -60 });
+
+        let err = StreamConfig {
+            ooo_tolerance: TimeDelta::seconds(-1),
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, StreamConfigError::NegativeOooTolerance { seconds: -1 });
+
+        // Zero tolerance is the documented strict mode, not an error.
+        StreamConfig {
+            ooo_tolerance: TimeDelta::seconds(0),
+            ..Default::default()
+        }
+        .validate()
+        .unwrap();
+        StreamConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn wal_round_trip_recovers_exact_state() {
+        use batchlens_trace::wal::{WalConfig, WalWriter};
+        use batchlens_trace::{JobId, TaskId};
+        let dir = temp_wal_dir("roundtrip");
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
+        m.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
+        assert!(m.wal_attached());
+
+        m.ingest(rec(1, 0, 0.3, 0.3, 0.3));
+        m.ingest(rec(1, 60, 0.95, 0.4, 0.3)); // fires an alert
+        m.ingest(rec(1, 30, 0.5, 0.5, 0.5)); // late-accepted
+        m.ingest(rec(1, 30, 0.5, 0.5, 0.5)); // straggler duplicate
+        m.instance_started(
+            JobId::new(1),
+            TaskId::new(1),
+            0,
+            MachineId::new(1),
+            Timestamp::new(10),
+        );
+        m.ingest_instance(BatchInstanceRecord {
+            start_time: Timestamp::new(0),
+            end_time: Timestamp::new(50),
+            job: JobId::new(2),
+            task: TaskId::new(1),
+            seq: 0,
+            total: 1,
+            machine: MachineId::new(2),
+            status: batchlens_trace::InstanceStatus::Terminated,
+            cpu_avg: 0.4,
+            cpu_max: 0.8,
+            mem_avg: 0.3,
+            mem_max: 0.5,
+        });
+        let drained = m.drain_alerts();
+        assert_eq!(drained.len(), 1);
+        m.ingest(rec(2, 90, 0.97, 0.3, 0.3)); // a second alert, left undrained
+        m.instance_finished(JobId::new(1), TaskId::new(1), 0, Timestamp::new(80));
+        m.ingest_machine_event(MachineEventRecord {
+            time: Timestamp::new(70),
+            machine: MachineId::new(2),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+        assert_eq!(m.wal_errors(), 0);
+        assert!(m.last_wal_error().is_none());
+        drop(m.detach_wal());
+
+        let (r, report) = StreamMonitor::recover(&dir, StreamConfig::default()).unwrap();
+        assert!(report.reason.is_clean(), "{:?}", report.reason);
+        assert_eq!(report.records_replayed, 10);
+        assert_eq!(report.bytes_discarded, 0);
+
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
+        // A reference monitor fed the same deliveries directly must agree
+        // with recovery on every surface.
+        m.ingest(rec(1, 0, 0.3, 0.3, 0.3));
+        m.ingest(rec(1, 60, 0.95, 0.4, 0.3));
+        m.ingest(rec(1, 30, 0.5, 0.5, 0.5));
+        m.ingest(rec(1, 30, 0.5, 0.5, 0.5));
+        m.instance_started(
+            JobId::new(1),
+            TaskId::new(1),
+            0,
+            MachineId::new(1),
+            Timestamp::new(10),
+        );
+        m.ingest_instance(BatchInstanceRecord {
+            start_time: Timestamp::new(0),
+            end_time: Timestamp::new(50),
+            job: JobId::new(2),
+            task: TaskId::new(1),
+            seq: 0,
+            total: 1,
+            machine: MachineId::new(2),
+            status: batchlens_trace::InstanceStatus::Terminated,
+            cpu_avg: 0.4,
+            cpu_max: 0.8,
+            mem_avg: 0.3,
+            mem_max: 0.5,
+        });
+        m.drain_alerts();
+        m.ingest(rec(2, 90, 0.97, 0.3, 0.3));
+        m.instance_finished(JobId::new(1), TaskId::new(1), 0, Timestamp::new(80));
+        m.ingest_machine_event(MachineEventRecord {
+            time: Timestamp::new(70),
+            machine: MachineId::new(2),
+            event: MachineEvent::Remove,
+            capacity_cpu: 0.0,
+            capacity_mem: 0.0,
+            capacity_disk: 0.0,
+        });
+
+        assert_eq!(r.state_version(), m.state_version());
+        assert_eq!(r.ingested(), m.ingested());
+        assert_eq!(r.late_accepted(), m.late_accepted());
+        assert_eq!(r.stale_dropped(), m.stale_dropped());
+        assert_eq!(r.ingested_instances(), m.ingested_instances());
+        assert_eq!(r.ingested_events(), m.ingested_events());
+        assert_eq!(r.total_alerts(), m.total_alerts());
+        assert_eq!(r.peek_alerts(), m.peek_alerts());
+        for t in [0, 30, 60, 70, 90] {
+            assert_eq!(
+                r.live_view().frame(Timestamp::new(t)),
+                m.live_view().frame(Timestamp::new(t)),
+                "frame({t})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_from_empty_dir_is_clean_and_empty() {
+        let dir = temp_wal_dir("empty");
+        let (r, report) = StreamMonitor::recover(&dir, StreamConfig::default()).unwrap();
+        assert!(report.reason.is_clean());
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(r.state_version(), 0);
+        assert_eq!(r.ingested(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_rejects_invalid_config_before_touching_the_log() {
+        let dir = temp_wal_dir("badcfg");
+        let err = StreamMonitor::recover(
+            &dir,
+            StreamConfig {
+                horizon: TimeDelta::seconds(0),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoverError::Config(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_truncates_at_corruption_and_reports_it() {
+        use batchlens_trace::wal::{WalConfig, WalWriter};
+        let dir = temp_wal_dir("corrupt");
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
+        m.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
+        for i in 0..20 {
+            m.ingest(rec(1, i * 60, 0.3, 0.3, 0.3));
+        }
+        drop(m.detach_wal());
+
+        // Flip one bit two-thirds of the way into the single segment.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "wal"))
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let at = bytes.len() * 2 / 3;
+        bytes[at] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (r, report) = StreamMonitor::recover(&dir, StreamConfig::default()).unwrap();
+        assert!(!report.reason.is_clean());
+        assert!(report.bytes_discarded > 0);
+        assert!(report.records_replayed < 20);
+        // The prefix before the corruption replayed exactly.
+        assert_eq!(r.ingested(), report.records_replayed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

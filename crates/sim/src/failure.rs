@@ -130,6 +130,138 @@ pub fn failure_events(failures: &[MachineFailure]) -> Vec<MachineEventRecord> {
     events
 }
 
+/// A scripted crash of the **monitoring process itself** (as opposed to
+/// [`MachineFailure`], which models monitored machines dying): the process
+/// is killed at [`MonitorCrash::at`] — possibly tearing the tail of its
+/// write-ahead log — and restarts [`MonitorCrash::restart_after`] later by
+/// recovering from the log. Deliveries arriving while the process is down
+/// are lost, exactly as they would be against a dead collector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorCrash {
+    /// When the process dies.
+    pub at: Timestamp,
+    /// Downtime before it restarts from the WAL.
+    pub restart_after: TimeDelta,
+    /// Bytes of the active WAL segment torn off by the crash (un-synced
+    /// page-cache tail lost to the power failure). Zero models a clean
+    /// process kill after a completed `write`.
+    pub torn_tail_bytes: u64,
+}
+
+impl MonitorCrash {
+    /// When the process is back up.
+    pub fn restart_at(&self) -> Timestamp {
+        self.at + self.restart_after
+    }
+
+    /// Whether the process is down at `t` (down from `at` inclusive to
+    /// `restart_at` exclusive).
+    pub fn covers(&self, t: Timestamp) -> bool {
+        self.at <= t && t < self.restart_at()
+    }
+}
+
+/// Outcome of driving a delivery timeline through a
+/// [`CrashRestartRegime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashStats {
+    /// Deliveries handed to the live process.
+    pub delivered: u64,
+    /// Deliveries lost to downtime windows.
+    pub lost: u64,
+    /// Crashes that actually fired within the driven timeline.
+    pub crashes: u64,
+}
+
+/// A schedule of monitor crashes and restarts — the scenario-level driver
+/// for crash-recovery experiments.
+///
+/// The regime partitions a time-ordered delivery stream into up/down
+/// windows and invokes caller hooks at each transition; what "crash" and
+/// "restart" mean (drop the monitor and tear the log; recover and re-open
+/// the writer) is the caller's business, which keeps this crate free of a
+/// dependency on the monitor. See `examples/crash_recovery.rs` for the
+/// full wiring against a real `StreamMonitor`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRestartRegime {
+    crashes: Vec<MonitorCrash>,
+}
+
+impl CrashRestartRegime {
+    /// Builds a regime from a crash list: crashes are time-sorted, and a
+    /// crash scheduled while the process is already down from an earlier
+    /// one is dropped (a dead process cannot die again).
+    pub fn new(mut crashes: Vec<MonitorCrash>) -> Self {
+        crashes.sort_by_key(|c| c.at);
+        let mut kept: Vec<MonitorCrash> = Vec::with_capacity(crashes.len());
+        for c in crashes {
+            if kept.last().is_none_or(|prev| c.at >= prev.restart_at()) {
+                kept.push(c);
+            }
+        }
+        CrashRestartRegime { crashes: kept }
+    }
+
+    /// The normalized (sorted, non-overlapping) crash schedule.
+    pub fn crashes(&self) -> &[MonitorCrash] {
+        &self.crashes
+    }
+
+    /// Whether the process is down at `t`.
+    pub fn is_down(&self, t: Timestamp) -> bool {
+        self.crashes.iter().any(|c| c.covers(t))
+    }
+
+    /// Drives a **time-ordered** delivery stream through the schedule.
+    ///
+    /// For each delivery `(t, item)` the regime first fires, in event
+    /// order, any `crash`/`restart` transition at or before `t`, then
+    /// routes the item: `deliver` while the process is up, counted lost
+    /// while it is down. After the stream ends, a crashed process is
+    /// restarted (its `restart` hook fires) so the caller always ends with
+    /// a live, recovered monitor; crashes scheduled entirely after the
+    /// last delivery never fire.
+    pub fn drive<T>(
+        &self,
+        deliveries: impl IntoIterator<Item = (Timestamp, T)>,
+        mut deliver: impl FnMut(T),
+        mut crash: impl FnMut(&MonitorCrash),
+        mut restart: impl FnMut(&MonitorCrash),
+    ) -> CrashStats {
+        let mut stats = CrashStats::default();
+        let mut next = 0usize; // first crash not yet fired
+        let mut down: Option<usize> = None; // fired but not yet restarted
+        for (t, item) in deliveries {
+            if let Some(i) = down {
+                if self.crashes[i].restart_at() <= t {
+                    restart(&self.crashes[i]);
+                    down = None;
+                }
+            }
+            while down.is_none() && next < self.crashes.len() && self.crashes[next].at <= t {
+                crash(&self.crashes[next]);
+                stats.crashes += 1;
+                if self.crashes[next].restart_at() <= t {
+                    restart(&self.crashes[next]);
+                } else {
+                    down = Some(next);
+                }
+                next += 1;
+            }
+            if down.is_some() {
+                stats.lost += 1;
+            } else {
+                deliver(item);
+                stats.delivered += 1;
+            }
+        }
+        if let Some(i) = down {
+            restart(&self.crashes[i]);
+        }
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +369,84 @@ mod tests {
         // Earliest failure per machine wins → one event at t=1000.
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].time, Timestamp::new(1000));
+    }
+
+    fn crash(at: i64, down: i64) -> MonitorCrash {
+        MonitorCrash {
+            at: Timestamp::new(at),
+            restart_after: TimeDelta::seconds(down),
+            torn_tail_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn regime_drops_crashes_during_downtime_and_sorts() {
+        let regime = CrashRestartRegime::new(vec![
+            crash(500, 100),
+            crash(100, 300), // down over [100, 400)
+            crash(250, 50),  // inside the first downtime: dropped
+        ]);
+        let ats: Vec<i64> = regime.crashes().iter().map(|c| c.at.seconds()).collect();
+        assert_eq!(ats, vec![100, 500]);
+        assert!(regime.is_down(Timestamp::new(100)), "crash instant is down");
+        assert!(regime.is_down(Timestamp::new(399)));
+        assert!(
+            !regime.is_down(Timestamp::new(400)),
+            "restart instant is up"
+        );
+        assert!(!regime.is_down(Timestamp::new(450)));
+    }
+
+    #[test]
+    fn drive_partitions_deliveries_and_fires_hooks_in_order() {
+        let regime = CrashRestartRegime::new(vec![crash(300, 200)]);
+        let deliveries = (0..8).map(|i| (Timestamp::new(i * 100), i));
+        let log = std::cell::RefCell::new(Vec::<String>::new());
+        let mut got: Vec<i64> = Vec::new();
+        let stats = regime.drive(
+            deliveries,
+            |i| got.push(i),
+            |c| log.borrow_mut().push(format!("crash@{}", c.at.seconds())),
+            |c| {
+                log.borrow_mut()
+                    .push(format!("restart@{}", c.restart_at().seconds()))
+            },
+        );
+        // t=300 and t=400 fall inside the [300, 500) downtime.
+        assert_eq!(got, vec![0, 1, 2, 5, 6, 7]);
+        assert_eq!(
+            stats,
+            CrashStats {
+                delivered: 6,
+                lost: 2,
+                crashes: 1
+            }
+        );
+        assert_eq!(log.into_inner(), vec!["crash@300", "restart@500"]);
+    }
+
+    #[test]
+    fn drive_restarts_a_crashed_process_after_the_stream_ends() {
+        let regime = CrashRestartRegime::new(vec![crash(100, 1_000_000)]);
+        let mut restarts = 0;
+        let stats = regime.drive(
+            (0..3).map(|i| (Timestamp::new(i * 100), ())),
+            |()| {},
+            |_| {},
+            |_| restarts += 1,
+        );
+        assert_eq!(stats.delivered, 1, "only t=0 lands before the crash");
+        assert_eq!(stats.lost, 2);
+        assert_eq!(restarts, 1, "final restart fires so the caller recovers");
+    }
+
+    #[test]
+    fn crashes_after_the_last_delivery_never_fire() {
+        let regime = CrashRestartRegime::new(vec![crash(10_000, 10)]);
+        let mut fired = 0;
+        let stats = regime.drive([(Timestamp::new(0), ())], |()| {}, |_| fired += 1, |_| {});
+        assert_eq!(fired, 0);
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.delivered, 1);
     }
 }

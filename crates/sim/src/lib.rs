@@ -62,7 +62,7 @@ pub use anomaly::Anomaly;
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::Simulation;
 pub use error::SimError;
-pub use failure::{CascadeModel, MachineFailure};
+pub use failure::{CascadeModel, CrashRestartRegime, CrashStats, MachineFailure, MonitorCrash};
 pub use scheduler::{LeastLoaded, Packing, RoundRobin, Scheduler};
 pub use shape::{FootprintProfile, Shape};
 pub use spec::{JobSpec, TaskSpec};

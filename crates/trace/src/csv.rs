@@ -17,8 +17,8 @@
 use std::fmt::Write as _;
 
 use crate::{
-    BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ServerUsageRecord, Timestamp,
-    TraceError, UtilizationTriple,
+    BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ParseWarning, ServerUsageRecord,
+    Timestamp, TraceError, UtilizationTriple,
 };
 
 /// Header emitted/accepted for `batch_task` files.
@@ -95,32 +95,102 @@ fn data_lines<'a>(input: &'a str, header: &'a str) -> impl Iterator<Item = (usiz
     })
 }
 
-/// Parses a `batch_task` file.
+/// How a parse treats malformed rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// With `recover: false` (the default, and what the plain `parse_*`
+    /// functions do) the first malformed row aborts the whole file. With
+    /// `recover: true` malformed rows are **skipped** and reported as
+    /// line-numbered [`ParseWarning`]s, so one corrupt row no longer costs
+    /// the rest of a multi-gigabyte dump.
+    pub recover: bool,
+}
+
+impl ParseOptions {
+    /// The recovering mode: skip malformed rows, collect warnings.
+    pub const fn recovering() -> ParseOptions {
+        ParseOptions { recover: true }
+    }
+}
+
+/// Outcome of a [`ParseOptions`]-driven parse: the rows that parsed plus a
+/// warning per row that did not (empty in strict mode, which aborts
+/// instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered<T> {
+    /// Successfully parsed records, in input order.
+    pub records: Vec<T>,
+    /// One line-numbered warning per skipped row, in input order.
+    pub warnings: Vec<ParseWarning>,
+}
+
+fn parse_table<T>(
+    input: &str,
+    header: &str,
+    table: &'static str,
+    opts: ParseOptions,
+    parse_row: impl Fn(&str, usize) -> Result<T, TraceError>,
+) -> Result<Recovered<T>, TraceError> {
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for (line_no, line) in data_lines(input, header) {
+        match parse_row(line, line_no) {
+            Ok(rec) => records.push(rec),
+            Err(error) if opts.recover => warnings.push(ParseWarning {
+                line: line_no,
+                table,
+                error,
+            }),
+            Err(error) => return Err(error),
+        }
+    }
+    Ok(Recovered { records, warnings })
+}
+
+fn parse_batch_task_row(line: &str, line_no: usize) -> Result<BatchTaskRecord, TraceError> {
+    const TABLE: &str = "batch_task";
+    let f = split_fields(line, 8, TABLE, line_no)?;
+    (|| -> Result<BatchTaskRecord, TraceError> {
+        Ok(BatchTaskRecord {
+            create_time: Timestamp::new(parse_i64(f[0], "create_time")?),
+            modify_time: Timestamp::new(parse_i64(f[1], "modify_time")?),
+            job: f[2].parse()?,
+            task: f[3].parse()?,
+            instance_count: parse_u32(f[4], "instance_num")?,
+            status: f[5].parse()?,
+            plan_cpu: parse_f64(f[6], "plan_cpu")?,
+            plan_mem: parse_f64(f[7], "plan_mem")?,
+        })
+    })()
+    .map_err(|e| at_line(e, TABLE, line_no))
+}
+
+/// Parses a `batch_task` file (strict: the first bad row aborts).
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::ParseLine`] naming the first offending line.
 pub fn parse_batch_tasks(input: &str) -> Result<Vec<BatchTaskRecord>, TraceError> {
-    const TABLE: &str = "batch_task";
-    let mut out = Vec::new();
-    for (line_no, line) in data_lines(input, BATCH_TASK_HEADER) {
-        let f = split_fields(line, 8, TABLE, line_no)?;
-        let rec = (|| -> Result<BatchTaskRecord, TraceError> {
-            Ok(BatchTaskRecord {
-                create_time: Timestamp::new(parse_i64(f[0], "create_time")?),
-                modify_time: Timestamp::new(parse_i64(f[1], "modify_time")?),
-                job: f[2].parse()?,
-                task: f[3].parse()?,
-                instance_count: parse_u32(f[4], "instance_num")?,
-                status: f[5].parse()?,
-                plan_cpu: parse_f64(f[6], "plan_cpu")?,
-                plan_mem: parse_f64(f[7], "plan_mem")?,
-            })
-        })()
-        .map_err(|e| at_line(e, TABLE, line_no))?;
-        out.push(rec);
-    }
-    Ok(out)
+    parse_batch_tasks_with(input, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Parses a `batch_task` file under `opts`; with
+/// [`ParseOptions::recovering`] malformed rows become warnings.
+///
+/// # Errors
+///
+/// In strict mode only, [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_batch_tasks_with(
+    input: &str,
+    opts: ParseOptions,
+) -> Result<Recovered<BatchTaskRecord>, TraceError> {
+    parse_table(
+        input,
+        BATCH_TASK_HEADER,
+        "batch_task",
+        opts,
+        parse_batch_task_row,
+    )
 }
 
 /// Serializes `batch_task` records with a header line.
@@ -145,36 +215,54 @@ pub fn write_batch_tasks(records: &[BatchTaskRecord]) -> String {
     s
 }
 
-/// Parses a `batch_instance` file.
+fn parse_batch_instance_row(line: &str, line_no: usize) -> Result<BatchInstanceRecord, TraceError> {
+    const TABLE: &str = "batch_instance";
+    let f = split_fields(line, 12, TABLE, line_no)?;
+    (|| -> Result<BatchInstanceRecord, TraceError> {
+        Ok(BatchInstanceRecord {
+            start_time: Timestamp::new(parse_i64(f[0], "start_time")?),
+            end_time: Timestamp::new(parse_i64(f[1], "end_time")?),
+            job: f[2].parse()?,
+            task: f[3].parse()?,
+            seq: parse_u32(f[4], "seq_no")?,
+            total: parse_u32(f[5], "total_seq_no")?,
+            machine: f[6].parse()?,
+            status: f[7].parse()?,
+            cpu_avg: parse_f64(f[8], "cpu_avg")?,
+            cpu_max: parse_f64(f[9], "cpu_max")?,
+            mem_avg: parse_f64(f[10], "mem_avg")?,
+            mem_max: parse_f64(f[11], "mem_max")?,
+        })
+    })()
+    .map_err(|e| at_line(e, TABLE, line_no))
+}
+
+/// Parses a `batch_instance` file (strict: the first bad row aborts).
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::ParseLine`] naming the first offending line.
 pub fn parse_batch_instances(input: &str) -> Result<Vec<BatchInstanceRecord>, TraceError> {
-    const TABLE: &str = "batch_instance";
-    let mut out = Vec::new();
-    for (line_no, line) in data_lines(input, BATCH_INSTANCE_HEADER) {
-        let f = split_fields(line, 12, TABLE, line_no)?;
-        let rec = (|| -> Result<BatchInstanceRecord, TraceError> {
-            Ok(BatchInstanceRecord {
-                start_time: Timestamp::new(parse_i64(f[0], "start_time")?),
-                end_time: Timestamp::new(parse_i64(f[1], "end_time")?),
-                job: f[2].parse()?,
-                task: f[3].parse()?,
-                seq: parse_u32(f[4], "seq_no")?,
-                total: parse_u32(f[5], "total_seq_no")?,
-                machine: f[6].parse()?,
-                status: f[7].parse()?,
-                cpu_avg: parse_f64(f[8], "cpu_avg")?,
-                cpu_max: parse_f64(f[9], "cpu_max")?,
-                mem_avg: parse_f64(f[10], "mem_avg")?,
-                mem_max: parse_f64(f[11], "mem_max")?,
-            })
-        })()
-        .map_err(|e| at_line(e, TABLE, line_no))?;
-        out.push(rec);
-    }
-    Ok(out)
+    parse_batch_instances_with(input, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Parses a `batch_instance` file under `opts`; with
+/// [`ParseOptions::recovering`] malformed rows become warnings.
+///
+/// # Errors
+///
+/// In strict mode only, [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_batch_instances_with(
+    input: &str,
+    opts: ParseOptions,
+) -> Result<Recovered<BatchInstanceRecord>, TraceError> {
+    parse_table(
+        input,
+        BATCH_INSTANCE_HEADER,
+        "batch_instance",
+        opts,
+        parse_batch_instance_row,
+    )
 }
 
 /// Serializes `batch_instance` records with a header line.
@@ -203,32 +291,50 @@ pub fn write_batch_instances(records: &[BatchInstanceRecord]) -> String {
     s
 }
 
-/// Parses a `server_usage` file. Utilization columns are percentages and are
-/// clamped into `0..=100`.
+fn parse_server_usage_row(line: &str, line_no: usize) -> Result<ServerUsageRecord, TraceError> {
+    const TABLE: &str = "server_usage";
+    let f = split_fields(line, 5, TABLE, line_no)?;
+    (|| -> Result<ServerUsageRecord, TraceError> {
+        Ok(ServerUsageRecord {
+            time: Timestamp::new(parse_i64(f[0], "time")?),
+            machine: f[1].parse()?,
+            util: UtilizationTriple::clamped(
+                parse_f64(f[2], "util_cpu")? / 100.0,
+                parse_f64(f[3], "util_mem")? / 100.0,
+                parse_f64(f[4], "util_disk")? / 100.0,
+            ),
+        })
+    })()
+    .map_err(|e| at_line(e, TABLE, line_no))
+}
+
+/// Parses a `server_usage` file (strict: the first bad row aborts).
+/// Utilization columns are percentages and are clamped into `0..=100`.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::ParseLine`] naming the first offending line.
 pub fn parse_server_usage(input: &str) -> Result<Vec<ServerUsageRecord>, TraceError> {
-    const TABLE: &str = "server_usage";
-    let mut out = Vec::new();
-    for (line_no, line) in data_lines(input, SERVER_USAGE_HEADER) {
-        let f = split_fields(line, 5, TABLE, line_no)?;
-        let rec = (|| -> Result<ServerUsageRecord, TraceError> {
-            Ok(ServerUsageRecord {
-                time: Timestamp::new(parse_i64(f[0], "time")?),
-                machine: f[1].parse()?,
-                util: UtilizationTriple::clamped(
-                    parse_f64(f[2], "util_cpu")? / 100.0,
-                    parse_f64(f[3], "util_mem")? / 100.0,
-                    parse_f64(f[4], "util_disk")? / 100.0,
-                ),
-            })
-        })()
-        .map_err(|e| at_line(e, TABLE, line_no))?;
-        out.push(rec);
-    }
-    Ok(out)
+    parse_server_usage_with(input, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Parses a `server_usage` file under `opts`; with
+/// [`ParseOptions::recovering`] malformed rows become warnings.
+///
+/// # Errors
+///
+/// In strict mode only, [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_server_usage_with(
+    input: &str,
+    opts: ParseOptions,
+) -> Result<Recovered<ServerUsageRecord>, TraceError> {
+    parse_table(
+        input,
+        SERVER_USAGE_HEADER,
+        "server_usage",
+        opts,
+        parse_server_usage_row,
+    )
 }
 
 /// Serializes `server_usage` records (percent columns) with a header line.
@@ -250,30 +356,48 @@ pub fn write_server_usage(records: &[ServerUsageRecord]) -> String {
     s
 }
 
-/// Parses a `machine_events` file.
+fn parse_machine_event_row(line: &str, line_no: usize) -> Result<MachineEventRecord, TraceError> {
+    const TABLE: &str = "machine_events";
+    let f = split_fields(line, 6, TABLE, line_no)?;
+    (|| -> Result<MachineEventRecord, TraceError> {
+        Ok(MachineEventRecord {
+            time: Timestamp::new(parse_i64(f[0], "time")?),
+            machine: f[1].parse()?,
+            event: f[2].parse()?,
+            capacity_cpu: parse_f64(f[3], "capacity_cpu")?,
+            capacity_mem: parse_f64(f[4], "capacity_mem")?,
+            capacity_disk: parse_f64(f[5], "capacity_disk")?,
+        })
+    })()
+    .map_err(|e| at_line(e, TABLE, line_no))
+}
+
+/// Parses a `machine_events` file (strict: the first bad row aborts).
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::ParseLine`] naming the first offending line.
 pub fn parse_machine_events(input: &str) -> Result<Vec<MachineEventRecord>, TraceError> {
-    const TABLE: &str = "machine_events";
-    let mut out = Vec::new();
-    for (line_no, line) in data_lines(input, MACHINE_EVENTS_HEADER) {
-        let f = split_fields(line, 6, TABLE, line_no)?;
-        let rec = (|| -> Result<MachineEventRecord, TraceError> {
-            Ok(MachineEventRecord {
-                time: Timestamp::new(parse_i64(f[0], "time")?),
-                machine: f[1].parse()?,
-                event: f[2].parse()?,
-                capacity_cpu: parse_f64(f[3], "capacity_cpu")?,
-                capacity_mem: parse_f64(f[4], "capacity_mem")?,
-                capacity_disk: parse_f64(f[5], "capacity_disk")?,
-            })
-        })()
-        .map_err(|e| at_line(e, TABLE, line_no))?;
-        out.push(rec);
-    }
-    Ok(out)
+    parse_machine_events_with(input, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Parses a `machine_events` file under `opts`; with
+/// [`ParseOptions::recovering`] malformed rows become warnings.
+///
+/// # Errors
+///
+/// In strict mode only, [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_machine_events_with(
+    input: &str,
+    opts: ParseOptions,
+) -> Result<Recovered<MachineEventRecord>, TraceError> {
+    parse_table(
+        input,
+        MACHINE_EVENTS_HEADER,
+        "machine_events",
+        opts,
+        parse_machine_event_row,
+    )
 }
 
 /// Serializes `machine_events` records with a header line.
@@ -420,6 +544,69 @@ mod tests {
         let text = "0,300,job_1\n";
         let err = parse_batch_tasks(text).unwrap_err();
         assert!(matches!(err, TraceError::ParseLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn recovering_parse_skips_bad_rows_with_line_numbered_warnings() {
+        let text = format!(
+            "{}\n0,300,job_1,task_1,1,T,1,0.5\n\
+             0,300,job_2,task_1,NOTANUM,T,1,0.5\n\
+             0,300,job_3\n\
+             0,300,job_4,task_1,2,T,1,0.5\n",
+            BATCH_TASK_HEADER
+        );
+        // Strict mode still aborts at the first bad row.
+        assert!(parse_batch_tasks(&text).is_err());
+        let rec = parse_batch_tasks_with(&text, ParseOptions::recovering()).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0].job, JobId::new(1));
+        assert_eq!(rec.records[1].job, JobId::new(4));
+        assert_eq!(rec.warnings.len(), 2);
+        assert_eq!(rec.warnings[0].line, 3);
+        assert_eq!(rec.warnings[0].table, "batch_task");
+        assert!(rec.warnings[0].to_string().contains("line 3"));
+        assert_eq!(rec.warnings[1].line, 4);
+        // The good rows parse identically to a strict parse of only them.
+        let clean = format!(
+            "{}\n0,300,job_1,task_1,1,T,1,0.5\n0,300,job_4,task_1,2,T,1,0.5\n",
+            BATCH_TASK_HEADER
+        );
+        assert_eq!(rec.records, parse_batch_tasks(&clean).unwrap());
+    }
+
+    #[test]
+    fn recovering_parse_covers_all_four_tables() {
+        let usage = "0,machine_1,50,50,50\nbogus line\n60,machine_1,60,60,60\n";
+        let r = parse_server_usage_with(usage, ParseOptions::recovering()).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.warnings.len(), 1);
+        assert_eq!(r.warnings[0].line, 2);
+        assert_eq!(r.warnings[0].table, "server_usage");
+
+        let inst = "0,300,job_1,task_1,0,1,machine_1,T,0.1,0.2,0.1,0.2\n0,300,job_1\n";
+        let r = parse_batch_instances_with(inst, ParseOptions::recovering()).unwrap();
+        assert_eq!((r.records.len(), r.warnings.len()), (1, 1));
+
+        let ev = "0,machine_1,add,64,1,1\n5,machine_1,reboot,0,0,0\n";
+        let r = parse_machine_events_with(ev, ParseOptions::recovering()).unwrap();
+        assert_eq!((r.records.len(), r.warnings.len()), (1, 1));
+        assert!(matches!(
+            r.warnings[0].error,
+            TraceError::ParseLine { line: 2, .. }
+        ));
+
+        // A fully clean file recovers with zero warnings, strict-identical.
+        let clean = write_machine_events(&[MachineEventRecord {
+            time: Timestamp::new(0),
+            machine: MachineId::new(1),
+            event: MachineEvent::Add,
+            capacity_cpu: 64.0,
+            capacity_mem: 1.0,
+            capacity_disk: 1.0,
+        }]);
+        let r = parse_machine_events_with(&clean, ParseOptions::recovering()).unwrap();
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.records, parse_machine_events(&clean).unwrap());
     }
 
     #[test]

@@ -126,6 +126,33 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// A malformed row skipped by a recovering CSV parse (`recover: true` in
+/// [`crate::csv::ParseOptions`]): the line number, the table, and the error
+/// the strict parser would have aborted with.
+///
+/// Warnings are diagnostics, not errors — a recovering load succeeds with
+/// the parseable rows and reports what it had to skip, line-numbered so the
+/// operator can fix the source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseWarning {
+    /// 1-based line number within the input.
+    pub line: usize,
+    /// Name of the table being parsed (e.g. `"batch_task"`).
+    pub table: &'static str,
+    /// The error the row failed with.
+    pub error: TraceError,
+}
+
+impl fmt::Display for ParseWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "skipped {} line {}: {}",
+            self.table, self.line, self.error
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

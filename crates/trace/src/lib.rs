@@ -86,11 +86,12 @@ mod record;
 mod series;
 pub mod stats;
 mod time;
+pub mod wal;
 
 pub use dataset::{
     InstanceRef, JobView, MachineInfo, MachineView, TaskView, TraceDataset, TraceDatasetBuilder,
 };
-pub use error::TraceError;
+pub use error::{ParseWarning, TraceError};
 pub use ids::{InstanceId, JobId, MachineId, TaskId};
 pub use interval::{IntervalIndex, RollingIntervalIndex};
 pub use metric::{Metric, Utilization, UtilizationTriple};

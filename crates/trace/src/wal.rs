@@ -1,0 +1,1280 @@
+//! Write-ahead log: checksummed, length-prefixed binary record framing with
+//! segment rotation — the durability substrate of the streaming monitor.
+//!
+//! Every mutation the live monitor accepts for processing (usage sample,
+//! instance open/close, machine event, alert drain) is encoded as one
+//! [`WalRecord`] and appended as one *frame* before it is applied. Because
+//! the monitor is deterministic — its out-of-order acceptance decisions
+//! depend only on the records delivered before — replaying the log
+//! reproduces the pre-crash state **bit-identically**: every counter, every
+//! window sample, every detector kernel state, every buffered alert.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! ┌─────────┬─────────┬─────────┬──────────────────────┐
+//! │ len u32 │ seq u64 │ crc u32 │ payload (len bytes)  │   all little-endian
+//! └─────────┴─────────┴─────────┴──────────────────────┘
+//! ```
+//!
+//! * `len` — payload length in bytes (`1..=`[`MAX_PAYLOAD_BYTES`]).
+//! * `seq` — monotonically increasing record sequence number.
+//! * `crc` — CRC-32 (IEEE 802.3 polynomial) over `len ‖ seq ‖ payload`.
+//!   Covering the length and sequence fields means a single-bit flip
+//!   *anywhere* in the frame is detected: a flip in the protected region
+//!   changes the checksum, and a flip in the `crc` field itself mismatches
+//!   the recomputed value.
+//! * `payload` — a one-byte record tag followed by the fixed-width body
+//!   (integers little-endian, `f64` fields as IEEE-754 bit patterns, so
+//!   round-trips are bit-exact).
+//!
+//! ## Segments
+//!
+//! Frames append to segment files named `{first_seq:020}.wal` inside the log
+//! directory. When the active segment would exceed
+//! [`WalConfig::segment_bytes`] the writer fsyncs it, seals it, and opens a
+//! new segment named after the next sequence number. [`WalReader`] iterates
+//! segments in name order and validates framing, checksums, and sequence
+//! continuity; it **never panics on bad input** — a torn header, torn body,
+//! bad length, checksum mismatch, sequence break, or undecodable payload
+//! stops replay cleanly at the last intact record with a typed
+//! [`WalStopReason`], and everything from the failure point on is reported
+//! as discarded ([`RecoveryReport::bytes_discarded`]).
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{
+    BatchInstanceRecord, JobId, MachineEvent, MachineEventRecord, MachineId, ServerUsageRecord,
+    TaskId, TaskStatus, Timestamp, UtilizationTriple,
+};
+
+/// Bytes in a frame header: `len: u32 ‖ seq: u64 ‖ crc: u32`.
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// Hard upper bound on a frame payload. Lengths above this are rejected as
+/// [`WalStopReason::BadLength`] before any allocation — a corrupted length
+/// field must not be able to request gigabytes.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC-32 (IEEE 802.3 reflected polynomial `0xEDB88320`) — the
+/// per-frame checksum. CRC-32 detects all single-bit and double-bit errors
+/// and all burst errors up to 32 bits, which is exactly the torn-write and
+/// bit-rot failure class the log guards against.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub const fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// Finalizes and returns the checksum.
+    pub const fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One logged monitor mutation: the unit of replay.
+///
+/// The log records every **delivery**, not just every accepted mutation:
+/// stale records the monitor drops still consume a log entry, because the
+/// drop itself mutates observable state (the `stale_dropped` counter) and
+/// replay is held to bit-identity with the pre-crash monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A delivered `server_usage` sample ([`ServerUsageRecord`]).
+    Usage(ServerUsageRecord),
+    /// A delivered closed-instance record ([`BatchInstanceRecord`]).
+    Instance(BatchInstanceRecord),
+    /// An instance opened in the live window.
+    InstanceStarted {
+        /// Owning job.
+        job: JobId,
+        /// Owning task.
+        task: TaskId,
+        /// Sequence number within the task.
+        seq: u32,
+        /// The machine executing the instance.
+        machine: MachineId,
+        /// Open time.
+        at: Timestamp,
+    },
+    /// A previously opened instance closed.
+    InstanceFinished {
+        /// Owning job.
+        job: JobId,
+        /// Owning task.
+        task: TaskId,
+        /// Sequence number within the task.
+        seq: u32,
+        /// Close time.
+        at: Timestamp,
+    },
+    /// A delivered machine lifecycle event ([`MachineEventRecord`]).
+    MachineEvent(MachineEventRecord),
+    /// The alert buffer was drained (`drain_alerts`). Logged so the
+    /// recovered buffer holds exactly the not-yet-drained alerts.
+    AlertsDrained,
+}
+
+const TAG_USAGE: u8 = 1;
+const TAG_INSTANCE: u8 = 2;
+const TAG_INSTANCE_STARTED: u8 = 3;
+const TAG_INSTANCE_FINISHED: u8 = 4;
+const TAG_MACHINE_EVENT: u8 = 5;
+const TAG_ALERTS_DRAINED: u8 = 6;
+
+fn status_code(s: TaskStatus) -> u8 {
+    match s {
+        TaskStatus::Waiting => 0,
+        TaskStatus::Running => 1,
+        TaskStatus::Terminated => 2,
+        TaskStatus::Failed => 3,
+        TaskStatus::Cancelled => 4,
+    }
+}
+
+fn status_from_code(c: u8) -> Option<TaskStatus> {
+    Some(match c {
+        0 => TaskStatus::Waiting,
+        1 => TaskStatus::Running,
+        2 => TaskStatus::Terminated,
+        3 => TaskStatus::Failed,
+        4 => TaskStatus::Cancelled,
+        _ => return None,
+    })
+}
+
+fn event_code(e: MachineEvent) -> u8 {
+    match e {
+        MachineEvent::Add => 0,
+        MachineEvent::SoftError => 1,
+        MachineEvent::HardError => 2,
+        MachineEvent::Remove => 3,
+    }
+}
+
+fn event_from_code(c: u8) -> Option<MachineEvent> {
+    Some(match c {
+        0 => MachineEvent::Add,
+        1 => MachineEvent::SoftError,
+        2 => MachineEvent::HardError,
+        3 => MachineEvent::Remove,
+        _ => return None,
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Forward-only cursor over a payload body; every `take_*` returns `None`
+/// past the end, so decoding can never index out of bounds.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let end = self.pos.checked_add(N)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        chunk.try_into().ok()
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take::<8>().map(i64::from_le_bytes)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take::<8>()
+            .map(|b| f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+impl WalRecord {
+    /// Encodes the record payload (tag byte + fixed-width body).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            WalRecord::Usage(r) => {
+                out.push(TAG_USAGE);
+                put_i64(&mut out, r.time.seconds());
+                put_u32(&mut out, r.machine.raw());
+                put_f64(&mut out, r.util.cpu.fraction());
+                put_f64(&mut out, r.util.mem.fraction());
+                put_f64(&mut out, r.util.disk.fraction());
+            }
+            WalRecord::Instance(r) => {
+                out.push(TAG_INSTANCE);
+                put_i64(&mut out, r.start_time.seconds());
+                put_i64(&mut out, r.end_time.seconds());
+                put_u32(&mut out, r.job.raw());
+                put_u32(&mut out, r.task.raw());
+                put_u32(&mut out, r.seq);
+                put_u32(&mut out, r.total);
+                put_u32(&mut out, r.machine.raw());
+                out.push(status_code(r.status));
+                put_f64(&mut out, r.cpu_avg);
+                put_f64(&mut out, r.cpu_max);
+                put_f64(&mut out, r.mem_avg);
+                put_f64(&mut out, r.mem_max);
+            }
+            WalRecord::InstanceStarted {
+                job,
+                task,
+                seq,
+                machine,
+                at,
+            } => {
+                out.push(TAG_INSTANCE_STARTED);
+                put_u32(&mut out, job.raw());
+                put_u32(&mut out, task.raw());
+                put_u32(&mut out, *seq);
+                put_u32(&mut out, machine.raw());
+                put_i64(&mut out, at.seconds());
+            }
+            WalRecord::InstanceFinished { job, task, seq, at } => {
+                out.push(TAG_INSTANCE_FINISHED);
+                put_u32(&mut out, job.raw());
+                put_u32(&mut out, task.raw());
+                put_u32(&mut out, *seq);
+                put_i64(&mut out, at.seconds());
+            }
+            WalRecord::MachineEvent(r) => {
+                out.push(TAG_MACHINE_EVENT);
+                put_i64(&mut out, r.time.seconds());
+                put_u32(&mut out, r.machine.raw());
+                out.push(event_code(r.event));
+                put_f64(&mut out, r.capacity_cpu);
+                put_f64(&mut out, r.capacity_mem);
+                put_f64(&mut out, r.capacity_disk);
+            }
+            WalRecord::AlertsDrained => out.push(TAG_ALERTS_DRAINED),
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`WalRecord::encode_payload`].
+    ///
+    /// Returns `None` on an unknown tag, an out-of-range enum code, or a
+    /// body whose length does not match the tag exactly — never panics.
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor::new(payload);
+        let rec = match c.u8()? {
+            TAG_USAGE => WalRecord::Usage(ServerUsageRecord {
+                time: Timestamp::new(c.i64()?),
+                machine: MachineId::new(c.u32()?),
+                util: UtilizationTriple::clamped(c.f64()?, c.f64()?, c.f64()?),
+            }),
+            TAG_INSTANCE => WalRecord::Instance(BatchInstanceRecord {
+                start_time: Timestamp::new(c.i64()?),
+                end_time: Timestamp::new(c.i64()?),
+                job: JobId::new(c.u32()?),
+                task: TaskId::new(c.u32()?),
+                seq: c.u32()?,
+                total: c.u32()?,
+                machine: MachineId::new(c.u32()?),
+                status: status_from_code(c.u8()?)?,
+                cpu_avg: c.f64()?,
+                cpu_max: c.f64()?,
+                mem_avg: c.f64()?,
+                mem_max: c.f64()?,
+            }),
+            TAG_INSTANCE_STARTED => WalRecord::InstanceStarted {
+                job: JobId::new(c.u32()?),
+                task: TaskId::new(c.u32()?),
+                seq: c.u32()?,
+                machine: MachineId::new(c.u32()?),
+                at: Timestamp::new(c.i64()?),
+            },
+            TAG_INSTANCE_FINISHED => WalRecord::InstanceFinished {
+                job: JobId::new(c.u32()?),
+                task: TaskId::new(c.u32()?),
+                seq: c.u32()?,
+                at: Timestamp::new(c.i64()?),
+            },
+            TAG_MACHINE_EVENT => WalRecord::MachineEvent(MachineEventRecord {
+                time: Timestamp::new(c.i64()?),
+                machine: MachineId::new(c.u32()?),
+                event: event_from_code(c.u8()?)?,
+                capacity_cpu: c.f64()?,
+                capacity_mem: c.f64()?,
+                capacity_disk: c.f64()?,
+            }),
+            TAG_ALERTS_DRAINED => WalRecord::AlertsDrained,
+            _ => return None,
+        };
+        c.exhausted().then_some(rec)
+    }
+}
+
+/// Encodes one complete frame (`header ‖ payload`) for `seq`.
+pub fn encode_frame(seq: u64, record: &WalRecord) -> Vec<u8> {
+    let payload = record.encode_payload();
+    debug_assert!(payload.len() as u32 <= MAX_PAYLOAD_BYTES);
+    let len = payload.len() as u32;
+    let mut crc = Crc32::new();
+    crc.update(&len.to_le_bytes());
+    crc.update(&seq.to_le_bytes());
+    crc.update(&payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Why replay stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalStopReason {
+    /// Every byte of every segment was consumed as intact records.
+    Clean,
+    /// Fewer than [`FRAME_HEADER_BYTES`] bytes remained — a torn header
+    /// (the classic partial-write tail).
+    TornHeader,
+    /// The header claimed more payload bytes than the segment holds — a
+    /// torn body.
+    TornBody,
+    /// The length field was zero or above [`MAX_PAYLOAD_BYTES`].
+    BadLength,
+    /// The recomputed CRC-32 disagreed with the stored one.
+    ChecksumMismatch,
+    /// The record's sequence number broke monotonic continuity.
+    SequenceBreak,
+    /// Framing was intact but the payload did not decode to a record.
+    DecodeError,
+}
+
+impl WalStopReason {
+    /// True only for [`WalStopReason::Clean`].
+    pub const fn is_clean(self) -> bool {
+        matches!(self, WalStopReason::Clean)
+    }
+}
+
+impl fmt::Display for WalStopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WalStopReason::Clean => "clean",
+            WalStopReason::TornHeader => "torn header",
+            WalStopReason::TornBody => "torn body",
+            WalStopReason::BadLength => "bad length",
+            WalStopReason::ChecksumMismatch => "checksum mismatch",
+            WalStopReason::SequenceBreak => "sequence break",
+            WalStopReason::DecodeError => "payload decode error",
+        })
+    }
+}
+
+/// What a replay pass established: how far the log was intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records replayed.
+    pub records_replayed: u64,
+    /// Bytes from the first failure point to the end of the log (0 when
+    /// [`WalStopReason::Clean`]). Everything past a framing failure is
+    /// untrusted and discarded, even if later frames happen to look intact.
+    pub bytes_discarded: u64,
+    /// Why replay stopped.
+    pub reason: WalStopReason,
+    /// Sequence number of the last intact record, if any.
+    pub last_seq: Option<u64>,
+    /// Segment files the log directory held.
+    pub segments: usize,
+}
+
+/// IO-level failure of the log itself (not corruption — corruption is data,
+/// reported through [`RecoveryReport`]).
+#[derive(Debug)]
+pub enum WalError {
+    /// An operating-system IO operation failed.
+    Io {
+        /// What the writer/reader was doing (e.g. `"append"`, `"open"`).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { op, path, source } => {
+                write!(f, "wal {op} {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(op: &'static str, path: &Path, source: io::Error) -> WalError {
+    WalError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+// ---------------------------------------------------------------------------
+
+fn segment_name(first_seq: u64) -> String {
+    format!("{first_seq:020}.wal")
+}
+
+/// Lists `*.wal` segments in `dir`, sorted by their first-sequence name.
+/// Returns an empty list when the directory does not exist.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("list", dir, e)),
+    };
+    let mut segments = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list", dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Ok(first_seq) = stem.parse::<u64>() else {
+            continue;
+        };
+        segments.push((first_seq, path));
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Replays a segment directory record by record, stopping cleanly at the
+/// first framing problem.
+///
+/// Iterate it (`for (seq, record) in &mut reader`) until exhaustion, then
+/// read [`WalReader::report`]. The reader holds segment contents in memory
+/// (segments are bounded by [`WalConfig::segment_bytes`]), so iteration
+/// itself is infallible: corruption is a *result*, never an `Err` or a
+/// panic.
+#[derive(Debug)]
+pub struct WalReader {
+    segments: Vec<(PathBuf, Vec<u8>)>,
+    seg_idx: usize,
+    offset: usize,
+    expected: Option<u64>,
+    records: u64,
+    last_seq: Option<u64>,
+    stop: Option<(WalStopReason, usize, usize)>,
+}
+
+impl WalReader {
+    /// Opens every segment in `dir`. A missing or empty directory is a
+    /// valid, empty log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] only for OS-level failures (unreadable
+    /// directory or file) — never for corrupt contents.
+    pub fn open(dir: &Path) -> Result<WalReader, WalError> {
+        let mut segments = Vec::new();
+        for (_, path) in list_segments(dir)? {
+            let bytes = fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+            segments.push((path, bytes));
+        }
+        Ok(WalReader {
+            segments,
+            seg_idx: 0,
+            offset: 0,
+            expected: None,
+            records: 0,
+            last_seq: None,
+            stop: None,
+        })
+    }
+
+    fn finish(&mut self, reason: WalStopReason) {
+        self.stop = Some((reason, self.seg_idx, self.offset));
+    }
+
+    /// The stop reason, once iteration has finished.
+    pub fn stop_reason(&self) -> Option<WalStopReason> {
+        self.stop.map(|(r, _, _)| r)
+    }
+
+    /// `(segment index, byte offset)` of the first untrusted byte, once
+    /// iteration has finished. Everything before it is intact.
+    pub(crate) fn stop_position(&self) -> Option<(usize, usize)> {
+        self.stop.map(|(_, seg, off)| (seg, off))
+    }
+
+    /// Paths of the segments the reader opened, in replay order.
+    pub fn segment_paths(&self) -> impl Iterator<Item = &Path> {
+        self.segments.iter().map(|(p, _)| p.as_path())
+    }
+
+    /// Sequence number of the last intact record seen so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// The replay outcome. Meaningful once iteration has returned `None`;
+    /// before that the reason reflects progress so far (`Clean`).
+    pub fn report(&self) -> RecoveryReport {
+        let (reason, seg, off) =
+            self.stop
+                .unwrap_or((WalStopReason::Clean, self.seg_idx, self.offset));
+        let mut discarded = 0u64;
+        if let Some((_, bytes)) = self.segments.get(seg) {
+            discarded += (bytes.len() - off.min(bytes.len())) as u64;
+        }
+        for (_, bytes) in self.segments.iter().skip(seg + 1) {
+            discarded += bytes.len() as u64;
+        }
+        RecoveryReport {
+            records_replayed: self.records,
+            bytes_discarded: discarded,
+            reason,
+            last_seq: self.last_seq,
+            segments: self.segments.len(),
+        }
+    }
+}
+
+impl Iterator for WalReader {
+    type Item = (u64, WalRecord);
+
+    fn next(&mut self) -> Option<(u64, WalRecord)> {
+        if self.stop.is_some() {
+            return None;
+        }
+        loop {
+            let Some((_, bytes)) = self.segments.get(self.seg_idx) else {
+                // Past the last segment: park the stop position at the end
+                // of the final segment so nothing counts as discarded.
+                self.seg_idx = self.segments.len().saturating_sub(1);
+                self.offset = self.segments.last().map(|(_, b)| b.len()).unwrap_or(0);
+                self.finish(WalStopReason::Clean);
+                return None;
+            };
+            let rest = &bytes[self.offset..];
+            if rest.is_empty() {
+                self.seg_idx += 1;
+                self.offset = 0;
+                continue;
+            }
+            if rest.len() < FRAME_HEADER_BYTES {
+                self.finish(WalStopReason::TornHeader);
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+            if len == 0 || len > MAX_PAYLOAD_BYTES {
+                self.finish(WalStopReason::BadLength);
+                return None;
+            }
+            let total = FRAME_HEADER_BYTES + len as usize;
+            if rest.len() < total {
+                self.finish(WalStopReason::TornBody);
+                return None;
+            }
+            let seq = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(rest[12..16].try_into().unwrap());
+            let payload = &rest[FRAME_HEADER_BYTES..total];
+            let mut crc = Crc32::new();
+            crc.update(&rest[0..12]);
+            crc.update(payload);
+            if crc.finish() != stored_crc {
+                self.finish(WalStopReason::ChecksumMismatch);
+                return None;
+            }
+            if let Some(expected) = self.expected {
+                if seq != expected {
+                    self.finish(WalStopReason::SequenceBreak);
+                    return None;
+                }
+            }
+            let Some(record) = WalRecord::decode_payload(payload) else {
+                self.finish(WalStopReason::DecodeError);
+                return None;
+            };
+            self.offset += total;
+            self.records += 1;
+            self.last_seq = Some(seq);
+            self.expected = Some(seq.wrapping_add(1));
+            return Some((seq, record));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`WalWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one reaches this many bytes.
+    /// A segment always holds at least one record, so tiny limits are legal
+    /// (tests use them to force multi-segment logs).
+    pub segment_bytes: u64,
+    /// `fsync` after **every** append instead of only at rotation and
+    /// [`WalWriter::sync`]. Survives power loss per record, at a large
+    /// throughput cost.
+    pub sync_each_append: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            segment_bytes: 8 * 1024 * 1024,
+            sync_each_append: false,
+        }
+    }
+}
+
+/// Appends framed records to a segment directory.
+///
+/// # Durability contract
+///
+/// * [`WalWriter::append`] hands the complete frame to the operating system
+///   in a single `write` before returning: once `append` returns, a **process
+///   crash** (panic, kill, OOM) loses nothing — the frame is in the page
+///   cache regardless of what the process does next.
+/// * An `fsync` makes frames survive **power loss / kernel crash** too. It
+///   happens (a) after every append when [`WalConfig::sync_each_append`] is
+///   set, (b) on every segment rotation for the sealed segment, and (c) on
+///   [`WalWriter::sync`]. Between fsyncs, a power failure may truncate or
+///   tear the *tail* of the active segment only.
+/// * A torn tail is safe by construction: appends are strictly sequential,
+///   so a partial write can only affect the final frame, and the reader's
+///   length/CRC validation stops replay exactly at the last intact record.
+///   [`WalWriter::open`] on an existing directory truncates that torn tail
+///   (and deletes any unreachable later segments) before resuming, so the
+///   next append continues the intact prefix with the next sequence number.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    cfg: WalConfig,
+    file: File,
+    segment_path: PathBuf,
+    segment_len: u64,
+    next_seq: u64,
+}
+
+impl WalWriter {
+    /// Opens (resuming) or creates the log in `dir`.
+    ///
+    /// On a fresh directory the first segment starts at sequence 0. On an
+    /// existing log the writer replays it to find the last intact record,
+    /// truncates the torn tail, deletes unreachable later segments, and
+    /// resumes with the following sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on OS-level failures only; corrupt existing
+    /// contents are repaired (truncated), not errored on.
+    pub fn open(dir: &Path, cfg: WalConfig) -> Result<WalWriter, WalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+        let mut reader = WalReader::open(dir)?;
+        for _ in &mut reader {}
+        let next_seq = reader.last_seq().map(|s| s + 1).unwrap_or(0);
+        let segment_paths: Vec<PathBuf> = reader.segment_paths().map(Path::to_path_buf).collect();
+        let (seg_idx, offset) = reader.stop_position().unwrap_or((0, 0));
+        if segment_paths.is_empty() {
+            return WalWriter::fresh_segment(dir.to_path_buf(), cfg, next_seq);
+        }
+        // Drop the torn tail of the stop segment and every segment past it:
+        // nothing after the first framing failure is trustworthy.
+        for path in &segment_paths[seg_idx + 1..] {
+            fs::remove_file(path).map_err(|e| io_err("remove", path, e))?;
+        }
+        let segment_path = segment_paths[seg_idx].clone();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&segment_path)
+            .map_err(|e| io_err("open", &segment_path, e))?;
+        file.set_len(offset as u64)
+            .map_err(|e| io_err("truncate", &segment_path, e))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", &segment_path, e))?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            cfg,
+            file,
+            segment_path,
+            segment_len: offset as u64,
+            next_seq,
+        })
+    }
+
+    fn fresh_segment(dir: PathBuf, cfg: WalConfig, first_seq: u64) -> Result<WalWriter, WalError> {
+        let segment_path = dir.join(segment_name(first_seq));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&segment_path)
+            .map_err(|e| io_err("create", &segment_path, e))?;
+        Ok(WalWriter {
+            dir,
+            cfg,
+            file,
+            segment_path,
+            segment_len: 0,
+            next_seq: first_seq,
+        })
+    }
+
+    /// The directory the log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next append will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one record, returning its sequence number. See the
+    /// [durability contract](WalWriter#durability-contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] when the OS write (or configured fsync)
+    /// fails; the sequence number is not consumed in that case.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let frame = encode_frame(seq, record);
+        if self.segment_len > 0 && self.segment_len + frame.len() as u64 > self.cfg.segment_bytes {
+            self.rotate(seq)?;
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &self.segment_path, e))?;
+        if self.cfg.sync_each_append {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("sync", &self.segment_path, e))?;
+        }
+        self.segment_len += frame.len() as u64;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    fn rotate(&mut self, first_seq: u64) -> Result<(), WalError> {
+        // Seal the full segment durably before the log moves past it.
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync", &self.segment_path, e))?;
+        let segment_path = self.dir.join(segment_name(first_seq));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&segment_path)
+            .map_err(|e| io_err("create", &segment_path, e))?;
+        self.file = file;
+        self.segment_path = segment_path;
+        self.segment_len = 0;
+        Ok(())
+    }
+
+    /// Forces the active segment to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] when the fsync fails.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync", &self.segment_path, e))
+    }
+}
+
+/// Compacts the intact prefix of the log in `src` into a **single sealed
+/// segment** in `dst`, preserving every record's sequence number — the
+/// snapshot half of a snapshot-plus-tail scheme: replaying the compacted
+/// segment reproduces exactly the records `src` held, and the live log's
+/// records with later sequence numbers form the tail.
+///
+/// `dst` is created if missing; an existing log there is replaced. A torn
+/// or corrupt `src` tail is dropped exactly as replay would drop it (see
+/// the returned report). An empty `src` compacts to an empty `dst`.
+///
+/// # Errors
+///
+/// Returns [`WalError::Io`] on OS-level failures only.
+pub fn compact(src: &Path, dst: &Path) -> Result<RecoveryReport, WalError> {
+    let mut reader = WalReader::open(src)?;
+    let mut frames: Vec<u8> = Vec::new();
+    let mut first_seq = None;
+    for (seq, record) in &mut reader {
+        first_seq.get_or_insert(seq);
+        frames.extend_from_slice(&encode_frame(seq, &record));
+    }
+    fs::create_dir_all(dst).map_err(|e| io_err("create dir", dst, e))?;
+    for (_, path) in list_segments(dst)? {
+        fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+    }
+    if let Some(first) = first_seq {
+        let path = dst.join(segment_name(first));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("create", &path, e))?;
+        file.write_all(&frames)
+            .map_err(|e| io_err("append", &path, e))?;
+        file.sync_data().map_err(|e| io_err("sync", &path, e))?;
+    }
+    Ok(reader.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "batchlens-wal-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Usage(ServerUsageRecord {
+                time: Timestamp::new(-3),
+                machine: MachineId::new(7),
+                util: UtilizationTriple::clamped(0.25, 0.5, 1.0),
+            }),
+            WalRecord::Instance(BatchInstanceRecord {
+                start_time: Timestamp::new(10),
+                end_time: Timestamp::new(400),
+                job: JobId::new(1),
+                task: TaskId::new(2),
+                seq: 3,
+                total: 4,
+                machine: MachineId::new(5),
+                status: TaskStatus::Failed,
+                cpu_avg: 0.125,
+                cpu_max: f64::MAX,
+                mem_avg: -0.0,
+                mem_max: f64::NAN,
+            }),
+            WalRecord::InstanceStarted {
+                job: JobId::new(9),
+                task: TaskId::new(8),
+                seq: 7,
+                machine: MachineId::new(6),
+                at: Timestamp::new(i64::MIN + 1),
+            },
+            WalRecord::InstanceFinished {
+                job: JobId::new(9),
+                task: TaskId::new(8),
+                seq: 7,
+                at: Timestamp::new(i64::MAX),
+            },
+            WalRecord::MachineEvent(MachineEventRecord {
+                time: Timestamp::new(0),
+                machine: MachineId::new(u32::MAX),
+                event: MachineEvent::SoftError,
+                capacity_cpu: 64.0,
+                capacity_mem: 1.0,
+                capacity_disk: 0.5,
+            }),
+            WalRecord::AlertsDrained,
+        ]
+    }
+
+    /// Bitwise record equality: `PartialEq` treats NaN != NaN and
+    /// -0.0 == 0.0, but replay is held to bit-identity.
+    fn assert_bits_equal(a: &WalRecord, b: &WalRecord) {
+        assert_eq!(a.encode_payload(), b.encode_payload());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn payloads_round_trip_bit_exactly() {
+        for rec in sample_records() {
+            let payload = rec.encode_payload();
+            let back = WalRecord::decode_payload(&payload).expect("decodes");
+            assert_bits_equal(&rec, &back);
+        }
+    }
+
+    #[test]
+    fn truncated_or_extended_payloads_are_rejected() {
+        for rec in sample_records() {
+            let payload = rec.encode_payload();
+            for cut in 0..payload.len() {
+                assert!(
+                    WalRecord::decode_payload(&payload[..cut]).is_none(),
+                    "prefix of length {cut} must not decode"
+                );
+            }
+            let mut extended = payload.clone();
+            extended.push(0);
+            assert!(WalRecord::decode_payload(&extended).is_none());
+        }
+        assert!(WalRecord::decode_payload(&[0xFF]).is_none());
+        assert!(WalRecord::decode_payload(&[]).is_none());
+    }
+
+    #[test]
+    fn write_read_round_trip_across_rotated_segments() {
+        let dir = temp_dir("rotate");
+        let cfg = WalConfig {
+            segment_bytes: 64, // force rotation every couple of records
+            sync_each_append: false,
+        };
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, cfg).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(w.append(rec).unwrap(), i as u64);
+        }
+        assert!(
+            list_segments(&dir).unwrap().len() > 1,
+            "tiny segment limit must rotate"
+        );
+        let mut r = WalReader::open(&dir).unwrap();
+        let got: Vec<(u64, WalRecord)> = (&mut r).collect();
+        assert_eq!(got.len(), records.len());
+        for (i, ((seq, got), want)) in got.iter().zip(&records).enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_bits_equal(got, want);
+        }
+        let report = r.report();
+        assert_eq!(report.reason, WalStopReason::Clean);
+        assert_eq!(report.records_replayed, records.len() as u64);
+        assert_eq!(report.bytes_discarded, 0);
+        assert_eq!(report.last_seq, Some(records.len() as u64 - 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_merges_segments_preserving_sequences() {
+        let src = temp_dir("compact-src");
+        let dst = temp_dir("compact-dst");
+        let cfg = WalConfig {
+            segment_bytes: 64,
+            sync_each_append: false,
+        };
+        let records = sample_records();
+        let mut w = WalWriter::open(&src, cfg).unwrap();
+        for rec in &records {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        assert!(list_segments(&src).unwrap().len() > 1);
+
+        let report = compact(&src, &dst).unwrap();
+        assert_eq!(report.records_replayed, records.len() as u64);
+        assert_eq!(report.reason, WalStopReason::Clean);
+        assert_eq!(list_segments(&dst).unwrap().len(), 1, "single segment");
+
+        let mut r = WalReader::open(&dst).unwrap();
+        let got: Vec<(u64, WalRecord)> = (&mut r).collect();
+        assert_eq!(got.len(), records.len());
+        for (i, ((seq, got), want)) in got.iter().zip(&records).enumerate() {
+            assert_eq!(*seq, i as u64, "sequence numbers preserved");
+            assert_bits_equal(got, want);
+        }
+        assert!(r.report().reason.is_clean());
+
+        // A resumed writer on the compacted log continues the numbering.
+        let w = WalWriter::open(&dst, WalConfig::default()).unwrap();
+        assert_eq!(w.next_seq(), records.len() as u64);
+
+        // Compacting an empty log yields an empty destination.
+        let empty_src = temp_dir("compact-empty-src");
+        let empty_dst = temp_dir("compact-empty-dst");
+        let report = compact(&empty_src, &empty_dst).unwrap();
+        assert_eq!(report.records_replayed, 0);
+        assert!(list_segments(&empty_dst).unwrap().is_empty());
+
+        for d in [&src, &dst, &empty_src, &empty_dst] {
+            fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_resume_truncates_it() {
+        let dir = temp_dir("torn");
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        for rec in &records {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        // Tear the final record: chop 3 bytes off the single segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let mut r = WalReader::open(&dir).unwrap();
+        let n = (&mut r).count();
+        assert_eq!(n, records.len() - 1);
+        let report = r.report();
+        assert!(matches!(
+            report.reason,
+            WalStopReason::TornBody | WalStopReason::TornHeader
+        ));
+        assert!(report.bytes_discarded > 0);
+        // Resume: the torn tail is truncated, appends continue the prefix.
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(w.next_seq(), records.len() as u64 - 1);
+        w.append(&WalRecord::AlertsDrained).unwrap();
+        drop(w);
+        let mut r = WalReader::open(&dir).unwrap();
+        let got: Vec<(u64, WalRecord)> = (&mut r).collect();
+        assert_eq!(got.len(), records.len());
+        assert_eq!(r.report().reason, WalStopReason::Clean);
+        assert_bits_equal(&got.last().unwrap().1, &WalRecord::AlertsDrained);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let dir = temp_dir("bitflip");
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        for rec in &records {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let clean = fs::read(&path).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                fs::write(&path, &corrupt).unwrap();
+                let mut r = WalReader::open(&dir).unwrap();
+                let n = (&mut r).count();
+                let report = r.report();
+                assert!(
+                    !report.reason.is_clean(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+                assert!(
+                    n < records.len(),
+                    "flip at byte {byte} bit {bit} still replayed everything"
+                );
+                // Every record the reader did yield is a clean prefix.
+                assert_eq!(report.records_replayed, n as u64);
+                assert!(report.bytes_discarded > 0);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_after_mid_log_corruption_drops_later_segments() {
+        let dir = temp_dir("midlog");
+        let cfg = WalConfig {
+            segment_bytes: 64,
+            sync_each_append: false,
+        };
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, cfg).unwrap();
+        for rec in &records {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt the *first* segment's first frame checksum region.
+        let first = &segments[0].1;
+        let mut bytes = fs::read(first).unwrap();
+        bytes[13] ^= 0x40;
+        fs::write(first, &bytes).unwrap();
+        let mut r = WalReader::open(&dir).unwrap();
+        assert_eq!((&mut r).count(), 0);
+        let report = r.report();
+        assert_eq!(report.reason, WalStopReason::ChecksumMismatch);
+        assert_eq!(report.last_seq, None);
+        // All bytes in all segments are untrusted.
+        let total: u64 = list_segments(&dir)
+            .unwrap()
+            .iter()
+            .map(|(_, p)| fs::metadata(p).unwrap().len())
+            .sum();
+        assert_eq!(report.bytes_discarded, total);
+        // Resume repairs: truncates segment 0, removes the orphans.
+        let mut w = WalWriter::open(&dir, cfg).unwrap();
+        assert_eq!(w.next_seq(), 0);
+        w.append(&records[0]).unwrap();
+        drop(w);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        let mut r = WalReader::open(&dir).unwrap();
+        assert_eq!((&mut r).count(), 1);
+        assert_eq!(r.report().reason, WalStopReason::Clean);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_directories_are_empty_logs() {
+        let dir = temp_dir("empty");
+        let mut r = WalReader::open(&dir).unwrap();
+        assert_eq!((&mut r).count(), 0);
+        let report = r.report();
+        assert_eq!(report.reason, WalStopReason::Clean);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.bytes_discarded, 0);
+        assert_eq!(report.segments, 0);
+        assert_eq!(report.last_seq, None);
+        // A writer on the same missing dir starts at seq 0.
+        let w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(w.next_seq(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_break_stops_replay() {
+        let dir = temp_dir("seqbreak");
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        w.append(&WalRecord::AlertsDrained).unwrap();
+        drop(w);
+        // Append a validly framed record with a skipped sequence number.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_frame(5, &WalRecord::AlertsDrained));
+        fs::write(&path, &bytes).unwrap();
+        let mut r = WalReader::open(&dir).unwrap();
+        assert_eq!((&mut r).count(), 1);
+        assert_eq!(r.report().reason, WalStopReason::SequenceBreak);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn first_record_may_start_at_any_sequence() {
+        // A compacted dump preserves original sequence numbers; replay must
+        // accept a log whose first record is not seq 0.
+        let dir = temp_dir("anystart");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = encode_frame(41, &WalRecord::AlertsDrained);
+        bytes.extend_from_slice(&encode_frame(42, &WalRecord::AlertsDrained));
+        fs::write(dir.join(segment_name(41)), &bytes).unwrap();
+        let mut r = WalReader::open(&dir).unwrap();
+        let seqs: Vec<u64> = (&mut r).map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![41, 42]);
+        assert_eq!(r.report().reason, WalStopReason::Clean);
+        // And a writer resumes from there.
+        let w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(w.next_seq(), 43);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

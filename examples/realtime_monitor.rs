@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let monitor = StreamMonitor::new(StreamConfig {
         horizon: batchlens::trace::TimeDelta::DAY,
         ..Default::default()
-    });
+    })
+    .unwrap();
     let mut high_alerts = 0usize;
     let mut thrash_alerts = 0usize;
     let mut first_thrash = None;

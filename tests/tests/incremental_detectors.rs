@@ -156,7 +156,7 @@ proptest! {
             high,
             ..StreamConfig::default()
         };
-        let monitor = StreamMonitor::new(cfg);
+        let monitor = StreamMonitor::new(cfg).unwrap();
         let machine = MachineId::new(1);
         let mut alert_times = Vec::new();
         for (i, &v) in values.iter().enumerate() {

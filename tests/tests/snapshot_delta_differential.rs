@@ -224,7 +224,7 @@ proptest! {
             horizon: TimeDelta::hours(100),
             ooo_tolerance: TimeDelta::seconds(600),
             ..Default::default()
-        });
+        }).unwrap();
         let view = monitor.live_view();
         let mut scrub = SnapshotScrubber::new();
         let mut walk_iter = walk.iter().cycle();
@@ -293,7 +293,7 @@ proptest! {
         let monitor = StreamMonitor::new(StreamConfig {
             horizon: TimeDelta::hours(100),
             ..Default::default()
-        });
+        }).unwrap();
         monitor.ingest_instances(soup.instances.iter().copied());
         for ev in &soup.events {
             monitor.ingest_machine_event(*ev);
@@ -339,7 +339,8 @@ fn backward_scrub_after_eviction_matches_from_scratch() {
     let monitor = StreamMonitor::new(StreamConfig {
         horizon: TimeDelta::seconds(600),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let view = monitor.live_view();
     let inst = |job: u32, seq: u32, s: i64, e: i64| BatchInstanceRecord {
         start_time: Timestamp::new(s),

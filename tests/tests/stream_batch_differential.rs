@@ -144,7 +144,7 @@ fn soup_strategy() -> impl Strategy<Value = Soup> {
 /// batch dataset from the records the monitor's documented acceptance rule
 /// admits. Returns `(monitor, dataset, rejected usage records)`.
 fn stream_and_build(soup: &Soup, cfg: StreamConfig) -> (StreamMonitor, TraceDataset, u64) {
-    let monitor = StreamMonitor::new(cfg);
+    let monitor = StreamMonitor::new(cfg).unwrap();
     // Interleave structural records with usage so index maintenance and
     // window maintenance interleave like a real feed. Deterministic order.
     for (i, rec) in soup.instances.iter().enumerate() {
@@ -373,7 +373,7 @@ fn beyond_tolerance_stragglers_stay_dropped() {
         ooo_tolerance: TimeDelta::seconds(TOLERANCE_S),
         ..Default::default()
     };
-    let monitor = StreamMonitor::new(cfg);
+    let monitor = StreamMonitor::new(cfg).unwrap();
     let rec = |t: i64, cpu: f64| ServerUsageRecord {
         time: Timestamp::new(t),
         machine: MachineId::new(0),
