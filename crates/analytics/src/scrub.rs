@@ -78,6 +78,9 @@ pub struct ScrubStats {
     /// Utilization holds that expired and were re-resolved against the
     /// source.
     pub util_refreshes: u64,
+    /// Machines whose liveness flipped across all delta steps (the size of
+    /// the applied [`batchlens_trace::LivenessDelta`]s).
+    pub liveness_flips: u64,
 }
 
 /// The expiry queue: `(until, machine)` min-heap with **lazy deletion** —
@@ -283,6 +286,11 @@ pub struct SnapshotScrubber {
     /// machine → running instance count — O(1) membership for the hold
     /// refresh scope, maintained by the same deltas.
     running_machines: HashMap<MachineId, u32>,
+    /// The machines active (alive) at `at`, ascending — maintained by
+    /// [`DatasetQuery::liveness_delta`] patches on delta steps, recaptured
+    /// from the frame on rebase. The delta-maintained
+    /// [`DatasetQuery::machines_active_at`].
+    active: Vec<MachineId>,
     /// Sample-and-hold utilization holds (see [`DatasetQuery::util_hold`]),
     /// scoped to the machines the snapshot currently shows.
     util_memo: HashMap<MachineId, UtilHold>,
@@ -332,6 +340,7 @@ impl SnapshotScrubber {
             grouped: BTreeMap::new(),
             machine_jobs: BTreeMap::new(),
             running_machines: HashMap::new(),
+            active: Vec::new(),
             util_memo: HashMap::new(),
             expiry: ExpiryHeap::new(),
             pending: Vec::new(),
@@ -362,6 +371,22 @@ impl SnapshotScrubber {
     /// How many instances the maintained running multiset currently holds.
     pub fn running_instance_count(&self) -> usize {
         self.grouped.values().map(|&n| n as usize).sum()
+    }
+
+    /// The machines active at the cursor, ascending — the delta-maintained
+    /// [`DatasetQuery::machines_active_at`]: patched one sorted-position
+    /// insert/remove per liveness flip ([`DatasetQuery::liveness_delta`])
+    /// on delta steps, recaptured whole from the frame on rebase.
+    /// Bit-identical to `machines_active_at` at every step (the workspace
+    /// `snapshot_delta_differential` suite enforces it on batch and live
+    /// sources alike).
+    ///
+    /// # Panics
+    ///
+    /// If nothing has been sought yet.
+    pub fn machines_active(&self) -> &[MachineId] {
+        assert!(self.at.is_some(), "seek the scrubber before reading it");
+        &self.active
     }
 
     /// The advancement counters.
@@ -400,8 +425,9 @@ impl SnapshotScrubber {
             return;
         }
         let delta = src.running_delta(from, to);
+        let liveness = src.liveness_delta(from, to);
         if src.state_version() != version_before {
-            // The source mutated mid-computation: the delta mixes two
+            // The source mutated mid-computation: the deltas mix two
             // states, so recapture atomically instead.
             self.rebase(src, to);
             return;
@@ -426,6 +452,30 @@ impl SnapshotScrubber {
             self.pending.push((false, (job, task, machine)));
             self.dirty_machines.insert(machine);
         }
+        // Patch the active set: each flipped machine is one sorted-position
+        // insert/remove. A flip the set cannot absorb means divergence
+        // (impossible through the version guard; defensive rebase).
+        for &machine in &liveness.activated {
+            match self.active.binary_search(&machine) {
+                Err(i) => self.active.insert(i, machine),
+                Ok(_) => {
+                    self.rebase(src, to);
+                    return;
+                }
+            }
+        }
+        for &machine in &liveness.deactivated {
+            match self.active.binary_search(&machine) {
+                Ok(i) => {
+                    self.active.remove(i);
+                }
+                Err(_) => {
+                    self.rebase(src, to);
+                    return;
+                }
+            }
+        }
+        self.stats.liveness_flips += (liveness.activated.len() + liveness.deactivated.len()) as u64;
         self.stats.delta_steps += 1;
         self.stats.entered += delta.entered.len() as u64;
         self.stats.exited += delta.exited.len() as u64;
@@ -458,6 +508,7 @@ impl SnapshotScrubber {
             *self.machine_jobs.entry((machine, job)).or_default() += n;
             *self.running_machines.entry(machine).or_default() += n;
         }
+        self.active = frame.machines_active();
         self.util_memo.clear();
         self.expiry.clear();
         // Seed holds only for the machines the snapshot shows (the memo's
@@ -647,8 +698,8 @@ fn decrement<K: Ord>(map: &mut BTreeMap<K, u32>, key: K) -> bool {
 mod tests {
     use super::*;
     use batchlens_trace::{
-        BatchInstanceRecord, BatchTaskRecord, ServerUsageRecord, TaskStatus, TimeDelta,
-        TraceDataset, TraceDatasetBuilder,
+        BatchInstanceRecord, BatchTaskRecord, MachineEvent, MachineEventRecord, ServerUsageRecord,
+        TaskStatus, TimeDelta, TraceDataset, TraceDatasetBuilder,
     };
 
     fn dataset() -> TraceDataset {
@@ -705,6 +756,23 @@ mod tests {
                 });
             }
         }
+        // Lifecycle flips so the walk exercises the liveness delta: machine
+        // 1 dies mid-trace, machine 2 bounces (dies and comes back).
+        for (t, m, ev) in [
+            (800i64, 1u32, MachineEvent::Remove),
+            (400, 2, MachineEvent::SoftError),
+            (600, 2, MachineEvent::Remove),
+            (1300, 2, MachineEvent::Add),
+        ] {
+            b.push_machine_event(MachineEventRecord {
+                time: Timestamp::new(t),
+                machine: MachineId::new(m),
+                event: ev,
+                capacity_cpu: 1.0,
+                capacity_mem: 1.0,
+                capacity_disk: 1.0,
+            });
+        }
         b.build().unwrap()
     }
 
@@ -726,8 +794,17 @@ mod tests {
                 batchlens_trace::DatasetQuery::running_instance_count_at(&ds, t),
                 "{t}"
             );
+            assert_eq!(
+                scrub.machines_active(),
+                &ds.machines_active_at(t)[..],
+                "delta-maintained active set diverged at {t}"
+            );
         }
         let stats = scrub.stats();
+        assert!(
+            stats.liveness_flips > 0,
+            "the walk crosses lifecycle events, so flips must be applied"
+        );
         assert_eq!(stats.rebases, 1, "immutable source: only the first seek");
         assert_eq!(
             stats.delta_steps as usize,

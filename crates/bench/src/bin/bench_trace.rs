@@ -54,11 +54,31 @@ struct Entry {
     speedup: f64,
 }
 
+/// One serving-layer load point: `sessions` concurrent keep-alive dashboard
+/// sessions driving the typed frame endpoint over loopback sockets.
+///
+/// These rows are informational trajectory data, not `--check`-guarded:
+/// loopback socket latency is a property of the host's scheduler and core
+/// count, so a threshold would flake on smaller CI runners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeEntry {
+    name: String,
+    sessions: usize,
+    /// Total requests issued across all sessions.
+    requests: usize,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Shared-frame dedup effectiveness across the run's captures.
+    frame_cache_hit_rate: f64,
+}
+
 /// The emitted report.
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
     description: String,
     entries: Vec<Entry>,
+    serve: Vec<ServeEntry>,
 }
 
 /// Times `f` once per run, `runs` times.
@@ -249,8 +269,7 @@ fn synthetic_entries(entries: &mut Vec<Entry>) {
 }
 
 /// Dataset-bound rows, suffixed with the tier name.
-fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
-    let ds = tier.dataset();
+fn dataset_entries(tier: Tier, ds: &TraceDataset, entries: &mut Vec<Entry>) {
     let span = ds.span().expect("dataset has a span");
     let probes: Vec<Timestamp> = span
         .steps(TimeDelta::seconds(
@@ -422,16 +441,16 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
         let mut scrub = SnapshotScrubber::new();
         let mut sum = 0usize;
         for &t in &walk {
-            scrub.seek(&ds, t);
-            sum += scrub.snapshot(&ds).total_nodes() + scrub.coalloc().links().len();
+            scrub.seek(ds, t);
+            sum += scrub.snapshot(ds).total_nodes() + scrub.coalloc().links().len();
         }
         sum
     });
     let naive_s = measure(2, || {
         let mut sum = 0usize;
         for &t in &walk {
-            sum += HierarchySnapshot::at(&ds, t).total_nodes()
-                + CoallocationIndex::at(&ds, t).links().len();
+            sum += HierarchySnapshot::at(ds, t).total_nodes()
+                + CoallocationIndex::at(ds, t).links().len();
         }
         sum
     });
@@ -444,8 +463,8 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
         // Honesty check outside the timed loops: both paths must agree.
         let mut scrub = SnapshotScrubber::new();
         for &t in walk.iter().take(64) {
-            scrub.seek(&ds, t);
-            assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, t));
+            scrub.seek(ds, t);
+            assert_eq!(*scrub.snapshot(ds), HierarchySnapshot::at(ds, t));
         }
     }
 
@@ -455,7 +474,7 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
     //     products as individual live-view queries — which acquire the
     //     monitor lock per sub-query (and per machine for the utilization
     //     and alive probes). ---
-    for rec in batchlens::analytics::baseline::export_usage_records(&ds) {
+    for rec in batchlens::analytics::baseline::export_usage_records(ds) {
         monitor.ingest(rec);
     }
     let frame_reps = if tier == Tier::Paper { 3 } else { 5 };
@@ -526,7 +545,7 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
     let tasks: Vec<_> = ds.task_records().copied().collect();
     let instances = ds.instance_records().to_vec();
     let events = ds.machine_events().to_vec();
-    let usage = batchlens::analytics::baseline::export_usage_records(&ds);
+    let usage = batchlens::analytics::baseline::export_usage_records(ds);
     let build_reps = if tier == Tier::Paper { 2 } else { 3 };
     let time_build = |threads: usize| {
         measure(build_reps, || {
@@ -598,6 +617,137 @@ fn dataset_entries(tier: Tier, entries: &mut Vec<Entry>) {
     entries.push(entry(format!("wal_replay_{suffix}"), naive_s, optimized));
 }
 
+/// Serving-layer rows: `sessions` concurrent keep-alive dashboard sessions
+/// over real loopback sockets, all scrubbed to a shared set of timestamps so
+/// the frame cache dedups their captures. Each session issues
+/// [`SERVE_REQUESTS`] requests (mostly typed `/frame` fetches, with a
+/// timestamp scrub every 16th); per-request wall latency feeds the p50/p99
+/// columns and the run's span the req/sec column.
+fn serve_entries(tier: Tier, ds: &TraceDataset, serve: &mut Vec<ServeEntry>) {
+    use batchlens_serve::codec::read_response;
+    use batchlens_serve::session::SessionCreated;
+    use batchlens_serve::stats::StatszPayload;
+    use batchlens_serve::{ServeConfig, Server, SessionManager};
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    let span = ds.span().expect("dataset has a span");
+    let step = span.duration() / 8;
+    let candidates: Vec<Timestamp> = (1..=4i64).map(|k| span.start() + step * k).collect();
+    let suffix = tier.name();
+
+    let call = |conn: &mut TcpStream, method: &str, target: &str, body: &str| {
+        // One buffer per request: fragmented small writes on a Nagle-enabled
+        // socket cost a delayed-ACK round trip (~40 ms) per request.
+        let req = format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        conn.write_all(req.as_bytes()).expect("request written");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
+        read_response(&mut reader)
+            .expect("response framed")
+            .expect("connection open")
+    };
+
+    for &sessions in &[1usize, 8, 64] {
+        let lens = batchlens::BatchLens::new(ds.clone());
+        let manager = Arc::new(SessionManager::new(Arc::new(lens)));
+        let server = Arc::new(
+            Server::bind(
+                ("127.0.0.1", 0),
+                Arc::clone(&manager),
+                // One worker per keep-alive session: a worker owns its
+                // connection until it closes.
+                ServeConfig {
+                    workers: sessions + 1,
+                    idle_timeout: std::time::Duration::from_secs(30),
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback"),
+        );
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = Arc::clone(&server);
+        let serve_thread = std::thread::spawn(move || runner.serve());
+
+        let start = Arc::new(Barrier::new(sessions + 1));
+        let clients: Vec<_> = (0..sessions)
+            .map(|_| {
+                let start = Arc::clone(&start);
+                let candidates = candidates.clone();
+                std::thread::spawn(move || {
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).ok();
+                    let created: SessionCreated =
+                        serde_json::from_str(&call(&mut conn, "POST", "/sessions", "").text())
+                            .expect("session created");
+                    let id = created.session;
+                    start.wait();
+                    let mut latencies = Vec::with_capacity(SERVE_REQUESTS);
+                    for i in 0..SERVE_REQUESTS {
+                        let t0 = Instant::now();
+                        let resp = if i % 16 == 0 {
+                            let at = candidates[(i / 16) % candidates.len()];
+                            let event = format!("{{\"SelectTimestamp\": {}}}", at.seconds());
+                            call(&mut conn, "POST", &format!("/sessions/{id}/events"), &event)
+                        } else {
+                            call(&mut conn, "GET", &format!("/sessions/{id}/frame"), "")
+                        };
+                        assert_eq!(resp.status, 200);
+                        latencies.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+
+        start.wait();
+        let wall = Instant::now();
+        let mut latencies: Vec<f64> = clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("client thread"))
+            .collect();
+        let elapsed = wall.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let statsz: StatszPayload =
+            serde_json::from_str(&call(&mut conn, "GET", "/statsz", "").text())
+                .expect("statsz payload");
+        drop(conn);
+        handle.shutdown();
+        serve_thread.join().expect("server joined");
+
+        let requests = sessions * SERVE_REQUESTS;
+        let row = ServeEntry {
+            name: format!("serve_sessions_{suffix}"),
+            sessions,
+            requests,
+            req_per_sec: requests as f64 / elapsed,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            frame_cache_hit_rate: statsz.frame_cache.hit_rate,
+        };
+        println!(
+            "{} @ {} sessions: {:.0} req/s, p50 {:.0} us, p99 {:.0} us, cache hit rate {:.3}",
+            row.name,
+            row.sessions,
+            row.req_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.frame_cache_hit_rate
+        );
+        serve.push(row);
+    }
+}
+
+/// Requests each benchmark session issues against the serving layer.
+const SERVE_REQUESTS: usize = 64;
+
 /// Worker count for the serial-vs-parallel rows (the ISSUE's reference
 /// configuration; on fewer cores the rows simply record what the hardware
 /// gives).
@@ -638,10 +788,13 @@ fn main() {
         .and_then(|s| serde_json::from_str(&s).ok());
 
     let mut entries = Vec::new();
+    let mut serve_rows = Vec::new();
     if tier == Tier::Medium {
         synthetic_entries(&mut entries);
     }
-    dataset_entries(tier, &mut entries);
+    let ds = tier.dataset();
+    dataset_entries(tier, &ds, &mut entries);
+    serve_entries(tier, &ds, &mut serve_rows);
 
     // --check: compare fresh optimized times against the committed file.
     // The serial-vs-parallel trajectory rows are excluded: their "optimized"
@@ -670,7 +823,8 @@ fn main() {
     }
 
     // Merge: refresh rows we produced, keep rows from other tiers.
-    let mut merged = committed.map(|r| r.entries).unwrap_or_default();
+    let (mut merged, mut merged_serve) =
+        committed.map(|r| (r.entries, r.serve)).unwrap_or_default();
     for fresh in entries {
         if let Some(slot) = merged.iter_mut().find(|e| e.name == fresh.name) {
             *slot = fresh;
@@ -678,12 +832,25 @@ fn main() {
             merged.push(fresh);
         }
     }
+    for fresh in serve_rows {
+        if let Some(slot) = merged_serve
+            .iter_mut()
+            .find(|e| e.name == fresh.name && e.sessions == fresh.sessions)
+        {
+            *slot = fresh;
+        } else {
+            merged_serve.push(fresh);
+        }
+    }
     let report = Report {
         description: "naive vs optimized wall-clock (min/mean/max over N runs, release) for \
                       the trace-layer and streaming hot paths; speedup = naive.min / \
-                      optimized.min; dataset-bound rows are suffixed by sim tier"
+                      optimized.min; dataset-bound rows are suffixed by sim tier; serve rows \
+                      record serving-layer throughput/latency per session count (untracked \
+                      by --check: host-dependent)"
             .into(),
         entries: merged,
+        serve: merged_serve,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");

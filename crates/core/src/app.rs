@@ -75,6 +75,11 @@ impl<T> Lru<T> {
 struct SnapshotCache {
     hierarchy: Lru<HierarchySnapshot>,
     coalloc: Lru<CoallocationIndex>,
+    /// Shared transactional frame captures keyed by
+    /// `(source state version, timestamp)` and handed out as `Arc`s: N
+    /// concurrent sessions rendering the same live instant pay **one**
+    /// single-lock capture, not N (see [`BatchLens::frame_at`]).
+    frames: Lru<Arc<batchlens_trace::QueryFrame>>,
     /// Cluster-wide overlay keyed by the window it was detected over — the
     /// most expensive of the memoized products (full-cluster ensemble
     /// fan-out), and like the others a pure function of its key.
@@ -86,6 +91,10 @@ struct SnapshotCache {
     scrub: SnapshotScrubber,
     hits: u64,
     misses: u64,
+    /// Frame-cache counters, separate from the snapshot/coalloc pair so a
+    /// serving layer can report its frame deduplication rate directly.
+    frame_hits: u64,
+    frame_misses: u64,
 }
 
 /// A BatchLens session over one dataset.
@@ -192,6 +201,7 @@ impl BatchLens {
         let mut cache = self.cache.lock();
         cache.hierarchy.clear();
         cache.coalloc.clear();
+        cache.frames.clear();
         cache.scrub.reset();
     }
 
@@ -307,14 +317,56 @@ impl BatchLens {
     /// dataset answers the same surface trivially consistently. Feed it to
     /// [`HierarchySnapshot::from_frame`] /
     /// [`CoallocationIndex::from_frame`] to render a whole dashboard frame
-    /// from one capture.
-    pub fn frame(&self) -> batchlens_trace::QueryFrame {
+    /// from one capture. Shorthand for [`BatchLens::frame_at`] at the
+    /// selected timestamp — shared and deduplicated the same way.
+    pub fn frame(&self) -> Arc<batchlens_trace::QueryFrame> {
+        self.frame_at(self.view.selected_timestamp())
+    }
+
+    /// The transactional frame capture at an explicit timestamp, shared
+    /// across consumers.
+    ///
+    /// **The frame-cache sharing rule:** captures are memoized in a small
+    /// LRU keyed by `(source state version, timestamp)` and handed out as
+    /// [`Arc`]s, and the capture on a miss runs while the cache lock is
+    /// held — so any number of concurrent readers (a serving layer's
+    /// sessions, worker threads, overlays) asking for the same instant of
+    /// the same source state coalesce onto **exactly one** underlying
+    /// single-lock capture and share one immutable frame. Two frames for
+    /// the same key are therefore always the same allocation, and every
+    /// product rendered from one frame is internally consistent at that
+    /// `(version, timestamp)` — a torn frame across products is
+    /// impossible by construction. An ingest on the attached monitor bumps
+    /// the version, so the next request captures fresh rather than serving
+    /// a stale instant.
+    ///
+    /// The explicit-timestamp form exists because sessions sharing one
+    /// lens each scrub their own instant: the key is the timestamp asked
+    /// for, not this lens's selected one. Hit/miss counts are reported by
+    /// [`BatchLens::frame_cache_stats`].
+    pub fn frame_at(&self, at: Timestamp) -> Arc<batchlens_trace::QueryFrame> {
         use batchlens_trace::DatasetQuery;
-        let at = self.view.selected_timestamp();
-        match &self.live {
+        let version = self.source_version();
+        let mut cache = self.cache.lock();
+        if let Some(frame) = cache.frames.get((version, at)) {
+            let frame = Arc::clone(frame);
+            cache.frame_hits += 1;
+            return frame;
+        }
+        cache.frame_misses += 1;
+        // Captured under the cache lock deliberately (the sharing rule
+        // above): concurrent requests for the same instant wait here and
+        // then hit, instead of racing N captures.
+        let frame = Arc::new(match &self.live {
             Some(monitor) => monitor.live_view().frame(at),
             None => self.dataset.frame(at),
-        }
+        });
+        // Key by the version the capture actually saw: under concurrent
+        // live ingest it may be newer than the probe above.
+        cache
+            .frames
+            .insert((frame.version(), at), Arc::clone(&frame));
+        frame
     }
 
     ///`(hits, misses)` of the per-timestamp snapshot/co-allocation cache —
@@ -322,6 +374,15 @@ impl BatchLens {
     pub fn snapshot_cache_stats(&self) -> (u64, u64) {
         let cache = self.cache.lock();
         (cache.hits, cache.misses)
+    }
+
+    /// `(hits, misses)` of the shared frame cache ([`BatchLens::frame_at`])
+    /// — the deduplication rate a serving layer reports: `hits / (hits +
+    /// misses)` is the fraction of requests that shared another request's
+    /// capture.
+    pub fn frame_cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock();
+        (cache.frame_hits, cache.frame_misses)
     }
 
     /// The aggregated cluster timeline (cached: built once per dataset).
@@ -780,6 +841,51 @@ mod tests {
         assert_eq!(HierarchySnapshot::from_frame(&frame), app.snapshot());
         assert_eq!(CoallocationIndex::from_frame(&frame), app.coallocation());
         assert!(frame.mean_utilization().is_some());
+    }
+
+    /// PR 7's sharing rule: frames for the same `(version, timestamp)` are
+    /// one allocation (one capture), and a live ingest invalidates.
+    #[test]
+    fn frame_cache_shares_one_capture_per_version_and_instant() {
+        use crate::stream::{StreamConfig, StreamMonitor};
+        use batchlens_trace::{ServerUsageRecord, TimeDelta, UtilizationTriple};
+
+        let ds = scenario::fig3b(16).run().unwrap();
+        let at = scenario::T_FIG3B;
+        let monitor = Arc::new(
+            StreamMonitor::new(StreamConfig {
+                horizon: TimeDelta::hours(72),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        monitor.ingest_instances(ds.instance_records().iter().copied());
+        let mut app = BatchLens::new(ds);
+        app.apply(Event::SelectTimestamp(at));
+        app.attach_live_monitor(Arc::clone(&monitor));
+        let f1 = app.frame_at(at);
+        let f2 = app.frame_at(at);
+        assert!(
+            Arc::ptr_eq(&f1, &f2),
+            "same (version, timestamp): one shared capture"
+        );
+        assert_eq!(app.frame_cache_stats(), (1, 1));
+        // A different instant is its own capture; revisiting the first
+        // still hits (LRU, not single-entry).
+        let f3 = app.frame_at(at + TimeDelta::minutes(5));
+        assert!(!Arc::ptr_eq(&f1, &f3));
+        assert!(Arc::ptr_eq(&f1, &app.frame_at(at)));
+        assert_eq!(app.frame_cache_stats(), (2, 2));
+        // Ingest bumps the version: the next request captures fresh.
+        monitor.ingest(ServerUsageRecord {
+            time: at,
+            machine: batchlens_trace::MachineId::new(0),
+            util: UtilizationTriple::clamped(0.5, 0.5, 0.5),
+        });
+        let f4 = app.frame_at(at);
+        assert!(!Arc::ptr_eq(&f1, &f4), "version change invalidates");
+        assert!(f4.version() > f1.version());
+        assert_eq!(app.frame_cache_stats(), (2, 3));
     }
 
     #[test]

@@ -38,9 +38,9 @@ use batchlens_analytics::detect::{
 };
 use batchlens_trace::wal::{RecoveryReport, WalError, WalReader, WalRecord, WalWriter};
 use batchlens_trace::{
-    BatchInstanceRecord, DatasetQuery, JobId, MachineEventRecord, MachineId, Metric, QueryFrame,
-    RollingIntervalIndex, RunningDelta, ServerUsageRecord, TaskId, TimeDelta, TimeRange,
-    TimeSeries, Timestamp, UtilHold, UtilizationTriple,
+    BatchInstanceRecord, DatasetQuery, JobId, LivenessDelta, MachineEventRecord, MachineId, Metric,
+    QueryFrame, RollingIntervalIndex, RunningDelta, ServerUsageRecord, TaskId, TimeDelta,
+    TimeRange, TimeSeries, Timestamp, UtilHold, UtilizationTriple,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -113,6 +113,11 @@ impl Window {
 /// kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Alert {
+    /// Monotonic firing sequence number, assigned when the alert is
+    /// retained in the monitor's buffer: the `n`-th alert ever fired has
+    /// `seq == n` (0-based), independent of drains and overflow. Cursors
+    /// ([`StreamMonitor::alerts_since`]) position on this number.
+    pub seq: u64,
     /// The machine the alert concerns.
     pub machine: MachineId,
     /// When it fired.
@@ -134,6 +139,35 @@ impl Alert {
     pub fn is_thrashing(&self) -> bool {
         self.kind == AnomalyKind::Thrashing
     }
+}
+
+/// One non-destructive read of the retained alert buffer from a cursor
+/// position — the result of [`StreamMonitor::alerts_since`].
+///
+/// A consumer holds only its cursor (a sequence number), asks for
+/// everything at or after it, and advances the cursor to [`next_seq`].
+/// Nothing is removed from the buffer, so any number of independently
+/// positioned consumers can poll the same monitor without stealing each
+/// other's alerts. A cursor that lags behind eviction (buffer overflow or
+/// a destructive [`StreamMonitor::drain_alerts`] by another consumer)
+/// observes the gap in [`missed`] instead of silently skipping it.
+///
+/// [`next_seq`]: AlertBatch::next_seq
+/// [`missed`]: AlertBatch::missed
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertBatch {
+    /// The retained alerts with `seq >=` the requested cursor, oldest
+    /// first. Their sequence numbers are contiguous.
+    pub alerts: Vec<Alert>,
+    /// The cursor position for the next poll: one past the newest alert
+    /// fired so far (equal to [`StreamMonitor::total_alerts`]). Polling
+    /// again with this value returns only alerts fired in between.
+    pub next_seq: u64,
+    /// How many alerts with `seq >=` the requested cursor were already
+    /// gone from the buffer (evicted by overflow, or taken by a
+    /// destructive drain) — the lagging-cursor signal. Zero when the
+    /// cursor kept up.
+    pub missed: u64,
 }
 
 /// Configuration of the online monitor.
@@ -290,6 +324,7 @@ impl DetectorBank {
                 .push(t, util[Metric::Cpu.index()], util[Metric::Memory.index()]);
         if thrash.flagged {
             out.push(Alert {
+                seq: 0, // stamped at retention, under the monitor lock
                 machine,
                 at: t,
                 metric: Metric::Memory,
@@ -304,6 +339,7 @@ impl DetectorBank {
                 let step = state.push(t, v);
                 if step.flagged {
                     out.push(Alert {
+                        seq: 0, // stamped at retention, under the monitor lock
                         machine,
                         at: t,
                         metric,
@@ -407,6 +443,31 @@ struct Inner {
 }
 
 impl Inner {
+    /// Sequence number of the oldest retained alert; equals the next
+    /// sequence to be assigned when the buffer is empty. The buffer always
+    /// holds the contiguous run `[alert_base_seq, total_alerts)`.
+    fn alert_base_seq(&self) -> u64 {
+        self.total_alerts - self.alerts.len() as u64
+    }
+
+    /// The shared read that both [`StreamMonitor::alerts_since`] and the
+    /// destructive [`StreamMonitor::drain_alerts`] wrap: everything
+    /// retained at or after `seq`, plus cursor bookkeeping.
+    fn alerts_from(&self, seq: u64) -> AlertBatch {
+        let base = self.alert_base_seq();
+        let start = seq.max(base).min(self.total_alerts);
+        AlertBatch {
+            alerts: self
+                .alerts
+                .iter()
+                .skip((start - base) as usize)
+                .copied()
+                .collect(),
+            next_seq: self.total_alerts,
+            missed: start.saturating_sub(seq),
+        }
+    }
+
     /// Appends one delivery to the attached WAL (no-op without one).
     /// Called before the mutation is applied; IO failures are counted, not
     /// propagated — see [`StreamMonitor::wal_errors`].
@@ -518,6 +579,35 @@ impl DatasetQuery for Inner {
         // Same-triple instance handoffs inside the hop cancel out, keeping
         // this equal to the trait-default stab diff.
         RunningDelta::from_events(entered, exited)
+    }
+
+    fn liveness_delta(&self, t0: Timestamp, t1: Timestamp) -> LivenessDelta {
+        // Only machines with a rolling checkpoint inside the half-open hop
+        // `(min, max]` can flip; everything else (including checkpoint-less
+        // machines, which are always alive) is skipped without resolving
+        // liveness at either end.
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let mut activated = Vec::new();
+        let mut deactivated = Vec::new();
+        // BTreeMap iteration ascends, so both sides come out sorted.
+        for (&machine, checkpoints) in &self.live.liveness {
+            let start = checkpoints.partition_point(|&(t, _)| t <= lo);
+            let end = checkpoints.partition_point(|&(t, _)| t <= hi);
+            if start == end {
+                continue;
+            }
+            let was = batchlens_trace::alive_at_checkpoints(checkpoints, t0);
+            let now = batchlens_trace::alive_at_checkpoints(checkpoints, t1);
+            match (was, now) {
+                (false, true) => activated.push(machine),
+                (true, false) => deactivated.push(machine),
+                _ => {}
+            }
+        }
+        LivenessDelta {
+            activated,
+            deactivated,
+        }
     }
 
     // `frame` is inherited as the provided trait method: evaluated on the
@@ -821,14 +911,19 @@ impl StreamMonitor {
         inner.ingested += 1;
         inner.version += 1;
         // Retain fired alerts for consumers that poll (UI overlays) rather
-        // than inspect each ingest's return value.
-        inner.total_alerts += alerts.len() as u64;
-        for &alert in &alerts {
+        // than inspect each ingest's return value. Each alert is stamped
+        // with its monotonic firing sequence number as it is retained
+        // (`total_alerts` doubles as the next sequence number), so the
+        // buffer always holds one contiguous run of sequence numbers —
+        // the invariant [`StreamMonitor::alerts_since`] relies on.
+        for alert in alerts.iter_mut() {
+            alert.seq = inner.total_alerts;
+            inner.total_alerts += 1;
             if inner.alerts.len() == self.cfg.alert_capacity {
                 inner.alerts.pop_front();
                 inner.alerts_overflowed += 1;
             }
-            inner.alerts.push_back(alert);
+            inner.alerts.push_back(*alert);
         }
         alerts
     }
@@ -1051,13 +1146,42 @@ impl StreamMonitor {
     /// leaving it empty. Each alert is handed out exactly once, so a
     /// per-frame consumer pays for new alerts only — never for a clone of
     /// the full history.
+    ///
+    /// This is the destructive single-consumer path: a thin wrapper around
+    /// the same buffer read as [`StreamMonitor::alerts_since`], plus
+    /// clearing. Multiple concurrent consumers should hold cursors and use
+    /// `alerts_since` instead — a drain makes every other cursor observe
+    /// the taken alerts as [`AlertBatch::missed`].
     pub fn drain_alerts(&self) -> Vec<Alert> {
         let mut inner = self.inner.lock();
         // Drains mutate recoverable state (the buffer empties), so they are
         // logged too — otherwise a recovered monitor would re-surface alerts
         // the pre-crash consumer already took.
         inner.log_wal(&WalRecord::AlertsDrained);
-        inner.alerts.drain(..).collect()
+        let batch = inner.alerts_from(inner.alert_base_seq());
+        inner.alerts.clear();
+        batch.alerts
+    }
+
+    /// Non-destructive cursor read: every retained alert with `seq >= seq`
+    /// (oldest first), the cursor position for the next poll, and how many
+    /// alerts the cursor missed because they were evicted or drained before
+    /// it got there. O(returned) clone; the buffer is left intact, so any
+    /// number of independently positioned consumers can poll concurrently.
+    ///
+    /// Start a fresh cursor at 0 to see everything still retained (alerts
+    /// already evicted count as missed), or at
+    /// [`StreamMonitor::next_alert_seq`] to see only alerts fired from now
+    /// on.
+    pub fn alerts_since(&self, seq: u64) -> AlertBatch {
+        self.inner.lock().alerts_from(seq)
+    }
+
+    /// The sequence number the next fired alert will carry — the starting
+    /// position for a cursor that wants only future alerts. Equal to
+    /// [`StreamMonitor::total_alerts`].
+    pub fn next_alert_seq(&self) -> u64 {
+        self.inner.lock().total_alerts
     }
 
     /// A copy of the currently retained alerts (oldest first) **without**
@@ -1173,6 +1297,14 @@ impl DatasetQuery for LiveWindowView<'_> {
     /// calls, and a delta across a version change mixes states.
     fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
         self.monitor.inner.lock().running_delta(t0, t1)
+    }
+
+    /// The checkpoint-scan liveness delta — touches only machines with a
+    /// rolling liveness checkpoint inside the hop, under one lock
+    /// acquisition. Same version-pairing caveat as
+    /// [`DatasetQuery::running_delta`].
+    fn liveness_delta(&self, t0: Timestamp, t1: Timestamp) -> LivenessDelta {
+        self.monitor.inner.lock().liveness_delta(t0, t1)
     }
 
     /// The **single-lock transactional frame**: every probe of the frame —
@@ -1479,6 +1611,74 @@ mod tests {
         assert_eq!(peeked, m.peek_alerts());
         assert_eq!(peeked, m.drain_alerts());
         check(&m, delivered + 2);
+    }
+
+    /// PR 7's non-destructive cursors: independently positioned
+    /// `alerts_since` readers see every alert exactly once, never steal
+    /// from each other, and observe eviction/drain gaps as `missed`.
+    #[test]
+    fn alert_cursors_are_independent_and_observe_gaps() {
+        let m = StreamMonitor::new(StreamConfig {
+            alert_capacity: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut t = 0i64;
+        let mut fire = |m: &StreamMonitor, n: usize| {
+            for _ in 0..n {
+                let fired = m.ingest(rec(1, t, 0.95, 0.3, 0.3));
+                assert_eq!(fired.len(), 1);
+                t += 60;
+            }
+        };
+        assert_eq!(m.next_alert_seq(), 0);
+        fire(&m, 3); // seqs 0,1,2 — seq 0 evicted (capacity 2)
+                     // Ingest's return value carries the stamped sequence numbers.
+        let last = m.peek_alerts();
+        assert_eq!(last.iter().map(|a| a.seq).collect::<Vec<_>>(), vec![1, 2]);
+
+        // A cursor from the beginning sees the retained run and the gap.
+        let a = m.alerts_since(0);
+        assert_eq!(a.missed, 1, "evicted seq 0 is observed, not skipped");
+        assert_eq!(a.alerts.iter().map(|x| x.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(a.next_seq, 3);
+        // Re-polling at the returned cursor yields nothing new.
+        let empty = m.alerts_since(a.next_seq);
+        assert!(empty.alerts.is_empty());
+        assert_eq!(empty.missed, 0);
+
+        // A second cursor is untouched by the first one's reads.
+        fire(&m, 1); // seq 3; buffer now [2, 3]
+        let b = m.alerts_since(0);
+        assert_eq!(b.missed, 2);
+        assert_eq!(b.alerts.iter().map(|x| x.seq).collect::<Vec<_>>(), [2, 3]);
+        let a2 = m.alerts_since(a.next_seq);
+        assert_eq!(a2.alerts.iter().map(|x| x.seq).collect::<Vec<_>>(), [3]);
+        assert_eq!(a2.missed, 0);
+
+        // A destructive drain (thin wrapper over the same read) empties the
+        // buffer; lagging cursors afterwards observe the taken alerts as
+        // missed rather than seeing them twice.
+        let drained = m.drain_alerts();
+        assert_eq!(
+            drained.iter().map(|x| x.seq).collect::<Vec<_>>(),
+            [2, 3],
+            "drain delivers the same contiguous run a cursor would"
+        );
+        let c = m.alerts_since(2);
+        assert!(c.alerts.is_empty());
+        assert_eq!(c.missed, 2);
+        assert_eq!(c.next_seq, 4);
+        // A cursor positioned past everything fired so far sees nothing.
+        let future = m.alerts_since(100);
+        assert!(future.alerts.is_empty());
+        assert_eq!(future.missed, 0);
+        // The accounting invariant is untouched by cursor reads:
+        // total(4) == delivered(2) + retained(0) + overflowed(2).
+        assert_eq!(
+            m.total_alerts(),
+            2 + m.alerts_len() as u64 + m.alerts_overflowed()
+        );
     }
 
     #[test]

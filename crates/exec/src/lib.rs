@@ -244,6 +244,43 @@ where
     })
 }
 
+/// Runs `f(0..workers)` on exactly `workers` dedicated scoped threads —
+/// one invocation per thread — and returns the results in worker order.
+///
+/// Unlike [`run_indexed`] (work items claimed from a shared queue, any
+/// worker may run any number of items) this primitive pins each index to
+/// its own thread for the call's whole lifetime, which is what a server
+/// needs for **long-running loops**: an accept loop plus N connection
+/// workers, each alive until a shutdown flag flips. Work-stealing would be
+/// wrong there — a thread that batch-claimed two loops would run them
+/// sequentially and the second loop would never start.
+///
+/// `workers == 0` is treated as 1; `workers <= 1` is the serial fallback
+/// (runs `f(0)` on the calling thread). Worker panics propagate when the
+/// scope joins.
+pub fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let f = &f;
+                scope.spawn(move || f(i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
 /// Maps `f` over `items` in parallel, preserving input order.
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
@@ -337,6 +374,25 @@ mod tests {
     fn resolve_threads_zero_is_default() {
         assert_eq!(resolve_threads(0), default_threads());
         assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn run_workers_pins_one_invocation_per_thread() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Every index runs concurrently: each worker waits until all have
+        // started, which can only succeed if no thread runs two loops.
+        let started = AtomicUsize::new(0);
+        let out = run_workers(4, |i| {
+            started.fetch_add(1, Ordering::SeqCst);
+            while started.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        // Serial fallback and zero-normalization.
+        assert_eq!(run_workers(1, |i| i), vec![0]);
+        assert_eq!(run_workers(0, |i| i + 7), vec![7]);
     }
 
     #[test]

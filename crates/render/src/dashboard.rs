@@ -5,7 +5,7 @@
 use batchlens_analytics::aggregate::{ClusterTimeline, JobMetricLines};
 use batchlens_analytics::hierarchy::HierarchySnapshot;
 use batchlens_layout::{Brush, Color};
-use batchlens_trace::{JobId, Metric, TimeRange, Timestamp, TraceDataset};
+use batchlens_trace::{JobId, Metric, QueryFrame, TimeRange, Timestamp, TraceDataset};
 
 use crate::bubble::BubbleChart;
 use crate::linechart::LineChart;
@@ -125,6 +125,118 @@ impl Dashboard {
         scene
     }
 
+    /// Renders the dashboard from **one transactionally captured**
+    /// [`QueryFrame`] — the render path for live monitors and serving
+    /// layers, where every product on screen must agree about the window
+    /// state at one `(version, timestamp)`.
+    ///
+    /// The main bubble chart and the machine-utilization sidebar both
+    /// derive from the frame alone (no further source queries), so the
+    /// composition can never tear even while ingest continues underneath.
+    /// The timeline strip reuses the immutable precomputed aggregate, as
+    /// in [`Dashboard::render_with_timeline`]. Detail line charts need
+    /// windowed time series a point-in-time frame cannot carry, so this
+    /// variant replaces the focus-job sidebar with per-machine utilization
+    /// bars (busiest active machines first).
+    pub fn render_from_frame(&self, frame: &QueryFrame, timeline: &ClusterTimeline) -> Scene {
+        let at = frame.at();
+        let mut scene = Scene::new(self.width, self.height).background(Color::rgb(250, 250, 250));
+        let timeline_h = 90.0;
+        let sidebar_w = (self.width * 0.33).min(360.0);
+        let main_w = self.width - sidebar_w;
+        let main_h = self.height - timeline_h;
+
+        // Title carries the frame's source version so two renders can be
+        // compared for staleness at a glance.
+        scene.push(Node::Text {
+            x: 8.0,
+            y: 16.0,
+            text: format!("BatchLens @ {at} (v{})", frame.version()),
+            size: 13.0,
+            align: Align::Start,
+            color: Color::rgb(30, 30, 30),
+        });
+
+        // Timeline strip with a brush centered on the frame instant.
+        let mut brush_holder = None;
+        if let Some(span) = timeline.cpu.span() {
+            let mut brush =
+                Brush::new((span.start().seconds() as f64, span.end().seconds() as f64));
+            let half = 1800.0;
+            brush.select(at.seconds() as f64 - half, at.seconds() as f64 + half);
+            brush_holder = Some(brush);
+        }
+        let tl_scene =
+            TimelineView::new(self.width, timeline_h).render(timeline, brush_holder.as_ref());
+        scene.push(Node::group_at((0.0, 20.0), tl_scene.root));
+
+        // Main bubble chart, derived from the frame.
+        let snapshot = HierarchySnapshot::from_frame(frame);
+        let bubble = BubbleChart::new(main_w, main_h - 20.0).render(&snapshot);
+        scene.push(Node::group_at((0.0, timeline_h + 20.0), bubble.root));
+
+        // Sidebar: utilization bars for the busiest active machines, also
+        // straight off the frame.
+        let mut machines: Vec<_> = frame
+            .machines_active()
+            .into_iter()
+            .map(|m| (m, frame.util_of(m).map(|u| u.cpu.fraction()).unwrap_or(0.0)))
+            .collect();
+        machines.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let row_h = 22.0;
+        let rows = (((main_h - 40.0) / row_h) as usize).min(machines.len());
+        let mut sidebar = Vec::new();
+        sidebar.push(Node::Text {
+            x: 8.0,
+            y: 12.0,
+            text: format!("machines ({} active)", machines.len()),
+            size: 11.0,
+            align: Align::Start,
+            color: Color::rgb(60, 60, 60),
+        });
+        let bar_x = 80.0;
+        let bar_w = (sidebar_w - bar_x - 16.0).max(10.0);
+        for (i, (machine, cpu)) in machines.iter().take(rows).enumerate() {
+            let y = 20.0 + i as f64 * row_h;
+            sidebar.push(Node::Text {
+                x: 8.0,
+                y: y + 12.0,
+                text: machine.to_string(),
+                size: 10.0,
+                align: Align::Start,
+                color: Color::rgb(30, 30, 30),
+            });
+            sidebar.push(Node::Rect {
+                x: bar_x,
+                y: y + 4.0,
+                width: bar_w,
+                height: row_h - 10.0,
+                style: Style::filled(Color::rgb(232, 232, 232)),
+            });
+            sidebar.push(Node::Rect {
+                x: bar_x,
+                y: y + 4.0,
+                width: bar_w * cpu.clamp(0.0, 1.0),
+                height: row_h - 10.0,
+                style: Style::filled(Color::rgb(70, 130, 180)),
+            });
+        }
+        scene.push(Node::Group {
+            label: Some("machine-utilization".to_string()),
+            translate: (main_w, timeline_h + 20.0),
+            children: sidebar,
+        });
+
+        // Separator.
+        scene.push(Node::Line {
+            from: (main_w, timeline_h + 20.0),
+            to: (main_w, self.height),
+            style: Style::stroked(Color::rgb(200, 200, 200), 1.0),
+        });
+
+        scene
+    }
+
     fn resolve_focus(&self, snapshot: &HierarchySnapshot) -> Vec<JobId> {
         if !self.focus_jobs.is_empty() {
             return self.focus_jobs.iter().copied().take(4).collect();
@@ -188,6 +300,29 @@ mod tests {
             .focus([scenario::JOB_8124, scenario::JOB_6639])
             .render(&ds, scenario::T_FIG3A);
         assert!(scene.counts().circles > 15);
+    }
+
+    #[test]
+    fn frame_driven_dashboard_matches_bubble_content() {
+        use batchlens_trace::DatasetQuery;
+        let ds = scenario::fig3b(5).run().unwrap();
+        let timeline = ClusterTimeline::build(&ds);
+        let frame = ds.frame(scenario::T_FIG3B);
+        let scene = Dashboard::new(1400.0, 900.0).render_from_frame(&frame, &timeline);
+        let counts = scene.counts();
+        assert!(counts.circles > 0, "no bubbles from the frame");
+        assert!(counts.polylines >= 3, "timeline series missing");
+        // The sidebar utilization bars render one background + one fill
+        // rect per listed machine.
+        assert!(counts.rects >= 2, "machine bars missing");
+        fn has_version_title(n: &Node) -> bool {
+            match n {
+                Node::Text { text, .. } => text.contains("(v0)"),
+                Node::Group { children, .. } => children.iter().any(has_version_title),
+                _ => false,
+            }
+        }
+        assert!(scene.root.iter().any(has_version_title));
     }
 
     #[test]

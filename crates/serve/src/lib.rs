@@ -1,0 +1,64 @@
+//! # batchlens-serve
+//!
+//! A multi-session HTTP serving layer over one shared
+//! [`batchlens::BatchLens`] — the "deploy it as a team dashboard" face of
+//! the BatchLens reproduction (DATE 2022).
+//!
+//! One process holds one lens (batch, or attached to a live
+//! [`batchlens::stream::StreamMonitor`]); any number of dashboard
+//! sessions connect over plain HTTP/1.1 and independently scrub, select,
+//! brush, render and poll alerts. The layer is built from five pieces:
+//!
+//! * [`codec`] — a hand-rolled HTTP/1.1 subset (request-line + headers +
+//!   `Content-Length` bodies, keep-alive), server and client halves;
+//! * [`session`] — the [`session::SessionManager`] multiplexing
+//!   per-session [`batchlens::ViewState`]s over the shared lens, with
+//!   every render and frame query going through **one**
+//!   [`batchlens::BatchLens::frame_at`] capture per request (the frame
+//!   cache deduplicates concurrent sessions onto one capture);
+//! * [`cursor`] — [`cursor::AlertCursor`], a non-destructive,
+//!   independently positioned reader over the monitor's retained alert
+//!   buffer that observes eviction gaps instead of silently skipping;
+//! * [`server`] — the [`std::net::TcpListener`] accept loop and a
+//!   bounded worker pool built on [`batchlens_exec::run_workers`];
+//! * [`router`] + [`stats`] — endpoint dispatch and the `/statsz`
+//!   observability payload (per-session request counts, frame-cache hit
+//!   rate, worker-pool queue depth).
+//!
+//! ## Example
+//!
+//! ```
+//! use batchlens::BatchLens;
+//! use batchlens_serve::session::SessionManager;
+//! use batchlens_serve::server::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let ds = batchlens_sim::scenario::fig3b(1).run().unwrap();
+//! let manager = Arc::new(SessionManager::new(Arc::new(BatchLens::new(ds))));
+//! let server = Arc::new(Server::bind(
+//!     ("127.0.0.1", 0),
+//!     manager,
+//!     ServeConfig::default(),
+//! ).unwrap());
+//! let handle = server.handle();
+//! let runner = Arc::clone(&server);
+//! let join = std::thread::spawn(move || runner.serve());
+//! // ... speak HTTP to server.local_addr() ...
+//! handle.shutdown();
+//! join.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod cursor;
+pub mod router;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use cursor::AlertCursor;
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::SessionManager;
+pub use stats::ServeStats;

@@ -1,0 +1,246 @@
+//! Request routing: the HTTP face of the [`SessionManager`].
+//!
+//! ## Endpoints
+//!
+//! | Method   | Path                        | Body / query                         |
+//! |----------|-----------------------------|--------------------------------------|
+//! | `POST`   | `/sessions`                 | — → [`crate::session::SessionCreated`] |
+//! | `DELETE` | `/sessions/{id}`            | —                                    |
+//! | `POST`   | `/sessions/{id}/events`     | one [`Event`] as JSON, e.g. `{"SelectTimestamp": 46200}` |
+//! | `GET`    | `/sessions/{id}/render`     | `?format=svg\|ascii&width=&height=&cols=&rows=` |
+//! | `GET`    | `/sessions/{id}/frame`      | — → [`crate::session::FrameInfo`]    |
+//! | `GET`    | `/sessions/{id}/alerts`     | — → [`crate::session::AlertsPayload`] |
+//! | `GET`    | `/statsz`                   | — → [`crate::stats::StatszPayload`]  |
+
+use batchlens::interaction::Event;
+
+use crate::codec::{Request, Response};
+use crate::session::{SessionManager, UnknownSession};
+use crate::stats::ServeStats;
+
+/// Everything a routed request may need.
+pub struct RouterContext<'a> {
+    /// The session multiplexer.
+    pub manager: &'a SessionManager,
+    /// The shared counters (`/statsz`).
+    pub stats: &'a ServeStats,
+    /// Worker threads in the pool, for the `/statsz` payload.
+    pub workers: usize,
+}
+
+fn json_or_500<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::ok_json(body),
+        Err(e) => Response {
+            status: 500,
+            reason: "Internal Server Error",
+            content_type: "text/plain; charset=utf-8",
+            body: format!("serialization failed: {e}").into_bytes(),
+            close: false,
+        },
+    }
+}
+
+fn session_result<T: serde::Serialize>(result: Result<T, UnknownSession>) -> Response {
+    match result {
+        Ok(value) => json_or_500(&value),
+        Err(e) => Response::not_found(e.to_string()),
+    }
+}
+
+/// Routes one request and records it in the stats counters.
+pub fn route(ctx: &RouterContext<'_>, req: &Request) -> Response {
+    let response = dispatch(ctx, req);
+    ctx.stats.record_request(response.status);
+    response
+}
+
+fn dispatch(ctx: &RouterContext<'_>, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => Response::ok_text(
+            "batchlens-serve: POST /sessions, then interact under /sessions/{id}\n".to_string(),
+        ),
+        ("GET", ["statsz"]) => json_or_500(&ctx.stats.snapshot(ctx.manager, ctx.workers)),
+        ("POST", ["sessions"]) => json_or_500(&ctx.manager.create()),
+        (method, ["sessions"]) if method != "POST" => Response::method_not_allowed(),
+        ("DELETE", ["sessions", id]) => match parse_id(id) {
+            Some(id) if ctx.manager.remove(id) => {
+                Response::ok_json(format!("{{\"removed\":{id}}}"))
+            }
+            Some(id) => Response::not_found(UnknownSession(id).to_string()),
+            None => Response::bad_request(format!("bad session id: {id}")),
+        },
+        ("POST", ["sessions", id, "events"]) => with_id(id, |id| {
+            match serde_json::from_str::<Event>(std::str::from_utf8(&req.body).unwrap_or("")) {
+                Ok(event) => session_result(ctx.manager.interact(id, event)),
+                Err(e) => Response::bad_request(format!("bad event: {e}")),
+            }
+        }),
+        ("GET", ["sessions", id, "frame"]) => {
+            with_id(id, |id| session_result(ctx.manager.frame_info(id)))
+        }
+        ("GET", ["sessions", id, "alerts"]) => {
+            with_id(id, |id| session_result(ctx.manager.poll_alerts(id)))
+        }
+        ("GET", ["sessions", id, "render"]) => with_id(id, |id| render(ctx, req, id)),
+        _ => Response::not_found(format!("no route for {} {}", req.method, req.path())),
+    }
+}
+
+fn render(ctx: &RouterContext<'_>, req: &Request, id: u64) -> Response {
+    match req.query_param("format").unwrap_or("svg") {
+        "svg" => {
+            let width = num_param(req, "width", 1200.0);
+            let height = num_param(req, "height", 800.0);
+            match ctx.manager.render_svg(id, width, height) {
+                Ok(svg) => Response::ok_svg(svg),
+                Err(e) => Response::not_found(e.to_string()),
+            }
+        }
+        "ascii" => {
+            let cols = num_param(req, "cols", 120.0).max(8.0) as usize;
+            let rows = num_param(req, "rows", 36.0).max(4.0) as usize;
+            match ctx.manager.render_ascii(id, cols, rows) {
+                Ok(text) => Response::ok_text(text),
+                Err(e) => Response::not_found(e.to_string()),
+            }
+        }
+        other => Response::bad_request(format!("unknown render format: {other}")),
+    }
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse::<u64>().ok()
+}
+
+fn with_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match parse_id(raw) {
+        Some(id) => f(id),
+        None => Response::bad_request(format!("bad session id: {raw}")),
+    }
+}
+
+fn num_param(req: &Request, key: &str, default: f64) -> f64 {
+    req.query_param(key)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens::BatchLens;
+    use batchlens_sim::scenario;
+    use std::sync::Arc;
+
+    fn ctx_fixture() -> (SessionManager, ServeStats) {
+        let ds = scenario::fig3b(13).run().unwrap();
+        (
+            SessionManager::new(Arc::new(BatchLens::new(ds))),
+            ServeStats::new(),
+        )
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            minor_version: 1,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            target: target.to_string(),
+            minor_version: 1,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_the_router() {
+        let (manager, stats) = ctx_fixture();
+        let ctx = RouterContext {
+            manager: &manager,
+            stats: &stats,
+            workers: 2,
+        };
+        let created = route(&ctx, &post("/sessions", ""));
+        assert_eq!(created.status, 200);
+        let payload: crate::session::SessionCreated =
+            serde_json::from_str(std::str::from_utf8(&created.body).unwrap()).unwrap();
+        let id = payload.session;
+
+        let event = format!("{{\"SelectTimestamp\": {}}}", scenario::T_FIG3B.seconds());
+        let summary = route(&ctx, &post(&format!("/sessions/{id}/events"), &event));
+        assert_eq!(summary.status, 200);
+        let frame = route(&ctx, &get(&format!("/sessions/{id}/frame")));
+        assert_eq!(frame.status, 200);
+        assert!(String::from_utf8_lossy(&frame.body).contains("\"jobs_running\""));
+        let svg = route(
+            &ctx,
+            &get(&format!(
+                "/sessions/{id}/render?format=svg&width=640&height=480"
+            )),
+        );
+        assert_eq!(svg.status, 200);
+        assert_eq!(svg.content_type, "image/svg+xml");
+        let ascii = route(
+            &ctx,
+            &get(&format!(
+                "/sessions/{id}/render?format=ascii&cols=80&rows=24"
+            )),
+        );
+        assert_eq!(ascii.status, 200);
+        assert_eq!(String::from_utf8_lossy(&ascii.body).lines().count(), 24);
+        let alerts = route(&ctx, &get(&format!("/sessions/{id}/alerts")));
+        assert_eq!(alerts.status, 200);
+        let statsz = route(&ctx, &get("/statsz"));
+        assert_eq!(statsz.status, 200);
+        let removed = route(
+            &ctx,
+            &Request {
+                method: "DELETE".to_string(),
+                target: format!("/sessions/{id}"),
+                minor_version: 1,
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(removed.status, 200);
+        assert_eq!(
+            route(&ctx, &get(&format!("/sessions/{id}/frame"))).status,
+            404
+        );
+        assert_eq!(stats.total_requests(), 9);
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses() {
+        let (manager, stats) = ctx_fixture();
+        let ctx = RouterContext {
+            manager: &manager,
+            stats: &stats,
+            workers: 1,
+        };
+        assert_eq!(route(&ctx, &get("/nope")).status, 404);
+        assert_eq!(route(&ctx, &get("/sessions")).status, 405);
+        assert_eq!(route(&ctx, &get("/sessions/abc/frame")).status, 400);
+        assert_eq!(route(&ctx, &get("/sessions/99/frame")).status, 404);
+        let id = manager.create().session;
+        assert_eq!(
+            route(&ctx, &post(&format!("/sessions/{id}/events"), "not json")).status,
+            400
+        );
+        assert_eq!(
+            route(&ctx, &get(&format!("/sessions/{id}/render?format=jpeg"))).status,
+            400
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The TCP front: a [`std::net::TcpListener`] accept loop feeding a
+//! bounded pool of connection workers.
+//!
+//! The pool reuses [`batchlens_exec::run_workers`]: `workers + 1` scoped
+//! threads, index 0 running the accept loop and the rest draining a
+//! bounded `crossbeam` channel of accepted connections. The channel bound
+//! is the server's backpressure: when every worker is busy and the queue
+//! is full, the accept loop blocks and excess clients wait in the kernel
+//! backlog instead of accumulating unbounded state in the process.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] flips a flag and
+//! pokes the listener awake with a loopback connection; the accept loop
+//! exits, the channel's sender is dropped, and workers finish their
+//! current exchanges (marking responses `Connection: close`) before
+//! [`Server::serve`] joins them all and returns.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::codec::{read_request, CodecError, Response};
+use crate::router::{route, RouterContext};
+use crate::session::SessionManager;
+use crate::stats::ServeStats;
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection worker threads. `0` means "pick a small default"
+    /// (process parallelism capped at 4 — dashboard serving is not a
+    /// throughput workload).
+    pub workers: usize,
+    /// Accepted connections that may queue between the accept loop and
+    /// the workers before accepting blocks. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// How long a worker waits on an idle keep-alive connection before
+    /// closing it. Also bounds how long shutdown can take to drain.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            batchlens_exec::default_threads().clamp(1, 4)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A handle that can stop a running [`Server::serve`] call from another
+/// thread. Cloneable; shutdown is idempotent.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and wakes the accept loop. Returns once the
+    /// request is delivered (not once the server has drained).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() awake; the connection itself is
+        // discarded by the flag check on the other side.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The multi-session dashboard server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    stats: Arc<ServeStats>,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `manager`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        manager: Arc<SessionManager>,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            manager,
+            stats: Arc::new(ServeStats::new()),
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the ephemeral port after binding port 0).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: a bound listener has a local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The server's shared counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// The session manager this server fronts.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// A shutdown handle for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Runs the accept loop and worker pool, blocking until
+    /// [`ServerHandle::shutdown`] is called. All threads are scoped and
+    /// joined before this returns — no detached state survives.
+    pub fn serve(&self) {
+        let workers = self.cfg.resolved_workers();
+        let (tx, rx) = bounded::<TcpStream>(self.cfg.queue_depth.max(1));
+        // The sender lives in an Option so the accept loop (worker 0) can
+        // drop it on exit — that is what unblocks the workers' recv().
+        let tx: Mutex<Option<Sender<TcpStream>>> = Mutex::new(Some(tx));
+        let rx: Mutex<Receiver<TcpStream>> = Mutex::new(rx);
+        batchlens_exec::run_workers(workers + 1, |i| {
+            if i == 0 {
+                self.accept_loop(&tx);
+            } else {
+                self.worker_loop(&rx, workers);
+            }
+        });
+    }
+
+    fn accept_loop(&self, tx: &Mutex<Option<Sender<TcpStream>>>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    self.stats.connection_queued();
+                    let sent = tx
+                        .lock()
+                        .as_ref()
+                        .map(|t| t.send(stream).is_ok())
+                        .unwrap_or(false);
+                    if !sent {
+                        self.stats.connection_claimed();
+                        break;
+                    }
+                }
+                Err(_) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            }
+        }
+        *tx.lock() = None;
+    }
+
+    fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>, workers: usize) {
+        loop {
+            // Hold the receiver lock only while waiting: handling runs
+            // unlocked so workers serve connections concurrently.
+            let stream = { rx.lock().recv() };
+            match stream {
+                Ok(stream) => {
+                    self.stats.connection_claimed();
+                    self.handle_connection(stream, workers);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// One connection's keep-alive conversation: requests are read and
+    /// routed until the peer closes, asks to close, errors, idles past
+    /// the timeout, or the server is shutting down.
+    fn handle_connection(&self, stream: TcpStream, workers: usize) {
+        let _ = stream.set_read_timeout(Some(self.cfg.idle_timeout));
+        let _ = stream.set_nodelay(true);
+        let Ok(reader_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(reader_half);
+        let mut writer = stream;
+        let ctx = RouterContext {
+            manager: &self.manager,
+            stats: &self.stats,
+            workers,
+        };
+        loop {
+            match read_request(&mut reader) {
+                Ok(Some(req)) => {
+                    let mut response = route(&ctx, &req);
+                    if req.wants_close() || self.shutdown.load(Ordering::SeqCst) {
+                        response = response.closing();
+                    }
+                    if response.write_to(&mut writer).is_err() || response.close {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(CodecError::Io(_)) => break,
+                Err(err) => {
+                    // The peer spoke something we can't frame: answer with
+                    // a closing 400 (best effort) and drop the connection —
+                    // its framing state is unknown.
+                    let _ = Response::bad_request(err.to_string())
+                        .closing()
+                        .write_to(&mut writer);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_response, ClientResponse};
+    use batchlens::BatchLens;
+    use batchlens_sim::scenario;
+    use std::io::Write;
+
+    fn start_server() -> (Arc<Server>, ServerHandle, std::thread::JoinHandle<()>) {
+        let ds = scenario::fig3b(21).run().unwrap();
+        let manager = Arc::new(SessionManager::new(Arc::new(BatchLens::new(ds))));
+        let server = Arc::new(
+            Server::bind(
+                ("127.0.0.1", 0),
+                manager,
+                ServeConfig {
+                    workers: 2,
+                    queue_depth: 8,
+                    idle_timeout: Duration::from_millis(500),
+                },
+            )
+            .unwrap(),
+        );
+        let handle = server.handle();
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.serve());
+        (server, handle, join)
+    }
+
+    fn request(stream: &mut TcpStream, method: &str, target: &str, body: &str) -> ClientResponse {
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        read_response(&mut reader).unwrap().unwrap()
+    }
+
+    #[test]
+    fn serves_sessions_over_real_sockets_with_keep_alive() {
+        let (server, handle, join) = start_server();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // Three requests down one keep-alive connection.
+        let created = request(&mut conn, "POST", "/sessions", "");
+        assert_eq!(created.status, 200);
+        let id: crate::session::SessionCreated = serde_json::from_str(&created.text()).unwrap();
+        let seek = request(
+            &mut conn,
+            "POST",
+            &format!("/sessions/{}/events", id.session),
+            &format!("{{\"SelectTimestamp\": {}}}", scenario::T_FIG3B.seconds()),
+        );
+        assert_eq!(seek.status, 200);
+        let frame = request(
+            &mut conn,
+            "GET",
+            &format!("/sessions/{}/frame", id.session),
+            "",
+        );
+        assert_eq!(frame.status, 200);
+        assert!(frame.text().contains("\"version\""));
+        assert_eq!(frame.header("connection"), Some("keep-alive"));
+        drop(conn);
+        // A second, parallel connection sees the same session table.
+        let mut conn2 = TcpStream::connect(server.local_addr()).unwrap();
+        let statsz = request(&mut conn2, "GET", "/statsz", "");
+        assert!(statsz.text().contains("\"sessions\""));
+        drop(conn2);
+        handle.shutdown();
+        join.join().unwrap();
+        assert!(server.stats().total_requests() >= 4);
+    }
+
+    #[test]
+    fn malformed_requests_get_a_closing_400() {
+        let (server, handle, join) = start_server();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let resp = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(resp.header("connection"), Some("close"));
+        drop(conn);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let (_server, handle, join) = start_server();
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        join.join().unwrap();
+    }
+}

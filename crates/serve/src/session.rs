@@ -1,0 +1,448 @@
+//! Multi-session state over one shared [`BatchLens`].
+//!
+//! The manager multiplexes N independent dashboard sessions over a single
+//! lens (batch or live-monitor-attached). Each session owns its own
+//! [`ViewState`] and [`SessionLog`] — what the user is looking at — plus a
+//! non-destructive [`AlertCursor`] over the attached monitor's retained
+//! alert buffer. Everything derived from the *data* is shared through the
+//! lens: renders and frame queries go through exactly one
+//! [`BatchLens::frame_at`] capture per request, so concurrent sessions
+//! viewing the same instant of the same source state share one immutable
+//! frame (see the frame-cache sharing rule on [`BatchLens::frame_at`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use batchlens::interaction::{reduce, Event};
+use batchlens::render::ascii::AsciiCanvas;
+use batchlens::render::dashboard::Dashboard;
+use batchlens::render::svg::to_svg;
+use batchlens::stream::Alert;
+use batchlens::{BatchLens, SessionLog, ViewState};
+use batchlens_trace::{JobId, MachineId, TimeRange, Timestamp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cursor::AlertCursor;
+
+/// A request referenced a session the manager does not hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSession(
+    /// The session id the request named.
+    pub u64,
+);
+
+impl std::fmt::Display for UnknownSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown session {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSession {}
+
+/// One dashboard session's private state.
+#[derive(Debug)]
+struct Session {
+    view: ViewState,
+    log: SessionLog,
+    cursor: AlertCursor,
+    requests: u64,
+}
+
+/// The response body of session creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCreated {
+    /// The new session's id.
+    pub session: u64,
+    /// The session's initial snapshot timestamp.
+    pub at: Timestamp,
+    /// The view extent (the dataset span).
+    pub extent: TimeRange,
+    /// The alert sequence number the session's cursor starts at.
+    pub cursor: u64,
+}
+
+/// The view state summary returned by interaction requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewSummary {
+    /// The session id.
+    pub session: u64,
+    /// Whether the event changed the view.
+    pub changed: bool,
+    /// The selected snapshot timestamp.
+    pub at: Timestamp,
+    /// The selected job, when one is selected.
+    pub selected_job: Option<JobId>,
+    /// The hovered machine, when one is hovered.
+    pub hovered_machine: Option<MachineId>,
+    /// The active brush window, when one is set.
+    pub brush: Option<TimeRange>,
+    /// Jobs pinned into the detail sidebar.
+    pub pinned: Vec<JobId>,
+    /// Whether the anomaly overlay is on.
+    pub anomalies: bool,
+    /// Events recorded in this session's log so far.
+    pub events: usize,
+}
+
+/// One transactional frame capture, summarized as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameInfo {
+    /// The session id.
+    pub session: u64,
+    /// The instant the frame captures.
+    pub at: Timestamp,
+    /// The source state version the frame saw (0 = batch dataset).
+    pub version: u64,
+    /// Jobs with at least one running instance, ascending.
+    pub jobs_running: Vec<JobId>,
+    /// Running `(job, task, machine)` placements, as a count.
+    pub running_instances: usize,
+    /// Machines alive at the instant, ascending.
+    pub machines_active: Vec<MachineId>,
+    /// All machines the source knows, as a count.
+    pub machines_known: usize,
+    /// Mean CPU utilization across machines with a sample (when any).
+    pub mean_cpu: Option<f64>,
+    /// Mean memory utilization across machines with a sample (when any).
+    pub mean_mem: Option<f64>,
+}
+
+/// The response body of an alert poll.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertsPayload {
+    /// The session id.
+    pub session: u64,
+    /// Whether the lens has a live monitor attached at all.
+    pub live: bool,
+    /// Newly observed alerts, in firing order.
+    pub alerts: Vec<Alert>,
+    /// The cursor position after this poll.
+    pub next_seq: u64,
+    /// Alerts evicted before this poll could read them (this poll only).
+    pub missed: u64,
+    /// Alerts delivered through this session's cursor, in total.
+    pub delivered_total: u64,
+    /// Alerts this session's cursor missed, in total.
+    pub missed_total: u64,
+}
+
+/// Per-session observability for `/statsz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// The session id.
+    pub id: u64,
+    /// Requests this session has served.
+    pub requests: u64,
+    /// The session's alert cursor position.
+    pub cursor: u64,
+    /// Alerts the session's cursor missed in total.
+    pub missed: u64,
+}
+
+/// Multiplexes dashboard sessions over one shared [`BatchLens`].
+///
+/// Thread-safe by construction: the session table is a mutex over
+/// per-session mutexes, so requests for *different* sessions run
+/// concurrently (sharing frame captures through the lens cache) while two
+/// requests for the *same* session serialize — a session is one dashboard,
+/// and its view must not interleave mid-request.
+#[derive(Debug)]
+pub struct SessionManager {
+    lens: Arc<BatchLens>,
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// A manager over `lens`. The lens is never mutated — sessions carry
+    /// their own view state and only use the lens's shared query/render
+    /// surface.
+    pub fn new(lens: Arc<BatchLens>) -> SessionManager {
+        SessionManager {
+            lens,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared lens.
+    pub fn lens(&self) -> &Arc<BatchLens> {
+        &self.lens
+    }
+
+    /// Creates a session. Its view starts at the lens's extent defaults;
+    /// its alert cursor starts at the **current** alert sequence, so a new
+    /// dashboard only observes alerts fired after it connected.
+    pub fn create(&self) -> SessionCreated {
+        let extent = self.lens.view().extent();
+        let cursor_start = self.lens.live_monitor().map_or(0, |m| m.next_alert_seq());
+        let view = ViewState::new(extent);
+        let at = view.selected_timestamp();
+        let session = Session {
+            view,
+            log: SessionLog::new(extent),
+            cursor: AlertCursor::at(cursor_start),
+            requests: 0,
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .insert(id, Arc::new(Mutex::new(session)));
+        SessionCreated {
+            session: id,
+            at,
+            extent,
+            cursor: cursor_start,
+        }
+    }
+
+    /// Removes a session; `false` when it did not exist.
+    pub fn remove(&self, id: u64) -> bool {
+        self.sessions.lock().remove(&id).is_some()
+    }
+
+    /// The number of sessions currently held.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether no sessions are held.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+
+    /// Runs `f` on session `id`, holding only that session's lock.
+    fn with_session<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Result<R, UnknownSession> {
+        let slot = self
+            .sessions
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(UnknownSession(id))?;
+        let mut session = slot.lock();
+        session.requests += 1;
+        Ok(f(&mut session))
+    }
+
+    /// Applies an interaction event to session `id`'s view, recording it
+    /// in the session's log.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSession`] when `id` does not exist.
+    pub fn interact(&self, id: u64, event: Event) -> Result<ViewSummary, UnknownSession> {
+        self.with_session(id, |s| {
+            s.log.record(event);
+            let changed = reduce(&mut s.view, event);
+            ViewSummary {
+                session: id,
+                changed,
+                at: s.view.selected_timestamp(),
+                selected_job: s.view.selected_job(),
+                hovered_machine: s.view.hovered_machine(),
+                brush: s.view.brush(),
+                pinned: s.view.pinned_jobs().to_vec(),
+                anomalies: s.view.show_anomalies(),
+                events: s.log.len(),
+            }
+        })
+    }
+
+    /// Summarizes the one transactional frame at session `id`'s selected
+    /// instant — the JSON face of [`BatchLens::frame_at`], shared across
+    /// sessions by the frame cache.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSession`] when `id` does not exist.
+    pub fn frame_info(&self, id: u64) -> Result<FrameInfo, UnknownSession> {
+        self.with_session(id, |s| {
+            let frame = self.lens.frame_at(s.view.selected_timestamp());
+            let mean = frame.mean_utilization();
+            FrameInfo {
+                session: id,
+                at: frame.at(),
+                version: frame.version(),
+                jobs_running: frame.jobs_running(),
+                running_instances: frame.running_instance_count(),
+                machines_active: frame.machines_active(),
+                machines_known: frame.machine_ids().len(),
+                mean_cpu: mean.map(|u| u.cpu.fraction()),
+                mean_mem: mean.map(|u| u.mem.fraction()),
+            }
+        })
+    }
+
+    /// Renders session `id`'s dashboard as SVG — through exactly one
+    /// [`BatchLens::frame_at`] capture.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSession`] when `id` does not exist.
+    pub fn render_svg(&self, id: u64, width: f64, height: f64) -> Result<String, UnknownSession> {
+        self.with_session(id, |s| {
+            let frame = self.lens.frame_at(s.view.selected_timestamp());
+            let scene = Dashboard::new(width, height)
+                .detail_metric(s.view.detail_metric())
+                .render_from_frame(&frame, self.lens.timeline());
+            to_svg(&scene)
+        })
+    }
+
+    /// Renders session `id`'s dashboard as ascii art — same single-frame
+    /// path as [`SessionManager::render_svg`], rasterized to `cols`×`rows`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSession`] when `id` does not exist.
+    pub fn render_ascii(
+        &self,
+        id: u64,
+        cols: usize,
+        rows: usize,
+    ) -> Result<String, UnknownSession> {
+        self.with_session(id, |s| {
+            let frame = self.lens.frame_at(s.view.selected_timestamp());
+            let scene = Dashboard::new(4.0 * cols as f64, 8.0 * rows as f64)
+                .detail_metric(s.view.detail_metric())
+                .render_from_frame(&frame, self.lens.timeline());
+            AsciiCanvas::render(&scene, cols, rows).to_text()
+        })
+    }
+
+    /// Polls session `id`'s alert cursor against the attached monitor.
+    /// Without a live monitor the poll is empty with `live == false`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSession`] when `id` does not exist.
+    pub fn poll_alerts(&self, id: u64) -> Result<AlertsPayload, UnknownSession> {
+        self.with_session(id, |s| match self.lens.live_monitor() {
+            Some(monitor) => {
+                let batch = s.cursor.poll(monitor);
+                AlertsPayload {
+                    session: id,
+                    live: true,
+                    next_seq: batch.next_seq,
+                    missed: batch.missed,
+                    alerts: batch.alerts,
+                    delivered_total: s.cursor.delivered(),
+                    missed_total: s.cursor.missed(),
+                }
+            }
+            None => AlertsPayload {
+                session: id,
+                live: false,
+                alerts: Vec::new(),
+                next_seq: s.cursor.position(),
+                missed: 0,
+                delivered_total: s.cursor.delivered(),
+                missed_total: s.cursor.missed(),
+            },
+        })
+    }
+
+    /// Per-session observability rows for `/statsz`, ascending by id.
+    pub fn session_stats(&self) -> Vec<SessionStats> {
+        let slots: Vec<(u64, Arc<Mutex<Session>>)> = self
+            .sessions
+            .lock()
+            .iter()
+            .map(|(id, slot)| (*id, Arc::clone(slot)))
+            .collect();
+        slots
+            .into_iter()
+            .map(|(id, slot)| {
+                let s = slot.lock();
+                SessionStats {
+                    id,
+                    requests: s.requests,
+                    cursor: s.cursor.position(),
+                    missed: s.cursor.missed(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens_sim::scenario;
+
+    fn manager() -> SessionManager {
+        let ds = scenario::fig3b(11).run().unwrap();
+        SessionManager::new(Arc::new(BatchLens::new(ds)))
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let m = manager();
+        let a = m.create().session;
+        let b = m.create().session;
+        assert_ne!(a, b);
+        m.interact(a, Event::SelectTimestamp(scenario::T_FIG3B))
+            .unwrap();
+        let fa = m.frame_info(a).unwrap();
+        let fb = m.frame_info(b).unwrap();
+        assert_eq!(fa.at, scenario::T_FIG3B);
+        assert_ne!(fa.at, fb.at, "b's view is untouched by a's interaction");
+        assert!(m.remove(b));
+        assert!(!m.remove(b));
+        assert_eq!(m.frame_info(b), Err(UnknownSession(b)));
+    }
+
+    #[test]
+    fn same_instant_sessions_share_one_capture() {
+        let m = manager();
+        let a = m.create().session;
+        let b = m.create().session;
+        for id in [a, b] {
+            m.interact(id, Event::SelectTimestamp(scenario::T_FIG3B))
+                .unwrap();
+        }
+        let before = m.lens().frame_cache_stats();
+        let fa = m.frame_info(a).unwrap();
+        let fb = m.frame_info(b).unwrap();
+        assert_eq!(fa.version, fb.version);
+        assert_eq!(fa.jobs_running, fb.jobs_running);
+        let after = m.lens().frame_cache_stats();
+        assert_eq!(
+            after.1 - before.1,
+            1,
+            "two sessions at one instant: exactly one capture"
+        );
+        assert!(after.0 > before.0, "the second request hit the cache");
+    }
+
+    #[test]
+    fn renders_are_frame_driven() {
+        let m = manager();
+        let id = m.create().session;
+        m.interact(id, Event::SelectTimestamp(scenario::T_FIG3B))
+            .unwrap();
+        let svg = m.render_svg(id, 800.0, 600.0).unwrap();
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("<circle"), "bubbles render from the frame");
+        let ascii = m.render_ascii(id, 100, 30).unwrap();
+        assert_eq!(ascii.lines().count(), 30);
+    }
+
+    #[test]
+    fn batch_lens_alert_poll_is_empty_but_well_formed() {
+        let m = manager();
+        let id = m.create().session;
+        let poll = m.poll_alerts(id).unwrap();
+        assert!(!poll.live);
+        assert!(poll.alerts.is_empty());
+        let stats = m.session_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].requests, 1);
+    }
+}

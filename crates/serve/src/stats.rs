@@ -1,0 +1,173 @@
+//! Server observability: the counters behind the `/statsz` endpoint.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::session::{SessionManager, SessionStats};
+
+/// Shared atomic counters the accept loop, workers and router all update.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests served, across all sessions and endpoints.
+    total_requests: AtomicU64,
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Connections currently queued between the accept loop and the
+    /// worker pool (the pool's backlog depth).
+    queue_depth: AtomicUsize,
+    /// Requests rejected with a 4xx status.
+    client_errors: AtomicU64,
+}
+
+impl ServeStats {
+    /// A zeroed counter set.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Counts one routed request (and its status class).
+    pub fn record_request(&self, status: u16) {
+        self.total_requests.fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one accepted connection entering the queue.
+    pub fn connection_queued(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection leaving the queue for a worker.
+    pub fn connection_claimed(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current accept-to-worker queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Requests served so far.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests.load(Ordering::Relaxed)
+    }
+
+    /// Builds the `/statsz` payload from these counters plus the session
+    /// manager's per-session rows and the lens's cache counters.
+    pub fn snapshot(&self, manager: &SessionManager, workers: usize) -> StatszPayload {
+        let (frame_hits, frame_misses) = manager.lens().frame_cache_stats();
+        let (snap_hits, snap_misses) = manager.lens().snapshot_cache_stats();
+        let total = frame_hits + frame_misses;
+        StatszPayload {
+            total_requests: self.total_requests.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            live: manager.lens().live_monitor().is_some(),
+            worker_pool: WorkerPoolStats {
+                workers,
+                queue_depth: self.queue_depth(),
+            },
+            frame_cache: CacheStats {
+                hits: frame_hits,
+                misses: frame_misses,
+                hit_rate: if total == 0 {
+                    0.0
+                } else {
+                    frame_hits as f64 / total as f64
+                },
+            },
+            snapshot_cache: CacheStats {
+                hits: snap_hits,
+                misses: snap_misses,
+                hit_rate: if snap_hits + snap_misses == 0 {
+                    0.0
+                } else {
+                    snap_hits as f64 / (snap_hits + snap_misses) as f64
+                },
+            },
+            sessions: manager.session_stats(),
+        }
+    }
+}
+
+/// Hit/miss counters for one shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to compute.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when empty.
+    pub hit_rate: f64,
+}
+
+/// Worker-pool observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerPoolStats {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections queued waiting for a worker, right now.
+    pub queue_depth: usize,
+}
+
+/// The `/statsz` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatszPayload {
+    /// Requests served, across all sessions and endpoints.
+    pub total_requests: u64,
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Requests answered with a 4xx status.
+    pub client_errors: u64,
+    /// Whether the lens is live-monitor-backed.
+    pub live: bool,
+    /// Worker-pool depth observability.
+    pub worker_pool: WorkerPoolStats,
+    /// The shared frame cache — `hit_rate` is the fraction of frame
+    /// requests that shared another request's capture.
+    pub frame_cache: CacheStats,
+    /// The snapshot/co-allocation cache.
+    pub snapshot_cache: CacheStats,
+    /// Per-session request counts and cursor positions.
+    pub sessions: Vec<SessionStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchlens::BatchLens;
+    use batchlens_sim::scenario;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reports_queue_and_cache_state() {
+        let ds = scenario::fig3b(12).run().unwrap();
+        let manager = SessionManager::new(Arc::new(BatchLens::new(ds)));
+        let stats = ServeStats::new();
+        stats.connection_queued();
+        stats.connection_queued();
+        stats.connection_claimed();
+        stats.record_request(200);
+        stats.record_request(404);
+        let id = manager.create().session;
+        manager.frame_info(id).unwrap();
+        manager.frame_info(id).unwrap();
+        let payload = stats.snapshot(&manager, 4);
+        assert_eq!(payload.total_requests, 2);
+        assert_eq!(payload.client_errors, 1);
+        assert_eq!(payload.connections, 2);
+        assert_eq!(payload.worker_pool.queue_depth, 1);
+        assert_eq!(payload.worker_pool.workers, 4);
+        assert_eq!(payload.frame_cache.hits, 1);
+        assert_eq!(payload.frame_cache.misses, 1);
+        assert!((payload.frame_cache.hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(payload.sessions.len(), 1);
+        assert_eq!(payload.sessions[0].requests, 2);
+        // The payload is JSON-serializable end to end.
+        let json = serde_json::to_string(&payload).unwrap();
+        assert!(json.contains("\"frame_cache\""));
+    }
+}

@@ -95,7 +95,9 @@ pub use error::{ParseWarning, TraceError};
 pub use ids::{InstanceId, JobId, MachineId, TaskId};
 pub use interval::{IntervalIndex, RollingIntervalIndex};
 pub use metric::{Metric, Utilization, UtilizationTriple};
-pub use queryable::{alive_at_checkpoints, DatasetQuery, QueryFrame, RunningDelta, UtilHold};
+pub use queryable::{
+    alive_at_checkpoints, DatasetQuery, LivenessDelta, QueryFrame, RunningDelta, UtilHold,
+};
 pub use record::{
     BatchInstanceRecord, BatchTaskRecord, InstanceStatus, MachineEvent, MachineEventRecord,
     ServerUsageRecord, TaskStatus,

@@ -101,6 +101,31 @@ impl RunningDelta {
     }
 }
 
+/// The machines whose liveness changed between two timestamps: the
+/// liveness counterpart of [`RunningDelta`], letting a scrubbing consumer
+/// maintain [`DatasetQuery::machines_active_at`] by patching instead of
+/// recomputing the full active set at every instant.
+///
+/// `activated` holds the machines alive at `t1` but not at `t0`,
+/// `deactivated` the reverse; both ascend. Applying the delta to the
+/// sorted active set at `t0` reproduces the active set at `t1` exactly —
+/// provided the source state (and so its known-machine set) is unchanged
+/// between the two reads, which [`DatasetQuery::state_version`] guards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LivenessDelta {
+    /// Machines alive at `t1` but not at `t0`, ascending.
+    pub activated: Vec<MachineId>,
+    /// Machines alive at `t0` but not at `t1`, ascending.
+    pub deactivated: Vec<MachineId>,
+}
+
+impl LivenessDelta {
+    /// True when no machine's liveness changed.
+    pub fn is_empty(&self) -> bool {
+        self.activated.is_empty() && self.deactivated.is_empty()
+    }
+}
+
 /// A machine's sample-and-hold utilization at a timestamp **plus the
 /// half-open validity window** over which that exact value holds:
 /// `util_at(t') == util` for every `t'` with
@@ -355,6 +380,44 @@ pub trait DatasetQuery {
         RunningDelta { entered, exited }
     }
 
+    /// The liveness delta between two snapshot instants: the machines
+    /// activating and deactivating from `t0` to `t1` (both sides ascending;
+    /// `t0 > t1` swaps the roles) — see [`LivenessDelta`].
+    ///
+    /// The default diffs two full [`DatasetQuery::machines_active_at`]
+    /// walks — O(M log e) in the machine count. Indexed implementations
+    /// override it to touch only the machines with a liveness checkpoint
+    /// inside the hop, so scrubbing across quiet stretches costs nothing.
+    fn liveness_delta(&self, t0: Timestamp, t1: Timestamp) -> LivenessDelta {
+        let from = self.machines_active_at(t0);
+        let to = self.machines_active_at(t1);
+        let mut activated = Vec::new();
+        let mut deactivated = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < from.len() && j < to.len() {
+            match from[i].cmp(&to[j]) {
+                std::cmp::Ordering::Less => {
+                    deactivated.push(from[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    activated.push(to[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        deactivated.extend_from_slice(&from[i..]);
+        activated.extend_from_slice(&to[j..]);
+        LivenessDelta {
+            activated,
+            deactivated,
+        }
+    }
+
     /// [`DatasetQuery::util_at`] plus the validity window over which the
     /// returned value keeps being the sample-and-hold answer (see
     /// [`UtilHold`]). The default claims the minimal `[t, t+1)` window —
@@ -468,6 +531,36 @@ impl DatasetQuery for crate::TraceDataset {
         // search, value and validity window off the same grid (the three
         // metric series are built from the same usage rows).
         self.util_hold_at(machine, t)
+    }
+
+    fn liveness_delta(&self, t0: Timestamp, t1: Timestamp) -> LivenessDelta {
+        // Liveness at `t` is decided by the last checkpoint at or before
+        // `t`, so only machines with an event inside the half-open hop
+        // `(min, max]` can flip — found by binary search on the time-sorted
+        // event table, then re-resolved per touched machine. O(log E + Δ)
+        // scan instead of the default's full active-set diff.
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let events = self.machine_events();
+        let start = events.partition_point(|e| e.time <= lo);
+        let end = events.partition_point(|e| e.time <= hi);
+        let mut touched: Vec<MachineId> = events[start..end].iter().map(|e| e.machine).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut activated = Vec::new();
+        let mut deactivated = Vec::new();
+        for m in touched {
+            let was = DatasetQuery::alive_at(self, m, t0);
+            let now = DatasetQuery::alive_at(self, m, t1);
+            match (was, now) {
+                (false, true) => activated.push(m),
+                (true, false) => deactivated.push(m),
+                _ => {}
+            }
+        }
+        LivenessDelta {
+            activated,
+            deactivated,
+        }
     }
 }
 
@@ -689,6 +782,59 @@ mod tests {
             vec![(JobId::new(1), TaskId::new(1), MachineId::new(3))]
         );
         assert!(grow.exited.is_empty());
+    }
+
+    #[test]
+    fn indexed_liveness_delta_matches_active_set_diff() {
+        // Add a second lifecycle flip so hops cross 0, 1 or 2 checkpoints.
+        let mut b = TraceDatasetBuilder::new();
+        b.push_usage(ServerUsageRecord {
+            time: Timestamp::new(0),
+            machine: MachineId::new(3),
+            util: UtilizationTriple::clamped(0.4, 0.3, 0.2),
+        });
+        for (t, m, ev) in [
+            (700i64, 7u32, MachineEvent::Remove),
+            (900, 7, MachineEvent::Add),
+            (400, 3, MachineEvent::SoftError),
+            (500, 3, MachineEvent::Remove),
+        ] {
+            b.push_machine_event(MachineEventRecord {
+                time: Timestamp::new(t),
+                machine: MachineId::new(m),
+                event: ev,
+                capacity_cpu: 0.0,
+                capacity_mem: 0.0,
+                capacity_disk: 0.0,
+            });
+        }
+        let ds = b.build().unwrap();
+        let diff = |t0: Timestamp, t1: Timestamp| {
+            let from = ds.machines_active_at(t0);
+            let to = ds.machines_active_at(t1);
+            LivenessDelta {
+                activated: to.iter().filter(|m| !from.contains(m)).copied().collect(),
+                deactivated: from.iter().filter(|m| !to.contains(m)).copied().collect(),
+            }
+        };
+        let probes: Vec<i64> = (-100..1200)
+            .step_by(67)
+            .chain([400, 500, 700, 900])
+            .collect();
+        for &a in &probes {
+            for &b in &probes {
+                let (t0, t1) = (Timestamp::new(a), Timestamp::new(b));
+                let got = ds.liveness_delta(t0, t1);
+                assert_eq!(got, diff(t0, t1), "liveness delta {a} -> {b}");
+                if a == b {
+                    assert!(got.is_empty());
+                }
+                // Reversing the hop swaps the sides.
+                let rev = ds.liveness_delta(t1, t0);
+                assert_eq!(rev.activated, got.deactivated);
+                assert_eq!(rev.deactivated, got.activated);
+            }
+        }
     }
 
     #[test]

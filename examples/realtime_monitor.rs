@@ -37,22 +37,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A day-long rolling window: the live snapshot queries at the end ask
     // about an instant mid-trace, which must still be inside the window —
     // intervals wholly behind `frontier - horizon` are evicted.
-    let monitor = StreamMonitor::new(StreamConfig {
-        horizon: batchlens::trace::TimeDelta::DAY,
-        ..Default::default()
-    })
-    .unwrap();
+    let monitor = std::sync::Arc::new(
+        StreamMonitor::new(StreamConfig {
+            horizon: batchlens::trace::TimeDelta::DAY,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
     let mut high_alerts = 0usize;
     let mut thrash_alerts = 0usize;
     let mut first_thrash = None;
+    let mut missed = 0u64;
+    // A non-destructive cursor over the alert sequence: `alerts_since`
+    // reads from a remembered position instead of draining, so any number
+    // of consumers (this one, a serving layer's sessions) could coexist.
+    // Lagging behind the bounded retention shows up as `missed`, never as
+    // silent loss.
+    let mut next_seq = 0u64;
     let mut consume = |monitor: &StreamMonitor| {
-        // "Frame" boundary: the cheap length probe costs nothing when no
-        // alert fired, and the drain hands each alert out exactly once —
-        // no per-frame clone of the full alert history.
-        if monitor.alerts_len() == 0 {
-            return;
-        }
-        for alert in monitor.drain_alerts() {
+        let batch = monitor.alerts_since(next_seq);
+        next_seq = batch.next_seq;
+        missed += batch.missed;
+        for alert in batch.alerts {
             if alert.is_thrashing() {
                 thrash_alerts += 1;
                 if first_thrash.is_none() {
@@ -80,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("tracking {} machines", monitor.tracked_machines());
     println!("high-utilization alerts: {high_alerts}");
     println!("thrashing alerts: {thrash_alerts}");
+    println!("alerts evicted before the cursor read them: {missed}");
     if let Some(a) = first_thrash {
         println!(
             "first thrashing alert: {} @ {} (memory {:.0}%)",
@@ -98,28 +105,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Live window queries: stream the structural tables in as well, then
-    // ask the rolling indexes the same questions the batch dataset answers
-    // — and check they agree (the differential suite proves this in depth).
+    // attach the monitor to a lens and render **frame-driven** — one
+    // transactional capture answers every question about the instant, the
+    // same path the serving layer takes per request.
     use batchlens::trace::DatasetQuery;
     monitor.ingest_instances(dataset.instance_records().iter().copied());
     for ev in dataset.machine_events() {
         monitor.ingest_machine_event(*ev);
     }
-    let view = monitor.live_view();
     let at = scenario::T_FIG3C;
-    let live_jobs = view.jobs_running_at(at);
     let batch_jobs = DatasetQuery::jobs_running_at(&dataset, at);
+    let mut app = batchlens::BatchLens::new(dataset);
+    app.attach_live_monitor(std::sync::Arc::clone(&monitor));
+    let frame = app.frame_at(at);
     println!(
-        "live window @ {at}: {} jobs running on {} active machines (batch agrees: {})",
-        live_jobs.len(),
-        view.machines_active_at(at).len(),
-        live_jobs == batch_jobs,
+        "live frame @ {at} (v{}): {} jobs running on {} active machines (batch agrees: {})",
+        frame.version(),
+        frame.jobs_running().len(),
+        frame.machines_active().len(),
+        frame.jobs_running() == batch_jobs,
     );
-    let snapshot = batchlens::analytics::hierarchy::HierarchySnapshot::at(&view, at);
+    let snapshot = batchlens::analytics::hierarchy::HierarchySnapshot::from_frame(&frame);
     println!(
         "live hierarchy snapshot: {} job bubbles, {} node glyphs",
         snapshot.jobs.len(),
         snapshot.total_nodes()
+    );
+    // The full dashboard off the same frame, rasterized for the terminal.
+    let scene = batchlens::render::dashboard::Dashboard::new(640.0, 256.0)
+        .render_from_frame(&frame, app.timeline());
+    print!(
+        "{}",
+        batchlens::render::ascii::AsciiCanvas::render(&scene, 80, 24).to_text()
     );
 
     Ok(())

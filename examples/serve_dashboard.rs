@@ -1,0 +1,216 @@
+//! The serving layer end to end: one live-monitor-backed lens, three
+//! concurrent dashboard sessions over real loopback sockets.
+//!
+//! The walkthrough proves the layer's two core guarantees on the wire:
+//!
+//! * **Shared frames** — three sessions rendering the same instant of the
+//!   same monitor state get bit-identical SVG bytes from exactly **one**
+//!   underlying frame capture (the `/statsz` frame-cache counters move by
+//!   one miss, the rest hits);
+//! * **Independent alert cursors** — each session's `/alerts` poll sees
+//!   the saturation burst exactly once, without stealing from the other
+//!   sessions (and a re-poll is empty).
+//!
+//! Run with: `cargo run -p batchlens-serve --example serve_dashboard`
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use batchlens::analytics::baseline::export_usage_records;
+use batchlens::sim::scenario;
+use batchlens::stream::{StreamConfig, StreamMonitor};
+use batchlens::trace::{MachineId, ServerUsageRecord, TimeDelta, Timestamp, UtilizationTriple};
+use batchlens::BatchLens;
+use batchlens_serve::codec::{read_response, ClientResponse};
+use batchlens_serve::session::{AlertsPayload, FrameInfo, SessionCreated};
+use batchlens_serve::stats::StatszPayload;
+use batchlens_serve::{ServeConfig, Server, SessionManager};
+
+/// One round trip on an open keep-alive connection.
+fn call(conn: &mut TcpStream, method: &str, target: &str, body: &str) -> ClientResponse {
+    // One buffer per request: fragmented small writes on a Nagle-enabled
+    // socket cost a delayed-ACK round trip per request.
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(req.as_bytes()).expect("request written");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
+    read_response(&mut reader)
+        .expect("response framed")
+        .expect("connection open")
+}
+
+/// What one dashboard client saw, for the cross-session assertions.
+struct ClientOutcome {
+    svg: Vec<u8>,
+    frame: FrameInfo,
+    first_poll: AlertsPayload,
+    second_poll: AlertsPayload,
+}
+
+fn client_session(addr: SocketAddr, at: Timestamp, phases: &Barrier) -> ClientOutcome {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let created: SessionCreated =
+        serde_json::from_str(&call(&mut conn, "POST", "/sessions", "").text())
+            .expect("session created");
+    let id = created.session;
+    // Before the burst: the cursor starts at "now", so the poll is empty.
+    let quiet: AlertsPayload =
+        serde_json::from_str(&call(&mut conn, "GET", &format!("/sessions/{id}/alerts"), "").text())
+            .expect("alerts payload");
+    assert!(quiet.live && quiet.alerts.is_empty());
+
+    phases.wait(); // all sessions exist; main fires the burst
+    phases.wait(); // burst ingested, monitor idle again
+
+    // Interact: every session scrubs to the same instant...
+    let event = format!("{{\"SelectTimestamp\": {}}}", at.seconds());
+    assert_eq!(
+        call(&mut conn, "POST", &format!("/sessions/{id}/events"), &event).status,
+        200
+    );
+    // ...and renders concurrently: same (version, timestamp) key, so the
+    // three captures coalesce onto one.
+    let svg = call(
+        &mut conn,
+        "GET",
+        &format!("/sessions/{id}/render?format=svg&width=900&height=700"),
+        "",
+    );
+    assert_eq!(svg.status, 200);
+    let frame: FrameInfo =
+        serde_json::from_str(&call(&mut conn, "GET", &format!("/sessions/{id}/frame"), "").text())
+            .expect("frame payload");
+    let first_poll: AlertsPayload =
+        serde_json::from_str(&call(&mut conn, "GET", &format!("/sessions/{id}/alerts"), "").text())
+            .expect("alerts payload");
+    let second_poll: AlertsPayload =
+        serde_json::from_str(&call(&mut conn, "GET", &format!("/sessions/{id}/alerts"), "").text())
+            .expect("alerts payload");
+    ClientOutcome {
+        svg: svg.body,
+        frame,
+        first_poll,
+        second_poll,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A live monitor fed with the overload day's usage and structure.
+    let dataset = scenario::fig3c(17).run()?;
+    let span_end = dataset.span().map(|s| s.end()).unwrap_or(Timestamp::new(0));
+    let monitor = Arc::new(StreamMonitor::new(StreamConfig {
+        horizon: TimeDelta::DAY,
+        ..Default::default()
+    })?);
+    let mut usage = export_usage_records(&dataset);
+    usage.sort_by_key(|r| (r.time, r.machine));
+    for rec in usage {
+        monitor.ingest(rec);
+    }
+    monitor.ingest_instances(dataset.instance_records().iter().copied());
+    for ev in dataset.machine_events() {
+        monitor.ingest_machine_event(*ev);
+    }
+    let mut lens = BatchLens::new(dataset);
+    lens.attach_live_monitor(Arc::clone(&monitor));
+
+    let manager = Arc::new(SessionManager::new(Arc::new(lens)));
+    let server = Arc::new(Server::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&manager),
+        ServeConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )?);
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = Arc::clone(&server);
+    let serve_thread = thread::spawn(move || runner.serve());
+    println!("serving batchlens on http://{addr}");
+
+    // Three concurrent dashboard sessions, phase-locked with main.
+    let at = scenario::T_FIG3C;
+    let phases = Arc::new(Barrier::new(4));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let phases = Arc::clone(&phases);
+            thread::spawn(move || client_session(addr, at, &phases))
+        })
+        .collect();
+
+    // Fire a saturation burst once every session's cursor is positioned.
+    phases.wait();
+    let seq_before = monitor.next_alert_seq();
+    for k in 0..6i64 {
+        monitor.ingest(ServerUsageRecord {
+            time: span_end + TimeDelta::seconds(60 * (k + 1)),
+            machine: MachineId::new(0),
+            util: UtilizationTriple::clamped(0.97, 0.35, 0.3),
+        });
+    }
+    let fired = monitor.next_alert_seq() - seq_before;
+    assert!(fired > 0, "the burst must fire alerts");
+    println!("burst fired {fired} alerts");
+    phases.wait();
+
+    let outcomes: Vec<ClientOutcome> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    // Bit-identical frames: same (version, timestamp) key → same bytes.
+    assert!(
+        outcomes.windows(2).all(|w| w[0].svg == w[1].svg),
+        "sessions rendering one instant must get identical SVG bytes"
+    );
+    let mut frames: Vec<FrameInfo> = outcomes.iter().map(|o| o.frame.clone()).collect();
+    for f in &mut frames {
+        f.session = 0; // the session id is the only legitimate difference
+    }
+    assert!(frames.windows(2).all(|w| w[0] == w[1]));
+    println!(
+        "3 sessions share one frame @ {} (v{}): {} jobs, {} active machines",
+        frames[0].at,
+        frames[0].version,
+        frames[0].jobs_running.len(),
+        frames[0].machines_active.len()
+    );
+
+    // Exactly one underlying capture, observed through /statsz.
+    let mut conn = TcpStream::connect(addr)?;
+    let statsz: StatszPayload = serde_json::from_str(&call(&mut conn, "GET", "/statsz", "").text())
+        .expect("statsz payload");
+    assert_eq!(
+        statsz.frame_cache.misses, 1,
+        "six frame-keyed requests (3 renders + 3 frame queries) → one capture"
+    );
+    assert_eq!(statsz.frame_cache.hits, 5);
+    assert_eq!(statsz.sessions.len(), 3);
+    println!(
+        "frame cache: {} hits / {} misses (hit rate {:.2}), worker queue depth {}",
+        statsz.frame_cache.hits,
+        statsz.frame_cache.misses,
+        statsz.frame_cache.hit_rate,
+        statsz.worker_pool.queue_depth
+    );
+
+    // Independent cursors: every session saw the whole burst exactly once.
+    for o in &outcomes {
+        let seqs: Vec<u64> = o.first_poll.alerts.iter().map(|a| a.seq).collect();
+        assert_eq!(seqs.len() as u64, fired);
+        assert_eq!(seqs.first().copied(), Some(seq_before));
+        assert!(o.second_poll.alerts.is_empty(), "re-poll delivers nothing");
+        assert_eq!(o.first_poll.missed, 0);
+    }
+    println!("each session polled the burst exactly once ({fired} alerts per cursor)");
+
+    handle.shutdown();
+    serve_thread.join().expect("server joined");
+    println!("server drained and joined; ok");
+    Ok(())
+}

@@ -2,6 +2,11 @@
 //! through the three case-study timestamps — a browser-free way to watch the
 //! cluster's color/shape change over the day.
 //!
+//! Rendering is **frame-driven**: each snapshot is one transactional
+//! [`batchlens::BatchLens::frame_at`] capture, and everything printed for
+//! that instant (hierarchy, counts, bubbles) derives from that single
+//! frame — the same render path the serving layer uses per request.
+//!
 //! Run with: `cargo run -p batchlens --example terminal_dashboard`
 
 use batchlens::analytics::hierarchy::HierarchySnapshot;
@@ -9,10 +14,12 @@ use batchlens::render::ascii::AsciiCanvas;
 use batchlens::render::BubbleChart;
 use batchlens::report::regime_banner;
 use batchlens::sim::scenario;
+use batchlens::BatchLens;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The full day contains all three regimes.
     let ds = scenario::paper_day_with_machines(7, 80).run()?;
+    let app = BatchLens::new(ds);
 
     for (label, at) in [
         ("healthy (Fig 3a)", scenario::T_FIG3A),
@@ -20,17 +27,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("overload + thrashing (Fig 3c)", scenario::T_FIG3C),
     ] {
         println!("\n======== {label} ========");
-        println!("{}", regime_banner(&ds, at));
-        let snap = HierarchySnapshot::at(&ds, at);
+        println!("{}", regime_banner(app.dataset(), at));
+        // One frame per instant: every product below agrees by construction.
+        let frame = app.frame_at(at);
+        let snap = HierarchySnapshot::from_frame(&frame);
         println!(
-            "{} jobs, {} node glyphs",
+            "{} jobs, {} node glyphs, {} machines active (frame v{})",
             snap.jobs.len(),
-            snap.total_nodes()
+            snap.total_nodes(),
+            frame.machines_active().len(),
+            frame.version()
         );
         let scene = BubbleChart::new(600.0, 600.0).labels(false).render(&snap);
         let canvas = AsciiCanvas::render(&scene, 72, 32);
         print!("{}", canvas.to_text());
     }
+
+    // Revisiting an instant replays the shared frame from cache.
+    let _ = app.frame_at(scenario::T_FIG3C);
+    let (hits, misses) = app.frame_cache_stats();
+    println!("\nframe cache: {hits} hits / {misses} misses");
 
     Ok(())
 }

@@ -1,0 +1,315 @@
+//! Serve-layer concurrency suite: many sessions over real loopback sockets,
+//! interleaving interactions, renders and alert polls while the live monitor
+//! keeps firing — proving the serving layer's two transactional guarantees:
+//!
+//! * **No torn frames.** Every `/frame` payload is the product of exactly one
+//!   [`batchlens::BatchLens::frame_at`] capture, so any two sessions that
+//!   observe the same `(timestamp, version)` key must observe *identical*
+//!   contents, even while ingest bumps the version concurrently.
+//! * **Exactly-once alert delivery per cursor.** Each session's non-destructive
+//!   cursor sees every alert fired after its creation exactly once across all
+//!   its polls — no duplicates, no gaps, no stealing between sessions.
+//!
+//! A deterministic interleaving runs first; a proptest then drives randomized
+//! per-session scripts through the same harness.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+use batchlens::analytics::baseline::export_usage_records;
+use batchlens::sim::scenario;
+use batchlens::stream::{StreamConfig, StreamMonitor};
+use batchlens::trace::{MachineId, ServerUsageRecord, TimeDelta, Timestamp, UtilizationTriple};
+use batchlens::BatchLens;
+use batchlens_serve::codec::{read_response, ClientResponse};
+use batchlens_serve::session::{AlertsPayload, FrameInfo, SessionCreated};
+use batchlens_serve::{ServeConfig, Server, SessionManager};
+use proptest::prelude::*;
+
+/// One request/response round trip on an open keep-alive connection.
+fn call(conn: &mut TcpStream, method: &str, target: &str, body: &str) -> ClientResponse {
+    // One buffer per request: fragmented small writes on a Nagle-enabled
+    // socket cost a delayed-ACK round trip per request.
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(req.as_bytes()).expect("request written");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
+    read_response(&mut reader)
+        .expect("response framed")
+        .expect("connection open")
+}
+
+/// One step of a session's scripted behaviour.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Scrub the view to candidate timestamp `i` (mod the candidate count).
+    Select(u8),
+    /// Fetch the typed frame payload and record it for tear detection.
+    Frame,
+    /// Render the dashboard as ASCII (exercises the heavy render path).
+    Render,
+    /// Poll the session's alert cursor.
+    Poll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..8, 0u8..3).prop_map(|(kind, i)| match kind {
+        0 | 1 => Op::Select(i),
+        2 | 3 => Op::Frame,
+        4 | 5 => Op::Render,
+        _ => Op::Poll,
+    })
+}
+
+/// Shared tear-detection ledger: the canonical `FrameInfo` per
+/// `(timestamp, version)` key. A torn capture shows up as two sessions
+/// disagreeing about the same key.
+type FrameLedger = Arc<Mutex<BTreeMap<(i64, u64), FrameInfo>>>;
+
+/// What one scripted session observed, for the end-of-run audit.
+struct SessionOutcome {
+    created: SessionCreated,
+    /// Every alert seq this cursor delivered, in poll order.
+    seqs: Vec<u64>,
+    /// Total `missed` reported across all polls.
+    missed: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_script(
+    addr: SocketAddr,
+    script: &[Op],
+    candidates: &[Timestamp],
+    ledger: &FrameLedger,
+    start: &Barrier,
+    torn: &AtomicBool,
+) -> SessionOutcome {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let created: SessionCreated =
+        serde_json::from_str(&call(&mut conn, "POST", "/sessions", "").text())
+            .expect("session created");
+    let id = created.session;
+    let mut seqs = Vec::new();
+    let mut missed = 0u64;
+    let mut selected: Option<Timestamp> = None;
+    start.wait(); // every session exists; the igniter may start firing
+
+    for &op in script {
+        match op {
+            Op::Select(i) => {
+                let at = candidates[i as usize % candidates.len()];
+                let event = format!("{{\"SelectTimestamp\": {}}}", at.seconds());
+                let resp = call(&mut conn, "POST", &format!("/sessions/{id}/events"), &event);
+                assert_eq!(resp.status, 200, "interact must succeed");
+                selected = Some(at);
+            }
+            Op::Frame => {
+                let mut frame: FrameInfo = serde_json::from_str(
+                    &call(&mut conn, "GET", &format!("/sessions/{id}/frame"), "").text(),
+                )
+                .expect("frame payload");
+                if let Some(at) = selected {
+                    assert_eq!(frame.at, at, "frame must reflect the session's view");
+                }
+                assert!(frame.machines_active.len() <= frame.machines_known);
+                frame.session = 0; // the only legitimate cross-session difference
+                let key = (frame.at.seconds(), frame.version);
+                let mut ledger = ledger.lock().expect("ledger lock");
+                if let Some(canonical) = ledger.get(&key) {
+                    if *canonical != frame {
+                        torn.store(true, Ordering::SeqCst);
+                    }
+                } else {
+                    ledger.insert(key, frame);
+                }
+            }
+            Op::Render => {
+                let resp = call(
+                    &mut conn,
+                    "GET",
+                    &format!("/sessions/{id}/render?format=ascii&cols=40&rows=12"),
+                    "",
+                );
+                assert_eq!(resp.status, 200);
+                assert!(!resp.body.is_empty(), "render must produce output");
+            }
+            Op::Poll => {
+                let batch: AlertsPayload = serde_json::from_str(
+                    &call(&mut conn, "GET", &format!("/sessions/{id}/alerts"), "").text(),
+                )
+                .expect("alerts payload");
+                assert!(batch.live, "the lens has a live monitor attached");
+                seqs.extend(batch.alerts.iter().map(|a| a.seq));
+                missed += batch.missed;
+            }
+        }
+    }
+    SessionOutcome {
+        created,
+        seqs,
+        missed,
+    }
+}
+
+/// Builds the live-monitor-backed lens, runs `scripts` as concurrent sessions
+/// while an igniter thread fires `bursts` single-alert saturation records,
+/// then audits frame consistency and exactly-once cursor delivery.
+fn interleave(seed: u64, scripts: Vec<Vec<Op>>, bursts: usize) {
+    let dataset = scenario::fig3b(seed).run().expect("scenario");
+    let span = dataset.span().expect("non-empty dataset");
+    let span_end = span.end();
+    let step = span.duration() / 4;
+    let candidates = [
+        span.start() + step,
+        span.start() + step * 2,
+        span_end - step,
+    ];
+
+    let monitor = Arc::new(
+        StreamMonitor::new(StreamConfig {
+            horizon: TimeDelta::DAY,
+            ..Default::default()
+        })
+        .expect("stream config"),
+    );
+    let mut usage = export_usage_records(&dataset);
+    usage.sort_by_key(|r| (r.time, r.machine));
+    for rec in usage {
+        monitor.ingest(rec);
+    }
+    monitor.ingest_instances(dataset.instance_records().iter().copied());
+    for ev in dataset.machine_events() {
+        monitor.ingest_machine_event(*ev);
+    }
+    let mut lens = BatchLens::new(dataset);
+    lens.attach_live_monitor(Arc::clone(&monitor));
+
+    let manager = Arc::new(SessionManager::new(Arc::new(lens)));
+    let server = Arc::new(
+        Server::bind(
+            ("127.0.0.1", 0),
+            Arc::clone(&manager),
+            // One worker per possible concurrent keep-alive session (plus
+            // slack): a worker owns its connection until it closes, so fewer
+            // workers than phase-locked sessions would deadlock the barrier.
+            ServeConfig {
+                workers: 6,
+                idle_timeout: std::time::Duration::from_secs(30),
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback"),
+    );
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = Arc::clone(&server);
+    let serve_thread = thread::spawn(move || runner.serve());
+
+    let ledger: FrameLedger = Arc::new(Mutex::new(BTreeMap::new()));
+    let torn = Arc::new(AtomicBool::new(false));
+    // Sessions + the igniter rendezvous once, so every cursor is positioned
+    // at the same sequence number before any scripted traffic or burst.
+    let start = Arc::new(Barrier::new(scripts.len() + 1));
+    let clients: Vec<_> = scripts
+        .into_iter()
+        .map(|script| {
+            let ledger = Arc::clone(&ledger);
+            let torn = Arc::clone(&torn);
+            let start = Arc::clone(&start);
+            thread::spawn(move || run_script(addr, &script, &candidates, &ledger, &start, &torn))
+        })
+        .collect();
+
+    // The igniter: concurrent saturation records, each firing exactly one
+    // alert, interleaved with the scripted session traffic.
+    start.wait();
+    let seq0 = monitor.next_alert_seq();
+    for k in 0..bursts {
+        monitor.ingest(ServerUsageRecord {
+            time: span_end + TimeDelta::seconds(60 * (k as i64 + 1)),
+            machine: MachineId::new(0),
+            util: UtilizationTriple::clamped(0.95, 0.3, 0.3),
+        });
+        thread::yield_now();
+    }
+    let final_seq = monitor.next_alert_seq();
+    assert_eq!(
+        final_seq - seq0,
+        bursts as u64,
+        "each saturation record fires exactly one alert"
+    );
+
+    let mut outcomes: Vec<SessionOutcome> = clients
+        .into_iter()
+        .map(|c| c.join().expect("session thread"))
+        .collect();
+
+    // Quiesce, then drain every cursor with one final poll so each session's
+    // delivery record covers the full fired range.
+    for outcome in &mut outcomes {
+        let id = outcome.created.session;
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let batch: AlertsPayload = serde_json::from_str(
+            &call(&mut conn, "GET", &format!("/sessions/{id}/alerts"), "").text(),
+        )
+        .expect("alerts payload");
+        outcome.seqs.extend(batch.alerts.iter().map(|a| a.seq));
+        outcome.missed += batch.missed;
+    }
+
+    handle.shutdown();
+    serve_thread.join().expect("server joined");
+
+    assert!(
+        !torn.load(Ordering::SeqCst),
+        "two sessions observed different contents for one (timestamp, version) frame key"
+    );
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.created.cursor, seq0,
+            "every cursor was positioned before the first burst"
+        );
+        assert_eq!(outcome.missed, 0, "nothing evicted under the cursor");
+        let expect: Vec<u64> = (seq0..final_seq).collect();
+        assert_eq!(
+            outcome.seqs, expect,
+            "each cursor delivers every fired alert exactly once, in order"
+        );
+    }
+}
+
+#[test]
+fn deterministic_interleaving_never_tears_frames_or_duplicates_alerts() {
+    use Op::*;
+    let scripts = vec![
+        vec![Select(0), Frame, Render, Poll, Select(2), Frame, Poll],
+        vec![Select(2), Frame, Poll, Select(0), Frame, Render, Poll],
+        vec![Select(1), Render, Frame, Poll, Select(1), Frame, Poll],
+    ];
+    interleave(23, scripts, 6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized per-session scripts: any interleaving of interactions,
+    /// renders and polls across 2–4 concurrent sessions upholds both
+    /// serving-layer guarantees.
+    #[test]
+    fn prop_interleaved_sessions_are_consistent(
+        scripts in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 3..8),
+            2..5,
+        ),
+        seed in 0u64..100,
+        bursts in 1usize..8,
+    ) {
+        interleave(seed, scripts, bursts);
+    }
+}

@@ -179,6 +179,12 @@ fn assert_scrub_matches<Q: DatasetQuery + ?Sized>(
         "running multiset cardinality at {}",
         t
     );
+    prop_assert_eq!(
+        scrub.machines_active(),
+        &src.machines_active_at(t)[..],
+        "delta-maintained active machine set at {}",
+        t
+    );
     Ok(())
 }
 
