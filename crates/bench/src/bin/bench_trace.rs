@@ -73,12 +73,37 @@ struct ServeEntry {
     frame_cache_hit_rate: f64,
 }
 
+/// One overload point: a saturating burst of one-shot connections at twice
+/// the server's carrying capacity (workers + queue depth), recording how the
+/// shed path behaves — the rate of `503 + Retry-After` rejections, how fast
+/// those rejections come back (shedding must be cheaper than serving), and
+/// the goodput the server sustains for the connections it does accept.
+///
+/// Informational, like [`ServeEntry`]: loopback scheduling is host-specific.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OverloadEntry {
+    name: String,
+    /// Connections attempted across the whole run.
+    connections: usize,
+    /// Worker threads + queue slots — the carrying capacity being doubled.
+    capacity: usize,
+    /// Fraction of connections shed with `503 + Retry-After`.
+    shed_rate: f64,
+    /// Median latency of a shed response (connect to 503 read).
+    shed_p50_us: f64,
+    /// Tail latency of a shed response.
+    shed_p99_us: f64,
+    /// Successful (200) responses per second over the saturated run.
+    goodput_req_per_sec: f64,
+}
+
 /// The emitted report.
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
     description: String,
     entries: Vec<Entry>,
     serve: Vec<ServeEntry>,
+    overload: Vec<OverloadEntry>,
 }
 
 /// Times `f` once per run, `runs` times.
@@ -745,6 +770,138 @@ fn serve_entries(tier: Tier, ds: &TraceDataset, serve: &mut Vec<ServeEntry>) {
     }
 }
 
+/// Overload row: a deliberately tiny server (2 workers, 4 queue slots) hit
+/// with rounds of simultaneous one-shot bursts at 2x its carrying capacity.
+/// Connections beyond capacity must be shed immediately with
+/// `503 + Retry-After` while the accepted ones keep completing — the row
+/// records the shed rate, how quickly shed responses come back, and the
+/// goodput of the survivors.
+fn overload_entries(tier: Tier, ds: &TraceDataset, overload: &mut Vec<OverloadEntry>) {
+    use batchlens_serve::codec::read_response;
+    use batchlens_serve::session::SessionCreated;
+    use batchlens_serve::{ServeConfig, Server, SessionManager};
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    const WORKERS: usize = 2;
+    const QUEUE: usize = 4;
+    const ROUNDS: usize = 24;
+    let capacity = WORKERS + QUEUE;
+    let burst = 2 * capacity;
+
+    let lens = batchlens::BatchLens::new(ds.clone());
+    let manager = Arc::new(SessionManager::new(Arc::new(lens)));
+    let server = Arc::new(
+        Server::bind(
+            ("127.0.0.1", 0),
+            Arc::clone(&manager),
+            ServeConfig {
+                workers: WORKERS,
+                queue_depth: QUEUE,
+                idle_timeout: std::time::Duration::from_secs(30),
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback"),
+    );
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = Arc::clone(&server);
+    let serve_thread = std::thread::spawn(move || runner.serve());
+
+    // One shared session: the burst connections are one-shot, so the frame
+    // endpoint is the work unit, not session state.
+    let id = {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(
+            b"POST /sessions HTTP/1.1\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+        )
+        .expect("request written");
+        let mut reader = BufReader::new(conn);
+        let created: SessionCreated = serde_json::from_str(
+            &read_response(&mut reader)
+                .expect("response framed")
+                .expect("connection open")
+                .text(),
+        )
+        .expect("session created");
+        created.session
+    };
+
+    let mut ok = 0usize;
+    let mut shed_latencies: Vec<f64> = Vec::new();
+    let wall = Instant::now();
+    for _ in 0..ROUNDS {
+        let start = Arc::new(Barrier::new(burst));
+        let workers: Vec<_> = (0..burst)
+            .map(|_| {
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let t0 = Instant::now();
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).ok();
+                    conn.write_all(
+                        format!(
+                            "GET /sessions/{id}/frame HTTP/1.1\r\nconnection: close\r\n\
+                             content-length: 0\r\n\r\n"
+                        )
+                        .as_bytes(),
+                    )
+                    .expect("request written");
+                    let mut reader = BufReader::new(conn);
+                    let resp = read_response(&mut reader)
+                        .expect("response framed")
+                        .expect("connection open");
+                    (resp.status, t0.elapsed().as_nanos() as f64 / 1_000.0)
+                })
+            })
+            .collect();
+        for w in workers {
+            let (status, us) = w.join().expect("burst thread");
+            match status {
+                200 => ok += 1,
+                503 => shed_latencies.push(us),
+                other => panic!("unexpected overload status {other}"),
+            }
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    handle.shutdown();
+    serve_thread.join().expect("server joined");
+
+    shed_latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| {
+        if shed_latencies.is_empty() {
+            0.0
+        } else {
+            shed_latencies[((shed_latencies.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let connections = ROUNDS * burst;
+    let row = OverloadEntry {
+        name: format!("serve_overload_{}", tier.name()),
+        connections,
+        capacity,
+        shed_rate: shed_latencies.len() as f64 / connections as f64,
+        shed_p50_us: pct(0.50),
+        shed_p99_us: pct(0.99),
+        goodput_req_per_sec: ok as f64 / elapsed,
+    };
+    println!(
+        "{} @ 2x capacity ({} conns): shed rate {:.3}, shed p50 {:.0} us, p99 {:.0} us, \
+         goodput {:.0} req/s",
+        row.name,
+        row.connections,
+        row.shed_rate,
+        row.shed_p50_us,
+        row.shed_p99_us,
+        row.goodput_req_per_sec
+    );
+    overload.push(row);
+}
+
 /// Requests each benchmark session issues against the serving layer.
 const SERVE_REQUESTS: usize = 64;
 
@@ -789,12 +946,14 @@ fn main() {
 
     let mut entries = Vec::new();
     let mut serve_rows = Vec::new();
+    let mut overload_rows = Vec::new();
     if tier == Tier::Medium {
         synthetic_entries(&mut entries);
     }
     let ds = tier.dataset();
     dataset_entries(tier, &ds, &mut entries);
     serve_entries(tier, &ds, &mut serve_rows);
+    overload_entries(tier, &ds, &mut overload_rows);
 
     // --check: compare fresh optimized times against the committed file.
     // The serial-vs-parallel trajectory rows are excluded: their "optimized"
@@ -823,8 +982,9 @@ fn main() {
     }
 
     // Merge: refresh rows we produced, keep rows from other tiers.
-    let (mut merged, mut merged_serve) =
-        committed.map(|r| (r.entries, r.serve)).unwrap_or_default();
+    let (mut merged, mut merged_serve, mut merged_overload) = committed
+        .map(|r| (r.entries, r.serve, r.overload))
+        .unwrap_or_default();
     for fresh in entries {
         if let Some(slot) = merged.iter_mut().find(|e| e.name == fresh.name) {
             *slot = fresh;
@@ -842,15 +1002,24 @@ fn main() {
             merged_serve.push(fresh);
         }
     }
+    for fresh in overload_rows {
+        if let Some(slot) = merged_overload.iter_mut().find(|e| e.name == fresh.name) {
+            *slot = fresh;
+        } else {
+            merged_overload.push(fresh);
+        }
+    }
     let report = Report {
         description: "naive vs optimized wall-clock (min/mean/max over N runs, release) for \
                       the trace-layer and streaming hot paths; speedup = naive.min / \
                       optimized.min; dataset-bound rows are suffixed by sim tier; serve rows \
-                      record serving-layer throughput/latency per session count (untracked \
-                      by --check: host-dependent)"
+                      record serving-layer throughput/latency per session count and overload \
+                      rows the shed/goodput behaviour at 2x queue-depth saturation (both \
+                      untracked by --check: host-dependent)"
             .into(),
         entries: merged,
         serve: merged_serve,
+        overload: merged_overload,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");

@@ -857,6 +857,15 @@ impl StreamMonitor {
         self.inner.lock().last_wal_error.clone()
     }
 
+    /// Whether the durability layer is trustworthy right now: `true` when
+    /// no WAL is attached (nothing promised) or the attached log has taken
+    /// zero IO errors. Readiness probes gate on this — a monitor with WAL
+    /// gaps keeps serving but should stop attracting new traffic.
+    pub fn wal_healthy(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.wal.is_none() || inner.wal_errors == 0
+    }
+
     /// Ingests one usage record, returning the alerts it triggers (empty
     /// for a quiet sample — no allocation in that case).
     ///

@@ -244,6 +244,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether the server will close the connection after writing this.
     pub close: bool,
+    /// Extra `(name, value)` headers appended after the standard three
+    /// (e.g. `retry-after` on a 503, the staleness marker on a degraded
+    /// frame). Names must be lowercase; values must be header-safe.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -255,6 +259,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -266,6 +271,7 @@ impl Response {
             content_type: "image/svg+xml",
             body: body.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -277,6 +283,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -288,6 +295,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: why.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -299,6 +307,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: why.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -310,6 +319,40 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: b"method not allowed".to_vec(),
             close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A `503 Service Unavailable` carrying a `retry-after` header.
+    ///
+    /// This is the **shed contract**: when the accept-to-worker queue is
+    /// full, the server answers new connections with exactly this response
+    /// — immediately, from the accept loop, without occupying a worker —
+    /// and closes. `retry-after` tells well-behaved clients how many
+    /// seconds to back off before reconnecting; the body repeats the
+    /// reason. Shedding is deliberate load *rejection*, not failure: the
+    /// connection was never queued, no session state was touched, and the
+    /// request body (if any) was never read.
+    pub fn service_unavailable(why: String, retry_after_secs: u64) -> Response {
+        Response {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "text/plain; charset=utf-8",
+            body: why.into_bytes(),
+            close: true,
+            extra_headers: vec![("retry-after", retry_after_secs.to_string())],
+        }
+    }
+
+    /// A `500 Internal Server Error` with a plain-text reason.
+    pub fn server_error(why: String) -> Response {
+        Response {
+            status: 500,
+            reason: "Internal Server Error",
+            content_type: "text/plain; charset=utf-8",
+            body: why.into_bytes(),
+            close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -317,6 +360,14 @@ impl Response {
     #[must_use]
     pub fn closing(mut self) -> Response {
         self.close = true;
+        self
+    }
+
+    /// Appends an extra header (builder). `name` must be lowercase and
+    /// both halves must be free of CR/LF.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
         self
     }
 
@@ -328,13 +379,17 @@ impl Response {
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason,
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -471,6 +526,31 @@ mod tests {
         assert_eq!(second.text(), "bye");
         assert_eq!(second.header("connection"), Some("close"));
         assert!(read_response(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after_and_closes() {
+        let mut wire = Vec::new();
+        Response::service_unavailable("server overloaded".to_string(), 2)
+            .write_to(&mut wire)
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert_eq!(resp.text(), "server overloaded");
+        // Builder headers frame identically.
+        let mut wire = Vec::new();
+        Response::ok_json("{}".to_string())
+            .with_header("x-batchlens-stale", "true".to_string())
+            .write_to(&mut wire)
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.header("x-batchlens-stale"), Some("true"));
     }
 
     #[test]

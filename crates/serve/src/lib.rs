@@ -60,5 +60,5 @@ pub mod stats;
 
 pub use cursor::AlertCursor;
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use session::SessionManager;
+pub use session::{SessionConfig, SessionError, SessionManager};
 pub use stats::ServeStats;

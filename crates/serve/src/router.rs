@@ -11,12 +11,27 @@
 //! | `GET`    | `/sessions/{id}/frame`      | — → [`crate::session::FrameInfo`]    |
 //! | `GET`    | `/sessions/{id}/alerts`     | — → [`crate::session::AlertsPayload`] |
 //! | `GET`    | `/statsz`                   | — → [`crate::stats::StatszPayload`]  |
+//! | `GET`    | `/healthz`                  | — liveness: `200` while the process serves |
+//! | `GET`    | `/readyz`                   | — readiness: `200` when the lens answers, the WAL is healthy and serving is not degraded; `503` otherwise |
+//!
+//! Frame-backed responses served from a last good frame in degraded mode
+//! carry an `x-batchlens-stale: true` header (and `FrameInfo.stale`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use batchlens::interaction::Event;
 
 use crate::codec::{Request, Response};
-use crate::session::{SessionManager, UnknownSession};
+use crate::session::{SessionError, SessionManager, UnknownSession};
 use crate::stats::ServeStats;
+
+/// Failpoint site evaluated at the top of request dispatch — arming it
+/// injects handler errors, delays, or panics (exercising the
+/// `catch_unwind` supervision in [`route`]).
+pub const FAILPOINT_ROUTE: &str = "serve.route";
+
+/// The header marking a response rendered from a last good frame.
+pub const STALE_HEADER: &str = "x-batchlens-stale";
 
 /// Everything a routed request may need.
 pub struct RouterContext<'a> {
@@ -31,13 +46,7 @@ pub struct RouterContext<'a> {
 fn json_or_500<T: serde::Serialize>(value: &T) -> Response {
     match serde_json::to_string(value) {
         Ok(body) => Response::ok_json(body),
-        Err(e) => Response {
-            status: 500,
-            reason: "Internal Server Error",
-            content_type: "text/plain; charset=utf-8",
-            body: format!("serialization failed: {e}").into_bytes(),
-            close: false,
-        },
+        Err(e) => Response::server_error(format!("serialization failed: {e}")),
     }
 }
 
@@ -48,19 +57,54 @@ fn session_result<T: serde::Serialize>(result: Result<T, UnknownSession>) -> Res
     }
 }
 
+fn session_error(e: SessionError) -> Response {
+    match e {
+        SessionError::Unknown(_) => Response::not_found(e.to_string()),
+        // Degraded with nothing to degrade to: a retryable 503 that keeps
+        // the connection (unlike the shed 503, nothing here is overloaded).
+        SessionError::Unavailable => {
+            let mut resp = Response::service_unavailable(e.to_string(), 1);
+            resp.close = false;
+            resp
+        }
+    }
+}
+
+/// Tags a response that served a last good frame (degraded mode).
+fn mark_stale(resp: Response, stale: bool) -> Response {
+    if stale {
+        resp.with_header(STALE_HEADER, "true".to_string())
+    } else {
+        resp
+    }
+}
+
 /// Routes one request and records it in the stats counters.
+///
+/// Dispatch runs under `catch_unwind`: a panicking handler is counted in
+/// `/statsz` (`worker_panics`) and answered with a closing `500` instead
+/// of unwinding into the worker pool — one bad request must never take
+/// down the server.
 pub fn route(ctx: &RouterContext<'_>, req: &Request) -> Response {
-    let response = dispatch(ctx, req);
+    let response = catch_unwind(AssertUnwindSafe(|| dispatch(ctx, req))).unwrap_or_else(|_| {
+        ctx.stats.record_worker_panic();
+        Response::server_error("request handler panicked".to_string()).closing()
+    });
     ctx.stats.record_request(response.status);
     response
 }
 
 fn dispatch(ctx: &RouterContext<'_>, req: &Request) -> Response {
+    if batchlens_fault::fire(FAILPOINT_ROUTE).is_some() {
+        return Response::server_error("injected route fault".to_string());
+    }
     let segments: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", []) => Response::ok_text(
             "batchlens-serve: POST /sessions, then interact under /sessions/{id}\n".to_string(),
         ),
+        ("GET", ["healthz"]) => Response::ok_text("ok\n".to_string()),
+        ("GET", ["readyz"]) => readyz(ctx),
         ("GET", ["statsz"]) => json_or_500(&ctx.stats.snapshot(ctx.manager, ctx.workers)),
         ("POST", ["sessions"]) => json_or_500(&ctx.manager.create()),
         (method, ["sessions"]) if method != "POST" => Response::method_not_allowed(),
@@ -77,14 +121,44 @@ fn dispatch(ctx: &RouterContext<'_>, req: &Request) -> Response {
                 Err(e) => Response::bad_request(format!("bad event: {e}")),
             }
         }),
-        ("GET", ["sessions", id, "frame"]) => {
-            with_id(id, |id| session_result(ctx.manager.frame_info(id)))
-        }
+        ("GET", ["sessions", id, "frame"]) => with_id(id, |id| match ctx.manager.frame_info(id) {
+            Ok(info) => {
+                let stale = info.stale;
+                mark_stale(json_or_500(&info), stale)
+            }
+            Err(e) => session_error(e),
+        }),
         ("GET", ["sessions", id, "alerts"]) => {
             with_id(id, |id| session_result(ctx.manager.poll_alerts(id)))
         }
         ("GET", ["sessions", id, "render"]) => with_id(id, |id| render(ctx, req, id)),
         _ => Response::not_found(format!("no route for {} {}", req.method, req.path())),
+    }
+}
+
+/// Readiness: the lens answers a probe query, the attached monitor's WAL
+/// (when any) has taken no IO errors, and frame serving is not degraded.
+/// Not ready maps to a keep-alive `503` so orchestrators stop routing new
+/// traffic without tearing down probes.
+fn readyz(ctx: &RouterContext<'_>) -> Response {
+    let lens = ctx.manager.lens();
+    let responsive = catch_unwind(AssertUnwindSafe(|| {
+        let _ = lens.view().extent();
+    }))
+    .is_ok();
+    let wal_healthy = lens.live_monitor().is_none_or(|m| m.wal_healthy());
+    let degraded = ctx.manager.degraded();
+    let ready = responsive && wal_healthy && !degraded;
+    let body = format!(
+        "{{\"ready\":{ready},\"lens_responsive\":{responsive},\"wal_healthy\":{wal_healthy},\"degraded\":{degraded}}}"
+    );
+    if ready {
+        Response::ok_json(body)
+    } else {
+        let mut resp = Response::service_unavailable(body, 1);
+        resp.close = false;
+        resp.content_type = "application/json";
+        resp
     }
 }
 
@@ -94,16 +168,16 @@ fn render(ctx: &RouterContext<'_>, req: &Request, id: u64) -> Response {
             let width = num_param(req, "width", 1200.0);
             let height = num_param(req, "height", 800.0);
             match ctx.manager.render_svg(id, width, height) {
-                Ok(svg) => Response::ok_svg(svg),
-                Err(e) => Response::not_found(e.to_string()),
+                Ok((svg, stale)) => mark_stale(Response::ok_svg(svg), stale),
+                Err(e) => session_error(e),
             }
         }
         "ascii" => {
             let cols = num_param(req, "cols", 120.0).max(8.0) as usize;
             let rows = num_param(req, "rows", 36.0).max(4.0) as usize;
             match ctx.manager.render_ascii(id, cols, rows) {
-                Ok(text) => Response::ok_text(text),
-                Err(e) => Response::not_found(e.to_string()),
+                Ok((text, stale)) => mark_stale(Response::ok_text(text), stale),
+                Err(e) => session_error(e),
             }
         }
         other => Response::bad_request(format!("unknown render format: {other}")),
@@ -242,5 +316,88 @@ mod tests {
             route(&ctx, &get(&format!("/sessions/{id}/render?format=jpeg"))).status,
             400
         );
+    }
+
+    #[test]
+    fn health_and_readiness_endpoints_answer() {
+        let (manager, stats) = ctx_fixture();
+        let ctx = RouterContext {
+            manager: &manager,
+            stats: &stats,
+            workers: 1,
+        };
+        assert_eq!(route(&ctx, &get("/healthz")).status, 200);
+        let ready = route(&ctx, &get("/readyz"));
+        assert_eq!(ready.status, 200);
+        assert!(String::from_utf8_lossy(&ready.body).contains("\"ready\":true"));
+    }
+
+    #[test]
+    fn injected_route_panics_are_caught_and_counted() {
+        let _g = batchlens_fault::test_guard();
+        let (manager, stats) = ctx_fixture();
+        let ctx = RouterContext {
+            manager: &manager,
+            stats: &stats,
+            workers: 1,
+        };
+        batchlens_fault::arm(
+            FAILPOINT_ROUTE,
+            batchlens_fault::FaultSpec::new(
+                batchlens_fault::Fault::Panic,
+                batchlens_fault::Trigger::Times(1),
+            ),
+        );
+        let resp = route(&ctx, &get("/statsz"));
+        assert_eq!(resp.status, 500);
+        assert!(resp.close, "unknown handler state: close the connection");
+        assert_eq!(stats.worker_panics(), 1);
+        // The server keeps serving afterwards.
+        assert_eq!(route(&ctx, &get("/statsz")).status, 200);
+    }
+
+    #[test]
+    fn degraded_frames_carry_the_stale_header() {
+        let _g = batchlens_fault::test_guard();
+        let (manager, stats) = ctx_fixture();
+        let ctx = RouterContext {
+            manager: &manager,
+            stats: &stats,
+            workers: 1,
+        };
+        let id = manager.create().session;
+        let fresh = route(&ctx, &get(&format!("/sessions/{id}/frame")));
+        assert_eq!(fresh.status, 200);
+        assert!(fresh.extra_headers.is_empty());
+        batchlens_fault::arm(
+            crate::session::FAILPOINT_CAPTURE,
+            batchlens_fault::FaultSpec::new(
+                batchlens_fault::Fault::Error,
+                batchlens_fault::Trigger::Always,
+            ),
+        );
+        let stale = route(&ctx, &get(&format!("/sessions/{id}/frame")));
+        assert_eq!(stale.status, 200);
+        assert!(stale
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == STALE_HEADER && v == "true"));
+        assert!(String::from_utf8_lossy(&stale.body).contains("\"stale\":true"));
+        // Readiness reflects the degradation.
+        let ready = route(&ctx, &get("/readyz"));
+        assert_eq!(ready.status, 503);
+        assert_eq!(
+            ready
+                .extra_headers
+                .iter()
+                .find(|(n, _)| *n == "retry-after")
+                .map(|(_, v)| v.as_str()),
+            Some("1")
+        );
+        // A fresh session with no last good frame: retryable 503.
+        let empty = manager.create().session;
+        let unavailable = route(&ctx, &get(&format!("/sessions/{empty}/frame")));
+        assert_eq!(unavailable.status, 503);
+        assert!(!unavailable.close);
     }
 }

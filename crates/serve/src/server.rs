@@ -5,8 +5,9 @@
 //! threads, index 0 running the accept loop and the rest draining a
 //! bounded `crossbeam` channel of accepted connections. The channel bound
 //! is the server's backpressure: when every worker is busy and the queue
-//! is full, the accept loop blocks and excess clients wait in the kernel
-//! backlog instead of accumulating unbounded state in the process.
+//! is full, new connections are **shed** — answered `503 + Retry-After`
+//! straight from the accept loop and closed — so the listener never
+//! blocks and overload never accumulates unbounded state in the process.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] flips a flag and
 //! pokes the listener awake with a loopback connection; the accept loop
@@ -14,13 +15,14 @@
 //! current exchanges (marking responses `Connection: close`) before
 //! [`Server::serve`] joins them all and returns.
 
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use crate::codec::{read_request, CodecError, Response};
@@ -36,11 +38,23 @@ pub struct ServeConfig {
     /// throughput workload).
     pub workers: usize,
     /// Accepted connections that may queue between the accept loop and
-    /// the workers before accepting blocks. Clamped to at least 1.
+    /// the workers; arrivals beyond that are shed with `503 +
+    /// Retry-After`. Clamped to at least 1.
     pub queue_depth: usize,
     /// How long a worker waits on an idle keep-alive connection before
     /// closing it. Also bounds how long shutdown can take to drain.
     pub idle_timeout: Duration,
+    /// Socket write timeout: a client that stops draining its receive
+    /// window for this long loses the connection (counted in `/statsz`
+    /// as `write_timeouts`) instead of wedging a worker.
+    pub write_timeout: Duration,
+    /// Per-request deadline, armed when a request's first byte arrives:
+    /// it bounds the remaining codec reads (via the socket read timeout)
+    /// and, checked after routing, closes connections whose handler work
+    /// overran (counted as `deadlines_exceeded`).
+    pub request_deadline: Duration,
+    /// The `Retry-After` value shed responses advertise.
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +63,9 @@ impl Default for ServeConfig {
             workers: 0,
             queue_depth: 64,
             idle_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -171,15 +188,30 @@ impl Server {
                     if self.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    self.stats.connection_queued();
-                    let sent = tx
-                        .lock()
-                        .as_ref()
-                        .map(|t| t.send(stream).is_ok())
-                        .unwrap_or(false);
-                    if !sent {
-                        self.stats.connection_claimed();
-                        break;
+                    // Shed-don't-block: a full queue answers the new
+                    // connection `503 + Retry-After` immediately instead
+                    // of stalling the accept loop (which would push
+                    // overload into the opaque kernel backlog).
+                    let queued = {
+                        let guard = tx.lock();
+                        match guard.as_ref() {
+                            None => break,
+                            Some(t) => {
+                                self.stats.connection_queued();
+                                match t.try_send(stream) {
+                                    Ok(()) => Ok(()),
+                                    Err(e) => {
+                                        self.stats.connection_claimed();
+                                        Err(e)
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    match queued {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => self.shed(stream),
+                        Err(TrySendError::Disconnected(_)) => break,
                     }
                 }
                 Err(_) => {
@@ -192,6 +224,20 @@ impl Server {
         *tx.lock() = None;
     }
 
+    /// Answers one over-capacity connection with the shed `503` (see
+    /// [`Response::service_unavailable`] for the contract) — best effort,
+    /// bounded by the write timeout, never read from.
+    fn shed(&self, mut stream: TcpStream) {
+        self.stats.connection_shed();
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
+        let _ = stream.set_nodelay(true);
+        let _ = Response::service_unavailable(
+            "server overloaded".to_string(),
+            self.cfg.retry_after.as_secs().max(1),
+        )
+        .write_to(&mut stream);
+    }
+
     fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>, workers: usize) {
         loop {
             // Hold the receiver lock only while waiting: handling runs
@@ -200,7 +246,16 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     self.stats.connection_claimed();
-                    self.handle_connection(stream, workers);
+                    // Belt-and-braces on top of the per-request
+                    // catch_unwind in `route`: a panic anywhere else in
+                    // the connection path drops that connection only —
+                    // run_workers joins with expect(), so an escaped
+                    // panic would take down the whole server.
+                    if catch_unwind(AssertUnwindSafe(|| self.handle_connection(stream, workers)))
+                        .is_err()
+                    {
+                        self.stats.record_worker_panic();
+                    }
                 }
                 Err(_) => break,
             }
@@ -209,14 +264,19 @@ impl Server {
 
     /// One connection's keep-alive conversation: requests are read and
     /// routed until the peer closes, asks to close, errors, idles past
-    /// the timeout, or the server is shutting down.
+    /// the timeout, overruns its deadline, or the server is shutting
+    /// down.
     fn handle_connection(&self, stream: TcpStream, workers: usize) {
-        let _ = stream.set_read_timeout(Some(self.cfg.idle_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
         let _ = stream.set_nodelay(true);
         let Ok(reader_half) = stream.try_clone() else {
             return;
         };
-        let mut reader = BufReader::new(reader_half);
+        let mut reader = BufReader::new(DeadlineReader::new(
+            reader_half,
+            self.cfg.idle_timeout,
+            self.cfg.request_deadline,
+        ));
         let mut writer = stream;
         let ctx = RouterContext {
             manager: &self.manager,
@@ -224,18 +284,54 @@ impl Server {
             workers,
         };
         loop {
+            reader.get_mut().start_idle();
             match read_request(&mut reader) {
                 Ok(Some(req)) => {
                     let mut response = route(&ctx, &req);
+                    if reader.get_ref().deadline_exceeded() {
+                        // The handler overran the request deadline: the
+                        // response still goes out, but the connection does
+                        // not get another turn.
+                        self.stats.record_deadline_exceeded();
+                        response = response.closing();
+                    }
                     if req.wants_close() || self.shutdown.load(Ordering::SeqCst) {
                         response = response.closing();
                     }
-                    if response.write_to(&mut writer).is_err() || response.close {
-                        break;
+                    match response.write_to(&mut writer) {
+                        Ok(()) => {
+                            if response.close {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            if is_timeout(&e) {
+                                self.stats.record_write_timeout();
+                            }
+                            break;
+                        }
                     }
                 }
                 Ok(None) => break,
-                Err(CodecError::Io(_)) => break,
+                Err(CodecError::Io(e)) => {
+                    // A timeout while the deadline is armed can only be the
+                    // deadline itself: idle waits run with it disarmed.
+                    if reader.get_ref().deadline_armed() && is_timeout(&e) {
+                        // Mid-request deadline expiry: best-effort 408 so
+                        // the slow client learns why it was cut off.
+                        self.stats.record_deadline_exceeded();
+                        let _ = Response {
+                            status: 408,
+                            reason: "Request Timeout",
+                            content_type: "text/plain; charset=utf-8",
+                            body: b"request deadline exceeded".to_vec(),
+                            close: true,
+                            extra_headers: Vec::new(),
+                        }
+                        .write_to(&mut writer);
+                    }
+                    break;
+                }
                 Err(err) => {
                     // The peer spoke something we can't frame: answer with
                     // a closing 400 (best effort) and drop the connection —
@@ -250,6 +346,84 @@ impl Server {
     }
 }
 
+/// Whether an IO error is a socket timeout (`read`/`write` deadline) —
+/// unix read timeouts surface as `WouldBlock`, windows as `TimedOut`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The reader half of a connection with a per-request deadline.
+///
+/// Between requests (`start_idle`) reads wait under the idle keep-alive
+/// timeout. The first byte of a request arms a deadline `request_budget`
+/// from now; every subsequent read re-arms the socket read timeout with
+/// the *remaining* budget, so a trickling client cannot hold a worker
+/// past the deadline no matter how many bytes it dribbles.
+#[derive(Debug)]
+struct DeadlineReader {
+    stream: TcpStream,
+    idle_timeout: Duration,
+    request_budget: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineReader {
+    fn new(stream: TcpStream, idle_timeout: Duration, request_budget: Duration) -> DeadlineReader {
+        DeadlineReader {
+            stream,
+            idle_timeout,
+            request_budget,
+            deadline: None,
+        }
+    }
+
+    /// Disarms the deadline: the next read waits for a new request under
+    /// the idle timeout, and that request's first byte re-arms it.
+    fn start_idle(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Whether a request is mid-flight (its deadline is armed).
+    fn deadline_armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Whether the armed deadline has passed.
+    fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.deadline {
+            None => {
+                let _ = self.stream.set_read_timeout(Some(self.idle_timeout));
+            }
+            Some(deadline) => {
+                let remaining = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|r| !r.is_zero())
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "request deadline exceeded",
+                        )
+                    })?;
+                let _ = self.stream.set_read_timeout(Some(remaining));
+            }
+        }
+        let n = self.stream.read(buf)?;
+        if n > 0 && self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + self.request_budget);
+        }
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,25 +432,25 @@ mod tests {
     use batchlens_sim::scenario;
     use std::io::Write;
 
-    fn start_server() -> (Arc<Server>, ServerHandle, std::thread::JoinHandle<()>) {
+    fn start_server_with(
+        cfg: ServeConfig,
+    ) -> (Arc<Server>, ServerHandle, std::thread::JoinHandle<()>) {
         let ds = scenario::fig3b(21).run().unwrap();
         let manager = Arc::new(SessionManager::new(Arc::new(BatchLens::new(ds))));
-        let server = Arc::new(
-            Server::bind(
-                ("127.0.0.1", 0),
-                manager,
-                ServeConfig {
-                    workers: 2,
-                    queue_depth: 8,
-                    idle_timeout: Duration::from_millis(500),
-                },
-            )
-            .unwrap(),
-        );
+        let server = Arc::new(Server::bind(("127.0.0.1", 0), manager, cfg).unwrap());
         let handle = server.handle();
         let runner = Arc::clone(&server);
         let join = std::thread::spawn(move || runner.serve());
         (server, handle, join)
+    }
+
+    fn start_server() -> (Arc<Server>, ServerHandle, std::thread::JoinHandle<()>) {
+        start_server_with(ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            idle_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        })
     }
 
     fn request(stream: &mut TcpStream, method: &str, target: &str, body: &str) -> ClientResponse {
@@ -345,5 +519,71 @@ mod tests {
         handle.shutdown();
         handle.shutdown(); // idempotent
         join.join().unwrap();
+    }
+
+    #[test]
+    fn saturated_queue_sheds_with_retry_after() {
+        // One worker, queue of one — and the worker is parked inside a
+        // slow request, so held + queued connections saturate the server.
+        let (server, handle, join) = start_server_with(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            idle_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        // Park the worker: a connection that has sent nothing yet holds
+        // its worker until the idle timeout.
+        let parked = TcpStream::connect(server.local_addr()).unwrap();
+        // Give the worker time to claim it, then fill the queue.
+        std::thread::sleep(Duration::from_millis(100));
+        let queued = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Every further connection must be shed immediately.
+        let shed = TcpStream::connect(server.local_addr()).unwrap();
+        let resp = read_response(&mut BufReader::new(shed.try_clone().unwrap()))
+            .unwrap()
+            .expect("shed connections get a response, not silence");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert!(server.stats().connections_shed() >= 1);
+        drop(shed);
+        drop(queued);
+        drop(parked);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn trickling_requests_hit_the_deadline() {
+        let (server, handle, join) = start_server_with(ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            idle_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_millis(200),
+            ..ServeConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // First bytes arm the deadline; then the client stalls mid-request.
+        conn.write_all(b"GET /statsz HT").unwrap();
+        let started = std::time::Instant::now();
+        let resp = read_response(&mut BufReader::new(conn.try_clone().unwrap())).unwrap();
+        // The worker cut us off around the deadline — either with the
+        // best-effort 408 or a bare close — well before the idle timeout.
+        assert!(started.elapsed() < Duration::from_secs(3));
+        if let Some(resp) = resp {
+            assert_eq!(resp.status, 408);
+        }
+        drop(conn);
+        handle.shutdown();
+        join.join().unwrap();
+        assert!(
+            server
+                .stats()
+                .snapshot(server.manager(), 1)
+                .deadlines_exceeded
+                >= 1,
+            "the overrun is visible in /statsz"
+        );
     }
 }

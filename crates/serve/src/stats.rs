@@ -18,6 +18,15 @@ pub struct ServeStats {
     queue_depth: AtomicUsize,
     /// Requests rejected with a 4xx status.
     client_errors: AtomicU64,
+    /// Connections shed with `503 + Retry-After` because the queue was
+    /// full when they arrived.
+    connections_shed: AtomicU64,
+    /// Request handlers that panicked and were caught (`catch_unwind`).
+    worker_panics: AtomicU64,
+    /// Responses whose write failed or timed out partway (slow clients).
+    write_timeouts: AtomicU64,
+    /// Requests that overran the per-request deadline.
+    deadlines_exceeded: AtomicU64,
 }
 
 impl ServeStats {
@@ -45,9 +54,39 @@ impl ServeStats {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Counts one connection shed with `503 + Retry-After`.
+    pub fn connection_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one caught request-handler panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response write that failed or timed out partway.
+    pub fn record_write_timeout(&self) {
+        self.write_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that overran its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The current accept-to-worker queue depth.
     pub fn queue_depth(&self) -> usize {
         self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed so far.
+    pub fn connections_shed(&self) -> u64 {
+        self.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Caught handler panics so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Requests served so far.
@@ -65,6 +104,13 @@ impl ServeStats {
             total_requests: self.total_requests.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             client_errors: self.client_errors.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            degraded: manager.degraded(),
+            stale_served: manager.stale_served_total(),
+            sessions_evicted: manager.evicted_total(),
             live: manager.lens().live_monitor().is_some(),
             worker_pool: WorkerPoolStats {
                 workers,
@@ -122,6 +168,20 @@ pub struct StatszPayload {
     pub connections: u64,
     /// Requests answered with a 4xx status.
     pub client_errors: u64,
+    /// Connections shed with `503 + Retry-After` (queue full on arrival).
+    pub connections_shed: u64,
+    /// Request-handler panics caught by the worker supervision.
+    pub worker_panics: u64,
+    /// Response writes that failed or timed out partway.
+    pub write_timeouts: u64,
+    /// Requests that overran the per-request deadline.
+    pub deadlines_exceeded: u64,
+    /// Whether frame serving is currently degraded (last-good frames).
+    pub degraded: bool,
+    /// Stale (last good) frames served instead of fresh captures.
+    pub stale_served: u64,
+    /// Idle sessions evicted by the TTL sweep.
+    pub sessions_evicted: u64,
     /// Whether the lens is live-monitor-backed.
     pub live: bool,
     /// Worker-pool depth observability.
@@ -152,6 +212,10 @@ mod tests {
         stats.connection_claimed();
         stats.record_request(200);
         stats.record_request(404);
+        stats.connection_shed();
+        stats.record_worker_panic();
+        stats.record_write_timeout();
+        stats.record_deadline_exceeded();
         let id = manager.create().session;
         manager.frame_info(id).unwrap();
         manager.frame_info(id).unwrap();
@@ -164,6 +228,13 @@ mod tests {
         assert_eq!(payload.frame_cache.hits, 1);
         assert_eq!(payload.frame_cache.misses, 1);
         assert!((payload.frame_cache.hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(payload.connections_shed, 1);
+        assert_eq!(payload.worker_panics, 1);
+        assert_eq!(payload.write_timeouts, 1);
+        assert_eq!(payload.deadlines_exceeded, 1);
+        assert!(!payload.degraded);
+        assert_eq!(payload.stale_served, 0);
+        assert_eq!(payload.sessions_evicted, 0);
         assert_eq!(payload.sessions.len(), 1);
         assert_eq!(payload.sessions[0].requests, 2);
         // The payload is JSON-serializable end to end.

@@ -508,6 +508,84 @@ fn io_err(op: &'static str, path: &Path, source: io::Error) -> WalError {
 }
 
 // ---------------------------------------------------------------------------
+// IO seam
+// ---------------------------------------------------------------------------
+
+/// Failpoint site evaluated by [`StdWalIo`] before every frame write.
+pub const FAILPOINT_APPEND: &str = "wal.append";
+/// Failpoint site evaluated by [`StdWalIo`] before every fsync.
+pub const FAILPOINT_SYNC: &str = "wal.sync";
+
+/// The writer's IO seam: every byte the [`WalWriter`] hands to the
+/// operating system, and every fsync, goes through one of these two
+/// methods — so disk faults can be injected *under* the writer without
+/// touching its logic.
+///
+/// # Contract
+///
+/// * `write_frame` either writes **all** of `buf` and returns `Ok`, or
+///   returns `Err` having written any *prefix* of `buf` (a short write —
+///   the torn-tail shape a power failure leaves). The writer treats any
+///   `Err` as "this frame is not durable": the sequence number is not
+///   consumed and `segment_len` is not advanced, so the reader's framing
+///   validation is what quarantines whatever partial bytes made it to disk.
+/// * `sync_data` either makes previously written bytes durable and returns
+///   `Ok`, or returns `Err` having synced nothing (a failed fsync — the
+///   bytes remain in the page cache, durable against process crash but not
+///   power loss).
+///
+/// The default implementation, [`StdWalIo`], performs the real IO but first
+/// evaluates the [`FAILPOINT_APPEND`] / [`FAILPOINT_SYNC`] failpoint sites
+/// ([`batchlens_fault`]), so fault-injection suites can drive disk-full,
+/// short-write, failed-sync and torn-tail schedules through an unmodified
+/// production writer. Disarmed, each evaluation is a single relaxed atomic
+/// load.
+pub trait WalIo: Send + fmt::Debug {
+    /// Writes one complete frame to `file` (see the seam contract).
+    ///
+    /// # Errors
+    ///
+    /// An `Err` means the frame is not durable; any prefix of `buf` may
+    /// have reached the file.
+    fn write_frame(&mut self, file: &mut File, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces `file`'s written bytes to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// An `Err` means nothing new became durable.
+    fn sync_data(&mut self, file: &mut File) -> io::Result<()>;
+}
+
+/// The production [`WalIo`]: real writes and fsyncs, guarded by the
+/// [`FAILPOINT_APPEND`] / [`FAILPOINT_SYNC`] failpoint sites.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdWalIo;
+
+impl WalIo for StdWalIo {
+    fn write_frame(&mut self, file: &mut File, buf: &[u8]) -> io::Result<()> {
+        match batchlens_fault::fire(FAILPOINT_APPEND) {
+            None => file.write_all(buf),
+            Some(batchlens_fault::Fault::ShortWrite(n)) => {
+                // Torn tail: the prefix reaches the file, then the device
+                // "fails". The caller sees an error; the reader sees a torn
+                // frame.
+                file.write_all(&buf[..n.min(buf.len())])?;
+                Err(batchlens_fault::injected_io_error(FAILPOINT_APPEND))
+            }
+            Some(_) => Err(batchlens_fault::injected_io_error(FAILPOINT_APPEND)),
+        }
+    }
+
+    fn sync_data(&mut self, file: &mut File) -> io::Result<()> {
+        match batchlens_fault::fire(FAILPOINT_SYNC) {
+            None => file.sync_data(),
+            Some(_) => Err(batchlens_fault::injected_io_error(FAILPOINT_SYNC)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Segments
 // ---------------------------------------------------------------------------
 
@@ -756,6 +834,7 @@ pub struct WalWriter {
     segment_path: PathBuf,
     segment_len: u64,
     next_seq: u64,
+    io: Box<dyn WalIo>,
 }
 
 impl WalWriter {
@@ -771,6 +850,22 @@ impl WalWriter {
     /// Returns [`WalError::Io`] on OS-level failures only; corrupt existing
     /// contents are repaired (truncated), not errored on.
     pub fn open(dir: &Path, cfg: WalConfig) -> Result<WalWriter, WalError> {
+        WalWriter::open_with_io(dir, cfg, Box::new(StdWalIo))
+    }
+
+    /// Like [`WalWriter::open`], but with an explicit [`WalIo`]
+    /// implementation — the programmatic seam for injecting disk faults
+    /// (see the trait's contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on OS-level failures only; corrupt existing
+    /// contents are repaired (truncated), not errored on.
+    pub fn open_with_io(
+        dir: &Path,
+        cfg: WalConfig,
+        io: Box<dyn WalIo>,
+    ) -> Result<WalWriter, WalError> {
         fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
         let mut reader = WalReader::open(dir)?;
         for _ in &mut reader {}
@@ -778,7 +873,7 @@ impl WalWriter {
         let segment_paths: Vec<PathBuf> = reader.segment_paths().map(Path::to_path_buf).collect();
         let (seg_idx, offset) = reader.stop_position().unwrap_or((0, 0));
         if segment_paths.is_empty() {
-            return WalWriter::fresh_segment(dir.to_path_buf(), cfg, next_seq);
+            return WalWriter::fresh_segment(dir.to_path_buf(), cfg, next_seq, io);
         }
         // Drop the torn tail of the stop segment and every segment past it:
         // nothing after the first framing failure is trustworthy.
@@ -803,10 +898,16 @@ impl WalWriter {
             segment_path,
             segment_len: offset as u64,
             next_seq,
+            io,
         })
     }
 
-    fn fresh_segment(dir: PathBuf, cfg: WalConfig, first_seq: u64) -> Result<WalWriter, WalError> {
+    fn fresh_segment(
+        dir: PathBuf,
+        cfg: WalConfig,
+        first_seq: u64,
+        io: Box<dyn WalIo>,
+    ) -> Result<WalWriter, WalError> {
         let segment_path = dir.join(segment_name(first_seq));
         let file = OpenOptions::new()
             .create(true)
@@ -821,6 +922,7 @@ impl WalWriter {
             segment_path,
             segment_len: 0,
             next_seq: first_seq,
+            io,
         })
     }
 
@@ -847,12 +949,12 @@ impl WalWriter {
         if self.segment_len > 0 && self.segment_len + frame.len() as u64 > self.cfg.segment_bytes {
             self.rotate(seq)?;
         }
-        self.file
-            .write_all(&frame)
+        self.io
+            .write_frame(&mut self.file, &frame)
             .map_err(|e| io_err("append", &self.segment_path, e))?;
         if self.cfg.sync_each_append {
-            self.file
-                .sync_data()
+            self.io
+                .sync_data(&mut self.file)
                 .map_err(|e| io_err("sync", &self.segment_path, e))?;
         }
         self.segment_len += frame.len() as u64;
@@ -862,8 +964,8 @@ impl WalWriter {
 
     fn rotate(&mut self, first_seq: u64) -> Result<(), WalError> {
         // Seal the full segment durably before the log moves past it.
-        self.file
-            .sync_data()
+        self.io
+            .sync_data(&mut self.file)
             .map_err(|e| io_err("sync", &self.segment_path, e))?;
         let segment_path = self.dir.join(segment_name(first_seq));
         let file = OpenOptions::new()
@@ -884,8 +986,8 @@ impl WalWriter {
     ///
     /// Returns [`WalError::Io`] when the fsync fails.
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file
-            .sync_data()
+        self.io
+            .sync_data(&mut self.file)
             .map_err(|e| io_err("sync", &self.segment_path, e))
     }
 }
@@ -1275,6 +1377,173 @@ mod tests {
         // And a writer resumes from there.
         let w = WalWriter::open(&dir, WalConfig::default()).unwrap();
         assert_eq!(w.next_seq(), 43);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -- fault injection through the WalIo seam ----------------------------
+
+    use batchlens_fault::{arm, Fault, FaultSpec, Trigger};
+
+    /// Appends `records` with the append failpoint armed to fail the
+    /// `fail_at`-th write with `fault`, then checks that (a) exactly that
+    /// append errors, (b) its sequence number is not consumed, and (c) a
+    /// fresh reader replays exactly the successful appends, bit-identical.
+    fn run_append_fault_schedule(tag: &str, fail_at: u64, fault: Fault) {
+        let _g = batchlens_fault::test_guard();
+        let dir = temp_dir(tag);
+        let records = sample_records();
+        assert!((fail_at as usize) < records.len());
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        arm(
+            FAILPOINT_APPEND,
+            FaultSpec::new(fault, Trigger::Nth(fail_at)),
+        );
+        let mut expect_seq = 0;
+        for (i, rec) in records.iter().enumerate() {
+            let got = w.append(rec);
+            if i as u64 == fail_at {
+                let err = got.expect_err("armed append must fail");
+                assert!(matches!(err, WalError::Io { op: "append", .. }));
+                assert_eq!(w.next_seq(), expect_seq, "seq not consumed on error");
+            } else {
+                assert_eq!(got.unwrap(), expect_seq);
+                expect_seq += 1;
+            }
+        }
+        drop(w);
+        batchlens_fault::disarm_all();
+
+        // Recovery sees exactly the successful appends — the surviving
+        // prefix plus everything written after the fault (a short write
+        // leaves garbage mid-log only if a later append follows it; here
+        // the reader must stop at the torn frame).
+        let mut r = WalReader::open(&dir).unwrap();
+        let got: Vec<(u64, WalRecord)> = (&mut r).collect();
+        let survivors: Vec<&WalRecord> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i as u64 != fail_at)
+            .map(|(_, r)| r)
+            .collect();
+        // A short write leaves torn bytes in the middle of the segment, so
+        // replay stops at the fault position; a clean error leaves no bytes
+        // and the whole log survives.
+        let expect: Vec<&WalRecord> = match fault {
+            Fault::ShortWrite(_) => survivors.iter().take(fail_at as usize).copied().collect(),
+            _ => survivors,
+        };
+        assert_eq!(got.len(), expect.len(), "fault {fault:?} at {fail_at}");
+        for ((seq, got), want) in got.iter().zip(&expect) {
+            assert!(*seq < records.len() as u64);
+            assert_bits_equal(got, want);
+        }
+        if matches!(fault, Fault::ShortWrite(_)) && (fail_at as usize) < records.len() {
+            assert!(!r.report().reason.is_clean(), "torn tail must be reported");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_errors_skip_exactly_one_record_per_position() {
+        let n = sample_records().len() as u64;
+        for fail_at in 0..n {
+            run_append_fault_schedule("fp-err", fail_at, Fault::Error);
+        }
+    }
+
+    #[test]
+    fn injected_short_writes_tear_the_log_at_every_position() {
+        let n = sample_records().len() as u64;
+        for fail_at in 0..n {
+            for torn_bytes in [1, 7, 13] {
+                run_append_fault_schedule("fp-short", fail_at, Fault::ShortWrite(torn_bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_from_short_write_is_truncated_on_reopen() {
+        let _g = batchlens_fault::test_guard();
+        let dir = temp_dir("fp-reopen");
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        for rec in &records[..3] {
+            w.append(rec).unwrap();
+        }
+        arm(
+            FAILPOINT_APPEND,
+            FaultSpec::new(Fault::ShortWrite(9), Trigger::Always),
+        );
+        w.append(&records[3]).expect_err("torn append");
+        drop(w);
+        batchlens_fault::disarm_all();
+
+        // Reopening truncates the torn tail and resumes the numbering; the
+        // resumed log replays bit-identical to prefix + resumed appends.
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(w.next_seq(), 3);
+        assert_eq!(w.append(&records[4]).unwrap(), 3);
+        drop(w);
+        let mut r = WalReader::open(&dir).unwrap();
+        let got: Vec<(u64, WalRecord)> = (&mut r).collect();
+        assert_eq!(got.len(), 4);
+        for ((seq, got), want) in got
+            .iter()
+            .zip(records[..3].iter().chain(std::iter::once(&records[4])))
+        {
+            assert!(*seq < 4);
+            assert_bits_equal(got, want);
+        }
+        assert!(r.report().reason.is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_surfaces_without_losing_buffered_writes() {
+        let _g = batchlens_fault::test_guard();
+        let dir = temp_dir("fp-sync");
+        let cfg = WalConfig {
+            segment_bytes: u64::MAX,
+            sync_each_append: true,
+        };
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, cfg).unwrap();
+        w.append(&records[0]).unwrap();
+        arm(
+            FAILPOINT_SYNC,
+            FaultSpec::new(Fault::Error, Trigger::Nth(0)),
+        );
+        let err = w.append(&records[1]).expect_err("sync must fail");
+        assert!(matches!(err, WalError::Io { op: "sync", .. }));
+        // Only the fsync failed — the frame bytes reached the file — but the
+        // error contract still holds: the seq is not consumed, so the caller
+        // retries and replay's sequence validation stops at the duplicate.
+        assert_eq!(w.next_seq(), 1);
+        batchlens_fault::disarm_all();
+        // A standalone sync failure surfaces from sync() too.
+        arm(
+            FAILPOINT_SYNC,
+            FaultSpec::new(Fault::Error, Trigger::Always),
+        );
+        assert!(w.sync().is_err());
+        batchlens_fault::disarm_all();
+        assert!(w.sync().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disarmed_failpoints_leave_round_trips_untouched() {
+        let _g = batchlens_fault::test_guard();
+        let dir = temp_dir("fp-disarmed");
+        let records = sample_records();
+        let mut w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        for rec in &records {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        let mut r = WalReader::open(&dir).unwrap();
+        assert_eq!((&mut r).count(), records.len());
+        assert!(r.report().reason.is_clean());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

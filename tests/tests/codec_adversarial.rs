@@ -1,0 +1,208 @@
+//! Adversarial property tests for the hand-rolled HTTP codec: arbitrary
+//! garbage, truncations of valid requests, and oversized inputs must all
+//! come back as typed [`CodecError`]s — never a panic — and a parse must
+//! never read one byte past the request it returns (over-reading would
+//! swallow the start of the next pipelined request).
+
+use std::io::Cursor;
+
+use batchlens_serve::codec::{read_request, read_response, CodecError, Response};
+use proptest::prelude::*;
+
+/// A lowercase alphanumeric token of 1–12 characters.
+fn token() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..36, 1..13).prop_map(|v| {
+        v.into_iter()
+            .map(|i| {
+                if i < 26 {
+                    (b'a' + i) as char
+                } else {
+                    (b'0' + i - 26) as char
+                }
+            })
+            .collect()
+    })
+}
+
+/// A syntactically valid request in the codec's subset, plus the metadata
+/// needed to check the parse result.
+#[derive(Debug, Clone)]
+struct ValidRequest {
+    bytes: Vec<u8>,
+    method: &'static str,
+    target: String,
+    body: Vec<u8>,
+}
+
+fn valid_request() -> impl Strategy<Value = ValidRequest> {
+    (
+        0u8..3,
+        token(),
+        prop::collection::vec((token(), token()), 0..6),
+        prop::collection::vec(0u8..=255, 0..200),
+        0u8..2,
+    )
+        .prop_map(|(m, path, headers, body, crlf)| {
+            let method = ["GET", "POST", "DELETE"][m as usize];
+            // Both line endings the reader accepts (CRLF and bare LF).
+            let eol = if crlf == 0 { "\n" } else { "\r\n" };
+            let target = format!("/{path}");
+            let mut bytes = format!("{method} {target} HTTP/1.1{eol}").into_bytes();
+            for (name, value) in &headers {
+                // An `x-` prefix dodges the headers the parser interprets.
+                bytes.extend(format!("x-{name}: {value}{eol}").bytes());
+            }
+            bytes.extend(format!("content-length: {}{eol}{eol}", body.len()).bytes());
+            bytes.extend(&body);
+            ValidRequest {
+                bytes,
+                method,
+                target,
+                body,
+            }
+        })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser and never produce a request
+    /// out of thin air: any `Ok(Some(..))` must carry a request line the
+    /// input actually contains.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..600)) {
+        let mut reader = Cursor::new(bytes.clone());
+        match read_request(&mut reader) {
+            Ok(None) => prop_assert!(
+                bytes.is_empty()
+                    || bytes[0] == b'\n'
+                    || (bytes[0] == b'\r' && bytes.get(1) == Some(&b'\n')),
+                "only an immediate end of stream parses to None"
+            ),
+            Ok(Some(req)) => {
+                let line = format!("{} {}", req.method, req.target);
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                prop_assert!(
+                    text.contains(&line),
+                    "a parsed request must come from the input"
+                );
+            }
+            Err(CodecError::Io(_) | CodecError::Malformed(_) | CodecError::TooLarge(_)) => {}
+        }
+    }
+
+    /// Same for the client half: arbitrary bytes never panic
+    /// `read_response`.
+    #[test]
+    fn garbage_never_panics_the_client_half(bytes in prop::collection::vec(0u8..=255, 0..600)) {
+        let mut reader = Cursor::new(bytes);
+        let _ = read_response(&mut reader);
+    }
+
+    /// A valid request parses back exactly, and the reader stops on the
+    /// byte after the body: a trailing suffix (the next pipelined request)
+    /// is left untouched.
+    #[test]
+    fn valid_requests_round_trip_without_over_reading(
+        req in valid_request(),
+        suffix in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut bytes = req.bytes.clone();
+        bytes.extend(&suffix);
+        let mut reader = Cursor::new(bytes);
+        let parsed = read_request(&mut reader)
+            .expect("valid request parses")
+            .expect("non-empty stream");
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.target, req.target);
+        prop_assert_eq!(parsed.body, req.body);
+        let consumed = reader.position() as usize;
+        let rest = &reader.get_ref()[consumed..];
+        prop_assert_eq!(rest, &suffix[..], "the parser must not read past the request");
+    }
+
+    /// Every strict prefix of a valid request is detected as incomplete —
+    /// a typed error, never a panic, never a fabricated request, and never
+    /// a misreported limit.
+    #[test]
+    fn truncations_surface_as_typed_errors(
+        req in valid_request(),
+        cut in 0.0f64..1.0,
+    ) {
+        // A strict, non-empty prefix (every valid request is > 2 bytes).
+        let len = 1 + (cut * (req.bytes.len() - 2) as f64) as usize;
+        let mut reader = Cursor::new(req.bytes[..len].to_vec());
+        match read_request(&mut reader) {
+            Ok(Some(_)) => prop_assert!(false, "a strict prefix cannot be a whole request"),
+            Ok(None) => prop_assert!(false, "a non-empty prefix is not an empty stream"),
+            Err(CodecError::Malformed(_) | CodecError::Io(_)) => {}
+            Err(CodecError::TooLarge(what)) => {
+                prop_assert!(false, "truncation misreported as a limit: {}", what)
+            }
+        }
+    }
+
+    /// Responses survive the same trip: what `Response::write_to` emits,
+    /// `read_response` parses back, and truncating it anywhere yields a
+    /// typed error, never a fabricated response.
+    #[test]
+    fn responses_round_trip_and_reject_truncation(
+        body in prop::collection::vec(0u8..=255, 1..200),
+        cut in 0.0f64..1.0,
+    ) {
+        let text = String::from_utf8_lossy(&body).into_owned();
+        let mut wire = Vec::new();
+        Response::ok_text(text.clone()).write_to(&mut wire).expect("write to memory");
+        let parsed = read_response(&mut Cursor::new(wire.clone()))
+            .expect("parses")
+            .expect("non-empty");
+        prop_assert_eq!(parsed.status, 200);
+        prop_assert_eq!(parsed.body, text.into_bytes());
+        let len = 1 + (cut * (wire.len() - 2) as f64) as usize;
+        if let Ok(Some(_)) = read_response(&mut Cursor::new(wire[..len].to_vec())) {
+            prop_assert!(false, "a strict prefix cannot be a whole response");
+        }
+    }
+}
+
+/// The three hard limits each surface as `TooLarge` with the right label —
+/// and nothing bigger than the limit is ever buffered.
+#[test]
+fn oversized_inputs_hit_their_limits() {
+    // Request line longer than MAX_LINE (8 KiB).
+    let huge_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9 * 1024));
+    match read_request(&mut Cursor::new(huge_line.into_bytes())) {
+        Err(CodecError::TooLarge("line")) => {}
+        other => panic!("expected TooLarge(line), got {other:?}"),
+    }
+
+    // More headers than MAX_HEADERS (64).
+    let mut many = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..70 {
+        many.push_str(&format!("x-h{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    match read_request(&mut Cursor::new(many.into_bytes())) {
+        Err(CodecError::TooLarge("header count")) => {}
+        other => panic!("expected TooLarge(header count), got {other:?}"),
+    }
+
+    // A declared body larger than MAX_BODY (1 MiB) is rejected before any
+    // body byte is read.
+    let big_body = "POST / HTTP/1.1\r\ncontent-length: 2097152\r\n\r\n";
+    let mut reader = Cursor::new(big_body.as_bytes().to_vec());
+    match read_request(&mut reader) {
+        Err(CodecError::TooLarge("body")) => {}
+        other => panic!("expected TooLarge(body), got {other:?}"),
+    }
+    assert_eq!(
+        reader.position() as usize,
+        big_body.len(),
+        "the oversized body itself is never buffered"
+    );
+
+    // An absurd content-length value is malformed, not a crash.
+    let nan = "POST / HTTP/1.1\r\ncontent-length: 99999999999999999999999\r\n\r\n";
+    match read_request(&mut Cursor::new(nan.as_bytes().to_vec())) {
+        Err(CodecError::Malformed("bad content-length")) => {}
+        other => panic!("expected Malformed(bad content-length), got {other:?}"),
+    }
+}

@@ -8,7 +8,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use mpsc::{RecvError, SendError, TryRecvError};
+    pub use mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// A cloneable sending half.
     #[derive(Debug)]
@@ -28,6 +28,13 @@ pub mod channel {
         /// Sends `value`, blocking while the channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value)
+        }
+
+        /// Sends `value` without blocking: a full channel returns it in
+        /// `TrySendError::Full` (the real crate's semantics, via
+        /// `SyncSender::try_send`).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value)
         }
     }
 
