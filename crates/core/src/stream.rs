@@ -238,6 +238,9 @@ pub enum StreamConfigError {
     /// unseen. Poll-style consumers need at least capacity 1; callers that
     /// truly want no retention should drain instead.
     ZeroAlertCapacity,
+    /// A [`crate::shard::ShardedMonitor`] was asked for zero shards: there
+    /// would be nowhere to route any delivery.
+    ZeroShards,
 }
 
 impl fmt::Display for StreamConfigError {
@@ -251,6 +254,9 @@ impl fmt::Display for StreamConfigError {
             }
             StreamConfigError::ZeroAlertCapacity => {
                 write!(f, "alert_capacity must be at least 1")
+            }
+            StreamConfigError::ZeroShards => {
+                write!(f, "shard count must be at least 1")
             }
         }
     }
@@ -410,9 +416,65 @@ impl LiveIndexes {
     }
 }
 
+/// A sealed epoch of usage records, ingested under **one** monitor lock
+/// acquisition ([`StreamMonitor::ingest_batch`]) instead of one per record.
+///
+/// The shape follows the task-batching exemplars: a stable identity
+/// (`id`), a wall-clock provenance stamp (`created_at`), the payload, and
+/// a `version` that increases monotonically across the batches of one
+/// producer — the epoch number. The version is what multi-log recovery
+/// cuts on: a sharded monitor seals it into every shard's WAL when the
+/// batch finishes applying ([`batchlens_trace::wal::WalRecord::EpochSealed`]),
+/// so [`crate::shard::ShardedMonitor::recover`] can stop all shards at the
+/// highest epoch sealed everywhere.
+///
+/// Construction cost is O(records) to move the payload in; ingesting it is
+/// O(records × detectors) amortized — identical per-record work to
+/// [`StreamMonitor::ingest`], minus the per-record lock round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Stable identity of this batch (unique per producer).
+    pub id: u64,
+    /// When the producer sealed the batch.
+    pub created_at: Timestamp,
+    /// The usage records of the epoch, in delivery order.
+    pub records: Vec<ServerUsageRecord>,
+    /// Monotonic epoch version across one producer's batches. Strictly
+    /// increasing; sealed into the WAL when the batch finishes applying.
+    pub version: u64,
+}
+
+/// Stamps [`Batch`]es with sequential ids and strictly increasing epoch
+/// versions — the single-producer sequencer in front of a monitor. O(1)
+/// per seal, thread-safe.
+#[derive(Debug, Default)]
+pub struct BatchSequencer {
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl BatchSequencer {
+    /// A sequencer starting at id/version 0.
+    pub fn new() -> BatchSequencer {
+        BatchSequencer::default()
+    }
+
+    /// Seals `records` into the next batch: `id` counts from 0 and
+    /// `version == id + 1` (versions start at 1 so that "nothing sealed
+    /// yet" is distinguishable from epoch 0 in recovery cuts).
+    pub fn seal(&self, created_at: Timestamp, records: Vec<ServerUsageRecord>) -> Batch {
+        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Batch {
+            id,
+            created_at,
+            records,
+            version: id + 1,
+        }
+    }
+}
+
 /// Everything the monitor mutates, behind one lock.
 #[derive(Debug, Default)]
-struct Inner {
+pub(crate) struct Inner {
     machines: BTreeMap<MachineId, MachineState>,
     live: LiveIndexes,
     /// Bumped on **every** mutation that could change a query answer
@@ -440,6 +502,10 @@ struct Inner {
     /// instead of panicking or poisoning ingest.
     wal_errors: u64,
     last_wal_error: Option<String>,
+    /// The highest batch epoch sealed into this monitor's log
+    /// ([`WalRecord::EpochSealed`]); `None` before the first sealed batch.
+    /// Not query-visible: sealing bumps no version and changes no answer.
+    sealed_epoch: Option<u64>,
 }
 
 impl Inner {
@@ -796,6 +862,7 @@ impl StreamMonitor {
             WalRecord::AlertsDrained => {
                 self.drain_alerts();
             }
+            WalRecord::EpochSealed(version) => self.seal_epoch(version),
         }
     }
 
@@ -878,14 +945,22 @@ impl StreamMonitor {
     /// timestamp, are dropped and counted in
     /// [`StreamMonitor::stale_dropped`] — never silently ignored.
     pub fn ingest(&self, rec: ServerUsageRecord) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut inner = self.inner.lock();
+        self.ingest_one(&mut inner, rec, &mut alerts);
+        alerts
+    }
+
+    /// The per-record ingest step, shared verbatim by [`StreamMonitor::ingest`]
+    /// (one lock, one record) and [`StreamMonitor::ingest_batch`] (one lock,
+    /// many records) — which is what makes the batch path bit-identical to
+    /// record-at-a-time ingestion, `state_version` included.
+    fn ingest_one(&self, inner: &mut Inner, rec: ServerUsageRecord, alerts: &mut Vec<Alert>) {
         let util = [
             rec.util.cpu.fraction(),
             rec.util.mem.fraction(),
             rec.util.disk.fraction(),
         ];
-        let mut alerts = Vec::new();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
         // Logged before applied — and logged even when the record will be
         // rejected as a straggler, because replaying every *delivery*
         // (acceptance decisions depend only on prior deliveries) is what
@@ -901,6 +976,11 @@ impl StreamMonitor {
                 last_seen: None,
             });
         if let Some(last) = state.last_seen.filter(|&last| rec.time <= last) {
+            // A record exactly `ooo_tolerance` late is still accepted (the
+            // documented "at most" contract — `<=`, not `<`); with
+            // `ooo_tolerance == 0` only duplicates of the newest retained
+            // timestamp reach this comparison, and those fall to the window
+            // duplicate check.
             if last - rec.time <= self.cfg.ooo_tolerance
                 && state.window.insert(rec.time, util, self.cfg.horizon)
             {
@@ -912,11 +992,12 @@ impl StreamMonitor {
                 // stays put so memoized frames survive them.
                 inner.stale_dropped += 1;
             }
-            return alerts;
+            return;
         }
         state.last_seen = Some(rec.time);
         state.window.insert(rec.time, util, self.cfg.horizon);
-        state.bank.ingest(rec.machine, rec.time, util, &mut alerts);
+        let fired_from = alerts.len();
+        state.bank.ingest(rec.machine, rec.time, util, alerts);
         inner.ingested += 1;
         inner.version += 1;
         // Retain fired alerts for consumers that poll (UI overlays) rather
@@ -924,8 +1005,10 @@ impl StreamMonitor {
         // with its monotonic firing sequence number as it is retained
         // (`total_alerts` doubles as the next sequence number), so the
         // buffer always holds one contiguous run of sequence numbers —
-        // the invariant [`StreamMonitor::alerts_since`] relies on.
-        for alert in alerts.iter_mut() {
+        // the invariant [`StreamMonitor::alerts_since`] relies on. Only the
+        // alerts this record fired are stamped: in batch mode `alerts`
+        // accumulates across the epoch's records.
+        for alert in alerts[fired_from..].iter_mut() {
             alert.seq = inner.total_alerts;
             inner.total_alerts += 1;
             if inner.alerts.len() == self.cfg.alert_capacity {
@@ -934,7 +1017,71 @@ impl StreamMonitor {
             }
             inner.alerts.push_back(*alert);
         }
+    }
+
+    /// Ingests a sealed [`Batch`] under **one** lock acquisition, returning
+    /// every alert the epoch fired (in record order), then seals the
+    /// batch's epoch `version` into the attached WAL
+    /// ([`WalRecord::EpochSealed`]).
+    ///
+    /// **Equivalence contract** (enforced by the workspace
+    /// `batched_ingest_equivalence` suite): the resulting monitor state is
+    /// bit-identical to ingesting the same records one
+    /// [`StreamMonitor::ingest`] call at a time — windows, detector kernel
+    /// states, counters, retained alerts, *and* `state_version`, which
+    /// advances once per accepted record in both paths (the lock is
+    /// amortized, the version is not). The only divergence is in the log
+    /// itself: a batch-logged WAL additionally carries the epoch seal,
+    /// which replays as a no-op on query-visible state.
+    ///
+    /// Cost: O(records × detectors) amortized, one lock round-trip per
+    /// epoch instead of one per record.
+    pub fn ingest_batch(&self, batch: &Batch) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut inner = self.inner.lock();
+        for &rec in &batch.records {
+            self.ingest_one(&mut inner, rec, &mut alerts);
+        }
+        inner.log_wal(&WalRecord::EpochSealed(batch.version));
+        inner.sealed_epoch = Some(batch.version);
         alerts
+    }
+
+    /// The sharded fan-out step: ingests one shard's slice of an epoch
+    /// under one lock, tagging every fired alert with the **batch-global**
+    /// index of the record that fired it (so the facade can merge shard
+    /// outputs back into exact record order), then seals `epoch`.
+    pub(crate) fn apply_batch_part(
+        &self,
+        part: &[(u32, ServerUsageRecord)],
+        epoch: u64,
+    ) -> Vec<(u32, Alert)> {
+        let mut tagged = Vec::new();
+        let mut alerts = Vec::new();
+        let mut inner = self.inner.lock();
+        for &(idx, rec) in part {
+            self.ingest_one(&mut inner, rec, &mut alerts);
+            tagged.extend(alerts.drain(..).map(|a| (idx, a)));
+        }
+        inner.log_wal(&WalRecord::EpochSealed(epoch));
+        inner.sealed_epoch = Some(epoch);
+        tagged
+    }
+
+    /// Seals `epoch` into the attached WAL without ingesting anything —
+    /// the marker a multi-log writer appends to logs that carried no
+    /// records this epoch, so every log's sealed-epoch frontier still
+    /// advances in lockstep. Not query-visible (no version bump).
+    pub fn seal_epoch(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.log_wal(&WalRecord::EpochSealed(epoch));
+        inner.sealed_epoch = Some(epoch);
+    }
+
+    /// The highest batch epoch sealed into this monitor (live or via
+    /// replay), if any.
+    pub fn sealed_epoch(&self) -> Option<u64> {
+        self.inner.lock().sealed_epoch
     }
 
     /// Ingests many records, collecting every alert.
@@ -1163,9 +1310,15 @@ impl StreamMonitor {
     /// the taken alerts as [`AlertBatch::missed`].
     pub fn drain_alerts(&self) -> Vec<Alert> {
         let mut inner = self.inner.lock();
-        // Drains mutate recoverable state (the buffer empties), so they are
-        // logged too — otherwise a recovered monitor would re-surface alerts
-        // the pre-crash consumer already took.
+        // Draining an empty buffer mutates nothing, so it is not logged:
+        // an idle poller must not grow the log (or force rotation and
+        // compaction churn) by polling.
+        if inner.alerts.is_empty() {
+            return Vec::new();
+        }
+        // Non-empty drains mutate recoverable state (the buffer empties),
+        // so they are logged — otherwise a recovered monitor would
+        // re-surface alerts the pre-crash consumer already took.
         inner.log_wal(&WalRecord::AlertsDrained);
         let batch = inner.alerts_from(inner.alert_base_seq());
         inner.alerts.clear();
@@ -1235,6 +1388,37 @@ impl StreamMonitor {
     /// Number of machines currently tracked.
     pub fn tracked_machines(&self) -> usize {
         self.inner.lock().machines.len()
+    }
+
+    /// The locked rolling state, for the sharded facade's one-version-cut
+    /// frame capture: [`Inner`] implements [`DatasetQuery`], so a caller
+    /// holding several shards' guards can answer every query from one
+    /// simultaneous cut.
+    pub(crate) fn lock_inner(&self) -> parking_lot::MutexGuard<'_, Inner> {
+        self.inner.lock()
+    }
+}
+
+/// A retained-alert buffer that cursors can poll: the shared surface of
+/// [`StreamMonitor`] (one ring) and
+/// [`crate::shard::ShardedMonitor`] (per-shard rings merged into one global
+/// sequence). Consumers that only poll — serving-layer alert cursors —
+/// accept any `AlertSource` instead of naming a monitor type.
+pub trait AlertSource: Send + Sync {
+    /// Non-destructive cursor read; see [`StreamMonitor::alerts_since`].
+    fn alerts_since(&self, seq: u64) -> AlertBatch;
+    /// The sequence number the next fired alert will carry; see
+    /// [`StreamMonitor::next_alert_seq`].
+    fn next_alert_seq(&self) -> u64;
+}
+
+impl AlertSource for StreamMonitor {
+    fn alerts_since(&self, seq: u64) -> AlertBatch {
+        StreamMonitor::alerts_since(self, seq)
+    }
+
+    fn next_alert_seq(&self) -> u64 {
+        StreamMonitor::next_alert_seq(self)
     }
 }
 
@@ -2270,6 +2454,188 @@ mod tests {
         assert!(report.records_replayed < 20);
         // The prefix before the corruption replayed exactly.
         assert_eq!(r.ingested(), report.records_replayed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Total bytes across every file in a WAL directory.
+    fn dir_bytes(dir: &std::path::Path) -> u64 {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum()
+    }
+
+    #[test]
+    fn empty_drains_append_nothing_to_the_wal() {
+        // Regression: `drain_alerts` used to log an `AlertsDrained` marker
+        // unconditionally, so an idle poller draining an empty buffer grew
+        // the log without bound between checkpoints.
+        use batchlens_trace::wal::{WalConfig, WalWriter};
+        let dir = temp_wal_dir("empty-drain");
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
+        m.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
+        m.ingest(rec(1, 0, 0.3, 0.3, 0.3));
+        m.sync_wal();
+        let before = dir_bytes(&dir);
+        for _ in 0..64 {
+            assert!(m.drain_alerts().is_empty());
+        }
+        m.sync_wal();
+        assert_eq!(
+            dir_bytes(&dir),
+            before,
+            "64 empty drains must not grow the log by a single byte"
+        );
+        // A non-empty drain still logs its marker (durable consumption).
+        m.ingest(rec(1, 60, 0.95, 0.3, 0.3));
+        assert_eq!(m.drain_alerts().len(), 1);
+        m.sync_wal();
+        assert!(dir_bytes(&dir) > before);
+        assert_eq!(m.wal_errors(), 0);
+        drop(m.detach_wal());
+        let (r, report) = StreamMonitor::recover(&dir, StreamConfig::default()).unwrap();
+        assert!(report.reason.is_clean(), "{:?}", report.reason);
+        assert_eq!(r.alerts_len(), 0, "replay reproduces the drained state");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ooo_tolerance_boundary_is_inclusive() {
+        // The acceptance rule is "at most `ooo_tolerance` late": a record
+        // exactly at the boundary is accepted, one second beyond is not.
+        let tol = 120;
+        let m = StreamMonitor::new(StreamConfig {
+            ooo_tolerance: TimeDelta::seconds(tol),
+            ..Default::default()
+        })
+        .unwrap();
+        m.ingest(rec(1, 1_000, 0.3, 0.3, 0.3));
+        assert!(m.ingest(rec(1, 1_000 - tol, 0.4, 0.3, 0.3)).is_empty());
+        assert_eq!(m.late_accepted(), 1, "exactly-tolerance-late is accepted");
+        assert_eq!(m.stale_dropped(), 0);
+        m.ingest(rec(1, 1_000 - tol - 1, 0.4, 0.3, 0.3));
+        assert_eq!(m.late_accepted(), 1);
+        assert_eq!(m.stale_dropped(), 1, "one past the boundary is dropped");
+        assert_eq!(m.ingested(), 2);
+        // Both counters partition the straggler space: every delivery is
+        // either ingested, late_accepted (subset of ingested) or dropped.
+        assert_eq!(
+            m.series(MachineId::new(1), Metric::Cpu).unwrap().len(),
+            2,
+            "the boundary record landed in the window"
+        );
+    }
+
+    #[test]
+    fn zero_ooo_tolerance_accepts_only_strictly_newer_records() {
+        let m = StreamMonitor::new(StreamConfig {
+            ooo_tolerance: TimeDelta::seconds(0),
+            ..Default::default()
+        })
+        .unwrap();
+        m.ingest(rec(1, 100, 0.3, 0.3, 0.3));
+        // `last - rec.time == 0 <= 0` passes the tolerance gate, but the
+        // record is a duplicate timestamp: dropped by the re-delivery rule,
+        // not by the lateness rule.
+        m.ingest(rec(1, 100, 0.5, 0.3, 0.3));
+        m.ingest(rec(1, 99, 0.5, 0.3, 0.3)); // 1 s late: dropped
+        m.ingest(rec(1, 101, 0.5, 0.3, 0.3)); // in order: accepted
+        assert_eq!(m.stale_dropped(), 2);
+        assert_eq!(m.late_accepted(), 0);
+        assert_eq!(m.ingested(), 2);
+    }
+
+    #[test]
+    fn batch_ingest_is_bit_identical_to_singles() {
+        // One epoch through `ingest_batch` vs the same records one at a
+        // time: alerts (including sequence numbers), counters and
+        // state_version must all agree — the lock is amortized, nothing
+        // else changes.
+        let sequencer = BatchSequencer::new();
+        let mut records: Vec<ServerUsageRecord> = (0..60u32)
+            .map(|i| {
+                rec(
+                    i % 3,
+                    i64::from(i) * 30,
+                    0.3 + f64::from(i % 7) / 10.0,
+                    0.3,
+                    0.3,
+                )
+            })
+            .collect();
+        records.push(rec(0, 60, 0.5, 0.3, 0.3)); // late within tolerance
+        records.push(rec(0, 60, 0.5, 0.3, 0.3)); // duplicate: straggler
+        records.push(rec(1, -4_000, 0.5, 0.3, 0.3)); // beyond tolerance
+        let batch = sequencer.seal(Timestamp::new(2_000), records.clone());
+        assert_eq!((batch.id, batch.version), (0, 1));
+
+        let batched = StreamMonitor::new(StreamConfig::default()).unwrap();
+        let serial = StreamMonitor::new(StreamConfig::default()).unwrap();
+        let from_batch = batched.ingest_batch(&batch);
+        let mut from_singles = Vec::new();
+        for r in &records {
+            from_singles.extend(serial.ingest(*r));
+        }
+        assert_eq!(
+            from_batch, from_singles,
+            "alerts bit-identical, seq included"
+        );
+        assert_eq!(
+            batched.state_version(),
+            serial.state_version(),
+            "state_version advances per accepted record, not per batch"
+        );
+        assert_eq!(batched.ingested(), serial.ingested());
+        assert_eq!(batched.stale_dropped(), serial.stale_dropped());
+        assert_eq!(batched.late_accepted(), serial.late_accepted());
+        assert_eq!(batched.next_alert_seq(), serial.next_alert_seq());
+        for machine in 0..3 {
+            assert_eq!(
+                batched.series(MachineId::new(machine), Metric::Cpu),
+                serial.series(MachineId::new(machine), Metric::Cpu)
+            );
+        }
+        // The only observable divergence: the batch path seals its epoch.
+        assert_eq!(batched.sealed_epoch(), Some(1));
+        assert_eq!(serial.sealed_epoch(), None);
+        // The sequencer numbers epochs contiguously from (id 0, version 1).
+        let next = sequencer.seal(Timestamp::new(3_000), Vec::new());
+        assert_eq!((next.id, next.version), (1, 2));
+    }
+
+    #[test]
+    fn batch_logged_wal_replays_to_the_same_state() {
+        use batchlens_trace::wal::{WalConfig, WalWriter};
+        let dir = temp_wal_dir("batch-replay");
+        let sequencer = BatchSequencer::new();
+        let m = StreamMonitor::new(StreamConfig::default()).unwrap();
+        m.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
+        let records: Vec<ServerUsageRecord> = (0..40u32)
+            .map(|i| {
+                rec(
+                    i % 2,
+                    i64::from(i) * 60,
+                    if i == 31 { 0.97 } else { 0.4 },
+                    0.3,
+                    0.3,
+                )
+            })
+            .collect();
+        m.ingest_batch(&sequencer.seal(Timestamp::new(2_400), records[..20].to_vec()));
+        m.ingest_batch(&sequencer.seal(Timestamp::new(4_800), records[20..].to_vec()));
+        assert_eq!(m.sealed_epoch(), Some(2));
+        drop(m.detach_wal());
+
+        let (r, report) = StreamMonitor::recover(&dir, StreamConfig::default()).unwrap();
+        assert!(report.reason.is_clean(), "{:?}", report.reason);
+        assert_eq!(r.sealed_epoch(), Some(2), "epoch frontier survives replay");
+        assert_eq!(r.state_version(), m.state_version());
+        assert_eq!(r.ingested(), m.ingested());
+        assert_eq!(r.peek_alerts(), m.peek_alerts());
+        assert_eq!(
+            r.series(MachineId::new(1), Metric::Cpu),
+            m.series(MachineId::new(1), Metric::Cpu)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,9 +1,13 @@
-//! Per-session alert cursors over a [`StreamMonitor`]'s retained buffer.
+//! Per-session alert cursors over an [`AlertSource`]'s retained buffer
+//! (a [`StreamMonitor`] or a sharded facade).
 
-use batchlens::stream::{AlertBatch, StreamMonitor};
+#[cfg(doc)]
+use batchlens::stream::StreamMonitor;
+use batchlens::stream::{AlertBatch, AlertSource};
 
 /// A non-destructive, independently positioned cursor over the alert
-/// sequence of one [`StreamMonitor`].
+/// sequence of one [`AlertSource`] — a [`StreamMonitor`] or a
+/// [`batchlens::shard::ShardedMonitor`] facade.
 ///
 /// # Contract
 ///
@@ -60,8 +64,8 @@ impl AlertCursor {
     /// advances past it. Returns the batch exactly as the monitor
     /// reported it (alerts in firing order, `missed` = gap to this
     /// cursor's position).
-    pub fn poll(&mut self, monitor: &StreamMonitor) -> AlertBatch {
-        let batch = monitor.alerts_since(self.next_seq);
+    pub fn poll<S: AlertSource + ?Sized>(&mut self, source: &S) -> AlertBatch {
+        let batch = source.alerts_since(self.next_seq);
         self.next_seq = batch.next_seq;
         self.delivered += batch.alerts.len() as u64;
         self.missed += batch.missed;

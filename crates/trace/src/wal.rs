@@ -171,6 +171,13 @@ pub enum WalRecord {
     /// The alert buffer was drained (`drain_alerts`). Logged so the
     /// recovered buffer holds exactly the not-yet-drained alerts.
     AlertsDrained,
+    /// Every record of the ingestion epoch with this monotonic batch
+    /// version has been appended to **this** log. A sharded monitor writes
+    /// the marker to every shard's log when a `Batch` finishes applying, so
+    /// multi-log recovery can stop each shard at the highest epoch sealed
+    /// in *all* logs — the consistent version cut. Applying the marker
+    /// mutates no query-visible state.
+    EpochSealed(u64),
 }
 
 const TAG_USAGE: u8 = 1;
@@ -179,6 +186,7 @@ const TAG_INSTANCE_STARTED: u8 = 3;
 const TAG_INSTANCE_FINISHED: u8 = 4;
 const TAG_MACHINE_EVENT: u8 = 5;
 const TAG_ALERTS_DRAINED: u8 = 6;
+const TAG_EPOCH_SEALED: u8 = 7;
 
 fn status_code(s: TaskStatus) -> u8 {
     match s {
@@ -232,6 +240,10 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Forward-only cursor over a payload body; every `take_*` returns `None`
 /// past the end, so decoding can never index out of bounds.
 struct Cursor<'a> {
@@ -266,6 +278,10 @@ impl<'a> Cursor<'a> {
     fn f64(&mut self) -> Option<f64> {
         self.take::<8>()
             .map(|b| f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_le_bytes)
     }
 
     fn exhausted(&self) -> bool {
@@ -332,6 +348,10 @@ impl WalRecord {
                 put_f64(&mut out, r.capacity_disk);
             }
             WalRecord::AlertsDrained => out.push(TAG_ALERTS_DRAINED),
+            WalRecord::EpochSealed(version) => {
+                out.push(TAG_EPOCH_SEALED);
+                put_u64(&mut out, *version);
+            }
         }
         out
     }
@@ -384,6 +404,7 @@ impl WalRecord {
                 capacity_disk: c.f64()?,
             }),
             TAG_ALERTS_DRAINED => WalRecord::AlertsDrained,
+            TAG_EPOCH_SEALED => WalRecord::EpochSealed(c.u64()?),
             _ => return None,
         };
         c.exhausted().then_some(rec)
@@ -1091,6 +1112,8 @@ mod tests {
                 capacity_disk: 0.5,
             }),
             WalRecord::AlertsDrained,
+            WalRecord::EpochSealed(0),
+            WalRecord::EpochSealed(u64::MAX),
         ]
     }
 

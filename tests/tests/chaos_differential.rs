@@ -58,15 +58,21 @@ enum Delivery {
     Drain,
 }
 
-fn apply(monitor: &StreamMonitor, d: &Delivery) {
+/// Applies one delivery and returns how many WAL appends it attempts.
+/// Usage and instance records always log; a drain logs only when it
+/// actually drains something — an empty drain mutates nothing and (since
+/// the empty-drain fix) appends nothing, so it contributes no log record.
+fn apply(monitor: &StreamMonitor, d: &Delivery) -> usize {
     match d {
         Delivery::Usage(r) => {
             monitor.ingest(*r);
+            1
         }
-        Delivery::Instance(r) => monitor.ingest_instance(*r),
-        Delivery::Drain => {
-            monitor.drain_alerts();
+        Delivery::Instance(r) => {
+            monitor.ingest_instance(*r);
+            1
         }
+        Delivery::Drain => usize::from(!monitor.drain_alerts().is_empty()),
     }
 }
 
@@ -138,7 +144,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn reference(deliveries: &[Delivery]) -> StreamMonitor {
     let monitor = StreamMonitor::new(stream_config()).unwrap();
     for d in deliveries {
-        apply(&monitor, d);
+        let _ = apply(&monitor, d);
     }
     monitor
 }
@@ -223,12 +229,15 @@ fn wal_disk_error_storms_recover_bit_identical() {
         let deliveries = gen_deliveries(seed, 400);
         // Track which deliveries' appends survived by watching the site's
         // fired counter around each one (deliveries are applied serially).
+        // No-op deliveries (empty drains) append nothing and mutate
+        // nothing, so they are excluded: `survived` stays 1:1 with the
+        // records the log holds.
         let mut survived = Vec::new();
         for d in &deliveries {
             let before = batchlens_fault::site_stats(FAILPOINT_APPEND).map_or(0, |s| s.fired);
-            apply(&monitor, d);
+            let appends = apply(&monitor, d);
             let after = batchlens_fault::site_stats(FAILPOINT_APPEND).map_or(0, |s| s.fired);
-            if after == before {
+            if after == before && appends > 0 {
                 survived.push(d.clone());
             }
         }
@@ -278,9 +287,23 @@ fn torn_writes_recover_to_the_surviving_prefix_and_resume() {
         let monitor = StreamMonitor::new(stream_config()).unwrap();
         monitor.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
         let deliveries = gen_deliveries(tear_at, 80);
-        for d in &deliveries {
-            apply(&monitor, d);
+        // Empty drains append nothing, so the Nth *append* no longer lands
+        // on the Nth delivery: track the pre-tear logged prefix and the
+        // delivery during which the torn write fired.
+        let mut logged_prefix = Vec::new();
+        let mut tear_idx = None;
+        for (i, d) in deliveries.iter().enumerate() {
+            let before = batchlens_fault::site_stats(FAILPOINT_APPEND).map_or(0, |s| s.fired);
+            let appends = apply(&monitor, d);
+            let fired =
+                batchlens_fault::site_stats(FAILPOINT_APPEND).map_or(0, |s| s.fired) > before;
+            if fired && tear_idx.is_none() {
+                tear_idx = Some(i);
+            } else if tear_idx.is_none() && appends > 0 {
+                logged_prefix.push(d.clone());
+            }
         }
+        let tear_idx = tear_idx.expect("the torn write must fire");
         drop(monitor.detach_wal());
         let stats = disarm(FAILPOINT_APPEND).expect("site was armed");
         assert_eq!(stats.fired, 1, "exactly one torn write");
@@ -292,20 +315,22 @@ fn torn_writes_recover_to_the_surviving_prefix_and_resume() {
             "the torn frame must stop replay (tear at {tear_at})"
         );
         assert_eq!(
-            report.records_replayed, tear_at,
+            report.records_replayed as usize,
+            logged_prefix.len(),
             "replay is exactly the pre-tear prefix"
         );
         assert_same_monitor(
             &recovered,
-            &reference(&deliveries[..tear_at as usize]),
+            &reference(&logged_prefix),
             &format!("tear at {tear_at}"),
         );
 
         // Resume: a fresh writer truncates the torn tail; re-delivering the
-        // remainder converges on the never-crashed reference.
+        // remainder (from the torn delivery on) converges on the
+        // never-crashed reference.
         recovered.attach_wal(WalWriter::open(&dir, WalConfig::default()).unwrap());
-        for d in &deliveries[tear_at as usize..] {
-            apply(&recovered, d);
+        for d in &deliveries[tear_idx..] {
+            let _ = apply(&recovered, d);
         }
         drop(recovered.detach_wal());
         assert_eq!(recovered.wal_errors(), 0, "resumed logging is clean");
@@ -342,13 +367,15 @@ fn env_armed_wal_schedule_holds_invariants() {
     };
     monitor.attach_wal(WalWriter::open(&dir, wal_cfg).unwrap());
     let deliveries = gen_deliveries(9, 300);
-    // A delivery survived iff its append raised no WAL error (delay faults
+    // A delivery survived iff it attempted an append (empty drains log
+    // and mutate nothing, so they are excluded — `survived` stays 1:1
+    // with log records) and the append raised no WAL error (delay faults
     // fire without erroring; the delivery still lands in the log).
     let mut survived = Vec::new();
     for d in &deliveries {
         let before = monitor.wal_errors();
-        apply(&monitor, d);
-        if monitor.wal_errors() == before {
+        let appends = apply(&monitor, d);
+        if appends > 0 && monitor.wal_errors() == before {
             survived.push(d.clone());
         }
     }

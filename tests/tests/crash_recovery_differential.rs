@@ -41,22 +41,32 @@ enum Delivery {
     Drain,
 }
 
-fn apply(monitor: &StreamMonitor, d: &Delivery) {
+/// Applies one delivery and returns how many WAL frames it writes. Every
+/// mutation logs one frame except a drain of an empty buffer, which (since
+/// the empty-drain fix) mutates nothing and appends nothing.
+fn apply(monitor: &StreamMonitor, d: &Delivery) -> usize {
     match d {
         Delivery::Usage(r) => {
             monitor.ingest(*r);
+            1
         }
-        Delivery::Instance(r) => monitor.ingest_instance(*r),
+        Delivery::Instance(r) => {
+            monitor.ingest_instance(*r);
+            1
+        }
         Delivery::Started(job, task, seq, machine, at) => {
             monitor.instance_started(*job, *task, *seq, *machine, *at);
+            1
         }
         Delivery::Finished(job, task, seq, at) => {
             monitor.instance_finished(*job, *task, *seq, *at);
+            1
         }
-        Delivery::Event(r) => monitor.ingest_machine_event(*r),
-        Delivery::Drain => {
-            monitor.drain_alerts();
+        Delivery::Event(r) => {
+            monitor.ingest_machine_event(*r);
+            1
         }
+        Delivery::Drain => usize::from(!monitor.drain_alerts().is_empty()),
     }
 }
 
@@ -139,22 +149,44 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 /// Streams every delivery into a fresh WAL-attached monitor logging to
 /// `dir`, then detaches (flushing) and asserts the log never errored.
-fn run_logged(deliveries: &[Delivery], wal_cfg: WalConfig, dir: &Path) -> StreamMonitor {
+/// Also returns the indices of the deliveries that wrote a WAL frame
+/// (empty drains write none), so frame counts map back to delivery
+/// positions.
+fn run_logged(
+    deliveries: &[Delivery],
+    wal_cfg: WalConfig,
+    dir: &Path,
+) -> (StreamMonitor, Vec<usize>) {
     let monitor = StreamMonitor::new(config()).unwrap();
     monitor.attach_wal(WalWriter::open(dir, wal_cfg).unwrap());
-    for d in deliveries {
-        apply(&monitor, d);
+    let mut logged = Vec::new();
+    for (i, d) in deliveries.iter().enumerate() {
+        if apply(&monitor, d) > 0 {
+            logged.push(i);
+        }
     }
     drop(monitor.detach_wal());
     assert_eq!(monitor.wal_errors(), 0, "logging must never error");
-    monitor
+    (monitor, logged)
+}
+
+/// How many leading deliveries a replay of the first `frames` log frames
+/// covers: everything up to and including the delivery that wrote frame
+/// `frames - 1`. Skipped deliveries in that prefix are empty drains —
+/// state no-ops — so feeding a reference the whole prefix is exact.
+fn replay_cut(logged: &[usize], frames: usize) -> usize {
+    if frames == 0 {
+        0
+    } else {
+        logged[frames - 1] + 1
+    }
 }
 
 /// A never-crashed reference fed the given deliveries directly (no WAL).
 fn reference(deliveries: &[Delivery]) -> StreamMonitor {
     let monitor = StreamMonitor::new(config()).unwrap();
     for d in deliveries {
-        apply(&monitor, d);
+        let _ = apply(&monitor, d);
     }
     monitor
 }
@@ -390,10 +422,10 @@ proptest! {
         // 96-byte segments rotate every frame or two: kill offsets land on
         // sealed segments, the active segment, and exact boundaries.
         let wal_cfg = WalConfig { segment_bytes: 96, sync_each_append: false };
-        let live = run_logged(&deliveries, wal_cfg, &src);
+        let (live, logged) = run_logged(&deliveries, wal_cfg, &src);
         let total = log_len(&src);
         let sizes = frame_sizes(&src);
-        prop_assert_eq!(sizes.len(), deliveries.len(), "one frame per delivery");
+        prop_assert_eq!(sizes.len(), logged.len(), "one frame per logged delivery");
         prop_assert_eq!(sizes.iter().sum::<u64>(), total, "log is exactly the frames");
 
         let mut kills: Vec<u64> = kill_points.iter().map(|f| (f * total as f64) as u64).collect();
@@ -415,7 +447,7 @@ proptest! {
             if kill == total {
                 prop_assert!(report.reason.is_clean(), "full log replays clean");
             }
-            let reference = reference(&deliveries[..survived]);
+            let reference = reference(&deliveries[..replay_cut(&logged, survived)]);
             assert_monitors_identical(&recovered, &reference, &format!("kill@{kill}"))?;
             let _ = fs::remove_dir_all(&dst);
         }
@@ -429,8 +461,8 @@ proptest! {
         kill_log_at(&src, &dst, kill);
         let (resumed, report) = StreamMonitor::recover(&dst, config()).expect("recover");
         resumed.attach_wal(WalWriter::open(&dst, wal_cfg).expect("writer resumes"));
-        for d in &deliveries[report.records_replayed as usize..] {
-            apply(&resumed, d);
+        for d in &deliveries[replay_cut(&logged, report.records_replayed as usize)..] {
+            let _ = apply(&resumed, d);
         }
         drop(resumed.detach_wal());
         assert_monitors_identical(&resumed, &live, "resume")?;
@@ -454,7 +486,7 @@ proptest! {
         bit in 0u8..8,
     ) {
         let dir = scratch_dir("flip");
-        run_logged(&deliveries, WalConfig::default(), &dir);
+        let (_, logged) = run_logged(&deliveries, WalConfig::default(), &dir);
         let sizes = frame_sizes(&dir);
         let seg = {
             let segs = segments(&dir);
@@ -463,6 +495,11 @@ proptest! {
         };
         let mut bytes = fs::read(&seg).expect("read segment");
         let total = bytes.len() as u64;
+        if total == 0 {
+            // A soup of only empty drains logs nothing: no byte to flip.
+            let _ = fs::remove_dir_all(&dir);
+            return Ok(());
+        }
         let offset = ((flip_at * total as f64) as u64).min(total - 1);
         bytes[offset as usize] ^= 1 << bit;
         fs::write(&seg, &bytes).expect("write corrupted segment");
@@ -485,7 +522,7 @@ proptest! {
             "replay stops exactly at the corrupt frame (offset {})",
             offset
         );
-        let reference = reference(&deliveries[..intact]);
+        let reference = reference(&deliveries[..replay_cut(&logged, intact)]);
         assert_monitors_identical(&recovered, &reference, &format!("flip@{offset}"))?;
         let _ = fs::remove_dir_all(&dir);
     }
