@@ -60,6 +60,26 @@ use crate::hierarchy::HierarchySnapshot;
 /// invisible next to the per-step delta cost.
 pub const DEFAULT_REBASE_EVERY: u32 = 1024;
 
+/// Running-triple count below which a rebase stays serial: the fan-out
+/// (scoped workers + channel) costs more than just grouping a few thousand
+/// triples on the calling thread.
+const PAR_REBASE_THRESHOLD: usize = 2048;
+
+/// Target triples per counting shard on the parallel rebase path. Shard
+/// boundaries are pushed forward to the next run boundary so every
+/// `(job, task, machine)` run lands whole in exactly one shard.
+const PAR_REBASE_CHUNK: usize = 8192;
+
+/// One worker's product on the parallel rebase path (see
+/// [`SnapshotScrubber::rebase`]): the two materialized views and the
+/// grouped-run shards all ride one flat [`batchlens_exec::run_indexed`]
+/// fan-out, so a single pool builds everything with no nested spawning.
+enum RebaseProduct {
+    Snapshot(HierarchySnapshot),
+    Coalloc(CoallocationIndex),
+    Runs(Vec<((JobId, TaskId, MachineId), u32)>),
+}
+
 /// Counters describing how the scrubber has been advancing — observability
 /// for the delta engine (and its tests/benches).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -497,16 +517,68 @@ impl SnapshotScrubber {
     /// are re-queued as point-valid at `to`; the first forward
     /// materialization past it re-resolves them through their real
     /// inter-sample windows.
+    ///
+    /// Above [`PAR_REBASE_THRESHOLD`] running triples the rebuild is
+    /// sharded across the exec pool in **one flat fan-out**: the snapshot
+    /// build, the coalloc build and run-aligned grouped-counting shards all
+    /// run as siblings ([`RebaseProduct`]), then merge on the calling
+    /// thread in shard order. Shard boundaries sit on run boundaries, so
+    /// every `(job, task, machine)` count lands whole in one shard and the
+    /// merged maps are byte-for-byte the serial ones.
     fn rebase<Q: DatasetQuery + ?Sized>(&mut self, src: &Q, to: Timestamp) {
         let frame = src.frame(to);
         self.grouped.clear();
         self.machine_jobs.clear();
         self.running_machines.clear();
-        for (key, n) in crate::hierarchy::count_runs(frame.running_triples()) {
-            let (job, _, machine) = key;
-            self.grouped.insert(key, n);
-            *self.machine_jobs.entry((machine, job)).or_default() += n;
-            *self.running_machines.entry(machine).or_default() += n;
+        let triples = frame.running_triples();
+        if triples.len() >= PAR_REBASE_THRESHOLD {
+            // Shard bounds: fixed stride, pushed forward to the next run
+            // boundary so no run straddles two shards.
+            let mut bounds = vec![0usize];
+            loop {
+                let prev = *bounds.last().expect("bounds starts non-empty");
+                if prev >= triples.len() {
+                    break;
+                }
+                let mut b = (prev + PAR_REBASE_CHUNK).min(triples.len());
+                while b < triples.len() && triples[b] == triples[b - 1] {
+                    b += 1;
+                }
+                bounds.push(b);
+            }
+            let shards = bounds.len() - 1;
+            let products = batchlens_exec::run_indexed(0, shards + 2, |i| match i {
+                0 => RebaseProduct::Snapshot(HierarchySnapshot::from_frame(&frame)),
+                1 => RebaseProduct::Coalloc(CoallocationIndex::from_frame(&frame)),
+                i => RebaseProduct::Runs(
+                    crate::hierarchy::count_runs(&triples[bounds[i - 2]..bounds[i - 1]]).collect(),
+                ),
+            });
+            for product in products {
+                match product {
+                    RebaseProduct::Snapshot(snap) => self.snapshot = Some(snap),
+                    RebaseProduct::Coalloc(coalloc) => self.coalloc = Some(coalloc),
+                    // Shards arrive in index order and are run-disjoint, so
+                    // inserts never collide and additions commute.
+                    RebaseProduct::Runs(runs) => {
+                        for (key, n) in runs {
+                            let (job, _, machine) = key;
+                            self.grouped.insert(key, n);
+                            *self.machine_jobs.entry((machine, job)).or_default() += n;
+                            *self.running_machines.entry(machine).or_default() += n;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (key, n) in crate::hierarchy::count_runs(triples) {
+                let (job, _, machine) = key;
+                self.grouped.insert(key, n);
+                *self.machine_jobs.entry((machine, job)).or_default() += n;
+                *self.running_machines.entry(machine).or_default() += n;
+            }
+            self.snapshot = Some(HierarchySnapshot::from_frame(&frame));
+            self.coalloc = Some(CoallocationIndex::from_frame(&frame));
         }
         self.active = frame.machines_active();
         self.util_memo.clear();
@@ -537,8 +609,6 @@ impl SnapshotScrubber {
         self.pending.clear();
         self.dirty_machines.clear();
         self.stats.rebases += 1;
-        self.snapshot = Some(HierarchySnapshot::from_frame(&frame));
-        self.coalloc = Some(CoallocationIndex::from_frame(&frame));
     }
 
     /// The hierarchy snapshot at the cursor — **patched**, not rebuilt:
@@ -816,6 +886,73 @@ mod tests {
             stats.entered + stats.exited,
             "every delta triple is exactly one node patch"
         );
+    }
+
+    #[test]
+    fn sharded_rebase_matches_serial_products() {
+        // Enough concurrent instances to cross PAR_REBASE_THRESHOLD, so the
+        // first seek recaptures through the flat fan-out; the products must
+        // be bit-identical to the from-scratch builders, and delta steps on
+        // top of the sharded state must stay consistent.
+        let mut b = TraceDatasetBuilder::new();
+        for job in 1..=64u32 {
+            for task in 1..=2u32 {
+                b.push_task(BatchTaskRecord {
+                    create_time: Timestamp::new(0),
+                    modify_time: Timestamp::new(3000),
+                    job: JobId::new(job),
+                    task: TaskId::new(task),
+                    instance_count: 24,
+                    status: TaskStatus::Terminated,
+                    plan_cpu: 1.0,
+                    plan_mem: 0.5,
+                });
+                for seq in 0..24u32 {
+                    b.push_instance(BatchInstanceRecord {
+                        start_time: Timestamp::new(0),
+                        end_time: Timestamp::new(2000),
+                        job: JobId::new(job),
+                        task: TaskId::new(task),
+                        seq,
+                        total: 24,
+                        machine: MachineId::new((job * 53 + task * 17 + seq) % 128),
+                        status: TaskStatus::Terminated,
+                        cpu_avg: 0.2,
+                        cpu_max: 0.4,
+                        mem_avg: 0.2,
+                        mem_max: 0.4,
+                    });
+                }
+            }
+        }
+        for m in 0..128u32 {
+            b.push_usage(ServerUsageRecord {
+                time: Timestamp::new(0),
+                machine: MachineId::new(m),
+                util: UtilizationTriple::clamped(0.25 + (m % 4) as f64 / 10.0, 0.3, 0.1),
+            });
+        }
+        let ds = b.build().unwrap();
+        let t = Timestamp::new(500);
+        assert!(
+            DatasetQuery::running_instance_count_at(&ds, t) >= PAR_REBASE_THRESHOLD,
+            "dataset too small to exercise the sharded path"
+        );
+        let mut scrub = SnapshotScrubber::new();
+        scrub.seek(&ds, t);
+        assert_eq!(scrub.stats().rebases, 1);
+        assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, t));
+        assert_eq!(*scrub.coalloc(), CoallocationIndex::at(&ds, t));
+        assert_eq!(scrub.running_instance_count(), 64 * 2 * 24);
+        // A delta step off the sharded base: everything ends, so the state
+        // must drain to empty exactly as the serial builders say. (The
+        // 3072-exit drain exceeds the pending-queue cap, so the retained
+        // snapshot is allowed to recapture — identity is what matters.)
+        let later = Timestamp::new(2500);
+        scrub.seek(&ds, later);
+        assert_eq!(*scrub.snapshot(&ds), HierarchySnapshot::at(&ds, later));
+        assert_eq!(*scrub.coalloc(), CoallocationIndex::at(&ds, later));
+        assert_eq!(scrub.running_instance_count(), 0);
     }
 
     #[test]

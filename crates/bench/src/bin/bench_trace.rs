@@ -495,10 +495,11 @@ fn dataset_entries(tier: Tier, ds: &TraceDataset, entries: &mut Vec<Entry>) {
 
     // --- live frame queries: one batched, transactionally consistent
     //     QueryFrame per timestamp (one lock acquisition for hierarchy +
-    //     coalloc + utilization + alive probes) vs issuing the same
+    //     coalloc + utilization + alive probes + the per-machine anomaly
+    //     counts the dashboard sidebar overlays) vs issuing the same
     //     products as individual live-view queries — which acquire the
-    //     monitor lock per sub-query (and per machine for the utilization
-    //     and alive probes). ---
+    //     monitor lock per sub-query (and per machine for the utilization,
+    //     alive and alert-count probes). ---
     for rec in batchlens::analytics::baseline::export_usage_records(ds) {
         monitor.ingest(rec);
     }
@@ -516,6 +517,7 @@ fn dataset_entries(tier: Tier, ds: &TraceDataset, entries: &mut Vec<Entry>) {
                         .iter()
                         .filter(|&&m| frame.util_of(m).is_some())
                         .count()
+                    + frame.total_anomalies() as usize
             })
             .sum::<usize>()
     });
@@ -530,6 +532,10 @@ fn dataset_entries(tier: Tier, ds: &TraceDataset, entries: &mut Vec<Entry>) {
                         .iter()
                         .filter(|&&m| view.util_at(m, t).is_some())
                         .count()
+                    + machine_ids
+                        .iter()
+                        .map(|&m| monitor.machine_alert_count(m) as usize)
+                        .sum::<usize>()
             })
             .sum::<usize>()
     });
@@ -640,6 +646,73 @@ fn dataset_entries(tier: Tier, ds: &TraceDataset, entries: &mut Vec<Entry>) {
     });
     let _ = std::fs::remove_dir_all(&wal_dir);
     entries.push(entry(format!("wal_replay_{suffix}"), naive_s, optimized));
+
+    // --- dataset reopen: the columnar segment store (mmap'd sorted
+    //     segments, parallel per-segment decode, k-way merge into the
+    //     builder) vs re-parsing the CSV archive and rebuilding from
+    //     scratch — the two ways a dataset comes back in a new process.
+    //     Both construct the bit-identical dataset (the store_differential
+    //     suite proves it; the assert below keeps this bench honest). ---
+    use batchlens::trace::store::{self, Family, SegmentStore};
+    let seg_dir = std::env::temp_dir().join(format!(
+        "batchlens-bench-store-{}-{}",
+        std::process::id(),
+        suffix
+    ));
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    store::dump_dataset(&seg_dir, ds).expect("bench segment dump");
+    assert_eq!(
+        &TraceDataset::open(&seg_dir).expect("bench segment open"),
+        ds,
+        "store-backed reopen must be bit-identical"
+    );
+    let task_csv = csv::write_batch_tasks(&tasks);
+    let open_reps = if tier == Tier::Paper { 2 } else { 3 };
+    let optimized = measure(open_reps, || {
+        TraceDataset::open(&seg_dir)
+            .expect("segment reopen")
+            .instance_count()
+    });
+    let naive_s = measure(2, || {
+        let mut b = batchlens::trace::TraceDatasetBuilder::new();
+        b.extend_tables(
+            csv::parse_batch_tasks(&task_csv).expect("tasks parse"),
+            csv::parse_batch_instances(&inst_csv).expect("instances parse"),
+            csv::parse_server_usage(&usage_csv).expect("usage parses"),
+            csv::parse_machine_events(&event_csv).expect("events parse"),
+        );
+        b.build().expect("csv rebuild").instance_count()
+    });
+    entries.push(entry(format!("dataset_open_{suffix}"), naive_s, optimized));
+
+    // --- column scans: summing the usage cpu column straight off the
+    //     memory-mapped segments (fixed-stride, zero-copy) vs walking the
+    //     in-RAM per-machine series the builder materialized. ---
+    let seg_store = SegmentStore::open(&seg_dir).expect("bench store opens");
+    let scan_col = || {
+        seg_store
+            .family_segments(Family::ServerUsage)
+            .map(|seg| seg.column(2).sum_f64())
+            .sum::<f64>()
+    };
+    let scan_ram = || {
+        machines
+            .iter()
+            .filter_map(|m| m.usage(Metric::Cpu))
+            .map(|s| s.values().iter().sum::<f64>())
+            .sum::<f64>()
+    };
+    // Honesty (outside the timed loops): same values, different summation
+    // order — agreement to float tolerance, not bit equality.
+    assert!(
+        (scan_col() - scan_ram()).abs() <= 1e-6 * scan_ram().abs().max(1.0),
+        "column scan and series walk must sum the same samples"
+    );
+    let scan_reps = if tier == Tier::Paper { 3 } else { 8 };
+    let optimized = measure(scan_reps, || scan_col().to_bits() as usize);
+    let naive_s = measure(3, || scan_ram().to_bits() as usize);
+    entries.push(entry(format!("segment_scan_{suffix}"), naive_s, optimized));
+    let _ = std::fs::remove_dir_all(&seg_dir);
 
     // --- epoch-batched sharded ingestion vs record-at-a-time ingestion:
     //     "naive" feeds the time-sorted usage archive one `ingest` call

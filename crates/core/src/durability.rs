@@ -6,6 +6,11 @@
 //!
 //! * the four trace tables in their canonical CSV form (`batch_task.csv`,
 //!   `batch_instance.csv`, `server_usage.csv`, `machine_events.csv`),
+//! * `dataset/` — the same tables as columnar
+//!   [`batchlens_trace::store`] segments (sorted, checksummed,
+//!   memory-mappable); [`restore`] prefers this payload when present and
+//!   rebuilds the dataset via the lazy [`TraceDataset::open`] path, which
+//!   is both faster than a CSV re-parse and bit-exact on every f64,
 //! * `machines.json` — explicit machine capacity declarations,
 //! * `session.json` — the recorded interaction log,
 //! * `monitor/config.json` + `monitor/wal/` — the live monitor's
@@ -26,8 +31,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use batchlens_trace::wal::{self, RecoveryReport, WalError};
-use batchlens_trace::{csv, MachineId, MachineInfo, TraceDatasetBuilder, TraceError};
-use batchlens_trace::{Metric, ServerUsageRecord, UtilizationTriple};
+use batchlens_trace::{csv, store, MachineId, MachineInfo, TraceDatasetBuilder, TraceError};
+use batchlens_trace::{Metric, ServerUsageRecord, TraceDataset, UtilizationTriple};
 
 use crate::app::BatchLens;
 use crate::session::SessionLog;
@@ -49,6 +54,8 @@ pub enum DumpError {
     Serialize(serde_json::Error),
     /// The monitor's WAL could not be compacted.
     Wal(WalError),
+    /// The columnar segment payload could not be written.
+    Store(TraceError),
     /// The monitor to dump has no WAL attached: its state can only be
     /// persisted by replaying its log, so an unlogged monitor cannot be
     /// dumped.
@@ -63,6 +70,7 @@ impl std::fmt::Display for DumpError {
             }
             DumpError::Serialize(e) => write!(f, "dump: serialize failed: {e}"),
             DumpError::Wal(e) => write!(f, "dump: wal compaction failed: {e}"),
+            DumpError::Store(e) => write!(f, "dump: segment store write failed: {e}"),
             DumpError::MonitorHasNoWal => {
                 write!(
                     f,
@@ -84,6 +92,12 @@ impl From<serde_json::Error> for DumpError {
 impl From<WalError> for DumpError {
     fn from(e: WalError) -> DumpError {
         DumpError::Wal(e)
+    }
+}
+
+impl From<TraceError> for DumpError {
+    fn from(e: TraceError) -> DumpError {
+        DumpError::Store(e)
     }
 }
 
@@ -145,6 +159,8 @@ impl From<RecoverError> for RestoreError {
 pub struct DumpReport {
     /// Rows written per CSV table: tasks, instances, usage, events.
     pub rows: [usize; 4],
+    /// Columnar segment files written into `dataset/`.
+    pub segments: usize,
     /// The monitor WAL compaction outcome, when a monitor was dumped. A
     /// non-clean reason means the live log had a torn/corrupt tail and the
     /// dump captured its intact prefix.
@@ -178,6 +194,18 @@ fn read_file(path: &Path) -> Result<String, RestoreError> {
         path: path.to_path_buf(),
         source,
     })
+}
+
+/// Opens a CSV table for streaming parse — a buffered line reader, so
+/// restore never materializes a multi-gigabyte table as one `String`.
+fn open_csv(path: &Path) -> Result<io::BufReader<fs::File>, RestoreError> {
+    fs::File::open(path)
+        .map(io::BufReader::new)
+        .map_err(|source| RestoreError::Io {
+            op: "open",
+            path: path.to_path_buf(),
+            source,
+        })
 }
 
 /// Reconstructs the flat `server_usage` rows from a dataset's per-machine
@@ -261,8 +289,13 @@ pub fn dump(
     )?;
     write_file(&dir.join("session.json"), &lens.log().to_json()?)?;
 
+    // The columnar payload: same tables as the CSVs, but sorted, checksummed
+    // and memory-mappable, giving restore its fast lazy path.
+    let store_report = store::dump_dataset(&dir.join("dataset"), ds)?;
+
     let mut report = DumpReport {
         rows: [tasks.len(), instances.len(), usage.len(), events.len()],
+        segments: store_report.segments,
         monitor: None,
     };
     if let Some(monitor) = monitor {
@@ -300,20 +333,29 @@ pub fn dump(
 /// dumped monitor configuration. Corrupt WAL *contents* are not an error —
 /// replay stops at the last intact record and the report says so.
 pub fn restore(dir: &Path) -> Result<RestoredLens, RestoreError> {
-    let tasks = csv::parse_batch_tasks(&read_file(&dir.join("batch_task.csv"))?)?;
-    let instances = csv::parse_batch_instances(&read_file(&dir.join("batch_instance.csv"))?)?;
-    let usage = csv::parse_server_usage(&read_file(&dir.join("server_usage.csv"))?)?;
-    let events = csv::parse_machine_events(&read_file(&dir.join("machine_events.csv"))?)?;
-    let machines: Vec<(MachineId, MachineInfo)> =
-        serde_json::from_str(&read_file(&dir.join("machines.json"))?)?;
     let log = SessionLog::from_json(&read_file(&dir.join("session.json"))?)?;
 
-    let mut builder = TraceDatasetBuilder::new();
-    for (id, info) in machines {
-        builder.declare_machine(id, info);
-    }
-    builder.extend_tables(tasks, instances, usage, events);
-    let dataset = builder.build()?;
+    // Prefer the columnar segment payload: lazy mmap-backed open, no
+    // re-parse. Dumps from older versions (no `dataset/` directory) fall
+    // back to a streaming parse of the canonical CSVs.
+    let segment_dir = dir.join("dataset");
+    let dataset = if segment_dir.is_dir() {
+        TraceDataset::open(&segment_dir)?
+    } else {
+        let tasks = csv::parse_batch_tasks_reader(open_csv(&dir.join("batch_task.csv"))?)?;
+        let instances =
+            csv::parse_batch_instances_reader(open_csv(&dir.join("batch_instance.csv"))?)?;
+        let usage = csv::parse_server_usage_reader(open_csv(&dir.join("server_usage.csv"))?)?;
+        let events = csv::parse_machine_events_reader(open_csv(&dir.join("machine_events.csv"))?)?;
+        let machines: Vec<(MachineId, MachineInfo)> =
+            serde_json::from_str(&read_file(&dir.join("machines.json"))?)?;
+        let mut builder = TraceDatasetBuilder::new();
+        for (id, info) in machines {
+            builder.declare_machine(id, info);
+        }
+        builder.extend_tables(tasks, instances, usage, events);
+        builder.build()?
+    };
     let lens = BatchLens::with_session(dataset, log);
 
     let monitor_dir = dir.join("monitor");
@@ -497,6 +539,53 @@ mod tests {
 
         fs::remove_dir_all(&dump_dir).ok();
         fs::remove_dir_all(&wal_dir).ok();
+    }
+
+    #[test]
+    fn restore_prefers_segment_payload_over_csvs() {
+        let dir = temp_dump_dir("segments");
+        let lens = sample_lens();
+        let report = dump(&dir, &lens, None).unwrap();
+        assert!(report.segments >= 4, "dump must write a segment payload");
+        assert!(dir.join("dataset").is_dir());
+
+        // Vandalize the CSVs: a segment-preferring restore never reads them.
+        for table in [
+            "batch_task.csv",
+            "batch_instance.csv",
+            "server_usage.csv",
+            "machine_events.csv",
+        ] {
+            fs::write(dir.join(table), "not,a,valid,table\n").unwrap();
+        }
+        let restored = restore(&dir).unwrap();
+        assert_eq!(restored.lens.dataset(), lens.dataset());
+
+        // Without the segment payload the same dump falls back to the CSVs
+        // and now reports their corruption.
+        fs::remove_dir_all(dir.join("dataset")).unwrap();
+        assert!(matches!(restore(&dir), Err(RestoreError::Trace(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_fallback_restore_matches_original() {
+        let dir = temp_dump_dir("csv-fallback");
+        let lens = sample_lens();
+        dump(&dir, &lens, None).unwrap();
+        fs::remove_dir_all(dir.join("dataset")).unwrap();
+        let restored = restore(&dir).unwrap();
+        assert_eq!(
+            restored.lens.dataset().instance_records(),
+            lens.dataset().instance_records()
+        );
+        for t in [0, 300, 900] {
+            assert_eq!(
+                restored.lens.dataset().frame(Timestamp::new(t)),
+                lens.dataset().frame(Timestamp::new(t))
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

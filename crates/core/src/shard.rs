@@ -752,6 +752,16 @@ impl DatasetQuery for ShardedMonitor {
             .util_hold(machine, t)
     }
 
+    fn anomaly_counts(&self, machines: &[MachineId]) -> Vec<u32> {
+        let mut counts = vec![0u32; machines.len()];
+        for alert in &self.ring.lock().alerts {
+            if let Ok(i) = machines.binary_search(&alert.machine) {
+                counts[i] = counts[i].saturating_add(1);
+            }
+        }
+        counts
+    }
+
     fn running_delta(&self, t0: Timestamp, t1: Timestamp) -> RunningDelta {
         // Same-triple handoffs share a machine, hence a shard: every
         // cancellation already happened shard-locally, and the merged
@@ -809,7 +819,17 @@ impl DatasetQuery for ShardedMonitor {
             .flat_map(|g| g.running_triples_at(at))
             .collect();
         triples.sort_unstable();
-        QueryFrame::new(at, version, triples, machines, alive, utils)
+        // Anomaly counts come from the global ring under the same gate:
+        // the ring retains exactly the alerts the single monitor's buffer
+        // would over the same deliveries, so the per-machine counts match
+        // the single-monitor frame bit for bit.
+        let mut anomalies = vec![0u32; machines.len()];
+        for alert in &self.ring.lock().alerts {
+            if let Ok(i) = machines.binary_search(&alert.machine) {
+                anomalies[i] = anomalies[i].saturating_add(1);
+            }
+        }
+        QueryFrame::with_anomalies(at, version, triples, machines, alive, utils, anomalies)
     }
 }
 

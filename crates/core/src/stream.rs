@@ -676,9 +676,22 @@ impl DatasetQuery for Inner {
         }
     }
 
+    fn anomaly_counts(&self, machines: &[MachineId]) -> Vec<u32> {
+        // Counts over the retained alert buffer (the same alerts
+        // `drain_alerts`/`alerts_since` serve), so a frame's sidebar overlay
+        // agrees exactly with the alert feed captured at the same version.
+        let mut counts = vec![0u32; machines.len()];
+        for alert in &self.alerts {
+            if let Ok(i) = machines.binary_search(&alert.machine) {
+                counts[i] = counts[i].saturating_add(1);
+            }
+        }
+        counts
+    }
+
     // `frame` is inherited as the provided trait method: evaluated on the
     // locked `Inner`, its sub-queries all answer from one state — which is
-    // exactly the single-lock transactional frame.
+    // exactly the single-lock transactional frame (anomaly counts included).
 }
 
 /// Thread-safe online monitor over live detector banks.
@@ -1360,6 +1373,21 @@ impl StreamMonitor {
         self.inner.lock().total_alerts
     }
 
+    /// Retained alerts concerning `machine` — one lock acquisition and an
+    /// O(len) walk of the alert buffer per call. A dashboard sidebar that
+    /// needs every machine's count next to a frame should read
+    /// [`batchlens_trace::QueryFrame::anomaly_count`] instead: the frame
+    /// carries all counts from a single lock acquisition, consistent with
+    /// the rest of the frame.
+    pub fn machine_alert_count(&self, machine: MachineId) -> u32 {
+        self.inner
+            .lock()
+            .alerts
+            .iter()
+            .filter(|a| a.machine == machine)
+            .count() as u32
+    }
+
     /// Alerts evicted because the buffer was full before a drain (see
     /// [`StreamConfig::alert_capacity`]).
     pub fn alerts_overflowed(&self) -> u64 {
@@ -1482,6 +1510,10 @@ impl DatasetQuery for LiveWindowView<'_> {
 
     fn util_hold(&self, machine: MachineId, t: Timestamp) -> UtilHold {
         self.monitor.inner.lock().util_hold(machine, t)
+    }
+
+    fn anomaly_counts(&self, machines: &[MachineId]) -> Vec<u32> {
+        self.monitor.inner.lock().anomaly_counts(machines)
     }
 
     /// The rolling-index delta — O(log n + Δ log Δ) under one lock

@@ -137,7 +137,11 @@ impl Dashboard {
     /// in [`Dashboard::render_with_timeline`]. Detail line charts need
     /// windowed time series a point-in-time frame cannot carry, so this
     /// variant replaces the focus-job sidebar with per-machine utilization
-    /// bars (busiest active machines first).
+    /// bars (busiest active machines first). Machines with retained anomaly
+    /// alerts get a count badge — read straight from
+    /// [`QueryFrame::anomaly_count`], so the overlay needs **no second
+    /// trip to the monitor** (and therefore no second lock) after the
+    /// frame capture.
     pub fn render_from_frame(&self, frame: &QueryFrame, timeline: &ClusterTimeline) -> Scene {
         let at = frame.at();
         let mut scene = Scene::new(self.width, self.height).background(Color::rgb(250, 250, 250));
@@ -186,10 +190,19 @@ impl Dashboard {
         let row_h = 22.0;
         let rows = (((main_h - 40.0) / row_h) as usize).min(machines.len());
         let mut sidebar = Vec::new();
+        let total_anomalies = frame.total_anomalies();
+        let header = if total_anomalies > 0 {
+            format!(
+                "machines ({} active, {total_anomalies} alerts)",
+                machines.len()
+            )
+        } else {
+            format!("machines ({} active)", machines.len())
+        };
         sidebar.push(Node::Text {
             x: 8.0,
             y: 12.0,
-            text: format!("machines ({} active)", machines.len()),
+            text: header,
             size: 11.0,
             align: Align::Start,
             color: Color::rgb(60, 60, 60),
@@ -220,6 +233,25 @@ impl Dashboard {
                 height: row_h - 10.0,
                 style: Style::filled(Color::rgb(70, 130, 180)),
             });
+            // Anomaly badge, straight off the frame's retained counts.
+            let alerts = frame.anomaly_count(*machine);
+            if alerts > 0 {
+                sidebar.push(Node::Rect {
+                    x: bar_x + bar_w + 2.0,
+                    y: y + 4.0,
+                    width: 12.0,
+                    height: row_h - 10.0,
+                    style: Style::filled(Color::rgb(200, 60, 40)),
+                });
+                sidebar.push(Node::Text {
+                    x: bar_x + bar_w + 8.0,
+                    y: y + 12.0,
+                    text: alerts.to_string(),
+                    size: 9.0,
+                    align: Align::Middle,
+                    color: Color::rgb(255, 255, 255),
+                });
+            }
         }
         scene.push(Node::Group {
             label: Some("machine-utilization".to_string()),
@@ -323,6 +355,60 @@ mod tests {
             }
         }
         assert!(scene.root.iter().any(has_version_title));
+    }
+
+    #[test]
+    fn frame_anomaly_counts_render_badges_without_requerying() {
+        use batchlens_trace::DatasetQuery;
+        let ds = scenario::fig3b(5).run().unwrap();
+        let timeline = ClusterTimeline::build(&ds);
+        let base = ds.frame(scenario::T_FIG3B);
+        let machines = base.machine_ids().to_vec();
+        assert!(!machines.is_empty());
+
+        // Batch datasets carry no anomaly stream: zero counts, no badges.
+        let plain = Dashboard::new(1400.0, 900.0).render_from_frame(&base, &timeline);
+        assert_eq!(base.total_anomalies(), 0);
+
+        // Hand-build the same frame with alert counts attached and check
+        // the sidebar grows badge nodes from the frame alone. Target the
+        // busiest active machine so the badge falls inside the rendered rows.
+        let mut ranked: Vec<_> = base
+            .machines_active()
+            .into_iter()
+            .map(|m| (m, base.util_of(m).map(|u| u.cpu.fraction()).unwrap_or(0.0)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let target = ranked[0].0;
+        let alive = machines.iter().map(|m| base.alive(*m)).collect();
+        let utils = machines.iter().map(|m| base.util_of(*m)).collect();
+        let mut anomalies = vec![0u32; machines.len()];
+        anomalies[machines.binary_search(&target).unwrap()] = 3;
+        let noisy = QueryFrame::with_anomalies(
+            base.at(),
+            base.version(),
+            base.running_triples().to_vec(),
+            machines.clone(),
+            alive,
+            utils,
+            anomalies,
+        );
+        assert_eq!(noisy.anomaly_count(target), 3);
+        let scene = Dashboard::new(1400.0, 900.0).render_from_frame(&noisy, &timeline);
+        let plain_counts = plain.counts();
+        let counts = scene.counts();
+        // One badge rect and one count text beyond the zero-count render.
+        assert_eq!(counts.rects, plain_counts.rects + 1, "badge rect missing");
+        assert_eq!(counts.texts, plain_counts.texts + 1, "badge count missing");
+        fn has_alert_header(n: &Node) -> bool {
+            match n {
+                Node::Text { text, .. } => text.contains("3 alerts"),
+                Node::Group { children, .. } => children.iter().any(has_alert_header),
+                _ => false,
+            }
+        }
+        assert!(scene.root.iter().any(has_alert_header));
+        assert!(!plain.root.iter().any(has_alert_header));
     }
 
     #[test]

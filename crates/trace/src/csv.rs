@@ -15,6 +15,7 @@
 //! | `machine_events` | `time,machine_id,event,capacity_cpu,capacity_mem,capacity_disk` |
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::{
     BatchInstanceRecord, BatchTaskRecord, MachineEventRecord, ParseWarning, ServerUsageRecord,
@@ -82,18 +83,9 @@ fn at_line(err: TraceError, table: &'static str, line_no: usize) -> TraceError {
     }
 }
 
-/// Lines of `input` that carry data: skips blanks, `#` comments and a
-/// leading header equal to `header`.
-fn data_lines<'a>(input: &'a str, header: &'a str) -> impl Iterator<Item = (usize, &'a str)> {
-    input.lines().enumerate().filter_map(move |(i, line)| {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed == header {
-            None
-        } else {
-            Some((i + 1, trimmed))
-        }
-    })
-}
+// (the data-line rule — skip blanks, `#` comments and header lines, number
+// every physical line — lives in `parse_table_reader`, the single parsing
+// loop both the in-memory and the streaming entry points share)
 
 /// How a parse treats malformed rows.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,8 +116,14 @@ pub struct Recovered<T> {
     pub warnings: Vec<ParseWarning>,
 }
 
-fn parse_table<T>(
-    input: &str,
+/// The single parsing loop behind every entry point: pulls one line at a
+/// time from a buffered reader into a reused buffer, so peak memory is one
+/// line plus the parsed records — never the whole file. Every physical
+/// line (blank, comment, header or data) advances the 1-based line
+/// counter, which is what keeps recovering-mode warning line numbers
+/// identical between the in-memory and streaming paths.
+fn parse_table_reader<T, R: BufRead>(
+    mut reader: R,
     header: &str,
     table: &'static str,
     opts: ParseOptions,
@@ -133,8 +131,24 @@ fn parse_table<T>(
 ) -> Result<Recovered<T>, TraceError> {
     let mut records = Vec::new();
     let mut warnings = Vec::new();
-    for (line_no, line) in data_lines(input, header) {
-        match parse_row(line, line_no) {
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf).map_err(|e| TraceError::Io {
+            op: "read line",
+            path: String::new(),
+            message: e.to_string(),
+        })?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = buf.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed == header {
+            continue;
+        }
+        match parse_row(trimmed, line_no) {
             Ok(rec) => records.push(rec),
             Err(error) if opts.recover => warnings.push(ParseWarning {
                 line: line_no,
@@ -145,6 +159,16 @@ fn parse_table<T>(
         }
     }
     Ok(Recovered { records, warnings })
+}
+
+fn parse_table<T>(
+    input: &str,
+    header: &str,
+    table: &'static str,
+    opts: ParseOptions,
+    parse_row: impl Fn(&str, usize) -> Result<T, TraceError>,
+) -> Result<Recovered<T>, TraceError> {
+    parse_table_reader(input.as_bytes(), header, table, opts, parse_row)
 }
 
 fn parse_batch_task_row(line: &str, line_no: usize) -> Result<BatchTaskRecord, TraceError> {
@@ -186,6 +210,37 @@ pub fn parse_batch_tasks_with(
 ) -> Result<Recovered<BatchTaskRecord>, TraceError> {
     parse_table(
         input,
+        BATCH_TASK_HEADER,
+        "batch_task",
+        opts,
+        parse_batch_task_row,
+    )
+}
+
+/// Parses a `batch_task` stream from a buffered reader without
+/// materializing the file in memory (strict mode).
+///
+/// # Errors
+///
+/// [`TraceError::ParseLine`] for the first bad row, [`TraceError::Io`]
+/// when the reader fails.
+pub fn parse_batch_tasks_reader<R: BufRead>(reader: R) -> Result<Vec<BatchTaskRecord>, TraceError> {
+    parse_batch_tasks_reader_with(reader, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Streaming twin of [`parse_batch_tasks_with`]: same row semantics and
+/// identical warning line numbers, one buffered line in memory at a time.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the reader fails; in strict mode additionally
+/// [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_batch_tasks_reader_with<R: BufRead>(
+    reader: R,
+    opts: ParseOptions,
+) -> Result<Recovered<BatchTaskRecord>, TraceError> {
+    parse_table_reader(
+        reader,
         BATCH_TASK_HEADER,
         "batch_task",
         opts,
@@ -265,6 +320,37 @@ pub fn parse_batch_instances_with(
     )
 }
 
+/// Parses a `batch_instance` stream from a buffered reader (strict mode).
+///
+/// # Errors
+///
+/// [`TraceError::ParseLine`] for the first bad row, [`TraceError::Io`]
+/// when the reader fails.
+pub fn parse_batch_instances_reader<R: BufRead>(
+    reader: R,
+) -> Result<Vec<BatchInstanceRecord>, TraceError> {
+    parse_batch_instances_reader_with(reader, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Streaming twin of [`parse_batch_instances_with`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the reader fails; in strict mode additionally
+/// [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_batch_instances_reader_with<R: BufRead>(
+    reader: R,
+    opts: ParseOptions,
+) -> Result<Recovered<BatchInstanceRecord>, TraceError> {
+    parse_table_reader(
+        reader,
+        BATCH_INSTANCE_HEADER,
+        "batch_instance",
+        opts,
+        parse_batch_instance_row,
+    )
+}
+
 /// Serializes `batch_instance` records with a header line.
 pub fn write_batch_instances(records: &[BatchInstanceRecord]) -> String {
     let mut s = String::with_capacity(records.len() * 64 + BATCH_INSTANCE_HEADER.len() + 1);
@@ -337,6 +423,37 @@ pub fn parse_server_usage_with(
     )
 }
 
+/// Parses a `server_usage` stream from a buffered reader (strict mode).
+///
+/// # Errors
+///
+/// [`TraceError::ParseLine`] for the first bad row, [`TraceError::Io`]
+/// when the reader fails.
+pub fn parse_server_usage_reader<R: BufRead>(
+    reader: R,
+) -> Result<Vec<ServerUsageRecord>, TraceError> {
+    parse_server_usage_reader_with(reader, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Streaming twin of [`parse_server_usage_with`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the reader fails; in strict mode additionally
+/// [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_server_usage_reader_with<R: BufRead>(
+    reader: R,
+    opts: ParseOptions,
+) -> Result<Recovered<ServerUsageRecord>, TraceError> {
+    parse_table_reader(
+        reader,
+        SERVER_USAGE_HEADER,
+        "server_usage",
+        opts,
+        parse_server_usage_row,
+    )
+}
+
 /// Serializes `server_usage` records (percent columns) with a header line.
 pub fn write_server_usage(records: &[ServerUsageRecord]) -> String {
     let mut s = String::with_capacity(records.len() * 40 + SERVER_USAGE_HEADER.len() + 1);
@@ -393,6 +510,37 @@ pub fn parse_machine_events_with(
 ) -> Result<Recovered<MachineEventRecord>, TraceError> {
     parse_table(
         input,
+        MACHINE_EVENTS_HEADER,
+        "machine_events",
+        opts,
+        parse_machine_event_row,
+    )
+}
+
+/// Parses a `machine_events` stream from a buffered reader (strict mode).
+///
+/// # Errors
+///
+/// [`TraceError::ParseLine`] for the first bad row, [`TraceError::Io`]
+/// when the reader fails.
+pub fn parse_machine_events_reader<R: BufRead>(
+    reader: R,
+) -> Result<Vec<MachineEventRecord>, TraceError> {
+    parse_machine_events_reader_with(reader, ParseOptions::default()).map(|r| r.records)
+}
+
+/// Streaming twin of [`parse_machine_events_with`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the reader fails; in strict mode additionally
+/// [`TraceError::ParseLine`] for the first bad row.
+pub fn parse_machine_events_reader_with<R: BufRead>(
+    reader: R,
+    opts: ParseOptions,
+) -> Result<Recovered<MachineEventRecord>, TraceError> {
+    parse_table_reader(
+        reader,
         MACHINE_EVENTS_HEADER,
         "machine_events",
         opts,
@@ -607,6 +755,49 @@ mod tests {
         let r = parse_machine_events_with(&clean, ParseOptions::recovering()).unwrap();
         assert!(r.warnings.is_empty());
         assert_eq!(r.records, parse_machine_events(&clean).unwrap());
+    }
+
+    #[test]
+    fn streaming_parse_matches_in_memory_including_warning_lines() {
+        let text = format!(
+            "# comment\n\n{}\n0,300,job_1,task_1,1,T,1,0.5\n\
+             0,300,job_2,task_1,NOTANUM,T,1,0.5\n\
+             0,300,job_3,task_1,2,T,1,0.5\n",
+            BATCH_TASK_HEADER
+        );
+        let in_memory = parse_batch_tasks_with(&text, ParseOptions::recovering()).unwrap();
+        let streamed =
+            parse_batch_tasks_reader_with(text.as_bytes(), ParseOptions::recovering()).unwrap();
+        assert_eq!(streamed, in_memory);
+        // Physical line 5 is the bad row (comment + blank + header before it).
+        assert_eq!(streamed.warnings[0].line, 5);
+    }
+
+    #[test]
+    fn streaming_parse_reads_from_a_file() {
+        use std::io::BufReader;
+        let recs = vec![sample_instance()];
+        let path =
+            std::env::temp_dir().join(format!("batchlens-csv-stream-{}.csv", std::process::id()));
+        std::fs::write(&path, write_batch_instances(&recs)).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let parsed = parse_batch_instances_reader(BufReader::new(file)).unwrap();
+        assert_eq!(parsed, recs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_read_failure_is_a_typed_io_error() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader);
+        let err = parse_server_usage_reader(reader).unwrap_err();
+        assert!(matches!(err, TraceError::Io { .. }));
+        assert!(err.to_string().contains("disk on fire"));
     }
 
     #[test]

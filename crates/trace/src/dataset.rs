@@ -359,6 +359,135 @@ impl TraceDatasetBuilder {
     }
 }
 
+/// Tables already in the segment store's sort orders — the input of
+/// [`TraceDataset::from_sorted_tables`]. The caller (the `store` module)
+/// has *verified* each order with a linear scan before handing them over;
+/// nothing here re-checks it.
+pub(crate) struct SortedTables {
+    /// Sorted by `(job, task)`.
+    pub tasks: Vec<BatchTaskRecord>,
+    /// Sorted by `(job, task, seq)`.
+    pub instances: Vec<BatchInstanceRecord>,
+    /// Per-machine `[cpu, mem, disk]` series, machine-ascending — built
+    /// straight from the store's machine-major usage columns (strictly
+    /// time-ascending per machine, verified during the column scan).
+    pub usage: Vec<(MachineId, [TimeSeries; 3])>,
+    /// Sorted by `(time, machine)`.
+    pub events: Vec<MachineEventRecord>,
+    /// The persisted machine capacity table.
+    pub machines: Vec<(MachineId, MachineInfo)>,
+}
+
+impl TraceDataset {
+    /// Builds a dataset from tables already in the store's sort orders —
+    /// the segment-open fast path. It runs the **same validations** as
+    /// [`TraceDatasetBuilder::build`] with dangling instances allowed
+    /// (task lifetimes, instance windows, adjacent-duplicate keys; usage
+    /// sample order was verified by the caller's column scan) but skips
+    /// every sort and every row-at-a-time re-bucketing the builder
+    /// performs, since sorted input makes each grouping a linear slice
+    /// walk. The result is bit-identical to feeding the same rows through
+    /// the builder (the workspace `store_differential` suite holds both
+    /// paths to that).
+    pub(crate) fn from_sorted_tables(
+        t: SortedTables,
+        threads: usize,
+    ) -> Result<TraceDataset, TraceError> {
+        let threads = batchlens_exec::resolve_threads(threads);
+        let mut ds = TraceDataset::default();
+
+        // Tasks: with sorted input the builder's BTreeMap insert probe
+        // degenerates to an adjacent-duplicate check, and the map itself
+        // bulk-loads from the ordered pairs.
+        for (i, rec) in t.tasks.iter().enumerate() {
+            rec.lifetime()?;
+            if i > 0 {
+                let prev = &t.tasks[i - 1];
+                if (prev.job, prev.task) == (rec.job, rec.task) {
+                    return Err(TraceError::DuplicateTask {
+                        job: rec.job,
+                        task: rec.task,
+                    });
+                }
+            }
+        }
+        ds.tasks = t.tasks.iter().map(|r| ((r.job, r.task), *r)).collect();
+
+        // Instances: the builder's validation pass minus the sort it no
+        // longer needs (duplicates are adjacent in `(job, task, seq)`
+        // order) and minus the hierarchy check (the store path always
+        // allows dangling instances — the original build already ran it).
+        for (i, rec) in t.instances.iter().enumerate() {
+            rec.window()?;
+            if i > 0 {
+                let prev = &t.instances[i - 1];
+                if (prev.job, prev.task, prev.seq) == (rec.job, rec.task, rec.seq) {
+                    return Err(TraceError::DuplicateInstance {
+                        instance: InstanceId::new(rec.job, rec.task, rec.seq),
+                    });
+                }
+            }
+        }
+        // Grouping: per-(job, task) index runs are contiguous, and the
+        // per-machine lists collect ascending indices — exactly what the
+        // builder's chunk-merged maps hold.
+        let mut start = 0;
+        while start < t.instances.len() {
+            let key = (t.instances[start].job, t.instances[start].task);
+            let mut end = start + 1;
+            while end < t.instances.len() && (t.instances[end].job, t.instances[end].task) == key {
+                end += 1;
+            }
+            ds.task_instances.insert(key, (start..end).collect());
+            start = end;
+        }
+        for (idx, rec) in t.instances.iter().enumerate() {
+            ds.machine_instances
+                .entry(rec.machine)
+                .or_default()
+                .push(idx);
+        }
+        ds.instances = t.instances;
+
+        // Machine table: the builder's precedence ladder — declarations,
+        // then Add events (which carry capacities), then any other
+        // reference with default capacities. Machine-major usage means
+        // only run boundaries ever touch the map, not every sample row.
+        for (m, info) in &t.machines {
+            ds.machines.insert(*m, *info);
+        }
+        for ev in &t.events {
+            if ev.event == MachineEvent::Add {
+                ds.machines.entry(ev.machine).or_insert(MachineInfo {
+                    capacity_cpu: ev.capacity_cpu,
+                    capacity_mem: ev.capacity_mem,
+                    capacity_disk: ev.capacity_disk,
+                });
+            }
+        }
+        for ev in &t.events {
+            ds.machines.entry(ev.machine).or_default();
+        }
+        for rec in &ds.instances {
+            ds.machines.entry(rec.machine).or_default();
+        }
+        for (m, _) in &t.usage {
+            ds.machines.entry(*m).or_default();
+        }
+
+        // Events arrive `(time, machine)`-sorted — the builder's sort is
+        // a verified no-op here.
+        ds.machine_events = t.events;
+
+        // Usage arrives as finished per-machine series (built straight
+        // from the store's machine-major columns), machine-ascending.
+        ds.usage = t.usage.into_iter().collect();
+
+        ds.build_indexes(threads);
+        Ok(ds)
+    }
+}
+
 /// Records per validation/grouping shard. Fixed (independent of the thread
 /// count) so shard boundaries — and therefore error reporting and merge
 /// order — are a pure function of the input.

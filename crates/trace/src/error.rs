@@ -77,6 +77,32 @@ pub enum TraceError {
         /// The offending resolution in seconds.
         seconds: i64,
     },
+    /// An OS-level IO failure while reading or writing trace storage (a
+    /// columnar segment, or a streamed CSV source). The original
+    /// `io::Error` is flattened to text so this type stays `Clone`.
+    Io {
+        /// The operation that failed (e.g. `"write"`, `"read line"`).
+        op: &'static str,
+        /// The path it failed on (empty for anonymous readers).
+        path: String,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// A columnar segment file failed validation: torn tail, bad magic, or
+    /// a checksum mismatch. The error pins the damage to a byte range of
+    /// one named segment — corruption is always a typed result, never a
+    /// panic.
+    CorruptSegment {
+        /// File name of the offending segment (not the full path).
+        segment: String,
+        /// Byte offset where the corrupt region starts.
+        offset: u64,
+        /// Length of the region the failed check covers (0 = the file's
+        /// overall framing, e.g. a truncated tail).
+        len: u64,
+        /// What check failed.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -119,6 +145,24 @@ impl fmt::Display for TraceError {
             TraceError::NotFound { entity } => write!(f, "{entity} not found"),
             TraceError::InvalidResolution { seconds } => {
                 write!(f, "invalid resolution of {seconds} seconds")
+            }
+            TraceError::Io { op, path, message } => {
+                if path.is_empty() {
+                    write!(f, "{op} failed: {message}")
+                } else {
+                    write!(f, "{op} {path} failed: {message}")
+                }
+            }
+            TraceError::CorruptSegment {
+                segment,
+                offset,
+                len,
+                message,
+            } => {
+                write!(
+                    f,
+                    "corrupt segment {segment} at offset {offset} (+{len}): {message}"
+                )
             }
         }
     }

@@ -26,6 +26,9 @@
 //! * record types mirroring the v2017 table schemas plus a line-oriented
 //!   CSV codec ([`csv`]),
 //! * the [`TraceDataset`] container with hierarchy and placement indexes,
+//! * a columnar on-disk segment [`store`] — sorted, checksummed,
+//!   memory-mapped — giving [`TraceDataset::open`] as a lazy,
+//!   larger-than-RAM-friendly construction path next to the CSV parse,
 //! * dataset statistics ([`stats::DatasetStats`]) reproducing the numbers
 //!   quoted in the paper's Section II (75 % of jobs are single-task, 94 % of
 //!   tasks are multi-instance).
@@ -85,6 +88,7 @@ mod queryable;
 mod record;
 mod series;
 pub mod stats;
+pub mod store;
 mod time;
 pub mod wal;
 

@@ -178,11 +178,16 @@ pub struct QueryFrame {
     alive: Vec<bool>,
     /// Sample-and-hold utilization per machine, parallel to `machines`.
     utils: Vec<Option<UtilizationTriple>>,
+    /// Retained anomaly alerts per machine, parallel to `machines` (all
+    /// zero for sources without an anomaly stream).
+    anomalies: Vec<u32>,
 }
 
 impl QueryFrame {
     /// Assembles a frame from pre-queried parts. `machines` must ascend and
-    /// `alive`/`utils` must align with it; `triples` must ascend.
+    /// `alive`/`utils` must align with it; `triples` must ascend. Anomaly
+    /// counts are zero — sources with an anomaly stream use
+    /// [`QueryFrame::with_anomalies`].
     pub fn new(
         at: Timestamp,
         version: u64,
@@ -191,10 +196,29 @@ impl QueryFrame {
         alive: Vec<bool>,
         utils: Vec<Option<UtilizationTriple>>,
     ) -> QueryFrame {
+        let anomalies = vec![0; machines.len()];
+        QueryFrame::with_anomalies(at, version, triples, machines, alive, utils, anomalies)
+    }
+
+    /// [`QueryFrame::new`] plus per-machine retained anomaly-alert counts
+    /// (parallel to `machines`), captured under the same lock as the rest
+    /// of the frame — which is what lets a dashboard render an anomaly
+    /// sidebar overlay from the frame alone, with no second lock
+    /// acquisition racing the ingest path.
+    pub fn with_anomalies(
+        at: Timestamp,
+        version: u64,
+        triples: Vec<(JobId, TaskId, MachineId)>,
+        machines: Vec<MachineId>,
+        alive: Vec<bool>,
+        utils: Vec<Option<UtilizationTriple>>,
+        anomalies: Vec<u32>,
+    ) -> QueryFrame {
         debug_assert!(machines.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]));
         debug_assert_eq!(machines.len(), alive.len());
         debug_assert_eq!(machines.len(), utils.len());
+        debug_assert_eq!(machines.len(), anomalies.len());
         QueryFrame {
             at,
             version,
@@ -202,6 +226,7 @@ impl QueryFrame {
             machines,
             alive,
             utils,
+            anomalies,
         }
     }
 
@@ -273,6 +298,22 @@ impl QueryFrame {
     /// cross-frame float accumulation, hence no drift to rebase away).
     pub fn mean_utilization(&self) -> Option<UtilizationTriple> {
         UtilizationTriple::mean_of(self.utils.iter().filter_map(|u| u.as_ref()))
+    }
+
+    /// Retained anomaly alerts for `machine` in the source's alert buffer
+    /// at capture time (0 for machines unknown to the source, and for
+    /// sources without an anomaly stream — e.g. a batch
+    /// [`crate::TraceDataset`]).
+    pub fn anomaly_count(&self, machine: MachineId) -> u32 {
+        match self.machines.binary_search(&machine) {
+            Ok(i) => self.anomalies[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Total retained anomaly alerts across all machines in the frame.
+    pub fn total_anomalies(&self) -> u64 {
+        self.anomalies.iter().map(|&c| u64::from(c)).sum()
     }
 }
 
@@ -432,6 +473,15 @@ pub trait DatasetQuery {
         }
     }
 
+    /// Retained anomaly alerts per machine, parallel to `machines`. The
+    /// default returns zeros — batch datasets have no anomaly stream. Live
+    /// monitors override it to count their retained alert buffer, so the
+    /// default [`DatasetQuery::frame`] picks the counts up under the same
+    /// lock as every other probe.
+    fn anomaly_counts(&self, machines: &[MachineId]) -> Vec<u32> {
+        vec![0; machines.len()]
+    }
+
     /// Captures every structural query at `at` as one transactionally
     /// consistent [`QueryFrame`].
     ///
@@ -439,19 +489,22 @@ pub trait DatasetQuery {
     /// sources, where every query answers from the same state anyway.
     /// Mutable live sources override it to take their lock **once** and
     /// answer the whole frame under it (the frame consistency guarantee:
-    /// hierarchy, co-allocation, utilization and alive-set probes derived
-    /// from one frame can never disagree about the window state).
+    /// hierarchy, co-allocation, utilization, alive-set and anomaly-count
+    /// probes derived from one frame can never disagree about the window
+    /// state).
     fn frame(&self, at: Timestamp) -> QueryFrame {
         let machines = self.machine_ids();
         let alive = machines.iter().map(|&m| self.alive_at(m, at)).collect();
         let utils = machines.iter().map(|&m| self.util_at(m, at)).collect();
-        QueryFrame::new(
+        let anomalies = self.anomaly_counts(&machines);
+        QueryFrame::with_anomalies(
             at,
             self.state_version(),
             self.running_triples_at(at),
             machines,
             alive,
             utils,
+            anomalies,
         )
     }
 }

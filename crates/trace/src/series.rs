@@ -137,6 +137,16 @@ impl TimeSeries {
         Ok(s)
     }
 
+    /// Builds a series from parts the caller has already verified to be
+    /// strictly time-ascending and equal-length — the segment-store fast
+    /// path, which checks order while scanning the mapped time column and
+    /// must not pay for a second sort-and-scan here.
+    pub(crate) fn from_sorted_parts(times: Vec<Timestamp>, values: Vec<f64>) -> TimeSeries {
+        debug_assert_eq!(times.len(), values.len());
+        debug_assert!(times.windows(2).all(|w| w[0] < w[1]));
+        TimeSeries { times, values }
+    }
+
     /// Appends a sample; timestamps must be strictly increasing.
     ///
     /// # Errors

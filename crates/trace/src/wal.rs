@@ -83,7 +83,28 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+/// Slice-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table, and `TABLES[k][i]` advances the CRC of byte `i` through `k`
+/// further zero bytes — so eight table reads fold eight input bytes at
+/// once into the same polynomial the one-byte loop computes.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let base = crc32_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = base;
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ base[(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
 /// Incremental CRC-32 (IEEE 802.3 reflected polynomial `0xEDB88320`) — the
 /// per-frame checksum. CRC-32 detects all single-bit and double-bit errors
@@ -99,10 +120,29 @@ impl Crc32 {
     }
 
     /// Folds `bytes` into the running checksum.
+    ///
+    /// Eight bytes per step via the slice-by-8 tables (bit-identical to
+    /// the one-byte-at-a-time recurrence, just ~8× fewer dependent table
+    /// lookups — segment-store opens checksum every mapped byte, so this
+    /// is on the dataset-open hot path as well as the WAL's).
     pub fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC32_TABLES;
         let mut crc = self.0;
-        for &b in bytes {
-            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
         }
         self.0 = crc;
     }
@@ -228,63 +268,63 @@ fn event_from_code(c: u8) -> Option<MachineEvent> {
     })
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Forward-only cursor over a payload body; every `take_*` returns `None`
 /// past the end, so decoding can never index out of bounds.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Cursor<'a> {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+    pub(crate) fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
         let end = self.pos.checked_add(N)?;
         let chunk = self.bytes.get(self.pos..end)?;
         self.pos = end;
         chunk.try_into().ok()
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take::<1>().map(|b| b[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take::<4>().map(u32::from_le_bytes)
     }
 
-    fn i64(&mut self) -> Option<i64> {
+    pub(crate) fn i64(&mut self) -> Option<i64> {
         self.take::<8>().map(i64::from_le_bytes)
     }
 
-    fn f64(&mut self) -> Option<f64> {
+    pub(crate) fn f64(&mut self) -> Option<f64> {
         self.take::<8>()
             .map(|b| f64::from_bits(u64::from_le_bytes(b)))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take::<8>().map(u64::from_le_bytes)
     }
 
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }

@@ -1,0 +1,237 @@
+//! Minimal read-only memory mapping for the BatchLens workspace.
+//!
+//! The build environment has no network access, so this crate stands in for
+//! the `memmap2` dependency with the one capability the columnar trace
+//! store needs: map a file read-only and hand out `&[u8]`. Two backends sit
+//! behind one type:
+//!
+//! * **Mapped** (unix): direct `mmap(2)`/`munmap(2)` FFI — no `libc` crate
+//!   exists in the workspace, so the two symbols are declared here. Pages
+//!   fault in lazily, which is what makes larger-than-RAM segment
+//!   directories openable at all.
+//! * **Owned** (everywhere): the file is read into an anonymous buffer.
+//!   This is the portable fallback — non-unix targets, `mmap` failures
+//!   (e.g. filesystems that refuse mapping), and callers that ask for it
+//!   explicitly ([`Mmap::open_buffered`]) all land here, so tests run
+//!   anywhere with identical semantics.
+//!
+//! The public API is safe. The usual `mmap` caveat applies and is accepted
+//! by this workspace's usage: the mapped file must not be truncated while
+//! the map is alive (BatchLens segments are immutable once sealed — they
+//! are written to a temp name and never modified after).
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapped region is PROT_READ and never handed out mutably; moving the
+// raw pointer across threads is as safe as moving the Vec of the fallback.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+/// A read-only view of a file's bytes: `mmap`-backed where the platform
+/// allows it, an owned in-memory copy otherwise. Dereferences to `[u8]`.
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Opens `path` read-only and maps it. On unix this tries `mmap(2)`
+    /// first and silently falls back to a buffered read when the mapping
+    /// is refused; elsewhere it always buffers. Empty files map to an
+    /// empty slice without touching `mmap` (a zero-length mapping is
+    /// invalid).
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map on this platform",
+            ));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let len = len as usize;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if !sys::map_failed(ptr) {
+                return Ok(Mmap {
+                    inner: Inner::Mapped { ptr, len },
+                });
+            }
+            // fall through to the buffered read
+        }
+        let mut buf = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// Opens `path` through the portable fallback unconditionally: the
+    /// whole file is read into an owned buffer. Useful for differential
+    /// tests that must prove the two backends are observationally
+    /// identical, and for platforms where mapping misbehaves.
+    pub fn open_buffered(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// Whether this view is an actual `mmap` (false = owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Inner::Owned(buf) => buf,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = *self {
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "batchlens-mmap-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_buffered_views_agree() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file("agree", &data);
+        let mapped = Mmap::open(&path).unwrap();
+        let buffered = Mmap::open_buffered(&path).unwrap();
+        assert_eq!(&*mapped, &data[..]);
+        assert_eq!(&*buffered, &data[..]);
+        assert!(!buffered.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", b"");
+        let m = Mmap::open(&path).unwrap();
+        assert!(m.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_file("missing", b"x");
+        std::fs::remove_file(&path).unwrap();
+        assert!(Mmap::open(&path).is_err());
+        assert!(Mmap::open_buffered(&path).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_open_actually_maps() {
+        let path = temp_file("maps", b"hello segment");
+        let m = Mmap::open(&path).unwrap();
+        assert!(m.is_mapped());
+        assert_eq!(&*m, b"hello segment");
+        std::fs::remove_file(&path).ok();
+    }
+}
